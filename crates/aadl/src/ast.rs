@@ -1,0 +1,515 @@
+//! Declarative AST of the AADL subset: packages, component types and
+//! implementations, features, subcomponents, connections and property
+//! associations.
+
+use serde::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// The AADL component categories supported by the translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ComponentCategory {
+    /// Composite `system` component.
+    System,
+    /// Software `process` (an address space containing threads).
+    Process,
+    /// Software `thread` (the schedulable unit).
+    Thread,
+    /// Software `thread group`.
+    ThreadGroup,
+    /// Software `subprogram`.
+    Subprogram,
+    /// Software `data` component (possibly shared).
+    Data,
+    /// Execution platform `processor`.
+    Processor,
+    /// Execution platform `virtual processor`.
+    VirtualProcessor,
+    /// Execution platform `memory`.
+    Memory,
+    /// Execution platform `bus`.
+    Bus,
+    /// Execution platform `virtual bus`.
+    VirtualBus,
+    /// Execution platform `device`.
+    Device,
+}
+
+impl ComponentCategory {
+    /// All categories, in a stable order.
+    pub const ALL: [ComponentCategory; 12] = [
+        ComponentCategory::System,
+        ComponentCategory::Process,
+        ComponentCategory::Thread,
+        ComponentCategory::ThreadGroup,
+        ComponentCategory::Subprogram,
+        ComponentCategory::Data,
+        ComponentCategory::Processor,
+        ComponentCategory::VirtualProcessor,
+        ComponentCategory::Memory,
+        ComponentCategory::Bus,
+        ComponentCategory::VirtualBus,
+        ComponentCategory::Device,
+    ];
+
+    /// The AADL keyword(s) of this category.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            ComponentCategory::System => "system",
+            ComponentCategory::Process => "process",
+            ComponentCategory::Thread => "thread",
+            ComponentCategory::ThreadGroup => "thread group",
+            ComponentCategory::Subprogram => "subprogram",
+            ComponentCategory::Data => "data",
+            ComponentCategory::Processor => "processor",
+            ComponentCategory::VirtualProcessor => "virtual processor",
+            ComponentCategory::Memory => "memory",
+            ComponentCategory::Bus => "bus",
+            ComponentCategory::VirtualBus => "virtual bus",
+            ComponentCategory::Device => "device",
+        }
+    }
+
+    /// Returns `true` for software application categories.
+    pub fn is_software(&self) -> bool {
+        matches!(
+            self,
+            ComponentCategory::Process
+                | ComponentCategory::Thread
+                | ComponentCategory::ThreadGroup
+                | ComponentCategory::Subprogram
+                | ComponentCategory::Data
+        )
+    }
+
+    /// Returns `true` for execution platform categories.
+    pub fn is_platform(&self) -> bool {
+        matches!(
+            self,
+            ComponentCategory::Processor
+                | ComponentCategory::VirtualProcessor
+                | ComponentCategory::Memory
+                | ComponentCategory::Bus
+                | ComponentCategory::VirtualBus
+                | ComponentCategory::Device
+        )
+    }
+}
+
+impl fmt::Display for ComponentCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// Direction of a port feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortDirection {
+    /// `in` port.
+    In,
+    /// `out` port.
+    Out,
+    /// `in out` port.
+    InOut,
+}
+
+impl fmt::Display for PortDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PortDirection::In => "in",
+            PortDirection::Out => "out",
+            PortDirection::InOut => "in out",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Kind of a feature (interface point) of a component type.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeatureKind {
+    /// `event port` — queued, may trigger dispatch.
+    EventPort,
+    /// `data port` — unqueued latest-value semantics.
+    DataPort {
+        /// Optional data classifier.
+        classifier: Option<String>,
+    },
+    /// `event data port` — queued messages carrying data.
+    EventDataPort {
+        /// Optional data classifier.
+        classifier: Option<String>,
+    },
+    /// `requires data access` / `provides data access` to a shared data
+    /// component.
+    DataAccess {
+        /// `true` for `provides`, `false` for `requires`.
+        provides: bool,
+        /// Data classifier accessed.
+        classifier: Option<String>,
+    },
+    /// `requires subprogram access` / `provides subprogram access`.
+    SubprogramAccess {
+        /// `true` for `provides`, `false` for `requires`.
+        provides: bool,
+        /// Subprogram classifier accessed.
+        classifier: Option<String>,
+    },
+}
+
+impl FeatureKind {
+    /// Returns `true` when this feature is a port (event, data or event
+    /// data).
+    pub fn is_port(&self) -> bool {
+        matches!(
+            self,
+            FeatureKind::EventPort | FeatureKind::DataPort { .. } | FeatureKind::EventDataPort { .. }
+        )
+    }
+}
+
+/// A feature of a component type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Feature {
+    /// Feature name.
+    pub name: String,
+    /// Direction (meaningful for ports; accesses use `In`).
+    pub direction: PortDirection,
+    /// Feature kind.
+    pub kind: FeatureKind,
+    /// Property associations local to the feature (e.g. `Queue_Size`).
+    pub properties: Vec<PropertyAssociation>,
+}
+
+/// A subcomponent declaration inside a component implementation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Subcomponent {
+    /// Subcomponent name.
+    pub name: String,
+    /// Category of the subcomponent.
+    pub category: ComponentCategory,
+    /// Referenced classifier (`Type` or `Type.Impl`), if given.
+    pub classifier: Option<String>,
+    /// Property associations local to the subcomponent.
+    pub properties: Vec<PropertyAssociation>,
+}
+
+/// One end of a connection: an optional subcomponent name and a feature
+/// name (`sub.feature` or just `feature` for the enclosing component's own
+/// feature).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnectionEnd {
+    /// Subcomponent holding the feature; `None` when the feature belongs to
+    /// the enclosing component.
+    pub component: Option<String>,
+    /// Feature name.
+    pub feature: String,
+}
+
+impl fmt::Display for ConnectionEnd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.component {
+            Some(c) => write!(f, "{c}.{}", self.feature),
+            None => f.write_str(&self.feature),
+        }
+    }
+}
+
+/// Kind of connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConnectionKind {
+    /// `port` connection.
+    Port,
+    /// `data access` connection.
+    DataAccess,
+    /// `bus access` connection.
+    BusAccess,
+}
+
+/// A connection declaration inside a component implementation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Connection {
+    /// Connection name.
+    pub name: String,
+    /// Kind of connection.
+    pub kind: ConnectionKind,
+    /// Source end.
+    pub source: ConnectionEnd,
+    /// Destination end.
+    pub destination: ConnectionEnd,
+    /// `true` for bidirectional (`<->`) access connections.
+    pub bidirectional: bool,
+    /// Property associations (e.g. `Timing => Delayed`).
+    pub properties: Vec<PropertyAssociation>,
+}
+
+/// A property value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PropertyValue {
+    /// An enumeration literal or other bare identifier (e.g. `Periodic`).
+    Ident(String),
+    /// An integer, optionally with a unit (e.g. `4 ms`).
+    Integer(i64, Option<String>),
+    /// A real number, optionally with a unit.
+    Real(f64, Option<String>),
+    /// A string literal.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// A numeric range `lo .. hi` (e.g. `1 ms .. 2 ms`).
+    Range(Box<PropertyValue>, Box<PropertyValue>),
+    /// A `reference (path.to.component)` value.
+    Reference(Vec<String>),
+    /// A parenthesised list of values.
+    List(Vec<PropertyValue>),
+}
+
+impl PropertyValue {
+    /// Interprets the value as an identifier.
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            PropertyValue::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as an integer (ignoring any unit).
+    pub fn as_integer(&self) -> Option<i64> {
+        match self {
+            PropertyValue::Integer(v, _) => Some(*v),
+            PropertyValue::Real(v, _) => Some(*v as i64),
+            _ => None,
+        }
+    }
+}
+
+/// A property association `Name => value [applies to x, y];`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PropertyAssociation {
+    /// Property name, possibly qualified (`Thread_Properties::Priority`); the
+    /// unqualified last segment is stored in `name`, the full text in
+    /// `qualified_name`.
+    pub name: String,
+    /// The full (possibly qualified) name as written.
+    pub qualified_name: String,
+    /// The value.
+    pub value: PropertyValue,
+    /// The `applies to` targets (paths of subcomponent names), if any.
+    pub applies_to: Vec<Vec<String>>,
+}
+
+impl PropertyAssociation {
+    /// Creates a simple association without `applies to`.
+    pub fn new(name: impl Into<String>, value: PropertyValue) -> Self {
+        let name = name.into();
+        Self {
+            qualified_name: name.clone(),
+            name,
+            value,
+            applies_to: Vec::new(),
+        }
+    }
+}
+
+/// A component type or a component implementation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Classifier {
+    /// A component type: `thread thProducer … end thProducer;`.
+    ComponentType {
+        /// Component category.
+        category: ComponentCategory,
+        /// Type name.
+        name: String,
+        /// Declared features.
+        features: Vec<Feature>,
+        /// Property associations.
+        properties: Vec<PropertyAssociation>,
+    },
+    /// A component implementation: `thread implementation thProducer.impl …`.
+    ComponentImplementation {
+        /// Component category.
+        category: ComponentCategory,
+        /// Name of the implemented type.
+        type_name: String,
+        /// Implementation name (the part after the dot).
+        impl_name: String,
+        /// Subcomponents.
+        subcomponents: Vec<Subcomponent>,
+        /// Connections.
+        connections: Vec<Connection>,
+        /// Property associations.
+        properties: Vec<PropertyAssociation>,
+    },
+}
+
+impl Classifier {
+    /// The category of the classifier.
+    pub fn category(&self) -> ComponentCategory {
+        match self {
+            Classifier::ComponentType { category, .. }
+            | Classifier::ComponentImplementation { category, .. } => *category,
+        }
+    }
+
+    /// The full name of the classifier (`Type` or `Type.Impl`).
+    pub fn full_name(&self) -> String {
+        match self {
+            Classifier::ComponentType { name, .. } => name.clone(),
+            Classifier::ComponentImplementation {
+                type_name,
+                impl_name,
+                ..
+            } => format!("{type_name}.{impl_name}"),
+        }
+    }
+
+    /// The property associations declared directly on this classifier.
+    pub fn properties(&self) -> &[PropertyAssociation] {
+        match self {
+            Classifier::ComponentType { properties, .. }
+            | Classifier::ComponentImplementation { properties, .. } => properties,
+        }
+    }
+}
+
+/// An AADL package: a named container of classifiers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Package {
+    /// Package name (possibly with `::` separators collapsed to `_`).
+    pub name: String,
+    /// Declared classifiers, in source order.
+    pub classifiers: Vec<Classifier>,
+}
+
+impl Package {
+    /// Looks up a classifier by full name (`Type` or `Type.Impl`).
+    pub fn classifier(&self, full_name: &str) -> Option<&Classifier> {
+        self.classifiers.iter().find(|c| c.full_name() == full_name)
+    }
+
+    /// Looks up the component type of the given name.
+    pub fn component_type(&self, name: &str) -> Option<&Classifier> {
+        self.classifiers.iter().find(
+            |c| matches!(c, Classifier::ComponentType { name: n, .. } if n == name),
+        )
+    }
+
+    /// All classifiers of a given category.
+    pub fn by_category(&self, category: ComponentCategory) -> Vec<&Classifier> {
+        self.classifiers
+            .iter()
+            .filter(|c| c.category() == category)
+            .collect()
+    }
+
+    /// Number of classifiers.
+    pub fn len(&self) -> usize {
+        self.classifiers.len()
+    }
+
+    /// Returns `true` when the package declares no classifier.
+    pub fn is_empty(&self) -> bool {
+        self.classifiers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_partition_software_and_platform() {
+        for cat in ComponentCategory::ALL {
+            if cat == ComponentCategory::System {
+                assert!(!cat.is_software() && !cat.is_platform());
+            } else {
+                assert!(cat.is_software() ^ cat.is_platform(), "{cat}");
+            }
+        }
+        assert_eq!(ComponentCategory::Thread.keyword(), "thread");
+        assert_eq!(ComponentCategory::VirtualProcessor.to_string(), "virtual processor");
+    }
+
+    #[test]
+    fn classifier_full_names() {
+        let ty = Classifier::ComponentType {
+            category: ComponentCategory::Thread,
+            name: "thProducer".into(),
+            features: vec![],
+            properties: vec![],
+        };
+        assert_eq!(ty.full_name(), "thProducer");
+        let imp = Classifier::ComponentImplementation {
+            category: ComponentCategory::Thread,
+            type_name: "thProducer".into(),
+            impl_name: "impl".into(),
+            subcomponents: vec![],
+            connections: vec![],
+            properties: vec![],
+        };
+        assert_eq!(imp.full_name(), "thProducer.impl");
+        assert_eq!(imp.category(), ComponentCategory::Thread);
+    }
+
+    #[test]
+    fn package_lookup() {
+        let pkg = Package {
+            name: "p".into(),
+            classifiers: vec![
+                Classifier::ComponentType {
+                    category: ComponentCategory::Thread,
+                    name: "a".into(),
+                    features: vec![],
+                    properties: vec![],
+                },
+                Classifier::ComponentImplementation {
+                    category: ComponentCategory::Thread,
+                    type_name: "a".into(),
+                    impl_name: "impl".into(),
+                    subcomponents: vec![],
+                    connections: vec![],
+                    properties: vec![],
+                },
+            ],
+        };
+        assert!(pkg.classifier("a").is_some());
+        assert!(pkg.classifier("a.impl").is_some());
+        assert!(pkg.classifier("b").is_none());
+        assert_eq!(pkg.by_category(ComponentCategory::Thread).len(), 2);
+        assert_eq!(pkg.len(), 2);
+        assert!(!pkg.is_empty());
+        assert!(pkg.component_type("a").is_some());
+    }
+
+    #[test]
+    fn property_value_accessors() {
+        assert_eq!(PropertyValue::Ident("Periodic".into()).as_ident(), Some("Periodic"));
+        assert_eq!(PropertyValue::Integer(4, Some("ms".into())).as_integer(), Some(4));
+        assert_eq!(PropertyValue::Real(1.5, None).as_integer(), Some(1));
+        assert_eq!(PropertyValue::Str("x".into()).as_integer(), None);
+    }
+
+    #[test]
+    fn connection_end_display() {
+        let end = ConnectionEnd {
+            component: Some("thProducer".into()),
+            feature: "pData".into(),
+        };
+        assert_eq!(end.to_string(), "thProducer.pData");
+        let own = ConnectionEnd {
+            component: None,
+            feature: "pIn".into(),
+        };
+        assert_eq!(own.to_string(), "pIn");
+    }
+
+    #[test]
+    fn feature_kind_port_check() {
+        assert!(FeatureKind::EventPort.is_port());
+        assert!(FeatureKind::DataPort { classifier: None }.is_port());
+        assert!(!FeatureKind::DataAccess {
+            provides: false,
+            classifier: None
+        }
+        .is_port());
+    }
+}

@@ -1,0 +1,270 @@
+//! The ProducerConsumer tutorial avionic case study of the paper,
+//! reconstructed in AADL surface syntax from Section II, Figs. 1–6 and the
+//! parameters given in Section V (thread periods 4, 6, 8 and 8 ms).
+//!
+//! The model contains the `sysProdCons` system with the environment and
+//! operator-display subsystems, the `prProdCons` process with its four
+//! threads (`thProducer`, `thConsumer`, `thProdTimer`, `thConsTimer`), the
+//! shared data `Queue`, the timer start/stop/timeout event ports, and the
+//! binding of `prProdCons` to `Processor1`.
+
+use crate::ast::Package;
+use crate::error::AadlError;
+use crate::instance::InstanceModel;
+use crate::parser::parse_package;
+
+/// AADL source text of the ProducerConsumer case study.
+pub const PRODUCER_CONSUMER_AADL: &str = r#"
+-- ProducerConsumer tutorial avionic case study (C-S Toulouse / OPEES),
+-- reconstructed from the DATE 2013 paper.
+package ProducerConsumer
+public
+
+  data Message
+  end Message;
+
+  data Queue
+  end Queue;
+
+  -- Environment subsystem: produces raw values consumed by the producer.
+  system sysEnv
+  features
+    pEnvData : out event data port Message;
+    pEnvCtrl : in event port;
+  end sysEnv;
+
+  -- Operator display subsystem: informed when a timeout occurred.
+  system sysOperatorDisplay
+  features
+    pProdTimeout : in event port;
+    pConsTimeout : in event port;
+  end sysOperatorDisplay;
+
+  -- Producer thread: produces shared data in Queue.
+  thread thProducer
+  features
+    pProdStart : in event port;
+    pEnvData : in event data port Message;
+    pProdStartTimer : out event port;
+    pProdStopTimer : out event port;
+    pTimeOut : in event port;
+    QueueAccess : requires data access Queue;
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 4 ms;
+    Deadline => 4 ms;
+    Compute_Execution_Time => 1 ms .. 1 ms;
+    Priority => 4;
+  end thProducer;
+
+  -- Consumer thread: consumes shared data from Queue.
+  thread thConsumer
+  features
+    pConsStart : in event port;
+    pConsData : out event data port Message;
+    pConsStartTimer : out event port;
+    pConsStopTimer : out event port;
+    pTimeOut : in event port;
+    QueueAccess : requires data access Queue;
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 6 ms;
+    Deadline => 6 ms;
+    Compute_Execution_Time => 1 ms .. 2 ms;
+    Priority => 3;
+  end thConsumer;
+
+  -- Timer thread managing timer services for the producer.
+  thread thProdTimer
+  features
+    pStartTimer : in event port;
+    pStopTimer : in event port;
+    pTimeOut : out event port;
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 8 ms;
+    Deadline => 8 ms;
+    Compute_Execution_Time => 1 ms .. 1 ms;
+    Priority => 2;
+  end thProdTimer;
+
+  -- Timer thread managing timer services for the consumer.
+  thread thConsTimer
+  features
+    pStartTimer : in event port;
+    pStopTimer : in event port;
+    pTimeOut : out event port;
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 8 ms;
+    Deadline => 8 ms;
+    Compute_Execution_Time => 1 ms .. 1 ms;
+    Priority => 1;
+  end thConsTimer;
+
+  process prProdCons
+  features
+    pEnvData : in event data port Message;
+    pProdTimeout : out event port;
+    pConsTimeout : out event port;
+    pConsData : out event data port Message;
+  end prProdCons;
+
+  process implementation prProdCons.impl
+  subcomponents
+    thProducer : thread thProducer;
+    thConsumer : thread thConsumer;
+    thProdTimer : thread thProdTimer;
+    thConsTimer : thread thConsTimer;
+    Queue : data Queue;
+  connections
+    cEnvData : port pEnvData -> thProducer.pEnvData;
+    cProdStartTimer : port thProducer.pProdStartTimer -> thProdTimer.pStartTimer;
+    cProdStopTimer : port thProducer.pProdStopTimer -> thProdTimer.pStopTimer;
+    cProdTimeout : port thProdTimer.pTimeOut -> thProducer.pTimeOut;
+    cConsStartTimer : port thConsumer.pConsStartTimer -> thConsTimer.pStartTimer;
+    cConsStopTimer : port thConsumer.pConsStopTimer -> thConsTimer.pStopTimer;
+    cConsTimeout : port thConsTimer.pTimeOut -> thConsumer.pTimeOut;
+    cProdAlarm : port thProdTimer.pTimeOut -> pProdTimeout;
+    cConsAlarm : port thConsTimer.pTimeOut -> pConsTimeout;
+    cConsData : port thConsumer.pConsData -> pConsData;
+    aProdQueue : data access Queue <-> thProducer.QueueAccess;
+    aConsQueue : data access Queue <-> thConsumer.QueueAccess;
+  end prProdCons.impl;
+
+  processor Processor1
+  properties
+    Clock_Period => 1 ms;
+  end Processor1;
+
+  system sysProdCons
+  end sysProdCons;
+
+  system implementation sysProdCons.impl
+  subcomponents
+    sysEnv : system sysEnv;
+    sysOperatorDisplay : system sysOperatorDisplay;
+    prProdCons : process prProdCons.impl;
+    Processor1 : processor Processor1;
+  connections
+    cEnv : port sysEnv.pEnvData -> prProdCons.pEnvData;
+    cProdTimeout : port prProdCons.pProdTimeout -> sysOperatorDisplay.pProdTimeout;
+    cConsTimeout : port prProdCons.pConsTimeout -> sysOperatorDisplay.pConsTimeout;
+  properties
+    Actual_Processor_Binding => (reference (Processor1)) applies to prProdCons;
+  end sysProdCons.impl;
+
+end ProducerConsumer;
+"#;
+
+/// Parses the case-study package.
+///
+/// # Errors
+///
+/// Returns a parse error only if the embedded source is corrupted, which the
+/// test suite guards against.
+pub fn producer_consumer_package() -> Result<Package, AadlError> {
+    parse_package(PRODUCER_CONSUMER_AADL)
+}
+
+/// Parses and instantiates the case study from its root system
+/// implementation `sysProdCons.impl`.
+///
+/// # Errors
+///
+/// Same conditions as [`producer_consumer_package`] plus instantiation
+/// errors.
+pub fn producer_consumer_instance() -> Result<InstanceModel, AadlError> {
+    let package = producer_consumer_package()?;
+    InstanceModel::instantiate(&package, "sysProdCons.impl")
+}
+
+/// The periods (in milliseconds) of the four case-study threads, as reported
+/// in Section V-C of the paper.
+pub const CASE_STUDY_PERIODS_MS: [u64; 4] = [4, 6, 8, 8];
+
+/// The hyper-period (in milliseconds) of the case-study thread set.
+pub const CASE_STUDY_HYPERPERIOD_MS: u64 = 24;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ComponentCategory;
+    use crate::properties::Duration;
+
+    #[test]
+    fn case_study_parses() {
+        let pkg = producer_consumer_package().unwrap();
+        assert_eq!(pkg.name, "ProducerConsumer");
+        assert!(pkg.classifier("thProducer").is_some());
+        assert!(pkg.classifier("prProdCons.impl").is_some());
+        assert!(pkg.classifier("sysProdCons.impl").is_some());
+    }
+
+    #[test]
+    fn case_study_instantiates_with_expected_structure() {
+        let model = producer_consumer_instance().unwrap();
+        let counts = model.category_counts();
+        assert_eq!(counts[&ComponentCategory::Thread], 4);
+        assert_eq!(counts[&ComponentCategory::Process], 1);
+        assert_eq!(counts[&ComponentCategory::Processor], 1);
+        assert_eq!(counts[&ComponentCategory::System], 3); // root + 2 subsystems
+        assert_eq!(counts[&ComponentCategory::Data], 1);
+    }
+
+    #[test]
+    fn thread_periods_match_the_paper() {
+        let model = producer_consumer_instance().unwrap();
+        let threads = model.threads().unwrap();
+        assert_eq!(threads.len(), 4);
+        let period = |name: &str| {
+            threads
+                .iter()
+                .find(|t| t.name == name)
+                .unwrap()
+                .timing
+                .period
+                .unwrap()
+        };
+        assert_eq!(period("thProducer"), Duration::from_millis(4));
+        assert_eq!(period("thConsumer"), Duration::from_millis(6));
+        assert_eq!(period("thProdTimer"), Duration::from_millis(8));
+        assert_eq!(period("thConsTimer"), Duration::from_millis(8));
+    }
+
+    #[test]
+    fn queue_is_shared_by_producer_and_consumer() {
+        let model = producer_consumer_instance().unwrap();
+        let data = model.data_components();
+        assert_eq!(data.len(), 1);
+        let accessors = model.data_accessors(&data[0].path);
+        assert_eq!(accessors.len(), 2);
+        assert!(accessors.iter().any(|p| p.ends_with("thProducer")));
+        assert!(accessors.iter().any(|p| p.ends_with("thConsumer")));
+    }
+
+    #[test]
+    fn process_is_bound_to_processor1() {
+        let model = producer_consumer_instance().unwrap();
+        assert_eq!(
+            model.processor_binding("sysProdCons.prProdCons"),
+            Some("sysProdCons.Processor1")
+        );
+        // The binding covers the contained threads.
+        assert_eq!(
+            model.processor_binding("sysProdCons.prProdCons.thProducer"),
+            Some("sysProdCons.Processor1")
+        );
+    }
+
+    #[test]
+    fn timer_connections_are_present() {
+        let model = producer_consumer_instance().unwrap();
+        let timer_conns = model
+            .connections
+            .iter()
+            .filter(|c| c.destination_feature == "pStartTimer" || c.source_feature == "pTimeOut")
+            .count();
+        assert!(timer_conns >= 4, "expected timer wiring, got {timer_conns}");
+    }
+}

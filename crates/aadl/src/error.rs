@@ -1,0 +1,94 @@
+//! Error type for the AADL front end.
+
+use std::fmt;
+
+/// Errors reported while lexing, parsing, resolving or instantiating AADL
+/// models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AadlError {
+    /// A lexical error: unexpected character.
+    Lex {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A syntax error.
+    Parse {
+        /// 1-based line number of the offending token.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A reference to a classifier that is not declared in the package.
+    UnknownClassifier(String),
+    /// A reference to a subcomponent or feature that does not exist.
+    UnknownReference(String),
+    /// A property value has the wrong shape for its well-known property name.
+    Property {
+        /// Property name.
+        name: String,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The instance model is inconsistent (e.g. a process bound to a
+    /// component that is not a processor).
+    Instantiation(String),
+}
+
+impl AadlError {
+    /// Convenience constructor for parse errors.
+    pub fn parse(line: usize, message: impl Into<String>) -> Self {
+        AadlError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for AadlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AadlError::Lex { line, message } => {
+                write!(f, "lexical error at line {line}: {message}")
+            }
+            AadlError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            AadlError::UnknownClassifier(name) => write!(f, "unknown classifier `{name}`"),
+            AadlError::UnknownReference(name) => write!(f, "unknown reference `{name}`"),
+            AadlError::Property { name, message } => {
+                write!(f, "invalid value for property `{name}`: {message}")
+            }
+            AadlError::Instantiation(message) => write!(f, "instantiation error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for AadlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let err = AadlError::parse(12, "expected `;`");
+        assert_eq!(err.to_string(), "parse error at line 12: expected `;`");
+        let err = AadlError::Lex {
+            line: 3,
+            message: "unexpected `@`".into(),
+        };
+        assert!(err.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn display_other_variants() {
+        assert!(AadlError::UnknownClassifier("x".into()).to_string().contains("x"));
+        assert!(AadlError::UnknownReference("y".into()).to_string().contains("y"));
+        assert!(AadlError::Instantiation("boom".into()).to_string().contains("boom"));
+        let p = AadlError::Property {
+            name: "Period".into(),
+            message: "expected a time".into(),
+        };
+        assert!(p.to_string().contains("Period"));
+    }
+}

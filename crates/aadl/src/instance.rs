@@ -1,0 +1,668 @@
+//! Instantiation of a declarative AADL model into a component-instance tree.
+//!
+//! OSATE calls this step "instantiation": starting from a root system
+//! implementation, every subcomponent is expanded using its classifier, the
+//! property associations of types, implementations and subcomponent slots are
+//! merged, `applies to` associations are pushed down to the component they
+//! target, connection instances are given full paths, and
+//! `Actual_Processor_Binding` properties are resolved into explicit bindings.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ast::{
+    Classifier, ComponentCategory, ConnectionKind, Feature, Package, PropertyAssociation,
+    PropertyValue,
+};
+use crate::error::AadlError;
+use crate::properties::ThreadTiming;
+
+/// A component instance in the instance tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentInstance {
+    /// Instance name (subcomponent name, or classifier name for the root).
+    pub name: String,
+    /// Dotted path from the root instance (the root's path is its name).
+    pub path: String,
+    /// Component category.
+    pub category: ComponentCategory,
+    /// Classifier the instance was created from, if any.
+    pub classifier: Option<String>,
+    /// Features (copied from the component type).
+    pub features: Vec<Feature>,
+    /// Merged property associations (type, implementation, subcomponent slot,
+    /// and inherited `applies to` associations, in that order).
+    pub properties: Vec<PropertyAssociation>,
+    /// Child instances.
+    pub children: Vec<ComponentInstance>,
+}
+
+impl ComponentInstance {
+    /// Finds a descendant (or self) by dotted path.
+    pub fn find(&self, path: &str) -> Option<&ComponentInstance> {
+        if self.path == path {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(path))
+    }
+
+    /// Iterates over this instance and all descendants, depth first.
+    pub fn walk(&self) -> Vec<&ComponentInstance> {
+        let mut out = vec![self];
+        for child in &self.children {
+            out.extend(child.walk());
+        }
+        out
+    }
+
+    /// Number of instances in this subtree (including self).
+    pub fn instance_count(&self) -> usize {
+        1 + self.children.iter().map(ComponentInstance::instance_count).sum::<usize>()
+    }
+
+    /// Feature lookup by name.
+    pub fn feature(&self, name: &str) -> Option<&Feature> {
+        self.features.iter().find(|f| f.name == name)
+    }
+}
+
+/// A connection instance with fully-qualified endpoint paths.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConnectionInstance {
+    /// Connection name (qualified by the enclosing instance path).
+    pub name: String,
+    /// Kind of connection.
+    pub kind: ConnectionKind,
+    /// Full path of the source component instance.
+    pub source_component: String,
+    /// Source feature name.
+    pub source_feature: String,
+    /// Full path of the destination component instance.
+    pub destination_component: String,
+    /// Destination feature name.
+    pub destination_feature: String,
+    /// `true` when the connection is declared `<->`.
+    pub bidirectional: bool,
+    /// `true` when the connection has `Timing => Delayed`.
+    pub delayed: bool,
+}
+
+/// A thread instance with its resolved timing contract.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreadInstance {
+    /// Full path of the thread instance.
+    pub path: String,
+    /// Instance name.
+    pub name: String,
+    /// Resolved timing contract.
+    pub timing: ThreadTiming,
+    /// Features of the thread (ports and accesses).
+    pub features: Vec<Feature>,
+}
+
+/// The instantiated model: the instance tree plus flattened connections and
+/// processor bindings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceModel {
+    /// Root component instance.
+    pub root: ComponentInstance,
+    /// All connection instances, with full paths.
+    pub connections: Vec<ConnectionInstance>,
+    /// `(bound component path, processor path)` pairs from
+    /// `Actual_Processor_Binding`.
+    pub bindings: Vec<(String, String)>,
+}
+
+impl InstanceModel {
+    /// Instantiates `root_classifier` (a component type or implementation
+    /// name) from `package`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AadlError::UnknownClassifier`] when the root or a referenced
+    /// classifier is missing, or [`AadlError::Instantiation`] when the model
+    /// is structurally inconsistent.
+    pub fn instantiate(package: &Package, root_classifier: &str) -> Result<Self, AadlError> {
+        let classifier = package
+            .classifier(root_classifier)
+            .ok_or_else(|| AadlError::UnknownClassifier(root_classifier.to_string()))?;
+        let root_name = match classifier {
+            Classifier::ComponentType { name, .. } => name.clone(),
+            Classifier::ComponentImplementation { type_name, .. } => type_name.clone(),
+        };
+        let mut connections = Vec::new();
+        let root = build_instance(
+            package,
+            &root_name,
+            &root_name,
+            classifier.category(),
+            Some(root_classifier.to_string()),
+            &[],
+            &mut connections,
+            0,
+        )?;
+        let mut model = Self {
+            root,
+            connections,
+            bindings: Vec::new(),
+        };
+        model.resolve_bindings()?;
+        Ok(model)
+    }
+
+    fn resolve_bindings(&mut self) -> Result<(), AadlError> {
+        let mut bindings = Vec::new();
+        for instance in self.root.walk() {
+            for pa in &instance.properties {
+                if !pa.name.eq_ignore_ascii_case("actual_processor_binding") {
+                    continue;
+                }
+                let processors = reference_paths(&pa.value);
+                if processors.is_empty() {
+                    return Err(AadlError::Property {
+                        name: pa.qualified_name.clone(),
+                        message: "expected a processor reference".into(),
+                    });
+                }
+                let targets: Vec<String> = if pa.applies_to.is_empty() {
+                    vec![instance.path.clone()]
+                } else {
+                    pa.applies_to
+                        .iter()
+                        .map(|path| format!("{}.{}", instance.path, path.join(".")))
+                        .collect()
+                };
+                for target in targets {
+                    for processor in &processors {
+                        let processor_path = format!("{}.{}", instance.path, processor.join("."));
+                        bindings.push((target.clone(), processor_path));
+                    }
+                }
+            }
+        }
+        // Validate that both ends exist and the processor end is a processor.
+        for (target, processor) in &bindings {
+            let target_inst = self
+                .root
+                .find(target)
+                .ok_or_else(|| AadlError::UnknownReference(target.clone()))?;
+            let proc_inst = self
+                .root
+                .find(processor)
+                .ok_or_else(|| AadlError::UnknownReference(processor.clone()))?;
+            if !matches!(
+                proc_inst.category,
+                ComponentCategory::Processor | ComponentCategory::VirtualProcessor
+            ) {
+                return Err(AadlError::Instantiation(format!(
+                    "`{target}` is bound to `{processor}`, which is a {}, not a processor",
+                    proc_inst.category
+                )));
+            }
+            if !matches!(
+                target_inst.category,
+                ComponentCategory::Process | ComponentCategory::System | ComponentCategory::Thread
+            ) {
+                return Err(AadlError::Instantiation(format!(
+                    "`{target}` ({}) cannot be bound to a processor",
+                    target_inst.category
+                )));
+            }
+        }
+        self.bindings = bindings;
+        Ok(())
+    }
+
+    /// All thread instances with their resolved timing contracts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AadlError::Property`] when a thread carries a malformed
+    /// timing property.
+    pub fn threads(&self) -> Result<Vec<ThreadInstance>, AadlError> {
+        let mut out = Vec::new();
+        for instance in self.root.walk() {
+            if instance.category != ComponentCategory::Thread {
+                continue;
+            }
+            let timing = ThreadTiming::from_properties(&instance.properties)?;
+            out.push(ThreadInstance {
+                path: instance.path.clone(),
+                name: instance.name.clone(),
+                timing,
+                features: instance.features.clone(),
+            });
+        }
+        Ok(out)
+    }
+
+    /// All data component instances (potential shared data).
+    pub fn data_components(&self) -> Vec<&ComponentInstance> {
+        self.root
+            .walk()
+            .into_iter()
+            .filter(|c| c.category == ComponentCategory::Data)
+            .collect()
+    }
+
+    /// The processor a component is bound to, if any (searching enclosing
+    /// components as well, since a binding on a process covers its threads).
+    pub fn processor_binding(&self, component_path: &str) -> Option<&str> {
+        let mut best: Option<&str> = None;
+        let mut best_len = 0usize;
+        for (target, processor) in &self.bindings {
+            if component_path == target || component_path.starts_with(&format!("{target}.")) {
+                if target.len() >= best_len {
+                    best = Some(processor.as_str());
+                    best_len = target.len();
+                }
+            }
+        }
+        best
+    }
+
+    /// Components that access a shared data instance, via data-access
+    /// connections whose one end is the data component.
+    pub fn data_accessors(&self, data_path: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        for conn in &self.connections {
+            if conn.kind != ConnectionKind::DataAccess {
+                continue;
+            }
+            if conn.source_component == data_path {
+                out.push(conn.destination_component.clone());
+            } else if conn.destination_component == data_path {
+                out.push(conn.source_component.clone());
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Number of component instances.
+    pub fn instance_count(&self) -> usize {
+        self.root.instance_count()
+    }
+
+    /// Number of instances per category.
+    pub fn category_counts(&self) -> BTreeMap<ComponentCategory, usize> {
+        let mut counts = BTreeMap::new();
+        for c in self.root.walk() {
+            *counts.entry(c.category).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Looks up a component instance by path.
+    pub fn component(&self, path: &str) -> Option<&ComponentInstance> {
+        self.root.find(path)
+    }
+}
+
+fn reference_paths(value: &PropertyValue) -> Vec<Vec<String>> {
+    match value {
+        PropertyValue::Reference(path) => vec![path.clone()],
+        PropertyValue::Ident(name) => vec![vec![name.clone()]],
+        PropertyValue::List(items) => items.iter().flat_map(reference_paths).collect(),
+        _ => Vec::new(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_instance(
+    package: &Package,
+    name: &str,
+    path: &str,
+    category: ComponentCategory,
+    classifier_name: Option<String>,
+    slot_properties: &[PropertyAssociation],
+    connections: &mut Vec<ConnectionInstance>,
+    depth: usize,
+) -> Result<ComponentInstance, AadlError> {
+    const MAX_DEPTH: usize = 32;
+    if depth > MAX_DEPTH {
+        return Err(AadlError::Instantiation(format!(
+            "component nesting deeper than {MAX_DEPTH} at `{path}` (recursive model?)"
+        )));
+    }
+
+    let mut features = Vec::new();
+    let mut properties = Vec::new();
+    let mut children = Vec::new();
+
+    if let Some(ref full_name) = classifier_name {
+        // Resolve the type part and the implementation part.
+        let (type_name, impl_classifier) = match package.classifier(full_name) {
+            Some(c @ Classifier::ComponentImplementation { type_name, .. }) => {
+                (type_name.clone(), Some(c))
+            }
+            Some(Classifier::ComponentType { name, .. }) => (name.clone(), None),
+            None => {
+                // A classifier written `Type.Impl` whose implementation is
+                // missing falls back to the type alone.
+                let type_only = full_name.split('.').next().unwrap_or(full_name);
+                match package.component_type(type_only) {
+                    Some(_) => (type_only.to_string(), None),
+                    None => return Err(AadlError::UnknownClassifier(full_name.clone())),
+                }
+            }
+        };
+
+        if let Some(Classifier::ComponentType {
+            features: type_features,
+            properties: type_properties,
+            ..
+        }) = package.component_type(&type_name)
+        {
+            features = type_features.clone();
+            properties.extend(type_properties.iter().cloned());
+        }
+
+        if let Some(Classifier::ComponentImplementation {
+            subcomponents,
+            connections: decl_connections,
+            properties: impl_properties,
+            ..
+        }) = impl_classifier
+        {
+            properties.extend(impl_properties.iter().cloned());
+            for sub in subcomponents {
+                let child_path = format!("{path}.{}", sub.name);
+                let child = build_instance(
+                    package,
+                    &sub.name,
+                    &child_path,
+                    sub.category,
+                    sub.classifier.clone(),
+                    &sub.properties,
+                    connections,
+                    depth + 1,
+                )?;
+                children.push(child);
+            }
+            for conn in decl_connections {
+                let sub_names: Vec<&str> =
+                    subcomponents.iter().map(|s| s.name.as_str()).collect();
+                // An end written `sub.feature` targets a subcomponent's
+                // feature; a bare name is either a feature of the enclosing
+                // component or (for access connections) a subcomponent such
+                // as a shared data component.
+                let resolve_end = |component: &Option<String>, feature: &str| match component {
+                    Some(sub) => (format!("{path}.{sub}"), feature.to_string()),
+                    None if sub_names.contains(&feature) => {
+                        (format!("{path}.{feature}"), String::new())
+                    }
+                    None => (path.to_string(), feature.to_string()),
+                };
+                let delayed = conn.properties.iter().any(|pa| {
+                    pa.name.eq_ignore_ascii_case("timing")
+                        && pa
+                            .value
+                            .as_ident()
+                            .map(|v| v.eq_ignore_ascii_case("delayed"))
+                            .unwrap_or(false)
+                });
+                let (source_component, source_feature) =
+                    resolve_end(&conn.source.component, &conn.source.feature);
+                let (destination_component, destination_feature) =
+                    resolve_end(&conn.destination.component, &conn.destination.feature);
+                connections.push(ConnectionInstance {
+                    name: format!("{path}.{}", conn.name),
+                    kind: conn.kind,
+                    source_component,
+                    source_feature,
+                    destination_component,
+                    destination_feature,
+                    bidirectional: conn.bidirectional,
+                    delayed,
+                });
+            }
+        }
+    }
+
+    // Subcomponent-slot properties override classifier properties; `applies
+    // to` associations are pushed down after children are built.
+    properties.extend(slot_properties.iter().cloned());
+
+    let mut instance = ComponentInstance {
+        name: name.to_string(),
+        path: path.to_string(),
+        category,
+        classifier: classifier_name,
+        features,
+        properties: Vec::new(),
+        children,
+    };
+
+    // Split off `applies to` associations targeting descendants.
+    let mut own = Vec::new();
+    for pa in properties {
+        if pa.applies_to.is_empty() || pa.name.eq_ignore_ascii_case("actual_processor_binding") {
+            own.push(pa);
+            continue;
+        }
+        let mut remaining_targets = Vec::new();
+        for target in &pa.applies_to {
+            let target_path = format!("{path}.{}", target.join("."));
+            if let Some(child) = find_mut(&mut instance, &target_path) {
+                let mut pushed = pa.clone();
+                pushed.applies_to = Vec::new();
+                child.properties.push(pushed);
+            } else {
+                remaining_targets.push(target.clone());
+            }
+        }
+        if !remaining_targets.is_empty() {
+            let mut keep = pa.clone();
+            keep.applies_to = remaining_targets;
+            own.push(keep);
+        }
+    }
+    // Own properties come before inherited ones already pushed to children.
+    let mut merged = own;
+    merged.append(&mut instance.properties);
+    instance.properties = merged;
+    Ok(instance)
+}
+
+fn find_mut<'a>(instance: &'a mut ComponentInstance, path: &str) -> Option<&'a mut ComponentInstance> {
+    if instance.path == path {
+        return Some(instance);
+    }
+    for child in &mut instance.children {
+        if let Some(found) = find_mut(child, path) {
+            return Some(found);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_package;
+    use crate::properties::Duration;
+
+    const SOURCE: &str = r#"
+package demo
+public
+  data Buffer
+  end Buffer;
+
+  thread sender
+  features
+    output : out event data port Buffer;
+    state : requires data access Buffer;
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 4 ms;
+  end sender;
+
+  thread receiver
+  features
+    input : in event data port Buffer;
+    state : requires data access Buffer;
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 6 ms;
+  end receiver;
+
+  process node
+  end node;
+
+  process implementation node.impl
+  subcomponents
+    tx : thread sender;
+    rx : thread receiver;
+    buf : data Buffer;
+  connections
+    c1 : port tx.output -> rx.input {Timing => Delayed;};
+    a1 : data access buf <-> tx.state;
+    a2 : data access buf <-> rx.state;
+  properties
+    Priority => 7 applies to tx;
+  end node.impl;
+
+  processor cpu
+  end cpu;
+
+  system root
+  end root;
+
+  system implementation root.impl
+  subcomponents
+    node1 : process node.impl;
+    cpu1 : processor cpu;
+  properties
+    Actual_Processor_Binding => (reference (cpu1)) applies to node1;
+  end root.impl;
+end demo;
+"#;
+
+    fn model() -> InstanceModel {
+        let pkg = parse_package(SOURCE).unwrap();
+        InstanceModel::instantiate(&pkg, "root.impl").unwrap()
+    }
+
+    #[test]
+    fn instance_tree_shape() {
+        let m = model();
+        assert_eq!(m.root.path, "root");
+        assert_eq!(m.instance_count(), 6); // root, node1, tx, rx, buf, cpu1
+        assert!(m.component("root.node1.tx").is_some());
+        assert!(m.component("root.node1.buf").is_some());
+        assert!(m.component("root.cpu1").is_some());
+        assert!(m.component("root.missing").is_none());
+        let counts = m.category_counts();
+        assert_eq!(counts[&ComponentCategory::Thread], 2);
+        assert_eq!(counts[&ComponentCategory::Data], 1);
+    }
+
+    #[test]
+    fn threads_have_timing() {
+        let m = model();
+        let threads = m.threads().unwrap();
+        assert_eq!(threads.len(), 2);
+        let tx = threads.iter().find(|t| t.name == "tx").unwrap();
+        assert_eq!(tx.timing.period, Some(Duration::from_millis(4)));
+        assert_eq!(tx.path, "root.node1.tx");
+        assert_eq!(tx.features.len(), 2);
+    }
+
+    #[test]
+    fn applies_to_pushes_priority_to_thread() {
+        let m = model();
+        let tx = m.component("root.node1.tx").unwrap();
+        let prio = tx
+            .properties
+            .iter()
+            .find(|pa| pa.name == "Priority")
+            .expect("priority pushed down");
+        assert_eq!(prio.value.as_integer(), Some(7));
+        assert!(prio.applies_to.is_empty());
+    }
+
+    #[test]
+    fn connection_instances_have_full_paths() {
+        let m = model();
+        assert_eq!(m.connections.len(), 3);
+        let port = m
+            .connections
+            .iter()
+            .find(|c| c.kind == ConnectionKind::Port)
+            .unwrap();
+        assert_eq!(port.source_component, "root.node1.tx");
+        assert_eq!(port.destination_component, "root.node1.rx");
+        assert!(port.delayed);
+        let accessors = m.data_accessors("root.node1.buf");
+        assert_eq!(
+            accessors,
+            vec!["root.node1.rx".to_string(), "root.node1.tx".to_string()]
+        );
+    }
+
+    #[test]
+    fn processor_binding_resolution() {
+        let m = model();
+        assert_eq!(m.bindings.len(), 1);
+        assert_eq!(m.processor_binding("root.node1"), Some("root.cpu1"));
+        // The binding of the enclosing process covers its threads.
+        assert_eq!(m.processor_binding("root.node1.tx"), Some("root.cpu1"));
+        assert_eq!(m.processor_binding("root.cpu1"), None);
+    }
+
+    #[test]
+    fn unknown_root_rejected() {
+        let pkg = parse_package(SOURCE).unwrap();
+        assert!(matches!(
+            InstanceModel::instantiate(&pkg, "nope"),
+            Err(AadlError::UnknownClassifier(_))
+        ));
+    }
+
+    #[test]
+    fn binding_to_non_processor_rejected() {
+        let bad = r#"
+package p
+public
+  process node
+  end node;
+  system root
+  end root;
+  system implementation root.impl
+  subcomponents
+    node1 : process node;
+    node2 : process node;
+  properties
+    Actual_Processor_Binding => (reference (node2)) applies to node1;
+  end root.impl;
+end p;
+"#;
+        let pkg = parse_package(bad).unwrap();
+        assert!(matches!(
+            InstanceModel::instantiate(&pkg, "root.impl"),
+            Err(AadlError::Instantiation(_))
+        ));
+    }
+
+    #[test]
+    fn type_only_root_instantiates() {
+        let pkg = parse_package(SOURCE).unwrap();
+        let m = InstanceModel::instantiate(&pkg, "node.impl").unwrap();
+        assert_eq!(m.root.path, "node");
+        assert_eq!(m.instance_count(), 4);
+        // No processor in scope: no bindings.
+        assert!(m.bindings.is_empty());
+    }
+
+    #[test]
+    fn walk_and_feature_lookup() {
+        let m = model();
+        let tx = m.component("root.node1.tx").unwrap();
+        assert!(tx.feature("output").is_some());
+        assert!(tx.feature("nothing").is_none());
+        assert_eq!(m.root.walk().len(), m.instance_count());
+    }
+}

@@ -1,0 +1,365 @@
+//! Lexer for the AADL textual subset.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::AadlError;
+
+/// A lexical token with its source line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Token {
+    /// Kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// Token kinds of the AADL subset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TokenKind {
+    /// Identifier or keyword (AADL keywords are context-dependent, so the
+    /// parser decides).
+    Ident(String),
+    /// Integer literal.
+    Integer(i64),
+    /// Real literal.
+    Real(f64),
+    /// String literal (without quotes).
+    Str(String),
+    /// `:`
+    Colon,
+    /// `::`
+    DoubleColon,
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `=>`
+    Arrow,
+    /// `->`
+    RightArrow,
+    /// `<->`
+    BiArrow,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the identifier text if this token is an identifier.
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Tokenises AADL source text.
+///
+/// # Errors
+///
+/// Returns [`AadlError::Lex`] on an unexpected character or an unterminated
+/// string literal.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, AadlError> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == '-' => {
+                // Comment to end of line.
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == '>' => {
+                tokens.push(Token {
+                    kind: TokenKind::RightArrow,
+                    line,
+                });
+                i += 2;
+            }
+            '-' => {
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    line,
+                });
+                i += 1;
+            }
+            '<' if i + 2 < bytes.len() && bytes[i + 1] == '-' && bytes[i + 2] == '>' => {
+                tokens.push(Token {
+                    kind: TokenKind::BiArrow,
+                    line,
+                });
+                i += 3;
+            }
+            '+' => {
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    line,
+                });
+                i += 1;
+            }
+            ':' if i + 1 < bytes.len() && bytes[i + 1] == ':' => {
+                tokens.push(Token {
+                    kind: TokenKind::DoubleColon,
+                    line,
+                });
+                i += 2;
+            }
+            ':' => {
+                tokens.push(Token {
+                    kind: TokenKind::Colon,
+                    line,
+                });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token {
+                    kind: TokenKind::Semicolon,
+                    line,
+                });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    line,
+                });
+                i += 1;
+            }
+            '.' if i + 1 < bytes.len() && bytes[i + 1] == '.' => {
+                tokens.push(Token {
+                    kind: TokenKind::DotDot,
+                    line,
+                });
+                i += 2;
+            }
+            '.' => {
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    line,
+                });
+                i += 1;
+            }
+            '=' if i + 1 < bytes.len() && bytes[i + 1] == '>' => {
+                tokens.push(Token {
+                    kind: TokenKind::Arrow,
+                    line,
+                });
+                i += 2;
+            }
+            '(' => {
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    line,
+                });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    line,
+                });
+                i += 1;
+            }
+            '{' => {
+                tokens.push(Token {
+                    kind: TokenKind::LBrace,
+                    line,
+                });
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token {
+                    kind: TokenKind::RBrace,
+                    line,
+                });
+                i += 1;
+            }
+            '"' => {
+                let start_line = line;
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(AadlError::Lex {
+                            line: start_line,
+                            message: "unterminated string literal".into(),
+                        });
+                    }
+                    let c = bytes[i];
+                    if c == '"' {
+                        i += 1;
+                        break;
+                    }
+                    if c == '\n' {
+                        line += 1;
+                    }
+                    s.push(c);
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    line: start_line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                // A real literal: digits '.' digits — but not `..` (a range).
+                let is_real = i + 1 < bytes.len()
+                    && bytes[i] == '.'
+                    && bytes[i + 1].is_ascii_digit();
+                if is_real {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text: String = bytes[start..i].iter().collect();
+                    let value = text.parse::<f64>().map_err(|_| AadlError::Lex {
+                        line,
+                        message: format!("invalid real literal `{text}`"),
+                    })?;
+                    tokens.push(Token {
+                        kind: TokenKind::Real(value),
+                        line,
+                    });
+                } else {
+                    let text: String = bytes[start..i].iter().collect();
+                    let value = text.parse::<i64>().map_err(|_| AadlError::Lex {
+                        line,
+                        message: format!("invalid integer literal `{text}`"),
+                    })?;
+                    tokens.push(Token {
+                        kind: TokenKind::Integer(value),
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                tokens.push(Token {
+                    kind: TokenKind::Ident(text),
+                    line,
+                });
+            }
+            other => {
+                return Err(AadlError::Lex {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<TokenKind> {
+        tokenize(source).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_punctuation() {
+        let toks = kinds("thread worker features go : in event port; end worker;");
+        assert_eq!(toks[0], TokenKind::Ident("thread".into()));
+        assert!(toks.contains(&TokenKind::Colon));
+        assert!(toks.contains(&TokenKind::Semicolon));
+        assert_eq!(toks.last(), Some(&TokenKind::Eof));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = kinds("a -- this is a comment\nb");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_ranges_and_units() {
+        let toks = kinds("Period => 4 ms; Compute_Execution_Time => 1 ms .. 2 ms;");
+        assert!(toks.contains(&TokenKind::Arrow));
+        assert!(toks.contains(&TokenKind::Integer(4)));
+        assert!(toks.contains(&TokenKind::DotDot));
+        let toks = kinds("3.5 ms");
+        assert!(toks.contains(&TokenKind::Real(3.5)));
+    }
+
+    #[test]
+    fn arrows_and_references() {
+        let toks = kinds("port thProducer.pData -> thConsumer.pIn;");
+        assert!(toks.contains(&TokenKind::RightArrow));
+        assert!(toks.contains(&TokenKind::Dot));
+        let toks = kinds("a <-> b");
+        assert!(toks.contains(&TokenKind::BiArrow));
+    }
+
+    #[test]
+    fn strings_and_line_tracking() {
+        let toks = tokenize("\n\n\"hello world\"").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Str("hello world".into()));
+        assert_eq!(toks[0].line, 3);
+    }
+
+    #[test]
+    fn lexical_errors_are_reported() {
+        assert!(matches!(tokenize("@"), Err(AadlError::Lex { .. })));
+        assert!(matches!(tokenize("\"abc"), Err(AadlError::Lex { .. })));
+    }
+
+    #[test]
+    fn double_colon_and_braces() {
+        let toks = kinds("SEI::x {a}");
+        assert!(toks.contains(&TokenKind::DoubleColon));
+        assert!(toks.contains(&TokenKind::LBrace));
+        assert!(toks.contains(&TokenKind::RBrace));
+    }
+
+    #[test]
+    fn as_ident_helper() {
+        assert_eq!(TokenKind::Ident("x".into()).as_ident(), Some("x"));
+        assert_eq!(TokenKind::Comma.as_ident(), None);
+    }
+}

@@ -1,0 +1,796 @@
+//! Recursive-descent parser for the AADL textual subset.
+
+use crate::ast::{
+    Classifier, ComponentCategory, Connection, ConnectionEnd, ConnectionKind, Feature, FeatureKind,
+    Package, PortDirection, PropertyAssociation, PropertyValue, Subcomponent,
+};
+use crate::error::AadlError;
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Parses one AADL package from source text.
+///
+/// # Errors
+///
+/// Returns [`AadlError::Lex`] or [`AadlError::Parse`] describing the first
+/// problem found, with its line number.
+pub fn parse_package(source: &str) -> Result<Package, AadlError> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser::new(tokens);
+    parser.package()
+}
+
+/// The parser state: a token stream and a cursor.
+#[derive(Debug)]
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Creates a parser over a token stream (usually from
+    /// [`crate::lexer::tokenize`]).
+    pub fn new(tokens: Vec<Token>) -> Self {
+        Self { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn peek_ahead(&self, n: usize) -> &TokenKind {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)].kind
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].line
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn error(&self, message: impl Into<String>) -> AadlError {
+        AadlError::parse(self.line(), message)
+    }
+
+    fn expect_ident(&mut self) -> Result<String, AadlError> {
+        match self.bump() {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), AadlError> {
+        match self.bump() {
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(self.error(format!("expected `{kw}`, found {other:?}"))),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), AadlError> {
+        let found = self.bump();
+        if &found == kind {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {kind:?}, found {found:?}")))
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Parses `package NAME public … end NAME;`.
+    pub fn package(&mut self) -> Result<Package, AadlError> {
+        self.expect_keyword("package")?;
+        let name = self.qualified_name()?;
+        // `public` / `private` section markers are accepted and ignored.
+        loop {
+            if self.eat_keyword("public") || self.eat_keyword("private") {
+                continue;
+            }
+            if self.eat_keyword("with") {
+                // `with pkg, pkg2;` import clause: skip to `;`.
+                while !matches!(self.peek(), TokenKind::Semicolon | TokenKind::Eof) {
+                    self.bump();
+                }
+                self.expect(&TokenKind::Semicolon)?;
+                continue;
+            }
+            break;
+        }
+        let mut classifiers = Vec::new();
+        while !self.at_keyword("end") {
+            if matches!(self.peek(), TokenKind::Eof) {
+                return Err(self.error("unexpected end of file inside package"));
+            }
+            classifiers.push(self.classifier()?);
+        }
+        self.expect_keyword("end")?;
+        let _ = self.qualified_name()?;
+        self.expect(&TokenKind::Semicolon)?;
+        Ok(Package { name, classifiers })
+    }
+
+    fn qualified_name(&mut self) -> Result<String, AadlError> {
+        let mut name = self.expect_ident()?;
+        while matches!(self.peek(), TokenKind::DoubleColon) {
+            self.bump();
+            name.push('_');
+            name.push_str(&self.expect_ident()?);
+        }
+        Ok(name)
+    }
+
+    fn component_category(&mut self) -> Result<ComponentCategory, AadlError> {
+        let word = self.expect_ident()?.to_ascii_lowercase();
+        let category = match word.as_str() {
+            "system" => ComponentCategory::System,
+            "process" => ComponentCategory::Process,
+            "thread" => {
+                if self.at_keyword("group") {
+                    self.bump();
+                    ComponentCategory::ThreadGroup
+                } else {
+                    ComponentCategory::Thread
+                }
+            }
+            "subprogram" => ComponentCategory::Subprogram,
+            "data" => ComponentCategory::Data,
+            "processor" => ComponentCategory::Processor,
+            "virtual" => {
+                let next = self.expect_ident()?.to_ascii_lowercase();
+                match next.as_str() {
+                    "processor" => ComponentCategory::VirtualProcessor,
+                    "bus" => ComponentCategory::VirtualBus,
+                    other => return Err(self.error(format!("unknown category `virtual {other}`"))),
+                }
+            }
+            "memory" => ComponentCategory::Memory,
+            "bus" => ComponentCategory::Bus,
+            "device" => ComponentCategory::Device,
+            other => return Err(self.error(format!("unknown component category `{other}`"))),
+        };
+        Ok(category)
+    }
+
+    fn classifier(&mut self) -> Result<Classifier, AadlError> {
+        let category = self.component_category()?;
+        if self.eat_keyword("implementation") {
+            self.component_implementation(category)
+        } else {
+            self.component_type(category)
+        }
+    }
+
+    fn component_type(&mut self, category: ComponentCategory) -> Result<Classifier, AadlError> {
+        let name = self.expect_ident()?;
+        let mut features = Vec::new();
+        let mut properties = Vec::new();
+        loop {
+            if self.eat_keyword("features") {
+                while !self.at_keyword("properties")
+                    && !self.at_keyword("end")
+                    && !self.at_keyword("flows")
+                {
+                    features.push(self.feature()?);
+                }
+            } else if self.eat_keyword("flows") {
+                // Flow specifications are accepted and skipped.
+                while !self.at_keyword("properties") && !self.at_keyword("end") {
+                    self.bump();
+                }
+            } else if self.eat_keyword("properties") {
+                while !self.at_keyword("end") {
+                    properties.push(self.property_association()?);
+                }
+            } else {
+                break;
+            }
+        }
+        self.expect_keyword("end")?;
+        let end_name = self.expect_ident()?;
+        if end_name != name {
+            return Err(self.error(format!(
+                "component type `{name}` terminated by `end {end_name}`"
+            )));
+        }
+        self.expect(&TokenKind::Semicolon)?;
+        Ok(Classifier::ComponentType {
+            category,
+            name,
+            features,
+            properties,
+        })
+    }
+
+    fn component_implementation(
+        &mut self,
+        category: ComponentCategory,
+    ) -> Result<Classifier, AadlError> {
+        let type_name = self.expect_ident()?;
+        self.expect(&TokenKind::Dot)?;
+        let impl_name = self.expect_ident()?;
+        let mut subcomponents = Vec::new();
+        let mut connections = Vec::new();
+        let mut properties = Vec::new();
+        loop {
+            if self.eat_keyword("subcomponents") {
+                while !self.at_section_end() {
+                    subcomponents.push(self.subcomponent()?);
+                }
+            } else if self.eat_keyword("connections") {
+                while !self.at_section_end() {
+                    connections.push(self.connection()?);
+                }
+            } else if self.eat_keyword("calls") || self.eat_keyword("flows") || self.eat_keyword("modes") {
+                // Skipped sections: consume until the next section keyword.
+                while !self.at_section_end() {
+                    self.bump();
+                }
+            } else if self.eat_keyword("properties") {
+                while !self.at_keyword("end") {
+                    properties.push(self.property_association()?);
+                }
+            } else {
+                break;
+            }
+        }
+        self.expect_keyword("end")?;
+        let end_type = self.expect_ident()?;
+        self.expect(&TokenKind::Dot)?;
+        let end_impl = self.expect_ident()?;
+        if end_type != type_name || end_impl != impl_name {
+            return Err(self.error(format!(
+                "implementation `{type_name}.{impl_name}` terminated by `end {end_type}.{end_impl}`"
+            )));
+        }
+        self.expect(&TokenKind::Semicolon)?;
+        Ok(Classifier::ComponentImplementation {
+            category,
+            type_name,
+            impl_name,
+            subcomponents,
+            connections,
+            properties,
+        })
+    }
+
+    fn at_section_end(&self) -> bool {
+        self.at_keyword("subcomponents")
+            || self.at_keyword("connections")
+            || self.at_keyword("calls")
+            || self.at_keyword("flows")
+            || self.at_keyword("modes")
+            || self.at_keyword("properties")
+            || self.at_keyword("end")
+            || matches!(self.peek(), TokenKind::Eof)
+    }
+
+    fn feature(&mut self) -> Result<Feature, AadlError> {
+        let name = self.expect_ident()?;
+        self.expect(&TokenKind::Colon)?;
+        // Direction or requires/provides.
+        let mut direction = PortDirection::In;
+        let mut provides = false;
+        if self.eat_keyword("in") {
+            if self.eat_keyword("out") {
+                direction = PortDirection::InOut;
+            } else {
+                direction = PortDirection::In;
+            }
+        } else if self.eat_keyword("out") {
+            direction = PortDirection::Out;
+        } else if self.eat_keyword("requires") {
+            provides = false;
+        } else if self.eat_keyword("provides") {
+            provides = true;
+        }
+
+        let kind = if self.eat_keyword("event") {
+            if self.eat_keyword("data") {
+                self.expect_keyword("port")?;
+                let classifier = self.optional_classifier_ref()?;
+                FeatureKind::EventDataPort { classifier }
+            } else {
+                self.expect_keyword("port")?;
+                FeatureKind::EventPort
+            }
+        } else if self.eat_keyword("data") {
+            if self.eat_keyword("port") {
+                let classifier = self.optional_classifier_ref()?;
+                FeatureKind::DataPort { classifier }
+            } else {
+                self.expect_keyword("access")?;
+                let classifier = self.optional_classifier_ref()?;
+                FeatureKind::DataAccess {
+                    provides,
+                    classifier,
+                }
+            }
+        } else if self.eat_keyword("subprogram") {
+            self.expect_keyword("access")?;
+            let classifier = self.optional_classifier_ref()?;
+            FeatureKind::SubprogramAccess {
+                provides,
+                classifier,
+            }
+        } else {
+            return Err(self.error("expected a port or access feature"));
+        };
+
+        let properties = self.optional_curly_properties()?;
+        self.expect(&TokenKind::Semicolon)?;
+        Ok(Feature {
+            name,
+            direction,
+            kind,
+            properties,
+        })
+    }
+
+    fn optional_classifier_ref(&mut self) -> Result<Option<String>, AadlError> {
+        if let TokenKind::Ident(_) = self.peek() {
+            Ok(Some(self.dotted_name()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn dotted_name(&mut self) -> Result<String, AadlError> {
+        let mut name = self.qualified_name()?;
+        while matches!(self.peek(), TokenKind::Dot) {
+            self.bump();
+            name.push('.');
+            name.push_str(&self.expect_ident()?);
+        }
+        Ok(name)
+    }
+
+    fn subcomponent(&mut self) -> Result<Subcomponent, AadlError> {
+        let name = self.expect_ident()?;
+        self.expect(&TokenKind::Colon)?;
+        let category = self.component_category()?;
+        let classifier = self.optional_classifier_ref()?;
+        let properties = self.optional_curly_properties()?;
+        self.expect(&TokenKind::Semicolon)?;
+        Ok(Subcomponent {
+            name,
+            category,
+            classifier,
+            properties,
+        })
+    }
+
+    fn connection(&mut self) -> Result<Connection, AadlError> {
+        let name = self.expect_ident()?;
+        self.expect(&TokenKind::Colon)?;
+        let kind = if self.eat_keyword("port") {
+            ConnectionKind::Port
+        } else if self.eat_keyword("data") {
+            self.expect_keyword("access")?;
+            ConnectionKind::DataAccess
+        } else if self.eat_keyword("bus") {
+            self.expect_keyword("access")?;
+            ConnectionKind::BusAccess
+        } else {
+            return Err(self.error("expected `port`, `data access` or `bus access` connection"));
+        };
+        let source = self.connection_end()?;
+        let bidirectional = match self.bump() {
+            TokenKind::RightArrow => false,
+            TokenKind::BiArrow => true,
+            other => return Err(self.error(format!("expected `->` or `<->`, found {other:?}"))),
+        };
+        let destination = self.connection_end()?;
+        let properties = self.optional_curly_properties()?;
+        self.expect(&TokenKind::Semicolon)?;
+        Ok(Connection {
+            name,
+            kind,
+            source,
+            destination,
+            bidirectional,
+            properties,
+        })
+    }
+
+    fn connection_end(&mut self) -> Result<ConnectionEnd, AadlError> {
+        let first = self.expect_ident()?;
+        if matches!(self.peek(), TokenKind::Dot) {
+            self.bump();
+            let feature = self.expect_ident()?;
+            Ok(ConnectionEnd {
+                component: Some(first),
+                feature,
+            })
+        } else {
+            Ok(ConnectionEnd {
+                component: None,
+                feature: first,
+            })
+        }
+    }
+
+    fn optional_curly_properties(&mut self) -> Result<Vec<PropertyAssociation>, AadlError> {
+        let mut properties = Vec::new();
+        if matches!(self.peek(), TokenKind::LBrace) {
+            self.bump();
+            while !matches!(self.peek(), TokenKind::RBrace) {
+                properties.push(self.property_association()?);
+            }
+            self.expect(&TokenKind::RBrace)?;
+        }
+        Ok(properties)
+    }
+
+    fn property_association(&mut self) -> Result<PropertyAssociation, AadlError> {
+        let qualified_name = {
+            let mut name = self.expect_ident()?;
+            while matches!(self.peek(), TokenKind::DoubleColon) {
+                self.bump();
+                name.push_str("::");
+                name.push_str(&self.expect_ident()?);
+            }
+            name
+        };
+        let name = qualified_name
+            .rsplit("::")
+            .next()
+            .unwrap_or(&qualified_name)
+            .to_string();
+        self.expect(&TokenKind::Arrow)?;
+        let value = self.property_value()?;
+        let mut applies_to = Vec::new();
+        if self.eat_keyword("applies") {
+            self.expect_keyword("to")?;
+            loop {
+                let mut path = vec![self.expect_ident()?];
+                while matches!(self.peek(), TokenKind::Dot) {
+                    self.bump();
+                    path.push(self.expect_ident()?);
+                }
+                applies_to.push(path);
+                if matches!(self.peek(), TokenKind::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        // `in modes (...)` clauses are accepted and ignored.
+        if self.eat_keyword("in") {
+            self.expect_keyword("modes")?;
+            self.skip_parenthesised()?;
+        }
+        self.expect(&TokenKind::Semicolon)?;
+        Ok(PropertyAssociation {
+            name,
+            qualified_name,
+            value,
+            applies_to,
+        })
+    }
+
+    fn skip_parenthesised(&mut self) -> Result<(), AadlError> {
+        self.expect(&TokenKind::LParen)?;
+        let mut depth = 1usize;
+        loop {
+            match self.bump() {
+                TokenKind::LParen => depth += 1,
+                TokenKind::RParen => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Ok(());
+                    }
+                }
+                TokenKind::Eof => return Err(self.error("unterminated parenthesised clause")),
+                _ => {}
+            }
+        }
+    }
+
+    fn property_value(&mut self) -> Result<PropertyValue, AadlError> {
+        let first = self.simple_property_value()?;
+        if matches!(self.peek(), TokenKind::DotDot) {
+            self.bump();
+            let second = self.simple_property_value()?;
+            return Ok(PropertyValue::Range(Box::new(first), Box::new(second)));
+        }
+        Ok(first)
+    }
+
+    fn simple_property_value(&mut self) -> Result<PropertyValue, AadlError> {
+        match self.peek().clone() {
+            TokenKind::Integer(v) => {
+                self.bump();
+                let unit = self.optional_unit();
+                Ok(PropertyValue::Integer(v, unit))
+            }
+            TokenKind::Minus => {
+                self.bump();
+                match self.bump() {
+                    TokenKind::Integer(v) => {
+                        let unit = self.optional_unit();
+                        Ok(PropertyValue::Integer(-v, unit))
+                    }
+                    TokenKind::Real(v) => {
+                        let unit = self.optional_unit();
+                        Ok(PropertyValue::Real(-v, unit))
+                    }
+                    other => Err(self.error(format!("expected number after `-`, found {other:?}"))),
+                }
+            }
+            TokenKind::Real(v) => {
+                self.bump();
+                let unit = self.optional_unit();
+                Ok(PropertyValue::Real(v, unit))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(PropertyValue::Str(s))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let mut items = Vec::new();
+                while !matches!(self.peek(), TokenKind::RParen) {
+                    items.push(self.property_value()?);
+                    if matches!(self.peek(), TokenKind::Comma) {
+                        self.bump();
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+                Ok(PropertyValue::List(items))
+            }
+            TokenKind::Ident(word) => {
+                if word.eq_ignore_ascii_case("reference") || word.eq_ignore_ascii_case("classifier")
+                {
+                    self.bump();
+                    self.expect(&TokenKind::LParen)?;
+                    let mut path = vec![self.expect_ident()?];
+                    while matches!(self.peek(), TokenKind::Dot) {
+                        self.bump();
+                        path.push(self.expect_ident()?);
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(PropertyValue::Reference(path))
+                } else if word.eq_ignore_ascii_case("true") {
+                    self.bump();
+                    Ok(PropertyValue::Bool(true))
+                } else if word.eq_ignore_ascii_case("false") {
+                    self.bump();
+                    Ok(PropertyValue::Bool(false))
+                } else {
+                    self.bump();
+                    Ok(PropertyValue::Ident(word))
+                }
+            }
+            other => Err(self.error(format!("expected a property value, found {other:?}"))),
+        }
+    }
+
+    fn optional_unit(&mut self) -> Option<String> {
+        // A unit is a bare identifier immediately following a number, unless
+        // it starts a keyword clause (`applies to`, `in modes`).
+        if let TokenKind::Ident(word) = self.peek() {
+            let lower = word.to_ascii_lowercase();
+            if lower != "applies" && lower != "in" {
+                let unit = word.clone();
+                self.bump();
+                return Some(unit);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: &str = r#"
+-- A two-thread demo package.
+package demo
+public
+  data Buffer
+  end Buffer;
+
+  thread sender
+  features
+    output : out event data port Buffer;
+    state : requires data access Buffer;
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 4 ms;
+    Deadline => 4 ms;
+    Compute_Execution_Time => 1 ms .. 2 ms;
+  end sender;
+
+  thread receiver
+  features
+    input : in event data port Buffer {Queue_Size => 3;};
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 6 ms;
+  end receiver;
+
+  process node
+  end node;
+
+  process implementation node.impl
+  subcomponents
+    tx : thread sender;
+    rx : thread receiver;
+    buf : data Buffer;
+  connections
+    c1 : port tx.output -> rx.input;
+    c2 : data access buf <-> tx.state;
+  properties
+    Priority => 7 applies to tx;
+  end node.impl;
+
+  processor cpu
+  end cpu;
+
+  system root
+  end root;
+
+  system implementation root.impl
+  subcomponents
+    node1 : process node.impl;
+    cpu1 : processor cpu;
+  properties
+    Actual_Processor_Binding => (reference (cpu1)) applies to node1;
+  end root.impl;
+end demo;
+"#;
+
+    #[test]
+    fn parses_full_demo_package() {
+        let pkg = parse_package(SMALL).unwrap();
+        assert_eq!(pkg.name, "demo");
+        assert_eq!(pkg.len(), 8);
+        assert!(pkg.classifier("sender").is_some());
+        assert!(pkg.classifier("node.impl").is_some());
+        assert!(pkg.classifier("root.impl").is_some());
+    }
+
+    #[test]
+    fn thread_features_and_properties() {
+        let pkg = parse_package(SMALL).unwrap();
+        let Classifier::ComponentType {
+            features,
+            properties,
+            ..
+        } = pkg.classifier("sender").unwrap()
+        else {
+            panic!("expected component type")
+        };
+        assert_eq!(features.len(), 2);
+        assert_eq!(features[0].name, "output");
+        assert_eq!(features[0].direction, PortDirection::Out);
+        assert!(matches!(
+            features[0].kind,
+            FeatureKind::EventDataPort { .. }
+        ));
+        assert!(matches!(
+            features[1].kind,
+            FeatureKind::DataAccess {
+                provides: false,
+                ..
+            }
+        ));
+        assert_eq!(properties.len(), 4);
+        assert_eq!(properties[0].name, "Dispatch_Protocol");
+        assert_eq!(
+            properties[1].value,
+            PropertyValue::Integer(4, Some("ms".into()))
+        );
+        assert!(matches!(properties[3].value, PropertyValue::Range(..)));
+    }
+
+    #[test]
+    fn feature_curly_properties() {
+        let pkg = parse_package(SMALL).unwrap();
+        let Classifier::ComponentType { features, .. } = pkg.classifier("receiver").unwrap() else {
+            panic!("expected component type")
+        };
+        assert_eq!(features[0].properties.len(), 1);
+        assert_eq!(features[0].properties[0].name, "Queue_Size");
+    }
+
+    #[test]
+    fn implementation_subcomponents_and_connections() {
+        let pkg = parse_package(SMALL).unwrap();
+        let Classifier::ComponentImplementation {
+            subcomponents,
+            connections,
+            properties,
+            ..
+        } = pkg.classifier("node.impl").unwrap()
+        else {
+            panic!("expected implementation")
+        };
+        assert_eq!(subcomponents.len(), 3);
+        assert_eq!(subcomponents[0].name, "tx");
+        assert_eq!(subcomponents[0].category, ComponentCategory::Thread);
+        assert_eq!(subcomponents[0].classifier.as_deref(), Some("sender"));
+        assert_eq!(connections.len(), 2);
+        assert_eq!(connections[0].source.to_string(), "tx.output");
+        assert_eq!(connections[0].destination.to_string(), "rx.input");
+        assert!(connections[1].bidirectional);
+        assert_eq!(properties[0].applies_to, vec![vec!["tx".to_string()]]);
+    }
+
+    #[test]
+    fn binding_property_reference() {
+        let pkg = parse_package(SMALL).unwrap();
+        let Classifier::ComponentImplementation { properties, .. } =
+            pkg.classifier("root.impl").unwrap()
+        else {
+            panic!("expected implementation")
+        };
+        let binding = &properties[0];
+        assert_eq!(binding.name, "Actual_Processor_Binding");
+        match &binding.value {
+            PropertyValue::List(items) => {
+                assert_eq!(items.len(), 1);
+                assert_eq!(items[0], PropertyValue::Reference(vec!["cpu1".into()]));
+            }
+            other => panic!("expected list of references, got {other:?}"),
+        }
+        assert_eq!(binding.applies_to, vec![vec!["node1".to_string()]]);
+    }
+
+    #[test]
+    fn error_on_mismatched_end() {
+        let bad = "package p\npublic\nthread a\nend b;\nend p;";
+        let err = parse_package(bad).unwrap_err();
+        assert!(matches!(err, AadlError::Parse { .. }));
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let bad = "package p\npublic\nthread a\nfeatures\n  x : banana port;\nend a;\nend p;";
+        match parse_package(bad).unwrap_err() {
+            AadlError::Parse { line, .. } => assert_eq!(line, 5),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn with_clause_and_qualified_names() {
+        let src = "package lib::timing\npublic\nwith Base_Types;\nthread t\nproperties\n  SEI::WCET => 5 ms;\nend t;\nend lib::timing;";
+        let pkg = parse_package(src).unwrap();
+        assert_eq!(pkg.name, "lib_timing");
+        let Classifier::ComponentType { properties, .. } = &pkg.classifiers[0] else {
+            panic!()
+        };
+        assert_eq!(properties[0].name, "WCET");
+        assert_eq!(properties[0].qualified_name, "SEI::WCET");
+    }
+
+    #[test]
+    fn negative_and_real_values() {
+        let src = "package p\npublic\nthread t\nproperties\n  A => -3;\n  B => 2.5 ms;\nend t;\nend p;";
+        let pkg = parse_package(src).unwrap();
+        let Classifier::ComponentType { properties, .. } = &pkg.classifiers[0] else {
+            panic!()
+        };
+        assert_eq!(properties[0].value, PropertyValue::Integer(-3, None));
+        assert_eq!(properties[1].value, PropertyValue::Real(2.5, Some("ms".into())));
+    }
+}

@@ -1,0 +1,478 @@
+//! Typed interpretation of the AADL timing properties used by the
+//! input-compute-output execution model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ast::{PropertyAssociation, PropertyValue};
+use crate::error::AadlError;
+
+/// Time units accepted in AADL property values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TimeUnit {
+    /// Picoseconds.
+    Ps,
+    /// Nanoseconds.
+    Ns,
+    /// Microseconds.
+    Us,
+    /// Milliseconds.
+    Ms,
+    /// Seconds.
+    Sec,
+    /// Minutes.
+    Min,
+    /// Hours.
+    Hr,
+}
+
+impl TimeUnit {
+    /// Parses an AADL unit identifier.
+    pub fn parse(text: &str) -> Option<TimeUnit> {
+        match text.to_ascii_lowercase().as_str() {
+            "ps" => Some(TimeUnit::Ps),
+            "ns" => Some(TimeUnit::Ns),
+            "us" => Some(TimeUnit::Us),
+            "ms" => Some(TimeUnit::Ms),
+            "sec" | "s" => Some(TimeUnit::Sec),
+            "min" => Some(TimeUnit::Min),
+            "hr" | "h" => Some(TimeUnit::Hr),
+            _ => None,
+        }
+    }
+
+    /// Number of nanoseconds in one unit (picoseconds round to zero).
+    pub fn nanoseconds(self) -> u64 {
+        match self {
+            TimeUnit::Ps => 0,
+            TimeUnit::Ns => 1,
+            TimeUnit::Us => 1_000,
+            TimeUnit::Ms => 1_000_000,
+            TimeUnit::Sec => 1_000_000_000,
+            TimeUnit::Min => 60_000_000_000,
+            TimeUnit::Hr => 3_600_000_000_000,
+        }
+    }
+}
+
+/// A duration extracted from an AADL property, stored in nanoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Duration {
+    nanos: u64,
+}
+
+impl Duration {
+    /// Creates a duration from a count of nanoseconds.
+    pub fn from_nanos(nanos: u64) -> Self {
+        Self { nanos }
+    }
+
+    /// Creates a duration from a count of microseconds.
+    pub fn from_micros(micros: u64) -> Self {
+        Self {
+            nanos: micros * 1_000,
+        }
+    }
+
+    /// Creates a duration from a count of milliseconds.
+    pub fn from_millis(millis: u64) -> Self {
+        Self {
+            nanos: millis * 1_000_000,
+        }
+    }
+
+    /// Nanoseconds in this duration.
+    pub fn as_nanos(self) -> u64 {
+        self.nanos
+    }
+
+    /// Microseconds in this duration (truncating).
+    pub fn as_micros(self) -> u64 {
+        self.nanos / 1_000
+    }
+
+    /// Milliseconds in this duration (truncating).
+    pub fn as_millis(self) -> u64 {
+        self.nanos / 1_000_000
+    }
+
+    /// Returns `true` for a zero duration.
+    pub fn is_zero(self) -> bool {
+        self.nanos == 0
+    }
+}
+
+impl std::fmt::Display for Duration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.nanos % 1_000_000 == 0 {
+            write!(f, "{} ms", self.nanos / 1_000_000)
+        } else if self.nanos % 1_000 == 0 {
+            write!(f, "{} us", self.nanos / 1_000)
+        } else {
+            write!(f, "{} ns", self.nanos)
+        }
+    }
+}
+
+/// The `Dispatch_Protocol` of a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum DispatchProtocol {
+    /// Dispatched every `Period`.
+    #[default]
+    Periodic,
+    /// Dispatched by event arrival, with a minimum inter-arrival time.
+    Sporadic,
+    /// Dispatched by event arrival.
+    Aperiodic,
+    /// Dispatched periodically but preemptable by all others.
+    Background,
+    /// Dispatched according to a user-defined protocol (kept as text).
+    Timed,
+    /// Hybrid: both periodic and event-driven.
+    Hybrid,
+}
+
+impl DispatchProtocol {
+    /// Parses the enumeration literal.
+    pub fn parse(text: &str) -> Option<DispatchProtocol> {
+        match text.to_ascii_lowercase().as_str() {
+            "periodic" => Some(DispatchProtocol::Periodic),
+            "sporadic" => Some(DispatchProtocol::Sporadic),
+            "aperiodic" => Some(DispatchProtocol::Aperiodic),
+            "background" => Some(DispatchProtocol::Background),
+            "timed" => Some(DispatchProtocol::Timed),
+            "hybrid" => Some(DispatchProtocol::Hybrid),
+            _ => None,
+        }
+    }
+}
+
+/// The `Input_Time` / `Output_Time` specification of a port: at which event
+/// of the thread execution the port content is frozen (inputs) or made
+/// available (outputs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IoTimeSpec {
+    /// At dispatch time (the default for `Input_Time`).
+    Dispatch,
+    /// At start of execution.
+    Start,
+    /// At completion time (the default `Output_Time` for immediate
+    /// connections).
+    Completion,
+    /// At the deadline (the default `Output_Time` for delayed connections).
+    Deadline,
+    /// Explicitly never.
+    NoIo,
+}
+
+impl IoTimeSpec {
+    /// Parses the enumeration literal.
+    pub fn parse(text: &str) -> Option<IoTimeSpec> {
+        match text.to_ascii_lowercase().as_str() {
+            "dispatch" => Some(IoTimeSpec::Dispatch),
+            "start" => Some(IoTimeSpec::Start),
+            "completion" => Some(IoTimeSpec::Completion),
+            "deadline" => Some(IoTimeSpec::Deadline),
+            "noio" => Some(IoTimeSpec::NoIo),
+            _ => None,
+        }
+    }
+}
+
+/// The timing contract of a thread, assembled from its property
+/// associations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreadTiming {
+    /// Dispatch protocol (default `Periodic`).
+    pub dispatch_protocol: DispatchProtocol,
+    /// Dispatch period, if specified.
+    pub period: Option<Duration>,
+    /// Deadline; defaults to the period when not specified.
+    pub deadline: Option<Duration>,
+    /// Best-case execution time, if specified.
+    pub execution_time_min: Option<Duration>,
+    /// Worst-case execution time, if specified.
+    pub execution_time_max: Option<Duration>,
+    /// Input freeze time (default: dispatch).
+    pub input_time: IoTimeSpec,
+    /// Output release time (default: completion).
+    pub output_time: IoTimeSpec,
+    /// Scheduling priority, if specified.
+    pub priority: Option<i64>,
+    /// Dispatch offset, if specified.
+    pub dispatch_offset: Option<Duration>,
+}
+
+impl Default for ThreadTiming {
+    fn default() -> Self {
+        Self {
+            dispatch_protocol: DispatchProtocol::Periodic,
+            period: None,
+            deadline: None,
+            execution_time_min: None,
+            execution_time_max: None,
+            input_time: IoTimeSpec::Dispatch,
+            output_time: IoTimeSpec::Completion,
+            priority: None,
+            dispatch_offset: None,
+        }
+    }
+}
+
+impl ThreadTiming {
+    /// Extracts the timing contract from a list of property associations
+    /// (ignoring associations that carry `applies to` clauses, which target
+    /// subcomponents).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AadlError::Property`] when a known timing property has a
+    /// value of the wrong shape (e.g. a period without a time unit).
+    pub fn from_properties(properties: &[PropertyAssociation]) -> Result<Self, AadlError> {
+        let mut timing = ThreadTiming::default();
+        for pa in properties {
+            if !pa.applies_to.is_empty() {
+                continue;
+            }
+            timing.apply(pa)?;
+        }
+        Ok(timing)
+    }
+
+    /// Applies a single property association to the timing contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AadlError::Property`] when the value has the wrong shape.
+    pub fn apply(&mut self, pa: &PropertyAssociation) -> Result<(), AadlError> {
+        match pa.name.to_ascii_lowercase().as_str() {
+            "dispatch_protocol" => {
+                let text = pa.value.as_ident().ok_or_else(|| property_error(pa, "expected an enumeration literal"))?;
+                self.dispatch_protocol = DispatchProtocol::parse(text)
+                    .ok_or_else(|| property_error(pa, "unknown dispatch protocol"))?;
+            }
+            "period" => self.period = Some(duration_value(pa)?),
+            "deadline" => self.deadline = Some(duration_value(pa)?),
+            "dispatch_offset" => self.dispatch_offset = Some(duration_value(pa)?),
+            "compute_execution_time" => {
+                let (min, max) = duration_range(pa)?;
+                self.execution_time_min = Some(min);
+                self.execution_time_max = Some(max);
+            }
+            "input_time" => {
+                self.input_time = io_time_spec(pa)?;
+            }
+            "output_time" => {
+                self.output_time = io_time_spec(pa)?;
+            }
+            "priority" => {
+                self.priority = Some(
+                    pa.value
+                        .as_integer()
+                        .ok_or_else(|| property_error(pa, "expected an integer"))?,
+                );
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Effective deadline: the declared deadline, or the period.
+    pub fn effective_deadline(&self) -> Option<Duration> {
+        self.deadline.or(self.period)
+    }
+
+    /// Effective worst-case execution time: the declared maximum, or zero.
+    pub fn effective_wcet(&self) -> Duration {
+        self.execution_time_max.unwrap_or_default()
+    }
+}
+
+fn property_error(pa: &PropertyAssociation, message: &str) -> AadlError {
+    AadlError::Property {
+        name: pa.qualified_name.clone(),
+        message: message.to_string(),
+    }
+}
+
+/// Extracts a [`Duration`] from a property value like `4 ms`.
+pub fn duration_of(value: &PropertyValue) -> Option<Duration> {
+    match value {
+        PropertyValue::Integer(v, unit) => {
+            let unit = unit.as_deref().and_then(TimeUnit::parse).unwrap_or(TimeUnit::Ms);
+            let v = u64::try_from(*v).ok()?;
+            Some(Duration::from_nanos(v * unit.nanoseconds()))
+        }
+        PropertyValue::Real(v, unit) => {
+            if *v < 0.0 {
+                return None;
+            }
+            let unit = unit.as_deref().and_then(TimeUnit::parse).unwrap_or(TimeUnit::Ms);
+            Some(Duration::from_nanos((*v * unit.nanoseconds() as f64) as u64))
+        }
+        _ => None,
+    }
+}
+
+fn duration_value(pa: &PropertyAssociation) -> Result<Duration, AadlError> {
+    duration_of(&pa.value).ok_or_else(|| property_error(pa, "expected a time value"))
+}
+
+fn duration_range(pa: &PropertyAssociation) -> Result<(Duration, Duration), AadlError> {
+    match &pa.value {
+        PropertyValue::Range(lo, hi) => {
+            let lo = duration_of(lo).ok_or_else(|| property_error(pa, "expected a time range"))?;
+            let hi = duration_of(hi).ok_or_else(|| property_error(pa, "expected a time range"))?;
+            Ok((lo, hi))
+        }
+        other => {
+            let d = duration_of(other).ok_or_else(|| property_error(pa, "expected a time range"))?;
+            Ok((d, d))
+        }
+    }
+}
+
+fn io_time_spec(pa: &PropertyAssociation) -> Result<IoTimeSpec, AadlError> {
+    // Accepts either a bare literal or the record form `(Time => Start; …)`
+    // reduced to its first identifier.
+    match &pa.value {
+        PropertyValue::Ident(text) => {
+            IoTimeSpec::parse(text).ok_or_else(|| property_error(pa, "unknown IO time"))
+        }
+        PropertyValue::List(items) => items
+            .iter()
+            .find_map(|v| v.as_ident().and_then(IoTimeSpec::parse))
+            .ok_or_else(|| property_error(pa, "unknown IO time")),
+        _ => Err(property_error(pa, "expected an IO time specification")),
+    }
+}
+
+/// Extracts the `Queue_Size` of a feature (default 1 per the standard and
+/// the paper).
+pub fn queue_size(properties: &[PropertyAssociation]) -> usize {
+    properties
+        .iter()
+        .find(|pa| pa.name.eq_ignore_ascii_case("queue_size"))
+        .and_then(|pa| pa.value.as_integer())
+        .and_then(|v| usize::try_from(v).ok())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::PropertyAssociation;
+
+    fn pa(name: &str, value: PropertyValue) -> PropertyAssociation {
+        PropertyAssociation::new(name, value)
+    }
+
+    #[test]
+    fn units_convert_to_nanoseconds() {
+        assert_eq!(TimeUnit::parse("MS"), Some(TimeUnit::Ms));
+        assert_eq!(TimeUnit::Ms.nanoseconds(), 1_000_000);
+        assert_eq!(TimeUnit::Sec.nanoseconds(), 1_000_000_000);
+        assert_eq!(TimeUnit::parse("fortnight"), None);
+    }
+
+    #[test]
+    fn duration_display_and_accessors() {
+        let d = Duration::from_millis(4);
+        assert_eq!(d.as_millis(), 4);
+        assert_eq!(d.as_micros(), 4000);
+        assert_eq!(d.to_string(), "4 ms");
+        assert_eq!(Duration::from_micros(3).to_string(), "3 us");
+        assert_eq!(Duration::from_nanos(7).to_string(), "7 ns");
+        assert!(Duration::default().is_zero());
+    }
+
+    #[test]
+    fn thread_timing_from_properties() {
+        let props = vec![
+            pa("Dispatch_Protocol", PropertyValue::Ident("Periodic".into())),
+            pa("Period", PropertyValue::Integer(4, Some("ms".into()))),
+            pa("Deadline", PropertyValue::Integer(4, Some("ms".into()))),
+            pa(
+                "Compute_Execution_Time",
+                PropertyValue::Range(
+                    Box::new(PropertyValue::Integer(1, Some("ms".into()))),
+                    Box::new(PropertyValue::Integer(2, Some("ms".into()))),
+                ),
+            ),
+            pa("Priority", PropertyValue::Integer(5, None)),
+            pa("Input_Time", PropertyValue::Ident("Dispatch".into())),
+            pa("Output_Time", PropertyValue::Ident("Completion".into())),
+        ];
+        let timing = ThreadTiming::from_properties(&props).unwrap();
+        assert_eq!(timing.dispatch_protocol, DispatchProtocol::Periodic);
+        assert_eq!(timing.period, Some(Duration::from_millis(4)));
+        assert_eq!(timing.effective_deadline(), Some(Duration::from_millis(4)));
+        assert_eq!(timing.execution_time_min, Some(Duration::from_millis(1)));
+        assert_eq!(timing.effective_wcet(), Duration::from_millis(2));
+        assert_eq!(timing.priority, Some(5));
+        assert_eq!(timing.input_time, IoTimeSpec::Dispatch);
+        assert_eq!(timing.output_time, IoTimeSpec::Completion);
+    }
+
+    #[test]
+    fn deadline_defaults_to_period() {
+        let props = vec![pa("Period", PropertyValue::Integer(10, Some("ms".into())))];
+        let timing = ThreadTiming::from_properties(&props).unwrap();
+        assert_eq!(timing.deadline, None);
+        assert_eq!(timing.effective_deadline(), Some(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn applies_to_associations_are_skipped() {
+        let mut binding = pa("Period", PropertyValue::Integer(99, Some("ms".into())));
+        binding.applies_to = vec![vec!["tx".into()]];
+        let timing = ThreadTiming::from_properties(&[binding]).unwrap();
+        assert_eq!(timing.period, None);
+    }
+
+    #[test]
+    fn invalid_values_are_rejected() {
+        let bad = pa("Period", PropertyValue::Str("soon".into()));
+        assert!(matches!(
+            ThreadTiming::from_properties(&[bad]),
+            Err(AadlError::Property { .. })
+        ));
+        let bad = pa("Dispatch_Protocol", PropertyValue::Ident("Random".into()));
+        assert!(ThreadTiming::from_properties(&[bad]).is_err());
+    }
+
+    #[test]
+    fn unknown_properties_are_ignored() {
+        let props = vec![pa("Source_Text", PropertyValue::Str("x.c".into()))];
+        let timing = ThreadTiming::from_properties(&props).unwrap();
+        assert_eq!(timing, ThreadTiming::default());
+    }
+
+    #[test]
+    fn queue_size_defaults_to_one() {
+        assert_eq!(queue_size(&[]), 1);
+        assert_eq!(
+            queue_size(&[pa("Queue_Size", PropertyValue::Integer(3, None))]),
+            3
+        );
+    }
+
+    #[test]
+    fn scalar_execution_time_accepted() {
+        let props = vec![pa(
+            "Compute_Execution_Time",
+            PropertyValue::Integer(2, Some("ms".into())),
+        )];
+        let timing = ThreadTiming::from_properties(&props).unwrap();
+        assert_eq!(timing.execution_time_min, timing.execution_time_max);
+    }
+
+    #[test]
+    fn io_time_parse() {
+        assert_eq!(IoTimeSpec::parse("start"), Some(IoTimeSpec::Start));
+        assert_eq!(IoTimeSpec::parse("NoIO"), Some(IoTimeSpec::NoIo));
+        assert_eq!(IoTimeSpec::parse("sometime"), None);
+        assert_eq!(DispatchProtocol::parse("background"), Some(DispatchProtocol::Background));
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests of the AADL front end: the synthetic generator
+//! always produces parseable, instantiable models whose structure matches
+//! the requested parameters, and the property layer round-trips durations.
+
+use aadl::ast::ComponentCategory;
+use aadl::properties::{duration_of, Duration, TimeUnit};
+use aadl::synth::{generate_instance, generate_source, SyntheticSpec, SYNTHETIC_PERIODS_MS};
+use aadl::{parse_package, InstanceModel, PropertyValue};
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = SyntheticSpec> {
+    (1usize..40, 0usize..4, any::<bool>(), any::<bool>()).prop_map(
+        |(threads, ports_per_thread, chained, shared_data)| SyntheticSpec {
+            threads,
+            ports_per_thread,
+            chained,
+            shared_data,
+        },
+    )
+}
+
+proptest! {
+    /// Every generated model parses, instantiates, and has exactly the
+    /// requested number of threads with periods from the harmonic set.
+    #[test]
+    fn synthetic_models_round_trip(spec in spec_strategy()) {
+        let source = generate_source(&spec);
+        let package = parse_package(&source).expect("generator output must parse");
+        let instance = InstanceModel::instantiate(&package, "top.impl").expect("must instantiate");
+        let counts = instance.category_counts();
+        prop_assert_eq!(counts[&ComponentCategory::Thread], spec.threads);
+        prop_assert_eq!(counts.get(&ComponentCategory::Data).copied().unwrap_or(0),
+                        usize::from(spec.shared_data));
+        let threads = instance.threads().unwrap();
+        prop_assert_eq!(threads.len(), spec.threads);
+        for thread in &threads {
+            let period = thread.timing.period.unwrap().as_millis();
+            prop_assert!(SYNTHETIC_PERIODS_MS.contains(&period));
+            prop_assert_eq!(thread.features.iter().filter(|f| f.kind.is_port()).count(),
+                            spec.ports_per_thread * 2);
+        }
+        // Connection count is fully determined by the spec.
+        let expected_port_conns = if spec.chained && spec.threads > 1 {
+            (spec.threads - 1) * spec.ports_per_thread
+        } else {
+            0
+        };
+        let expected_access_conns = if spec.shared_data { spec.threads } else { 0 };
+        prop_assert_eq!(instance.connections.len(), expected_port_conns + expected_access_conns);
+    }
+
+    /// Re-parsing the same source is deterministic.
+    #[test]
+    fn parsing_is_deterministic(spec in spec_strategy()) {
+        let source = generate_source(&spec);
+        let first = parse_package(&source).unwrap();
+        let second = parse_package(&source).unwrap();
+        prop_assert_eq!(first, second);
+    }
+
+    /// Binding resolution is stable: the generated process is always bound to
+    /// the generated processor, and every thread inherits that binding.
+    #[test]
+    fn bindings_cover_threads(spec in spec_strategy()) {
+        let instance = generate_instance(&spec).unwrap();
+        prop_assert_eq!(instance.processor_binding("top.app"), Some("top.cpu0"));
+        for thread in instance.threads().unwrap() {
+            prop_assert_eq!(instance.processor_binding(&thread.path), Some("top.cpu0"));
+        }
+    }
+
+    /// Integer durations with explicit units convert exactly.
+    #[test]
+    fn duration_conversion_round_trips(value in 0i64..1_000_000,
+                                       unit in prop::sample::select(vec!["ns", "us", "ms", "sec"])) {
+        let pv = PropertyValue::Integer(value, Some(unit.to_string()));
+        let duration = duration_of(&pv).unwrap();
+        let expected = value as u64 * TimeUnit::parse(unit).unwrap().nanoseconds();
+        prop_assert_eq!(duration.as_nanos(), expected);
+        prop_assert_eq!(duration, Duration::from_nanos(expected));
+    }
+
+    /// Milliseconds accessors truncate consistently.
+    #[test]
+    fn duration_accessors_are_consistent(nanos in 0u64..10_000_000_000) {
+        let d = Duration::from_nanos(nanos);
+        prop_assert_eq!(d.as_micros(), nanos / 1_000);
+        prop_assert_eq!(d.as_millis(), nanos / 1_000_000);
+        prop_assert_eq!(d.is_zero(), nanos == 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Affine clock relations for polychronous time-triggered systems.
+//!
+//! This crate implements the *affine clock calculus* used by the paper
+//! "Toward Polychronous Analysis and Validation for Timed Software
+//! Architectures in AADL" (DATE 2013) to express thread-level schedules as
+//! clock relations, and the synchronizability rules of
+//! Smarandache, Gautier and Le Guernic (FM'99) used to check them.
+//!
+//! The central notion is the *affine sampling relation*
+//! `y = { d·t + φ | t ∈ x }` of a reference discrete time `x`:
+//! `y` is a sub-sampling of `x` of strictly positive period `d` and
+//! non-negative phase `φ`. The [`AffineRelation`] type captures one such
+//! relation, [`AffineClock`] names a clock defined by a relation over a
+//! reference, and [`AffineClockSystem`] gathers a set of clocks over a common
+//! reference so that synchronizability and intersection questions can be
+//! answered exactly on a hyper-period.
+//!
+//! # Example
+//!
+//! ```
+//! use affine_clocks::{AffineRelation, AffineClockSystem};
+//!
+//! // Two periodic threads with periods 4 and 6 dispatched on a 1 ms tick.
+//! let mut sys = AffineClockSystem::new("tick");
+//! sys.add_clock("thProducer_dispatch", AffineRelation::new(4, 0).unwrap()).unwrap();
+//! sys.add_clock("thConsumer_dispatch", AffineRelation::new(6, 0).unwrap()).unwrap();
+//! // They coincide every lcm(4, 6) = 12 ticks.
+//! let meet = sys.intersection("thProducer_dispatch", "thConsumer_dispatch").unwrap();
+//! assert_eq!(meet, Some(AffineRelation::new(12, 0).unwrap()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod relation;
+pub mod system;
+
+pub use relation::{AffineError, AffineRelation};
+pub use system::{AffineClock, AffineClockSystem, Synchronizability};
+
+/// Greatest common divisor of two non-negative integers.
+///
+/// `gcd(0, 0)` is defined as `0`.
+///
+/// ```
+/// assert_eq!(affine_clocks::gcd(12, 18), 6);
+/// ```
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Least common multiple of two positive integers.
+///
+/// Returns `None` on overflow or when either argument is zero.
+///
+/// ```
+/// assert_eq!(affine_clocks::lcm(4, 6), Some(12));
+/// ```
+pub fn lcm(a: u64, b: u64) -> Option<u64> {
+    if a == 0 || b == 0 {
+        return None;
+    }
+    (a / gcd(a, b)).checked_mul(b)
+}
+
+/// Least common multiple of a slice of positive integers.
+///
+/// Returns `None` if the slice is empty, contains a zero, or the result
+/// overflows `u64`.
+///
+/// ```
+/// assert_eq!(affine_clocks::lcm_all(&[4, 6, 8, 8]), Some(24));
+/// ```
+pub fn lcm_all(values: &[u64]) -> Option<u64> {
+    let mut it = values.iter().copied();
+    let first = it.next()?;
+    it.try_fold(first, lcm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(0, 7), 7);
+        assert_eq!(gcd(7, 0), 7);
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(17, 5), 1);
+    }
+
+    #[test]
+    fn lcm_basic() {
+        assert_eq!(lcm(4, 6), Some(12));
+        assert_eq!(lcm(0, 6), None);
+        assert_eq!(lcm(u64::MAX, 2), None);
+    }
+
+    #[test]
+    fn lcm_all_case_study() {
+        // Periods of the four ProducerConsumer threads: 4, 6, 8, 8 ms.
+        assert_eq!(lcm_all(&[4, 6, 8, 8]), Some(24));
+        assert_eq!(lcm_all(&[]), None);
+        assert_eq!(lcm_all(&[5]), Some(5));
+    }
+}

@@ -1,0 +1,301 @@
+//! Affine sampling relations over a discrete reference clock.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{gcd, lcm};
+
+/// Error raised when constructing or combining affine relations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AffineError {
+    /// The period `d` of an affine relation must be strictly positive.
+    ZeroPeriod,
+    /// Arithmetic overflow while composing relations.
+    Overflow,
+    /// A named clock was not found in an [`crate::AffineClockSystem`].
+    UnknownClock(String),
+    /// A clock with the same name was already registered.
+    DuplicateClock(String),
+}
+
+impl fmt::Display for AffineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AffineError::ZeroPeriod => write!(f, "affine relation period must be positive"),
+            AffineError::Overflow => write!(f, "arithmetic overflow in affine clock computation"),
+            AffineError::UnknownClock(name) => write!(f, "unknown clock `{name}`"),
+            AffineError::DuplicateClock(name) => write!(f, "clock `{name}` already defined"),
+        }
+    }
+}
+
+impl std::error::Error for AffineError {}
+
+/// An affine sampling relation `y = { d·t + φ | t ∈ x }` of a reference
+/// clock `x`.
+///
+/// The instants of `y`, expressed as indices of instants of `x`, form the
+/// arithmetic progression `φ, φ + d, φ + 2d, …`. The period `d` is strictly
+/// positive and the phase `φ` is non-negative, exactly as in the paper
+/// (Section IV-D).
+///
+/// ```
+/// use affine_clocks::AffineRelation;
+/// let r = AffineRelation::new(4, 1)?;
+/// assert!(r.contains(5));
+/// assert!(!r.contains(4));
+/// assert_eq!(r.instants_until(12), vec![1, 5, 9]);
+/// # Ok::<(), affine_clocks::AffineError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AffineRelation {
+    period: u64,
+    phase: u64,
+}
+
+impl AffineRelation {
+    /// Creates a new relation with period `d = period` and phase `φ = phase`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AffineError::ZeroPeriod`] if `period == 0`.
+    pub fn new(period: u64, phase: u64) -> Result<Self, AffineError> {
+        if period == 0 {
+            return Err(AffineError::ZeroPeriod);
+        }
+        Ok(Self { period, phase })
+    }
+
+    /// The identity relation: `y` has exactly the instants of the reference.
+    pub fn identity() -> Self {
+        Self { period: 1, phase: 0 }
+    }
+
+    /// Sampling period `d` (in reference instants).
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Sampling phase `φ` (index of the first instant on the reference).
+    pub fn phase(&self) -> u64 {
+        self.phase
+    }
+
+    /// Returns `true` when reference instant `t` is an instant of this clock.
+    pub fn contains(&self, t: u64) -> bool {
+        t >= self.phase && (t - self.phase) % self.period == 0
+    }
+
+    /// The `k`-th instant (0-based) of the clock, as a reference instant.
+    ///
+    /// Returns `None` on overflow.
+    pub fn instant(&self, k: u64) -> Option<u64> {
+        self.period.checked_mul(k)?.checked_add(self.phase)
+    }
+
+    /// All instants of this clock strictly below `horizon`, as reference
+    /// instants (typically `horizon` is the hyper-period).
+    pub fn instants_until(&self, horizon: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut t = self.phase;
+        while t < horizon {
+            out.push(t);
+            t += self.period;
+        }
+        out
+    }
+
+    /// Number of instants strictly below `horizon`.
+    pub fn count_until(&self, horizon: u64) -> u64 {
+        if horizon <= self.phase {
+            0
+        } else {
+            (horizon - self.phase - 1) / self.period + 1
+        }
+    }
+
+    /// Composes two relations: if `y` is `self`-related to `x` and `z` is
+    /// `other`-related to `y`, the result relates `z` directly to `x`.
+    ///
+    /// Instant `k` of `z` is instant `d2·k + φ2` of `y`, which is instant
+    /// `d1·(d2·k + φ2) + φ1 = d1·d2·k + (d1·φ2 + φ1)` of `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AffineError::Overflow`] if the composed coefficients do not
+    /// fit in `u64`.
+    pub fn compose(&self, other: &AffineRelation) -> Result<AffineRelation, AffineError> {
+        let period = self
+            .period
+            .checked_mul(other.period)
+            .ok_or(AffineError::Overflow)?;
+        let phase = self
+            .period
+            .checked_mul(other.phase)
+            .and_then(|p| p.checked_add(self.phase))
+            .ok_or(AffineError::Overflow)?;
+        AffineRelation::new(period, phase)
+    }
+
+    /// Intersection of the instant sets of two relations over the same
+    /// reference, if non-empty, expressed as a relation over that reference.
+    ///
+    /// The instant sets are arithmetic progressions; their intersection is
+    /// either empty or another arithmetic progression whose period is
+    /// `lcm(d1, d2)`. This is the core of the affine synchronizability rules:
+    /// two clocks can be synchronized on a sub-clock iff this intersection is
+    /// non-empty.
+    pub fn intersection(&self, other: &AffineRelation) -> Result<Option<AffineRelation>, AffineError> {
+        let g = gcd(self.period, other.period);
+        // Solve  phase1 + k1*d1 = phase2 + k2*d2  (k1, k2 >= 0).
+        let (lo, hi) = if self.phase <= other.phase {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let diff = hi.phase - lo.phase;
+        if diff % g != 0 {
+            return Ok(None);
+        }
+        let l = lcm(self.period, other.period).ok_or(AffineError::Overflow)?;
+        // Find the smallest common instant >= hi.phase by stepping the lower
+        // progression; the step count is bounded by d_hi / g, so this is fast.
+        let mut t = lo.phase + ((diff + lo.period - 1) / lo.period) * lo.period;
+        // t is the first instant of `lo` that is >= hi.phase.
+        let steps = hi.period / g;
+        let mut found = None;
+        for _ in 0..=steps {
+            if hi.contains(t) {
+                found = Some(t);
+                break;
+            }
+            t = t.checked_add(lo.period).ok_or(AffineError::Overflow)?;
+        }
+        match found {
+            Some(phase) => Ok(Some(AffineRelation::new(l, phase)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Two relations are *synchronizable as equal clocks* iff they denote the
+    /// same instant set: same period and same phase.
+    pub fn is_same_clock(&self, other: &AffineRelation) -> bool {
+        self == other
+    }
+
+    /// Returns `true` when every instant of `other` is also an instant of
+    /// `self` (i.e. `other` is a sub-clock of `self`).
+    pub fn is_superclock_of(&self, other: &AffineRelation) -> bool {
+        other.period % self.period == 0
+            && other.phase >= self.phase
+            && (other.phase - self.phase) % self.period == 0
+    }
+
+    /// Returns `true` when the two instant sets are disjoint (exclusive
+    /// clocks), useful to check mutual-exclusion constraints on shared data.
+    pub fn is_exclusive_with(&self, other: &AffineRelation) -> Result<bool, AffineError> {
+        Ok(self.intersection(other)?.is_none())
+    }
+}
+
+impl Default for AffineRelation {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+impl fmt::Display for AffineRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{}·t + {} | t ∈ ref}}", self.period, self.phase)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_zero_period() {
+        assert_eq!(AffineRelation::new(0, 3), Err(AffineError::ZeroPeriod));
+    }
+
+    #[test]
+    fn identity_contains_everything() {
+        let id = AffineRelation::identity();
+        for t in 0..50 {
+            assert!(id.contains(t));
+        }
+    }
+
+    #[test]
+    fn instants_and_count_agree() {
+        let r = AffineRelation::new(4, 2).unwrap();
+        let instants = r.instants_until(30);
+        assert_eq!(instants, vec![2, 6, 10, 14, 18, 22, 26]);
+        assert_eq!(r.count_until(30), instants.len() as u64);
+        assert_eq!(r.count_until(2), 0);
+        assert_eq!(r.count_until(3), 1);
+    }
+
+    #[test]
+    fn compose_is_substitution() {
+        // y = {3t + 1 | t in x}, z = {2t + 1 | t in y}
+        // => z = {6t + 4 | t in x}
+        let xy = AffineRelation::new(3, 1).unwrap();
+        let yz = AffineRelation::new(2, 1).unwrap();
+        let xz = xy.compose(&yz).unwrap();
+        assert_eq!(xz, AffineRelation::new(6, 4).unwrap());
+        // Check extensionally for a few instants.
+        for k in 0..10u64 {
+            let via_y = xy.instant(yz.instant(k).unwrap()).unwrap();
+            assert_eq!(Some(via_y), xz.instant(k));
+        }
+    }
+
+    #[test]
+    fn intersection_periodic_threads() {
+        // dispatch clocks of 4 ms and 6 ms threads on a 1 ms base tick
+        let a = AffineRelation::new(4, 0).unwrap();
+        let b = AffineRelation::new(6, 0).unwrap();
+        assert_eq!(
+            a.intersection(&b).unwrap(),
+            Some(AffineRelation::new(12, 0).unwrap())
+        );
+    }
+
+    #[test]
+    fn intersection_with_phases() {
+        let a = AffineRelation::new(4, 1).unwrap(); // 1,5,9,13,...
+        let b = AffineRelation::new(6, 3).unwrap(); // 3,9,15,21,...
+        assert_eq!(
+            a.intersection(&b).unwrap(),
+            Some(AffineRelation::new(12, 9).unwrap())
+        );
+    }
+
+    #[test]
+    fn intersection_empty() {
+        let a = AffineRelation::new(2, 0).unwrap(); // evens
+        let b = AffineRelation::new(2, 1).unwrap(); // odds
+        assert_eq!(a.intersection(&b).unwrap(), None);
+        assert!(a.is_exclusive_with(&b).unwrap());
+    }
+
+    #[test]
+    fn superclock_check() {
+        let base = AffineRelation::new(2, 0).unwrap();
+        let sub = AffineRelation::new(4, 2).unwrap();
+        assert!(base.is_superclock_of(&sub));
+        assert!(!sub.is_superclock_of(&base));
+        // Phase misaligned: 4t + 1 is not included in 2t.
+        let odd = AffineRelation::new(4, 1).unwrap();
+        assert!(!base.is_superclock_of(&odd));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let r = AffineRelation::new(4, 2).unwrap();
+        assert_eq!(r.to_string(), "{4·t + 2 | t ∈ ref}");
+    }
+}

@@ -1,0 +1,319 @@
+//! Systems of affine clocks over a common reference.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::relation::{AffineError, AffineRelation};
+use crate::lcm_all;
+
+/// A named clock defined by an affine relation over the system reference.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AffineClock {
+    /// Name of the clock (e.g. `thProducer_dispatch`).
+    pub name: String,
+    /// Affine relation of this clock to the system reference clock.
+    pub relation: AffineRelation,
+}
+
+impl fmt::Display for AffineClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.name, self.relation)
+    }
+}
+
+/// Result of a synchronizability query between two clocks of a system.
+///
+/// Follows the synchronizability rules of the affine clock calculus: two
+/// clocks that are affine with respect to the same reference are
+/// synchronizable when their relations are compatible, and the verdict says
+/// how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Synchronizability {
+    /// The instant sets are identical; the clocks can be unified (`^=`).
+    Identical,
+    /// The first clock's instants include the second's; the second can be
+    /// obtained by sub-sampling the first.
+    FirstContainsSecond,
+    /// The second clock's instants include the first's.
+    SecondContainsFirst,
+    /// The instant sets overlap but neither contains the other; the clocks
+    /// can only be synchronized on their common sub-clock.
+    Overlapping,
+    /// The instant sets are disjoint; the clocks are mutually exclusive.
+    Exclusive,
+}
+
+impl fmt::Display for Synchronizability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Synchronizability::Identical => "identical",
+            Synchronizability::FirstContainsSecond => "first contains second",
+            Synchronizability::SecondContainsFirst => "second contains first",
+            Synchronizability::Overlapping => "overlapping",
+            Synchronizability::Exclusive => "exclusive",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A set of affine clocks sharing a single discrete reference clock.
+///
+/// This is the structure exported by the thread-level scheduler: the
+/// reference is the base simulation tick, and each scheduled event (dispatch,
+/// input freeze, start, complete, output release) of each thread is a clock
+/// affine to it.
+///
+/// ```
+/// use affine_clocks::{AffineClockSystem, AffineRelation, Synchronizability};
+///
+/// let mut sys = AffineClockSystem::new("tick");
+/// sys.add_clock("a", AffineRelation::new(2, 0)?)?;
+/// sys.add_clock("b", AffineRelation::new(4, 0)?)?;
+/// assert_eq!(sys.synchronizability("a", "b")?, Synchronizability::FirstContainsSecond);
+/// # Ok::<(), affine_clocks::AffineError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AffineClockSystem {
+    reference: String,
+    clocks: BTreeMap<String, AffineRelation>,
+}
+
+impl AffineClockSystem {
+    /// Creates an empty system whose reference clock is named `reference`.
+    pub fn new(reference: impl Into<String>) -> Self {
+        Self {
+            reference: reference.into(),
+            clocks: BTreeMap::new(),
+        }
+    }
+
+    /// Name of the reference clock.
+    pub fn reference(&self) -> &str {
+        &self.reference
+    }
+
+    /// Number of clocks (excluding the reference).
+    pub fn len(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Returns `true` when no clock has been added.
+    pub fn is_empty(&self) -> bool {
+        self.clocks.is_empty()
+    }
+
+    /// Adds a clock defined by `relation` over the reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AffineError::DuplicateClock`] if `name` is already defined.
+    pub fn add_clock(
+        &mut self,
+        name: impl Into<String>,
+        relation: AffineRelation,
+    ) -> Result<(), AffineError> {
+        let name = name.into();
+        if name == self.reference || self.clocks.contains_key(&name) {
+            return Err(AffineError::DuplicateClock(name));
+        }
+        self.clocks.insert(name, relation);
+        Ok(())
+    }
+
+    /// Looks up the relation of a named clock.
+    pub fn relation(&self, name: &str) -> Result<AffineRelation, AffineError> {
+        if name == self.reference {
+            return Ok(AffineRelation::identity());
+        }
+        self.clocks
+            .get(name)
+            .copied()
+            .ok_or_else(|| AffineError::UnknownClock(name.to_string()))
+    }
+
+    /// Iterates over the clocks in name order.
+    pub fn iter(&self) -> impl Iterator<Item = AffineClock> + '_ {
+        self.clocks.iter().map(|(name, relation)| AffineClock {
+            name: name.clone(),
+            relation: *relation,
+        })
+    }
+
+    /// Hyper-period of the system: the least common multiple of all clock
+    /// periods, i.e. the number of reference instants after which the whole
+    /// pattern of instants repeats (ignoring phases).
+    ///
+    /// Returns `None` for an empty system or on overflow.
+    pub fn hyperperiod(&self) -> Option<u64> {
+        let periods: Vec<u64> = self.clocks.values().map(|r| r.period()).collect();
+        lcm_all(&periods)
+    }
+
+    /// Synchronizability verdict between two clocks of the system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AffineError::UnknownClock`] if either name is undefined.
+    pub fn synchronizability(&self, a: &str, b: &str) -> Result<Synchronizability, AffineError> {
+        let ra = self.relation(a)?;
+        let rb = self.relation(b)?;
+        if ra.is_same_clock(&rb) {
+            return Ok(Synchronizability::Identical);
+        }
+        if ra.is_superclock_of(&rb) {
+            return Ok(Synchronizability::FirstContainsSecond);
+        }
+        if rb.is_superclock_of(&ra) {
+            return Ok(Synchronizability::SecondContainsFirst);
+        }
+        match ra.intersection(&rb)? {
+            Some(_) => Ok(Synchronizability::Overlapping),
+            None => Ok(Synchronizability::Exclusive),
+        }
+    }
+
+    /// Intersection clock of two named clocks, if any.
+    pub fn intersection(&self, a: &str, b: &str) -> Result<Option<AffineRelation>, AffineError> {
+        let ra = self.relation(a)?;
+        let rb = self.relation(b)?;
+        ra.intersection(&rb)
+    }
+
+    /// Checks that every pair of clocks in `exclusive_groups` is mutually
+    /// exclusive (no two clocks of a group share an instant). Used for shared
+    /// data access clocks, which must guarantee a single access at a time.
+    ///
+    /// Returns the first offending pair if the property does not hold.
+    pub fn check_mutual_exclusion(
+        &self,
+        group: &[&str],
+    ) -> Result<Option<(String, String)>, AffineError> {
+        for (i, a) in group.iter().enumerate() {
+            for b in &group[i + 1..] {
+                if self.intersection(a, b)?.is_some() {
+                    return Ok(Some((a.to_string(), b.to_string())));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Materialises the instants of every clock strictly below `horizon`
+    /// reference ticks. Useful for trace generation and tests.
+    pub fn instants_until(&self, horizon: u64) -> BTreeMap<String, Vec<u64>> {
+        self.clocks
+            .iter()
+            .map(|(name, rel)| (name.clone(), rel.instants_until(horizon)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case_study_system() -> AffineClockSystem {
+        // Dispatch clocks of the four ProducerConsumer threads on a 1 ms tick.
+        let mut sys = AffineClockSystem::new("ms");
+        sys.add_clock("thProducer", AffineRelation::new(4, 0).unwrap())
+            .unwrap();
+        sys.add_clock("thConsumer", AffineRelation::new(6, 0).unwrap())
+            .unwrap();
+        sys.add_clock("thProdTimer", AffineRelation::new(8, 0).unwrap())
+            .unwrap();
+        sys.add_clock("thConsTimer", AffineRelation::new(8, 4).unwrap())
+            .unwrap();
+        sys
+    }
+
+    #[test]
+    fn hyperperiod_matches_paper() {
+        let sys = case_study_system();
+        assert_eq!(sys.hyperperiod(), Some(24));
+    }
+
+    #[test]
+    fn duplicate_clock_rejected() {
+        let mut sys = case_study_system();
+        let err = sys
+            .add_clock("thProducer", AffineRelation::identity())
+            .unwrap_err();
+        assert_eq!(err, AffineError::DuplicateClock("thProducer".into()));
+        let err = sys
+            .add_clock("ms", AffineRelation::identity())
+            .unwrap_err();
+        assert_eq!(err, AffineError::DuplicateClock("ms".into()));
+    }
+
+    #[test]
+    fn unknown_clock_reported() {
+        let sys = case_study_system();
+        assert!(matches!(
+            sys.synchronizability("thProducer", "nope"),
+            Err(AffineError::UnknownClock(_))
+        ));
+    }
+
+    #[test]
+    fn reference_is_identity() {
+        let sys = case_study_system();
+        assert_eq!(sys.relation("ms").unwrap(), AffineRelation::identity());
+        assert_eq!(
+            sys.synchronizability("ms", "thProducer").unwrap(),
+            Synchronizability::FirstContainsSecond
+        );
+    }
+
+    #[test]
+    fn timers_with_offset_are_exclusive() {
+        let sys = case_study_system();
+        assert_eq!(
+            sys.synchronizability("thProdTimer", "thConsTimer").unwrap(),
+            Synchronizability::Exclusive
+        );
+        assert_eq!(
+            sys.check_mutual_exclusion(&["thProdTimer", "thConsTimer"])
+                .unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn mutual_exclusion_violation_detected() {
+        let sys = case_study_system();
+        let clash = sys
+            .check_mutual_exclusion(&["thProducer", "thConsumer"])
+            .unwrap();
+        assert_eq!(
+            clash,
+            Some(("thProducer".to_string(), "thConsumer".to_string()))
+        );
+    }
+
+    #[test]
+    fn instants_until_horizon() {
+        let sys = case_study_system();
+        let map = sys.instants_until(24);
+        assert_eq!(map["thProducer"], vec![0, 4, 8, 12, 16, 20]);
+        assert_eq!(map["thConsumer"], vec![0, 6, 12, 18]);
+        assert_eq!(map["thProdTimer"], vec![0, 8, 16]);
+        assert_eq!(map["thConsTimer"], vec![4, 12, 20]);
+    }
+
+    #[test]
+    fn overlapping_verdict() {
+        let mut sys = AffineClockSystem::new("t");
+        sys.add_clock("a", AffineRelation::new(4, 0).unwrap()).unwrap();
+        sys.add_clock("b", AffineRelation::new(6, 0).unwrap()).unwrap();
+        assert_eq!(
+            sys.synchronizability("a", "b").unwrap(),
+            Synchronizability::Overlapping
+        );
+        assert_eq!(
+            sys.intersection("a", "b").unwrap(),
+            Some(AffineRelation::new(12, 0).unwrap())
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests of the affine clock calculus invariants.
+
+use affine_clocks::{gcd, lcm, AffineClockSystem, AffineRelation, Synchronizability};
+use proptest::prelude::*;
+
+fn relation_strategy() -> impl Strategy<Value = AffineRelation> {
+    (1u64..64, 0u64..64).prop_map(|(d, p)| AffineRelation::new(d, p).expect("positive period"))
+}
+
+proptest! {
+    #[test]
+    fn gcd_divides_both(a in 0u64..10_000, b in 0u64..10_000) {
+        let g = gcd(a, b);
+        if g != 0 {
+            prop_assert_eq!(a % g, 0);
+            prop_assert_eq!(b % g, 0);
+        } else {
+            prop_assert_eq!(a, 0);
+            prop_assert_eq!(b, 0);
+        }
+    }
+
+    #[test]
+    fn lcm_is_common_multiple(a in 1u64..10_000, b in 1u64..10_000) {
+        let l = lcm(a, b).expect("no overflow in range");
+        prop_assert_eq!(l % a, 0);
+        prop_assert_eq!(l % b, 0);
+        // Minimality: l/a and b/gcd coincide.
+        prop_assert_eq!(l, a / gcd(a, b) * b);
+    }
+
+    #[test]
+    fn membership_matches_instant_enumeration(r in relation_strategy(), horizon in 1u64..512) {
+        let instants = r.instants_until(horizon);
+        for t in 0..horizon {
+            prop_assert_eq!(r.contains(t), instants.contains(&t));
+        }
+        prop_assert_eq!(r.count_until(horizon) as usize, instants.len());
+    }
+
+    #[test]
+    fn composition_is_extensional(a in relation_strategy(), b in relation_strategy(), k in 0u64..64) {
+        let composed = a.compose(&b).expect("small coefficients");
+        let via = a.instant(b.instant(k).unwrap()).unwrap();
+        prop_assert_eq!(composed.instant(k), Some(via));
+    }
+
+    #[test]
+    fn intersection_is_sound_and_complete(a in relation_strategy(), b in relation_strategy()) {
+        let horizon = 64 * 64 + 128; // covers at least one common period plus phases
+        let meet = a.intersection(&b).expect("no overflow");
+        let common: Vec<u64> = (0..horizon).filter(|&t| a.contains(t) && b.contains(t)).collect();
+        match meet {
+            Some(m) => {
+                // Every enumerated common instant is in the meet, and vice versa.
+                for &t in &common {
+                    prop_assert!(m.contains(t), "common instant {} missing from meet {}", t, m);
+                }
+                for t in m.instants_until(horizon) {
+                    prop_assert!(a.contains(t) && b.contains(t));
+                }
+            }
+            None => prop_assert!(common.is_empty(), "meet reported empty but {:?} common", common),
+        }
+    }
+
+    #[test]
+    fn superclock_implies_instant_inclusion(a in relation_strategy(), b in relation_strategy()) {
+        if a.is_superclock_of(&b) {
+            for t in b.instants_until(2048) {
+                prop_assert!(a.contains(t));
+            }
+        }
+    }
+
+    #[test]
+    fn synchronizability_verdicts_are_consistent(a in relation_strategy(), b in relation_strategy()) {
+        let mut sys = AffineClockSystem::new("ref");
+        sys.add_clock("a", a).unwrap();
+        sys.add_clock("b", b).unwrap();
+        let verdict = sys.synchronizability("a", "b").unwrap();
+        let meet = a.intersection(&b).unwrap();
+        match verdict {
+            Synchronizability::Identical => prop_assert_eq!(a, b),
+            Synchronizability::Exclusive => prop_assert!(meet.is_none()),
+            _ => prop_assert!(meet.is_some()),
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! E11 — comparison with the Cheddar-like baselines: cost and acceptance of
+//! the static non-preemptive synthesis vs utilisation-bound, response-time
+//! analysis and preemptive simulation, across a utilisation sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sched::workload::random_task_set;
+use sched::{
+    preemptive_simulation, rm_response_time_analysis, BaselineReport, SchedulingPolicy,
+    StaticSchedule, TaskSet,
+};
+
+fn sample_sets(utilization: f64) -> Vec<TaskSet> {
+    let mut rng = StdRng::seed_from_u64((utilization * 1000.0) as u64);
+    (0..20)
+        .map(|_| random_task_set(&mut rng, 6, utilization).unwrap())
+        .collect()
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_comparison");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+
+    for &utilization in &[0.5f64, 0.8, 0.95] {
+        let sets = sample_sets(utilization);
+        let label = format!("U{utilization:.2}");
+        group.bench_with_input(
+            BenchmarkId::new("static_nonpreemptive_edf", &label),
+            &sets,
+            |b, sets| {
+                b.iter(|| {
+                    sets.iter()
+                        .filter(|ts| {
+                            StaticSchedule::synthesize(
+                                black_box(ts),
+                                SchedulingPolicy::EarliestDeadlineFirst,
+                            )
+                            .is_ok()
+                        })
+                        .count()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rm_response_time_analysis", &label),
+            &sets,
+            |b, sets| {
+                b.iter(|| {
+                    sets.iter()
+                        .filter(|ts| rm_response_time_analysis(black_box(ts)).schedulable)
+                        .count()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("preemptive_edf_simulation", &label),
+            &sets,
+            |b, sets| {
+                b.iter(|| {
+                    sets.iter()
+                        .filter(|ts| {
+                            preemptive_simulation(black_box(ts), SchedulingPolicy::EarliestDeadlineFirst)
+                                .schedulable
+                        })
+                        .count()
+                })
+            },
+        );
+    }
+
+    let tasks = sched::task::case_study_task_set();
+    group.bench_function("case_study_full_baseline_report", |b| {
+        b.iter(|| BaselineReport::analyze(black_box(&tasks)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

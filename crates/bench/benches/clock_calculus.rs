@@ -1,0 +1,58 @@
+//! E8 / E9 — clock calculus cost: determinism identification on the
+//! translated case study and on compiled automata.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use aadl::case_study::producer_consumer_instance;
+use asme2ssme::Translator;
+use signal_moc::analysis::StaticAnalysisReport;
+use signal_moc::automaton::Automaton;
+use signal_moc::clockcalc::ClockCalculus;
+
+fn bench_clock_calculus(c: &mut Criterion) {
+    let instance = producer_consumer_instance().unwrap();
+    let translated = Translator::new().translate(&instance).unwrap();
+    let flat = translated.model.flatten().unwrap();
+
+    let mut group = c.benchmark_group("clock_calculus");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.bench_function("case_study_flat_model", |b| {
+        b.iter(|| ClockCalculus::analyze(black_box(&flat)).unwrap())
+    });
+    group.bench_function("case_study_static_analysis", |b| {
+        b.iter(|| StaticAnalysisReport::analyze(black_box(&flat)).unwrap())
+    });
+
+    // Determinism identification on automata of growing size (E8).
+    for states in [2usize, 8, 32] {
+        let mut automaton = Automaton::new("modes", "s0");
+        for i in 0..states {
+            automaton.add_prioritized_transition(
+                format!("s{i}"),
+                format!("s{}", (i + 1) % states),
+                format!("g{i}"),
+                Some(0),
+            );
+            automaton.add_prioritized_transition(
+                format!("s{i}"),
+                "s0",
+                format!("h{i}"),
+                Some(1),
+            );
+        }
+        let process = automaton.to_process().unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("automaton_determinism", states),
+            &process,
+            |b, p| b.iter(|| ClockCalculus::analyze(black_box(p)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clock_calculus);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E1 / E9 — AADL front-end throughput: lexing + parsing + instantiation of
+//! the case study and of synthetic packages of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+use aadl::case_study::PRODUCER_CONSUMER_AADL;
+use aadl::synth::{generate_source, SyntheticSpec};
+use aadl::{parse_package, InstanceModel};
+
+fn bench_parser(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parser");
+    group.sample_size(30);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+
+    group.throughput(Throughput::Bytes(PRODUCER_CONSUMER_AADL.len() as u64));
+    group.bench_function("case_study_parse", |b| {
+        b.iter(|| parse_package(black_box(PRODUCER_CONSUMER_AADL)).unwrap())
+    });
+    let package = parse_package(PRODUCER_CONSUMER_AADL).unwrap();
+    group.bench_function("case_study_instantiate", |b| {
+        b.iter(|| InstanceModel::instantiate(black_box(&package), "sysProdCons.impl").unwrap())
+    });
+
+    for threads in [10usize, 100, 500] {
+        let source = generate_source(&SyntheticSpec::new(threads, 2));
+        group.throughput(Throughput::Bytes(source.len() as u64));
+        group.bench_with_input(BenchmarkId::new("synthetic_parse", threads), &source, |b, src| {
+            b.iter(|| parse_package(black_box(src)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parser);
+criterion_main!(benches);

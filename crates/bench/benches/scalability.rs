@@ -1,0 +1,50 @@
+//! E9 — scalability of the tool chain: parse + instantiate + translate +
+//! clock calculus for synthetic AADL models of growing size ("several
+//! thousand clocks can be handled by the clock calculus", Section IV-E).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+use aadl::synth::{generate_instance, generate_source, SyntheticSpec};
+use aadl::{parse_package, InstanceModel};
+use asme2ssme::Translator;
+use signal_moc::clockcalc::ClockCalculus;
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+
+    for threads in [10usize, 50, 200] {
+        let spec = SyntheticSpec::new(threads, 2);
+        let source = generate_source(&spec);
+        group.throughput(Throughput::Bytes(source.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("parse_instantiate", threads),
+            &source,
+            |b, src| {
+                b.iter(|| {
+                    let pkg = parse_package(black_box(src)).unwrap();
+                    InstanceModel::instantiate(&pkg, "top.impl").unwrap()
+                })
+            },
+        );
+
+        let instance = generate_instance(&spec).unwrap();
+        group.bench_with_input(BenchmarkId::new("translate", threads), &instance, |b, inst| {
+            b.iter(|| Translator::new().translate(black_box(inst)).unwrap())
+        });
+
+        let translated = Translator::new().translate(&instance).unwrap();
+        let flat = translated.model.flatten().unwrap();
+        group.bench_with_input(BenchmarkId::new("clock_calculus", threads), &flat, |b, flat| {
+            b.iter(|| ClockCalculus::analyze(black_box(flat)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

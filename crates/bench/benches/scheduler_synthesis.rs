@@ -1,0 +1,56 @@
+//! E7 — static scheduler synthesis and affine-clock export for the
+//! case-study thread set and for growing synthetic task sets, under EDF, RM
+//! and fixed priorities (also the ablation: synthesis alone vs synthesis +
+//! affine export + verification).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sched::task::case_study_task_set;
+use sched::workload::random_task_set;
+use sched::{export_affine_clocks, SchedulingPolicy, StaticSchedule};
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_synthesis");
+    group.sample_size(30);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+
+    let tasks = case_study_task_set();
+    for policy in SchedulingPolicy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("case_study", policy.short_name()),
+            &policy,
+            |b, &policy| b.iter(|| StaticSchedule::synthesize(black_box(&tasks), policy).unwrap()),
+        );
+    }
+    // Ablation: schedule synthesis alone vs synthesis followed by affine
+    // export and synchronizability verification.
+    group.bench_function("case_study/EDF_plus_affine_export", |b| {
+        b.iter(|| {
+            let schedule = StaticSchedule::synthesize(
+                black_box(&tasks),
+                SchedulingPolicy::EarliestDeadlineFirst,
+            )
+            .unwrap();
+            export_affine_clocks(&tasks, &schedule).unwrap()
+        })
+    });
+
+    for n in [5usize, 10, 20] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let ts = random_task_set(&mut rng, n, 0.6).unwrap();
+        group.bench_with_input(BenchmarkId::new("random_edf", n), &ts, |b, ts| {
+            b.iter(|| {
+                StaticSchedule::synthesize(black_box(ts), SchedulingPolicy::EarliestDeadlineFirst)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

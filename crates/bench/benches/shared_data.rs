@@ -1,0 +1,64 @@
+//! E6 — shared data (`fifo_reset`): execution cost of the shared Queue under
+//! the case-study access pattern (producer every 4 ticks, consumer every 6)
+//! for growing horizons, plus the mutual-exclusion verification on the
+//! affine export.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+use asme2ssme::shared_data_process;
+use sched::task::case_study_task_set;
+use sched::{export_affine_clocks, SchedulingPolicy, StaticSchedule};
+use signal_moc::eval::Evaluator;
+use signal_moc::trace::Trace;
+use signal_moc::value::Value;
+
+fn queue_inputs(ticks: usize) -> Trace {
+    let mut trace = Trace::new();
+    for t in 0..ticks {
+        trace.set(t, "write", Value::Bool(t % 4 == 1));
+        trace.set(t, "read", Value::Bool(t % 6 == 3));
+        trace.set(t, "reset", Value::Bool(t % 96 == 95));
+    }
+    trace
+}
+
+fn bench_shared_data(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shared_data");
+    group.sample_size(30);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+
+    let process = shared_data_process();
+    for ticks in [24usize, 240, 2400] {
+        let inputs = queue_inputs(ticks);
+        group.throughput(Throughput::Elements(ticks as u64));
+        group.bench_with_input(BenchmarkId::new("fifo_reset", ticks), &inputs, |b, inputs| {
+            b.iter(|| {
+                Evaluator::new(&process)
+                    .unwrap()
+                    .run(black_box(inputs))
+                    .unwrap()
+            })
+        });
+    }
+
+    // Mutual-exclusion verification of the Queue access clocks on the
+    // exported schedule.
+    let tasks = case_study_task_set();
+    let schedule =
+        StaticSchedule::synthesize(&tasks, SchedulingPolicy::EarliestDeadlineFirst).unwrap();
+    let export = export_affine_clocks(&tasks, &schedule).unwrap();
+    group.bench_function("queue_access_exclusion_check", |b| {
+        b.iter(|| {
+            export
+                .accesses_are_exclusive(black_box("thProducer"), black_box("thConsumer"))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_shared_data);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! E10 — co-simulation throughput: instants per second when simulating the
+//! scheduled thProducer thread over a growing number of hyper-periods, plus
+//! the cost of the VCD export.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+use aadl::case_study::producer_consumer_instance;
+use asme2ssme::{schedule_to_timing_trace, task_set_from_threads, thread_to_process, Translator};
+use polysim::Simulator;
+use sched::{SchedulingPolicy, StaticSchedule};
+use signal_moc::process::ProcessModel;
+
+fn bench_simulation(c: &mut Criterion) {
+    let instance = producer_consumer_instance().unwrap();
+    let threads = instance.threads().unwrap();
+    let tasks = task_set_from_threads(&threads).unwrap();
+    let schedule =
+        StaticSchedule::synthesize(&tasks, SchedulingPolicy::EarliestDeadlineFirst).unwrap();
+    let translated = Translator::new().translate(&instance).unwrap();
+    let producer = threads.iter().find(|t| t.name == "thProducer").unwrap();
+    let process_name = translated
+        .signal_process_for("sysProdCons.prProdCons.thProducer")
+        .unwrap();
+    let mut model = ProcessModel::new(process_name.to_string());
+    model.add(translated.model.process(process_name).unwrap().clone());
+    for p in translated.model.processes.values() {
+        if p.name.starts_with("aadl2signal_") {
+            model.add(p.clone());
+        }
+    }
+    let flat = model.flatten().unwrap();
+    let translation = thread_to_process(process_name, producer);
+
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for hyperperiods in [1u64, 10, 50] {
+        let inputs = schedule_to_timing_trace(
+            &schedule,
+            "thProducer",
+            "",
+            &translation.in_ports,
+            &translation.out_ports,
+            hyperperiods,
+        );
+        group.throughput(Throughput::Elements(inputs.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("thProducer_instants", hyperperiods),
+            &inputs,
+            |b, inputs| {
+                b.iter(|| {
+                    let mut sim = Simulator::new(&flat).unwrap();
+                    sim.run(black_box(inputs)).unwrap()
+                })
+            },
+        );
+    }
+
+    let inputs = schedule_to_timing_trace(
+        &schedule,
+        "thProducer",
+        "",
+        &translation.in_ports,
+        &translation.out_ports,
+        10,
+    );
+    let mut sim = Simulator::new(&flat).unwrap();
+    sim.run(&inputs).unwrap();
+    group.bench_function("vcd_export_10_hyperperiods", |b| {
+        b.iter(|| sim.to_vcd(black_box("thProducer"), 1_000_000))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

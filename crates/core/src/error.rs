@@ -1,0 +1,80 @@
+//! Unified error type of the tool chain.
+
+use std::fmt;
+
+/// Any error raised along the tool-chain pipeline, tagged by the phase that
+/// produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// AADL parsing, resolution or instantiation failed.
+    Aadl(aadl::AadlError),
+    /// Task-set extraction or scheduler synthesis failed.
+    Scheduling(String),
+    /// Affine-clock export or synchronizability verification failed.
+    Affine(String),
+    /// The AADL-to-SIGNAL translation failed.
+    Translation(asme2ssme::TranslationError),
+    /// A SIGNAL-level analysis or simulation failed.
+    Signal(signal_moc::SignalError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Aadl(e) => write!(f, "aadl front end: {e}"),
+            CoreError::Scheduling(e) => write!(f, "scheduler synthesis: {e}"),
+            CoreError::Affine(e) => write!(f, "affine clock export: {e}"),
+            CoreError::Translation(e) => write!(f, "asme2ssme translation: {e}"),
+            CoreError::Signal(e) => write!(f, "polychronous analysis: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<aadl::AadlError> for CoreError {
+    fn from(e: aadl::AadlError) -> Self {
+        CoreError::Aadl(e)
+    }
+}
+
+impl From<asme2ssme::TranslationError> for CoreError {
+    fn from(e: asme2ssme::TranslationError) -> Self {
+        CoreError::Translation(e)
+    }
+}
+
+impl From<signal_moc::SignalError> for CoreError {
+    fn from(e: signal_moc::SignalError) -> Self {
+        CoreError::Signal(e)
+    }
+}
+
+impl From<sched::SchedulingError> for CoreError {
+    fn from(e: sched::SchedulingError) -> Self {
+        CoreError::Scheduling(e.to_string())
+    }
+}
+
+impl From<sched::TaskSetError> for CoreError {
+    fn from(e: sched::TaskSetError) -> Self {
+        CoreError::Scheduling(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = aadl::AadlError::UnknownClassifier("x".into()).into();
+        assert!(e.to_string().contains("aadl front end"));
+        let e: CoreError = sched::TaskSetError::ZeroPeriod("t".into()).into();
+        assert!(e.to_string().contains("scheduler synthesis"));
+        let e: CoreError = signal_moc::SignalError::UnknownProcess("p".into()).into();
+        assert!(e.to_string().contains("polychronous analysis"));
+        let e = CoreError::Affine("bad".into());
+        assert!(e.to_string().contains("affine"));
+    }
+}

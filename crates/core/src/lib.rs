@@ -1,0 +1,53 @@
+//! End-to-end polychronous analysis and validation of timed software
+//! architectures in AADL.
+//!
+//! This crate is the facade of the reproduction of *"Toward Polychronous
+//! Analysis and Validation for Timed Software Architectures in AADL"*
+//! (DATE 2013): it wires the AADL front end ([`aadl`]), the polychronous
+//! core ([`signal_moc`]), the affine clock calculus ([`affine_clocks`]), the
+//! thread-level scheduler ([`sched`]), the ASME2SSME translation
+//! ([`asme2ssme`]) and the simulator ([`polysim`]) into the complete tool
+//! chain of the paper:
+//!
+//! 1. parse and instantiate the AADL model,
+//! 2. extract the periodic task set and synthesise a static non-preemptive
+//!    schedule over the hyper-period,
+//! 3. export the schedule as affine clock relations and verify
+//!    synchronizability,
+//! 4. translate the architecture into a SIGNAL process model,
+//! 5. run the clock calculus and the static analyses (determinism
+//!    identification, deadlock detection),
+//! 6. co-simulate the scheduled threads and emit VCD traces and profiling
+//!    reports.
+//!
+//! # Quick start
+//!
+//! ```
+//! use polychrony_core::ToolChain;
+//!
+//! let report = ToolChain::new().run_case_study()?;
+//! assert_eq!(report.schedule.hyperperiod, 24);
+//! assert!(report.static_analysis.causality_cycle.is_none());
+//! assert!(report.simulations.values().all(|sim| sim.is_alarm_free()));
+//! # Ok::<(), polychrony_core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod pipeline;
+pub mod report;
+
+pub use error::CoreError;
+pub use pipeline::{ToolChain, ToolChainOptions};
+pub use report::ToolChainReport;
+
+// Re-export the main entry points of every layer so that downstream users
+// (examples, benches, tests) need a single dependency.
+pub use aadl;
+pub use affine_clocks;
+pub use asme2ssme;
+pub use polysim;
+pub use sched;
+pub use signal_moc;

@@ -1,0 +1,222 @@
+//! The tool-chain pipeline: parse → instantiate → schedule → export →
+//! translate → analyse → simulate.
+
+use std::collections::BTreeMap;
+
+use aadl::case_study::PRODUCER_CONSUMER_AADL;
+use aadl::instance::InstanceModel;
+use aadl::parse_package;
+use asme2ssme::{schedule_to_timing_trace, task_set_from_threads, Translator};
+use polysim::Simulator;
+use sched::{export_affine_clocks, BaselineReport, SchedulingPolicy, StaticSchedule};
+use signal_moc::analysis::StaticAnalysisReport;
+use signal_moc::process::ProcessModel;
+
+use crate::error::CoreError;
+use crate::report::ToolChainReport;
+
+/// Options controlling a tool-chain run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ToolChainOptions {
+    /// Scheduling policy used for the static synthesis.
+    pub policy: SchedulingPolicy,
+    /// Number of hyper-periods to co-simulate.
+    pub hyperperiods: u64,
+    /// Default queue size for event ports without `Queue_Size`.
+    pub default_queue_size: usize,
+}
+
+impl Default for ToolChainOptions {
+    fn default() -> Self {
+        Self {
+            policy: SchedulingPolicy::EarliestDeadlineFirst,
+            hyperperiods: 4,
+            default_queue_size: 1,
+        }
+    }
+}
+
+/// The end-to-end tool chain (the ASME2SSME + Polychrony flow of the paper).
+#[derive(Debug, Clone, Default)]
+pub struct ToolChain {
+    options: ToolChainOptions,
+}
+
+impl ToolChain {
+    /// Creates a tool chain with default options (EDF, 4 hyper-periods).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a tool chain with explicit options.
+    pub fn with_options(options: ToolChainOptions) -> Self {
+        Self { options }
+    }
+
+    /// Sets the scheduling policy.
+    pub fn with_policy(mut self, policy: SchedulingPolicy) -> Self {
+        self.options.policy = policy;
+        self
+    }
+
+    /// Sets the number of simulated hyper-periods.
+    pub fn with_hyperperiods(mut self, hyperperiods: u64) -> Self {
+        self.options.hyperperiods = hyperperiods.max(1);
+        self
+    }
+
+    /// Runs the whole pipeline on AADL source text, instantiating
+    /// `root_classifier`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error of any phase, tagged by [`CoreError`].
+    pub fn run_source(&self, source: &str, root_classifier: &str) -> Result<ToolChainReport, CoreError> {
+        let package = parse_package(source)?;
+        let instance = InstanceModel::instantiate(&package, root_classifier)?;
+        self.run_instance(&instance)
+    }
+
+    /// Runs the whole pipeline on the ProducerConsumer case study of the
+    /// paper.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ToolChain::run_source`].
+    pub fn run_case_study(&self) -> Result<ToolChainReport, CoreError> {
+        self.run_source(PRODUCER_CONSUMER_AADL, "sysProdCons.impl")
+    }
+
+    /// Runs the pipeline on an already-instantiated AADL model.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error of any phase, tagged by [`CoreError`].
+    pub fn run_instance(&self, instance: &InstanceModel) -> Result<ToolChainReport, CoreError> {
+        // Phase 1: task-set extraction and scheduler synthesis.
+        let threads = instance.threads()?;
+        let tasks = task_set_from_threads(&threads)?;
+        let schedule = StaticSchedule::synthesize(&tasks, self.options.policy)?;
+        let baseline = BaselineReport::analyze(&tasks);
+
+        // Phase 2: affine-clock export and synchronizability verification.
+        let affine = export_affine_clocks(&tasks, &schedule)
+            .map_err(|e| CoreError::Affine(e.to_string()))?;
+
+        // Phase 3: ASME2SSME translation.
+        let translated = Translator::new()
+            .with_default_queue_size(self.options.default_queue_size)
+            .translate(instance)?;
+
+        // Phase 4: clock calculus and static analyses on the flat model.
+        let flat = translated.model.flatten()?;
+        let static_analysis = StaticAnalysisReport::analyze(&flat)?;
+
+        // Phase 5: per-thread co-simulation driven by the schedule.
+        let mut simulations = BTreeMap::new();
+        let mut vcd = String::new();
+        for thread in &threads {
+            let Some(process_name) = translated.signal_process_for(&thread.path) else {
+                continue;
+            };
+            let Some(process) = translated.model.process(process_name) else {
+                continue;
+            };
+            // Flatten the thread process together with the library processes
+            // it instantiates.
+            let mut thread_model = ProcessModel::new(process_name.to_string());
+            thread_model.add(process.clone());
+            for library in translated.model.processes.values() {
+                if library.name.starts_with("aadl2signal_") {
+                    thread_model.add(library.clone());
+                }
+            }
+            let flat_thread = thread_model.flatten()?;
+            let translation = asme2ssme::thread_to_process(process_name, thread);
+            let inputs = schedule_to_timing_trace(
+                &schedule,
+                &thread.name,
+                "",
+                &translation.in_ports,
+                &translation.out_ports,
+                self.options.hyperperiods,
+            );
+            let mut simulator = Simulator::new(&flat_thread)?;
+            simulator.run(&inputs)?;
+            let report = simulator.report();
+            if thread.name == "thProducer" || vcd.is_empty() {
+                vcd = simulator.to_vcd(&thread.name, 1_000_000);
+            }
+            simulations.insert(thread.path.clone(), report);
+        }
+
+        let category_counts = instance
+            .category_counts()
+            .into_iter()
+            .map(|(k, v)| (k.keyword().to_string(), v))
+            .collect();
+
+        Ok(ToolChainReport {
+            root: instance.root.path.clone(),
+            component_count: instance.instance_count(),
+            category_counts,
+            task_set_summary: tasks.to_string(),
+            schedule,
+            affine_clock_count: affine.clock_count(),
+            verified_constraints: affine.verified_constraints,
+            signal_process_count: translated.model.len(),
+            signal_equation_count: translated.model.total_equations(),
+            static_analysis,
+            baseline,
+            simulations,
+            vcd,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aadl::synth::{generate_instance, SyntheticSpec};
+
+    #[test]
+    fn case_study_pipeline_end_to_end() {
+        let report = ToolChain::new().run_case_study().unwrap();
+        assert_eq!(report.root, "sysProdCons");
+        assert_eq!(report.schedule.hyperperiod, 24);
+        assert_eq!(report.simulations.len(), 4);
+        assert!(report.all_checks_passed(), "{}", report.summary());
+        assert!(report.vcd.contains("$enddefinitions"));
+        assert_eq!(report.category_counts["thread"], 4);
+        assert!(report.summary().contains("hyper-period 24"));
+    }
+
+    #[test]
+    fn policies_produce_valid_schedules() {
+        for policy in SchedulingPolicy::ALL {
+            let report = ToolChain::new()
+                .with_policy(policy)
+                .with_hyperperiods(1)
+                .run_case_study()
+                .unwrap();
+            assert!(report.schedule.is_valid(), "{policy}");
+        }
+    }
+
+    #[test]
+    fn synthetic_model_runs_through_the_pipeline() {
+        let instance = generate_instance(&SyntheticSpec::new(6, 1)).unwrap();
+        let report = ToolChain::new()
+            .with_hyperperiods(1)
+            .run_instance(&instance)
+            .unwrap();
+        assert_eq!(report.simulations.len(), 6);
+        assert!(report.static_analysis.clock_count > 6);
+    }
+
+    #[test]
+    fn parse_errors_are_propagated() {
+        let err = ToolChain::new().run_source("package broken", "nothing").unwrap_err();
+        assert!(matches!(err, CoreError::Aadl(_)));
+    }
+}

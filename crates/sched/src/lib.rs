@@ -1,0 +1,51 @@
+//! Thread-level scheduler synthesis for the polychronous AADL tool chain.
+//!
+//! The paper (Section IV-D) proposes a static scheduler synthesis in three
+//! steps: (1) compute the hyper-period of the thread periods as their least
+//! common multiple, (2) allocate the discrete events of each thread
+//! (dispatch, input freeze, start, complete, output release) within the
+//! hyper-period under a static, non-preemptive, single-processor policy
+//! (EDF and RM are both considered) while satisfying every timing property,
+//! and (3) export the schedule as SIGNAL affine clock relations, against
+//! which synchronizability rules can be checked in Polychrony.
+//!
+//! This crate implements all three steps ([`task`], [`static_sched`],
+//! [`affine_export`]) plus the classical schedulability analyses used as the
+//! Cheddar-like comparison baseline ([`baseline`]) and random task-set
+//! generation for the benchmarks ([`workload`]).
+//!
+//! # Example: the case-study thread set
+//!
+//! ```
+//! use sched::{PeriodicTask, SchedulingPolicy, StaticSchedule, TaskSet};
+//!
+//! let tasks = TaskSet::new(vec![
+//!     PeriodicTask::new("thProducer", 4, 4, 1),
+//!     PeriodicTask::new("thConsumer", 6, 6, 2),
+//!     PeriodicTask::new("thProdTimer", 8, 8, 1),
+//!     PeriodicTask::new("thConsTimer", 8, 8, 1),
+//! ])?;
+//! assert_eq!(tasks.hyperperiod(), Some(24));
+//! let schedule = StaticSchedule::synthesize(&tasks, SchedulingPolicy::EarliestDeadlineFirst)?;
+//! assert!(schedule.is_valid());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod affine_export;
+pub mod baseline;
+pub mod policy;
+pub mod static_sched;
+pub mod task;
+pub mod workload;
+
+pub use affine_export::{export_affine_clocks, AffineExport};
+pub use baseline::{
+    edf_utilization_test, preemptive_simulation, rm_response_time_analysis, rm_utilization_bound,
+    BaselineReport, ResponseTimeReport, SimulationOutcome,
+};
+pub use policy::SchedulingPolicy;
+pub use static_sched::{ScheduleEntry, SchedulingError, StaticSchedule};
+pub use task::{PeriodicTask, TaskSet, TaskSetError};

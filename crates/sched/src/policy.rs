@@ -1,0 +1,59 @@
+//! Scheduling policies considered by the static scheduler synthesis.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The scheduling policy used to order jobs.
+///
+/// The paper's synthesis process considers "different scheduling policies …
+/// such as EDF and RM"; both are supported, for the static non-preemptive
+/// synthesis and for the preemptive baseline simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulingPolicy {
+    /// Rate Monotonic: fixed priorities, shorter period = higher priority.
+    RateMonotonic,
+    /// Earliest Deadline First: dynamic priorities by absolute deadline.
+    EarliestDeadlineFirst,
+    /// Fixed priorities taken from the AADL `Priority` property (larger
+    /// value = more urgent); falls back to Rate Monotonic ordering for tasks
+    /// without a priority.
+    FixedPriority,
+}
+
+impl SchedulingPolicy {
+    /// All policies, for parameter sweeps.
+    pub const ALL: [SchedulingPolicy; 3] = [
+        SchedulingPolicy::RateMonotonic,
+        SchedulingPolicy::EarliestDeadlineFirst,
+        SchedulingPolicy::FixedPriority,
+    ];
+
+    /// Short name used in reports and benchmark labels.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            SchedulingPolicy::RateMonotonic => "RM",
+            SchedulingPolicy::EarliestDeadlineFirst => "EDF",
+            SchedulingPolicy::FixedPriority => "FP",
+        }
+    }
+}
+
+impl fmt::Display for SchedulingPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(SchedulingPolicy::RateMonotonic.to_string(), "RM");
+        assert_eq!(SchedulingPolicy::EarliestDeadlineFirst.to_string(), "EDF");
+        assert_eq!(SchedulingPolicy::FixedPriority.to_string(), "FP");
+        assert_eq!(SchedulingPolicy::ALL.len(), 3);
+    }
+}

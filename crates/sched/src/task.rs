@@ -1,0 +1,266 @@
+//! Periodic task model extracted from AADL thread timing properties.
+
+use std::fmt;
+
+use affine_clocks::lcm_all;
+use serde::{Deserialize, Serialize};
+
+/// Error raised while building a task set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskSetError {
+    /// A task has a zero period.
+    ZeroPeriod(String),
+    /// A task has a zero worst-case execution time.
+    ZeroWcet(String),
+    /// A task's WCET exceeds its deadline (it can never meet it).
+    WcetExceedsDeadline(String),
+    /// A task's deadline exceeds its period (unsupported constrained model).
+    DeadlineExceedsPeriod(String),
+    /// Two tasks share a name.
+    DuplicateTask(String),
+    /// The hyper-period overflows `u64`.
+    HyperperiodOverflow,
+}
+
+impl fmt::Display for TaskSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskSetError::ZeroPeriod(t) => write!(f, "task `{t}` has a zero period"),
+            TaskSetError::ZeroWcet(t) => write!(f, "task `{t}` has a zero execution time"),
+            TaskSetError::WcetExceedsDeadline(t) => {
+                write!(f, "task `{t}` has an execution time larger than its deadline")
+            }
+            TaskSetError::DeadlineExceedsPeriod(t) => {
+                write!(f, "task `{t}` has a deadline larger than its period")
+            }
+            TaskSetError::DuplicateTask(t) => write!(f, "duplicate task name `{t}`"),
+            TaskSetError::HyperperiodOverflow => write!(f, "hyper-period overflows 64 bits"),
+        }
+    }
+}
+
+impl std::error::Error for TaskSetError {}
+
+/// A periodic task (an AADL thread with `Dispatch_Protocol => Periodic`).
+///
+/// All times are expressed in integer *ticks*; the tool chain uses one tick
+/// per millisecond for the case study (the processor's `Clock_Period`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeriodicTask {
+    /// Task (thread) name.
+    pub name: String,
+    /// Dispatch period in ticks.
+    pub period: u64,
+    /// Relative deadline in ticks (must not exceed the period).
+    pub deadline: u64,
+    /// Worst-case execution time in ticks.
+    pub wcet: u64,
+    /// Dispatch offset (phase) in ticks.
+    pub offset: u64,
+    /// Fixed priority, if assigned (larger is more urgent).
+    pub priority: Option<i64>,
+}
+
+impl PeriodicTask {
+    /// Creates a task with a zero offset and no explicit priority.
+    pub fn new(name: impl Into<String>, period: u64, deadline: u64, wcet: u64) -> Self {
+        Self {
+            name: name.into(),
+            period,
+            deadline,
+            wcet,
+            offset: 0,
+            priority: None,
+        }
+    }
+
+    /// Builder-style setter for the dispatch offset.
+    pub fn with_offset(mut self, offset: u64) -> Self {
+        self.offset = offset;
+        self
+    }
+
+    /// Builder-style setter for the priority.
+    pub fn with_priority(mut self, priority: i64) -> Self {
+        self.priority = Some(priority);
+        self
+    }
+
+    /// Processor utilisation of this task (`wcet / period`).
+    pub fn utilization(&self) -> f64 {
+        self.wcet as f64 / self.period as f64
+    }
+
+    /// Number of jobs released in an interval of `horizon` ticks.
+    pub fn jobs_in(&self, horizon: u64) -> u64 {
+        if horizon <= self.offset {
+            0
+        } else {
+            (horizon - self.offset).div_ceil(self.period)
+        }
+    }
+}
+
+/// An immutable, validated set of periodic tasks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskSet {
+    tasks: Vec<PeriodicTask>,
+}
+
+impl TaskSet {
+    /// Validates and wraps a list of tasks.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TaskSetError`] if any task violates the periodic model
+    /// (zero period/WCET, WCET > deadline, deadline > period) or if names
+    /// collide.
+    pub fn new(tasks: Vec<PeriodicTask>) -> Result<Self, TaskSetError> {
+        let mut names = std::collections::BTreeSet::new();
+        for t in &tasks {
+            if t.period == 0 {
+                return Err(TaskSetError::ZeroPeriod(t.name.clone()));
+            }
+            if t.wcet == 0 {
+                return Err(TaskSetError::ZeroWcet(t.name.clone()));
+            }
+            if t.wcet > t.deadline {
+                return Err(TaskSetError::WcetExceedsDeadline(t.name.clone()));
+            }
+            if t.deadline > t.period {
+                return Err(TaskSetError::DeadlineExceedsPeriod(t.name.clone()));
+            }
+            if !names.insert(t.name.clone()) {
+                return Err(TaskSetError::DuplicateTask(t.name.clone()));
+            }
+        }
+        Ok(Self { tasks })
+    }
+
+    /// The tasks, in the order given at construction.
+    pub fn tasks(&self) -> &[PeriodicTask] {
+        &self.tasks
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Returns `true` when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Looks up a task by name.
+    pub fn task(&self, name: &str) -> Option<&PeriodicTask> {
+        self.tasks.iter().find(|t| t.name == name)
+    }
+
+    /// Total processor utilisation.
+    pub fn utilization(&self) -> f64 {
+        self.tasks.iter().map(PeriodicTask::utilization).sum()
+    }
+
+    /// Hyper-period: least common multiple of all periods (the paper's step
+    /// 1). `None` for an empty set or on overflow.
+    pub fn hyperperiod(&self) -> Option<u64> {
+        let periods: Vec<u64> = self.tasks.iter().map(|t| t.period).collect();
+        lcm_all(&periods)
+    }
+}
+
+impl fmt::Display for TaskSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "task set (U = {:.3}):", self.utilization())?;
+        for t in &self.tasks {
+            writeln!(
+                f,
+                "  {:<16} T={:<4} D={:<4} C={:<4} O={}",
+                t.name, t.period, t.deadline, t.wcet, t.offset
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The case-study task set of the paper: `thProducer` (4 ms), `thConsumer`
+/// (6 ms), `thProdTimer` (8 ms) and `thConsTimer` (8 ms), with 1 ms WCETs
+/// except the consumer's 2 ms.
+pub fn case_study_task_set() -> TaskSet {
+    TaskSet::new(vec![
+        PeriodicTask::new("thProducer", 4, 4, 1).with_priority(4),
+        PeriodicTask::new("thConsumer", 6, 6, 2).with_priority(3),
+        PeriodicTask::new("thProdTimer", 8, 8, 1).with_priority(2),
+        PeriodicTask::new("thConsTimer", 8, 8, 1).with_priority(1),
+    ])
+    .expect("the case-study task set is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_study_hyperperiod_is_24() {
+        let ts = case_study_task_set();
+        assert_eq!(ts.hyperperiod(), Some(24));
+        assert_eq!(ts.len(), 4);
+        assert!((ts.utilization() - (0.25 + 2.0 / 6.0 + 0.125 + 0.125)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_rejects_bad_tasks() {
+        assert_eq!(
+            TaskSet::new(vec![PeriodicTask::new("a", 0, 0, 1)]),
+            Err(TaskSetError::ZeroPeriod("a".into()))
+        );
+        assert_eq!(
+            TaskSet::new(vec![PeriodicTask::new("a", 4, 4, 0)]),
+            Err(TaskSetError::ZeroWcet("a".into()))
+        );
+        assert_eq!(
+            TaskSet::new(vec![PeriodicTask::new("a", 4, 2, 3)]),
+            Err(TaskSetError::WcetExceedsDeadline("a".into()))
+        );
+        assert_eq!(
+            TaskSet::new(vec![PeriodicTask::new("a", 4, 6, 1)]),
+            Err(TaskSetError::DeadlineExceedsPeriod("a".into()))
+        );
+        assert_eq!(
+            TaskSet::new(vec![
+                PeriodicTask::new("a", 4, 4, 1),
+                PeriodicTask::new("a", 8, 8, 1)
+            ]),
+            Err(TaskSetError::DuplicateTask("a".into()))
+        );
+    }
+
+    #[test]
+    fn job_counting_with_offsets() {
+        let t = PeriodicTask::new("a", 4, 4, 1).with_offset(2);
+        assert_eq!(t.jobs_in(2), 0);
+        assert_eq!(t.jobs_in(3), 1);
+        assert_eq!(t.jobs_in(24), 6);
+        let t0 = PeriodicTask::new("b", 4, 4, 1);
+        assert_eq!(t0.jobs_in(24), 6);
+    }
+
+    #[test]
+    fn lookup_and_display() {
+        let ts = case_study_task_set();
+        assert!(ts.task("thProducer").is_some());
+        assert!(ts.task("nothing").is_none());
+        let text = ts.to_string();
+        assert!(text.contains("thConsumer"));
+        assert!(text.contains("U ="));
+        assert!(!ts.is_empty());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = TaskSetError::WcetExceedsDeadline("x".into());
+        assert!(e.to_string().contains("x"));
+        assert!(TaskSetError::HyperperiodOverflow.to_string().contains("64"));
+    }
+}

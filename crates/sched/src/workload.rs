@@ -1,0 +1,133 @@
+//! Random task-set generation for the benchmark harness.
+//!
+//! Uses the UUniFast algorithm to draw per-task utilisations summing to a
+//! target, and periods from a harmonically-friendly set so that hyper-periods
+//! stay bounded — mirroring how schedulability papers (and the Cheddar
+//! comparisons) sweep acceptance ratio against utilisation.
+
+use rand::Rng;
+
+use crate::task::{PeriodicTask, TaskSet, TaskSetError};
+
+/// Periods (in ticks) drawn from when generating random task sets. All
+/// divide 240, keeping the hyper-period at most 240 ticks.
+pub const PERIOD_CHOICES: [u64; 8] = [4, 6, 8, 10, 12, 16, 20, 24];
+
+/// Draws `n` utilisations summing to `total` with the UUniFast algorithm.
+///
+/// Values are unbiased over the simplex; `total` is typically in `(0, 1]`.
+pub fn uunifast<R: Rng>(rng: &mut R, n: usize, total: f64) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut utilizations = Vec::with_capacity(n);
+    let mut sum = total;
+    for i in 1..n {
+        let next: f64 = sum * rng.gen::<f64>().powf(1.0 / (n - i) as f64);
+        utilizations.push(sum - next);
+        sum = next;
+    }
+    utilizations.push(sum);
+    utilizations
+}
+
+/// Generates a random implicit-deadline task set of `n` tasks with total
+/// utilisation `total_utilization`.
+///
+/// WCETs are rounded up to at least one tick, which may push the real
+/// utilisation slightly above the target for very small utilisations; the
+/// validation constraints (WCET ≤ deadline = period) always hold.
+///
+/// # Errors
+///
+/// Propagates [`TaskSetError`] — which cannot occur for `n ≥ 1` and a
+/// positive target, but the signature keeps the caller honest.
+pub fn random_task_set<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    total_utilization: f64,
+) -> Result<TaskSet, TaskSetError> {
+    let utilizations = uunifast(rng, n, total_utilization);
+    let mut tasks = Vec::with_capacity(n);
+    for (i, u) in utilizations.into_iter().enumerate() {
+        let period = PERIOD_CHOICES[rng.gen_range(0..PERIOD_CHOICES.len())];
+        let wcet = ((u * period as f64).round() as u64).clamp(1, period);
+        tasks.push(PeriodicTask::new(format!("task{i}"), period, period, wcet));
+    }
+    TaskSet::new(tasks)
+}
+
+/// Generates `count` random task sets and reports how many are accepted by
+/// the given check — the acceptance-ratio experiment shape.
+pub fn acceptance_ratio<R, F>(rng: &mut R, count: usize, n: usize, total_utilization: f64, mut accept: F) -> f64
+where
+    R: Rng,
+    F: FnMut(&TaskSet) -> bool,
+{
+    if count == 0 {
+        return 0.0;
+    }
+    let mut accepted = 0usize;
+    for _ in 0..count {
+        if let Ok(ts) = random_task_set(rng, n, total_utilization) {
+            if accept(&ts) {
+                accepted += 1;
+            }
+        }
+    }
+    accepted as f64 / count as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uunifast_sums_to_target() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1usize, 2, 5, 20] {
+            let u = uunifast(&mut rng, n, 0.8);
+            assert_eq!(u.len(), n);
+            let sum: f64 = u.iter().sum();
+            assert!((sum - 0.8).abs() < 1e-9, "sum {sum} for n={n}");
+            assert!(u.iter().all(|&x| x >= 0.0));
+        }
+        assert!(uunifast(&mut rng, 0, 0.5).is_empty());
+    }
+
+    #[test]
+    fn random_task_sets_are_valid() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..50 {
+            let ts = random_task_set(&mut rng, 6, 0.7).unwrap();
+            assert_eq!(ts.len(), 6);
+            assert!(ts.hyperperiod().unwrap() <= 240 * 240);
+            for t in ts.tasks() {
+                assert!(t.wcet >= 1 && t.wcet <= t.period);
+                assert_eq!(t.deadline, t.period);
+            }
+        }
+    }
+
+    #[test]
+    fn acceptance_ratio_decreases_with_utilization() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let low = acceptance_ratio(&mut rng, 40, 5, 0.4, |ts| {
+            crate::baseline::rm_response_time_analysis(ts).schedulable
+        });
+        let mut rng = StdRng::seed_from_u64(1);
+        let high = acceptance_ratio(&mut rng, 40, 5, 0.98, |ts| {
+            crate::baseline::rm_response_time_analysis(ts).schedulable
+        });
+        assert!(low >= high, "low-U acceptance {low} < high-U acceptance {high}");
+        assert!(low > 0.5);
+    }
+
+    #[test]
+    fn acceptance_ratio_handles_zero_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(acceptance_ratio(&mut rng, 0, 5, 0.5, |_| true), 0.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests of the scheduler-synthesis invariants: every
+//! produced schedule is well-formed, consistent with the task parameters,
+//! and its affine export always verifies.
+
+use proptest::prelude::*;
+
+use sched::workload::uunifast;
+use sched::{
+    export_affine_clocks, preemptive_simulation, PeriodicTask, SchedulingPolicy, StaticSchedule,
+    TaskSet,
+};
+
+/// Strategy: a valid task set with harmonically-friendly periods and bounded
+/// utilisation so that schedules usually exist.
+fn task_set_strategy() -> impl Strategy<Value = TaskSet> {
+    let periods = prop::sample::select(vec![4u64, 6, 8, 12, 24]);
+    prop::collection::vec((periods, 1u64..3), 1..6).prop_filter_map(
+        "utilisation must stay below 1",
+        |params| {
+            let tasks: Vec<PeriodicTask> = params
+                .into_iter()
+                .enumerate()
+                .map(|(i, (period, wcet))| {
+                    let wcet = wcet.min(period);
+                    PeriodicTask::new(format!("t{i}"), period, period, wcet)
+                })
+                .collect();
+            let ts = TaskSet::new(tasks).ok()?;
+            if ts.utilization() <= 0.95 {
+                Some(ts)
+            } else {
+                None
+            }
+        },
+    )
+}
+
+proptest! {
+    /// Whenever synthesis succeeds, the schedule is valid: jobs within
+    /// deadlines, non-overlapping, one entry per released job, busy time
+    /// equal to the sum of job WCETs.
+    #[test]
+    fn synthesized_schedules_are_well_formed(tasks in task_set_strategy(),
+                                             policy in prop::sample::select(SchedulingPolicy::ALL.to_vec())) {
+        if let Ok(schedule) = StaticSchedule::synthesize(&tasks, policy) {
+            prop_assert!(schedule.is_valid());
+            let hyperperiod = tasks.hyperperiod().unwrap();
+            prop_assert_eq!(schedule.hyperperiod, hyperperiod);
+            let expected_jobs: u64 = tasks.tasks().iter().map(|t| t.jobs_in(hyperperiod)).sum();
+            prop_assert_eq!(schedule.entries.len() as u64, expected_jobs);
+            let expected_busy: u64 = tasks
+                .tasks()
+                .iter()
+                .map(|t| t.jobs_in(hyperperiod) * t.wcet)
+                .sum();
+            prop_assert_eq!(schedule.busy_time(), expected_busy);
+            // Per-task ordering: job k dispatches exactly k periods after the
+            // offset.
+            for task in tasks.tasks() {
+                for (k, entry) in schedule.entries_for(&task.name).iter().enumerate() {
+                    prop_assert_eq!(entry.dispatch, task.offset + k as u64 * task.period);
+                    prop_assert!(entry.start >= entry.dispatch);
+                    prop_assert!(entry.completion <= entry.deadline);
+                }
+            }
+        }
+    }
+
+    /// The affine export of any valid schedule verifies: dispatch clocks
+    /// contain the freeze instants and execution windows never overlap.
+    #[test]
+    fn affine_export_always_verifies(tasks in task_set_strategy()) {
+        if let Ok(schedule) = StaticSchedule::synthesize(&tasks, SchedulingPolicy::EarliestDeadlineFirst) {
+            let export = export_affine_clocks(&tasks, &schedule).unwrap();
+            prop_assert_eq!(
+                export.clock_count(),
+                tasks.len() + schedule.entries.len() * 4
+            );
+            prop_assert!(export.verified_constraints >= schedule.entries.len());
+        }
+    }
+
+    /// Non-preemptive feasibility implies preemptive feasibility (for the
+    /// same EDF policy over the hyper-period): preemption can only help.
+    #[test]
+    fn nonpreemptive_success_implies_preemptive_success(tasks in task_set_strategy()) {
+        if StaticSchedule::synthesize(&tasks, SchedulingPolicy::EarliestDeadlineFirst).is_ok() {
+            let sim = preemptive_simulation(&tasks, SchedulingPolicy::EarliestDeadlineFirst);
+            prop_assert!(sim.schedulable, "preemptive EDF missed on {tasks}");
+        }
+    }
+
+    /// UUniFast always returns non-negative utilisations summing to the
+    /// target.
+    #[test]
+    fn uunifast_is_a_distribution(n in 1usize..20, total in 0.05f64..1.0, seed in any::<u64>()) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let utils = uunifast(&mut rng, n, total);
+        prop_assert_eq!(utils.len(), n);
+        prop_assert!(utils.iter().all(|&u| u >= -1e-12));
+        let sum: f64 = utils.iter().sum();
+        prop_assert!((sum - total).abs() < 1e-9);
+    }
+
+    /// The schedule table rendering always mentions every task exactly as
+    /// many times as it has jobs (a cheap serialization sanity check).
+    #[test]
+    fn schedule_table_mentions_every_job(tasks in task_set_strategy()) {
+        if let Ok(schedule) = StaticSchedule::synthesize(&tasks, SchedulingPolicy::RateMonotonic) {
+            let table = schedule.to_table();
+            for task in tasks.tasks() {
+                let occurrences = table.matches(&task.name).count() as u64;
+                prop_assert!(occurrences >= task.jobs_in(schedule.hyperperiod));
+            }
+        }
+    }
+}

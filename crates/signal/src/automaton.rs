@@ -1,0 +1,339 @@
+//! SIGNAL automata: lightweight mode automata used to model thread behaviour
+//! (e.g. the `thProducer` automaton of the case study) and to check their
+//! determinism, with and without transition priorities.
+//!
+//! The paper reports (Section V-C) that the clock calculus found the
+//! `thProducer` automaton non-deterministic when no priorities are specified
+//! on its transitions; adding priorities restores determinism. This module
+//! reproduces that analysis and also compiles an automaton into a SIGNAL
+//! process (state held in a delayed signal, transitions as partial
+//! definitions) so that the rest of the tool chain can treat modes uniformly.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::builder::ProcessBuilder;
+use crate::error::SignalError;
+use crate::expr::Expr;
+use crate::process::Process;
+use crate::value::{Value, ValueType};
+
+/// A transition of a mode automaton.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transition {
+    /// Source state.
+    pub from: String,
+    /// Destination state.
+    pub to: String,
+    /// Name of the boolean/event signal guarding the transition.
+    pub guard: String,
+    /// Optional priority: among simultaneously enabled transitions leaving
+    /// the same state, the one with the *lowest* priority value fires.
+    pub priority: Option<u32>,
+}
+
+/// A mode automaton over named states and signal guards.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Automaton {
+    /// Automaton name (used for the generated SIGNAL process).
+    pub name: String,
+    /// State names; the first one is initial.
+    pub states: Vec<String>,
+    /// Transitions.
+    pub transitions: Vec<Transition>,
+}
+
+/// One reason why an automaton is not deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Conflict {
+    /// State from which the conflicting transitions leave.
+    pub state: String,
+    /// Guards of the two conflicting transitions.
+    pub guards: (String, String),
+}
+
+impl Automaton {
+    /// Creates an automaton with the given name and initial state.
+    pub fn new(name: impl Into<String>, initial_state: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            states: vec![initial_state.into()],
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Adds a state (idempotent).
+    pub fn add_state(&mut self, state: impl Into<String>) -> &mut Self {
+        let state = state.into();
+        if !self.states.contains(&state) {
+            self.states.push(state);
+        }
+        self
+    }
+
+    /// Adds a transition without a priority.
+    pub fn add_transition(
+        &mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        guard: impl Into<String>,
+    ) -> &mut Self {
+        self.add_prioritized_transition(from, to, guard, None)
+    }
+
+    /// Adds a transition with an explicit priority.
+    pub fn add_prioritized_transition(
+        &mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        guard: impl Into<String>,
+        priority: Option<u32>,
+    ) -> &mut Self {
+        let from = from.into();
+        let to = to.into();
+        self.add_state(from.clone());
+        self.add_state(to.clone());
+        self.transitions.push(Transition {
+            from,
+            to,
+            guard: guard.into(),
+            priority,
+        });
+        self
+    }
+
+    /// The initial state.
+    pub fn initial_state(&self) -> &str {
+        &self.states[0]
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Assigns increasing priorities (in declaration order) to every
+    /// transition that lacks one — the fix applied to the case-study
+    /// automaton.
+    pub fn assign_default_priorities(&mut self) {
+        let mut next: BTreeMap<String, u32> = BTreeMap::new();
+        for t in &mut self.transitions {
+            let counter = next.entry(t.from.clone()).or_insert(0);
+            if t.priority.is_none() {
+                t.priority = Some(*counter);
+            }
+            *counter += 1;
+        }
+    }
+
+    /// Determinism check: two transitions leaving the same state with guards
+    /// that are not provably exclusive and without distinct priorities are a
+    /// conflict. Distinct guard signals are conservatively considered
+    /// possibly simultaneous (they may be present at the same instant), so
+    /// priorities are required — matching the Polychrony verdict on the
+    /// `thProducer` automaton.
+    pub fn conflicts(&self) -> Vec<Conflict> {
+        let mut conflicts = Vec::new();
+        for (i, a) in self.transitions.iter().enumerate() {
+            for b in &self.transitions[i + 1..] {
+                if a.from != b.from {
+                    continue;
+                }
+                let distinct_priorities = match (a.priority, b.priority) {
+                    (Some(x), Some(y)) => x != y,
+                    _ => false,
+                };
+                if !distinct_priorities {
+                    conflicts.push(Conflict {
+                        state: a.from.clone(),
+                        guards: (a.guard.clone(), b.guard.clone()),
+                    });
+                }
+            }
+        }
+        conflicts
+    }
+
+    /// Returns `true` when the automaton has no conflicting transitions.
+    pub fn is_deterministic(&self) -> bool {
+        self.conflicts().is_empty()
+    }
+
+    /// Compiles the automaton into a SIGNAL process.
+    ///
+    /// The generated process has one input per guard signal, a `tick` input
+    /// giving the automaton's activation clock, and an integer `state`
+    /// output. The state is held in a delayed signal; each transition becomes
+    /// a partial definition of the next state, guarded by the current state
+    /// and the transition guard, with priorities encoded by guard
+    /// strengthening (a transition only fires when no higher-priority
+    /// transition from the same state is enabled).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the generated process fails validation.
+    pub fn to_process(&self) -> Result<Process, SignalError> {
+        let mut b = ProcessBuilder::new(self.name.clone());
+        b.input("tick", ValueType::Event);
+        let mut guards: Vec<&str> = self.transitions.iter().map(|t| t.guard.as_str()).collect();
+        guards.sort();
+        guards.dedup();
+        for g in &guards {
+            b.input(*g, ValueType::Boolean);
+        }
+        b.output("state", ValueType::Integer);
+        b.local("prev_state", ValueType::Integer);
+
+        let state_index: BTreeMap<&str, i64> = self
+            .states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.as_str(), i as i64))
+            .collect();
+
+        b.define(
+            "prev_state",
+            Expr::delay(Expr::var("state"), Value::Int(0)),
+        );
+
+        // Order transitions by (state, priority) so that guard strengthening
+        // follows priorities.
+        let mut ordered: Vec<&Transition> = self.transitions.iter().collect();
+        ordered.sort_by_key(|t| (t.from.clone(), t.priority.unwrap_or(u32::MAX)));
+
+        let mut fired_guards_per_state: BTreeMap<&str, Vec<Expr>> = BTreeMap::new();
+        let mut any_fired: Option<Expr> = None;
+        for t in &ordered {
+            let from_idx = state_index[t.from.as_str()];
+            let to_idx = state_index[t.to.as_str()];
+            let in_state = Expr::eq(Expr::var("prev_state"), Expr::int(from_idx));
+            let mut guard = Expr::and(
+                in_state,
+                Expr::default(Expr::var(&t.guard), Expr::bool(false)),
+            );
+            // Strengthen with the negation of the guards of higher-priority
+            // transitions from the same state.
+            if let Some(previous) = fired_guards_per_state.get(t.from.as_str()) {
+                for p in previous {
+                    guard = Expr::and(guard, Expr::not(p.clone()));
+                }
+            }
+            fired_guards_per_state
+                .entry(t.from.as_str())
+                .or_default()
+                .push(Expr::default(Expr::var(&t.guard), Expr::bool(false)));
+            any_fired = Some(match any_fired {
+                None => guard.clone(),
+                Some(acc) => Expr::or(acc, guard.clone()),
+            });
+            b.define_partial(
+                "state",
+                Expr::when(Expr::int(to_idx), Expr::when(guard, Expr::var("tick"))),
+            );
+        }
+        // Default: stay in the same state when no transition fires.
+        match any_fired {
+            Some(any) => b.define_partial(
+                "state",
+                Expr::when(
+                    Expr::var("prev_state"),
+                    Expr::when(Expr::not(any), Expr::var("tick")),
+                ),
+            ),
+            None => b.define_partial("state", Expr::var("prev_state")),
+        };
+        b.synchronize(&["state", "prev_state", "tick"]);
+        b.annotate("automaton::states", self.states.join(","));
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The `thProducer` behaviour automaton sketched in the case study:
+    /// waiting → producing on start, producing → waiting on done or timeout.
+    fn producer_automaton(with_priorities: bool) -> Automaton {
+        let mut a = Automaton::new("thProducer_behavior", "waiting");
+        a.add_transition("waiting", "producing", "pProdStart");
+        a.add_prioritized_transition(
+            "producing",
+            "waiting",
+            "pProdDone",
+            with_priorities.then_some(0),
+        );
+        a.add_prioritized_transition(
+            "producing",
+            "waiting",
+            "pTimeOut",
+            with_priorities.then_some(1),
+        );
+        a
+    }
+
+    #[test]
+    fn without_priorities_the_automaton_is_non_deterministic() {
+        let a = producer_automaton(false);
+        assert!(!a.is_deterministic());
+        let conflicts = a.conflicts();
+        assert_eq!(conflicts.len(), 1);
+        assert_eq!(conflicts[0].state, "producing");
+    }
+
+    #[test]
+    fn with_priorities_the_automaton_is_deterministic() {
+        let a = producer_automaton(true);
+        assert!(a.is_deterministic());
+        assert!(a.conflicts().is_empty());
+    }
+
+    #[test]
+    fn assign_default_priorities_fixes_conflicts() {
+        let mut a = producer_automaton(false);
+        a.assign_default_priorities();
+        assert!(a.is_deterministic());
+    }
+
+    #[test]
+    fn to_process_generates_valid_signal() {
+        let mut a = producer_automaton(false);
+        a.assign_default_priorities();
+        let p = a.to_process().unwrap();
+        assert!(p.signal("state").is_some());
+        assert!(p.signal("pProdStart").is_some());
+        assert!(p.equation_count() >= 4);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn compiled_automaton_executes() {
+        use crate::eval::Evaluator;
+        use crate::trace::Trace;
+
+        let mut a = producer_automaton(true);
+        a.assign_default_priorities();
+        let p = a.to_process().unwrap();
+        let mut inputs = Trace::new();
+        // t0: start produces -> state 1; t1: idle stays 1; t2: done -> 0.
+        for t in 0..3 {
+            inputs.set(t, "tick", Value::Event);
+            inputs.set(t, "pProdStart", Value::Bool(t == 0));
+            inputs.set(t, "pProdDone", Value::Bool(t == 2));
+            inputs.set(t, "pTimeOut", Value::Bool(false));
+        }
+        let out = Evaluator::new(&p).unwrap().run(&inputs).unwrap();
+        assert_eq!(
+            out.flow_of("state"),
+            vec![Value::Int(1), Value::Int(1), Value::Int(0)]
+        );
+    }
+
+    #[test]
+    fn state_bookkeeping() {
+        let a = producer_automaton(true);
+        assert_eq!(a.initial_state(), "waiting");
+        assert_eq!(a.state_count(), 2);
+    }
+}

@@ -1,0 +1,199 @@
+//! Ergonomic construction of SIGNAL processes.
+
+use crate::error::SignalError;
+use crate::expr::Expr;
+use crate::process::{Equation, Process, SignalDecl, SignalRole};
+use crate::value::ValueType;
+
+/// Builder for [`Process`] values.
+///
+/// The AADL-to-SIGNAL translator constructs many processes with a regular
+/// shape; the builder keeps that code readable and guarantees that the
+/// resulting process passes [`Process::validate`].
+///
+/// ```
+/// use signal_moc::builder::ProcessBuilder;
+/// use signal_moc::expr::Expr;
+/// use signal_moc::value::ValueType;
+///
+/// let mut b = ProcessBuilder::new("sampler");
+/// b.input("x", ValueType::Integer);
+/// b.input("c", ValueType::Boolean);
+/// b.output("y", ValueType::Integer);
+/// b.define("y", Expr::when(Expr::var("x"), Expr::var("c")));
+/// let process = b.build()?;
+/// assert_eq!(process.equation_count(), 1);
+/// # Ok::<(), signal_moc::SignalError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProcessBuilder {
+    process: Process,
+}
+
+impl ProcessBuilder {
+    /// Starts building a process with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            process: Process::new(name),
+        }
+    }
+
+    /// Declares an input signal.
+    pub fn input(&mut self, name: impl Into<String>, ty: ValueType) -> &mut Self {
+        self.declare(name, ty, SignalRole::Input)
+    }
+
+    /// Declares an output signal.
+    pub fn output(&mut self, name: impl Into<String>, ty: ValueType) -> &mut Self {
+        self.declare(name, ty, SignalRole::Output)
+    }
+
+    /// Declares a local signal.
+    pub fn local(&mut self, name: impl Into<String>, ty: ValueType) -> &mut Self {
+        self.declare(name, ty, SignalRole::Local)
+    }
+
+    fn declare(&mut self, name: impl Into<String>, ty: ValueType, role: SignalRole) -> &mut Self {
+        self.process.signals.push(SignalDecl {
+            name: name.into(),
+            ty,
+            role,
+        });
+        self
+    }
+
+    /// Adds a total definition `target := expr`.
+    pub fn define(&mut self, target: impl Into<String>, expr: Expr) -> &mut Self {
+        self.process.equations.push(Equation::Definition {
+            target: target.into(),
+            expr,
+        });
+        self
+    }
+
+    /// Adds a partial definition `target ::= expr`.
+    pub fn define_partial(&mut self, target: impl Into<String>, expr: Expr) -> &mut Self {
+        self.process.equations.push(Equation::PartialDefinition {
+            target: target.into(),
+            expr,
+        });
+        self
+    }
+
+    /// Adds a clock synchronisation constraint `s1 ^= s2 ^= …`.
+    pub fn synchronize(&mut self, signals: &[&str]) -> &mut Self {
+        self.process.equations.push(Equation::ClockConstraint {
+            signals: signals.iter().map(|s| s.to_string()).collect(),
+        });
+        self
+    }
+
+    /// Adds a clock exclusion constraint (the signals are pairwise never
+    /// simultaneously present).
+    pub fn exclude(&mut self, signals: &[&str]) -> &mut Self {
+        self.process.equations.push(Equation::ClockExclusion {
+            signals: signals.iter().map(|s| s.to_string()).collect(),
+        });
+        self
+    }
+
+    /// Adds a sub-process instance.
+    pub fn instance(
+        &mut self,
+        process: impl Into<String>,
+        label: impl Into<String>,
+        inputs: &[&str],
+        outputs: &[&str],
+    ) -> &mut Self {
+        self.process.equations.push(Equation::Instance {
+            process: process.into(),
+            label: label.into(),
+            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+            outputs: outputs.iter().map(|s| s.to_string()).collect(),
+        });
+        self
+    }
+
+    /// Attaches a traceability annotation.
+    pub fn annotate(&mut self, key: impl Into<String>, value: impl Into<String>) -> &mut Self {
+        self.process.annotate(key, value);
+        self
+    }
+
+    /// Finishes the process and validates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error if the process is structurally invalid
+    /// (duplicate or undeclared signals, outputs with no definition).
+    pub fn build(self) -> Result<Process, SignalError> {
+        self.process.validate()?;
+        Ok(self.process)
+    }
+
+    /// Finishes the process without validation. Useful when the process is a
+    /// fragment to be completed by a later pass (e.g. instance connection).
+    pub fn build_unchecked(self) -> Process {
+        self.process
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn build_validates() {
+        let mut b = ProcessBuilder::new("bad");
+        b.output("y", ValueType::Integer);
+        // no definition for y
+        assert!(matches!(
+            b.build(),
+            Err(SignalError::UndefinedOutput { .. })
+        ));
+    }
+
+    #[test]
+    fn build_unchecked_skips_validation() {
+        let mut b = ProcessBuilder::new("fragment");
+        b.output("y", ValueType::Integer);
+        let p = b.build_unchecked();
+        assert_eq!(p.name, "fragment");
+    }
+
+    #[test]
+    fn full_builder_round_trip() {
+        let mut b = ProcessBuilder::new("mem");
+        b.input("i", ValueType::Integer)
+            .input("b", ValueType::Boolean)
+            .output("o", ValueType::Integer)
+            .local("z", ValueType::Integer)
+            .define("z", Expr::delay(Expr::var("o"), Value::Int(0)))
+            .define(
+                "o",
+                Expr::default(
+                    Expr::var("i"),
+                    Expr::when(Expr::var("z"), Expr::var("b")),
+                ),
+            )
+            .synchronize(&["o", "z"])
+            .annotate("aadl::path", "prProdCons.Queue");
+        let p = b.build().unwrap();
+        assert_eq!(p.inputs().count(), 2);
+        assert_eq!(p.outputs().count(), 1);
+        assert_eq!(p.locals().count(), 1);
+        assert_eq!(p.annotations["aadl::path"], "prProdCons.Queue");
+    }
+
+    #[test]
+    fn exclusion_and_instances_are_recorded() {
+        let mut b = ProcessBuilder::new("top");
+        b.input("r", ValueType::Event)
+            .input("w", ValueType::Event)
+            .exclude(&["r", "w"])
+            .instance("fifo", "queue_1", &["r"], &[]);
+        let p = b.build_unchecked();
+        assert_eq!(p.equations.len(), 2);
+    }
+}

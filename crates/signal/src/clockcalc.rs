@@ -1,0 +1,671 @@
+//! The clock calculus: synchronisation classes, clock hierarchy and
+//! determinism identification.
+//!
+//! The clock calculus is the heart of the Polychrony compilation chain: it
+//! computes, from the equations of a process, which signals are synchronous
+//! (share a clock), how the remaining clocks relate (sub-clock / super-clock),
+//! which clocks are *master* clocks (not dominated by any other), and whether
+//! the process is deterministic and endochronous (a single master clock that
+//! can drive a sequential simulation — the "fastest clock" the paper says
+//! users should not have to build by hand).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SignalError;
+use crate::expr::Expr;
+use crate::process::{Equation, Process};
+
+/// A synchronisation class: a set of signals proven to share the same clock.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClockClass {
+    /// Stable identifier of the class (index in the calculus).
+    pub id: usize,
+    /// Signals belonging to the class, sorted by name.
+    pub signals: Vec<String>,
+}
+
+impl ClockClass {
+    /// A readable label for the class: the first signal name.
+    pub fn label(&self) -> &str {
+        self.signals.first().map(String::as_str).unwrap_or("<empty>")
+    }
+}
+
+/// Verdict of the determinism identification analysis.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeterminismVerdict {
+    /// Every signal has a single, conflict-free definition.
+    Deterministic,
+    /// Potential non-determinism was identified; each entry explains one
+    /// reason (e.g. overlapping partial definitions that could not be proven
+    /// exclusive).
+    NonDeterministic(Vec<String>),
+}
+
+impl DeterminismVerdict {
+    /// Returns `true` for [`DeterminismVerdict::Deterministic`].
+    pub fn is_deterministic(&self) -> bool {
+        matches!(self, DeterminismVerdict::Deterministic)
+    }
+}
+
+/// Result of running the clock calculus on a process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClockCalculus {
+    process: String,
+    classes: Vec<ClockClass>,
+    class_of: BTreeMap<String, usize>,
+    /// `(child, parent)` pairs: the child clock is a sub-clock of the parent.
+    hierarchy: Vec<(usize, usize)>,
+    /// Pairs of classes constrained to be mutually exclusive.
+    exclusions: Vec<(usize, usize)>,
+    verdict: DeterminismVerdict,
+}
+
+impl ClockCalculus {
+    /// Runs the clock calculus on `process`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignalError::MultipleDefinitions`] if a signal has two total
+    /// definitions, or a validation error if the process is ill-formed.
+    pub fn analyze(process: &Process) -> Result<Self, SignalError> {
+        process.validate()?;
+        let names: Vec<String> = process.signals.iter().map(|d| d.name.clone()).collect();
+        let index: BTreeMap<&str, usize> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i))
+            .collect();
+        let mut uf = UnionFind::new(names.len());
+
+        // Pass 1: detect duplicate total definitions.
+        let mut total_defs: BTreeMap<&str, usize> = BTreeMap::new();
+        for eq in &process.equations {
+            if let Equation::Definition { target, .. } = eq {
+                let count = total_defs.entry(target.as_str()).or_insert(0);
+                *count += 1;
+                if *count > 1 {
+                    return Err(SignalError::MultipleDefinitions {
+                        process: process.name.clone(),
+                        signal: target.clone(),
+                    });
+                }
+            }
+        }
+
+        // Pass 2: synchronisation classes from definitions and constraints.
+        for eq in &process.equations {
+            match eq {
+                Equation::Definition { target, expr } => {
+                    if let Some(peer) = synchronous_peer(expr) {
+                        if let (Some(&a), Some(&b)) = (index.get(target.as_str()), index.get(peer.as_str())) {
+                            uf.union(a, b);
+                        }
+                    }
+                }
+                Equation::ClockConstraint { signals } => {
+                    let ids: Vec<usize> = signals
+                        .iter()
+                        .filter_map(|s| index.get(s.as_str()).copied())
+                        .collect();
+                    for pair in ids.windows(2) {
+                        uf.union(pair[0], pair[1]);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Build classes.
+        let mut roots: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+        for (i, name) in names.iter().enumerate() {
+            roots.entry(uf.find(i)).or_default().push(name.clone());
+        }
+        let mut classes = Vec::new();
+        let mut class_of = BTreeMap::new();
+        let mut root_to_class: BTreeMap<usize, usize> = BTreeMap::new();
+        for (class_id, (root, mut members)) in roots.into_iter().enumerate() {
+            members.sort();
+            for m in &members {
+                class_of.insert(m.clone(), class_id);
+            }
+            root_to_class.insert(root, class_id);
+            classes.push(ClockClass {
+                id: class_id,
+                signals: members,
+            });
+        }
+
+        // Pass 3: hierarchy edges (child is a sub-clock of parent) and
+        // exclusions.
+        let class_idx = |name: &str| -> Option<usize> { class_of.get(name).copied() };
+        let mut hierarchy: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut exclusions: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for eq in &process.equations {
+            match eq {
+                Equation::Definition { target, expr } => {
+                    let Some(t) = class_idx(target) else { continue };
+                    collect_hierarchy(expr, t, &class_idx, &mut hierarchy);
+                }
+                Equation::PartialDefinition { target, expr } => {
+                    let Some(t) = class_idx(target) else { continue };
+                    // The clock of the partial contribution is a sub-clock of
+                    // the target's clock.
+                    for dep in expr.referenced_signals() {
+                        if let Some(d) = class_idx(&dep) {
+                            if d != t {
+                                hierarchy.insert((d, t));
+                            }
+                        }
+                    }
+                    collect_hierarchy(expr, t, &class_idx, &mut hierarchy);
+                }
+                Equation::ClockExclusion { signals } => {
+                    let ids: Vec<usize> = signals.iter().filter_map(|s| class_idx(s)).collect();
+                    for (i, &a) in ids.iter().enumerate() {
+                        for &b in &ids[i + 1..] {
+                            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                            if lo != hi {
+                                exclusions.insert((lo, hi));
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Pass 4: determinism identification.
+        let verdict = determinism_verdict(process, &class_of, &exclusions);
+
+        Ok(Self {
+            process: process.name.clone(),
+            classes,
+            class_of,
+            hierarchy: hierarchy.into_iter().collect(),
+            exclusions: exclusions.into_iter().collect(),
+            verdict,
+        })
+    }
+
+    /// Name of the analysed process.
+    pub fn process_name(&self) -> &str {
+        &self.process
+    }
+
+    /// Number of distinct clocks (synchronisation classes) — the metric the
+    /// paper's scalability claim is about ("several thousand clocks can be
+    /// handled by the clock calculus").
+    pub fn clock_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// All synchronisation classes.
+    pub fn classes(&self) -> &[ClockClass] {
+        &self.classes
+    }
+
+    /// The class containing `signal`, if any.
+    pub fn class_of(&self, signal: &str) -> Option<&ClockClass> {
+        self.class_of.get(signal).map(|&id| &self.classes[id])
+    }
+
+    /// Returns `true` when the two signals were proven synchronous.
+    pub fn are_synchronous(&self, a: &str, b: &str) -> bool {
+        match (self.class_of.get(a), self.class_of.get(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// Sub-clock edges `(child, parent)` between class ids.
+    pub fn hierarchy(&self) -> &[(usize, usize)] {
+        &self.hierarchy
+    }
+
+    /// Returns `true` when class `child` was proven to be a sub-clock of
+    /// class `parent` (directly or transitively).
+    pub fn is_subclock(&self, child: usize, parent: usize) -> bool {
+        if child == parent {
+            return true;
+        }
+        let mut stack = vec![child];
+        let mut seen = BTreeSet::new();
+        while let Some(c) = stack.pop() {
+            if !seen.insert(c) {
+                continue;
+            }
+            for &(lo, hi) in &self.hierarchy {
+                if lo == c {
+                    if hi == parent {
+                        return true;
+                    }
+                    stack.push(hi);
+                }
+            }
+        }
+        false
+    }
+
+    /// The master clocks: classes that are not a sub-clock of any other
+    /// class. A process with a single master clock is *endochronous*: the
+    /// fastest simulation clock can be synthesised automatically.
+    pub fn master_clocks(&self) -> Vec<&ClockClass> {
+        let children: BTreeSet<usize> = self.hierarchy.iter().map(|&(c, _)| c).collect();
+        self.classes
+            .iter()
+            .filter(|c| !children.contains(&c.id))
+            .collect()
+    }
+
+    /// Returns `true` when the process has a single master clock.
+    pub fn is_endochronous(&self) -> bool {
+        self.master_clocks().len() == 1
+    }
+
+    /// Pairs of classes constrained to be mutually exclusive.
+    pub fn exclusions(&self) -> &[(usize, usize)] {
+        &self.exclusions
+    }
+
+    /// The determinism identification verdict.
+    pub fn determinism(&self) -> &DeterminismVerdict {
+        &self.verdict
+    }
+
+    /// Depth of the clock hierarchy (longest child→parent chain), a proxy for
+    /// the "clock tree depth" reported by Polychrony.
+    pub fn hierarchy_depth(&self) -> usize {
+        fn depth_of(
+            class: usize,
+            hierarchy: &[(usize, usize)],
+            memo: &mut BTreeMap<usize, usize>,
+            guard: &mut BTreeSet<usize>,
+        ) -> usize {
+            if let Some(&d) = memo.get(&class) {
+                return d;
+            }
+            if !guard.insert(class) {
+                return 0; // cycle guard
+            }
+            let d = hierarchy
+                .iter()
+                .filter(|&&(c, _)| c == class)
+                .map(|&(_, p)| 1 + depth_of(p, hierarchy, memo, guard))
+                .max()
+                .unwrap_or(0);
+            guard.remove(&class);
+            memo.insert(class, d);
+            d
+        }
+        let mut memo = BTreeMap::new();
+        let mut guard = BTreeSet::new();
+        self.classes
+            .iter()
+            .map(|c| depth_of(c.id, &self.hierarchy, &mut memo, &mut guard))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// For a defining expression whose clock is *equal* to one of its operands'
+/// clocks (stepwise functions, delay), returns that operand signal, so the
+/// target can be unified with it.
+fn synchronous_peer(expr: &Expr) -> Option<String> {
+    match expr {
+        Expr::Var(name) => Some(name.clone()),
+        Expr::Unary(_, e) | Expr::Delay(e, _) => synchronous_peer(e),
+        Expr::Binary(_, a, b) => synchronous_peer(a).or_else(|| synchronous_peer(b)),
+        Expr::ClockOf(e) => synchronous_peer(e),
+        // when / default / cell / clock_when change the clock.
+        _ => None,
+    }
+}
+
+/// Records sub-clock relations implied by the structure of `expr`, whose
+/// overall clock belongs to class `target`.
+fn collect_hierarchy(
+    expr: &Expr,
+    target: usize,
+    class_idx: &dyn Fn(&str) -> Option<usize>,
+    hierarchy: &mut BTreeSet<(usize, usize)>,
+) {
+    match expr {
+        Expr::When(e, b) => {
+            // target ⊆ clock(e) and target ⊆ clock(b)
+            for dep in e.referenced_signals().into_iter().chain(b.referenced_signals()) {
+                if let Some(d) = class_idx(&dep) {
+                    if d != target {
+                        hierarchy.insert((target, d));
+                    }
+                }
+            }
+        }
+        Expr::Default(u, v) => {
+            // clock(u) ⊆ target and clock(v) ⊆ target
+            for dep in u.referenced_signals() {
+                if let Some(d) = class_idx(&dep) {
+                    if d != target {
+                        hierarchy.insert((d, target));
+                    }
+                }
+            }
+            for dep in v.referenced_signals() {
+                if let Some(d) = class_idx(&dep) {
+                    if d != target {
+                        hierarchy.insert((d, target));
+                    }
+                }
+            }
+            collect_hierarchy(u, target, class_idx, hierarchy);
+            collect_hierarchy(v, target, class_idx, hierarchy);
+        }
+        Expr::Cell(i, b, _) => {
+            // clock(i) ⊆ target ⊆ clock(i) ∪ [b]
+            for dep in i.referenced_signals() {
+                if let Some(d) = class_idx(&dep) {
+                    if d != target {
+                        hierarchy.insert((d, target));
+                    }
+                }
+            }
+            collect_hierarchy(b, target, class_idx, hierarchy);
+        }
+        Expr::ClockWhen(b) => {
+            for dep in b.referenced_signals() {
+                if let Some(d) = class_idx(&dep) {
+                    if d != target {
+                        hierarchy.insert((target, d));
+                    }
+                }
+            }
+        }
+        Expr::Unary(_, e) | Expr::Delay(e, _) | Expr::ClockOf(e) => {
+            collect_hierarchy(e, target, class_idx, hierarchy)
+        }
+        Expr::Binary(_, a, b) => {
+            collect_hierarchy(a, target, class_idx, hierarchy);
+            collect_hierarchy(b, target, class_idx, hierarchy);
+        }
+        Expr::Var(_) | Expr::Const(_) => {}
+    }
+}
+
+/// Determinism identification: overlapping partial definitions must be proven
+/// pairwise exclusive, either syntactically (complementary `when` guards) or
+/// through a declared clock exclusion.
+fn determinism_verdict(
+    process: &Process,
+    class_of: &BTreeMap<String, usize>,
+    exclusions: &BTreeSet<(usize, usize)>,
+) -> DeterminismVerdict {
+    let mut reasons = Vec::new();
+    let mut partials: BTreeMap<&str, Vec<&Expr>> = BTreeMap::new();
+    let mut totals: BTreeSet<&str> = BTreeSet::new();
+    for eq in &process.equations {
+        match eq {
+            Equation::PartialDefinition { target, expr } => {
+                partials.entry(target.as_str()).or_default().push(expr);
+            }
+            Equation::Definition { target, .. } => {
+                totals.insert(target.as_str());
+            }
+            _ => {}
+        }
+    }
+    for (target, exprs) in &partials {
+        if totals.contains(target) {
+            reasons.push(format!(
+                "signal `{target}` has both a total and a partial definition"
+            ));
+        }
+        for (i, a) in exprs.iter().enumerate() {
+            for b in &exprs[i + 1..] {
+                if !provably_exclusive(a, b, class_of, exclusions) {
+                    reasons.push(format!(
+                        "partial definitions of `{target}` may overlap: `{a}` vs `{b}`"
+                    ));
+                }
+            }
+        }
+    }
+    if reasons.is_empty() {
+        DeterminismVerdict::Deterministic
+    } else {
+        DeterminismVerdict::NonDeterministic(reasons)
+    }
+}
+
+/// Conservative syntactic proof that two partial contributions can never be
+/// active at the same instant.
+fn provably_exclusive(
+    a: &Expr,
+    b: &Expr,
+    class_of: &BTreeMap<String, usize>,
+    exclusions: &BTreeSet<(usize, usize)>,
+) -> bool {
+    // Complementary guards: `e when c` vs `f when not c` (either order).
+    if let (Expr::When(_, ga), Expr::When(_, gb)) = (a, b) {
+        if complementary(ga, gb) {
+            return true;
+        }
+        // Guards sampled on clocks declared mutually exclusive.
+        if let (Some(ca), Some(cb)) = (guard_class(ga, class_of), guard_class(gb, class_of)) {
+            let key = if ca < cb { (ca, cb) } else { (cb, ca) };
+            if ca != cb && exclusions.contains(&key) {
+                return true;
+            }
+        }
+    }
+    // Contributions whose root signals live in mutually exclusive classes.
+    let ca = expr_class(a, class_of);
+    let cb = expr_class(b, class_of);
+    if let (Some(x), Some(y)) = (ca, cb) {
+        let key = if x < y { (x, y) } else { (y, x) };
+        if x != y && exclusions.contains(&key) {
+            return true;
+        }
+    }
+    false
+}
+
+fn complementary(a: &Expr, b: &Expr) -> bool {
+    matches!((a, b), (Expr::Unary(crate::expr::UnOp::Not, inner), other)
+        | (other, Expr::Unary(crate::expr::UnOp::Not, inner)) if inner.as_ref() == other)
+}
+
+fn guard_class(guard: &Expr, class_of: &BTreeMap<String, usize>) -> Option<usize> {
+    match guard {
+        Expr::Var(name) => class_of.get(name).copied(),
+        _ => None,
+    }
+}
+
+fn expr_class(expr: &Expr, class_of: &BTreeMap<String, usize>) -> Option<usize> {
+    let refs = expr.referenced_signals();
+    if refs.len() == 1 {
+        class_of.get(&refs[0]).copied()
+    } else {
+        None
+    }
+}
+
+/// A small union-find over signal indices.
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProcessBuilder;
+    use crate::value::{Value, ValueType};
+
+    fn counter() -> Process {
+        let mut b = ProcessBuilder::new("counter");
+        b.input("tick", ValueType::Event);
+        b.output("count", ValueType::Integer);
+        b.define(
+            "count",
+            Expr::add(Expr::delay(Expr::var("count"), Value::Int(0)), Expr::int(1)),
+        );
+        b.synchronize(&["count", "tick"]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counter_is_single_clocked_and_deterministic() {
+        let cc = ClockCalculus::analyze(&counter()).unwrap();
+        assert_eq!(cc.clock_count(), 1);
+        assert!(cc.are_synchronous("tick", "count"));
+        assert!(cc.is_endochronous());
+        assert!(cc.determinism().is_deterministic());
+        assert_eq!(cc.hierarchy_depth(), 0);
+        assert_eq!(cc.process_name(), "counter");
+    }
+
+    #[test]
+    fn sampling_creates_subclock() {
+        let mut b = ProcessBuilder::new("sampler");
+        b.input("x", ValueType::Integer);
+        b.input("c", ValueType::Boolean);
+        b.output("y", ValueType::Integer);
+        b.define("y", Expr::when(Expr::var("x"), Expr::var("c")));
+        let p = b.build().unwrap();
+        let cc = ClockCalculus::analyze(&p).unwrap();
+        assert_eq!(cc.clock_count(), 3);
+        let y = cc.class_of("y").unwrap().id;
+        let x = cc.class_of("x").unwrap().id;
+        let c = cc.class_of("c").unwrap().id;
+        assert!(cc.is_subclock(y, x));
+        assert!(cc.is_subclock(y, c));
+        assert!(!cc.is_subclock(x, y));
+        // x and c are unrelated master clocks: the process is polychronous.
+        assert_eq!(cc.master_clocks().len(), 2);
+        assert!(!cc.is_endochronous());
+    }
+
+    #[test]
+    fn merge_creates_superclock() {
+        let mut b = ProcessBuilder::new("merge");
+        b.input("u", ValueType::Integer);
+        b.input("v", ValueType::Integer);
+        b.output("y", ValueType::Integer);
+        b.define("y", Expr::default(Expr::var("u"), Expr::var("v")));
+        let p = b.build().unwrap();
+        let cc = ClockCalculus::analyze(&p).unwrap();
+        let y = cc.class_of("y").unwrap().id;
+        let u = cc.class_of("u").unwrap().id;
+        let v = cc.class_of("v").unwrap().id;
+        assert!(cc.is_subclock(u, y));
+        assert!(cc.is_subclock(v, y));
+        // y dominates everything: single master clock.
+        assert_eq!(cc.master_clocks().len(), 1);
+        assert_eq!(cc.master_clocks()[0].id, y);
+        assert_eq!(cc.hierarchy_depth(), 1);
+    }
+
+    #[test]
+    fn duplicate_total_definitions_rejected() {
+        let mut b = ProcessBuilder::new("dup");
+        b.input("x", ValueType::Integer);
+        b.output("y", ValueType::Integer);
+        b.define("y", Expr::var("x"));
+        b.define("y", Expr::add(Expr::var("x"), Expr::int(1)));
+        let p = b.build().unwrap();
+        assert!(matches!(
+            ClockCalculus::analyze(&p),
+            Err(SignalError::MultipleDefinitions { .. })
+        ));
+    }
+
+    #[test]
+    fn overlapping_partials_flagged() {
+        let mut b = ProcessBuilder::new("shared");
+        b.input("a", ValueType::Integer);
+        b.input("b", ValueType::Integer);
+        b.output("x", ValueType::Integer);
+        b.define_partial("x", Expr::var("a"));
+        b.define_partial("x", Expr::var("b"));
+        let p = b.build().unwrap();
+        let cc = ClockCalculus::analyze(&p).unwrap();
+        assert!(!cc.determinism().is_deterministic());
+    }
+
+    #[test]
+    fn exclusive_partials_by_declared_exclusion_are_deterministic() {
+        let mut b = ProcessBuilder::new("shared");
+        b.input("a", ValueType::Integer);
+        b.input("b", ValueType::Integer);
+        b.output("x", ValueType::Integer);
+        b.define_partial("x", Expr::var("a"));
+        b.define_partial("x", Expr::var("b"));
+        b.exclude(&["a", "b"]);
+        let p = b.build().unwrap();
+        let cc = ClockCalculus::analyze(&p).unwrap();
+        assert!(cc.determinism().is_deterministic());
+        assert_eq!(cc.exclusions().len(), 1);
+    }
+
+    #[test]
+    fn complementary_guards_are_deterministic() {
+        let mut b = ProcessBuilder::new("guarded");
+        b.input("a", ValueType::Integer);
+        b.input("c", ValueType::Boolean);
+        b.output("x", ValueType::Integer);
+        b.define_partial("x", Expr::when(Expr::var("a"), Expr::var("c")));
+        b.define_partial("x", Expr::when(Expr::var("a"), Expr::not(Expr::var("c"))));
+        let p = b.build().unwrap();
+        let cc = ClockCalculus::analyze(&p).unwrap();
+        assert!(cc.determinism().is_deterministic());
+    }
+
+    #[test]
+    fn mixed_total_and_partial_flagged() {
+        let mut b = ProcessBuilder::new("mixed");
+        b.input("a", ValueType::Integer);
+        b.output("x", ValueType::Integer);
+        b.define("x", Expr::var("a"));
+        b.define_partial("x", Expr::var("a"));
+        let p = b.build().unwrap();
+        let cc = ClockCalculus::analyze(&p).unwrap();
+        assert!(!cc.determinism().is_deterministic());
+    }
+
+    #[test]
+    fn class_lookup_and_label() {
+        let cc = ClockCalculus::analyze(&counter()).unwrap();
+        let class = cc.class_of("count").unwrap();
+        assert_eq!(class.signals, vec!["count".to_string(), "tick".to_string()]);
+        assert_eq!(class.label(), "count");
+        assert!(cc.class_of("nope").is_none());
+    }
+}

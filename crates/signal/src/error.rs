@@ -1,0 +1,158 @@
+//! Error type shared by all analyses of the polychronous core.
+
+use std::fmt;
+
+/// Errors reported by process construction, validation, the clock calculus
+/// and the evaluator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SignalError {
+    /// Two signals with the same name were declared in one process.
+    DuplicateSignal {
+        /// Enclosing process.
+        process: String,
+        /// Offending signal name.
+        signal: String,
+    },
+    /// An equation references a signal that is not declared.
+    UndeclaredSignal {
+        /// Enclosing process.
+        process: String,
+        /// Offending signal name.
+        signal: String,
+    },
+    /// A declared output has no defining equation.
+    UndefinedOutput {
+        /// Enclosing process.
+        process: String,
+        /// Offending signal name.
+        signal: String,
+    },
+    /// A signal has more than one total definition.
+    MultipleDefinitions {
+        /// Enclosing process.
+        process: String,
+        /// Offending signal name.
+        signal: String,
+    },
+    /// A sub-process instance refers to an unknown process model.
+    UnknownProcess(String),
+    /// A sub-process instance has the wrong number of arguments.
+    ArityMismatch {
+        /// Instantiating process.
+        caller: String,
+        /// Instantiated process.
+        callee: String,
+        /// Number of inputs declared by the callee.
+        expected_inputs: usize,
+        /// Number of inputs supplied by the caller.
+        actual_inputs: usize,
+        /// Number of outputs declared by the callee.
+        expected_outputs: usize,
+        /// Number of outputs supplied by the caller.
+        actual_outputs: usize,
+    },
+    /// The process-instance graph is recursive.
+    RecursionLimit(String),
+    /// The instantaneous dependency graph contains a cycle (deadlock).
+    CausalityCycle {
+        /// Enclosing process.
+        process: String,
+        /// Signals participating in the cycle, in order.
+        cycle: Vec<String>,
+    },
+    /// The clock calculus found contradictory synchronisation constraints.
+    ClockContradiction {
+        /// Enclosing process.
+        process: String,
+        /// Human-readable description of the contradiction.
+        detail: String,
+    },
+    /// The evaluator was given traces that violate a synchronisation
+    /// constraint.
+    SynchronizationViolation {
+        /// Instant index at which the violation occurred.
+        instant: usize,
+        /// Description of the violated constraint.
+        detail: String,
+    },
+    /// The evaluator encountered a type error.
+    TypeError {
+        /// Description of the type mismatch.
+        detail: String,
+    },
+    /// The evaluator could not resolve all signals at an instant (the process
+    /// is not executable with the provided inputs).
+    NotExecutable {
+        /// Instant index at which execution got stuck.
+        instant: usize,
+        /// Signals whose presence could not be resolved.
+        unresolved: Vec<String>,
+    },
+}
+
+impl fmt::Display for SignalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignalError::DuplicateSignal { process, signal } => {
+                write!(f, "duplicate signal `{signal}` in process `{process}`")
+            }
+            SignalError::UndeclaredSignal { process, signal } => {
+                write!(f, "signal `{signal}` is not declared in process `{process}`")
+            }
+            SignalError::UndefinedOutput { process, signal } => {
+                write!(f, "output `{signal}` of process `{process}` has no definition")
+            }
+            SignalError::MultipleDefinitions { process, signal } => {
+                write!(f, "signal `{signal}` has several total definitions in `{process}`")
+            }
+            SignalError::UnknownProcess(name) => write!(f, "unknown process `{name}`"),
+            SignalError::ArityMismatch {
+                caller,
+                callee,
+                expected_inputs,
+                actual_inputs,
+                expected_outputs,
+                actual_outputs,
+            } => write!(
+                f,
+                "instance of `{callee}` in `{caller}` has arity ({actual_inputs} in, {actual_outputs} out), expected ({expected_inputs} in, {expected_outputs} out)"
+            ),
+            SignalError::RecursionLimit(name) => {
+                write!(f, "process instance graph is recursive at `{name}`")
+            }
+            SignalError::CausalityCycle { process, cycle } => {
+                write!(f, "causality cycle in `{process}`: {}", cycle.join(" -> "))
+            }
+            SignalError::ClockContradiction { process, detail } => {
+                write!(f, "clock contradiction in `{process}`: {detail}")
+            }
+            SignalError::SynchronizationViolation { instant, detail } => {
+                write!(f, "synchronization violated at instant {instant}: {detail}")
+            }
+            SignalError::TypeError { detail } => write!(f, "type error: {detail}"),
+            SignalError::NotExecutable { instant, unresolved } => write!(
+                f,
+                "process not executable at instant {instant}: unresolved signals {}",
+                unresolved.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SignalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let err = SignalError::CausalityCycle {
+            process: "p".into(),
+            cycle: vec!["a".into(), "b".into(), "a".into()],
+        };
+        assert_eq!(err.to_string(), "causality cycle in `p`: a -> b -> a");
+        let err = SignalError::UnknownProcess("q".into());
+        assert!(err.to_string().contains("q"));
+    }
+}

@@ -1,0 +1,1094 @@
+//! A denotational evaluator for flat SIGNAL processes over multi-clock
+//! traces.
+//!
+//! The evaluator executes the kernel operators with their polychronous
+//! semantics (Section III of the paper): at each logical instant it resolves
+//! the presence and value of every signal from the provided input step, using
+//! a fixpoint over the equations, then commits the state of `delay` and
+//! `cell` operators. It is used to validate the AADL-to-SIGNAL translation
+//! (input freezing, port FIFOs, shared data) and as the kernel of the
+//! simulator crate.
+
+use std::collections::BTreeMap;
+
+use crate::error::SignalError;
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::process::{Equation, Process};
+use crate::trace::{Trace, TraceStep};
+use crate::value::Value;
+
+/// Resolution of a signal (or sub-expression) at an instant.
+#[derive(Debug, Clone, PartialEq)]
+enum Res {
+    /// Not yet determined.
+    Unknown,
+    /// Known absent.
+    Absent,
+    /// Known present, value not yet determined (e.g. propagated through a
+    /// clock constraint before the defining equation could be computed).
+    PresentUnknown,
+    /// Known present with a value.
+    Present(Value),
+    /// A constant: present at whatever clock the context requires.
+    Any(Value),
+}
+
+impl Res {
+    fn known(&self) -> bool {
+        !matches!(self, Res::Unknown)
+    }
+
+    fn is_present(&self) -> bool {
+        matches!(self, Res::Present(_) | Res::Any(_) | Res::PresentUnknown)
+    }
+
+    fn value(&self) -> Option<&Value> {
+        match self {
+            Res::Present(v) | Res::Any(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// State of one stateful operator (`delay` or `cell`) in the process body.
+#[derive(Debug, Clone)]
+struct OperatorState {
+    current: Value,
+    pending: Option<Value>,
+}
+
+/// Evaluator of a flat [`Process`] (no sub-process instances; use
+/// [`crate::process::ProcessModel::flatten`] first).
+///
+/// ```
+/// use signal_moc::builder::ProcessBuilder;
+/// use signal_moc::eval::Evaluator;
+/// use signal_moc::expr::Expr;
+/// use signal_moc::trace::{Trace, TraceStep};
+/// use signal_moc::value::{Value, ValueType};
+///
+/// let mut b = ProcessBuilder::new("counter");
+/// b.input("tick", ValueType::Event);
+/// b.output("count", ValueType::Integer);
+/// b.define("count", Expr::add(Expr::delay(Expr::var("count"), Value::Int(0)), Expr::int(1)));
+/// b.synchronize(&["count", "tick"]);
+/// let process = b.build()?;
+///
+/// let mut inputs = Trace::new();
+/// for t in 0..3 { inputs.set(t, "tick", Value::Event); }
+/// let mut eval = Evaluator::new(&process)?;
+/// let out = eval.run(&inputs)?;
+/// assert_eq!(out.flow_of("count"), vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+/// # Ok::<(), signal_moc::SignalError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    process: Process,
+    states: Vec<OperatorState>,
+    max_iterations: usize,
+}
+
+impl Evaluator {
+    /// Prepares an evaluator for `process`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the process contains sub-process instances (it
+    /// must be flattened first) or fails validation.
+    pub fn new(process: &Process) -> Result<Self, SignalError> {
+        process.validate()?;
+        if process
+            .equations
+            .iter()
+            .any(|eq| matches!(eq, Equation::Instance { .. }))
+        {
+            return Err(SignalError::UnknownProcess(format!(
+                "process `{}` must be flattened before evaluation",
+                process.name
+            )));
+        }
+        let mut states = Vec::new();
+        for eq in &process.equations {
+            if let Equation::Definition { expr, .. } | Equation::PartialDefinition { expr, .. } = eq
+            {
+                collect_states(expr, &mut states);
+            }
+        }
+        Ok(Self {
+            process: process.clone(),
+            states,
+            max_iterations: 64,
+        })
+    }
+
+    /// The process being evaluated.
+    pub fn process(&self) -> &Process {
+        &self.process
+    }
+
+    /// Resets all `delay`/`cell` states to their initial values.
+    pub fn reset(&mut self) {
+        let mut fresh = Vec::new();
+        for eq in &self.process.equations {
+            if let Equation::Definition { expr, .. } | Equation::PartialDefinition { expr, .. } = eq
+            {
+                collect_states(expr, &mut fresh);
+            }
+        }
+        self.states = fresh;
+    }
+
+    /// Executes the process for every instant of `inputs`, returning the
+    /// complete trace (inputs, locals and outputs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SignalError`] if a synchronisation constraint is violated,
+    /// a stepwise operator is applied to non-synchronous operands, a signal
+    /// receives two different values at the same instant, or the process is
+    /// not executable from the provided inputs.
+    pub fn run(&mut self, inputs: &Trace) -> Result<Trace, SignalError> {
+        let mut out = Trace::new();
+        for t in 0..inputs.len() {
+            let step = inputs.step(t).cloned().unwrap_or_default();
+            let resolved = self.step(t, &step)?;
+            out.push(resolved);
+        }
+        Ok(out)
+    }
+
+    /// Executes a single instant given the input step, committing operator
+    /// states, and returns the full resolved step.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Evaluator::run`].
+    pub fn step(&mut self, instant: usize, input: &TraceStep) -> Result<TraceStep, SignalError> {
+        let mut env: BTreeMap<String, Res> = BTreeMap::new();
+        // Inputs are fully specified by the caller: absent unless given.
+        for decl in self.process.inputs() {
+            match input.get(&decl.name) {
+                Some(v) => env.insert(decl.name.clone(), Res::Present(v.clone())),
+                None => env.insert(decl.name.clone(), Res::Absent),
+            };
+        }
+        for decl in self.process.signals.iter() {
+            env.entry(decl.name.clone()).or_insert(Res::Unknown);
+        }
+
+        // Fixpoint over the equations.
+        let mut changed = true;
+        let mut iterations = 0;
+        while changed {
+            changed = false;
+            iterations += 1;
+            if iterations > self.max_iterations {
+                break;
+            }
+            let mut cursor = 0usize;
+            for eq in &self.process.equations {
+                match eq {
+                    Equation::Definition { target, expr } => {
+                        let res = self.eval(expr, &env, &mut cursor, instant)?;
+                        changed |= merge_total(&mut env, target, res, instant)?;
+                    }
+                    Equation::PartialDefinition { target, expr } => {
+                        let res = self.eval(expr, &env, &mut cursor, instant)?;
+                        changed |= merge_partial(&mut env, target, res, instant)?;
+                    }
+                    Equation::ClockConstraint { signals } => {
+                        // Propagate presence/absence across a synchronisation
+                        // class: if any member is decided, undecided members
+                        // follow.
+                        let any_present = signals
+                            .iter()
+                            .any(|s| env.get(s).map(Res::is_present).unwrap_or(false));
+                        let any_absent = signals
+                            .iter()
+                            .any(|s| matches!(env.get(s), Some(Res::Absent)));
+                        if any_present && any_absent {
+                            return Err(SignalError::SynchronizationViolation {
+                                instant,
+                                detail: format!(
+                                    "signals {} must be synchronous",
+                                    signals.join(" ^= ")
+                                ),
+                            });
+                        }
+                        if any_present || any_absent {
+                            for s in signals {
+                                if matches!(env.get(s), Some(Res::Unknown) | None) {
+                                    let fill = if any_present {
+                                        Res::PresentUnknown
+                                    } else {
+                                        Res::Absent
+                                    };
+                                    env.insert(s.clone(), fill);
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+                    Equation::ClockExclusion { .. } => {}
+                    Equation::Instance { .. } => unreachable!("rejected in new()"),
+                }
+            }
+        }
+
+        // Signals known present but without a computed value: pure events
+        // carry no value, so presence is enough; anything else is stuck.
+        let mut stuck = Vec::new();
+        let decls: Vec<(String, crate::value::ValueType)> = self
+            .process
+            .signals
+            .iter()
+            .map(|d| (d.name.clone(), d.ty))
+            .collect();
+        for (name, ty) in &decls {
+            if matches!(env.get(name), Some(Res::PresentUnknown)) {
+                if *ty == crate::value::ValueType::Event {
+                    env.insert(name.clone(), Res::Present(Value::Event));
+                } else {
+                    stuck.push(name.clone());
+                }
+            }
+        }
+        if !stuck.is_empty() {
+            return Err(SignalError::NotExecutable {
+                instant,
+                unresolved: stuck,
+            });
+        }
+
+        // Default-to-absent completion: any still-unknown signal is assumed
+        // absent, then all equations are re-checked for consistency.
+        let unresolved: Vec<String> = env
+            .iter()
+            .filter(|(_, r)| !r.known())
+            .map(|(n, _)| n.clone())
+            .collect();
+        for name in &unresolved {
+            env.insert(name.clone(), Res::Absent);
+        }
+        self.verify(&env, instant)?;
+        self.check_constraints(&env, instant)?;
+        self.commit(&env, instant)?;
+
+        let mut step = TraceStep::new();
+        for (name, res) in &env {
+            if let Res::Present(v) | Res::Any(v) = res {
+                step.set(name.clone(), v.clone());
+            }
+        }
+        Ok(step)
+    }
+
+    /// Re-evaluates every definition under the completed environment and
+    /// checks consistency.
+    fn verify(&mut self, env: &BTreeMap<String, Res>, instant: usize) -> Result<(), SignalError> {
+        let mut cursor = 0usize;
+        let equations = self.process.equations.clone();
+        // Track, per partially-defined signal, whether some partial fired.
+        let mut partial_fired: BTreeMap<String, bool> = BTreeMap::new();
+        let mut partial_targets: Vec<String> = Vec::new();
+        for eq in &equations {
+            match eq {
+                Equation::Definition { target, expr } => {
+                    let res = self.eval(expr, env, &mut cursor, instant)?;
+                    let current = env.get(target).cloned().unwrap_or(Res::Unknown);
+                    if !consistent(&current, &res) {
+                        return Err(SignalError::NotExecutable {
+                            instant,
+                            unresolved: vec![target.clone()],
+                        });
+                    }
+                }
+                Equation::PartialDefinition { target, expr } => {
+                    partial_targets.push(target.clone());
+                    let res = self.eval(expr, env, &mut cursor, instant)?;
+                    let entry = partial_fired.entry(target.clone()).or_insert(false);
+                    match res {
+                        Res::Present(ref v) | Res::Any(ref v) => {
+                            *entry = true;
+                            let current = env.get(target).cloned().unwrap_or(Res::Unknown);
+                            if let Some(cv) = current.value() {
+                                if cv != v {
+                                    return Err(SignalError::MultipleDefinitions {
+                                        process: self.process.name.clone(),
+                                        signal: target.clone(),
+                                    });
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                _ => {}
+            }
+        }
+        // A partially-defined signal that is present must have at least one
+        // firing partial definition or be an input.
+        for target in partial_targets {
+            let is_input = self.process.inputs().any(|d| d.name == target);
+            if is_input {
+                continue;
+            }
+            let present = matches!(env.get(&target), Some(Res::Present(_)) | Some(Res::Any(_)));
+            let has_total = self.process.equations.iter().any(|eq| {
+                matches!(eq, Equation::Definition { target: t, .. } if t == &target)
+            });
+            if present && !has_total && !partial_fired.get(&target).copied().unwrap_or(false) {
+                return Err(SignalError::NotExecutable {
+                    instant,
+                    unresolved: vec![target],
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn check_constraints(
+        &self,
+        env: &BTreeMap<String, Res>,
+        instant: usize,
+    ) -> Result<(), SignalError> {
+        for eq in &self.process.equations {
+            match eq {
+                Equation::ClockConstraint { signals } => {
+                    let mut present: Option<bool> = None;
+                    for s in signals {
+                        let p = matches!(env.get(s), Some(Res::Present(_)) | Some(Res::Any(_)));
+                        match present {
+                            None => present = Some(p),
+                            Some(prev) if prev != p => {
+                                return Err(SignalError::SynchronizationViolation {
+                                    instant,
+                                    detail: format!(
+                                        "signals {} must be synchronous",
+                                        signals.join(" ^= ")
+                                    ),
+                                });
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                Equation::ClockExclusion { signals } => {
+                    let count = signals
+                        .iter()
+                        .filter(|s| {
+                            matches!(env.get(s.as_str()), Some(Res::Present(_)) | Some(Res::Any(_)))
+                        })
+                        .count();
+                    if count > 1 {
+                        return Err(SignalError::SynchronizationViolation {
+                            instant,
+                            detail: format!(
+                                "signals {} must be mutually exclusive",
+                                signals.join(" # ")
+                            ),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Commits the pending state of every `delay`/`cell` operator.
+    fn commit(&mut self, env: &BTreeMap<String, Res>, instant: usize) -> Result<(), SignalError> {
+        // Recompute pending updates under the final environment, then apply.
+        let mut cursor = 0usize;
+        let equations = self.process.equations.clone();
+        for st in &mut self.states {
+            st.pending = None;
+        }
+        for eq in &equations {
+            if let Equation::Definition { expr, .. } | Equation::PartialDefinition { expr, .. } = eq
+            {
+                self.record_pending(expr, env, &mut cursor, instant)?;
+            }
+        }
+        for st in &mut self.states {
+            if let Some(v) = st.pending.take() {
+                st.current = v;
+            }
+        }
+        Ok(())
+    }
+
+    fn record_pending(
+        &mut self,
+        expr: &Expr,
+        env: &BTreeMap<String, Res>,
+        cursor: &mut usize,
+        instant: usize,
+    ) -> Result<Res, SignalError> {
+        match expr {
+            Expr::Delay(e, _) => {
+                let idx = *cursor;
+                *cursor += 1;
+                let inner = self.record_pending(e, env, cursor, instant)?;
+                let res = match &inner {
+                    Res::Present(_) | Res::Any(_) | Res::PresentUnknown => {
+                        Res::Present(self.states[idx].current.clone())
+                    }
+                    Res::Absent => Res::Absent,
+                    Res::Unknown => Res::Unknown,
+                };
+                if let Some(v) = inner.value() {
+                    self.states[idx].pending = Some(v.clone());
+                }
+                Ok(res)
+            }
+            Expr::Cell(i, b, _) => {
+                let idx = *cursor;
+                *cursor += 1;
+                let vi = self.record_pending(i, env, cursor, instant)?;
+                let vb = self.record_pending(b, env, cursor, instant)?;
+                if let Some(v) = vi.value() {
+                    self.states[idx].pending = Some(v.clone());
+                }
+                let res = cell_result(&vi, &vb, &self.states[idx].current);
+                Ok(res)
+            }
+            Expr::Var(name) => Ok(env.get(name).cloned().unwrap_or(Res::Unknown)),
+            Expr::Const(v) => Ok(Res::Any(v.clone())),
+            Expr::Unary(op, e) => {
+                let v = self.record_pending(e, env, cursor, instant)?;
+                apply_unary(*op, &v)
+            }
+            Expr::Binary(op, a, b) => {
+                let va = self.record_pending(a, env, cursor, instant)?;
+                let vb = self.record_pending(b, env, cursor, instant)?;
+                apply_binary(*op, &va, &vb, instant)
+            }
+            Expr::When(e, b) => {
+                let ve = self.record_pending(e, env, cursor, instant)?;
+                let vb = self.record_pending(b, env, cursor, instant)?;
+                Ok(when_result(&ve, &vb))
+            }
+            Expr::Default(u, v) => {
+                let vu = self.record_pending(u, env, cursor, instant)?;
+                let vv = self.record_pending(v, env, cursor, instant)?;
+                Ok(default_result(&vu, &vv))
+            }
+            Expr::ClockOf(e) => {
+                let v = self.record_pending(e, env, cursor, instant)?;
+                Ok(clock_of_result(&v))
+            }
+            Expr::ClockWhen(b) => {
+                let v = self.record_pending(b, env, cursor, instant)?;
+                Ok(clock_when_result(&v))
+            }
+        }
+    }
+
+    /// Evaluates an expression under the current (possibly partial)
+    /// environment. `cursor` walks the stateful-operator table in the same
+    /// pre-order as [`collect_states`].
+    fn eval(
+        &self,
+        expr: &Expr,
+        env: &BTreeMap<String, Res>,
+        cursor: &mut usize,
+        instant: usize,
+    ) -> Result<Res, SignalError> {
+        match expr {
+            Expr::Var(name) => Ok(env.get(name).cloned().unwrap_or(Res::Unknown)),
+            Expr::Const(v) => Ok(Res::Any(v.clone())),
+            Expr::Unary(op, e) => {
+                let v = self.eval(e, env, cursor, instant)?;
+                apply_unary(*op, &v)
+            }
+            Expr::Binary(op, a, b) => {
+                let va = self.eval(a, env, cursor, instant)?;
+                let vb = self.eval(b, env, cursor, instant)?;
+                apply_binary(*op, &va, &vb, instant)
+            }
+            Expr::Delay(e, _) => {
+                let idx = *cursor;
+                *cursor += 1;
+                let inner = self.eval(e, env, cursor, instant)?;
+                Ok(match inner {
+                    Res::Present(_) | Res::Any(_) | Res::PresentUnknown => {
+                        Res::Present(self.states[idx].current.clone())
+                    }
+                    Res::Absent => Res::Absent,
+                    Res::Unknown => Res::Unknown,
+                })
+            }
+            Expr::When(e, b) => {
+                let ve = self.eval(e, env, cursor, instant)?;
+                let vb = self.eval(b, env, cursor, instant)?;
+                Ok(when_result(&ve, &vb))
+            }
+            Expr::Default(u, v) => {
+                let vu = self.eval(u, env, cursor, instant)?;
+                let vv = self.eval(v, env, cursor, instant)?;
+                Ok(default_result(&vu, &vv))
+            }
+            Expr::Cell(i, b, _) => {
+                let idx = *cursor;
+                *cursor += 1;
+                let vi = self.eval(i, env, cursor, instant)?;
+                let vb = self.eval(b, env, cursor, instant)?;
+                Ok(cell_result(&vi, &vb, &self.states[idx].current))
+            }
+            Expr::ClockOf(e) => {
+                let v = self.eval(e, env, cursor, instant)?;
+                Ok(clock_of_result(&v))
+            }
+            Expr::ClockWhen(b) => {
+                let v = self.eval(b, env, cursor, instant)?;
+                Ok(clock_when_result(&v))
+            }
+        }
+    }
+}
+
+/// Pre-order collection of the initial states of `delay`/`cell` operators.
+fn collect_states(expr: &Expr, states: &mut Vec<OperatorState>) {
+    match expr {
+        Expr::Delay(e, init) => {
+            states.push(OperatorState {
+                current: init.clone(),
+                pending: None,
+            });
+            collect_states(e, states);
+        }
+        Expr::Cell(i, b, init) => {
+            states.push(OperatorState {
+                current: init.clone(),
+                pending: None,
+            });
+            collect_states(i, states);
+            collect_states(b, states);
+        }
+        Expr::Unary(_, e) | Expr::ClockOf(e) | Expr::ClockWhen(e) => collect_states(e, states),
+        Expr::Binary(_, a, b) | Expr::When(a, b) | Expr::Default(a, b) => {
+            collect_states(a, states);
+            collect_states(b, states);
+        }
+        Expr::Var(_) | Expr::Const(_) => {}
+    }
+}
+
+fn consistent(current: &Res, computed: &Res) -> bool {
+    match (current, computed) {
+        (_, Res::Unknown) | (Res::Unknown, _) => true,
+        (_, Res::PresentUnknown) => current.is_present() || matches!(current, Res::Unknown),
+        (Res::PresentUnknown, _) => computed.is_present(),
+        (Res::Absent, Res::Absent) => true,
+        // A constant expression is satisfied by an absent target (the
+        // constant takes the clock of the target).
+        (Res::Absent, Res::Any(_)) => true,
+        (Res::Present(a) | Res::Any(a), Res::Present(b) | Res::Any(b)) => a == b,
+        (Res::Present(_), Res::Absent) | (Res::Absent, Res::Present(_)) => false,
+        (Res::Any(_), Res::Absent) => false,
+    }
+}
+
+fn merge_total(
+    env: &mut BTreeMap<String, Res>,
+    target: &str,
+    res: Res,
+    instant: usize,
+) -> Result<bool, SignalError> {
+    let current = env.get(target).cloned().unwrap_or(Res::Unknown);
+    match (&current, &res) {
+        (_, Res::Unknown) => Ok(false),
+        (Res::Unknown, _) => {
+            // A constant defining expression leaves the clock free; keep it
+            // as Any so that constraints can still decide.
+            env.insert(target.to_string(), res);
+            Ok(true)
+        }
+        // Upgrade a presence-only resolution to a full value.
+        (Res::PresentUnknown, Res::Present(_) | Res::Any(_)) => {
+            env.insert(target.to_string(), res);
+            Ok(true)
+        }
+        _ => {
+            if consistent(&current, &res) {
+                Ok(false)
+            } else {
+                Err(SignalError::SynchronizationViolation {
+                    instant,
+                    detail: format!("conflicting resolutions for `{target}`"),
+                })
+            }
+        }
+    }
+}
+
+fn merge_partial(
+    env: &mut BTreeMap<String, Res>,
+    target: &str,
+    res: Res,
+    instant: usize,
+) -> Result<bool, SignalError> {
+    match res {
+        Res::Present(v) | Res::Any(v) => {
+            let current = env.get(target).cloned().unwrap_or(Res::Unknown);
+            match current {
+                Res::Unknown | Res::Absent | Res::PresentUnknown => {
+                    env.insert(target.to_string(), Res::Present(v));
+                    Ok(true)
+                }
+                Res::Present(ref cv) | Res::Any(ref cv) => {
+                    if cv == &v {
+                        Ok(false)
+                    } else {
+                        Err(SignalError::SynchronizationViolation {
+                            instant,
+                            detail: format!(
+                                "partial definitions give `{target}` two values at the same instant"
+                            ),
+                        })
+                    }
+                }
+            }
+        }
+        // An absent or unknown partial contributes nothing; absence of the
+        // target can only be concluded globally.
+        _ => Ok(false),
+    }
+}
+
+fn when_result(e: &Res, b: &Res) -> Res {
+    match b {
+        Res::Absent => Res::Absent,
+        Res::Present(v) | Res::Any(v) => {
+            if v.as_bool() {
+                match e {
+                    Res::Present(x) | Res::Any(x) => Res::Present(x.clone()),
+                    Res::PresentUnknown => Res::PresentUnknown,
+                    Res::Absent => Res::Absent,
+                    Res::Unknown => Res::Unknown,
+                }
+            } else {
+                Res::Absent
+            }
+        }
+        // The sampling condition is known present but its value is not known
+        // yet: the result cannot be decided.
+        Res::PresentUnknown => match e {
+            Res::Absent => Res::Absent,
+            _ => Res::Unknown,
+        },
+        Res::Unknown => match e {
+            Res::Absent => Res::Absent,
+            _ => Res::Unknown,
+        },
+    }
+}
+
+fn default_result(u: &Res, v: &Res) -> Res {
+    match u {
+        Res::Present(x) | Res::Any(x) => Res::Present(x.clone()),
+        Res::PresentUnknown => Res::PresentUnknown,
+        Res::Absent => match v {
+            Res::Present(y) | Res::Any(y) => Res::Present(y.clone()),
+            Res::PresentUnknown => Res::PresentUnknown,
+            Res::Absent => Res::Absent,
+            Res::Unknown => Res::Unknown,
+        },
+        Res::Unknown => Res::Unknown,
+    }
+}
+
+fn cell_result(i: &Res, b: &Res, memory: &Value) -> Res {
+    match i {
+        Res::Present(v) | Res::Any(v) => Res::Present(v.clone()),
+        Res::PresentUnknown => Res::PresentUnknown,
+        Res::Absent => match b {
+            Res::Present(bv) | Res::Any(bv) => {
+                if bv.as_bool() {
+                    Res::Present(memory.clone())
+                } else {
+                    Res::Absent
+                }
+            }
+            Res::PresentUnknown => Res::Unknown,
+            Res::Absent => Res::Absent,
+            Res::Unknown => Res::Unknown,
+        },
+        Res::Unknown => Res::Unknown,
+    }
+}
+
+fn clock_of_result(e: &Res) -> Res {
+    match e {
+        Res::Present(_) | Res::Any(_) | Res::PresentUnknown => Res::Present(Value::Event),
+        Res::Absent => Res::Absent,
+        Res::Unknown => Res::Unknown,
+    }
+}
+
+fn clock_when_result(b: &Res) -> Res {
+    match b {
+        Res::Present(v) | Res::Any(v) => {
+            if v.as_bool() {
+                Res::Present(Value::Event)
+            } else {
+                Res::Absent
+            }
+        }
+        Res::PresentUnknown => Res::Unknown,
+        Res::Absent => Res::Absent,
+        Res::Unknown => Res::Unknown,
+    }
+}
+
+fn apply_unary(op: UnOp, v: &Res) -> Result<Res, SignalError> {
+    match v {
+        Res::Unknown => Ok(Res::Unknown),
+        Res::PresentUnknown => Ok(Res::PresentUnknown),
+        Res::Absent => Ok(Res::Absent),
+        Res::Present(x) | Res::Any(x) => {
+            let out = match op {
+                UnOp::Neg => match x {
+                    Value::Int(i) => Value::Int(-i),
+                    Value::Real(r) => Value::Real(-r),
+                    other => {
+                        return Err(SignalError::TypeError {
+                            detail: format!("cannot negate {other}"),
+                        })
+                    }
+                },
+                UnOp::Not => Value::Bool(!x.as_bool()),
+            };
+            Ok(match v {
+                Res::Any(_) => Res::Any(out),
+                _ => Res::Present(out),
+            })
+        }
+    }
+}
+
+fn apply_binary(op: BinOp, a: &Res, b: &Res, instant: usize) -> Result<Res, SignalError> {
+    match (a, b) {
+        (Res::Unknown, _) | (_, Res::Unknown) => Ok(Res::Unknown),
+        (Res::Absent, Res::Absent) => Ok(Res::Absent),
+        (Res::Absent, Res::Any(_)) | (Res::Any(_), Res::Absent) => Ok(Res::Absent),
+        (Res::Absent, Res::Present(_) | Res::PresentUnknown)
+        | (Res::Present(_) | Res::PresentUnknown, Res::Absent) => {
+            Err(SignalError::SynchronizationViolation {
+                instant,
+                detail: format!("operands of `{}` are not synchronous", op.symbol()),
+            })
+        }
+        (Res::PresentUnknown, _) | (_, Res::PresentUnknown) => Ok(Res::PresentUnknown),
+        (Res::Present(x) | Res::Any(x), Res::Present(y) | Res::Any(y)) => {
+            let out = compute_binary(op, x, y)?;
+            if matches!(a, Res::Any(_)) && matches!(b, Res::Any(_)) {
+                Ok(Res::Any(out))
+            } else {
+                Ok(Res::Present(out))
+            }
+        }
+    }
+}
+
+fn compute_binary(op: BinOp, x: &Value, y: &Value) -> Result<Value, SignalError> {
+    use BinOp::*;
+    let type_err = || SignalError::TypeError {
+        detail: format!("cannot apply `{}` to {x} and {y}", op.symbol()),
+    };
+    match op {
+        And => Ok(Value::Bool(x.as_bool() && y.as_bool())),
+        Or => Ok(Value::Bool(x.as_bool() || y.as_bool())),
+        Eq => Ok(Value::Bool(values_equal(x, y))),
+        Ne => Ok(Value::Bool(!values_equal(x, y))),
+        Lt | Le | Gt | Ge => {
+            let (a, b) = (x.as_real().ok_or_else(type_err)?, y.as_real().ok_or_else(type_err)?);
+            let r = match op {
+                Lt => a < b,
+                Le => a <= b,
+                Gt => a > b,
+                Ge => a >= b,
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(r))
+        }
+        Add | Sub | Mul | Div | Mod => match (x, y) {
+            (Value::Int(a), Value::Int(b)) => {
+                let r = match op {
+                    Add => a.wrapping_add(*b),
+                    Sub => a.wrapping_sub(*b),
+                    Mul => a.wrapping_mul(*b),
+                    Div => {
+                        if *b == 0 {
+                            return Err(SignalError::TypeError {
+                                detail: "integer division by zero".into(),
+                            });
+                        }
+                        a / b
+                    }
+                    Mod => {
+                        if *b == 0 {
+                            return Err(SignalError::TypeError {
+                                detail: "integer modulo by zero".into(),
+                            });
+                        }
+                        a.rem_euclid(*b)
+                    }
+                    _ => unreachable!(),
+                };
+                Ok(Value::Int(r))
+            }
+            _ => {
+                let (a, b) = (x.as_real().ok_or_else(type_err)?, y.as_real().ok_or_else(type_err)?);
+                let r = match op {
+                    Add => a + b,
+                    Sub => a - b,
+                    Mul => a * b,
+                    Div => a / b,
+                    Mod => a.rem_euclid(b),
+                    _ => unreachable!(),
+                };
+                Ok(Value::Real(r))
+            }
+        },
+    }
+}
+
+fn values_equal(x: &Value, y: &Value) -> bool {
+    match (x, y) {
+        (Value::Int(a), Value::Real(b)) | (Value::Real(b), Value::Int(a)) => (*a as f64) == *b,
+        _ => x == y,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProcessBuilder;
+    use crate::value::ValueType;
+
+    fn run_process(p: &Process, inputs: &Trace) -> Trace {
+        Evaluator::new(p).unwrap().run(inputs).unwrap()
+    }
+
+    #[test]
+    fn counter_counts_ticks() {
+        let mut b = ProcessBuilder::new("counter");
+        b.input("tick", ValueType::Event);
+        b.output("count", ValueType::Integer);
+        b.define(
+            "count",
+            Expr::add(Expr::delay(Expr::var("count"), Value::Int(0)), Expr::int(1)),
+        );
+        b.synchronize(&["count", "tick"]);
+        let p = b.build().unwrap();
+
+        let mut inputs = Trace::new();
+        for t in [0usize, 2, 3, 5] {
+            inputs.set(t, "tick", Value::Event);
+        }
+        inputs.step_mut(6);
+        let out = run_process(&p, &inputs);
+        assert_eq!(out.clock_of("count"), vec![0, 2, 3, 5]);
+        assert_eq!(
+            out.flow_of("count"),
+            vec![Value::Int(1), Value::Int(2), Value::Int(3), Value::Int(4)]
+        );
+    }
+
+    #[test]
+    fn when_samples_on_true() {
+        let mut b = ProcessBuilder::new("sampler");
+        b.input("x", ValueType::Integer);
+        b.input("c", ValueType::Boolean);
+        b.output("y", ValueType::Integer);
+        b.define("y", Expr::when(Expr::var("x"), Expr::var("c")));
+        let p = b.build().unwrap();
+
+        let mut inputs = Trace::new();
+        inputs.set(0, "x", Value::Int(10));
+        inputs.set(0, "c", Value::Bool(true));
+        inputs.set(1, "x", Value::Int(20));
+        inputs.set(1, "c", Value::Bool(false));
+        inputs.set(2, "x", Value::Int(30));
+        // c absent at 2
+        let out = run_process(&p, &inputs);
+        assert_eq!(out.clock_of("y"), vec![0]);
+        assert_eq!(out.flow_of("y"), vec![Value::Int(10)]);
+    }
+
+    #[test]
+    fn default_merges_deterministically() {
+        let mut b = ProcessBuilder::new("merge");
+        b.input("u", ValueType::Integer);
+        b.input("v", ValueType::Integer);
+        b.output("y", ValueType::Integer);
+        b.define("y", Expr::default(Expr::var("u"), Expr::var("v")));
+        let p = b.build().unwrap();
+
+        let mut inputs = Trace::new();
+        inputs.set(0, "u", Value::Int(1));
+        inputs.set(0, "v", Value::Int(9));
+        inputs.set(1, "v", Value::Int(2));
+        inputs.step_mut(2);
+        let out = run_process(&p, &inputs);
+        assert_eq!(out.flow_of("y"), vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(out.clock_of("y"), vec![0, 1]);
+    }
+
+    #[test]
+    fn cell_implements_memory_process_fm() {
+        // o = fm(i, b): o holds i when i present, previous i when b true.
+        let mut b = ProcessBuilder::new("fm");
+        b.input("i", ValueType::Integer);
+        b.input("b", ValueType::Boolean);
+        b.output("o", ValueType::Integer);
+        b.define("o", Expr::cell(Expr::var("i"), Expr::var("b"), Value::Int(0)));
+        let p = b.build().unwrap();
+
+        let mut inputs = Trace::new();
+        // t0: i=5 (b absent)  -> o=5
+        // t1: b=true          -> o=5 (memorised)
+        // t2: b=false         -> absent
+        // t3: i=7, b=true     -> o=7
+        // t4: b=true          -> o=7
+        inputs.set(0, "i", Value::Int(5));
+        inputs.set(1, "b", Value::Bool(true));
+        inputs.set(2, "b", Value::Bool(false));
+        inputs.set(3, "i", Value::Int(7));
+        inputs.set(3, "b", Value::Bool(true));
+        inputs.set(4, "b", Value::Bool(true));
+        let out = run_process(&p, &inputs);
+        assert_eq!(out.clock_of("o"), vec![0, 1, 3, 4]);
+        assert_eq!(
+            out.flow_of("o"),
+            vec![Value::Int(5), Value::Int(5), Value::Int(7), Value::Int(7)]
+        );
+    }
+
+    #[test]
+    fn synchronization_violation_detected() {
+        let mut b = ProcessBuilder::new("sync");
+        b.input("a", ValueType::Integer);
+        b.input("b", ValueType::Integer);
+        b.output("y", ValueType::Integer);
+        b.define("y", Expr::add(Expr::var("a"), Expr::var("b")));
+        let p = b.build().unwrap();
+        let mut inputs = Trace::new();
+        inputs.set(0, "a", Value::Int(1));
+        // b absent at 0: a + b is not computable.
+        let err = Evaluator::new(&p).unwrap().run(&inputs).unwrap_err();
+        assert!(matches!(err, SignalError::SynchronizationViolation { .. }));
+    }
+
+    #[test]
+    fn clock_constraint_checked() {
+        let mut b = ProcessBuilder::new("constrained");
+        b.input("a", ValueType::Event);
+        b.input("b", ValueType::Event);
+        b.output("y", ValueType::Event);
+        b.define("y", Expr::var("a"));
+        b.synchronize(&["a", "b"]);
+        let p = b.build().unwrap();
+        let mut inputs = Trace::new();
+        inputs.set(0, "a", Value::Event);
+        let err = Evaluator::new(&p).unwrap().run(&inputs).unwrap_err();
+        assert!(matches!(err, SignalError::SynchronizationViolation { .. }));
+    }
+
+    #[test]
+    fn exclusion_constraint_checked() {
+        let mut b = ProcessBuilder::new("excl");
+        b.input("r", ValueType::Event);
+        b.input("w", ValueType::Event);
+        b.output("y", ValueType::Event);
+        b.define("y", Expr::default(Expr::var("r"), Expr::var("w")));
+        b.exclude(&["r", "w"]);
+        let p = b.build().unwrap();
+        let mut ok_inputs = Trace::new();
+        ok_inputs.set(0, "r", Value::Event);
+        ok_inputs.set(1, "w", Value::Event);
+        Evaluator::new(&p).unwrap().run(&ok_inputs).unwrap();
+        let mut bad_inputs = Trace::new();
+        bad_inputs.set(0, "r", Value::Event);
+        bad_inputs.set(0, "w", Value::Event);
+        let err = Evaluator::new(&p).unwrap().run(&bad_inputs).unwrap_err();
+        assert!(matches!(err, SignalError::SynchronizationViolation { .. }));
+    }
+
+    #[test]
+    fn partial_definitions_merge() {
+        // x ::= a when ca ; x ::= b when cb with exclusive conditions.
+        let mut bld = ProcessBuilder::new("partial");
+        bld.input("a", ValueType::Integer);
+        bld.input("b", ValueType::Integer);
+        bld.input("ca", ValueType::Boolean);
+        bld.input("cb", ValueType::Boolean);
+        bld.output("x", ValueType::Integer);
+        bld.define_partial("x", Expr::when(Expr::var("a"), Expr::var("ca")));
+        bld.define_partial("x", Expr::when(Expr::var("b"), Expr::var("cb")));
+        let p = bld.build().unwrap();
+        let mut inputs = Trace::new();
+        inputs.set(0, "a", Value::Int(1));
+        inputs.set(0, "ca", Value::Bool(true));
+        inputs.set(0, "cb", Value::Bool(false));
+        inputs.set(1, "b", Value::Int(2));
+        inputs.set(1, "ca", Value::Bool(false));
+        inputs.set(1, "cb", Value::Bool(true));
+        inputs.step_mut(2);
+        let out = run_process(&p, &inputs);
+        assert_eq!(out.flow_of("x"), vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn conflicting_partials_rejected() {
+        let mut bld = ProcessBuilder::new("conflict");
+        bld.input("a", ValueType::Integer);
+        bld.input("b", ValueType::Integer);
+        bld.output("x", ValueType::Integer);
+        bld.define_partial("x", Expr::var("a"));
+        bld.define_partial("x", Expr::var("b"));
+        let p = bld.build().unwrap();
+        let mut inputs = Trace::new();
+        inputs.set(0, "a", Value::Int(1));
+        inputs.set(0, "b", Value::Int(2));
+        let err = Evaluator::new(&p).unwrap().run(&inputs).unwrap_err();
+        assert!(matches!(
+            err,
+            SignalError::SynchronizationViolation { .. } | SignalError::MultipleDefinitions { .. }
+        ));
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut b = ProcessBuilder::new("counter");
+        b.input("tick", ValueType::Event);
+        b.output("count", ValueType::Integer);
+        b.define(
+            "count",
+            Expr::add(Expr::delay(Expr::var("count"), Value::Int(0)), Expr::int(1)),
+        );
+        b.synchronize(&["count", "tick"]);
+        let p = b.build().unwrap();
+        let mut inputs = Trace::new();
+        inputs.set(0, "tick", Value::Event);
+        let mut eval = Evaluator::new(&p).unwrap();
+        let first = eval.run(&inputs).unwrap();
+        let second = eval.run(&inputs).unwrap();
+        assert_eq!(second.flow_of("count"), vec![Value::Int(2)]);
+        eval.reset();
+        let third = eval.run(&inputs).unwrap();
+        assert_eq!(first.flow_of("count"), third.flow_of("count"));
+    }
+
+    #[test]
+    fn evaluator_rejects_unflattened_process() {
+        let mut b = ProcessBuilder::new("parent");
+        b.input("x", ValueType::Integer);
+        b.output("y", ValueType::Integer);
+        b.instance("child", "c1", &["x"], &["y"]);
+        let p = b.build().unwrap();
+        assert!(Evaluator::new(&p).is_err());
+    }
+}

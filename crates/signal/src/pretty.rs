@@ -1,0 +1,213 @@
+//! Pretty printer producing SIGNAL textual syntax from process models.
+//!
+//! The ASME2SSME tool chain ends with SIGNAL source code handed to the
+//! Polychrony compiler; this printer regenerates that surface syntax from the
+//! in-memory representation, which is what Figs. 3–6 of the paper display for
+//! the ProducerConsumer case study.
+
+use std::fmt::Write as _;
+
+use crate::expr::Expr;
+use crate::process::{Equation, Process, ProcessModel, SignalDecl, SignalRole};
+use crate::value::ValueType;
+
+/// Renders a single process in SIGNAL surface syntax.
+pub fn process_to_signal(process: &Process) -> String {
+    let mut out = String::new();
+    render_process(&mut out, process, 0);
+    out
+}
+
+/// Renders a whole model: the root process first, then every other process
+/// as a separate definition (the AADL2SIGNAL library processes and the
+/// translated components).
+pub fn model_to_signal(model: &ProcessModel) -> String {
+    let mut out = String::new();
+    if let Some(root) = model.root_process() {
+        render_process(&mut out, root, 0);
+    }
+    for (name, process) in &model.processes {
+        if name == &model.root {
+            continue;
+        }
+        out.push('\n');
+        render_process(&mut out, process, 0);
+    }
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn render_process(out: &mut String, process: &Process, level: usize) {
+    indent(out, level);
+    let _ = writeln!(out, "process {} =", process.name);
+    indent(out, level);
+    out.push_str("  ( ");
+    let inputs: Vec<&SignalDecl> = process.inputs().collect();
+    let outputs: Vec<&SignalDecl> = process.outputs().collect();
+    if !inputs.is_empty() {
+        out.push_str("? ");
+        out.push_str(&render_decl_list(&inputs));
+        out.push_str("; ");
+    }
+    if !outputs.is_empty() {
+        out.push_str("! ");
+        out.push_str(&render_decl_list(&outputs));
+        out.push(';');
+    }
+    out.push_str(" )\n");
+    indent(out, level);
+    out.push_str("  (| ");
+    for (i, eq) in process.equations.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+            indent(out, level);
+            out.push_str("   | ");
+        }
+        out.push_str(&render_equation(eq));
+    }
+    out.push_str(" |)\n");
+    let locals: Vec<&SignalDecl> = process.locals().collect();
+    if !locals.is_empty() {
+        indent(out, level);
+        let _ = writeln!(out, "  where {};", render_decl_list(&locals));
+    }
+    for (key, value) in &process.annotations {
+        indent(out, level);
+        let _ = writeln!(out, "  %{key}: {value}%");
+    }
+    indent(out, level);
+    out.push_str("  end;\n");
+}
+
+fn render_decl_list(decls: &[&SignalDecl]) -> String {
+    // Group by type for the usual SIGNAL declaration style.
+    let mut parts = Vec::new();
+    let types = [
+        ValueType::Event,
+        ValueType::Boolean,
+        ValueType::Integer,
+        ValueType::Real,
+        ValueType::Text,
+    ];
+    for ty in types {
+        let names: Vec<&str> = decls
+            .iter()
+            .filter(|d| d.ty == ty)
+            .map(|d| d.name.as_str())
+            .collect();
+        if !names.is_empty() {
+            parts.push(format!("{} {}", ty, names.join(", ")));
+        }
+    }
+    parts.join("; ")
+}
+
+fn render_equation(eq: &Equation) -> String {
+    match eq {
+        Equation::Definition { target, expr } => format!("{target} := {}", render_expr(expr)),
+        Equation::PartialDefinition { target, expr } => {
+            format!("{target} ::= {}", render_expr(expr))
+        }
+        Equation::ClockConstraint { signals } => signals.join(" ^= "),
+        Equation::ClockExclusion { signals } => format!("{} %pairwise exclusive%", signals.join(" ^# ")),
+        Equation::Instance {
+            process,
+            label,
+            inputs,
+            outputs,
+        } => format!(
+            "({}) := {}{{{}}}({})",
+            outputs.join(", "),
+            process,
+            label,
+            inputs.join(", ")
+        ),
+    }
+}
+
+fn render_expr(expr: &Expr) -> String {
+    expr.to_string()
+}
+
+/// Role of a declaration in the rendered interface, exposed for testing.
+pub fn role_marker(role: SignalRole) -> &'static str {
+    match role {
+        SignalRole::Input => "?",
+        SignalRole::Output => "!",
+        SignalRole::Local => "where",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProcessBuilder;
+    use crate::value::{Value, ValueType};
+
+    fn sample() -> Process {
+        let mut b = ProcessBuilder::new("thProducer");
+        b.input("Dispatch", ValueType::Event);
+        b.input("pProdStart", ValueType::Boolean);
+        b.output("Complete", ValueType::Event);
+        b.output("Alarm", ValueType::Boolean);
+        b.local("state", ValueType::Integer);
+        b.define("state", Expr::delay(Expr::var("state"), Value::Int(0)));
+        b.define("Complete", Expr::clock_of(Expr::var("Dispatch")));
+        b.define_partial("Alarm", Expr::when(Expr::bool(true), Expr::var("pProdStart")));
+        b.synchronize(&["Dispatch", "Complete"]);
+        b.annotate("aadl::path", "prProdCons.thProducer");
+        b.build_unchecked()
+    }
+
+    #[test]
+    fn printed_text_contains_interface_and_equations() {
+        let text = process_to_signal(&sample());
+        assert!(text.contains("process thProducer ="));
+        assert!(text.contains("? event Dispatch; boolean pProdStart"));
+        assert!(text.contains("! event Complete; boolean Alarm"));
+        assert!(text.contains("state := (state $ 1 init 0)"));
+        assert!(text.contains("Alarm ::="));
+        assert!(text.contains("Dispatch ^= Complete"));
+        assert!(text.contains("where integer state;"));
+        assert!(text.contains("%aadl::path: prProdCons.thProducer%"));
+        assert!(text.ends_with("end;\n"));
+    }
+
+    #[test]
+    fn model_printing_includes_all_processes() {
+        let mut model = ProcessModel::new("thProducer");
+        model.add(sample());
+        let mut other = ProcessBuilder::new("helper");
+        other.input("x", ValueType::Integer);
+        other.output("y", ValueType::Integer);
+        other.define("y", Expr::var("x"));
+        model.add(other.build().unwrap());
+        let text = model_to_signal(&model);
+        let root_pos = text.find("process thProducer").unwrap();
+        let helper_pos = text.find("process helper").unwrap();
+        assert!(root_pos < helper_pos, "root process must be printed first");
+    }
+
+    #[test]
+    fn instance_equation_rendering() {
+        let eq = Equation::Instance {
+            process: "fifo".into(),
+            label: "q1".into(),
+            inputs: vec!["push".into(), "pop".into()],
+            outputs: vec!["head".into()],
+        };
+        assert_eq!(render_equation(&eq), "(head) := fifo{q1}(push, pop)");
+    }
+
+    #[test]
+    fn role_markers() {
+        assert_eq!(role_marker(SignalRole::Input), "?");
+        assert_eq!(role_marker(SignalRole::Output), "!");
+        assert_eq!(role_marker(SignalRole::Local), "where");
+    }
+}

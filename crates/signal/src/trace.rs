@@ -1,0 +1,246 @@
+//! Multi-clock traces: sequences of instants where each signal is either
+//! present with a value or absent (`⊥`).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// The observation of all signals at one logical instant.
+///
+/// Absent signals are simply not in the map.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TraceStep {
+    values: BTreeMap<String, Value>,
+}
+
+impl TraceStep {
+    /// Creates an empty step (every signal absent).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks `signal` present with `value` at this instant.
+    pub fn set(&mut self, signal: impl Into<String>, value: Value) -> &mut Self {
+        self.values.insert(signal.into(), value);
+        self
+    }
+
+    /// Marks `signal` present as a pure event.
+    pub fn set_event(&mut self, signal: impl Into<String>) -> &mut Self {
+        self.set(signal, Value::Event)
+    }
+
+    /// Value of `signal` at this instant, `None` if absent.
+    pub fn get(&self, signal: &str) -> Option<&Value> {
+        self.values.get(signal)
+    }
+
+    /// Returns `true` when `signal` is present.
+    pub fn is_present(&self, signal: &str) -> bool {
+        self.values.contains_key(signal)
+    }
+
+    /// Iterates over present signals and their values.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.values.iter()
+    }
+
+    /// Number of present signals.
+    pub fn present_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` when every signal is absent at this instant.
+    pub fn is_silent(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// A finite trace: a sequence of [`TraceStep`]s.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    steps: Vec<TraceStep>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a trace of `len` silent instants.
+    pub fn silent(len: usize) -> Self {
+        Self {
+            steps: vec![TraceStep::new(); len],
+        }
+    }
+
+    /// Number of instants.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Returns `true` when the trace has no instant.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Appends a step.
+    pub fn push(&mut self, step: TraceStep) {
+        self.steps.push(step);
+    }
+
+    /// The step at instant `t`, if within the trace.
+    pub fn step(&self, t: usize) -> Option<&TraceStep> {
+        self.steps.get(t)
+    }
+
+    /// Mutable access to the step at instant `t`, extending the trace with
+    /// silent steps if needed.
+    pub fn step_mut(&mut self, t: usize) -> &mut TraceStep {
+        if t >= self.steps.len() {
+            self.steps.resize(t + 1, TraceStep::new());
+        }
+        &mut self.steps[t]
+    }
+
+    /// Sets `signal` present with `value` at instant `t`, extending the trace
+    /// if needed.
+    pub fn set(&mut self, t: usize, signal: impl Into<String>, value: Value) {
+        self.step_mut(t).set(signal, value);
+    }
+
+    /// Value of `signal` at instant `t` (`None` if absent or out of range).
+    pub fn value(&self, t: usize, signal: &str) -> Option<&Value> {
+        self.steps.get(t).and_then(|s| s.get(signal))
+    }
+
+    /// Returns `true` when `signal` is present at instant `t`.
+    pub fn is_present(&self, t: usize, signal: &str) -> bool {
+        self.value(t, signal).is_some()
+    }
+
+    /// Iterates over the steps.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceStep> {
+        self.steps.iter()
+    }
+
+    /// The instants (indices) at which `signal` is present — its *clock* as
+    /// an instant set.
+    pub fn clock_of(&self, signal: &str) -> Vec<usize> {
+        self.steps
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_present(signal))
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    /// The sequence of values taken by `signal` (skipping absences) — its
+    /// *flow*.
+    pub fn flow_of(&self, signal: &str) -> Vec<Value> {
+        self.steps
+            .iter()
+            .filter_map(|s| s.get(signal).cloned())
+            .collect()
+    }
+
+    /// Names of all signals present at least once.
+    pub fn signals(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .steps
+            .iter()
+            .flat_map(|s| s.iter().map(|(n, _)| n.clone()))
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Returns `true` when two signals have the same clock (present at
+    /// exactly the same instants) in this trace.
+    pub fn synchronous(&self, a: &str, b: &str) -> bool {
+        self.steps
+            .iter()
+            .all(|s| s.is_present(a) == s.is_present(b))
+    }
+}
+
+impl FromIterator<TraceStep> for Trace {
+    fn from_iter<I: IntoIterator<Item = TraceStep>>(iter: I) -> Self {
+        Self {
+            steps: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<TraceStep> for Trace {
+    fn extend<I: IntoIterator<Item = TraceStep>>(&mut self, iter: I) {
+        self.steps.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut tr = Trace::new();
+        tr.set(0, "x", Value::Int(1));
+        tr.set(0, "b", Value::Bool(true));
+        tr.set(2, "x", Value::Int(2));
+        tr.set(3, "b", Value::Bool(false));
+        tr
+    }
+
+    #[test]
+    fn presence_and_values() {
+        let tr = sample_trace();
+        assert_eq!(tr.len(), 4);
+        assert!(tr.is_present(0, "x"));
+        assert!(!tr.is_present(1, "x"));
+        assert_eq!(tr.value(2, "x"), Some(&Value::Int(2)));
+        assert_eq!(tr.value(5, "x"), None);
+    }
+
+    #[test]
+    fn clock_and_flow() {
+        let tr = sample_trace();
+        assert_eq!(tr.clock_of("x"), vec![0, 2]);
+        assert_eq!(tr.flow_of("x"), vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(tr.clock_of("missing"), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn signals_and_synchrony() {
+        let tr = sample_trace();
+        assert_eq!(tr.signals(), vec!["b".to_string(), "x".to_string()]);
+        assert!(!tr.synchronous("x", "b"));
+        let mut sync = Trace::new();
+        sync.set(0, "a", Value::Int(1));
+        sync.set(0, "b", Value::Int(1));
+        sync.step_mut(1);
+        assert!(sync.synchronous("a", "b"));
+    }
+
+    #[test]
+    fn silent_and_extend() {
+        let tr = Trace::silent(3);
+        assert_eq!(tr.len(), 3);
+        assert!(tr.iter().all(TraceStep::is_silent));
+        let collected: Trace = tr.iter().cloned().collect();
+        assert_eq!(collected.len(), 3);
+    }
+
+    #[test]
+    fn step_accessors() {
+        let mut step = TraceStep::new();
+        step.set_event("dispatch").set("v", Value::Int(7));
+        assert!(step.is_present("dispatch"));
+        assert_eq!(step.present_count(), 2);
+        assert!(!step.is_silent());
+        assert_eq!(step.get("v"), Some(&Value::Int(7)));
+    }
+}

@@ -1,0 +1,219 @@
+//! Values and types carried by SIGNAL signals.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The type of a SIGNAL signal.
+///
+/// SIGNAL is a typed language; the subset needed by the AADL translation
+/// uses events (pure clocks), booleans, integers, reals and strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ValueType {
+    /// A pure event: present/absent, carrying no value (always `true` when
+    /// present, like the SIGNAL `event` type).
+    Event,
+    /// A boolean signal.
+    Boolean,
+    /// A (bounded, 64-bit) integer signal.
+    Integer,
+    /// A real (IEEE 754 double) signal.
+    Real,
+    /// A string signal — used for labels and trace annotations.
+    Text,
+}
+
+impl ValueType {
+    /// Returns `true` when a value of type `self` can be produced where a
+    /// value of type `other` is expected (identity plus integer → real
+    /// promotion, as in SIGNAL's implicit conversions).
+    pub fn is_assignable_to(self, other: ValueType) -> bool {
+        self == other
+            || matches!((self, other), (ValueType::Integer, ValueType::Real))
+            || matches!((self, other), (ValueType::Event, ValueType::Boolean))
+    }
+
+    /// Default value used to initialise delays when no `init` is given.
+    pub fn default_value(self) -> Value {
+        match self {
+            ValueType::Event => Value::Event,
+            ValueType::Boolean => Value::Bool(false),
+            ValueType::Integer => Value::Int(0),
+            ValueType::Real => Value::Real(0.0),
+            ValueType::Text => Value::Text(String::new()),
+        }
+    }
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValueType::Event => "event",
+            ValueType::Boolean => "boolean",
+            ValueType::Integer => "integer",
+            ValueType::Real => "real",
+            ValueType::Text => "string",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A value carried by a signal at an instant where it is present.
+///
+/// Absence is *not* a value: it is represented by `Option::None` in traces
+/// (the `⊥` of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// A pure event occurrence.
+    Event,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit integer.
+    Int(i64),
+    /// A double-precision real.
+    Real(f64),
+    /// A string.
+    Text(String),
+}
+
+impl Value {
+    /// The [`ValueType`] of this value.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::Event => ValueType::Event,
+            Value::Bool(_) => ValueType::Boolean,
+            Value::Int(_) => ValueType::Integer,
+            Value::Real(_) => ValueType::Real,
+            Value::Text(_) => ValueType::Text,
+        }
+    }
+
+    /// Interprets the value as a boolean condition.
+    ///
+    /// Events are `true` (an event is present ⇒ its condition holds),
+    /// booleans are themselves, numbers are non-zero, strings are non-empty.
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Event => true,
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Real(r) => *r != 0.0,
+            Value::Text(s) => !s.is_empty(),
+        }
+    }
+
+    /// Interprets the value as an integer if possible.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Bool(b) => Some(i64::from(*b)),
+            Value::Real(r) => Some(*r as i64),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a real if possible.
+    pub fn as_real(&self) -> Option<f64> {
+        match self {
+            Value::Real(r) => Some(*r),
+            Value::Int(i) => Some(*i as f64),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(r: f64) -> Self {
+        Value::Real(r)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_string())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Event => write!(f, "!"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Real(r) => write!(f, "{r}"),
+            Value::Text(s) => write!(f, "\"{s}\""),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_types_round_trip() {
+        assert_eq!(Value::Event.value_type(), ValueType::Event);
+        assert_eq!(Value::Bool(true).value_type(), ValueType::Boolean);
+        assert_eq!(Value::Int(3).value_type(), ValueType::Integer);
+        assert_eq!(Value::Real(1.5).value_type(), ValueType::Real);
+        assert_eq!(Value::Text("x".into()).value_type(), ValueType::Text);
+    }
+
+    #[test]
+    fn assignability_rules() {
+        assert!(ValueType::Integer.is_assignable_to(ValueType::Real));
+        assert!(!ValueType::Real.is_assignable_to(ValueType::Integer));
+        assert!(ValueType::Event.is_assignable_to(ValueType::Boolean));
+        assert!(ValueType::Boolean.is_assignable_to(ValueType::Boolean));
+    }
+
+    #[test]
+    fn boolean_interpretation() {
+        assert!(Value::Event.as_bool());
+        assert!(Value::Int(2).as_bool());
+        assert!(!Value::Int(0).as_bool());
+        assert!(!Value::Text(String::new()).as_bool());
+        assert!(Value::Text("x".into()).as_bool());
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(Value::Bool(true).as_int(), Some(1));
+        assert_eq!(Value::Real(2.5).as_int(), Some(2));
+        assert_eq!(Value::Int(2).as_real(), Some(2.0));
+        assert_eq!(Value::Text("x".into()).as_int(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Event.to_string(), "!");
+        assert_eq!(Value::Text("hi".into()).to_string(), "\"hi\"");
+        assert_eq!(ValueType::Integer.to_string(), "integer");
+    }
+
+    #[test]
+    fn default_values_match_types() {
+        for ty in [
+            ValueType::Event,
+            ValueType::Boolean,
+            ValueType::Integer,
+            ValueType::Real,
+            ValueType::Text,
+        ] {
+            assert_eq!(ty.default_value().value_type(), ty);
+        }
+    }
+}

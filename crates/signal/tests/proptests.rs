@@ -1,0 +1,202 @@
+//! Property-based tests of the polychronous kernel invariants: the
+//! denotational laws of the SIGNAL operators, clock-calculus consistency and
+//! determinism of the evaluator.
+
+use proptest::prelude::*;
+
+use signal_moc::builder::ProcessBuilder;
+use signal_moc::clockcalc::ClockCalculus;
+use signal_moc::eval::Evaluator;
+use signal_moc::expr::Expr;
+use signal_moc::trace::Trace;
+use signal_moc::value::{Value, ValueType};
+
+/// Strategy: a trace over signals `x` (integer), `b` (boolean) and `tick`
+/// (event), with independent presence per instant.
+fn xbtick_trace(max_len: usize) -> impl Strategy<Value = Trace> {
+    prop::collection::vec(
+        (
+            prop::option::of(-100i64..100),
+            prop::option::of(any::<bool>()),
+            any::<bool>(),
+        ),
+        1..max_len,
+    )
+    .prop_map(|steps| {
+        let mut trace = Trace::new();
+        for (t, (x, b, tick)) in steps.into_iter().enumerate() {
+            if let Some(x) = x {
+                trace.set(t, "x", Value::Int(x));
+            }
+            if let Some(b) = b {
+                trace.set(t, "b", Value::Bool(b));
+            }
+            if tick {
+                trace.set(t, "tick", Value::Event);
+            }
+            trace.step_mut(t);
+        }
+        trace
+    })
+}
+
+fn sampler() -> signal_moc::process::Process {
+    let mut builder = ProcessBuilder::new("sampler");
+    builder.input("x", ValueType::Integer);
+    builder.input("b", ValueType::Boolean);
+    builder.output("y", ValueType::Integer);
+    builder.define("y", Expr::when(Expr::var("x"), Expr::var("b")));
+    builder.build().unwrap()
+}
+
+fn merger() -> signal_moc::process::Process {
+    let mut builder = ProcessBuilder::new("merger");
+    builder.input("x", ValueType::Integer);
+    builder.input("b", ValueType::Boolean);
+    builder.output("y", ValueType::Integer);
+    builder.local("xb", ValueType::Integer);
+    builder.define("xb", Expr::when(Expr::var("x"), Expr::var("b")));
+    builder.define("y", Expr::default(Expr::var("xb"), Expr::var("x")));
+    builder.build().unwrap()
+}
+
+fn memory() -> signal_moc::process::Process {
+    let mut builder = ProcessBuilder::new("memory");
+    builder.input("x", ValueType::Integer);
+    builder.input("b", ValueType::Boolean);
+    builder.output("o", ValueType::Integer);
+    builder.define("o", Expr::cell(Expr::var("x"), Expr::var("b"), Value::Int(0)));
+    builder.build().unwrap()
+}
+
+proptest! {
+    /// `x when b` is present exactly when `x` is present and `b` is present
+    /// and true, and then carries the value of `x`.
+    #[test]
+    fn when_presence_law(trace in xbtick_trace(24)) {
+        let out = Evaluator::new(&sampler()).unwrap().run(&trace).unwrap();
+        for t in 0..trace.len() {
+            let x = trace.value(t, "x");
+            let b = trace.value(t, "b");
+            let expected = match (x, b) {
+                (Some(xv), Some(bv)) if bv.as_bool() => Some(xv.clone()),
+                _ => None,
+            };
+            prop_assert_eq!(out.value(t, "y").cloned(), expected, "instant {}", t);
+        }
+    }
+
+    /// `u default v` carries `u` when `u` is present, otherwise `v`; it is
+    /// absent only when both are absent.
+    #[test]
+    fn default_merge_law(trace in xbtick_trace(24)) {
+        let out = Evaluator::new(&merger()).unwrap().run(&trace).unwrap();
+        for t in 0..trace.len() {
+            let x = trace.value(t, "x");
+            let b = trace.value(t, "b");
+            let sampled = match (x, b) {
+                (Some(xv), Some(bv)) if bv.as_bool() => Some(xv.clone()),
+                _ => None,
+            };
+            let expected = sampled.or_else(|| x.cloned());
+            prop_assert_eq!(out.value(t, "y").cloned(), expected, "instant {}", t);
+        }
+    }
+
+    /// The memory process `fm(x, b)` always outputs the most recent value of
+    /// `x` (or its initial value) and is present iff `x` is present or `b`
+    /// is present and true.
+    #[test]
+    fn cell_memory_law(trace in xbtick_trace(24)) {
+        let out = Evaluator::new(&memory()).unwrap().run(&trace).unwrap();
+        let mut last = Value::Int(0);
+        for t in 0..trace.len() {
+            let x = trace.value(t, "x");
+            let b = trace.value(t, "b");
+            let expected = match (x, b) {
+                (Some(xv), _) => Some(xv.clone()),
+                (None, Some(bv)) if bv.as_bool() => Some(last.clone()),
+                _ => None,
+            };
+            prop_assert_eq!(out.value(t, "o").cloned(), expected, "instant {}", t);
+            if let Some(xv) = x {
+                last = xv.clone();
+            }
+        }
+    }
+
+    /// The evaluator is deterministic: running the same trace twice from a
+    /// fresh state yields identical outputs.
+    #[test]
+    fn evaluation_is_deterministic(trace in xbtick_trace(16)) {
+        let first = Evaluator::new(&merger()).unwrap().run(&trace).unwrap();
+        let second = Evaluator::new(&merger()).unwrap().run(&trace).unwrap();
+        prop_assert_eq!(first, second);
+    }
+
+    /// The counter pattern always produces consecutive integers on the tick
+    /// clock, whatever the tick pattern.
+    #[test]
+    fn counter_counts_exactly_the_ticks(trace in xbtick_trace(32)) {
+        let mut builder = ProcessBuilder::new("counter");
+        builder.input("tick", ValueType::Event);
+        builder.output("count", ValueType::Integer);
+        builder.define(
+            "count",
+            Expr::add(Expr::delay(Expr::var("count"), Value::Int(0)), Expr::int(1)),
+        );
+        builder.synchronize(&["count", "tick"]);
+        let process = builder.build().unwrap();
+        // Keep only the tick signal of the generated trace.
+        let mut inputs = Trace::new();
+        for t in 0..trace.len() {
+            if trace.is_present(t, "tick") {
+                inputs.set(t, "tick", Value::Event);
+            }
+            inputs.step_mut(t);
+        }
+        let out = Evaluator::new(&process).unwrap().run(&inputs).unwrap();
+        let flow: Vec<i64> = out.flow_of("count").iter().map(|v| v.as_int().unwrap()).collect();
+        let expected: Vec<i64> = (1..=flow.len() as i64).collect();
+        prop_assert_eq!(flow, expected);
+        prop_assert_eq!(out.clock_of("count"), inputs.clock_of("tick"));
+    }
+
+    /// Clock calculus invariants: signals unified by a constraint are in the
+    /// same class; the number of classes never exceeds the number of
+    /// signals; sampling yields a sub-clock.
+    #[test]
+    fn clock_calculus_class_invariants(n in 1usize..12) {
+        let mut builder = ProcessBuilder::new("chain");
+        builder.input("c", ValueType::Boolean);
+        builder.input("s0", ValueType::Integer);
+        for i in 1..=n {
+            builder.local(format!("s{i}"), ValueType::Integer);
+        }
+        builder.output("out", ValueType::Integer);
+        for i in 1..=n {
+            // Every odd stage samples (sub-clock), every even stage is a
+            // step-wise function (same clock as its operand).
+            let prev = Expr::var(format!("s{}", i - 1));
+            let expr = if i % 2 == 1 {
+                Expr::when(prev, Expr::var("c"))
+            } else {
+                Expr::add(prev, Expr::int(1))
+            };
+            builder.define(format!("s{i}"), expr);
+        }
+        builder.define("out", Expr::var(format!("s{n}")));
+        let process = builder.build().unwrap();
+        let calculus = ClockCalculus::analyze(&process).unwrap();
+        prop_assert!(calculus.clock_count() <= process.signals.len());
+        // out is synchronous with the last stage.
+        let last_stage = format!("s{n}");
+        prop_assert!(calculus.are_synchronous("out", &last_stage));
+        // Every sampled stage is a sub-clock of its source stage's class.
+        for i in (1..=n).filter(|i| i % 2 == 1) {
+            let child = calculus.class_of(&format!("s{i}")).unwrap().id;
+            let parent = calculus.class_of(&format!("s{}", i - 1)).unwrap().id;
+            prop_assert!(calculus.is_subclock(child, parent), "s{} not subclock of s{}", i, i - 1);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! The simulation engine: repeated execution of a flat SIGNAL process over
+//! scheduler-provided timing traces, with alarm monitoring, profiling and
+//! VCD export.
+
+use serde::{Deserialize, Serialize};
+use signal_moc::error::SignalError;
+use signal_moc::eval::Evaluator;
+use signal_moc::process::Process;
+use signal_moc::trace::Trace;
+
+use crate::profile::ProfileReport;
+use crate::vcd::write_vcd;
+
+/// Summary of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// Number of instants executed.
+    pub instants: usize,
+    /// Number of instants where at least one `*Alarm*` signal was true —
+    /// timing-property violations detected during co-simulation.
+    pub alarm_instants: usize,
+    /// Profiling counters over the produced trace.
+    pub profile: ProfileReport,
+}
+
+impl SimulationReport {
+    /// Returns `true` when no alarm fired during the run.
+    pub fn is_alarm_free(&self) -> bool {
+        self.alarm_instants == 0
+    }
+}
+
+/// A simulator for a flat SIGNAL process.
+///
+/// The simulator owns the evaluator state, so successive calls to
+/// [`Simulator::run`] continue the execution (delays keep their values),
+/// which is how multiple hyper-periods are chained.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    evaluator: Evaluator,
+    history: Trace,
+}
+
+impl Simulator {
+    /// Creates a simulator for `process` (which must be flat — see
+    /// [`signal_moc::process::ProcessModel::flatten`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluator construction errors (invalid or non-flat
+    /// process).
+    pub fn new(process: &Process) -> Result<Self, SignalError> {
+        Ok(Self {
+            evaluator: Evaluator::new(process)?,
+            history: Trace::new(),
+        })
+    }
+
+    /// Runs the process over `inputs`, appending to the simulation history,
+    /// and returns the output trace of this run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluator errors (synchronisation violations, type errors,
+    /// non-executable instants).
+    pub fn run(&mut self, inputs: &Trace) -> Result<Trace, SignalError> {
+        let out = self.evaluator.run(inputs)?;
+        self.history.extend(out.iter().cloned());
+        Ok(out)
+    }
+
+    /// The accumulated trace of every run so far.
+    pub fn history(&self) -> &Trace {
+        &self.history
+    }
+
+    /// Resets the evaluator state and clears the history.
+    pub fn reset(&mut self) {
+        self.evaluator.reset();
+        self.history = Trace::new();
+    }
+
+    /// Builds a report over the accumulated history.
+    pub fn report(&self) -> SimulationReport {
+        let alarm_instants = self
+            .history
+            .iter()
+            .filter(|step| {
+                step.iter()
+                    .any(|(name, value)| name.contains("Alarm") && value.as_bool())
+            })
+            .count();
+        SimulationReport {
+            instants: self.history.len(),
+            alarm_instants,
+            profile: ProfileReport::from_trace(&self.history),
+        }
+    }
+
+    /// Exports the accumulated history as VCD text (one instant =
+    /// `timescale_ns` nanoseconds).
+    pub fn to_vcd(&self, module: &str, timescale_ns: u64) -> String {
+        write_vcd(&self.history, module, timescale_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use signal_moc::builder::ProcessBuilder;
+    use signal_moc::expr::Expr;
+    use signal_moc::value::{Value, ValueType};
+
+    fn alarm_counter() -> Process {
+        let mut b = ProcessBuilder::new("frame");
+        b.input("Dispatch", ValueType::Boolean);
+        b.input("Deadline", ValueType::Boolean);
+        b.input("Resume", ValueType::Boolean);
+        b.output("count", ValueType::Integer);
+        b.output("Alarm", ValueType::Boolean);
+        b.define(
+            "count",
+            Expr::default(
+                Expr::when(
+                    Expr::add(Expr::delay(Expr::var("count"), Value::Int(0)), Expr::int(1)),
+                    Expr::var("Dispatch"),
+                ),
+                Expr::delay(Expr::var("count"), Value::Int(0)),
+            ),
+        );
+        b.define(
+            "Alarm",
+            Expr::and(Expr::var("Deadline"), Expr::not(Expr::var("Resume"))),
+        );
+        b.synchronize(&["Dispatch", "Deadline", "Resume", "count", "Alarm"]);
+        b.build().unwrap()
+    }
+
+    fn frame(dispatch: bool, deadline: bool, resume: bool) -> signal_moc::trace::TraceStep {
+        let mut step = signal_moc::trace::TraceStep::new();
+        step.set("Dispatch", Value::Bool(dispatch));
+        step.set("Deadline", Value::Bool(deadline));
+        step.set("Resume", Value::Bool(resume));
+        step
+    }
+
+    #[test]
+    fn state_persists_across_runs() {
+        let mut sim = Simulator::new(&alarm_counter()).unwrap();
+        let inputs: Trace = vec![frame(true, false, true), frame(false, true, true)]
+            .into_iter()
+            .collect();
+        sim.run(&inputs).unwrap();
+        sim.run(&inputs).unwrap();
+        let history = sim.history();
+        assert_eq!(history.len(), 4);
+        let counts: Vec<i64> = history.flow_of("count").iter().map(|v| v.as_int().unwrap()).collect();
+        assert_eq!(counts, vec![1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn report_counts_alarms() {
+        let mut sim = Simulator::new(&alarm_counter()).unwrap();
+        let inputs: Trace = vec![
+            frame(true, false, false),
+            frame(false, true, false), // deadline without resume -> alarm
+            frame(true, true, true),
+        ]
+        .into_iter()
+        .collect();
+        sim.run(&inputs).unwrap();
+        let report = sim.report();
+        assert_eq!(report.instants, 3);
+        assert_eq!(report.alarm_instants, 1);
+        assert!(!report.is_alarm_free());
+        assert_eq!(report.profile.activations("Dispatch"), 2);
+    }
+
+    #[test]
+    fn reset_clears_history_and_state() {
+        let mut sim = Simulator::new(&alarm_counter()).unwrap();
+        let inputs: Trace = vec![frame(true, false, true)].into_iter().collect();
+        sim.run(&inputs).unwrap();
+        sim.reset();
+        assert_eq!(sim.history().len(), 0);
+        sim.run(&inputs).unwrap();
+        let counts: Vec<i64> = sim
+            .history()
+            .flow_of("count")
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(counts, vec![1]);
+    }
+
+    #[test]
+    fn vcd_export_contains_signals() {
+        let mut sim = Simulator::new(&alarm_counter()).unwrap();
+        let inputs: Trace = vec![frame(true, false, true), frame(false, true, false)]
+            .into_iter()
+            .collect();
+        sim.run(&inputs).unwrap();
+        let vcd = sim.to_vcd("frame", 1_000_000);
+        assert!(vcd.contains("$var"));
+        assert!(vcd.contains("count"));
+        assert!(vcd.contains("Alarm"));
+    }
+}

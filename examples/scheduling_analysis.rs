@@ -1,0 +1,74 @@
+//! Scheduling analysis (E7 / E11): synthesise static non-preemptive
+//! schedules for the case-study thread set under EDF, RM and fixed
+//! priorities, export them as affine clocks, and compare against the
+//! Cheddar-like preemptive baselines on a utilisation sweep.
+//!
+//! ```bash
+//! cargo run --example scheduling_analysis
+//! ```
+
+use polychrony_core::sched::workload::{acceptance_ratio, random_task_set};
+use polychrony_core::sched::{
+    export_affine_clocks, rm_response_time_analysis, rm_utilization_bound, BaselineReport,
+    SchedulingPolicy, StaticSchedule,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tasks = polychrony_core::sched::task::case_study_task_set();
+    println!("== Case-study thread set ==\n{tasks}");
+
+    for policy in SchedulingPolicy::ALL {
+        match StaticSchedule::synthesize(&tasks, policy) {
+            Ok(schedule) => {
+                let affine = export_affine_clocks(&tasks, &schedule)?;
+                println!(
+                    "{policy}: valid schedule, {} jobs over hyper-period {}, idle {} ticks, {} affine clocks",
+                    schedule.entries.len(),
+                    schedule.hyperperiod,
+                    schedule.idle_time(),
+                    affine.clock_count()
+                );
+                for (task, wrt) in schedule.worst_response_times() {
+                    println!("    worst response time {task:<14} {wrt} ticks");
+                }
+            }
+            Err(e) => println!("{policy}: no valid schedule ({e})"),
+        }
+    }
+
+    println!("\n== Cheddar-like baseline on the same task set ==");
+    let baseline = BaselineReport::analyze(&tasks);
+    println!(
+        "utilisation {:.3}, RM bound {:.3} ({}), RTA schedulable: {}, EDF test: {}",
+        baseline.utilization,
+        baseline.rm_bound,
+        if baseline.rm_bound_pass { "pass" } else { "fail" },
+        baseline.response_times.schedulable,
+        baseline.edf_pass
+    );
+
+    println!("\n== Acceptance ratio sweep (E11): static non-preemptive EDF vs preemptive RM RTA ==");
+    println!("{:<6} {:>18} {:>18}", "U", "static EDF", "preemptive RM RTA");
+    for u in [0.3, 0.5, 0.7, 0.8, 0.9, 0.95] {
+        let mut rng = StdRng::seed_from_u64(2013);
+        let static_edf = acceptance_ratio(&mut rng, 100, 5, u, |ts| {
+            StaticSchedule::synthesize(ts, SchedulingPolicy::EarliestDeadlineFirst).is_ok()
+        });
+        let mut rng = StdRng::seed_from_u64(2013);
+        let rta = acceptance_ratio(&mut rng, 100, 5, u, |ts| {
+            rm_response_time_analysis(ts).schedulable
+        });
+        println!("{u:<6.2} {static_edf:>18.2} {rta:>18.2}");
+    }
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let example = random_task_set(&mut rng, 5, 0.6)?;
+    println!(
+        "\nexample random task set (U target 0.6, actual {:.2}), RM bound {:.3}:\n{example}",
+        example.utilization(),
+        rm_utilization_bound(example.len())
+    );
+    Ok(())
+}

@@ -1,0 +1,100 @@
+//! E1 — the ProducerConsumer case study (Fig. 1): structure of the AADL
+//! instance model and of its translation.
+
+use polychrony_core::aadl::case_study::{
+    producer_consumer_instance, CASE_STUDY_HYPERPERIOD_MS, CASE_STUDY_PERIODS_MS,
+};
+use polychrony_core::aadl::ComponentCategory;
+use polychrony_core::asme2ssme::Translator;
+
+#[test]
+fn instance_model_matches_fig1() {
+    let model = producer_consumer_instance().unwrap();
+    // Fig. 1: the prProdCons process contains four threads and the shared
+    // Queue, and communicates with the environment and the operator display.
+    let counts = model.category_counts();
+    assert_eq!(counts[&ComponentCategory::Thread], 4);
+    assert_eq!(counts[&ComponentCategory::Data], 1);
+    assert_eq!(counts[&ComponentCategory::Process], 1);
+    assert_eq!(counts[&ComponentCategory::Processor], 1);
+    assert_eq!(counts[&ComponentCategory::System], 3);
+
+    let process = model.component("sysProdCons.prProdCons").unwrap();
+    assert_eq!(process.children.len(), 5);
+
+    // The process is bound to Processor1.
+    assert_eq!(
+        model.processor_binding("sysProdCons.prProdCons"),
+        Some("sysProdCons.Processor1")
+    );
+}
+
+#[test]
+fn thread_periods_and_hyperperiod_match_the_paper() {
+    let model = producer_consumer_instance().unwrap();
+    let threads = model.threads().unwrap();
+    let mut periods: Vec<u64> = threads
+        .iter()
+        .map(|t| t.timing.period.unwrap().as_millis())
+        .collect();
+    periods.sort_unstable();
+    let mut expected = CASE_STUDY_PERIODS_MS.to_vec();
+    expected.sort_unstable();
+    assert_eq!(periods, expected);
+    assert_eq!(
+        affine_hyperperiod(&periods),
+        CASE_STUDY_HYPERPERIOD_MS,
+        "lcm(4,6,8,8) must be 24 ms"
+    );
+}
+
+fn affine_hyperperiod(periods: &[u64]) -> u64 {
+    polychrony_core::affine_clocks::lcm_all(periods).unwrap()
+}
+
+#[test]
+fn timer_wiring_connects_producers_to_timers() {
+    let model = producer_consumer_instance().unwrap();
+    let has_connection = |src: &str, dst: &str| {
+        model.connections.iter().any(|c| {
+            c.source_component.ends_with(src) && c.destination_component.ends_with(dst)
+        })
+    };
+    assert!(has_connection("thProducer", "thProdTimer"));
+    assert!(has_connection("thProdTimer", "thProducer"));
+    assert!(has_connection("thConsumer", "thConsTimer"));
+    assert!(has_connection("thConsTimer", "thConsumer"));
+}
+
+#[test]
+fn translation_keeps_traceability_for_every_component() {
+    let model = producer_consumer_instance().unwrap();
+    let translated = Translator::new().translate(&model).unwrap();
+    // Every thread, the process, the processor and the root system have an
+    // entry in the traceability map (the paper's name-preservation
+    // mechanism).
+    for path in [
+        "sysProdCons",
+        "sysProdCons.prProdCons",
+        "sysProdCons.Processor1",
+        "sysProdCons.prProdCons.thProducer",
+        "sysProdCons.prProdCons.thConsumer",
+        "sysProdCons.prProdCons.thProdTimer",
+        "sysProdCons.prProdCons.thConsTimer",
+        "sysProdCons.prProdCons.Queue",
+    ] {
+        assert!(
+            translated.signal_process_for(path).is_some(),
+            "missing traceability for {path}"
+        );
+    }
+    // Annotations carry the AADL path back into the SIGNAL text.
+    let producer = translated
+        .model
+        .process(translated.signal_process_for("sysProdCons.prProdCons.thProducer").unwrap())
+        .unwrap();
+    assert_eq!(
+        producer.annotations["aadl::path"],
+        "sysProdCons.prProdCons.thProducer"
+    );
+}

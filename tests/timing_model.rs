@@ -1,0 +1,123 @@
+//! E2 — the AADL input-compute-output execution timing model (Fig. 2):
+//! inputs are frozen at Input Time, outputs released at Output Time, and
+//! values arriving mid-frame wait for the next frame.
+
+use polychrony_core::asme2ssme::{in_event_port_process, thread_to_process};
+use polychrony_core::aadl::case_study::producer_consumer_instance;
+use polychrony_core::polysim::Simulator;
+use polychrony_core::signal_moc::process::ProcessModel;
+use polychrony_core::signal_moc::trace::Trace;
+use polychrony_core::signal_moc::value::Value;
+
+/// The Fig. 2 scenario: two values arrive after the first Input Time and are
+/// not processed until the next dispatch.
+#[test]
+fn values_arriving_after_input_time_wait_for_the_next_dispatch() {
+    let port = in_event_port_process(8);
+    let mut inputs = Trace::new();
+    // Frame 1 (ticks 0..4): one arrival before the freeze, two after.
+    // Frame 2 (ticks 4..8): no arrivals.
+    let arrivals = [true, false, true, true, false, false, false, false];
+    for (t, &a) in arrivals.iter().enumerate() {
+        inputs.set(t, "incoming", Value::Bool(a));
+        inputs.set(t, "freeze", Value::Bool(t % 4 == 0));
+    }
+    let mut sim = Simulator::new(&port).unwrap();
+    let out = sim.run(&inputs).unwrap();
+    let frozen: Vec<i64> = out
+        .flow_of("frozen_count")
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect();
+    // Frozen view during frame 1 stays at 1; the late arrivals only become
+    // visible at the tick-4 Input Time.
+    assert_eq!(frozen[0..4], [1, 1, 1, 1]);
+    assert_eq!(frozen[4..8], [2, 2, 2, 2]);
+}
+
+#[test]
+fn complete_is_emitted_at_resume_and_alarm_on_missed_deadline() {
+    let instance = producer_consumer_instance().unwrap();
+    let producer = instance
+        .threads()
+        .unwrap()
+        .into_iter()
+        .find(|t| t.name == "thProducer")
+        .unwrap();
+    let translation = thread_to_process("thProducer", &producer);
+    let mut model = ProcessModel::new("thProducer");
+    model.add(translation.process.clone());
+    model.add(polychrony_core::asme2ssme::in_event_port_process(1));
+    model.add(polychrony_core::asme2ssme::out_event_port_process());
+    let flat = model.flatten().unwrap();
+
+    // Frame A: dispatch at t0, completion (Resume) at t1, deadline at t3:
+    // no alarm. Frame B: dispatch at t4, no completion, deadline at t7:
+    // alarm fires at t7.
+    let mut inputs = Trace::new();
+    for t in 0..8usize {
+        inputs.set(t, "Dispatch", Value::Bool(t == 0 || t == 4));
+        inputs.set(t, "Resume", Value::Bool(t == 1));
+        inputs.set(t, "Deadline", Value::Bool(t == 3 || t == 7));
+        for port in &translation.in_ports {
+            inputs.set(t, format!("{port}_in"), Value::Bool(false));
+            inputs.set(t, format!("{port}_frozen_time"), Value::Bool(t == 0 || t == 4));
+        }
+        for port in &translation.out_ports {
+            inputs.set(t, format!("{port}_output_time"), Value::Bool(t == 1));
+        }
+    }
+    let mut sim = Simulator::new(&flat).unwrap();
+    let out = sim.run(&inputs).unwrap();
+    let completes: Vec<bool> = out.flow_of("Complete").iter().map(|v| v.as_bool()).collect();
+    let alarms: Vec<bool> = out.flow_of("Alarm").iter().map(|v| v.as_bool()).collect();
+    assert_eq!(completes.iter().filter(|&&c| c).count(), 1);
+    assert!(completes[1]);
+    assert!(!alarms[3], "frame A completed before its deadline");
+    assert!(alarms[7], "frame B missed its deadline");
+    assert_eq!(sim.report().alarm_instants, 1);
+}
+
+#[test]
+fn output_port_releases_at_output_time_only() {
+    let instance = producer_consumer_instance().unwrap();
+    let producer = instance
+        .threads()
+        .unwrap()
+        .into_iter()
+        .find(|t| t.name == "thProducer")
+        .unwrap();
+    let translation = thread_to_process("thProducer", &producer);
+    let mut model = ProcessModel::new("thProducer");
+    model.add(translation.process.clone());
+    model.add(polychrony_core::asme2ssme::in_event_port_process(1));
+    model.add(polychrony_core::asme2ssme::out_event_port_process());
+    let flat = model.flatten().unwrap();
+
+    let mut inputs = Trace::new();
+    for t in 0..4usize {
+        inputs.set(t, "Dispatch", Value::Bool(t == 0));
+        inputs.set(t, "Resume", Value::Bool(t == 1));
+        inputs.set(t, "Deadline", Value::Bool(false));
+        for port in &translation.in_ports {
+            inputs.set(t, format!("{port}_in"), Value::Bool(false));
+            inputs.set(t, format!("{port}_frozen_time"), Value::Bool(t == 0));
+        }
+        for port in &translation.out_ports {
+            // Output Time at completion (t1).
+            inputs.set(t, format!("{port}_output_time"), Value::Bool(t == 1));
+        }
+    }
+    let out = Simulator::new(&flat).unwrap().run(&inputs).unwrap();
+    // The dispatch at t0 produced one event on each out port; it is released
+    // only at t1 (the Output Time), not at t0.
+    for port in &translation.out_ports {
+        let sent: Vec<i64> = out
+            .flow_of(&format!("{port}_out"))
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(sent[0], 0, "{port} released before Output Time");
+        assert_eq!(sent[1], 1, "{port} not released at Output Time");
+    }
+}

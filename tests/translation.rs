@@ -1,0 +1,91 @@
+//! E3 / E4 — the AADL-to-SIGNAL translation: the system-level process of
+//! Fig. 3, the thread-level process of Fig. 4 and the generated SIGNAL text.
+
+use polychrony_core::aadl::case_study::producer_consumer_instance;
+use polychrony_core::aadl::synth::{generate_instance, SyntheticSpec};
+use polychrony_core::asme2ssme::Translator;
+use polychrony_core::signal_moc::analysis::StaticAnalysisReport;
+use polychrony_core::signal_moc::pretty::{model_to_signal, process_to_signal};
+use polychrony_core::signal_moc::process::Equation;
+
+#[test]
+fn system_level_process_instantiates_processor_and_subsystems() {
+    let instance = producer_consumer_instance().unwrap();
+    let translated = Translator::new().translate(&instance).unwrap();
+    let root = translated.model.root_process().unwrap();
+    let instantiated: Vec<&str> = root
+        .equations
+        .iter()
+        .filter_map(|eq| match eq {
+            Equation::Instance { process, .. } => Some(process.as_str()),
+            _ => None,
+        })
+        .collect();
+    // Fig. 3: the root instantiates Processor1 (which contains prProdCons)
+    // and the two subsystems.
+    assert!(instantiated.contains(&"sysProdCons_Processor1"));
+    assert!(instantiated.contains(&"sysProdCons_sysEnv"));
+    assert!(instantiated.contains(&"sysProdCons_sysOperatorDisplay"));
+    assert!(!instantiated.contains(&"sysProdCons_prProdCons"));
+}
+
+#[test]
+fn thread_level_process_has_fig4_bundles() {
+    let instance = producer_consumer_instance().unwrap();
+    let translated = Translator::new().translate(&instance).unwrap();
+    let name = translated
+        .signal_process_for("sysProdCons.prProdCons.thProducer")
+        .unwrap();
+    let process = translated.model.process(name).unwrap();
+    let text = process_to_signal(process);
+    // ctl1 bundle inputs, ctl2 outputs and the Alarm of Fig. 4.
+    for signal in ["Dispatch", "Resume", "Deadline", "Complete", "Error", "Alarm"] {
+        assert!(process.signal(signal).is_some(), "missing {signal}");
+    }
+    // Frozen time events for the in event ports.
+    assert!(text.contains("pProdStart_frozen_time"));
+    assert!(text.contains("pTimeOut_frozen_time"));
+    // Ports are implemented as sub-process instances, not plain signals.
+    assert!(text.contains("aadl2signal_in_event_port"));
+    assert!(text.contains("aadl2signal_out_event_port"));
+}
+
+#[test]
+fn generated_model_is_valid_deadlock_free_and_deterministic() {
+    let instance = producer_consumer_instance().unwrap();
+    let translated = Translator::new().translate(&instance).unwrap();
+    translated.model.validate().unwrap();
+    let flat = translated.model.flatten().unwrap();
+    let report = StaticAnalysisReport::analyze(&flat).unwrap();
+    assert!(report.causality_cycle.is_none());
+    assert!(report.determinism.is_deterministic());
+    assert!(report.clock_count >= 10);
+}
+
+#[test]
+fn signal_text_preserves_aadl_names() {
+    let instance = producer_consumer_instance().unwrap();
+    let translated = Translator::new().translate(&instance).unwrap();
+    let text = model_to_signal(&translated.model);
+    // Name preservation / traceability (Section IV-E).
+    for name in ["thProducer", "thConsumer", "thProdTimer", "thConsTimer", "prProdCons", "Processor1"] {
+        assert!(text.contains(name), "SIGNAL text lost the AADL name {name}");
+    }
+    assert!(text.lines().count() > 120, "expected a substantial SIGNAL model");
+}
+
+#[test]
+fn translation_scales_linearly_in_structure() {
+    let small = Translator::new()
+        .translate(&generate_instance(&SyntheticSpec::new(5, 1)).unwrap())
+        .unwrap();
+    let large = Translator::new()
+        .translate(&generate_instance(&SyntheticSpec::new(50, 1)).unwrap())
+        .unwrap();
+    assert!(large.model.len() > small.model.len());
+    let ratio = large.model.total_equations() as f64 / small.model.total_equations() as f64;
+    assert!(
+        ratio > 5.0 && ratio < 20.0,
+        "equation growth should be roughly linear in thread count, ratio {ratio}"
+    );
+}
