@@ -162,7 +162,9 @@ impl FeatureKind {
     pub fn is_port(&self) -> bool {
         matches!(
             self,
-            FeatureKind::EventPort | FeatureKind::DataPort { .. } | FeatureKind::EventDataPort { .. }
+            FeatureKind::EventPort
+                | FeatureKind::DataPort { .. }
+                | FeatureKind::EventDataPort { .. }
         )
     }
 }
@@ -388,9 +390,9 @@ impl Package {
 
     /// Looks up the component type of the given name.
     pub fn component_type(&self, name: &str) -> Option<&Classifier> {
-        self.classifiers.iter().find(
-            |c| matches!(c, Classifier::ComponentType { name: n, .. } if n == name),
-        )
+        self.classifiers
+            .iter()
+            .find(|c| matches!(c, Classifier::ComponentType { name: n, .. } if n == name))
     }
 
     /// All classifiers of a given category.
@@ -426,7 +428,10 @@ mod tests {
             }
         }
         assert_eq!(ComponentCategory::Thread.keyword(), "thread");
-        assert_eq!(ComponentCategory::VirtualProcessor.to_string(), "virtual processor");
+        assert_eq!(
+            ComponentCategory::VirtualProcessor.to_string(),
+            "virtual processor"
+        );
     }
 
     #[test]
@@ -482,8 +487,14 @@ mod tests {
 
     #[test]
     fn property_value_accessors() {
-        assert_eq!(PropertyValue::Ident("Periodic".into()).as_ident(), Some("Periodic"));
-        assert_eq!(PropertyValue::Integer(4, Some("ms".into())).as_integer(), Some(4));
+        assert_eq!(
+            PropertyValue::Ident("Periodic".into()).as_ident(),
+            Some("Periodic")
+        );
+        assert_eq!(
+            PropertyValue::Integer(4, Some("ms".into())).as_integer(),
+            Some(4)
+        );
         assert_eq!(PropertyValue::Real(1.5, None).as_integer(), Some(1));
         assert_eq!(PropertyValue::Str("x".into()).as_integer(), None);
     }

@@ -52,7 +52,9 @@ impl fmt::Display for AadlError {
             AadlError::Lex { line, message } => {
                 write!(f, "lexical error at line {line}: {message}")
             }
-            AadlError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            AadlError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             AadlError::UnknownClassifier(name) => write!(f, "unknown classifier `{name}`"),
             AadlError::UnknownReference(name) => write!(f, "unknown reference `{name}`"),
             AadlError::Property { name, message } => {
@@ -82,9 +84,15 @@ mod tests {
 
     #[test]
     fn display_other_variants() {
-        assert!(AadlError::UnknownClassifier("x".into()).to_string().contains("x"));
-        assert!(AadlError::UnknownReference("y".into()).to_string().contains("y"));
-        assert!(AadlError::Instantiation("boom".into()).to_string().contains("boom"));
+        assert!(AadlError::UnknownClassifier("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(AadlError::UnknownReference("y".into())
+            .to_string()
+            .contains("y"));
+        assert!(AadlError::Instantiation("boom".into())
+            .to_string()
+            .contains("boom"));
         let p = AadlError::Property {
             name: "Period".into(),
             message: "expected a time".into(),

@@ -58,7 +58,11 @@ impl ComponentInstance {
 
     /// Number of instances in this subtree (including self).
     pub fn instance_count(&self) -> usize {
-        1 + self.children.iter().map(ComponentInstance::instance_count).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(ComponentInstance::instance_count)
+            .sum::<usize>()
     }
 
     /// Feature lookup by name.
@@ -252,11 +256,11 @@ impl InstanceModel {
         let mut best: Option<&str> = None;
         let mut best_len = 0usize;
         for (target, processor) in &self.bindings {
-            if component_path == target || component_path.starts_with(&format!("{target}.")) {
-                if target.len() >= best_len {
-                    best = Some(processor.as_str());
-                    best_len = target.len();
-                }
+            if (component_path == target || component_path.starts_with(&format!("{target}.")))
+                && target.len() >= best_len
+            {
+                best = Some(processor.as_str());
+                best_len = target.len();
             }
         }
         best
@@ -383,8 +387,7 @@ fn build_instance(
                 children.push(child);
             }
             for conn in decl_connections {
-                let sub_names: Vec<&str> =
-                    subcomponents.iter().map(|s| s.name.as_str()).collect();
+                let sub_names: Vec<&str> = subcomponents.iter().map(|s| s.name.as_str()).collect();
                 // An end written `sub.feature` targets a subcomponent's
                 // feature; a bare name is either a feature of the enclosing
                 // component or (for access connections) a subcomponent such
@@ -467,7 +470,10 @@ fn build_instance(
     Ok(instance)
 }
 
-fn find_mut<'a>(instance: &'a mut ComponentInstance, path: &str) -> Option<&'a mut ComponentInstance> {
+fn find_mut<'a>(
+    instance: &'a mut ComponentInstance,
+    path: &str,
+) -> Option<&'a mut ComponentInstance> {
     if instance.path == path {
         return Some(instance);
     }

@@ -232,9 +232,8 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, AadlError> {
                     i += 1;
                 }
                 // A real literal: digits '.' digits — but not `..` (a range).
-                let is_real = i + 1 < bytes.len()
-                    && bytes[i] == '.'
-                    && bytes[i + 1].is_ascii_digit();
+                let is_real =
+                    i + 1 < bytes.len() && bytes[i] == '.' && bytes[i + 1].is_ascii_digit();
                 if is_real {
                     i += 1;
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -292,7 +291,11 @@ mod tests {
     use super::*;
 
     fn kinds(source: &str) -> Vec<TokenKind> {
-        tokenize(source).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(source)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

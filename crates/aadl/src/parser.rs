@@ -37,16 +37,14 @@ impl Parser {
         &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
     }
 
-    fn peek_ahead(&self, n: usize) -> &TokenKind {
-        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)].kind
-    }
-
     fn line(&self) -> usize {
         self.tokens[self.pos.min(self.tokens.len() - 1)].line
     }
 
     fn bump(&mut self) -> TokenKind {
-        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -236,7 +234,10 @@ impl Parser {
                 while !self.at_section_end() {
                     connections.push(self.connection()?);
                 }
-            } else if self.eat_keyword("calls") || self.eat_keyword("flows") || self.eat_keyword("modes") {
+            } else if self.eat_keyword("calls")
+                || self.eat_keyword("flows")
+                || self.eat_keyword("modes")
+            {
                 // Skipped sections: consume until the next section keyword.
                 while !self.at_section_end() {
                     self.bump();
@@ -785,12 +786,16 @@ end demo;
 
     #[test]
     fn negative_and_real_values() {
-        let src = "package p\npublic\nthread t\nproperties\n  A => -3;\n  B => 2.5 ms;\nend t;\nend p;";
+        let src =
+            "package p\npublic\nthread t\nproperties\n  A => -3;\n  B => 2.5 ms;\nend t;\nend p;";
         let pkg = parse_package(src).unwrap();
         let Classifier::ComponentType { properties, .. } = &pkg.classifiers[0] else {
             panic!()
         };
         assert_eq!(properties[0].value, PropertyValue::Integer(-3, None));
-        assert_eq!(properties[1].value, PropertyValue::Real(2.5, Some("ms".into())));
+        assert_eq!(
+            properties[1].value,
+            PropertyValue::Real(2.5, Some("ms".into()))
+        );
     }
 }

@@ -105,9 +105,9 @@ impl Duration {
 
 impl std::fmt::Display for Duration {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        if self.nanos % 1_000_000 == 0 {
+        if self.nanos.is_multiple_of(1_000_000) {
             write!(f, "{} ms", self.nanos / 1_000_000)
-        } else if self.nanos % 1_000 == 0 {
+        } else if self.nanos.is_multiple_of(1_000) {
             write!(f, "{} us", self.nanos / 1_000)
         } else {
             write!(f, "{} ns", self.nanos)
@@ -248,7 +248,10 @@ impl ThreadTiming {
     pub fn apply(&mut self, pa: &PropertyAssociation) -> Result<(), AadlError> {
         match pa.name.to_ascii_lowercase().as_str() {
             "dispatch_protocol" => {
-                let text = pa.value.as_ident().ok_or_else(|| property_error(pa, "expected an enumeration literal"))?;
+                let text = pa
+                    .value
+                    .as_ident()
+                    .ok_or_else(|| property_error(pa, "expected an enumeration literal"))?;
                 self.dispatch_protocol = DispatchProtocol::parse(text)
                     .ok_or_else(|| property_error(pa, "unknown dispatch protocol"))?;
             }
@@ -300,7 +303,10 @@ fn property_error(pa: &PropertyAssociation, message: &str) -> AadlError {
 pub fn duration_of(value: &PropertyValue) -> Option<Duration> {
     match value {
         PropertyValue::Integer(v, unit) => {
-            let unit = unit.as_deref().and_then(TimeUnit::parse).unwrap_or(TimeUnit::Ms);
+            let unit = unit
+                .as_deref()
+                .and_then(TimeUnit::parse)
+                .unwrap_or(TimeUnit::Ms);
             let v = u64::try_from(*v).ok()?;
             Some(Duration::from_nanos(v * unit.nanoseconds()))
         }
@@ -308,8 +314,13 @@ pub fn duration_of(value: &PropertyValue) -> Option<Duration> {
             if *v < 0.0 {
                 return None;
             }
-            let unit = unit.as_deref().and_then(TimeUnit::parse).unwrap_or(TimeUnit::Ms);
-            Some(Duration::from_nanos((*v * unit.nanoseconds() as f64) as u64))
+            let unit = unit
+                .as_deref()
+                .and_then(TimeUnit::parse)
+                .unwrap_or(TimeUnit::Ms);
+            Some(Duration::from_nanos(
+                (*v * unit.nanoseconds() as f64) as u64,
+            ))
         }
         _ => None,
     }
@@ -327,7 +338,8 @@ fn duration_range(pa: &PropertyAssociation) -> Result<(Duration, Duration), Aadl
             Ok((lo, hi))
         }
         other => {
-            let d = duration_of(other).ok_or_else(|| property_error(pa, "expected a time range"))?;
+            let d =
+                duration_of(other).ok_or_else(|| property_error(pa, "expected a time range"))?;
             Ok((d, d))
         }
     }
@@ -473,6 +485,9 @@ mod tests {
         assert_eq!(IoTimeSpec::parse("start"), Some(IoTimeSpec::Start));
         assert_eq!(IoTimeSpec::parse("NoIO"), Some(IoTimeSpec::NoIo));
         assert_eq!(IoTimeSpec::parse("sometime"), None);
-        assert_eq!(DispatchProtocol::parse("background"), Some(DispatchProtocol::Background));
+        assert_eq!(
+            DispatchProtocol::parse("background"),
+            Some(DispatchProtocol::Background)
+        );
     }
 }

@@ -69,7 +69,10 @@ impl AffineRelation {
 
     /// The identity relation: `y` has exactly the instants of the reference.
     pub fn identity() -> Self {
-        Self { period: 1, phase: 0 }
+        Self {
+            period: 1,
+            phase: 0,
+        }
     }
 
     /// Sampling period `d` (in reference instants).
@@ -84,7 +87,7 @@ impl AffineRelation {
 
     /// Returns `true` when reference instant `t` is an instant of this clock.
     pub fn contains(&self, t: u64) -> bool {
-        t >= self.phase && (t - self.phase) % self.period == 0
+        t >= self.phase && (t - self.phase).is_multiple_of(self.period)
     }
 
     /// The `k`-th instant (0-based) of the clock, as a reference instant.
@@ -146,7 +149,10 @@ impl AffineRelation {
     /// `lcm(d1, d2)`. This is the core of the affine synchronizability rules:
     /// two clocks can be synchronized on a sub-clock iff this intersection is
     /// non-empty.
-    pub fn intersection(&self, other: &AffineRelation) -> Result<Option<AffineRelation>, AffineError> {
+    pub fn intersection(
+        &self,
+        other: &AffineRelation,
+    ) -> Result<Option<AffineRelation>, AffineError> {
         let g = gcd(self.period, other.period);
         // Solve  phase1 + k1*d1 = phase2 + k2*d2  (k1, k2 >= 0).
         let (lo, hi) = if self.phase <= other.phase {
@@ -161,7 +167,7 @@ impl AffineRelation {
         let l = lcm(self.period, other.period).ok_or(AffineError::Overflow)?;
         // Find the smallest common instant >= hi.phase by stepping the lower
         // progression; the step count is bounded by d_hi / g, so this is fast.
-        let mut t = lo.phase + ((diff + lo.period - 1) / lo.period) * lo.period;
+        let mut t = lo.phase + diff.div_ceil(lo.period) * lo.period;
         // t is the first instant of `lo` that is >= hi.phase.
         let steps = hi.period / g;
         let mut found = None;
@@ -187,9 +193,9 @@ impl AffineRelation {
     /// Returns `true` when every instant of `other` is also an instant of
     /// `self` (i.e. `other` is a sub-clock of `self`).
     pub fn is_superclock_of(&self, other: &AffineRelation) -> bool {
-        other.period % self.period == 0
+        other.period.is_multiple_of(self.period)
             && other.phase >= self.phase
-            && (other.phase - self.phase) % self.period == 0
+            && (other.phase - self.phase).is_multiple_of(self.period)
     }
 
     /// Returns `true` when the two instant sets are disjoint (exclusive

@@ -5,8 +5,8 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::relation::{AffineError, AffineRelation};
 use crate::lcm_all;
+use crate::relation::{AffineError, AffineRelation};
 
 /// A named clock defined by an affine relation over the system reference.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -241,9 +241,7 @@ mod tests {
             .add_clock("thProducer", AffineRelation::identity())
             .unwrap_err();
         assert_eq!(err, AffineError::DuplicateClock("thProducer".into()));
-        let err = sys
-            .add_clock("ms", AffineRelation::identity())
-            .unwrap_err();
+        let err = sys.add_clock("ms", AffineRelation::identity()).unwrap_err();
         assert_eq!(err, AffineError::DuplicateClock("ms".into()));
     }
 
@@ -305,8 +303,10 @@ mod tests {
     #[test]
     fn overlapping_verdict() {
         let mut sys = AffineClockSystem::new("t");
-        sys.add_clock("a", AffineRelation::new(4, 0).unwrap()).unwrap();
-        sys.add_clock("b", AffineRelation::new(6, 0).unwrap()).unwrap();
+        sys.add_clock("a", AffineRelation::new(4, 0).unwrap())
+            .unwrap();
+        sys.add_clock("b", AffineRelation::new(6, 0).unwrap())
+            .unwrap();
         assert_eq!(
             sys.synchronizability("a", "b").unwrap(),
             Synchronizability::Overlapping

@@ -65,8 +65,11 @@ fn bench_baselines(c: &mut Criterion) {
                 b.iter(|| {
                     sets.iter()
                         .filter(|ts| {
-                            preemptive_simulation(black_box(ts), SchedulingPolicy::EarliestDeadlineFirst)
-                                .schedulable
+                            preemptive_simulation(
+                                black_box(ts),
+                                SchedulingPolicy::EarliestDeadlineFirst,
+                            )
+                            .schedulable
                         })
                         .count()
                 })

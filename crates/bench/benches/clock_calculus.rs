@@ -37,12 +37,7 @@ fn bench_clock_calculus(c: &mut Criterion) {
                 format!("g{i}"),
                 Some(0),
             );
-            automaton.add_prioritized_transition(
-                format!("s{i}"),
-                "s0",
-                format!("h{i}"),
-                Some(1),
-            );
+            automaton.add_prioritized_transition(format!("s{i}"), "s0", format!("h{i}"), Some(1));
         }
         let process = automaton.to_process().unwrap();
         group.bench_with_input(

@@ -27,9 +27,11 @@ fn bench_parser(c: &mut Criterion) {
     for threads in [10usize, 100, 500] {
         let source = generate_source(&SyntheticSpec::new(threads, 2));
         group.throughput(Throughput::Bytes(source.len() as u64));
-        group.bench_with_input(BenchmarkId::new("synthetic_parse", threads), &source, |b, src| {
-            b.iter(|| parse_package(black_box(src)).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("synthetic_parse", threads),
+            &source,
+            |b, src| b.iter(|| parse_package(black_box(src)).unwrap()),
+        );
     }
     group.finish();
 }

@@ -50,14 +50,18 @@ fn bench_ports(c: &mut Criterion) {
     for len in [64usize, 512] {
         let inputs = port_inputs(len);
         group.throughput(Throughput::Elements(len as u64));
-        group.bench_with_input(BenchmarkId::new("out_event_port", len), &inputs, |b, inputs| {
-            b.iter(|| {
-                Evaluator::new(&out_port)
-                    .unwrap()
-                    .run(black_box(inputs))
-                    .unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("out_event_port", len),
+            &inputs,
+            |b, inputs| {
+                b.iter(|| {
+                    Evaluator::new(&out_port)
+                        .unwrap()
+                        .run(black_box(inputs))
+                        .unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

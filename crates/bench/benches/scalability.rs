@@ -33,15 +33,19 @@ fn bench_scalability(c: &mut Criterion) {
         );
 
         let instance = generate_instance(&spec).unwrap();
-        group.bench_with_input(BenchmarkId::new("translate", threads), &instance, |b, inst| {
-            b.iter(|| Translator::new().translate(black_box(inst)).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("translate", threads),
+            &instance,
+            |b, inst| b.iter(|| Translator::new().translate(black_box(inst)).unwrap()),
+        );
 
         let translated = Translator::new().translate(&instance).unwrap();
         let flat = translated.model.flatten().unwrap();
-        group.bench_with_input(BenchmarkId::new("clock_calculus", threads), &flat, |b, flat| {
-            b.iter(|| ClockCalculus::analyze(black_box(flat)).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("clock_calculus", threads),
+            &flat,
+            |b, flat| b.iter(|| ClockCalculus::analyze(black_box(flat)).unwrap()),
+        );
     }
     group.finish();
 }

@@ -34,14 +34,18 @@ fn bench_shared_data(c: &mut Criterion) {
     for ticks in [24usize, 240, 2400] {
         let inputs = queue_inputs(ticks);
         group.throughput(Throughput::Elements(ticks as u64));
-        group.bench_with_input(BenchmarkId::new("fifo_reset", ticks), &inputs, |b, inputs| {
-            b.iter(|| {
-                Evaluator::new(&process)
-                    .unwrap()
-                    .run(black_box(inputs))
-                    .unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fifo_reset", ticks),
+            &inputs,
+            |b, inputs| {
+                b.iter(|| {
+                    Evaluator::new(&process)
+                        .unwrap()
+                        .run(black_box(inputs))
+                        .unwrap()
+                })
+            },
+        );
     }
 
     // Mutual-exclusion verification of the Queue access clocks on the

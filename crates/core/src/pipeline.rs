@@ -71,7 +71,11 @@ impl ToolChain {
     /// # Errors
     ///
     /// Returns the first error of any phase, tagged by [`CoreError`].
-    pub fn run_source(&self, source: &str, root_classifier: &str) -> Result<ToolChainReport, CoreError> {
+    pub fn run_source(
+        &self,
+        source: &str,
+        root_classifier: &str,
+    ) -> Result<ToolChainReport, CoreError> {
         let package = parse_package(source)?;
         let instance = InstanceModel::instantiate(&package, root_classifier)?;
         self.run_instance(&instance)
@@ -216,7 +220,9 @@ mod tests {
 
     #[test]
     fn parse_errors_are_propagated() {
-        let err = ToolChain::new().run_source("package broken", "nothing").unwrap_err();
+        let err = ToolChain::new()
+            .run_source("package broken", "nothing")
+            .unwrap_err();
         assert!(matches!(err, CoreError::Aadl(_)));
     }
 }

@@ -42,7 +42,9 @@ impl fmt::Display for AffineExportError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AffineExportError::Affine(e) => write!(f, "{e}"),
-            AffineExportError::Verification(msg) => write!(f, "synchronizability check failed: {msg}"),
+            AffineExportError::Verification(msg) => {
+                write!(f, "synchronizability check failed: {msg}")
+            }
         }
     }
 }
@@ -82,8 +84,14 @@ pub fn export_affine_clocks(
     // Per-job event clocks: affine with the hyper-period.
     for entry in &schedule.entries {
         let base = format!("{}_{}", entry.task, entry.job);
-        clocks.add_clock(format!("{base}_freeze"), AffineRelation::new(hp, entry.input_freeze)?)?;
-        clocks.add_clock(format!("{base}_start"), AffineRelation::new(hp, entry.start)?)?;
+        clocks.add_clock(
+            format!("{base}_freeze"),
+            AffineRelation::new(hp, entry.input_freeze)?,
+        )?;
+        clocks.add_clock(
+            format!("{base}_start"),
+            AffineRelation::new(hp, entry.start)?,
+        )?;
         clocks.add_clock(
             format!("{base}_complete"),
             AffineRelation::new(hp, entry.completion)?,
@@ -215,7 +223,9 @@ mod tests {
         let e = export();
         // Non-preemptive single-processor execution makes the shared Queue
         // accesses of producer and consumer mutually exclusive.
-        assert!(e.accesses_are_exclusive("thProducer", "thConsumer").unwrap());
+        assert!(e
+            .accesses_are_exclusive("thProducer", "thConsumer")
+            .unwrap());
         assert!(matches!(
             e.accesses_are_exclusive("thProducer", "missing"),
             Err(AffineError::UnknownClock(_))

@@ -88,7 +88,6 @@ pub fn rm_response_time_analysis(tasks: &TaskSet) -> ResponseTimeReport {
             }
             if next > task.deadline {
                 converged = None;
-                r = next;
                 break;
             }
             r = next;
@@ -186,7 +185,9 @@ pub fn preemptive_simulation(tasks: &TaskSet, policy: SchedulingPolicy) -> Simul
                 match policy {
                     SchedulingPolicy::EarliestDeadlineFirst => (j.deadline, j.period, 0),
                     SchedulingPolicy::RateMonotonic => (j.period, j.deadline, 0),
-                    SchedulingPolicy::FixedPriority => (0, 0, j.priority.wrapping_neg().max(i64::MIN + 1)),
+                    SchedulingPolicy::FixedPriority => {
+                        (0, 0, j.priority.wrapping_neg().max(i64::MIN + 1))
+                    }
                 }
             })
             .expect("ready is non-empty");
@@ -280,10 +281,7 @@ mod tests {
         assert!(report.rm_simulation.schedulable);
         assert!(report.edf_simulation.schedulable);
         // Producer is the highest-rate task: its response time is its WCET.
-        assert_eq!(
-            report.response_times.response_times["thProducer"],
-            Some(1)
-        );
+        assert_eq!(report.response_times.response_times["thProducer"], Some(1));
     }
 
     #[test]

@@ -201,8 +201,18 @@ impl StaticSchedule {
                         SchedulingPolicy::FixedPriority => {
                             // Priority dominates (larger value = more
                             // urgent), then RM order.
-                            (std::cmp::Reverse(ja.priority), ja.period, ja.deadline, ja.release)
-                                .cmp(&(std::cmp::Reverse(jb.priority), jb.period, jb.deadline, jb.release))
+                            (
+                                std::cmp::Reverse(ja.priority),
+                                ja.period,
+                                ja.deadline,
+                                ja.release,
+                            )
+                                .cmp(&(
+                                    std::cmp::Reverse(jb.priority),
+                                    jb.period,
+                                    jb.deadline,
+                                    jb.release,
+                                ))
                         }
                         _ => key(ja)
                             .cmp(&key(jb))
@@ -304,7 +314,14 @@ impl StaticSchedule {
         for e in &self.entries {
             out.push_str(&format!(
                 "{:<16} {:>3} {:>8} {:>6} {:>5} {:>8} {:>6} {:>8}\n",
-                e.task, e.job, e.dispatch, e.input_freeze, e.start, e.completion, e.output_release, e.deadline
+                e.task,
+                e.job,
+                e.dispatch,
+                e.input_freeze,
+                e.start,
+                e.completion,
+                e.output_release,
+                e.deadline
             ));
         }
         out
@@ -361,8 +378,8 @@ mod tests {
             PeriodicTask::new("c", 8, 4, 2),
         ])
         .unwrap();
-        let err =
-            StaticSchedule::synthesize(&tasks, SchedulingPolicy::EarliestDeadlineFirst).unwrap_err();
+        let err = StaticSchedule::synthesize(&tasks, SchedulingPolicy::EarliestDeadlineFirst)
+            .unwrap_err();
         assert!(matches!(err, SchedulingError::DeadlineMiss { .. }));
         assert!(err.to_string().contains("deadline"));
     }
@@ -394,8 +411,7 @@ mod tests {
             PeriodicTask::new("b", 8, 8, 1).with_offset(2),
         ])
         .unwrap();
-        let schedule =
-            StaticSchedule::synthesize(&tasks, SchedulingPolicy::RateMonotonic).unwrap();
+        let schedule = StaticSchedule::synthesize(&tasks, SchedulingPolicy::RateMonotonic).unwrap();
         let a = schedule.entries_for("a");
         let b = schedule.entries_for("b");
         assert_eq!(a.len(), 2);

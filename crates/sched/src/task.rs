@@ -28,7 +28,10 @@ impl fmt::Display for TaskSetError {
             TaskSetError::ZeroPeriod(t) => write!(f, "task `{t}` has a zero period"),
             TaskSetError::ZeroWcet(t) => write!(f, "task `{t}` has a zero execution time"),
             TaskSetError::WcetExceedsDeadline(t) => {
-                write!(f, "task `{t}` has an execution time larger than its deadline")
+                write!(
+                    f,
+                    "task `{t}` has an execution time larger than its deadline"
+                )
             }
             TaskSetError::DeadlineExceedsPeriod(t) => {
                 write!(f, "task `{t}` has a deadline larger than its period")

@@ -59,7 +59,13 @@ pub fn random_task_set<R: Rng>(
 
 /// Generates `count` random task sets and reports how many are accepted by
 /// the given check — the acceptance-ratio experiment shape.
-pub fn acceptance_ratio<R, F>(rng: &mut R, count: usize, n: usize, total_utilization: f64, mut accept: F) -> f64
+pub fn acceptance_ratio<R, F>(
+    rng: &mut R,
+    count: usize,
+    n: usize,
+    total_utilization: f64,
+    mut accept: F,
+) -> f64
 where
     R: Rng,
     F: FnMut(&TaskSet) -> bool,
@@ -121,7 +127,10 @@ mod tests {
         let high = acceptance_ratio(&mut rng, 40, 5, 0.98, |ts| {
             crate::baseline::rm_response_time_analysis(ts).schedulable
         });
-        assert!(low >= high, "low-U acceptance {low} < high-U acceptance {high}");
+        assert!(
+            low >= high,
+            "low-U acceptance {low} < high-U acceptance {high}"
+        );
         assert!(low > 0.5);
     }
 

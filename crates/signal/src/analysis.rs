@@ -32,7 +32,8 @@ impl DependencyGraph {
     pub fn of(process: &Process) -> Self {
         let mut edges: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
         for eq in &process.equations {
-            if let Equation::Definition { target, expr } | Equation::PartialDefinition { target, expr } = eq
+            if let Equation::Definition { target, expr }
+            | Equation::PartialDefinition { target, expr } = eq
             {
                 for dep in expr.instantaneous_dependencies() {
                     edges.entry(dep).or_default().insert(target.clone());

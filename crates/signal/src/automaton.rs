@@ -192,10 +192,7 @@ impl Automaton {
             .map(|(i, s)| (s.as_str(), i as i64))
             .collect();
 
-        b.define(
-            "prev_state",
-            Expr::delay(Expr::var("state"), Value::Int(0)),
-        );
+        b.define("prev_state", Expr::delay(Expr::var("state"), Value::Int(0)));
 
         // Order transitions by (state, priority) so that guard strengthening
         // follows priorities.

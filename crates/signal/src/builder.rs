@@ -172,10 +172,7 @@ mod tests {
             .define("z", Expr::delay(Expr::var("o"), Value::Int(0)))
             .define(
                 "o",
-                Expr::default(
-                    Expr::var("i"),
-                    Expr::when(Expr::var("z"), Expr::var("b")),
-                ),
+                Expr::default(Expr::var("i"), Expr::when(Expr::var("z"), Expr::var("b"))),
             )
             .synchronize(&["o", "z"])
             .annotate("aadl::path", "prProdCons.Queue");

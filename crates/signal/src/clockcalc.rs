@@ -29,7 +29,10 @@ pub struct ClockClass {
 impl ClockClass {
     /// A readable label for the class: the first signal name.
     pub fn label(&self) -> &str {
-        self.signals.first().map(String::as_str).unwrap_or("<empty>")
+        self.signals
+            .first()
+            .map(String::as_str)
+            .unwrap_or("<empty>")
     }
 }
 
@@ -101,7 +104,9 @@ impl ClockCalculus {
             match eq {
                 Equation::Definition { target, expr } => {
                     if let Some(peer) = synchronous_peer(expr) {
-                        if let (Some(&a), Some(&b)) = (index.get(target.as_str()), index.get(peer.as_str())) {
+                        if let (Some(&a), Some(&b)) =
+                            (index.get(target.as_str()), index.get(peer.as_str()))
+                        {
                             uf.union(a, b);
                         }
                     }
@@ -336,7 +341,11 @@ fn collect_hierarchy(
     match expr {
         Expr::When(e, b) => {
             // target ⊆ clock(e) and target ⊆ clock(b)
-            for dep in e.referenced_signals().into_iter().chain(b.referenced_signals()) {
+            for dep in e
+                .referenced_signals()
+                .into_iter()
+                .chain(b.referenced_signals())
+            {
                 if let Some(d) = class_idx(&dep) {
                     if d != target {
                         hierarchy.insert((target, d));

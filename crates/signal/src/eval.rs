@@ -334,9 +334,11 @@ impl Evaluator {
                 continue;
             }
             let present = matches!(env.get(&target), Some(Res::Present(_)) | Some(Res::Any(_)));
-            let has_total = self.process.equations.iter().any(|eq| {
-                matches!(eq, Equation::Definition { target: t, .. } if t == &target)
-            });
+            let has_total = self
+                .process
+                .equations
+                .iter()
+                .any(|eq| matches!(eq, Equation::Definition { target: t, .. } if t == &target));
             if present && !has_total && !partial_fired.get(&target).copied().unwrap_or(false) {
                 return Err(SignalError::NotExecutable {
                     instant,
@@ -377,7 +379,10 @@ impl Evaluator {
                     let count = signals
                         .iter()
                         .filter(|s| {
-                            matches!(env.get(s.as_str()), Some(Res::Present(_)) | Some(Res::Any(_)))
+                            matches!(
+                                env.get(s.as_str()),
+                                Some(Res::Present(_)) | Some(Res::Any(_))
+                            )
                         })
                         .count();
                     if count > 1 {
@@ -803,7 +808,10 @@ fn compute_binary(op: BinOp, x: &Value, y: &Value) -> Result<Value, SignalError>
         Eq => Ok(Value::Bool(values_equal(x, y))),
         Ne => Ok(Value::Bool(!values_equal(x, y))),
         Lt | Le | Gt | Ge => {
-            let (a, b) = (x.as_real().ok_or_else(type_err)?, y.as_real().ok_or_else(type_err)?);
+            let (a, b) = (
+                x.as_real().ok_or_else(type_err)?,
+                y.as_real().ok_or_else(type_err)?,
+            );
             let r = match op {
                 Lt => a < b,
                 Le => a <= b,
@@ -840,7 +848,10 @@ fn compute_binary(op: BinOp, x: &Value, y: &Value) -> Result<Value, SignalError>
                 Ok(Value::Int(r))
             }
             _ => {
-                let (a, b) = (x.as_real().ok_or_else(type_err)?, y.as_real().ok_or_else(type_err)?);
+                let (a, b) = (
+                    x.as_real().ok_or_else(type_err)?,
+                    y.as_real().ok_or_else(type_err)?,
+                );
                 let r = match op {
                     Add => a + b,
                     Sub => a - b,
@@ -944,7 +955,10 @@ mod tests {
         b.input("i", ValueType::Integer);
         b.input("b", ValueType::Boolean);
         b.output("o", ValueType::Integer);
-        b.define("o", Expr::cell(Expr::var("i"), Expr::var("b"), Value::Int(0)));
+        b.define(
+            "o",
+            Expr::cell(Expr::var("i"), Expr::var("b"), Value::Int(0)),
+        );
         let p = b.build().unwrap();
 
         let mut inputs = Trace::new();

@@ -115,6 +115,10 @@ pub enum Expr {
     ClockWhen(Box<Expr>),
 }
 
+// The `add`/`sub`/`mul`/`not` constructors are free functions over two
+// expressions, not `self`-consuming operators, so the std ops traits do not
+// fit their shape.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// Convenience constructor for a signal reference.
     pub fn var(name: impl Into<String>) -> Expr {
@@ -320,11 +324,11 @@ mod tests {
 
     #[test]
     fn referenced_signals_are_deduplicated_and_sorted() {
-        let e = Expr::add(
-            Expr::var("b"),
-            Expr::when(Expr::var("a"), Expr::var("b")),
+        let e = Expr::add(Expr::var("b"), Expr::when(Expr::var("a"), Expr::var("b")));
+        assert_eq!(
+            e.referenced_signals(),
+            vec!["a".to_string(), "b".to_string()]
         );
-        assert_eq!(e.referenced_signals(), vec!["a".to_string(), "b".to_string()]);
     }
 
     #[test]

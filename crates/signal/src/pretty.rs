@@ -114,7 +114,9 @@ fn render_equation(eq: &Equation) -> String {
             format!("{target} ::= {}", render_expr(expr))
         }
         Equation::ClockConstraint { signals } => signals.join(" ^= "),
-        Equation::ClockExclusion { signals } => format!("{} %pairwise exclusive%", signals.join(" ^# ")),
+        Equation::ClockExclusion { signals } => {
+            format!("{} %pairwise exclusive%", signals.join(" ^# "))
+        }
         Equation::Instance {
             process,
             label,
@@ -158,7 +160,10 @@ mod tests {
         b.local("state", ValueType::Integer);
         b.define("state", Expr::delay(Expr::var("state"), Value::Int(0)));
         b.define("Complete", Expr::clock_of(Expr::var("Dispatch")));
-        b.define_partial("Alarm", Expr::when(Expr::bool(true), Expr::var("pProdStart")));
+        b.define_partial(
+            "Alarm",
+            Expr::when(Expr::bool(true), Expr::var("pProdStart")),
+        );
         b.synchronize(&["Dispatch", "Complete"]);
         b.annotate("aadl::path", "prProdCons.thProducer");
         b.build_unchecked()

@@ -164,7 +164,9 @@ impl Process {
                         note(s);
                     }
                 }
-                Equation::Instance { inputs, outputs, .. } => {
+                Equation::Instance {
+                    inputs, outputs, ..
+                } => {
                     for s in inputs.iter().chain(outputs) {
                         note(s);
                     }
@@ -200,9 +202,8 @@ impl Process {
         }
         for out in self.outputs() {
             let defined = self.equations.iter().any(|eq| match eq {
-                Equation::Definition { target, .. } | Equation::PartialDefinition { target, .. } => {
-                    target == &out.name
-                }
+                Equation::Definition { target, .. }
+                | Equation::PartialDefinition { target, .. } => target == &out.name,
                 Equation::Instance { outputs, .. } => outputs.contains(&out.name),
                 _ => false,
             });
@@ -358,7 +359,11 @@ impl ProcessModel {
             }
         };
         for decl in &process.signals {
-            let role = if prefix.is_empty() { decl.role } else { SignalRole::Local };
+            let role = if prefix.is_empty() {
+                decl.role
+            } else {
+                SignalRole::Local
+            };
             flat.signals.push(SignalDecl {
                 name: rename(&decl.name),
                 ty: decl.ty,
@@ -367,10 +372,12 @@ impl ProcessModel {
         }
         for eq in &process.equations {
             match eq {
-                Equation::Definition { target, expr } => flat.equations.push(Equation::Definition {
-                    target: rename(target),
-                    expr: rename_expr(expr, &rename),
-                }),
+                Equation::Definition { target, expr } => {
+                    flat.equations.push(Equation::Definition {
+                        target: rename(target),
+                        expr: rename_expr(expr, &rename),
+                    })
+                }
                 Equation::PartialDefinition { target, expr } => {
                     flat.equations.push(Equation::PartialDefinition {
                         target: rename(target),

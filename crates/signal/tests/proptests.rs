@@ -65,7 +65,10 @@ fn memory() -> signal_moc::process::Process {
     builder.input("x", ValueType::Integer);
     builder.input("b", ValueType::Boolean);
     builder.output("o", ValueType::Integer);
-    builder.define("o", Expr::cell(Expr::var("x"), Expr::var("b"), Value::Int(0)));
+    builder.define(
+        "o",
+        Expr::cell(Expr::var("x"), Expr::var("b"), Value::Int(0)),
+    );
     builder.build().unwrap()
 }
 

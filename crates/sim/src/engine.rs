@@ -154,7 +154,11 @@ mod tests {
         sim.run(&inputs).unwrap();
         let history = sim.history();
         assert_eq!(history.len(), 4);
-        let counts: Vec<i64> = history.flow_of("count").iter().map(|v| v.as_int().unwrap()).collect();
+        let counts: Vec<i64> = history
+            .flow_of("count")
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
         assert_eq!(counts, vec![1, 1, 2, 2]);
     }
 

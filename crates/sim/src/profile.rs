@@ -93,7 +93,11 @@ impl ProfileReport {
     /// Renders a compact textual report sorted by activity.
     pub fn to_table(&self, limit: usize) -> String {
         let mut rows: Vec<&SignalProfile> = self.signals.values().collect();
-        rows.sort_by(|a, b| b.active_count.cmp(&a.active_count).then(a.name.cmp(&b.name)));
+        rows.sort_by(|a, b| {
+            b.active_count
+                .cmp(&a.active_count)
+                .then(a.name.cmp(&b.name))
+        });
         let mut out = format!("profile over {} instants\n", self.instants);
         out.push_str("signal                                   present  active  rate\n");
         for row in rows.into_iter().take(limit) {

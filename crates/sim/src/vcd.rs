@@ -174,7 +174,9 @@ mod tests {
         let unique: std::collections::BTreeSet<&&str> = ids.iter().collect();
         assert_eq!(ids.len(), 200);
         assert_eq!(unique.len(), 200);
-        assert!(ids.iter().all(|id| id.chars().all(|c| ('!'..='~').contains(&c))));
+        assert!(ids
+            .iter()
+            .all(|id| id.chars().all(|c| ('!'..='~').contains(&c))));
     }
 
     #[test]

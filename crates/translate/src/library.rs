@@ -31,7 +31,10 @@ pub fn memory_process() -> Process {
     b.input("i", ValueType::Integer);
     b.input("b", ValueType::Boolean);
     b.output("o", ValueType::Integer);
-    b.define("o", Expr::cell(Expr::var("i"), Expr::var("b"), Value::Int(0)));
+    b.define(
+        "o",
+        Expr::cell(Expr::var("i"), Expr::var("b"), Value::Int(0)),
+    );
     b.annotate("aadl2signal::role", "memory process fm(i, b)");
     b.build().expect("library process is well-formed")
 }
@@ -69,10 +72,20 @@ pub fn in_event_port_process(queue_size: usize) -> Process {
     // raw = previous pending + arrivals (before capping and freezing).
     b.define(
         "raw",
-        Expr::add(Expr::delay(Expr::var("pending"), Value::Int(0)), Expr::var("arrivals")),
+        Expr::add(
+            Expr::delay(Expr::var("pending"), Value::Int(0)),
+            Expr::var("arrivals"),
+        ),
     );
     // dropped = raw exceeds the queue size.
-    b.define("dropped", Expr::Binary(signal_moc::expr::BinOp::Gt, Box::new(Expr::var("raw")), Box::new(Expr::int(q))));
+    b.define(
+        "dropped",
+        Expr::Binary(
+            signal_moc::expr::BinOp::Gt,
+            Box::new(Expr::var("raw")),
+            Box::new(Expr::int(q)),
+        ),
+    );
     // pending: emptied at Input Time (content moves to the frozen fifo),
     // otherwise the capped accumulation.
     b.define(
@@ -100,7 +113,15 @@ pub fn in_event_port_process(queue_size: usize) -> Process {
             Expr::delay(Expr::var("frozen_count"), Value::Int(0)),
         ),
     );
-    b.synchronize(&["incoming", "freeze", "pending", "frozen_count", "arrivals", "raw", "dropped"]);
+    b.synchronize(&[
+        "incoming",
+        "freeze",
+        "pending",
+        "frozen_count",
+        "arrivals",
+        "raw",
+        "dropped",
+    ]);
     b.annotate("aadl2signal::role", "in event port (in_fifo + frozen_fifo)");
     b.annotate("aadl2signal::queue_size", q.to_string());
     b.build().expect("library process is well-formed")
@@ -132,7 +153,10 @@ pub fn out_event_port_process() -> Process {
     );
     b.define(
         "raw",
-        Expr::add(Expr::delay(Expr::var("backlog"), Value::Int(0)), Expr::var("additions")),
+        Expr::add(
+            Expr::delay(Expr::var("backlog"), Value::Int(0)),
+            Expr::var("additions"),
+        ),
     );
     b.define(
         "backlog",
@@ -148,7 +172,14 @@ pub fn out_event_port_process() -> Process {
             Expr::when(Expr::int(0), Expr::not(Expr::var("release"))),
         ),
     );
-    b.synchronize(&["produced", "release", "sent_count", "backlog", "additions", "raw"]);
+    b.synchronize(&[
+        "produced",
+        "release",
+        "sent_count",
+        "backlog",
+        "additions",
+        "raw",
+    ]);
     b.annotate("aadl2signal::role", "out event port");
     b.build().expect("library process is well-formed")
 }
@@ -180,7 +211,10 @@ pub fn shared_data_process() -> Process {
     b.define(
         "after_write",
         Expr::default(
-            Expr::when(Expr::add(Expr::var("prev_depth"), Expr::int(1)), Expr::var("write")),
+            Expr::when(
+                Expr::add(Expr::var("prev_depth"), Expr::int(1)),
+                Expr::var("write"),
+            ),
             Expr::var("prev_depth"),
         ),
     );
@@ -218,7 +252,14 @@ pub fn shared_data_process() -> Process {
             Expr::delay(Expr::var("last_read"), Value::Int(0)),
         ),
     );
-    b.synchronize(&["depth", "prev_depth", "last_read", "after_write", "after_read", "reset"]);
+    b.synchronize(&[
+        "depth",
+        "prev_depth",
+        "last_read",
+        "after_write",
+        "after_read",
+        "reset",
+    ]);
     b.annotate("aadl2signal::role", "shared data fifo_reset");
     b.build().expect("library process is well-formed")
 }
@@ -248,7 +289,11 @@ mod tests {
         let mut trace = Trace::new();
         for t in 0..len {
             for (name, values) in inputs {
-                trace.set(t, *name, Value::Bool(values.get(t).copied().unwrap_or(false)));
+                trace.set(
+                    t,
+                    *name,
+                    Value::Bool(values.get(t).copied().unwrap_or(false)),
+                );
             }
         }
         Evaluator::new(process).unwrap().run(&trace).unwrap()

@@ -49,8 +49,13 @@ pub fn task_set_from_threads(threads: &[ThreadInstance]) -> Result<TaskSet, Task
             .dispatch_offset
             .map(|d| d.as_millis() * TICKS_PER_MILLISECOND)
             .unwrap_or(0);
-        let mut task = PeriodicTask::new(thread.name.clone(), period_ticks, deadline_ticks, wcet_ticks)
-            .with_offset(offset_ticks);
+        let mut task = PeriodicTask::new(
+            thread.name.clone(),
+            period_ticks,
+            deadline_ticks,
+            wcet_ticks,
+        )
+        .with_offset(offset_ticks);
         if let Some(priority) = thread.timing.priority {
             task = task.with_priority(priority);
         }
@@ -103,7 +108,11 @@ pub fn schedule_to_timing_trace(
         for entry in schedule.entries_for(thread) {
             let at = |tick: u64| (base + tick) as usize;
             trace.set(at(entry.dispatch), name("Dispatch"), Value::Bool(true));
-            trace.set(at(entry.completion.min(horizon - 1)), name("Resume"), Value::Bool(true));
+            trace.set(
+                at(entry.completion.min(horizon - 1)),
+                name("Resume"),
+                Value::Bool(true),
+            );
             if entry.deadline < schedule.hyperperiod {
                 trace.set(at(entry.deadline), name("Deadline"), Value::Bool(true));
             }
@@ -167,19 +176,34 @@ mod tests {
         );
         assert_eq!(trace.len(), 48);
         let dispatch_ticks: Vec<usize> = (0..trace.len())
-            .filter(|&t| trace.value(t, "Dispatch").map(|v| v.as_bool()).unwrap_or(false))
+            .filter(|&t| {
+                trace
+                    .value(t, "Dispatch")
+                    .map(|v| v.as_bool())
+                    .unwrap_or(false)
+            })
             .collect();
-        assert_eq!(dispatch_ticks, vec![0, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44]);
+        assert_eq!(
+            dispatch_ticks,
+            vec![0, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44]
+        );
         // Freeze times coincide with dispatches (Input_Time = Dispatch).
         for &t in &dispatch_ticks {
             assert_eq!(
-                trace.value(t, "pProdStart_frozen_time").map(|v| v.as_bool()),
+                trace
+                    .value(t, "pProdStart_frozen_time")
+                    .map(|v| v.as_bool()),
                 Some(true)
             );
         }
         // Resume (completion) happens after dispatch within the deadline.
         let resumes: Vec<usize> = (0..trace.len())
-            .filter(|&t| trace.value(t, "Resume").map(|v| v.as_bool()).unwrap_or(false))
+            .filter(|&t| {
+                trace
+                    .value(t, "Resume")
+                    .map(|v| v.as_bool())
+                    .unwrap_or(false)
+            })
             .collect();
         assert_eq!(resumes.len(), 12);
     }
@@ -187,8 +211,7 @@ mod tests {
     #[test]
     fn prefixed_trace_uses_prefixed_names() {
         let tasks = case_study_tasks();
-        let schedule =
-            StaticSchedule::synthesize(&tasks, SchedulingPolicy::RateMonotonic).unwrap();
+        let schedule = StaticSchedule::synthesize(&tasks, SchedulingPolicy::RateMonotonic).unwrap();
         let trace = schedule_to_timing_trace(&schedule, "thConsumer", "thConsumer_", &[], &[], 1);
         assert!(trace.signals().iter().all(|s| s.starts_with("thConsumer_")));
         assert!(trace.value(0, "thConsumer_Dispatch").is_some());

@@ -125,7 +125,10 @@ pub fn thread_to_process(process_name: &str, thread: &ThreadInstance) -> ThreadT
         "dispatch_count",
         Expr::default(
             Expr::when(
-                Expr::add(Expr::delay(Expr::var("dispatch_count"), Value::Int(0)), Expr::int(1)),
+                Expr::add(
+                    Expr::delay(Expr::var("dispatch_count"), Value::Int(0)),
+                    Expr::int(1),
+                ),
                 Expr::var("Dispatch"),
             ),
             Expr::delay(Expr::var("dispatch_count"), Value::Int(0)),

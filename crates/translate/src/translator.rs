@@ -104,11 +104,17 @@ impl Translator {
     /// Returns [`TranslationError::Aadl`] if thread properties cannot be
     /// interpreted and [`TranslationError::InvalidModel`] if the generated
     /// model does not validate (a translator bug).
-    pub fn translate(&self, instance: &InstanceModel) -> Result<TranslatedSystem, TranslationError> {
+    pub fn translate(
+        &self,
+        instance: &InstanceModel,
+    ) -> Result<TranslatedSystem, TranslationError> {
         let root_name = sanitize(&instance.root.path);
         let mut model = ProcessModel::new(root_name.clone());
         // Library processes.
-        for process in library::standard_library(self.default_queue_size).processes.into_values() {
+        for process in library::standard_library(self.default_queue_size)
+            .processes
+            .into_values()
+        {
             model.add(process);
         }
 
@@ -194,8 +200,7 @@ impl Translator {
                 .filter(|c| {
                     // Skip children bound to some processor: they appear
                     // under that processor instead.
-                    !(is_container(c.category)
-                        && instance.processor_binding(&c.path).is_some())
+                    !(is_container(c.category) && instance.processor_binding(&c.path).is_some())
                         || matches!(
                             c.category,
                             ComponentCategory::Processor | ComponentCategory::VirtualProcessor
@@ -264,7 +269,8 @@ impl Translator {
                         format!("aadl::shared_data::{}", child.name),
                         accessors.join(","),
                     );
-                    traceability.insert(child.path.clone(), library::SHARED_DATA_PROCESS.to_string());
+                    traceability
+                        .insert(child.path.clone(), library::SHARED_DATA_PROCESS.to_string());
                 }
                 _ if is_container(child.category) => {
                     let child_process = sanitize(&child.path);
@@ -324,7 +330,10 @@ impl Translator {
                 .unwrap_or(false)
                 && model
                     .process(&sanitize(&conn.destination_component))
-                    .map(|p| p.signal(&format!("{}_in", conn.destination_feature)).is_some())
+                    .map(|p| {
+                        p.signal(&format!("{}_in", conn.destination_feature))
+                            .is_some()
+                    })
                     .unwrap_or(false)
             {
                 // The destination's incoming boolean is true when the source
@@ -339,7 +348,7 @@ impl Translator {
         // Aggregate alarm.
         let alarm_expr = alarm_terms
             .into_iter()
-            .reduce(|a, t| Expr::or(a, t))
+            .reduce(Expr::or)
             .unwrap_or_else(|| Expr::bool(false));
         b.define("Alarm", alarm_expr);
 
@@ -401,9 +410,7 @@ mod tests {
             assert!(sys.signal_process_for(&path).is_some(), "{thread} missing");
         }
         // The process is translated and reachable from the processor.
-        assert!(sys
-            .signal_process_for("sysProdCons.prProdCons")
-            .is_some());
+        assert!(sys.signal_process_for("sysProdCons.prProdCons").is_some());
         assert!(sys.signal_process_for("sysProdCons.Processor1").is_some());
     }
 

@@ -27,13 +27,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out = sim.run(&inputs)?;
     println!("== In event port (Fig. 5): freeze at each dispatch ==");
     println!("tick  arrival freeze  pending  frozen_count");
-    for t in 0..arrivals.len() {
+    for (t, &arrived) in arrivals.iter().enumerate() {
         println!(
             "{t:>4}  {:>7} {:>6} {:>8} {:>13}",
-            arrivals[t],
+            arrived,
             t % 4 == 0,
-            out.value(t, "pending").and_then(|v| v.as_int()).unwrap_or(0),
-            out.value(t, "frozen_count").and_then(|v| v.as_int()).unwrap_or(0),
+            out.value(t, "pending")
+                .and_then(|v| v.as_int())
+                .unwrap_or(0),
+            out.value(t, "frozen_count")
+                .and_then(|v| v.as_int())
+                .unwrap_or(0),
         );
     }
     println!(
@@ -53,13 +57,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out = sim.run(&inputs)?;
     println!("== Out event port: values sent at Output Time ==");
     println!("tick  produced release  backlog  sent_count");
-    for t in 0..produced.len() {
+    for (t, &p) in produced.iter().enumerate() {
         println!(
             "{t:>4}  {:>8} {:>7} {:>8} {:>11}",
-            produced[t],
+            p,
             t == 3 || t == 5,
-            out.value(t, "backlog").and_then(|v| v.as_int()).unwrap_or(0),
-            out.value(t, "sent_count").and_then(|v| v.as_int()).unwrap_or(0),
+            out.value(t, "backlog")
+                .and_then(|v| v.as_int())
+                .unwrap_or(0),
+            out.value(t, "sent_count")
+                .and_then(|v| v.as_int())
+                .unwrap_or(0),
         );
     }
 

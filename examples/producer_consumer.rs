@@ -33,7 +33,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             "  thread {:<12} period {:>2} ms  deadline {:>2} ms  wcet {:?}",
             t.name,
             t.timing.period.map(|p| p.as_millis()).unwrap_or(0),
-            t.timing.effective_deadline().map(|d| d.as_millis()).unwrap_or(0),
+            t.timing
+                .effective_deadline()
+                .map(|d| d.as_millis())
+                .unwrap_or(0),
             t.timing.execution_time_max.map(|d| d.as_millis())
         );
     }
@@ -54,7 +57,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         "{}",
         process_to_signal(translated.model.process(producer_process).unwrap())
     );
-    println!("(full model: {} lines of SIGNAL text)", model_to_signal(&translated.model).lines().count());
+    println!(
+        "(full model: {} lines of SIGNAL text)",
+        model_to_signal(&translated.model).lines().count()
+    );
 
     // Phase 3 — static analysis: clock calculus, determinism, deadlock.
     let flat = translated.model.flatten()?;
@@ -72,7 +78,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let tasks = task_set_from_threads(&threads)?;
     let schedule = StaticSchedule::synthesize(&tasks, SchedulingPolicy::EarliestDeadlineFirst)?;
     let affine = export_affine_clocks(&tasks, &schedule)?;
-    println!("\n== Phase 4: thread-level scheduling (hyper-period {}) ==", schedule.hyperperiod);
+    println!(
+        "\n== Phase 4: thread-level scheduling (hyper-period {}) ==",
+        schedule.hyperperiod
+    );
     println!("{}", schedule.to_table());
     println!(
         "affine clocks exported: {}, constraints verified: {}",
@@ -88,7 +97,8 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== Phase 5: co-simulation ==");
     let producer = threads.iter().find(|t| t.name == "thProducer").unwrap();
     let translation = polychrony_core::asme2ssme::thread_to_process(producer_process, producer);
-    let mut model = polychrony_core::signal_moc::process::ProcessModel::new(producer_process.to_string());
+    let mut model =
+        polychrony_core::signal_moc::process::ProcessModel::new(producer_process.to_string());
     model.add(translated.model.process(producer_process).unwrap().clone());
     for p in translated.model.processes.values() {
         if p.name.starts_with("aadl2signal_") {

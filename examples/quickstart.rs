@@ -19,7 +19,11 @@ fn main() -> Result<(), CoreError> {
 
     println!(
         "all checks passed: {}",
-        if report.all_checks_passed() { "yes" } else { "NO" }
+        if report.all_checks_passed() {
+            "yes"
+        } else {
+            "NO"
+        }
     );
     Ok(())
 }

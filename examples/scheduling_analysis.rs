@@ -44,13 +44,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "utilisation {:.3}, RM bound {:.3} ({}), RTA schedulable: {}, EDF test: {}",
         baseline.utilization,
         baseline.rm_bound,
-        if baseline.rm_bound_pass { "pass" } else { "fail" },
+        if baseline.rm_bound_pass {
+            "pass"
+        } else {
+            "fail"
+        },
         baseline.response_times.schedulable,
         baseline.edf_pass
     );
 
-    println!("\n== Acceptance ratio sweep (E11): static non-preemptive EDF vs preemptive RM RTA ==");
-    println!("{:<6} {:>18} {:>18}", "U", "static EDF", "preemptive RM RTA");
+    println!(
+        "\n== Acceptance ratio sweep (E11): static non-preemptive EDF vs preemptive RM RTA =="
+    );
+    println!(
+        "{:<6} {:>18} {:>18}",
+        "U", "static EDF", "preemptive RM RTA"
+    );
     for u in [0.3, 0.5, 0.7, 0.8, 0.9, 0.95] {
         let mut rng = StdRng::seed_from_u64(2013);
         let static_edf = acceptance_ratio(&mut rng, 100, 5, u, |ts| {

@@ -1,0 +1,20 @@
+//! Umbrella crate for the DATE 2013 reproduction *"Toward Polychronous
+//! Analysis and Validation for Timed Software Architectures in AADL"*.
+//!
+//! This package hosts the workspace-level integration tests (`tests/`) and
+//! runnable examples (`examples/`), and re-exports the whole public API of
+//! [`polychrony_core`] so that downstream users can depend on a single
+//! crate:
+//!
+//! ```
+//! use polychrony::ToolChain;
+//!
+//! let report = ToolChain::new().run_case_study()?;
+//! assert_eq!(report.schedule.hyperperiod, 24);
+//! # Ok::<(), polychrony::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use polychrony_core::*;

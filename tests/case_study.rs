@@ -56,9 +56,10 @@ fn affine_hyperperiod(periods: &[u64]) -> u64 {
 fn timer_wiring_connects_producers_to_timers() {
     let model = producer_consumer_instance().unwrap();
     let has_connection = |src: &str, dst: &str| {
-        model.connections.iter().any(|c| {
-            c.source_component.ends_with(src) && c.destination_component.ends_with(dst)
-        })
+        model
+            .connections
+            .iter()
+            .any(|c| c.source_component.ends_with(src) && c.destination_component.ends_with(dst))
     };
     assert!(has_connection("thProducer", "thProdTimer"));
     assert!(has_connection("thProdTimer", "thProducer"));
@@ -91,7 +92,11 @@ fn translation_keeps_traceability_for_every_component() {
     // Annotations carry the AADL path back into the SIGNAL text.
     let producer = translated
         .model
-        .process(translated.signal_process_for("sysProdCons.prProdCons.thProducer").unwrap())
+        .process(
+            translated
+                .signal_process_for("sysProdCons.prProdCons.thProducer")
+                .unwrap(),
+        )
         .unwrap();
     assert_eq!(
         producer.annotations["aadl::path"],

@@ -13,8 +13,18 @@ use polychrony_core::signal_moc::value::Value;
 fn producer_automaton(with_priorities: bool) -> Automaton {
     let mut a = Automaton::new("thProducer_behavior", "waiting");
     a.add_transition("waiting", "producing", "pProdStart");
-    a.add_prioritized_transition("producing", "waiting", "pProdDone", with_priorities.then_some(0));
-    a.add_prioritized_transition("producing", "waiting", "pTimeOut", with_priorities.then_some(1));
+    a.add_prioritized_transition(
+        "producing",
+        "waiting",
+        "pProdDone",
+        with_priorities.then_some(0),
+    );
+    a.add_prioritized_transition(
+        "producing",
+        "waiting",
+        "pTimeOut",
+        with_priorities.then_some(1),
+    );
     a
 }
 
@@ -25,7 +35,10 @@ fn automaton_without_priorities_is_flagged() {
     let conflicts = automaton.conflicts();
     assert_eq!(conflicts.len(), 1);
     assert_eq!(conflicts[0].state, "producing");
-    let guards = [conflicts[0].guards.0.as_str(), conflicts[0].guards.1.as_str()];
+    let guards = [
+        conflicts[0].guards.0.as_str(),
+        conflicts[0].guards.1.as_str(),
+    ];
     assert!(guards.contains(&"pProdDone"));
     assert!(guards.contains(&"pTimeOut"));
 }
@@ -69,7 +82,11 @@ fn simultaneous_done_and_timeout_resolved_by_priority() {
         inputs.set(t, "pTimeOut", Value::Bool(t == 1));
     }
     let out = Evaluator::new(&process).unwrap().run(&inputs).unwrap();
-    let states: Vec<i64> = out.flow_of("state").iter().map(|v| v.as_int().unwrap()).collect();
+    let states: Vec<i64> = out
+        .flow_of("state")
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect();
     assert_eq!(states, vec![1, 0, 0]);
 }
 

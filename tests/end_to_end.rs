@@ -19,7 +19,11 @@ fn case_study_end_to_end_all_checks_pass() {
     assert_eq!(report.simulations.len(), 4);
     for (thread, sim) in &report.simulations {
         assert!(sim.is_alarm_free(), "alarm fired for {thread}");
-        assert_eq!(sim.instants, 24 * 4, "4 hyper-periods simulated for {thread}");
+        assert_eq!(
+            sim.instants,
+            24 * 4,
+            "4 hyper-periods simulated for {thread}"
+        );
     }
     assert!(report.all_checks_passed());
     // Baseline agrees.
@@ -28,7 +32,10 @@ fn case_study_end_to_end_all_checks_pass() {
 
 #[test]
 fn vcd_output_is_wellformed() {
-    let report = ToolChain::new().with_hyperperiods(2).run_case_study().unwrap();
+    let report = ToolChain::new()
+        .with_hyperperiods(2)
+        .run_case_study()
+        .unwrap();
     let vcd = &report.vcd;
     assert!(vcd.starts_with("$date"));
     assert!(vcd.contains("$timescale 1000000 ns $end"));
@@ -36,7 +43,10 @@ fn vcd_output_is_wellformed() {
     assert!(vcd.contains("$dumpvars"));
     // One timestamp per simulated instant plus the closing one.
     let timestamps = vcd.lines().filter(|l| l.starts_with('#')).count();
-    assert!(timestamps >= 48, "expected at least 48 timestamps, got {timestamps}");
+    assert!(
+        timestamps >= 48,
+        "expected at least 48 timestamps, got {timestamps}"
+    );
     // Dispatch and Alarm signals are visible in the waveform.
     assert!(vcd.contains("Dispatch"));
     assert!(vcd.contains("Alarm"));

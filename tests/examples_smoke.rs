@@ -1,0 +1,51 @@
+//! Smoke tests that run each of the five `examples/` binaries end to end, so
+//! example rot is caught by `cargo test` and CI rather than by users.
+//!
+//! Each test shells out to the same `cargo` that is driving this test run
+//! (via the `CARGO` environment variable) and asserts the example exits
+//! successfully. Cargo serialises concurrent invocations on its own build
+//! lock, so the tests are safe to run in parallel.
+
+use std::process::Command;
+
+fn run_example(name: &str) {
+    let cargo = env!("CARGO");
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let output = Command::new(cargo)
+        .args(["run", "--quiet", "--example", name])
+        .current_dir(manifest_dir)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn `cargo run --example {name}`: {e}"));
+    assert!(
+        output.status.success(),
+        "example `{name}` exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}
+
+#[test]
+fn example_quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn example_producer_consumer_runs() {
+    run_example("producer_consumer");
+}
+
+#[test]
+fn example_port_semantics_runs() {
+    run_example("port_semantics");
+}
+
+#[test]
+fn example_scheduling_analysis_runs() {
+    run_example("scheduling_analysis");
+}
+
+#[test]
+fn example_clock_scalability_runs() {
+    run_example("clock_scalability");
+}

@@ -25,7 +25,10 @@ fn hyperperiod_is_24_ms() {
 #[test]
 fn edf_and_rm_both_produce_valid_schedules() {
     let tasks = case_study_tasks();
-    for policy in [SchedulingPolicy::EarliestDeadlineFirst, SchedulingPolicy::RateMonotonic] {
+    for policy in [
+        SchedulingPolicy::EarliestDeadlineFirst,
+        SchedulingPolicy::RateMonotonic,
+    ] {
         let schedule = StaticSchedule::synthesize(&tasks, policy).unwrap();
         assert!(schedule.is_valid());
         assert_eq!(schedule.hyperperiod, 24);
@@ -45,7 +48,8 @@ fn edf_and_rm_both_produce_valid_schedules() {
 #[test]
 fn affine_export_verifies_synchronizability() {
     let tasks = case_study_tasks();
-    let schedule = StaticSchedule::synthesize(&tasks, SchedulingPolicy::EarliestDeadlineFirst).unwrap();
+    let schedule =
+        StaticSchedule::synthesize(&tasks, SchedulingPolicy::EarliestDeadlineFirst).unwrap();
     let affine = export_affine_clocks(&tasks, &schedule).unwrap();
     assert_eq!(affine.clock_count(), 4 + 16 * 4);
     assert!(affine.verified_constraints >= 16);
@@ -60,14 +64,25 @@ fn affine_export_verifies_synchronizability() {
 #[test]
 fn schedule_drives_a_consistent_timing_trace() {
     let tasks = case_study_tasks();
-    let schedule = StaticSchedule::synthesize(&tasks, SchedulingPolicy::EarliestDeadlineFirst).unwrap();
+    let schedule =
+        StaticSchedule::synthesize(&tasks, SchedulingPolicy::EarliestDeadlineFirst).unwrap();
     let trace = schedule_to_timing_trace(&schedule, "thConsumer", "", &[], &[], 1);
     let dispatches: Vec<usize> = (0..trace.len())
-        .filter(|&t| trace.value(t, "Dispatch").map(|v| v.as_bool()).unwrap_or(false))
+        .filter(|&t| {
+            trace
+                .value(t, "Dispatch")
+                .map(|v| v.as_bool())
+                .unwrap_or(false)
+        })
         .collect();
     assert_eq!(dispatches, vec![0, 6, 12, 18]);
     let resumes = (0..trace.len())
-        .filter(|&t| trace.value(t, "Resume").map(|v| v.as_bool()).unwrap_or(false))
+        .filter(|&t| {
+            trace
+                .value(t, "Resume")
+                .map(|v| v.as_bool())
+                .unwrap_or(false)
+        })
         .count();
     assert_eq!(resumes, 4);
 }
@@ -105,7 +120,10 @@ fn preemptive_baseline_accepts_more_high_utilization_sets_than_non_preemptive() 
         preemptive_accepts >= static_accepts,
         "preemptive EDF ({preemptive_accepts}) should accept at least as many sets as non-preemptive ({static_accepts})"
     );
-    assert!(static_accepts > 0, "the non-preemptive scheduler should accept some sets");
+    assert!(
+        static_accepts > 0,
+        "the non-preemptive scheduler should accept some sets"
+    );
 }
 
 #[test]
@@ -118,7 +136,10 @@ fn response_time_analysis_is_consistent_with_simulation() {
         // RTA is exact for synchronous releases: if it says schedulable, the
         // simulation over the hyper-period must not miss.
         if rta.schedulable {
-            assert!(sim.schedulable, "RTA said schedulable but simulation missed: {ts}");
+            assert!(
+                sim.schedulable,
+                "RTA said schedulable but simulation missed: {ts}"
+            );
         }
     }
 }

@@ -38,7 +38,8 @@ fn scheduled_accesses_are_mutually_exclusive() {
     // the affine export verifies it.
     let instance = producer_consumer_instance().unwrap();
     let tasks = task_set_from_threads(&instance.threads().unwrap()).unwrap();
-    let schedule = StaticSchedule::synthesize(&tasks, SchedulingPolicy::EarliestDeadlineFirst).unwrap();
+    let schedule =
+        StaticSchedule::synthesize(&tasks, SchedulingPolicy::EarliestDeadlineFirst).unwrap();
     let affine = export_affine_clocks(&tasks, &schedule).unwrap();
     assert!(affine
         .accesses_are_exclusive("thProducer", "thConsumer")
@@ -58,13 +59,21 @@ fn producer_consumer_exchange_through_the_fifo() {
     }
     let mut sim = Simulator::new(&process).unwrap();
     let out = sim.run(&inputs).unwrap();
-    let depths: Vec<i64> = out.flow_of("depth").iter().map(|v| v.as_int().unwrap()).collect();
+    let depths: Vec<i64> = out
+        .flow_of("depth")
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect();
     // 6 writes and 4 reads over the hyper-period: the queue ends 2 deep.
     assert_eq!(depths.last(), Some(&2));
     // Depth never goes negative.
     assert!(depths.iter().all(|&d| d >= 0));
     // Every read observed at least one item (the producer is faster).
-    let reads: Vec<i64> = out.flow_of("last_read").iter().map(|v| v.as_int().unwrap()).collect();
+    let reads: Vec<i64> = out
+        .flow_of("last_read")
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect();
     assert!(reads.iter().skip(3).all(|&d| d >= 1));
 }
 

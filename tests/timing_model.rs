@@ -2,8 +2,8 @@
 //! inputs are frozen at Input Time, outputs released at Output Time, and
 //! values arriving mid-frame wait for the next frame.
 
-use polychrony_core::asme2ssme::{in_event_port_process, thread_to_process};
 use polychrony_core::aadl::case_study::producer_consumer_instance;
+use polychrony_core::asme2ssme::{in_event_port_process, thread_to_process};
 use polychrony_core::polysim::Simulator;
 use polychrony_core::signal_moc::process::ProcessModel;
 use polychrony_core::signal_moc::trace::Trace;
@@ -61,7 +61,11 @@ fn complete_is_emitted_at_resume_and_alarm_on_missed_deadline() {
         inputs.set(t, "Deadline", Value::Bool(t == 3 || t == 7));
         for port in &translation.in_ports {
             inputs.set(t, format!("{port}_in"), Value::Bool(false));
-            inputs.set(t, format!("{port}_frozen_time"), Value::Bool(t == 0 || t == 4));
+            inputs.set(
+                t,
+                format!("{port}_frozen_time"),
+                Value::Bool(t == 0 || t == 4),
+            );
         }
         for port in &translation.out_ports {
             inputs.set(t, format!("{port}_output_time"), Value::Bool(t == 1));
@@ -69,7 +73,11 @@ fn complete_is_emitted_at_resume_and_alarm_on_missed_deadline() {
     }
     let mut sim = Simulator::new(&flat).unwrap();
     let out = sim.run(&inputs).unwrap();
-    let completes: Vec<bool> = out.flow_of("Complete").iter().map(|v| v.as_bool()).collect();
+    let completes: Vec<bool> = out
+        .flow_of("Complete")
+        .iter()
+        .map(|v| v.as_bool())
+        .collect();
     let alarms: Vec<bool> = out.flow_of("Alarm").iter().map(|v| v.as_bool()).collect();
     assert_eq!(completes.iter().filter(|&&c| c).count(), 1);
     assert!(completes[1]);

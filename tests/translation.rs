@@ -39,7 +39,9 @@ fn thread_level_process_has_fig4_bundles() {
     let process = translated.model.process(name).unwrap();
     let text = process_to_signal(process);
     // ctl1 bundle inputs, ctl2 outputs and the Alarm of Fig. 4.
-    for signal in ["Dispatch", "Resume", "Deadline", "Complete", "Error", "Alarm"] {
+    for signal in [
+        "Dispatch", "Resume", "Deadline", "Complete", "Error", "Alarm",
+    ] {
         assert!(process.signal(signal).is_some(), "missing {signal}");
     }
     // Frozen time events for the in event ports.
@@ -68,10 +70,20 @@ fn signal_text_preserves_aadl_names() {
     let translated = Translator::new().translate(&instance).unwrap();
     let text = model_to_signal(&translated.model);
     // Name preservation / traceability (Section IV-E).
-    for name in ["thProducer", "thConsumer", "thProdTimer", "thConsTimer", "prProdCons", "Processor1"] {
+    for name in [
+        "thProducer",
+        "thConsumer",
+        "thProdTimer",
+        "thConsTimer",
+        "prProdCons",
+        "Processor1",
+    ] {
         assert!(text.contains(name), "SIGNAL text lost the AADL name {name}");
     }
-    assert!(text.lines().count() > 120, "expected a substantial SIGNAL model");
+    assert!(
+        text.lines().count() > 120,
+        "expected a substantial SIGNAL model"
+    );
 }
 
 #[test]

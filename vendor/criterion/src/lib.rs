@@ -1,0 +1,265 @@
+//! Offline stub of `criterion`.
+//!
+//! The container cannot reach crates.io, so this crate stands in for the
+//! real Criterion harness with the API surface the workspace's nine bench
+//! targets use: [`Criterion::benchmark_group`], group configuration
+//! (`sample_size` / `warm_up_time` / `measurement_time` / `throughput`),
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Throughput`], [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: after a short warm-up, each bench
+//! body runs for the configured measurement budget and the harness prints
+//! the mean wall-clock time per iteration (plus derived throughput when
+//! configured). There are no statistics, plots or baselines — swap the
+//! `vendor/criterion` path dependency for the real crate when network
+//! access is available.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter value alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a [`BenchmarkId`], so bench entry points accept both
+/// string literals and explicit ids.
+pub trait IntoBenchmarkId {
+    /// Converts `self` into a benchmark id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Throughput annotation for a benchmark, mirroring `criterion::Throughput`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handed to each benchmark body, mirroring `criterion::Bencher`.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    min_iterations: u64,
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records the mean wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_up_start = Instant::now();
+        while warm_up_start.elapsed() < self.warm_up {
+            black_box(routine());
+        }
+        let mut iterations = 0u64;
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            iterations += 1;
+            if iterations >= self.min_iterations && start.elapsed() >= self.measurement {
+                break;
+            }
+        }
+        self.iterations = iterations;
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named collection of related benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    harness: &'a mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples (kept for API compatibility; the stub
+    /// uses it only as a lower bound on iterations).
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Sets the warm-up budget before measurement starts.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up = duration;
+        self
+    }
+
+    /// Sets the measurement budget.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement = duration;
+        self
+    }
+
+    /// Declares the throughput of each following benchmark.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark without an explicit input.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut body: F,
+    ) -> &mut Self {
+        let id = id.into_benchmark_id();
+        let mut bencher = self.bencher();
+        body(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut body: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        P: ?Sized,
+        F: FnMut(&mut Bencher, &P),
+    {
+        let id = id.into_benchmark_id();
+        let mut bencher = self.bencher();
+        body(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Finishes the group (a no-op beyond matching the real API).
+    pub fn finish(self) {}
+
+    fn bencher(&self) -> Bencher {
+        Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            min_iterations: self.sample_size as u64,
+            iterations: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    fn report(&mut self, id: &BenchmarkId, bencher: &Bencher) {
+        let iterations = bencher.iterations.max(1);
+        let mean_ns = bencher.elapsed.as_nanos() as f64 / iterations as f64;
+        let mut line = format!(
+            "{}/{}: {:>12.1} ns/iter ({} iterations)",
+            self.name, id.id, mean_ns, iterations
+        );
+        match self.throughput {
+            Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+                let rate = n as f64 * 1e9 / mean_ns;
+                line.push_str(&format!(", {rate:.0} elem/s"));
+            }
+            Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+                let rate = n as f64 * 1e9 / mean_ns / (1024.0 * 1024.0);
+                line.push_str(&format!(", {rate:.1} MiB/s"));
+            }
+            _ => {}
+        }
+        println!("{line}");
+        self.harness.completed += 1;
+    }
+}
+
+/// The benchmark harness, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    completed: u64,
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            harness: self,
+            name: name.into(),
+            warm_up: Duration::from_millis(100),
+            measurement: Duration::from_millis(300),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, body: F) -> &mut Self {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, body);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a single runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a bench target with `harness = false`, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,29 @@
+//! Collection strategies (`prop::collection`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Strategy producing `Vec`s with lengths drawn from a size range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        assert!(self.size.start < self.size.end, "empty vec size range");
+        let span = self.size.end - self.size.start;
+        let len = self.size.start + rng.index(span);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Builds a strategy for `Vec`s of `element` with a length in `size`,
+/// mirroring `proptest::collection::vec`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}

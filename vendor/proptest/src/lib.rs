@@ -1,0 +1,88 @@
+//! Offline stub of `proptest`.
+//!
+//! The build container has no crates.io access, so this crate implements
+//! the subset of the proptest API the workspace's property tests use, on
+//! top of a deterministic splitmix64 sampler:
+//!
+//! * [`strategy::Strategy`] with `prop_map` / `prop_filter_map`,
+//!   implemented for integer and float ranges, tuples and [`strategy::Just`];
+//! * [`arbitrary::any`] for the primitive types the tests draw;
+//! * [`collection::vec`], [`option::of`] and [`sample::select`];
+//! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and
+//!   [`prop_assert_ne!`] macros.
+//!
+//! Unlike the real proptest there is no shrinking and no failure
+//! persistence: each `#[test]` runs `PROPTEST_CASES` (default 64)
+//! deterministic cases seeded from the test name, so failures reproduce
+//! exactly on re-run. Swap the `vendor/proptest` path dependency for the
+//! real crate when network access is available.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property test needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace alias mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+/// Declares property tests.
+///
+/// Each `fn name(arg in strategy, ...) { body }` item expands to a plain
+/// `#[test]` (the `#[test]` attribute is written by the caller and
+/// re-emitted) that samples every strategy [`test_runner::cases`] times
+/// from a generator seeded deterministically by the test name.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($parm:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut proptest_rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                let proptest_cases = $crate::test_runner::cases();
+                for proptest_case in 0..proptest_cases {
+                    let _ = proptest_case;
+                    $(
+                        let $parm =
+                            $crate::strategy::Strategy::generate(&($strategy), &mut proptest_rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test (stub: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a property test (stub: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Asserts inequality inside a property test (stub: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}

@@ -1,0 +1,28 @@
+//! Sampling strategies (`prop::sample`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy drawing uniformly from a fixed list of values.
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    choices: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.choices[rng.index(self.choices.len())].clone()
+    }
+}
+
+/// Builds a strategy that picks uniformly from `choices`, mirroring
+/// `proptest::sample::select`.
+///
+/// # Panics
+///
+/// Panics at sampling time if `choices` is empty.
+pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+    Select { choices }
+}

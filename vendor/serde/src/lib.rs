@@ -1,0 +1,25 @@
+//! Offline stub of `serde`.
+//!
+//! The build container cannot reach crates.io, so this crate stands in for
+//! the real `serde`: [`Serialize`] and [`Deserialize`] are marker traits
+//! with blanket implementations, and the derive macros (re-exported from
+//! the stub `serde_derive`) expand to nothing. Every
+//! `#[derive(Serialize, Deserialize)]` and `T: Serialize` bound in the
+//! workspace therefore compiles unchanged, and the vendored stub can be
+//! swapped for the real crates-io package by editing only `Cargo.toml`
+//! path dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,23 @@
+//! Offline stub of `serde_derive`.
+//!
+//! This container has no access to crates.io, so the workspace vendors a
+//! minimal stand-in: the `Serialize`/`Deserialize` derive macros expand to
+//! nothing, and the companion [`serde`] stub crate provides blanket trait
+//! implementations so every `#[derive(Serialize, Deserialize)]` in the tree
+//! keeps compiling. Swap the `vendor/` path dependencies for the real
+//! crates-io packages once network access is available — no source change
+//! in the workspace crates is required.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
