@@ -1,0 +1,125 @@
+//! E11 — state-space exploration throughput: states per second of the
+//! parallel breadth-first reachability engine as the worker count grows
+//! (the scale knob of `polyverify`), plus the scheduled exploration of the
+//! case-study producer over its hyper-period.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+use aadl::case_study::producer_consumer_instance;
+use asme2ssme::thread_under_schedule;
+use polyverify::{InputSpace, Property, Verifier, VerifyOptions};
+use sched::SchedulingPolicy;
+use signal_moc::builder::ProcessBuilder;
+use signal_moc::expr::Expr;
+use signal_moc::process::Process;
+use signal_moc::value::{Value, ValueType};
+
+/// A bank of `width` per-input miss counters: counter `i` increments while
+/// input `d<i>` holds and resets when it drops, so the free exploration
+/// reaches one state per combination of counter values — a state space that
+/// grows combinatorially with the depth bound, which is what the
+/// worker-scaling measurement needs.
+fn wide_watcher(width: usize) -> Process {
+    let mut b = ProcessBuilder::new("wide");
+    let mut sync_names = Vec::new();
+    for i in 0..width {
+        let d = format!("d{i}");
+        let counter = format!("c{i}");
+        b.input(&d, ValueType::Boolean);
+        b.local(&counter, ValueType::Integer);
+        let prev = Expr::delay(Expr::var(&counter), Value::Int(0));
+        b.define(
+            &counter,
+            Expr::default(
+                Expr::when(Expr::add(prev, Expr::int(1)), Expr::var(&d)),
+                Expr::int(0),
+            ),
+        );
+        sync_names.push(d);
+        sync_names.push(counter);
+    }
+    b.output("Alarm", ValueType::Boolean);
+    b.define("Alarm", Expr::ge(Expr::var("c0"), Expr::int(1_000)));
+    let mut sync: Vec<&str> = sync_names.iter().map(String::as_str).collect();
+    sync.push("Alarm");
+    b.synchronize(&sync);
+    b.build().unwrap()
+}
+
+fn bench_state_space(c: &mut Criterion) {
+    let process = wide_watcher(3);
+    let properties = [Property::NeverRaised("*Alarm*".into())];
+
+    let mut group = c.benchmark_group("state_space");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+
+    // Worker scaling on the free-input exploration of the wide watcher.
+    let depth = 6usize;
+    for workers in [1usize, 2, 4] {
+        let verifier = Verifier::new(
+            &process,
+            VerifyOptions::default()
+                .with_workers(workers)
+                .with_depth_bound(depth),
+        )
+        .unwrap();
+        let states = verifier
+            .verify(&InputSpace::Free, &properties)
+            .unwrap()
+            .stats
+            .states;
+        group.throughput(Throughput::Elements(states as u64));
+        group.bench_with_input(
+            BenchmarkId::new("free_bfs_workers", workers),
+            &verifier,
+            |b, verifier| {
+                b.iter(|| {
+                    verifier
+                        .verify(black_box(&InputSpace::Free), black_box(&properties))
+                        .unwrap()
+                })
+            },
+        );
+    }
+
+    // Scheduled exploration of the case-study producer over one
+    // hyper-period (the pipeline's verification phase).
+    let instance = producer_consumer_instance().unwrap();
+    let (thread_model, schedule) = thread_under_schedule(
+        &instance,
+        "thProducer",
+        SchedulingPolicy::EarliestDeadlineFirst,
+    )
+    .unwrap();
+    let flat = thread_model.flat.clone();
+    let inputs = thread_model.timing_trace(&schedule, 1);
+    let space = InputSpace::Scheduled(inputs);
+    let scheduled_properties = [
+        Property::NeverRaised("*Alarm*".into()),
+        Property::DeadlockFree,
+    ];
+    let verifier = Verifier::new(
+        &flat,
+        VerifyOptions::default()
+            .with_workers(2)
+            .with_depth_bound(24),
+    )
+    .unwrap();
+    group.throughput(Throughput::Elements(24));
+    group.bench_function("scheduled_producer_hyperperiod", |b| {
+        b.iter(|| {
+            verifier
+                .verify(black_box(&space), black_box(&scheduled_properties))
+                .unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_state_space);
+criterion_main!(benches);

@@ -28,7 +28,19 @@ fn bench_translation(c: &mut Criterion) {
     group.bench_function("case_study_pretty_print", |b| {
         b.iter(|| model_to_signal(black_box(&translated.model)))
     });
+    // Verification is disabled here to keep this measurement comparable
+    // with pre-polyverify baselines; the model-checking cost is measured
+    // separately below and in the state_space bench suite.
     group.bench_function("end_to_end_tool_chain_1_hyperperiod", |b| {
+        b.iter(|| {
+            ToolChain::new()
+                .with_hyperperiods(1)
+                .with_verification(false)
+                .run_instance(black_box(&instance))
+                .unwrap()
+        })
+    });
+    group.bench_function("end_to_end_tool_chain_with_verification", |b| {
         b.iter(|| {
             ToolChain::new()
                 .with_hyperperiods(1)

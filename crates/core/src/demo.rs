@@ -1,0 +1,115 @@
+//! Ready-made demonstration scenarios over the built-in case study, shared
+//! by the CLI and the examples so the recipe cannot drift between them.
+
+use aadl::case_study::producer_consumer_instance;
+use asme2ssme::{thread_under_schedule, ThreadUnderScheduleError};
+use polyverify::{
+    inject_deadline_overrun, InjectedFault, InputSpace, Property, ReplayReport,
+    VerificationOutcome, Verifier, VerifyOptions,
+};
+use sched::SchedulingPolicy;
+use signal_moc::process::Process;
+use signal_moc::trace::Trace;
+
+use crate::error::CoreError;
+
+/// The injected-deadline-overrun scenario: the case-study producer thread
+/// under its EDF schedule, with the completion of the job guarding the
+/// first deadline delayed past that deadline. Verifying `inputs` against
+/// `never-raised(*Alarm*)` must produce a counterexample that replays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadlineOverrunDemo {
+    /// The flattened producer process.
+    pub process: Process,
+    /// The tampered scheduled timing trace.
+    pub inputs: Trace,
+    /// Where the fault was injected.
+    pub fault: InjectedFault,
+}
+
+impl DeadlineOverrunDemo {
+    /// Model-checks the tampered schedule for `never-raised(*Alarm*)` over
+    /// the full trace with `workers` threads, and replays any counterexample
+    /// in the simulator. This is the check-and-replay half shared by the
+    /// CLI and the `verification` example (the front ends only format the
+    /// result), so the demonstrated recipe cannot drift between them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates verifier and replay errors as [`CoreError`].
+    pub fn verify_and_replay(
+        &self,
+        workers: usize,
+    ) -> Result<(VerificationOutcome, Option<ReplayReport>), CoreError> {
+        let verifier = Verifier::new(
+            &self.process,
+            VerifyOptions::default()
+                .with_workers(workers)
+                .with_depth_bound(self.inputs.len()),
+        )?;
+        let outcome = verifier.verify(
+            &InputSpace::Scheduled(self.inputs.clone()),
+            &[Property::NeverRaised("*Alarm*".into())],
+        )?;
+        let replay = match outcome.violations().next() {
+            Some((_, cex)) => Some(cex.replay(&self.process)?),
+            None => None,
+        };
+        Ok((outcome, replay))
+    }
+}
+
+impl From<ThreadUnderScheduleError> for CoreError {
+    fn from(e: ThreadUnderScheduleError) -> Self {
+        match e {
+            ThreadUnderScheduleError::Aadl(e) => CoreError::Aadl(e),
+            ThreadUnderScheduleError::Tasks(e) => CoreError::Scheduling(e.to_string()),
+            ThreadUnderScheduleError::Scheduling(e) => CoreError::Scheduling(e.to_string()),
+            ThreadUnderScheduleError::Translation(e) => CoreError::Translation(e),
+            ThreadUnderScheduleError::Signal(e) => CoreError::Signal(e),
+            other @ (ThreadUnderScheduleError::UnknownThread(_)
+            | ThreadUnderScheduleError::NoSignalProcess(_)) => {
+                CoreError::Scheduling(other.to_string())
+            }
+        }
+    }
+}
+
+/// Builds the deadline-overrun demo over `hyperperiods` repetitions of the
+/// producer's schedule (clamped to at least 1).
+///
+/// # Errors
+///
+/// Propagates any tool-chain phase error as a [`CoreError`].
+pub fn deadline_overrun_demo(hyperperiods: u64) -> Result<DeadlineOverrunDemo, CoreError> {
+    let instance = producer_consumer_instance()?;
+    let (thread_model, schedule) = thread_under_schedule(
+        &instance,
+        "thProducer",
+        SchedulingPolicy::EarliestDeadlineFirst,
+    )?;
+    let mut inputs = thread_model.timing_trace(&schedule, hyperperiods.max(1));
+    let fault = inject_deadline_overrun(&mut inputs, "").ok_or_else(|| {
+        CoreError::Scheduling("producer schedule has no deadline/resume pair to tamper with".into())
+    })?;
+    Ok(DeadlineOverrunDemo {
+        process: thread_model.flat,
+        inputs,
+        fault,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_is_found_and_replays() {
+        let demo = deadline_overrun_demo(1).unwrap();
+        assert!(demo.fault.deadline_tick > demo.fault.resume_moved_from);
+        let (outcome, replay) = demo.verify_and_replay(2).unwrap();
+        assert!(!outcome.is_violation_free(), "{}", outcome.summary());
+        let replay = replay.expect("violation carries a replay");
+        assert!(replay.reproduced, "{}", replay.detail);
+    }
+}

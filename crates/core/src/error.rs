@@ -16,6 +16,8 @@ pub enum CoreError {
     Translation(asme2ssme::TranslationError),
     /// A SIGNAL-level analysis or simulation failed.
     Signal(signal_moc::SignalError),
+    /// The state-space verification phase failed.
+    Verification(polyverify::VerifyError),
 }
 
 impl fmt::Display for CoreError {
@@ -26,6 +28,7 @@ impl fmt::Display for CoreError {
             CoreError::Affine(e) => write!(f, "affine clock export: {e}"),
             CoreError::Translation(e) => write!(f, "asme2ssme translation: {e}"),
             CoreError::Signal(e) => write!(f, "polychronous analysis: {e}"),
+            CoreError::Verification(e) => write!(f, "state-space verification: {e}"),
         }
     }
 }
@@ -47,6 +50,12 @@ impl From<asme2ssme::TranslationError> for CoreError {
 impl From<signal_moc::SignalError> for CoreError {
     fn from(e: signal_moc::SignalError) -> Self {
         CoreError::Signal(e)
+    }
+}
+
+impl From<polyverify::VerifyError> for CoreError {
+    fn from(e: polyverify::VerifyError) -> Self {
+        CoreError::Verification(e)
     }
 }
 
@@ -76,5 +85,7 @@ mod tests {
         assert!(e.to_string().contains("polychronous analysis"));
         let e = CoreError::Affine("bad".into());
         assert!(e.to_string().contains("affine"));
+        let e: CoreError = polyverify::VerifyError::NoProperties.into();
+        assert!(e.to_string().contains("state-space verification"));
     }
 }

@@ -18,7 +18,10 @@
 //! 5. run the clock calculus and the static analyses (determinism
 //!    identification, deadlock detection),
 //! 6. co-simulate the scheduled threads and emit VCD traces and profiling
-//!    reports.
+//!    reports,
+//! 7. exhaustively verify each scheduled thread with the explicit-state
+//!    model checker ([`polyverify`]): alarm freedom and deadlock freedom
+//!    over the verification horizon, with replayable counterexamples.
 //!
 //! # Quick start
 //!
@@ -35,13 +38,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod demo;
 pub mod error;
 pub mod pipeline;
 pub mod report;
 
+pub use demo::{deadline_overrun_demo, DeadlineOverrunDemo};
 pub use error::CoreError;
 pub use pipeline::{ToolChain, ToolChainOptions};
-pub use report::ToolChainReport;
+pub use report::{ToolChainReport, VerificationReport};
 
 // Re-export the main entry points of every layer so that downstream users
 // (examples, benches, tests) need a single dependency.
@@ -49,5 +54,6 @@ pub use aadl;
 pub use affine_clocks;
 pub use asme2ssme;
 pub use polysim;
+pub use polyverify;
 pub use sched;
 pub use signal_moc;

@@ -1,19 +1,19 @@
 //! The tool-chain pipeline: parse → instantiate → schedule → export →
-//! translate → analyse → simulate.
+//! translate → analyse → simulate → verify.
 
 use std::collections::BTreeMap;
 
 use aadl::case_study::PRODUCER_CONSUMER_AADL;
 use aadl::instance::InstanceModel;
 use aadl::parse_package;
-use asme2ssme::{schedule_to_timing_trace, task_set_from_threads, Translator};
+use asme2ssme::{scheduled_thread_model, task_set_from_threads, Translator};
 use polysim::Simulator;
+use polyverify::{InputSpace, Property, Verifier, VerifyOptions};
 use sched::{export_affine_clocks, BaselineReport, SchedulingPolicy, StaticSchedule};
 use signal_moc::analysis::StaticAnalysisReport;
-use signal_moc::process::ProcessModel;
 
 use crate::error::CoreError;
-use crate::report::ToolChainReport;
+use crate::report::{ToolChainReport, VerificationReport};
 
 /// Options controlling a tool-chain run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,6 +24,13 @@ pub struct ToolChainOptions {
     pub hyperperiods: u64,
     /// Default queue size for event ports without `Queue_Size`.
     pub default_queue_size: usize,
+    /// Runs the state-space verification phase (`polyverify`) after the
+    /// co-simulation.
+    pub verify: bool,
+    /// Worker threads of the parallel reachability engine.
+    pub verify_workers: usize,
+    /// Number of hyper-periods the verification explores exhaustively.
+    pub verify_hyperperiods: u64,
 }
 
 impl Default for ToolChainOptions {
@@ -32,6 +39,9 @@ impl Default for ToolChainOptions {
             policy: SchedulingPolicy::EarliestDeadlineFirst,
             hyperperiods: 4,
             default_queue_size: 1,
+            verify: true,
+            verify_workers: 2,
+            verify_hyperperiods: 1,
         }
     }
 }
@@ -62,6 +72,24 @@ impl ToolChain {
     /// Sets the number of simulated hyper-periods.
     pub fn with_hyperperiods(mut self, hyperperiods: u64) -> Self {
         self.options.hyperperiods = hyperperiods.max(1);
+        self
+    }
+
+    /// Enables or disables the state-space verification phase.
+    pub fn with_verification(mut self, verify: bool) -> Self {
+        self.options.verify = verify;
+        self
+    }
+
+    /// Sets the worker count of the parallel reachability engine.
+    pub fn with_verify_workers(mut self, workers: usize) -> Self {
+        self.options.verify_workers = workers.max(1);
+        self
+    }
+
+    /// Sets the number of hyper-periods the verification explores.
+    pub fn with_verify_hyperperiods(mut self, hyperperiods: u64) -> Self {
+        self.options.verify_hyperperiods = hyperperiods.max(1);
         self
     }
 
@@ -116,43 +144,57 @@ impl ToolChain {
         let flat = translated.model.flatten()?;
         let static_analysis = StaticAnalysisReport::analyze(&flat)?;
 
-        // Phase 5: per-thread co-simulation driven by the schedule.
+        // Phase 5: per-thread co-simulation driven by the schedule, and
+        // (phase 6) exhaustive state-space verification of each scheduled
+        // thread over the verification horizon.
+        let verify_properties = [
+            Property::NeverRaised("*Alarm*".to_string()),
+            Property::DeadlockFree,
+        ];
         let mut simulations = BTreeMap::new();
+        let mut verification_outcomes = BTreeMap::new();
         let mut vcd = String::new();
         for thread in &threads {
-            let Some(process_name) = translated.signal_process_for(&thread.path) else {
-                continue;
-            };
-            let Some(process) = translated.model.process(process_name) else {
-                continue;
-            };
             // Flatten the thread process together with the library processes
-            // it instantiates.
-            let mut thread_model = ProcessModel::new(process_name.to_string());
-            thread_model.add(process.clone());
-            for library in translated.model.processes.values() {
-                if library.name.starts_with("aadl2signal_") {
-                    thread_model.add(library.clone());
-                }
-            }
-            let flat_thread = thread_model.flatten()?;
-            let translation = asme2ssme::thread_to_process(process_name, thread);
-            let inputs = schedule_to_timing_trace(
-                &schedule,
-                &thread.name,
-                "",
-                &translation.in_ports,
-                &translation.out_ports,
-                self.options.hyperperiods,
-            );
-            let mut simulator = Simulator::new(&flat_thread)?;
+            // it instantiates (shared recipe: asme2ssme::scheduled_thread_model).
+            let Some(thread_model) = scheduled_thread_model(&translated, thread)? else {
+                continue;
+            };
+            let inputs = thread_model.timing_trace(&schedule, self.options.hyperperiods);
+            let mut simulator = Simulator::new(&thread_model.flat)?;
             simulator.run(&inputs)?;
             let report = simulator.report();
             if thread.name == "thProducer" || vcd.is_empty() {
                 vcd = simulator.to_vcd(&thread.name, 1_000_000);
             }
             simulations.insert(thread.path.clone(), report);
+
+            // Phase 6: explicit-state verification under the same schedule.
+            // A single hyper-period trace wraps around (states recurring at
+            // the same schedule phase are deduplicated across repetitions),
+            // so the exploration either closes — proving the periodic
+            // system for unbounded time — or stops at the depth bound of
+            // `verify_hyperperiods` hyper-periods.
+            if self.options.verify {
+                let verify_inputs = thread_model.timing_trace(&schedule, 1);
+                let bound = verify_inputs.len() * self.options.verify_hyperperiods.max(1) as usize;
+                let verifier = Verifier::new(
+                    &thread_model.flat,
+                    VerifyOptions::default()
+                        .with_workers(self.options.verify_workers)
+                        .with_depth_bound(bound),
+                )?;
+                let outcome =
+                    verifier.verify(&InputSpace::Scheduled(verify_inputs), &verify_properties)?;
+                verification_outcomes.insert(thread.path.clone(), outcome);
+            }
         }
+        let verification = self.options.verify.then(|| VerificationReport {
+            workers: self.options.verify_workers.max(1),
+            hyperperiods: self.options.verify_hyperperiods.max(1),
+            properties: verify_properties.iter().map(Property::name).collect(),
+            outcomes: verification_outcomes,
+        });
 
         let category_counts = instance
             .category_counts()
@@ -173,6 +215,7 @@ impl ToolChain {
             static_analysis,
             baseline,
             simulations,
+            verification,
             vcd,
         })
     }
@@ -193,6 +236,51 @@ mod tests {
         assert!(report.vcd.contains("$enddefinitions"));
         assert_eq!(report.category_counts["thread"], 4);
         assert!(report.summary().contains("hyper-period 24"));
+        // Verification phase: every thread is alarm-free and deadlock-free
+        // over the whole 24-tick hyper-period.
+        let verification = report.verification.as_ref().expect("verification enabled");
+        assert_eq!(verification.outcomes.len(), 4);
+        assert!(
+            verification.is_violation_free(),
+            "{}",
+            verification.summary()
+        );
+        for outcome in verification.outcomes.values() {
+            assert_eq!(outcome.stats.depth, 24, "{}", outcome.summary());
+            assert!(outcome.is_violation_free());
+        }
+        assert!(report.summary().contains("verification"));
+    }
+
+    #[test]
+    fn verification_can_be_disabled() {
+        let report = ToolChain::new()
+            .with_verification(false)
+            .with_hyperperiods(1)
+            .run_case_study()
+            .unwrap();
+        assert!(report.verification.is_none());
+        assert!(report.all_checks_passed());
+        assert!(report.summary().contains("verification        : disabled"));
+    }
+
+    #[test]
+    fn verification_worker_count_does_not_change_verdicts() {
+        let sequential = ToolChain::new()
+            .with_hyperperiods(1)
+            .with_verify_workers(1)
+            .run_case_study()
+            .unwrap();
+        let parallel = ToolChain::new()
+            .with_hyperperiods(1)
+            .with_verify_workers(4)
+            .run_case_study()
+            .unwrap();
+        let seq = sequential.verification.unwrap();
+        let par = parallel.verification.unwrap();
+        for (thread, outcome) in &seq.outcomes {
+            assert_eq!(outcome.verdicts, par.outcomes[thread].verdicts, "{thread}");
+        }
     }
 
     #[test]

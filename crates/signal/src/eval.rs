@@ -126,6 +126,45 @@ impl Evaluator {
         &self.process
     }
 
+    /// Number of stateful (`delay`/`cell`) operators in the process body —
+    /// the length of the memory vector returned by [`Evaluator::memory`].
+    pub fn memory_len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Snapshot of the current memory of every `delay`/`cell` operator, in
+    /// the pre-order of the equations. Together with an input prefix this is
+    /// the complete execution state of a flat process, which is what an
+    /// explicit-state model checker needs to hash and restore.
+    pub fn memory(&self) -> Vec<Value> {
+        self.states.iter().map(|s| s.current.clone()).collect()
+    }
+
+    /// Restores a memory snapshot previously taken with
+    /// [`Evaluator::memory`] (pending half-steps are discarded).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignalError::TypeError`] when `memory` does not have exactly
+    /// [`Evaluator::memory_len`] entries.
+    pub fn restore_memory(&mut self, memory: &[Value]) -> Result<(), SignalError> {
+        if memory.len() != self.states.len() {
+            return Err(SignalError::TypeError {
+                detail: format!(
+                    "memory snapshot has {} entries, process `{}` has {} stateful operators",
+                    memory.len(),
+                    self.process.name,
+                    self.states.len()
+                ),
+            });
+        }
+        for (st, v) in self.states.iter_mut().zip(memory) {
+            st.current = v.clone();
+            st.pending = None;
+        }
+        Ok(())
+    }
+
     /// Resets all `delay`/`cell` states to their initial values.
     pub fn reset(&mut self) {
         let mut fresh = Vec::new();
@@ -285,13 +324,12 @@ impl Evaluator {
 
     /// Re-evaluates every definition under the completed environment and
     /// checks consistency.
-    fn verify(&mut self, env: &BTreeMap<String, Res>, instant: usize) -> Result<(), SignalError> {
+    fn verify(&self, env: &BTreeMap<String, Res>, instant: usize) -> Result<(), SignalError> {
         let mut cursor = 0usize;
-        let equations = self.process.equations.clone();
         // Track, per partially-defined signal, whether some partial fired.
         let mut partial_fired: BTreeMap<String, bool> = BTreeMap::new();
         let mut partial_targets: Vec<String> = Vec::new();
-        for eq in &equations {
+        for eq in &self.process.equations {
             match eq {
                 Equation::Definition { target, expr } => {
                     let res = self.eval(expr, env, &mut cursor, instant)?;
@@ -404,17 +442,27 @@ impl Evaluator {
     /// Commits the pending state of every `delay`/`cell` operator.
     fn commit(&mut self, env: &BTreeMap<String, Res>, instant: usize) -> Result<(), SignalError> {
         // Recompute pending updates under the final environment, then apply.
+        // The equation list is moved out (not deep-cloned — this runs once
+        // per instant, the model checker's hottest path) so that
+        // `record_pending` can borrow `self` mutably, and is restored before
+        // returning even on error.
         let mut cursor = 0usize;
-        let equations = self.process.equations.clone();
+        let equations = std::mem::take(&mut self.process.equations);
         for st in &mut self.states {
             st.pending = None;
         }
+        let mut result = Ok(());
         for eq in &equations {
             if let Equation::Definition { expr, .. } | Equation::PartialDefinition { expr, .. } = eq
             {
-                self.record_pending(expr, env, &mut cursor, instant)?;
+                if let Err(e) = self.record_pending(expr, env, &mut cursor, instant) {
+                    result = Err(e);
+                    break;
+                }
             }
         }
+        self.process.equations = equations;
+        result?;
         for st in &mut self.states {
             if let Some(v) = st.pending.take() {
                 st.current = v;
@@ -1094,6 +1142,35 @@ mod tests {
         eval.reset();
         let third = eval.run(&inputs).unwrap();
         assert_eq!(first.flow_of("count"), third.flow_of("count"));
+    }
+
+    #[test]
+    fn memory_snapshot_round_trips() {
+        let mut b = ProcessBuilder::new("counter");
+        b.input("tick", ValueType::Event);
+        b.output("count", ValueType::Integer);
+        b.define(
+            "count",
+            Expr::add(Expr::delay(Expr::var("count"), Value::Int(0)), Expr::int(1)),
+        );
+        b.synchronize(&["count", "tick"]);
+        let p = b.build().unwrap();
+        let mut inputs = Trace::new();
+        inputs.set(0, "tick", Value::Event);
+        let mut eval = Evaluator::new(&p).unwrap();
+        assert_eq!(eval.memory_len(), 1);
+        assert_eq!(eval.memory(), vec![Value::Int(0)]);
+        eval.run(&inputs).unwrap();
+        let snapshot = eval.memory();
+        assert_eq!(snapshot, vec![Value::Int(1)]);
+        eval.run(&inputs).unwrap();
+        assert_eq!(eval.memory(), vec![Value::Int(2)]);
+        // Restoring the snapshot replays the same future.
+        eval.restore_memory(&snapshot).unwrap();
+        let out = eval.run(&inputs).unwrap();
+        assert_eq!(out.flow_of("count"), vec![Value::Int(2)]);
+        // Arity is checked.
+        assert!(eval.restore_memory(&[]).is_err());
     }
 
     #[test]

@@ -3,11 +3,152 @@
 //! the timing-signal traces (the `ctl1`/`time1` bundles) that drive the
 //! simulation of a scheduled model.
 
-use aadl::instance::ThreadInstance;
+use aadl::instance::{InstanceModel, ThreadInstance};
 use aadl::properties::DispatchProtocol;
-use sched::{PeriodicTask, StaticSchedule, TaskSet, TaskSetError};
+use sched::{PeriodicTask, SchedulingPolicy, StaticSchedule, TaskSet, TaskSetError};
+use signal_moc::error::SignalError;
+use signal_moc::process::{Process, ProcessModel};
 use signal_moc::trace::Trace;
 use signal_moc::value::Value;
+
+use crate::thread::thread_to_process;
+use crate::translator::{TranslatedSystem, Translator};
+
+/// Any failure while assembling a thread-under-schedule unit with
+/// [`thread_under_schedule`], tagged by the phase that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ThreadUnderScheduleError {
+    /// Thread extraction from the instance model failed.
+    Aadl(aadl::AadlError),
+    /// Task-set construction failed.
+    Tasks(TaskSetError),
+    /// Schedule synthesis failed.
+    Scheduling(sched::SchedulingError),
+    /// The AADL-to-SIGNAL translation failed.
+    Translation(crate::TranslationError),
+    /// Flattening the thread's SIGNAL process failed.
+    Signal(SignalError),
+    /// The instance model has no thread with the requested name.
+    UnknownThread(String),
+    /// The translation produced no SIGNAL process for the thread.
+    NoSignalProcess(String),
+}
+
+impl std::fmt::Display for ThreadUnderScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Aadl(e) => write!(f, "aadl: {e}"),
+            Self::Tasks(e) => write!(f, "task set: {e}"),
+            Self::Scheduling(e) => write!(f, "scheduling: {e}"),
+            Self::Translation(e) => write!(f, "translation: {e}"),
+            Self::Signal(e) => write!(f, "signal: {e}"),
+            Self::UnknownThread(name) => write!(f, "no thread named `{name}` in the instance"),
+            Self::NoSignalProcess(name) => {
+                write!(f, "no SIGNAL process generated for thread `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ThreadUnderScheduleError {}
+
+/// One-call setup shared by the CLI, the examples, the benches and the
+/// verification tests: extracts the threads of `instance`, synthesises the
+/// static schedule under `policy`, translates the architecture, and builds
+/// the [`ScheduledThreadModel`] of the thread named `thread_name`.
+///
+/// # Errors
+///
+/// Returns a [`ThreadUnderScheduleError`] tagged by the failing phase.
+pub fn thread_under_schedule(
+    instance: &InstanceModel,
+    thread_name: &str,
+    policy: SchedulingPolicy,
+) -> Result<(ScheduledThreadModel, StaticSchedule), ThreadUnderScheduleError> {
+    let threads = instance.threads().map_err(ThreadUnderScheduleError::Aadl)?;
+    let tasks = task_set_from_threads(&threads).map_err(ThreadUnderScheduleError::Tasks)?;
+    let schedule =
+        StaticSchedule::synthesize(&tasks, policy).map_err(ThreadUnderScheduleError::Scheduling)?;
+    let translated = Translator::new()
+        .translate(instance)
+        .map_err(ThreadUnderScheduleError::Translation)?;
+    let thread = threads
+        .iter()
+        .find(|t| t.name == thread_name)
+        .ok_or_else(|| ThreadUnderScheduleError::UnknownThread(thread_name.to_string()))?;
+    let model = scheduled_thread_model(&translated, thread)
+        .map_err(ThreadUnderScheduleError::Signal)?
+        .ok_or_else(|| ThreadUnderScheduleError::NoSignalProcess(thread_name.to_string()))?;
+    Ok((model, schedule))
+}
+
+/// The simulation/verification unit of one translated thread: its flattened
+/// SIGNAL process (thread process + the `aadl2signal_` library processes it
+/// instantiates) and the port lists needed to derive its scheduled timing
+/// trace. Built by [`scheduled_thread_model`] and shared by the pipeline,
+/// the CLI, the examples, the benches and the cross-validation tests so the
+/// flattening recipe cannot diverge between them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledThreadModel {
+    /// Name of the thread (the key into the static schedule).
+    pub thread_name: String,
+    /// The flattened process, ready for `polysim`/`polyverify`.
+    pub flat: Process,
+    /// In event ports (drive `<port>_frozen_time` / `<port>_in`).
+    pub in_ports: Vec<String>,
+    /// Out event ports (drive `<port>_output_time`).
+    pub out_ports: Vec<String>,
+}
+
+impl ScheduledThreadModel {
+    /// The timing-signal input trace of this thread over `hyperperiods`
+    /// repetitions of `schedule` (see [`schedule_to_timing_trace`]).
+    pub fn timing_trace(&self, schedule: &StaticSchedule, hyperperiods: u64) -> Trace {
+        schedule_to_timing_trace(
+            schedule,
+            &self.thread_name,
+            "",
+            &self.in_ports,
+            &self.out_ports,
+            hyperperiods,
+        )
+    }
+}
+
+/// Builds the [`ScheduledThreadModel`] of `thread` from a translated system:
+/// looks up the thread's SIGNAL process, flattens it together with the
+/// `aadl2signal_` library processes, and extracts the port lists. Returns
+/// `Ok(None)` when the system has no SIGNAL process for the thread.
+///
+/// # Errors
+///
+/// Propagates flattening errors ([`SignalError`]).
+pub fn scheduled_thread_model(
+    system: &TranslatedSystem,
+    thread: &ThreadInstance,
+) -> Result<Option<ScheduledThreadModel>, SignalError> {
+    let Some(process_name) = system.signal_process_for(&thread.path) else {
+        return Ok(None);
+    };
+    let Some(process) = system.model.process(process_name) else {
+        return Ok(None);
+    };
+    let mut model = ProcessModel::new(process_name.to_string());
+    model.add(process.clone());
+    for library in system.model.processes.values() {
+        if library.name.starts_with("aadl2signal_") {
+            model.add(library.clone());
+        }
+    }
+    let flat = model.flatten()?;
+    let translation = thread_to_process(process_name, thread);
+    Ok(Some(ScheduledThreadModel {
+        thread_name: thread.name.clone(),
+        flat,
+        in_ports: translation.in_ports,
+        out_ports: translation.out_ports,
+    }))
+}
 
 /// Number of scheduler ticks per millisecond (the case-study processor has a
 /// 1 ms clock period, so one tick is one millisecond).
@@ -215,6 +356,29 @@ mod tests {
         let trace = schedule_to_timing_trace(&schedule, "thConsumer", "thConsumer_", &[], &[], 1);
         assert!(trace.signals().iter().all(|s| s.starts_with("thConsumer_")));
         assert!(trace.value(0, "thConsumer_Dispatch").is_some());
+    }
+
+    #[test]
+    fn scheduled_thread_model_matches_manual_flattening() {
+        use crate::Translator;
+        let instance = producer_consumer_instance().unwrap();
+        let threads = instance.threads().unwrap();
+        let translated = Translator::new().translate(&instance).unwrap();
+        let producer = threads.iter().find(|t| t.name == "thProducer").unwrap();
+        let model = scheduled_thread_model(&translated, producer)
+            .unwrap()
+            .expect("producer has a SIGNAL process");
+        assert_eq!(model.thread_name, "thProducer");
+        assert_eq!(model.in_ports.len(), 3);
+        assert_eq!(model.out_ports.len(), 2);
+        assert!(model.flat.signal("Alarm").is_some());
+        let tasks = case_study_tasks();
+        let schedule =
+            StaticSchedule::synthesize(&tasks, SchedulingPolicy::EarliestDeadlineFirst).unwrap();
+        let trace = model.timing_trace(&schedule, 1);
+        assert_eq!(trace.len(), 24);
+        assert!(trace.value(0, "Dispatch").is_some());
+        assert!(trace.value(0, "pProdStart_frozen_time").is_some());
     }
 
     #[test]

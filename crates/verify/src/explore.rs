@@ -1,0 +1,1407 @@
+//! The explicit-state reachability engine: feasible-successor enumeration
+//! (reusing the clock calculus), a parallel breadth-first exploration with a
+//! sharded seen-set, and a depth-bounded fallback for large products.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+use signal_moc::clockcalc::ClockCalculus;
+use signal_moc::error::SignalError;
+use signal_moc::eval::Evaluator;
+use signal_moc::process::Process;
+use signal_moc::trace::{Trace, TraceStep};
+use signal_moc::value::{Value, ValueType};
+
+use crate::counterexample::Counterexample;
+use crate::property::{monitor_step, raised_signal, Property};
+use crate::state::{State, StateKey, MONITOR_IDLE};
+
+/// Tuning knobs of the exploration engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyOptions {
+    /// Number of worker threads expanding each breadth-first level (the
+    /// scale knob of the parallel engine). Clamped to at least 1.
+    pub workers: usize,
+    /// Maximum exploration depth (number of instants); `None` explores until
+    /// the state space closes.
+    pub depth_bound: Option<usize>,
+    /// Cap on the number of distinct states kept in the seen-set; once
+    /// reached the engine stops expanding and reports a bounded verdict.
+    /// The cap is checked between breadth-first levels (never mid-level, so
+    /// results stay deterministic under any worker count); the final level
+    /// may therefore overshoot it by one level's worth of successors.
+    pub max_states: usize,
+    /// Values enumerated for free integer inputs.
+    pub int_domain: Vec<i64>,
+    /// Values enumerated for free real inputs.
+    pub real_domain: Vec<f64>,
+    /// Cap on the number of distinct input valuations enumerated per instant
+    /// in free mode; exceeding it truncates the enumeration (and downgrades
+    /// `Proved` to a bounded verdict).
+    pub max_branching: usize,
+    /// Number of shards of the concurrent seen-set.
+    pub shards: usize,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            depth_bound: None,
+            max_states: 1 << 20,
+            int_domain: vec![0, 1],
+            real_domain: vec![0.0, 1.0],
+            max_branching: 256,
+            shards: 16,
+        }
+    }
+}
+
+impl VerifyOptions {
+    /// Sets the worker count (clamped to at least 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the depth bound.
+    pub fn with_depth_bound(mut self, bound: usize) -> Self {
+        self.depth_bound = Some(bound);
+        self
+    }
+
+    /// Removes the depth bound (explore until closure).
+    pub fn unbounded(mut self) -> Self {
+        self.depth_bound = None;
+        self
+    }
+
+    /// Sets the seen-set state cap.
+    pub fn with_max_states(mut self, max_states: usize) -> Self {
+        self.max_states = max_states.max(1);
+        self
+    }
+}
+
+/// The input space explored for a process.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InputSpace {
+    /// All feasible input valuations are enumerated at every instant —
+    /// including the silent (all-absent) one, since autonomous behaviour
+    /// (free-clocked constants, exclusion-gated outputs) can be observable
+    /// even when every input is absent. Presence combinations are pruned by
+    /// the clock calculus: synchronisation classes are all-or-nothing,
+    /// mutually exclusive classes never co-fire, and a sub-clock is never
+    /// present without its super-clock. Deadlock freedom asks for a feasible
+    /// *non-silent* valuation (silent stuttering is not progress).
+    Free,
+    /// Inputs are driven by a scheduler-generated timing trace; the phase
+    /// wraps around, so exploring until closure verifies the periodic system
+    /// for unbounded time whenever the memory is finite.
+    Scheduled(Trace),
+}
+
+/// The verdict of one property after exploration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The whole reachable state space was explored without a violation: the
+    /// property holds for every execution of the input space.
+    Proved,
+    /// No violation was found up to the explored depth, but the exploration
+    /// was bounded (depth bound, state cap or branching truncation).
+    BoundReached {
+        /// Number of instants fully explored.
+        depth: usize,
+    },
+    /// The property is violated; the counterexample replays in the
+    /// simulator.
+    Violated(Counterexample),
+}
+
+impl Verdict {
+    /// Returns `true` when the verdict is a violation.
+    pub fn is_violated(&self) -> bool {
+        matches!(self, Verdict::Violated(_))
+    }
+
+    /// Returns `true` when no violation was found (proved or bounded).
+    pub fn passed(&self) -> bool {
+        !self.is_violated()
+    }
+
+    /// A one-line rendering for reports.
+    pub fn summary(&self) -> String {
+        match self {
+            Verdict::Proved => "proved (state space exhausted)".to_string(),
+            Verdict::BoundReached { depth } => {
+                format!("no violation within {depth} instants (bounded)")
+            }
+            Verdict::Violated(cex) => format!(
+                "VIOLATED at instant {} ({})",
+                cex.violation_instant, cex.witness
+            ),
+        }
+    }
+}
+
+/// The verdict of one checked property.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PropertyVerdict {
+    /// The property that was checked.
+    pub property: Property,
+    /// Its verdict.
+    pub verdict: Verdict,
+}
+
+/// Counters describing one exploration run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExplorationStats {
+    /// Number of distinct states inserted in the seen-set.
+    pub states: usize,
+    /// Number of executed transitions (feasible successor steps).
+    pub transitions: usize,
+    /// Number of enumerated input valuations rejected by the evaluator.
+    pub infeasible: usize,
+    /// Number of instants fully explored (breadth-first levels expanded).
+    pub depth: usize,
+    /// Maximum worker threads actually exercised (bounded by the configured
+    /// count and by the widest frontier — a scheduled exploration has
+    /// frontier size 1 and therefore always runs sequentially).
+    pub workers: usize,
+    /// `true` when the exploration was cut short — by the depth bound, the
+    /// state cap, a branching truncation, or an early stop once every
+    /// checked property had a violation — in which case `Proved` verdicts
+    /// are downgraded and the counters describe a partial search.
+    pub truncated: bool,
+}
+
+/// Everything one [`Verifier::verify`] call learned.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerificationOutcome {
+    /// Per-property verdicts, in the order the properties were given.
+    pub verdicts: Vec<PropertyVerdict>,
+    /// Exploration counters.
+    pub stats: ExplorationStats,
+}
+
+impl VerificationOutcome {
+    /// Returns `true` when no checked property is violated.
+    pub fn is_violation_free(&self) -> bool {
+        self.verdicts.iter().all(|v| v.verdict.passed())
+    }
+
+    /// Returns `true` when every property was proved exhaustively.
+    pub fn all_proved(&self) -> bool {
+        self.verdicts
+            .iter()
+            .all(|v| matches!(v.verdict, Verdict::Proved))
+    }
+
+    /// The violated properties and their counterexamples.
+    pub fn violations(&self) -> impl Iterator<Item = (&Property, &Counterexample)> {
+        self.verdicts.iter().filter_map(|v| match &v.verdict {
+            Verdict::Violated(cex) => Some((&v.property, cex)),
+            _ => None,
+        })
+    }
+
+    /// A compact multi-line rendering for reports and the CLI.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "explored {} states / {} transitions at depth {} ({} worker(s){})\n",
+            self.stats.states,
+            self.stats.transitions,
+            self.stats.depth,
+            self.stats.workers,
+            if self.stats.truncated {
+                ", truncated"
+            } else {
+                ", exhaustive"
+            }
+        );
+        for v in &self.verdicts {
+            out.push_str(&format!(
+                "  {:<40} {}\n",
+                v.property.name(),
+                v.verdict.summary()
+            ));
+        }
+        out
+    }
+}
+
+/// Errors raised by the verifier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// Process validation or evaluator construction failed.
+    Signal(SignalError),
+    /// A scheduled input step is not executable and `DeadlockFree` was not
+    /// among the checked properties to absorb it as a violation.
+    Evaluation {
+        /// Instant of the failing step.
+        instant: usize,
+        /// Evaluator error text.
+        detail: String,
+    },
+    /// A scheduled input space was given an empty trace.
+    EmptySchedule,
+    /// `verify` was called with no properties.
+    NoProperties,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::Signal(e) => write!(f, "signal error: {e}"),
+            VerifyError::Evaluation { instant, detail } => {
+                write!(f, "scheduled step {instant} is not executable: {detail}")
+            }
+            VerifyError::EmptySchedule => write!(f, "scheduled input trace is empty"),
+            VerifyError::NoProperties => write!(f, "no properties to verify"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl From<SignalError> for VerifyError {
+    fn from(e: SignalError) -> Self {
+        VerifyError::Signal(e)
+    }
+}
+
+/// Parent link of a seen state, used to reconstruct counterexample paths.
+///
+/// `depth` is the breadth-first level of the edge. When two workers discover
+/// the same state at the same level through different edges, the edge with
+/// the lexicographically smallest canonical encoding ([`Parent::order`])
+/// wins, so parent links — and therefore counterexample traces — do not
+/// depend on thread interleaving or worker count. The encoding is computed
+/// only on such same-level collisions, never stored.
+#[derive(Debug, Clone)]
+struct Parent {
+    prev: Option<StateKey>,
+    input: TraceStep,
+    depth: usize,
+}
+
+impl Parent {
+    fn new(prev: Option<StateKey>, input: TraceStep, depth: usize) -> Self {
+        Self { prev, input, depth }
+    }
+
+    /// Canonical encoding of the edge `(prev, input)` for deterministic
+    /// tie-breaking.
+    fn order(&self) -> Vec<u8> {
+        let mut order = Vec::new();
+        if let Some(prev) = &self.prev {
+            order.extend_from_slice(prev.as_bytes());
+        }
+        order.push(0xFF);
+        step_order_bytes(&self.input, &mut order);
+        order
+    }
+}
+
+/// Sharded concurrent seen-set: each shard guards a map from state key to
+/// the parent link recorded when the state was first discovered.
+struct SeenSet {
+    shards: Vec<Mutex<HashMap<StateKey, Parent>>>,
+}
+
+impl SeenSet {
+    fn new(shards: usize) -> Self {
+        Self {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard_of(&self, key: &StateKey) -> &Mutex<HashMap<StateKey, Parent>> {
+        let idx = (key.shard_hash() % self.shards.len() as u64) as usize;
+        &self.shards[idx]
+    }
+
+    /// Inserts the state if unseen; returns `true` when it was fresh. When
+    /// the state was already discovered *at the same level*, the parent link
+    /// with the smallest canonical edge encoding is kept, which makes the
+    /// recorded exploration tree deterministic under any worker count.
+    fn insert(&self, key: StateKey, parent: Parent) -> bool {
+        let mut shard = self.shard_of(&key).lock().expect("seen-set shard poisoned");
+        match shard.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut entry) => {
+                let existing = entry.get();
+                if parent.depth == existing.depth && parent.order() < existing.order() {
+                    entry.insert(parent);
+                }
+                false
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(parent);
+                true
+            }
+        }
+    }
+
+    fn parent_of(&self, key: &StateKey) -> Option<Parent> {
+        self.shard_of(key)
+            .lock()
+            .expect("seen-set shard poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    /// Reconstructs the input trace from the initial state to `key`.
+    fn path_to(&self, key: &StateKey) -> Trace {
+        let mut steps = Vec::new();
+        let mut cursor = Some(key.clone());
+        while let Some(k) = cursor {
+            match self.parent_of(&k) {
+                Some(Parent {
+                    prev: Some(p),
+                    input,
+                    ..
+                }) => {
+                    steps.push(input);
+                    cursor = Some(p);
+                }
+                _ => cursor = None,
+            }
+        }
+        steps.reverse();
+        steps.into_iter().collect()
+    }
+}
+
+/// A violation observed while expanding one breadth-first level.
+struct LevelViolation {
+    property: usize,
+    parent: StateKey,
+    /// The violating input step; `None` for a free-mode dead end (the state
+    /// itself has no feasible successor).
+    input: Option<TraceStep>,
+    witness: String,
+}
+
+/// Output of one worker over its chunk of the frontier.
+struct WorkerOut {
+    next: Vec<State>,
+    violations: Vec<LevelViolation>,
+    transitions: usize,
+    infeasible: usize,
+    fatal: Option<VerifyError>,
+}
+
+/// An explicit-state model checker for one flat SIGNAL process.
+///
+/// ```
+/// use polyverify::{InputSpace, Property, Verifier, VerifyOptions};
+/// use signal_moc::builder::ProcessBuilder;
+/// use signal_moc::expr::Expr;
+/// use signal_moc::value::ValueType;
+///
+/// let mut b = ProcessBuilder::new("watch");
+/// b.input("Deadline", ValueType::Boolean);
+/// b.input("Resume", ValueType::Boolean);
+/// b.output("Alarm", ValueType::Boolean);
+/// b.define("Alarm", Expr::and(Expr::var("Deadline"), Expr::not(Expr::var("Resume"))));
+/// b.synchronize(&["Deadline", "Resume", "Alarm"]);
+/// let process = b.build()?;
+///
+/// let verifier = Verifier::new(&process, VerifyOptions::default())?;
+/// let outcome = verifier.verify(
+///     &InputSpace::Free,
+///     &[Property::NeverRaised("*Alarm*".into())],
+/// )?;
+/// // Deadline without Resume raises the alarm: the checker finds it.
+/// assert!(!outcome.is_violation_free());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Verifier {
+    evaluator: Evaluator,
+    /// Clock calculus, computed on first use: only free-input enumeration
+    /// reads it, so scheduled-mode verification never pays for the analysis.
+    calculus: std::sync::OnceLock<ClockCalculus>,
+    options: VerifyOptions,
+}
+
+impl Verifier {
+    /// Prepares a verifier for a flat process.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and evaluator-construction errors (the process
+    /// must be flat — see [`signal_moc::process::ProcessModel::flatten`]).
+    pub fn new(process: &Process, options: VerifyOptions) -> Result<Self, VerifyError> {
+        let evaluator = Evaluator::new(process)?;
+        Ok(Self {
+            evaluator,
+            calculus: std::sync::OnceLock::new(),
+            options,
+        })
+    }
+
+    /// The process under verification (owned by the template evaluator).
+    pub fn process(&self) -> &Process {
+        self.evaluator.process()
+    }
+
+    /// The clock calculus of the process, computed on first use.
+    fn calculus(&self) -> Result<&ClockCalculus, VerifyError> {
+        if self.calculus.get().is_none() {
+            let calculus = ClockCalculus::analyze(self.process())?;
+            // A concurrent set by another thread stores an identical value.
+            let _ = self.calculus.set(calculus);
+        }
+        Ok(self.calculus.get().expect("calculus just initialised"))
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &VerifyOptions {
+        &self.options
+    }
+
+    /// Enumerates the candidate input valuations for one instant in free
+    /// mode, pruned by the clock calculus: synchronisation classes are
+    /// all-or-nothing, mutually exclusive classes are never co-present, and a
+    /// sub-clock is never present without its super-clock. Returns the
+    /// candidates and whether the enumeration was truncated by
+    /// [`VerifyOptions::max_branching`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates clock-calculus errors (e.g. duplicate total definitions).
+    pub fn free_candidates(&self) -> Result<(Vec<TraceStep>, bool), VerifyError> {
+        let calculus = self.calculus()?;
+        let inputs: Vec<(&str, ValueType)> = self
+            .process()
+            .inputs()
+            .map(|d| (d.name.as_str(), d.ty))
+            .collect();
+        // Group the inputs by synchronisation class.
+        let mut groups: BTreeMap<usize, Vec<(&str, ValueType)>> = BTreeMap::new();
+        for (name, ty) in inputs {
+            let class = calculus.class_of(name).map(|c| c.id).unwrap_or(usize::MAX);
+            groups.entry(class).or_default().push((name, ty));
+        }
+        let group_list: Vec<(usize, Vec<(&str, ValueType)>)> = groups.into_iter().collect();
+        // The silent valuation is always a candidate: autonomous behaviour
+        // (e.g. `Alarm := true`, or outputs excluded with an input clock)
+        // can be observable on instants where every input is absent, so
+        // skipping it would prove such violations "safe" vacuously.
+        let mut candidates = vec![TraceStep::new()];
+        let mut truncated = false;
+        if group_list.is_empty() {
+            return Ok((candidates, false));
+        }
+        // More than 16 independent input clocks cannot be enumerated anyway
+        // (2^16 presence combinations beats any realistic branching cap):
+        // enumerate the first 16 classes and flag the truncation.
+        let g = group_list.len().min(16);
+        if group_list.len() > g {
+            truncated = true;
+        }
+        'masks: for mask in 1u32..(1u32 << g) {
+            let present: Vec<usize> = (0..g).filter(|i| mask & (1 << i) != 0).collect();
+            // Exclusion pruning: two mutually exclusive classes never fire
+            // together.
+            for (i, &a) in present.iter().enumerate() {
+                for &b in &present[i + 1..] {
+                    let (ca, cb) = (group_list[a].0, group_list[b].0);
+                    let key = if ca < cb { (ca, cb) } else { (cb, ca) };
+                    if calculus.exclusions().contains(&key) {
+                        continue 'masks;
+                    }
+                }
+            }
+            // Hierarchy pruning: a present sub-clock requires its
+            // super-clock input class to be present as well.
+            for &a in &present {
+                for (b, (class_b, _)) in group_list.iter().enumerate() {
+                    if a != b
+                        && !present.contains(&b)
+                        && group_list[a].0 != *class_b
+                        && calculus.is_subclock(group_list[a].0, *class_b)
+                    {
+                        continue 'masks;
+                    }
+                }
+            }
+            // Cartesian product of the value domains of the present inputs.
+            let slots: Vec<(&str, Vec<Value>)> = present
+                .iter()
+                .flat_map(|&gi| group_list[gi].1.iter())
+                .map(|&(name, ty)| (name, self.domain_of(ty)))
+                .collect();
+            let mut indices = vec![0usize; slots.len()];
+            loop {
+                if candidates.len() >= self.options.max_branching {
+                    truncated = true;
+                    break 'masks;
+                }
+                let mut step = TraceStep::new();
+                for (slot, &i) in slots.iter().zip(&indices) {
+                    step.set(slot.0, slot.1[i].clone());
+                }
+                candidates.push(step);
+                // Odometer increment.
+                let mut carry = true;
+                for (pos, idx) in indices.iter_mut().enumerate().rev() {
+                    if !carry {
+                        break;
+                    }
+                    *idx += 1;
+                    if *idx < slots[pos].1.len() {
+                        carry = false;
+                    } else {
+                        *idx = 0;
+                    }
+                }
+                if carry {
+                    break;
+                }
+            }
+        }
+        Ok((candidates, truncated))
+    }
+
+    fn domain_of(&self, ty: ValueType) -> Vec<Value> {
+        match ty {
+            ValueType::Event => vec![Value::Event],
+            ValueType::Boolean => vec![Value::Bool(false), Value::Bool(true)],
+            ValueType::Integer => self
+                .options
+                .int_domain
+                .iter()
+                .map(|&i| Value::Int(i))
+                .collect(),
+            ValueType::Real => self
+                .options
+                .real_domain
+                .iter()
+                .map(|&r| Value::Real(r))
+                .collect(),
+            ValueType::Text => vec![Value::Text(String::new())],
+        }
+    }
+
+    /// Explores the state space of the process over `space` and checks every
+    /// property of `properties`, returning one verdict per property.
+    ///
+    /// The exploration is a level-synchronised parallel breadth-first search:
+    /// each level is split across [`VerifyOptions::workers`] threads sharing
+    /// a sharded seen-set. Counterexamples are always of minimal depth, and
+    /// both verdicts and counterexample traces are independent of the worker
+    /// count (equal-depth discovery races are resolved by a canonical edge
+    /// ordering, and each level's violations are tie-broken the same way).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError::NoProperties`] for an empty property list,
+    /// [`VerifyError::EmptySchedule`] for an empty scheduled trace, and
+    /// [`VerifyError::Evaluation`] when a scheduled step is not executable
+    /// while `DeadlockFree` is not among the checked properties.
+    pub fn verify(
+        &self,
+        space: &InputSpace,
+        properties: &[Property],
+    ) -> Result<VerificationOutcome, VerifyError> {
+        if properties.is_empty() {
+            return Err(VerifyError::NoProperties);
+        }
+        let scheduled = match space {
+            InputSpace::Scheduled(trace) if trace.is_empty() => {
+                return Err(VerifyError::EmptySchedule)
+            }
+            InputSpace::Scheduled(trace) => Some(trace),
+            InputSpace::Free => None,
+        };
+        let (candidates, candidates_truncated) = match scheduled {
+            Some(_) => (Vec::new(), false),
+            None => self.free_candidates()?,
+        };
+
+        // Monitor slots for the bounded-response properties.
+        let monitor_specs: Vec<(String, String, u32)> = properties
+            .iter()
+            .filter_map(|p| match p {
+                Property::BoundedResponse {
+                    trigger,
+                    response,
+                    bound,
+                } => Some((trigger.clone(), response.clone(), *bound)),
+                _ => None,
+            })
+            .collect();
+        let deadlock_checked = properties
+            .iter()
+            .any(|p| matches!(p, Property::DeadlockFree));
+
+        let initial = State {
+            memory: self.evaluator.memory(),
+            phase: 0,
+            monitors: vec![MONITOR_IDLE; monitor_specs.len()],
+        };
+        let seen = SeenSet::new(self.options.shards);
+        seen.insert(initial.key(), Parent::new(None, TraceStep::new(), 0));
+        let state_count = AtomicUsize::new(1);
+
+        // One evaluator per worker, reused across every level and grown
+        // lazily to the parallelism actually exercised: cloning the
+        // evaluator deep-copies the flattened process, so it must not sit in
+        // the per-level (let alone per-transition) path — and scheduled-mode
+        // runs (frontier size 1) should never clone more than one.
+        let mut worker_evaluators: Vec<Evaluator> = Vec::new();
+        let mut workers_used = 1usize;
+
+        let mut frontier = vec![initial];
+        let mut depth = 0usize;
+        let mut transitions = 0usize;
+        let mut infeasible = 0usize;
+        let mut truncated = candidates_truncated;
+        let mut found: Vec<Option<Counterexample>> = vec![None; properties.len()];
+
+        loop {
+            if frontier.is_empty() {
+                break;
+            }
+            if found.iter().all(Option::is_some) {
+                // Every property already has a (minimal-depth) violation:
+                // stop early. The frontier is not empty, so the stats
+                // describe a partial search, not an exhausted space.
+                truncated = true;
+                break;
+            }
+            if let Some(bound) = self.options.depth_bound {
+                if depth >= bound {
+                    truncated = true;
+                    break;
+                }
+            }
+            if state_count.load(Ordering::Relaxed) >= self.options.max_states {
+                truncated = true;
+                break;
+            }
+
+            let workers = self.options.workers.max(1).min(frontier.len());
+            workers_used = workers_used.max(workers);
+            while worker_evaluators.len() < workers {
+                worker_evaluators.push(self.evaluator.clone());
+            }
+            let chunk_size = frontier.len().div_ceil(workers);
+            let chunks: Vec<&[State]> = frontier.chunks(chunk_size).collect();
+            let outs: Vec<WorkerOut> = std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .zip(worker_evaluators.iter_mut())
+                    .map(|(chunk, evaluator)| {
+                        let seen = &seen;
+                        let state_count = &state_count;
+                        let candidates = &candidates;
+                        let monitor_specs = &monitor_specs;
+                        scope.spawn(move || {
+                            self.expand_chunk(
+                                evaluator,
+                                chunk,
+                                depth,
+                                scheduled,
+                                candidates,
+                                monitor_specs,
+                                properties,
+                                deadlock_checked,
+                                seen,
+                                state_count,
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("exploration worker panicked"))
+                    .collect()
+            });
+
+            let mut next = Vec::new();
+            let mut violations: Vec<LevelViolation> = Vec::new();
+            for out in outs {
+                if let Some(fatal) = out.fatal {
+                    return Err(fatal);
+                }
+                transitions += out.transitions;
+                infeasible += out.infeasible;
+                next.extend(out.next);
+                violations.extend(out.violations);
+            }
+
+            // Resolve this level's violations deterministically: for each
+            // property take the lexicographically smallest counterexample.
+            for (idx, slot) in found.iter_mut().enumerate() {
+                if slot.is_some() {
+                    continue;
+                }
+                let mut best: Option<Counterexample> = None;
+                for v in violations.iter().filter(|v| v.property == idx) {
+                    let mut inputs = seen.path_to(&v.parent);
+                    if let Some(step) = &v.input {
+                        inputs.push(step.clone());
+                    }
+                    let violation_instant = if v.input.is_some() {
+                        inputs.len().saturating_sub(1)
+                    } else {
+                        inputs.len()
+                    };
+                    let cex = Counterexample {
+                        property: properties[idx].clone(),
+                        inputs,
+                        violation_instant,
+                        witness: v.witness.clone(),
+                    };
+                    let better = match &best {
+                        None => true,
+                        Some(b) => {
+                            trace_order(&cex.inputs, &cex.witness)
+                                < trace_order(&b.inputs, &b.witness)
+                        }
+                    };
+                    if better {
+                        best = Some(cex);
+                    }
+                }
+                *slot = best;
+            }
+
+            depth += 1;
+            frontier = next;
+        }
+
+        // Note: a cap-level state count is always caught by the loop-top
+        // check (fresh states leave a non-empty frontier), so `truncated`
+        // needs no re-derivation here.
+        let stats = ExplorationStats {
+            states: state_count.load(Ordering::Relaxed),
+            transitions,
+            infeasible,
+            depth,
+            workers: workers_used,
+            truncated,
+        };
+        let verdicts = properties
+            .iter()
+            .zip(found)
+            .map(|(property, cex)| PropertyVerdict {
+                property: property.clone(),
+                verdict: match cex {
+                    Some(cex) => Verdict::Violated(cex),
+                    None if truncated => Verdict::BoundReached { depth },
+                    None => Verdict::Proved,
+                },
+            })
+            .collect();
+        Ok(VerificationOutcome { verdicts, stats })
+    }
+
+    /// Expands one chunk of a breadth-first level, reusing the worker's
+    /// evaluator (its memory is restored before every step).
+    #[allow(clippy::too_many_arguments)]
+    fn expand_chunk(
+        &self,
+        evaluator: &mut Evaluator,
+        chunk: &[State],
+        depth: usize,
+        scheduled: Option<&Trace>,
+        candidates: &[TraceStep],
+        monitor_specs: &[(String, String, u32)],
+        properties: &[Property],
+        deadlock_checked: bool,
+        seen: &SeenSet,
+        state_count: &AtomicUsize,
+    ) -> WorkerOut {
+        // Property index of each bounded-response monitor slot.
+        let monitor_property_idx: Vec<usize> = properties
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.needs_monitor())
+            .map(|(idx, _)| idx)
+            .collect();
+        let mut out = WorkerOut {
+            next: Vec::new(),
+            violations: Vec::new(),
+            transitions: 0,
+            infeasible: 0,
+            fatal: None,
+        };
+        for state in chunk {
+            let key = state.key();
+            let scheduled_step;
+            let (inputs_here, next_phase): (&[TraceStep], u32) = match scheduled {
+                Some(trace) => {
+                    scheduled_step = trace
+                        .step(state.phase as usize)
+                        .cloned()
+                        .unwrap_or_default();
+                    (
+                        std::slice::from_ref(&scheduled_step),
+                        ((state.phase as usize + 1) % trace.len()) as u32,
+                    )
+                }
+                None => (candidates, 0),
+            };
+            // Progress for the deadlock check: a feasible non-silent step —
+            // or, for a closed process (whose only valuation is the silent
+            // one), the silent step itself, since autonomous systems advance
+            // on their own clock.
+            let has_nonsilent = inputs_here.iter().any(|c| !c.is_silent());
+            let mut progress_here = 0usize;
+            for input in inputs_here {
+                if evaluator.restore_memory(&state.memory).is_err() {
+                    // Cannot happen: snapshots always come from this process.
+                    continue;
+                }
+                match evaluator.step(depth, input) {
+                    Ok(resolved) => {
+                        if !input.is_silent() || !has_nonsilent {
+                            progress_here += 1;
+                        }
+                        out.transitions += 1;
+                        // Property checks on the resolved instant.
+                        for (idx, property) in properties.iter().enumerate() {
+                            if let Property::NeverRaised(pattern) = property {
+                                if let Some(signal) = raised_signal(pattern, &resolved) {
+                                    out.violations.push(LevelViolation {
+                                        property: idx,
+                                        parent: key.clone(),
+                                        input: Some(input.clone()),
+                                        witness: format!("signal `{signal}` raised"),
+                                    });
+                                }
+                            }
+                        }
+                        // Monitor updates (part of the successor state). An
+                        // expired monitor reports its violation and continues
+                        // with an idle register, so the other monitors (and
+                        // properties) keep being explored. Every expired slot
+                        // is reported — several response deadlines can pass
+                        // on the same transition.
+                        let mut monitors = Vec::with_capacity(monitor_specs.len());
+                        for (slot, (trigger, response, bound)) in monitor_specs.iter().enumerate() {
+                            match monitor_step(
+                                trigger,
+                                response,
+                                *bound,
+                                state.monitors[slot],
+                                &resolved,
+                            ) {
+                                Ok(next) => monitors.push(next),
+                                Err(()) => {
+                                    out.violations.push(LevelViolation {
+                                        property: monitor_property_idx[slot],
+                                        parent: key.clone(),
+                                        input: Some(input.clone()),
+                                        witness: "response deadline expired".to_string(),
+                                    });
+                                    monitors.push(MONITOR_IDLE);
+                                }
+                            }
+                        }
+                        // The max_states cap is deliberately NOT checked
+                        // here: enforcing it mid-level would make the kept
+                        // frontier depend on thread interleaving. The level
+                        // loop checks it between levels instead.
+                        let successor = State {
+                            memory: evaluator.memory(),
+                            phase: next_phase,
+                            monitors,
+                        };
+                        if seen.insert(
+                            successor.key(),
+                            Parent::new(Some(key.clone()), input.clone(), depth + 1),
+                        ) {
+                            state_count.fetch_add(1, Ordering::Relaxed);
+                            out.next.push(successor);
+                        }
+                    }
+                    Err(e) => {
+                        out.infeasible += 1;
+                        if scheduled.is_some() {
+                            if deadlock_checked {
+                                let idx = properties
+                                    .iter()
+                                    .position(|p| matches!(p, Property::DeadlockFree))
+                                    .expect("deadlock_checked implies the property is present");
+                                out.violations.push(LevelViolation {
+                                    property: idx,
+                                    parent: key.clone(),
+                                    input: Some(input.clone()),
+                                    witness: format!("scheduled step not executable: {e}"),
+                                });
+                            } else {
+                                out.fatal = Some(VerifyError::Evaluation {
+                                    instant: depth,
+                                    detail: e.to_string(),
+                                });
+                                return out;
+                            }
+                        }
+                    }
+                }
+            }
+            if scheduled.is_none() && deadlock_checked && progress_here == 0 {
+                let idx = properties
+                    .iter()
+                    .position(|p| matches!(p, Property::DeadlockFree))
+                    .expect("deadlock_checked implies the property is present");
+                out.violations.push(LevelViolation {
+                    property: idx,
+                    parent: key.clone(),
+                    input: None,
+                    witness: format!(
+                        "no feasible progress valuation among {} candidates",
+                        candidates.len()
+                    ),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Canonical byte encoding of one input step, used for deterministic
+/// ordering of exploration edges and counterexamples.
+fn step_order_bytes(step: &TraceStep, out: &mut Vec<u8>) {
+    for (name, value) in step.iter() {
+        out.extend_from_slice(name.as_bytes());
+        out.push(0);
+        out.extend_from_slice(value.to_string().as_bytes());
+        out.push(1);
+    }
+    out.push(2);
+}
+
+/// A deterministic ordering key for counterexample selection within a level.
+fn trace_order(inputs: &Trace, witness: &str) -> (usize, Vec<u8>, String) {
+    let mut bytes = Vec::new();
+    for step in inputs.iter() {
+        step_order_bytes(step, &mut bytes);
+    }
+    (inputs.len(), bytes, witness.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use signal_moc::builder::ProcessBuilder;
+    use signal_moc::expr::Expr;
+
+    /// Deadline/Resume alarm watcher with a saturating miss counter: finite
+    /// state, so free exploration closes.
+    fn watcher() -> Process {
+        let mut b = ProcessBuilder::new("watcher");
+        b.input("Deadline", ValueType::Boolean);
+        b.input("Resume", ValueType::Boolean);
+        b.output("Alarm", ValueType::Boolean);
+        b.define(
+            "Alarm",
+            Expr::and(Expr::var("Deadline"), Expr::not(Expr::var("Resume"))),
+        );
+        b.synchronize(&["Deadline", "Resume", "Alarm"]);
+        b.build().unwrap()
+    }
+
+    /// A safe variant: the alarm can never fire.
+    fn safe_watcher() -> Process {
+        let mut b = ProcessBuilder::new("safe");
+        b.input("Deadline", ValueType::Boolean);
+        b.input("Resume", ValueType::Boolean);
+        b.output("Alarm", ValueType::Boolean);
+        b.define("Alarm", Expr::and(Expr::var("Deadline"), Expr::bool(false)));
+        b.synchronize(&["Deadline", "Resume", "Alarm"]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn free_candidates_respect_synchronisation() {
+        let verifier = Verifier::new(&watcher(), VerifyOptions::default()).unwrap();
+        let (candidates, truncated) = verifier.free_candidates().unwrap();
+        assert!(!truncated);
+        // The silent valuation, plus: Deadline and Resume share one class,
+        // so both present with 2×2 boolean values.
+        assert_eq!(candidates.len(), 5);
+        assert!(candidates[0].is_silent());
+        for step in &candidates[1..] {
+            assert!(step.is_present("Deadline"));
+            assert!(step.is_present("Resume"));
+        }
+    }
+
+    #[test]
+    fn exclusion_gated_autonomous_alarm_is_found_on_a_silent_instant() {
+        // `Alarm := true` can only be present when input `a` is absent (they
+        // are mutually exclusive): the violation lives on the silent instant
+        // and must still be found (regression: silent steps used to be
+        // skipped for processes with inputs).
+        let mut b = ProcessBuilder::new("gated");
+        b.input("a", ValueType::Event);
+        b.output("Alarm", ValueType::Boolean);
+        b.define("Alarm", Expr::bool(true));
+        b.exclude(&["Alarm", "a"]);
+        let process = b.build().unwrap();
+        let verifier = Verifier::new(&process, VerifyOptions::default()).unwrap();
+        let outcome = verifier
+            .verify(
+                &InputSpace::Free,
+                &[Property::NeverRaised("*Alarm*".into())],
+            )
+            .unwrap();
+        let (_, cex) = outcome.violations().next().expect("alarm must be found");
+        assert_eq!(cex.violation_instant, 0);
+        let replay = cex.replay(&process).unwrap();
+        assert!(replay.reproduced, "{}", replay.detail);
+    }
+
+    #[test]
+    fn violation_found_with_minimal_depth_and_replays() {
+        let process = watcher();
+        let verifier = Verifier::new(&process, VerifyOptions::default()).unwrap();
+        let outcome = verifier
+            .verify(
+                &InputSpace::Free,
+                &[Property::NeverRaised("*Alarm*".into())],
+            )
+            .unwrap();
+        let (_, cex) = outcome.violations().next().expect("violation expected");
+        assert_eq!(cex.inputs.len(), 1, "alarm is reachable in one instant");
+        let replay = cex.replay(&process).unwrap();
+        assert!(replay.reproduced, "{}", replay.detail);
+    }
+
+    #[test]
+    fn safe_process_is_proved_exhaustively() {
+        let verifier = Verifier::new(&safe_watcher(), VerifyOptions::default()).unwrap();
+        let outcome = verifier
+            .verify(
+                &InputSpace::Free,
+                &[
+                    Property::NeverRaised("*Alarm*".into()),
+                    Property::DeadlockFree,
+                ],
+            )
+            .unwrap();
+        assert!(outcome.all_proved(), "{}", outcome.summary());
+        // Stateless process: a single state, closed immediately after one level.
+        assert_eq!(outcome.stats.states, 1);
+        assert!(!outcome.stats.truncated);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        for process in [watcher(), safe_watcher()] {
+            let sequential = Verifier::new(&process, VerifyOptions::default().with_workers(1))
+                .unwrap()
+                .verify(
+                    &InputSpace::Free,
+                    &[Property::NeverRaised("*Alarm*".into())],
+                )
+                .unwrap();
+            let parallel = Verifier::new(&process, VerifyOptions::default().with_workers(4))
+                .unwrap()
+                .verify(
+                    &InputSpace::Free,
+                    &[Property::NeverRaised("*Alarm*".into())],
+                )
+                .unwrap();
+            assert_eq!(
+                sequential.verdicts, parallel.verdicts,
+                "worker count must not change the verdicts"
+            );
+        }
+    }
+
+    #[test]
+    fn diamond_discovery_races_yield_deterministic_counterexamples() {
+        // `latch` becomes true via (Deadline,!Resume) *or* (!Deadline,Resume):
+        // the latched state is discovered twice at the same level through
+        // different inputs, and the alarm fires one instant later. The
+        // counterexample must be byte-identical for every worker count (the
+        // canonical-edge tie-break, not thread interleaving, picks the
+        // parent).
+        let mut b = ProcessBuilder::new("diamond");
+        b.input("Deadline", ValueType::Boolean);
+        b.input("Resume", ValueType::Boolean);
+        b.output("Alarm", ValueType::Boolean);
+        b.local("latch", ValueType::Boolean);
+        b.define(
+            "latch",
+            Expr::or(
+                Expr::delay(Expr::var("latch"), Value::Bool(false)),
+                Expr::ne(Expr::var("Deadline"), Expr::var("Resume")),
+            ),
+        );
+        b.define("Alarm", Expr::delay(Expr::var("latch"), Value::Bool(false)));
+        b.synchronize(&["Deadline", "Resume", "latch", "Alarm"]);
+        let process = b.build().unwrap();
+        let property = [Property::NeverRaised("*Alarm*".into())];
+        let reference = Verifier::new(&process, VerifyOptions::default().with_workers(1))
+            .unwrap()
+            .verify(&InputSpace::Free, &property)
+            .unwrap();
+        assert!(!reference.is_violation_free());
+        for workers in [2usize, 4, 8] {
+            for _ in 0..4 {
+                let outcome =
+                    Verifier::new(&process, VerifyOptions::default().with_workers(workers))
+                        .unwrap()
+                        .verify(&InputSpace::Free, &property)
+                        .unwrap();
+                assert_eq!(reference.verdicts, outcome.verdicts, "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_bound_yields_bounded_verdict() {
+        let mut b = ProcessBuilder::new("counter");
+        b.input("tick", ValueType::Event);
+        b.output("count", ValueType::Integer);
+        b.define(
+            "count",
+            Expr::add(Expr::delay(Expr::var("count"), Value::Int(0)), Expr::int(1)),
+        );
+        b.synchronize(&["count", "tick"]);
+        let process = b.build().unwrap();
+        let verifier =
+            Verifier::new(&process, VerifyOptions::default().with_depth_bound(5)).unwrap();
+        let outcome = verifier
+            .verify(
+                &InputSpace::Free,
+                &[Property::NeverRaised("*Alarm*".into())],
+            )
+            .unwrap();
+        assert_eq!(outcome.stats.depth, 5);
+        assert!(matches!(
+            outcome.verdicts[0].verdict,
+            Verdict::BoundReached { depth: 5 }
+        ));
+        assert!(outcome.is_violation_free());
+        assert!(!outcome.all_proved());
+    }
+
+    #[test]
+    fn bounded_response_violation_found() {
+        // Resume never answers Deadline within 1 instant if the environment
+        // never raises Resume.
+        let verifier = Verifier::new(&watcher(), VerifyOptions::default()).unwrap();
+        let outcome = verifier
+            .verify(
+                &InputSpace::Free,
+                &[Property::BoundedResponse {
+                    trigger: "Deadline".into(),
+                    response: "Resume".into(),
+                    bound: 1,
+                }],
+            )
+            .unwrap();
+        let (_, cex) = outcome.violations().next().expect("violation expected");
+        let replay = cex.replay(&watcher()).unwrap();
+        assert!(replay.reproduced, "{}", replay.detail);
+    }
+
+    #[test]
+    fn closed_process_silent_step_is_explored() {
+        // A process with no inputs still runs autonomously: its single
+        // valuation per instant is the silent one, and `Alarm := true` must
+        // be found immediately (regression: it used to be vacuously proved).
+        let mut b = ProcessBuilder::new("closed");
+        b.output("Alarm", ValueType::Boolean);
+        b.define("Alarm", Expr::bool(true));
+        let process = b.build().unwrap();
+        let verifier = Verifier::new(&process, VerifyOptions::default()).unwrap();
+        let outcome = verifier
+            .verify(
+                &InputSpace::Free,
+                &[Property::NeverRaised("*Alarm*".into())],
+            )
+            .unwrap();
+        let (_, cex) = outcome.violations().next().expect("alarm must be found");
+        assert_eq!(cex.violation_instant, 0);
+        let replay = cex.replay(&process).unwrap();
+        assert!(replay.reproduced, "{}", replay.detail);
+    }
+
+    #[test]
+    fn state_cap_yields_identical_bounded_verdicts_for_any_worker_count() {
+        let mut b = ProcessBuilder::new("counter");
+        b.input("tick", ValueType::Event);
+        b.output("count", ValueType::Integer);
+        b.define(
+            "count",
+            Expr::add(Expr::delay(Expr::var("count"), Value::Int(0)), Expr::int(1)),
+        );
+        b.synchronize(&["count", "tick"]);
+        let process = b.build().unwrap();
+        let property = [Property::NeverRaised("*Alarm*".into())];
+        let reference = Verifier::new(
+            &process,
+            VerifyOptions::default().with_workers(1).with_max_states(3),
+        )
+        .unwrap()
+        .verify(&InputSpace::Free, &property)
+        .unwrap();
+        assert!(reference.stats.truncated);
+        assert!(matches!(
+            reference.verdicts[0].verdict,
+            Verdict::BoundReached { .. }
+        ));
+        for workers in [2usize, 4] {
+            let outcome = Verifier::new(
+                &process,
+                VerifyOptions::default()
+                    .with_workers(workers)
+                    .with_max_states(3),
+            )
+            .unwrap()
+            .verify(&InputSpace::Free, &property)
+            .unwrap();
+            assert_eq!(reference.verdicts, outcome.verdicts);
+            assert_eq!(reference.stats.states, outcome.stats.states);
+        }
+    }
+
+    #[test]
+    fn two_monitors_expiring_on_the_same_transition_are_both_reported() {
+        // Neither NoResponseA nor NoResponseB ever fires: both bounded
+        // responses to Deadline expire on the same step and both must be
+        // reported as violated (regression: the second used to shadow the
+        // first).
+        let verifier = Verifier::new(&watcher(), VerifyOptions::default()).unwrap();
+        let outcome = verifier
+            .verify(
+                &InputSpace::Free,
+                &[
+                    Property::BoundedResponse {
+                        trigger: "Deadline".into(),
+                        response: "NoResponseA".into(),
+                        bound: 1,
+                    },
+                    Property::BoundedResponse {
+                        trigger: "Deadline".into(),
+                        response: "NoResponseB".into(),
+                        bound: 1,
+                    },
+                ],
+            )
+            .unwrap();
+        assert_eq!(outcome.violations().count(), 2, "{}", outcome.summary());
+    }
+
+    #[test]
+    fn free_mode_dead_end_detected_and_probed_by_replay() {
+        // `y := a when false` makes y permanently absent, while `a ^= y`
+        // forces a to be absent too: the only candidate valuation (a
+        // present) is infeasible, so the initial state is a dead end.
+        let mut b = ProcessBuilder::new("stuck");
+        b.input("a", ValueType::Event);
+        b.output("y", ValueType::Event);
+        b.define("y", Expr::when(Expr::var("a"), Expr::bool(false)));
+        b.synchronize(&["a", "y"]);
+        let process = b.build().unwrap();
+        let verifier = Verifier::new(&process, VerifyOptions::default()).unwrap();
+        let outcome = verifier
+            .verify(&InputSpace::Free, &[Property::DeadlockFree])
+            .unwrap();
+        let (_, cex) = outcome.violations().next().expect("dead end expected");
+        assert_eq!(cex.violation_instant, 0);
+        assert!(cex.inputs.is_empty());
+        let replay = cex.replay(&process).unwrap();
+        assert!(replay.reproduced, "{}", replay.detail);
+        assert!(replay.detail.contains("candidate valuations rejected"));
+    }
+
+    #[test]
+    fn scheduled_exploration_closes_on_periodic_systems() {
+        // Drive the watcher with a 3-tick schedule where Resume always
+        // accompanies Deadline: alarm-free, and the state space closes
+        // (stateless memory × 3 phases).
+        let mut trace = Trace::new();
+        for t in 0..3usize {
+            trace.set(t, "Deadline", Value::Bool(t == 2));
+            trace.set(t, "Resume", Value::Bool(t == 2));
+        }
+        let verifier = Verifier::new(&watcher(), VerifyOptions::default()).unwrap();
+        let outcome = verifier
+            .verify(
+                &InputSpace::Scheduled(trace),
+                &[
+                    Property::NeverRaised("*Alarm*".into()),
+                    Property::DeadlockFree,
+                ],
+            )
+            .unwrap();
+        assert!(outcome.all_proved(), "{}", outcome.summary());
+        assert_eq!(outcome.stats.states, 3, "one state per phase");
+    }
+
+    #[test]
+    fn scheduled_deadlock_detected_and_replayable() {
+        // An exclusion constraint makes the scheduled step infeasible.
+        let mut b = ProcessBuilder::new("excl");
+        b.input("r", ValueType::Event);
+        b.input("w", ValueType::Event);
+        b.output("y", ValueType::Event);
+        b.define("y", Expr::default(Expr::var("r"), Expr::var("w")));
+        b.exclude(&["r", "w"]);
+        let process = b.build().unwrap();
+        let mut trace = Trace::new();
+        trace.set(0, "r", Value::Event);
+        trace.set(1, "r", Value::Event);
+        trace.set(1, "w", Value::Event);
+        let verifier = Verifier::new(&process, VerifyOptions::default()).unwrap();
+        let outcome = verifier
+            .verify(&InputSpace::Scheduled(trace), &[Property::DeadlockFree])
+            .unwrap();
+        let (_, cex) = outcome.violations().next().expect("deadlock expected");
+        assert_eq!(cex.violation_instant, 1);
+        let replay = cex.replay(&process).unwrap();
+        assert!(replay.reproduced, "{}", replay.detail);
+    }
+
+    #[test]
+    fn scheduled_error_without_deadlock_property_is_fatal() {
+        let mut b = ProcessBuilder::new("sync");
+        b.input("a", ValueType::Event);
+        b.input("b", ValueType::Event);
+        b.output("y", ValueType::Event);
+        b.define("y", Expr::var("a"));
+        b.synchronize(&["a", "b"]);
+        let process = b.build().unwrap();
+        let mut trace = Trace::new();
+        trace.set(0, "a", Value::Event);
+        let verifier = Verifier::new(&process, VerifyOptions::default()).unwrap();
+        let err = verifier
+            .verify(
+                &InputSpace::Scheduled(trace),
+                &[Property::NeverRaised("*Alarm*".into())],
+            )
+            .unwrap_err();
+        assert!(matches!(err, VerifyError::Evaluation { instant: 0, .. }));
+    }
+
+    #[test]
+    fn empty_inputs_are_rejected() {
+        let verifier = Verifier::new(&watcher(), VerifyOptions::default()).unwrap();
+        assert_eq!(
+            verifier.verify(&InputSpace::Free, &[]),
+            Err(VerifyError::NoProperties)
+        );
+        assert_eq!(
+            verifier.verify(
+                &InputSpace::Scheduled(Trace::new()),
+                &[Property::DeadlockFree]
+            ),
+            Err(VerifyError::EmptySchedule)
+        );
+    }
+}

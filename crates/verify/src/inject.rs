@@ -1,0 +1,97 @@
+//! Fault injection on scheduled timing traces, used to demonstrate (and
+//! regression-test) that the verifier finds timing violations and that its
+//! counterexamples replay.
+
+use serde::{Deserialize, Serialize};
+use signal_moc::trace::Trace;
+use signal_moc::value::Value;
+
+/// Description of an injected deadline-overrun fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectedFault {
+    /// Tick where the job originally resumed (completion).
+    pub resume_moved_from: usize,
+    /// Tick where the delayed resume was re-inserted (one past the
+    /// deadline), when it still fits in the trace.
+    pub resume_moved_to: Option<usize>,
+    /// Tick of the deadline the job now misses.
+    pub deadline_tick: usize,
+}
+
+/// Injects a deadline-overrun bug into a scheduled timing trace: the
+/// completion (`Resume`) of the job guarding the first `Deadline` tick is
+/// delayed until after that deadline, as if the job's execution time had
+/// overrun its budget. The translated thread's property check
+/// (`Alarm := Deadline and not (Resume or prev done)`) must then fire.
+///
+/// Signal names are prefixed with `prefix` (empty for a stand-alone thread
+/// trace). Returns `None` when the trace contains no deadline tick or no
+/// resume tick at or before it (nothing to inject).
+pub fn inject_deadline_overrun(trace: &mut Trace, prefix: &str) -> Option<InjectedFault> {
+    let resume = format!("{prefix}Resume");
+    let deadline = format!("{prefix}Deadline");
+    let is_true = |trace: &Trace, t: usize, signal: &str| {
+        trace.value(t, signal).map(|v| v.as_bool()).unwrap_or(false)
+    };
+    let deadline_tick = (0..trace.len()).find(|&t| is_true(trace, t, &deadline))?;
+    let resume_tick = (0..=deadline_tick)
+        .rev()
+        .find(|&t| is_true(trace, t, &resume))?;
+    trace.set(resume_tick, resume.clone(), Value::Bool(false));
+    let moved_to = deadline_tick + 1;
+    let resume_moved_to = if moved_to < trace.len() {
+        trace.set(moved_to, resume, Value::Bool(true));
+        Some(moved_to)
+    } else {
+        None
+    };
+    Some(InjectedFault {
+        resume_moved_from: resume_tick,
+        resume_moved_to,
+        deadline_tick,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing_trace(prefix: &str) -> Trace {
+        // Dispatch at 0, Resume at 1, Deadline at 4, over 6 ticks.
+        let mut trace = Trace::new();
+        for t in 0..6usize {
+            trace.set(t, format!("{prefix}Dispatch"), Value::Bool(t == 0));
+            trace.set(t, format!("{prefix}Resume"), Value::Bool(t == 1));
+            trace.set(t, format!("{prefix}Deadline"), Value::Bool(t == 4));
+        }
+        trace
+    }
+
+    #[test]
+    fn overrun_moves_resume_past_the_deadline() {
+        let mut trace = timing_trace("");
+        let fault = inject_deadline_overrun(&mut trace, "").unwrap();
+        assert_eq!(fault.resume_moved_from, 1);
+        assert_eq!(fault.deadline_tick, 4);
+        assert_eq!(fault.resume_moved_to, Some(5));
+        assert_eq!(trace.value(1, "Resume"), Some(&Value::Bool(false)));
+        assert_eq!(trace.value(5, "Resume"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn prefixed_signals_are_honoured() {
+        let mut trace = timing_trace("th_");
+        let fault = inject_deadline_overrun(&mut trace, "th_").unwrap();
+        assert_eq!(fault.resume_moved_from, 1);
+        assert_eq!(trace.value(1, "th_Resume"), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn traces_without_deadline_are_left_alone() {
+        let mut trace = Trace::new();
+        trace.set(0, "Resume", Value::Bool(true));
+        let before = trace.clone();
+        assert_eq!(inject_deadline_overrun(&mut trace, ""), None);
+        assert_eq!(trace, before);
+    }
+}

@@ -1,0 +1,69 @@
+//! `polyverify` — exhaustive state-space verification of flat SIGNAL
+//! processes with counterexample replay.
+//!
+//! Bounded co-simulation (the `polysim` crate) runs a handful of
+//! hyper-periods and *counts* alarm instants; it can miss violations that
+//! only show up under input sequences the schedule never produces. This
+//! crate closes that gap with an explicit-state model checker in the spirit
+//! of the real-time AADL model-checking line of work (Berthomieu et al.):
+//!
+//! * a canonical execution [`State`](state::State) — the memory of every
+//!   `delay`/`cell` operator plus the scheduler phase — hashed through a
+//!   byte-level encoding ([`state::StateKey`]);
+//! * a successor generator that enumerates the feasible input valuations of
+//!   an instant, pruned by the clock calculus (synchronisation classes,
+//!   exclusions and the sub-clock hierarchy);
+//! * a parallel breadth-first reachability engine with a sharded seen-set
+//!   (scale knob: [`VerifyOptions::workers`]) and a depth-bounded fallback
+//!   for products too large to close;
+//! * a small safety-property layer — [`Property::NeverRaised`],
+//!   [`Property::DeadlockFree`], [`Property::BoundedResponse`] — whose
+//!   violations come back as concrete [`Counterexample`] traces that replay
+//!   deterministically in [`polysim::Simulator`] for independent
+//!   confirmation.
+//!
+//! # Quick start
+//!
+//! ```
+//! use polyverify::{InputSpace, Property, Verifier, VerifyOptions};
+//! use signal_moc::builder::ProcessBuilder;
+//! use signal_moc::expr::Expr;
+//! use signal_moc::value::ValueType;
+//!
+//! // Alarm := Deadline and not Resume — reachable, so verification fails
+//! // and the counterexample replays in the simulator.
+//! let mut b = ProcessBuilder::new("watch");
+//! b.input("Deadline", ValueType::Boolean);
+//! b.input("Resume", ValueType::Boolean);
+//! b.output("Alarm", ValueType::Boolean);
+//! b.define("Alarm", Expr::and(Expr::var("Deadline"), Expr::not(Expr::var("Resume"))));
+//! b.synchronize(&["Deadline", "Resume", "Alarm"]);
+//! let process = b.build()?;
+//!
+//! let verifier = Verifier::new(&process, VerifyOptions::default().with_workers(2))?;
+//! let outcome = verifier.verify(
+//!     &InputSpace::Free,
+//!     &[Property::NeverRaised("*Alarm*".into())],
+//! )?;
+//! let (_, cex) = outcome.violations().next().expect("alarm reachable");
+//! assert!(cex.replay(&process)?.reproduced);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counterexample;
+pub mod explore;
+pub mod inject;
+pub mod property;
+pub mod state;
+
+pub use counterexample::{Counterexample, ReplayReport};
+pub use explore::{
+    ExplorationStats, InputSpace, PropertyVerdict, Verdict, VerificationOutcome, Verifier,
+    VerifyError, VerifyOptions,
+};
+pub use inject::{inject_deadline_overrun, InjectedFault};
+pub use property::Property;
+pub use state::{State, StateKey};

@@ -1,0 +1,195 @@
+//! Safety properties checked during state-space exploration.
+
+use serde::{Deserialize, Serialize};
+use signal_moc::trace::TraceStep;
+
+use crate::state::MONITOR_IDLE;
+
+/// A safety property over the executions of a flat SIGNAL process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Property {
+    /// No signal whose name matches the pattern is ever present with a
+    /// `true`-ish value. Patterns support leading/trailing `*` wildcards:
+    /// `"*Alarm*"` (contains), `"Alarm*"` (prefix), `"*Alarm"` (suffix),
+    /// `"Alarm"` (exact).
+    NeverRaised(String),
+    /// Every reachable state has at least one executable successor. Under a
+    /// scheduled input trace this means every scheduled step is executable;
+    /// under free inputs it means some non-silent input valuation is
+    /// feasible.
+    DeadlockFree,
+    /// Whenever `trigger` is present and true, `response` must be present
+    /// and true within `bound` instants (a same-instant response counts).
+    BoundedResponse {
+        /// Name of the triggering signal.
+        trigger: String,
+        /// Name of the required response signal.
+        response: String,
+        /// Maximum number of instants between trigger and response.
+        bound: u32,
+    },
+}
+
+impl Property {
+    /// A short human-readable name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            Property::NeverRaised(pattern) => format!("never-raised({pattern})"),
+            Property::DeadlockFree => "deadlock-free".to_string(),
+            Property::BoundedResponse {
+                trigger,
+                response,
+                bound,
+            } => format!("bounded-response({trigger} -> {response} within {bound})"),
+        }
+    }
+
+    /// Returns `true` for [`Property::BoundedResponse`], which carries a
+    /// monitor register in the explored state.
+    pub fn needs_monitor(&self) -> bool {
+        matches!(self, Property::BoundedResponse { .. })
+    }
+}
+
+/// Matches a signal name against a `NeverRaised` pattern.
+pub(crate) fn pattern_matches(pattern: &str, name: &str) -> bool {
+    match pattern.strip_prefix('*') {
+        Some(rest) => match rest.strip_suffix('*') {
+            Some(middle) => middle.is_empty() || name.contains(middle),
+            None => name.ends_with(rest),
+        },
+        None => match pattern.strip_suffix('*') {
+            Some(prefix) => name.starts_with(prefix),
+            None => name == pattern,
+        },
+    }
+}
+
+/// Returns the name of a signal that is present with a `true`-ish value and
+/// matches `pattern`, if any.
+pub(crate) fn raised_signal(pattern: &str, step: &TraceStep) -> Option<String> {
+    step.iter()
+        .find(|(name, value)| pattern_matches(pattern, name) && value.as_bool())
+        .map(|(name, _)| name.clone())
+}
+
+fn signal_true(step: &TraceStep, name: &str) -> bool {
+    step.get(name).map(|v| v.as_bool()).unwrap_or(false)
+}
+
+/// Advances the monitor register of a [`Property::BoundedResponse`] over one
+/// resolved step. Returns the new register, or `Err(())` when the response
+/// deadline expired at this instant.
+pub(crate) fn monitor_step(
+    trigger: &str,
+    response: &str,
+    bound: u32,
+    register: u32,
+    step: &TraceStep,
+) -> Result<u32, ()> {
+    let response_now = signal_true(step, response);
+    let mut register = register;
+    if register != MONITOR_IDLE {
+        if response_now {
+            register = MONITOR_IDLE;
+        } else {
+            // Armed registers are always in 1..=bound: hitting 0 here means
+            // the response window just closed without a response.
+            register -= 1;
+            if register == 0 {
+                return Err(());
+            }
+        }
+    }
+    if signal_true(step, trigger) && !response_now && register == MONITOR_IDLE {
+        if bound == 0 {
+            return Err(());
+        }
+        register = bound;
+    }
+    Ok(register)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use signal_moc::value::Value;
+
+    #[test]
+    fn patterns_match_like_globs() {
+        assert!(pattern_matches("*Alarm*", "thProducer_Alarm"));
+        assert!(pattern_matches("*Alarm*", "Alarm"));
+        assert!(!pattern_matches("*Alarm*", "Resume"));
+        assert!(pattern_matches("Alarm*", "Alarm_out"));
+        assert!(!pattern_matches("Alarm*", "MyAlarm"));
+        assert!(pattern_matches("*Alarm", "MyAlarm"));
+        assert!(!pattern_matches("*Alarm", "Alarm_out"));
+        assert!(pattern_matches("Alarm", "Alarm"));
+        assert!(!pattern_matches("Alarm", "Alarms"));
+        assert!(pattern_matches("**", "anything"));
+    }
+
+    #[test]
+    fn raised_signal_requires_truth() {
+        let mut step = TraceStep::new();
+        step.set("Alarm", Value::Bool(false));
+        assert_eq!(raised_signal("*Alarm*", &step), None);
+        step.set("th_Alarm", Value::Bool(true));
+        assert_eq!(raised_signal("*Alarm*", &step), Some("th_Alarm".into()));
+    }
+
+    #[test]
+    fn monitor_arms_counts_down_and_expires() {
+        let trigger = "t";
+        let response = "r";
+        let mut fire = TraceStep::new();
+        fire.set(trigger, Value::Bool(true));
+        let quiet = TraceStep::new();
+        let mut respond = TraceStep::new();
+        respond.set(response, Value::Bool(true));
+
+        // bound 2: trigger, one quiet instant, then response -> satisfied.
+        let m = monitor_step(trigger, response, 2, MONITOR_IDLE, &fire).unwrap();
+        assert_eq!(m, 2);
+        let m = monitor_step(trigger, response, 2, m, &quiet).unwrap();
+        assert_eq!(m, 1);
+        let m = monitor_step(trigger, response, 2, m, &respond).unwrap();
+        assert_eq!(m, MONITOR_IDLE);
+
+        // bound 1: trigger then quiet instant -> deadline expires.
+        let m = monitor_step(trigger, response, 1, MONITOR_IDLE, &fire).unwrap();
+        assert_eq!(m, 1);
+        assert!(monitor_step(trigger, response, 1, m, &quiet).is_err());
+    }
+
+    #[test]
+    fn same_instant_response_satisfies_and_bound_zero_requires_it() {
+        let mut both = TraceStep::new();
+        both.set("t", Value::Bool(true));
+        both.set("r", Value::Bool(true));
+        assert_eq!(
+            monitor_step("t", "r", 0, MONITOR_IDLE, &both).unwrap(),
+            MONITOR_IDLE
+        );
+        let mut fire = TraceStep::new();
+        fire.set("t", Value::Bool(true));
+        assert!(monitor_step("t", "r", 0, MONITOR_IDLE, &fire).is_err());
+    }
+
+    #[test]
+    fn names_are_descriptive() {
+        assert_eq!(
+            Property::NeverRaised("*Alarm*".into()).name(),
+            "never-raised(*Alarm*)"
+        );
+        assert_eq!(Property::DeadlockFree.name(), "deadlock-free");
+        let br = Property::BoundedResponse {
+            trigger: "Dispatch".into(),
+            response: "Complete".into(),
+            bound: 4,
+        };
+        assert!(br.name().contains("within 4"));
+        assert!(br.needs_monitor());
+        assert!(!Property::DeadlockFree.needs_monitor());
+    }
+}

@@ -1,0 +1,175 @@
+//! Canonical execution states of a flat SIGNAL process under exploration.
+//!
+//! A state is the complete information needed to continue an execution:
+//! the memory of every `delay`/`cell` operator, the phase of the scheduler
+//! trace driving the inputs (0 in free-input exploration), and the monitor
+//! registers of the bounded-response properties being checked. States are
+//! hashed through a canonical byte encoding ([`StateKey`]) so that real
+//! values hash by bit pattern and the seen-set needs no floating-point `Eq`.
+
+use signal_moc::value::Value;
+
+/// Monitor register value meaning "no response deadline pending".
+pub const MONITOR_IDLE: u32 = u32::MAX;
+
+/// One explored state of the product (process memory × scheduler phase ×
+/// property monitors).
+#[derive(Debug, Clone, PartialEq)]
+pub struct State {
+    /// Memory of every `delay`/`cell` operator, in evaluator pre-order.
+    pub memory: Vec<Value>,
+    /// Index of the next step in the scheduled input trace (always 0 when
+    /// inputs are enumerated freely).
+    pub phase: u32,
+    /// Remaining-instant countdowns of the `BoundedResponse` monitors
+    /// ([`MONITOR_IDLE`] when no trigger is pending).
+    pub monitors: Vec<u32>,
+}
+
+impl State {
+    /// The canonical hashable key of this state.
+    pub fn key(&self) -> StateKey {
+        let mut bytes = Vec::with_capacity(8 + self.monitors.len() * 4 + self.memory.len() * 9);
+        bytes.extend_from_slice(&self.phase.to_le_bytes());
+        for m in &self.monitors {
+            bytes.extend_from_slice(&m.to_le_bytes());
+        }
+        for value in &self.memory {
+            encode_value(value, &mut bytes);
+        }
+        StateKey(bytes)
+    }
+}
+
+/// Canonical byte encoding of a [`State`], used as the key of the sharded
+/// seen-set. Two states compare equal iff their phases, monitors and
+/// operator memories are bit-identical (reals compare by IEEE 754 bits).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StateKey(Vec<u8>);
+
+impl StateKey {
+    /// A stable 64-bit hash of the key, used to pick a seen-set shard.
+    pub fn shard_hash(&self) -> u64 {
+        // FNV-1a: tiny, deterministic across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in &self.0 {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Length of the canonical encoding in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The canonical encoding itself (used for deterministic tie-breaking
+    /// between equal-depth exploration edges).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Returns `true` when the encoding is empty (never the case for keys
+    /// produced by [`State::key`]).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+fn encode_value(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Event => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(u8::from(*b));
+        }
+        Value::Int(i) => {
+            out.push(2);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Real(r) => {
+            out.push(3);
+            out.extend_from_slice(&r.to_bits().to_le_bytes());
+        }
+        Value::Text(s) => {
+            out.push(4);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(memory: Vec<Value>, phase: u32, monitors: Vec<u32>) -> State {
+        State {
+            memory,
+            phase,
+            monitors,
+        }
+    }
+
+    #[test]
+    fn identical_states_share_a_key() {
+        let a = state(
+            vec![Value::Int(3), Value::Bool(true)],
+            2,
+            vec![MONITOR_IDLE],
+        );
+        let b = state(
+            vec![Value::Int(3), Value::Bool(true)],
+            2,
+            vec![MONITOR_IDLE],
+        );
+        assert_eq!(a.key(), b.key());
+        assert_eq!(a.key().shard_hash(), b.key().shard_hash());
+    }
+
+    #[test]
+    fn phase_memory_and_monitors_discriminate() {
+        let base = state(vec![Value::Int(3)], 0, vec![MONITOR_IDLE]);
+        assert_ne!(
+            base.key(),
+            state(vec![Value::Int(4)], 0, vec![MONITOR_IDLE]).key()
+        );
+        assert_ne!(
+            base.key(),
+            state(vec![Value::Int(3)], 1, vec![MONITOR_IDLE]).key()
+        );
+        assert_ne!(base.key(), state(vec![Value::Int(3)], 0, vec![2]).key());
+    }
+
+    #[test]
+    fn reals_compare_by_bits_and_texts_by_content() {
+        let a = state(vec![Value::Real(0.5)], 0, vec![]);
+        let b = state(vec![Value::Real(0.5)], 0, vec![]);
+        let c = state(vec![Value::Real(-0.5)], 0, vec![]);
+        assert_eq!(a.key(), b.key());
+        assert_ne!(a.key(), c.key());
+        let t = state(vec![Value::Text("ab".into())], 0, vec![]);
+        let u = state(vec![Value::Text("ab".into())], 0, vec![]);
+        assert_eq!(t.key(), u.key());
+        assert!(!t.key().is_empty());
+        assert!(t.key().len() > 4);
+    }
+
+    #[test]
+    fn value_kinds_do_not_collide() {
+        // Bool(false) vs Int(0) vs Event must all encode differently.
+        let kinds = [
+            state(vec![Value::Event], 0, vec![]),
+            state(vec![Value::Bool(false)], 0, vec![]),
+            state(vec![Value::Int(0)], 0, vec![]),
+            state(vec![Value::Real(0.0)], 0, vec![]),
+            state(vec![Value::Text(String::new())], 0, vec![]),
+        ];
+        for (i, a) in kinds.iter().enumerate() {
+            for b in &kinds[i + 1..] {
+                assert_ne!(a.key(), b.key());
+            }
+        }
+    }
+}

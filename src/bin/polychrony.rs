@@ -1,0 +1,230 @@
+//! `polychrony` — command-line front end of the DATE 2013 tool chain.
+//!
+//! Runs the complete analysis/validation pipeline on the built-in
+//! ProducerConsumer case study without writing any Rust:
+//!
+//! ```bash
+//! polychrony analyze  [--policy rm|edf|fp]
+//! polychrony simulate [--hyperperiods N] [--vcd]
+//! polychrony verify   [--workers N] [--hyperperiods N] [--inject-deadline-bug]
+//! ```
+//!
+//! Exit codes: `0` success, `1` usage error, `2` a check failed (invalid
+//! schedule, alarm during simulation, or a verification violation).
+
+use std::process::ExitCode;
+
+use polychrony_core::sched::SchedulingPolicy;
+use polychrony_core::{CoreError, ToolChain};
+
+/// A CLI failure: a usage error (exit code 1) or a runtime error (exit
+/// code 2), matching the contract in the module documentation.
+enum CliError {
+    Usage(String),
+    Run(String),
+}
+
+impl From<CoreError> for CliError {
+    fn from(e: CoreError) -> Self {
+        CliError::Run(e.to_string())
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(1);
+    };
+    let result = match command.as_str() {
+        "analyze" => analyze(&args[1..]),
+        "simulate" => simulate(&args[1..]),
+        "verify" => verify(&args[1..]),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    };
+    match result {
+        Ok(code) => code,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("usage error: {msg}\n\n{USAGE}");
+            ExitCode::from(1)
+        }
+        Err(CliError::Run(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "polychrony — polychronous analysis and validation of the \
+ProducerConsumer case study (DATE 2013)
+
+USAGE:
+    polychrony analyze  [--policy rm|edf|fp]
+    polychrony simulate [--hyperperiods N] [--vcd]
+    polychrony verify   [--workers N] [--hyperperiods N] [--inject-deadline-bug]
+
+COMMANDS:
+    analyze    parse, schedule, translate and statically analyse the model
+    simulate   co-simulate the scheduled threads and report alarm instants
+    verify     exhaustively model-check every thread (alarm + deadlock
+               freedom); with --inject-deadline-bug, inject a deadline
+               overrun into the producer schedule, print the counterexample
+               and confirm it by simulator replay";
+
+/// Rejects any argument that is not in the subcommand's allowed flag list
+/// (`(flag, takes_value)` pairs), so a typo like `--hyperperiod` fails
+/// loudly instead of silently running with defaults.
+fn check_flags(args: &[String], allowed: &[(&str, bool)]) -> Result<(), CliError> {
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        match allowed.iter().find(|(flag, _)| flag == arg) {
+            Some((_, takes_value)) => i += if *takes_value { 2 } else { 1 },
+            None => return Err(CliError::Usage(format!("unknown argument `{arg}`"))),
+        }
+    }
+    Ok(())
+}
+
+/// Returns the value following `--flag`, parsed, or the default.
+fn flag_value<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+    default: T,
+) -> Result<T, CliError> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(default),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?
+            .parse()
+            .map_err(|_| CliError::Usage(format!("invalid value for {flag}"))),
+    }
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn analyze(args: &[String]) -> Result<ExitCode, CliError> {
+    check_flags(args, &[("--policy", true)])?;
+    let policy = match flag_value(args, "--policy", "edf".to_string())?.as_str() {
+        "rm" => SchedulingPolicy::RateMonotonic,
+        "edf" => SchedulingPolicy::EarliestDeadlineFirst,
+        "fp" => SchedulingPolicy::FixedPriority,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown policy `{other}` (use rm, edf or fp)"
+            )))
+        }
+    };
+    let report = ToolChain::new()
+        .with_policy(policy)
+        .with_verification(false)
+        .with_hyperperiods(1)
+        .run_case_study()?;
+    println!("{}", report.summary());
+    println!("-- task set --\n{}", report.task_set_summary);
+    println!("-- static schedule --\n{}", report.schedule.to_table());
+    Ok(exit_for(report.all_checks_passed()))
+}
+
+fn simulate(args: &[String]) -> Result<ExitCode, CliError> {
+    check_flags(args, &[("--hyperperiods", true), ("--vcd", false)])?;
+    let hyperperiods = flag_value(args, "--hyperperiods", 4u64)?;
+    let report = ToolChain::new()
+        .with_verification(false)
+        .with_hyperperiods(hyperperiods)
+        .run_case_study()?;
+    println!(
+        "co-simulated {} thread(s) over {} hyper-period(s):",
+        report.simulations.len(),
+        hyperperiods
+    );
+    for (thread, sim) in &report.simulations {
+        println!(
+            "  {:<45} {:>4} instants, {} alarm instant(s)",
+            thread, sim.instants, sim.alarm_instants
+        );
+    }
+    if has_flag(args, "--vcd") {
+        println!("\n-- VCD (producer thread) --\n{}", report.vcd);
+    }
+    let alarm_free = report.simulations.values().all(|s| s.is_alarm_free());
+    println!("alarm-free: {}", if alarm_free { "yes" } else { "NO" });
+    Ok(exit_for(alarm_free))
+}
+
+fn verify(args: &[String]) -> Result<ExitCode, CliError> {
+    check_flags(
+        args,
+        &[
+            ("--workers", true),
+            ("--hyperperiods", true),
+            ("--inject-deadline-bug", false),
+        ],
+    )?;
+    let workers = flag_value(args, "--workers", 2usize)?;
+    let hyperperiods = flag_value(args, "--hyperperiods", 1u64)?;
+    if has_flag(args, "--inject-deadline-bug") {
+        return verify_injected(workers, hyperperiods);
+    }
+    let report = ToolChain::new()
+        .with_hyperperiods(1)
+        .with_verify_workers(workers)
+        .with_verify_hyperperiods(hyperperiods)
+        .run_case_study()?;
+    let verification = report
+        .verification
+        .as_ref()
+        .expect("verification phase enabled");
+    println!(
+        "state-space verification ({} worker(s), {} hyper-period(s)):\n",
+        verification.workers, verification.hyperperiods
+    );
+    println!("{}", verification.summary());
+    let ok = verification.is_violation_free();
+    println!("violation-free: {}", if ok { "yes" } else { "NO" });
+    Ok(exit_for(ok))
+}
+
+/// Injects a deadline overrun into the producer's schedule, model-checks the
+/// faulty system and confirms the counterexample by simulator replay.
+fn verify_injected(workers: usize, hyperperiods: u64) -> Result<ExitCode, CliError> {
+    let demo = polychrony_core::deadline_overrun_demo(hyperperiods)?;
+    println!(
+        "injected deadline overrun: Resume moved from tick {} to {:?} (deadline at tick {})\n",
+        demo.fault.resume_moved_from, demo.fault.resume_moved_to, demo.fault.deadline_tick
+    );
+
+    let (outcome, replay) = demo.verify_and_replay(workers)?;
+    println!("{}", outcome.summary());
+    let Some((_, cex)) = outcome.violations().next() else {
+        println!("expected the injected bug to be found — it was not");
+        return Ok(ExitCode::from(2));
+    };
+    println!("{}", cex.render());
+    let replay = replay.expect("a violation always carries a replay");
+    println!(
+        "simulator replay: {} ({})",
+        if replay.reproduced {
+            "violation reproduced"
+        } else {
+            "NOT reproduced"
+        },
+        replay.detail
+    );
+    Ok(exit_for(replay.reproduced))
+}
+
+fn exit_for(ok: bool) -> ExitCode {
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

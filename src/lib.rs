@@ -1,10 +1,12 @@
 //! Umbrella crate for the DATE 2013 reproduction *"Toward Polychronous
 //! Analysis and Validation for Timed Software Architectures in AADL"*.
 //!
-//! This package hosts the workspace-level integration tests (`tests/`) and
-//! runnable examples (`examples/`), and re-exports the whole public API of
-//! [`polychrony_core`] so that downstream users can depend on a single
-//! crate:
+//! This package hosts the workspace-level integration tests (`tests/`), the
+//! runnable examples (`examples/`) and the `polychrony` command-line front
+//! end (`src/bin/polychrony.rs`, with `analyze`, `simulate` and `verify`
+//! subcommands over the built-in case study), and re-exports the whole
+//! public API of [`polychrony_core`] — including the [`polyverify`] model
+//! checker — so that downstream users can depend on a single crate:
 //!
 //! ```
 //! use polychrony::ToolChain;

@@ -82,6 +82,7 @@ fn synthetic_models_scale_through_the_whole_pipeline() {
             policy: SchedulingPolicy::EarliestDeadlineFirst,
             hyperperiods: 1,
             default_queue_size: 2,
+            ..ToolChainOptions::default()
         })
         .run_instance(&instance)
         .unwrap();

@@ -1,4 +1,4 @@
-//! Smoke tests that run each of the five `examples/` binaries end to end, so
+//! Smoke tests that run each of the six `examples/` binaries end to end, so
 //! example rot is caught by `cargo test` and CI rather than by users.
 //!
 //! Each test shells out to the same `cargo` that is driving this test run
@@ -48,4 +48,40 @@ fn example_scheduling_analysis_runs() {
 #[test]
 fn example_clock_scalability_runs() {
     run_example("clock_scalability");
+}
+
+#[test]
+fn example_verification_runs() {
+    run_example("verification");
+}
+
+/// The CLI's verification subcommand must find and replay the injected
+/// deadline bug (exit code 0 in `--inject-deadline-bug` mode means the
+/// counterexample was found *and* reproduced by the simulator).
+#[test]
+fn cli_verify_injected_bug_is_found_and_replayed() {
+    let cargo = env!("CARGO");
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let output = std::process::Command::new(cargo)
+        .args([
+            "run",
+            "--quiet",
+            "--bin",
+            "polychrony",
+            "--",
+            "verify",
+            "--inject-deadline-bug",
+        ])
+        .current_dir(manifest_dir)
+        .output()
+        .expect("failed to spawn the polychrony CLI");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "CLI exited with {:?}\n--- stdout ---\n{stdout}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    assert!(stdout.contains("VIOLATED"), "{stdout}");
+    assert!(stdout.contains("violation reproduced"), "{stdout}");
 }
