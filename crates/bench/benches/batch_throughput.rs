@@ -1,0 +1,63 @@
+//! E12 — batch verification throughput: models per second of the
+//! `BatchRunner` worker pool as the worker count grows, the perf baseline
+//! of the multi-model verification service direction.
+//!
+//! Each job runs a complete staged chain (parse → instantiate → schedule →
+//! translate → analyse → simulate → verify) on its own shared-nothing
+//! session; the pool only controls how many jobs are in flight.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+use aadl::synth::SyntheticSpec;
+use polychrony_core::{BatchJob, BatchRunner, SessionOptions};
+
+/// A fixed six-job workload: the case study plus synthetic models of 4, 6
+/// and 8 threads, all with a one-hyper-period horizon and no VCD so the
+/// measurement is dominated by the pipeline, not by waveform formatting.
+fn workload() -> Vec<BatchJob> {
+    let options = SessionOptions::quick();
+    let mut jobs = vec![BatchJob::case_study("case-study").with_options(options.clone())];
+    for (i, threads) in [4usize, 6, 8, 4, 6].into_iter().enumerate() {
+        jobs.push(
+            BatchJob::synthetic(
+                format!("synthetic-{threads}t-{i}"),
+                &SyntheticSpec::new(threads, 1),
+            )
+            .with_options(options.clone()),
+        );
+    }
+    jobs
+}
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    let jobs = workload();
+
+    let mut group = c.benchmark_group("batch_throughput");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(3));
+    group.throughput(Throughput::Elements(jobs.len() as u64));
+
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let results = BatchRunner::new()
+                        .with_workers(workers)
+                        .run(black_box(&jobs))
+                        .expect("batch run succeeds");
+                    assert!(results.all_passed());
+                    black_box(results)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_throughput);
+criterion_main!(benches);

@@ -1,0 +1,363 @@
+//! Multi-model batch verification: run many AADL models through the staged
+//! pipeline concurrently and collect ordered, reproducible reports.
+//!
+//! This is the first concrete step of the ROADMAP's "multi-model batch
+//! verification service" direction: a [`BatchRunner`] takes N
+//! [`BatchJob`]s (source text + root classifier + per-phase options), runs
+//! them across a bounded pool of shared-nothing workers — every job builds
+//! its own [`Session`], so no state crosses job boundaries — and returns
+//! one [`BatchReport`] per job, **in submission order and independent of
+//! the worker count**, with per-job wall-clock timing.
+//!
+//! ```
+//! use polychrony_core::{BatchJob, BatchRunner};
+//! use polychrony_core::aadl::synth::SyntheticSpec;
+//!
+//! let jobs = vec![
+//!     BatchJob::case_study("prodcons"),
+//!     BatchJob::synthetic("synthetic-4t", &SyntheticSpec::new(4, 1)),
+//! ];
+//! let results = BatchRunner::new().with_workers(2).run(&jobs)?;
+//! assert_eq!(results.reports.len(), 2);
+//! assert!(results.all_passed());
+//! # Ok::<(), polychrony_core::CoreError>(())
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use aadl::case_study::PRODUCER_CONSUMER_AADL;
+use aadl::synth::{generate_source, SyntheticSpec};
+
+use crate::error::CoreError;
+use crate::options::SessionOptions;
+use crate::report::ToolChainReport;
+use crate::session::Session;
+
+/// One unit of batch work: an AADL model (source + root classifier) and the
+/// per-phase options to run it with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchJob {
+    /// Caller-chosen job label, echoed in the [`BatchReport`].
+    pub name: String,
+    /// AADL source text of the model.
+    pub source: String,
+    /// Root classifier to instantiate (e.g. `sysProdCons.impl`).
+    pub root: String,
+    /// Per-phase options of this job's session.
+    pub options: SessionOptions,
+}
+
+impl BatchJob {
+    /// Creates a job with default options.
+    pub fn new(
+        name: impl Into<String>,
+        source: impl Into<String>,
+        root: impl Into<String>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            source: source.into(),
+            root: root.into(),
+            options: SessionOptions::default(),
+        }
+    }
+
+    /// A job over the built-in ProducerConsumer case study.
+    pub fn case_study(name: impl Into<String>) -> Self {
+        Self::new(name, PRODUCER_CONSUMER_AADL, "sysProdCons.impl")
+    }
+
+    /// A job over a generated synthetic model (rooted at `top.impl`).
+    pub fn synthetic(name: impl Into<String>, spec: &SyntheticSpec) -> Self {
+        Self::new(name, generate_source(spec), "top.impl")
+    }
+
+    /// Replaces the job's per-phase options.
+    #[must_use]
+    pub fn with_options(mut self, options: SessionOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Runs this job's complete staged chain in the current thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error of any phase, including
+    /// [`CoreError::InvalidOptions`] for out-of-range options.
+    pub fn run(&self) -> Result<ToolChainReport, CoreError> {
+        Ok(Session::with_options(self.options.clone())?
+            .parse(&self.source)?
+            .instantiate(&self.root)?
+            .schedule()?
+            .translate()?
+            .analyze()?
+            .simulate()?
+            .verify()?
+            .into_report())
+    }
+}
+
+/// The outcome of one [`BatchJob`]: its submission index, label, wall-clock
+/// duration, and the tool-chain report (or the phase error that stopped
+/// it). Job failures do not abort the batch — they are reported in place.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// Submission index of the job (reports are returned sorted by it).
+    pub index: usize,
+    /// The job's label.
+    pub job: String,
+    /// Wall-clock time the job spent in its worker.
+    pub duration: Duration,
+    /// The aggregated report, or the error of the phase that failed.
+    pub outcome: Result<ToolChainReport, CoreError>,
+}
+
+impl BatchReport {
+    /// Returns `true` when the job completed and every check of its report
+    /// passed.
+    pub fn passed(&self) -> bool {
+        matches!(&self.outcome, Ok(report) if report.all_checks_passed())
+    }
+
+    /// One-line rendering: index, label, duration, verdict.
+    pub fn summary(&self) -> String {
+        let verdict = match &self.outcome {
+            Ok(report) if report.all_checks_passed() => "pass".to_string(),
+            Ok(_) => "CHECKS FAILED".to_string(),
+            Err(e) => format!("ERROR: {e}"),
+        };
+        format!(
+            "#{:<3} {:<24} {:>8.1} ms  {}",
+            self.index,
+            self.job,
+            self.duration.as_secs_f64() * 1e3,
+            verdict
+        )
+    }
+}
+
+/// The result of one [`BatchRunner::run`]: the ordered per-job reports plus
+/// batch-level totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchResults {
+    /// Worker-pool size the batch ran with.
+    pub workers: usize,
+    /// Wall-clock time of the whole batch.
+    pub elapsed: Duration,
+    /// One report per job, in submission order.
+    pub reports: Vec<BatchReport>,
+}
+
+impl BatchResults {
+    /// Returns `true` when every job completed with all checks passing.
+    pub fn all_passed(&self) -> bool {
+        self.reports.iter().all(BatchReport::passed)
+    }
+
+    /// Number of jobs that failed (phase error or failed checks).
+    pub fn failure_count(&self) -> usize {
+        self.reports.iter().filter(|r| !r.passed()).count()
+    }
+
+    /// Completed models per second of batch wall-clock time.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.reports.len() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// A multi-line table: one line per job plus a totals line.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for report in &self.reports {
+            out.push_str(&report.summary());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} job(s), {} worker(s), {:.1} ms total, {:.1} models/s, {} failure(s)\n",
+            self.reports.len(),
+            self.workers,
+            self.elapsed.as_secs_f64() * 1e3,
+            self.throughput(),
+            self.failure_count()
+        ));
+        out
+    }
+}
+
+/// A bounded worker pool that drains a list of [`BatchJob`]s.
+///
+/// Workers are shared-nothing: each job constructs its own [`Session`] from
+/// its own options, so verdicts depend only on the job, never on worker
+/// interleaving — the same batch run with 1 or 8 workers yields equal
+/// reports in the same order (only the timings differ).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRunner {
+    workers: usize,
+}
+
+impl Default for BatchRunner {
+    /// Sizes the pool to the machine's available parallelism, capped at 8.
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(2)
+                .min(8),
+        }
+    }
+}
+
+impl BatchRunner {
+    /// Creates a runner sized to the machine (see [`BatchRunner::default`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker-pool size (validated by [`BatchRunner::run`]).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// The configured worker-pool size.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every job across the worker pool and returns the reports in
+    /// submission order.
+    ///
+    /// Job-level failures (parse errors, invalid per-job options, failed
+    /// phases) land in the job's [`BatchReport::outcome`]; only a
+    /// runner-level misconfiguration aborts the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidOptions`] when the pool size is 0.
+    pub fn run(&self, jobs: &[BatchJob]) -> Result<BatchResults, CoreError> {
+        if self.workers == 0 {
+            return Err(CoreError::InvalidOptions(
+                "batch.workers must be at least 1 (got 0)".into(),
+            ));
+        }
+        let started = Instant::now();
+        let slots: Vec<Mutex<Option<BatchReport>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        if !jobs.is_empty() {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..self.workers.min(jobs.len()) {
+                    scope.spawn(|| loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(index) else { break };
+                        let job_started = Instant::now();
+                        let outcome = job.run();
+                        *slots[index].lock().expect("job slot poisoned") = Some(BatchReport {
+                            index,
+                            job: job.name.clone(),
+                            duration: job_started.elapsed(),
+                            outcome,
+                        });
+                    });
+                }
+            });
+        }
+        let reports = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("job slot poisoned")
+                    .expect("every job slot is filled when the scope exits")
+            })
+            .collect();
+        Ok(BatchResults {
+            workers: self.workers,
+            elapsed: started.elapsed(),
+            reports,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fast per-job options shared by the unit tests: one simulated
+    /// hyper-period, no VCD, sequential in-job verification.
+    fn quick_options() -> SessionOptions {
+        SessionOptions::quick()
+    }
+
+    #[test]
+    fn reports_come_back_in_submission_order() {
+        let jobs: Vec<BatchJob> = (0..4)
+            .map(|i| {
+                BatchJob::synthetic(format!("job-{i}"), &SyntheticSpec::new(4, 1))
+                    .with_options(quick_options())
+            })
+            .collect();
+        let results = BatchRunner::new().with_workers(3).run(&jobs).unwrap();
+        assert_eq!(results.reports.len(), 4);
+        for (i, report) in results.reports.iter().enumerate() {
+            assert_eq!(report.index, i);
+            assert_eq!(report.job, format!("job-{i}"));
+            assert!(report.passed(), "{}", report.summary());
+        }
+        assert!(results.all_passed());
+        assert_eq!(results.failure_count(), 0);
+        assert!(results.summary().contains("4 job(s)"));
+    }
+
+    #[test]
+    fn a_failing_job_is_reported_in_place_without_aborting_the_batch() {
+        let jobs = vec![
+            BatchJob::case_study("good").with_options(quick_options()),
+            BatchJob::new("broken", "package broken", "nothing").with_options(quick_options()),
+        ];
+        let results = BatchRunner::new().with_workers(2).run(&jobs).unwrap();
+        assert!(results.reports[0].passed());
+        assert!(matches!(
+            results.reports[1].outcome,
+            Err(CoreError::Aadl(_))
+        ));
+        assert_eq!(results.failure_count(), 1);
+        assert!(!results.all_passed());
+    }
+
+    #[test]
+    fn zero_workers_is_rejected() {
+        let err = BatchRunner::new().with_workers(0).run(&[]).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidOptions(_)), "{err}");
+    }
+
+    #[test]
+    fn an_empty_batch_is_a_no_op() {
+        let results = BatchRunner::new().run(&[]).unwrap();
+        assert!(results.reports.is_empty());
+        assert!(results.all_passed());
+    }
+
+    #[test]
+    fn invalid_per_job_options_fail_only_that_job() {
+        let mut bad = quick_options();
+        bad.verify.hyperperiods = 0;
+        let jobs = vec![
+            BatchJob::case_study("ok").with_options(quick_options()),
+            BatchJob::case_study("bad-options").with_options(bad),
+        ];
+        let results = BatchRunner::new().with_workers(2).run(&jobs).unwrap();
+        assert!(results.reports[0].passed());
+        assert!(matches!(
+            results.reports[1].outcome,
+            Err(CoreError::InvalidOptions(_))
+        ));
+    }
+}

@@ -76,19 +76,25 @@ impl From<ThreadUnderScheduleError> for CoreError {
 }
 
 /// Builds the deadline-overrun demo over `hyperperiods` repetitions of the
-/// producer's schedule (clamped to at least 1).
+/// producer's schedule.
 ///
 /// # Errors
 ///
-/// Propagates any tool-chain phase error as a [`CoreError`].
+/// Returns [`CoreError::InvalidOptions`] when `hyperperiods` is 0, and
+/// propagates any tool-chain phase error as a [`CoreError`].
 pub fn deadline_overrun_demo(hyperperiods: u64) -> Result<DeadlineOverrunDemo, CoreError> {
+    if hyperperiods == 0 {
+        return Err(CoreError::InvalidOptions(
+            "demo.hyperperiods must be at least 1 (got 0)".into(),
+        ));
+    }
     let instance = producer_consumer_instance()?;
     let (thread_model, schedule) = thread_under_schedule(
         &instance,
         "thProducer",
         SchedulingPolicy::EarliestDeadlineFirst,
     )?;
-    let mut inputs = thread_model.timing_trace(&schedule, hyperperiods.max(1));
+    let mut inputs = thread_model.timing_trace(&schedule, hyperperiods);
     let fault = inject_deadline_overrun(&mut inputs, "").ok_or_else(|| {
         CoreError::Scheduling("producer schedule has no deadline/resume pair to tamper with".into())
     })?;
@@ -102,6 +108,14 @@ pub fn deadline_overrun_demo(hyperperiods: u64) -> Result<DeadlineOverrunDemo, C
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn zero_hyperperiods_is_rejected() {
+        assert!(matches!(
+            deadline_overrun_demo(0),
+            Err(CoreError::InvalidOptions(_))
+        ));
+    }
 
     #[test]
     fn demo_is_found_and_replays() {

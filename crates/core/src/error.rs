@@ -6,6 +6,10 @@ use std::fmt;
 /// produced it.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CoreError {
+    /// A phase option is out of range (e.g. zero workers, zero
+    /// hyper-periods, zero queue size). The message names the offending
+    /// `phase.field` and the rejected value.
+    InvalidOptions(String),
     /// AADL parsing, resolution or instantiation failed.
     Aadl(aadl::AadlError),
     /// Task-set extraction or scheduler synthesis failed.
@@ -23,6 +27,7 @@ pub enum CoreError {
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            CoreError::InvalidOptions(e) => write!(f, "invalid options: {e}"),
             CoreError::Aadl(e) => write!(f, "aadl front end: {e}"),
             CoreError::Scheduling(e) => write!(f, "scheduler synthesis: {e}"),
             CoreError::Affine(e) => write!(f, "affine clock export: {e}"),
@@ -87,5 +92,7 @@ mod tests {
         assert!(e.to_string().contains("affine"));
         let e: CoreError = polyverify::VerifyError::NoProperties.into();
         assert!(e.to_string().contains("state-space verification"));
+        let e = CoreError::InvalidOptions("verify.workers must be at least 1 (got 0)".into());
+        assert!(e.to_string().contains("invalid options"));
     }
 }

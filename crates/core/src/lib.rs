@@ -23,6 +23,17 @@
 //!    model checker ([`polyverify`]): alarm freedom and deadlock freedom
 //!    over the verification horizon, with replayable counterexamples.
 //!
+//! The pipeline is exposed at three altitudes:
+//!
+//! * [`Session`] — the staged API: every phase is a typed artifact
+//!   (`Parsed → Instantiated → Scheduled → Translated → Analyzed →
+//!   Simulated → Verified`) with public fields, so runs can stop after any
+//!   phase, inspect intermediate results, and reuse artifacts;
+//! * [`ToolChain`] — the single-call facade over [`Session`] producing one
+//!   aggregated [`ToolChainReport`];
+//! * [`BatchRunner`] — many models through the chain concurrently, on a
+//!   bounded pool of shared-nothing workers, with ordered per-job reports.
+//!
 //! # Quick start
 //!
 //! ```
@@ -34,19 +45,44 @@
 //! assert!(report.simulations.values().all(|sim| sim.is_alarm_free()));
 //! # Ok::<(), polychrony_core::CoreError>(())
 //! ```
+//!
+//! Staged, stopping after the scheduling phase:
+//!
+//! ```
+//! use polychrony_core::Session;
+//!
+//! let scheduled = Session::new()
+//!     .parse_case_study()?
+//!     .instantiate("sysProdCons.impl")?
+//!     .schedule()?;
+//! assert_eq!(scheduled.schedule.hyperperiod, 24);
+//! assert!(scheduled.affine.verified_constraints > 0);
+//! # Ok::<(), polychrony_core::CoreError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod demo;
 pub mod error;
+pub mod options;
 pub mod pipeline;
 pub mod report;
+pub mod session;
 
+pub use batch::{BatchJob, BatchReport, BatchResults, BatchRunner};
 pub use demo::{deadline_overrun_demo, DeadlineOverrunDemo};
 pub use error::CoreError;
+pub use options::{
+    ScheduleOptions, SessionOptions, SimulateOptions, TranslateOptions, VcdCapture,
+    VerificationOptions,
+};
 pub use pipeline::{ToolChain, ToolChainOptions};
 pub use report::{ToolChainReport, VerificationReport};
+pub use session::{
+    Analyzed, Instantiated, Parsed, Scheduled, Session, Simulated, ThreadUnit, Translated, Verified,
+};
 
 // Re-export the main entry points of every layer so that downstream users
 // (examples, benches, tests) need a single dependency.

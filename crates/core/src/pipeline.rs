@@ -1,35 +1,48 @@
-//! The tool-chain pipeline: parse → instantiate → schedule → export →
-//! translate → analyse → simulate → verify.
+//! The monolithic tool-chain front end: a thin convenience facade over the
+//! staged [`Session`] API (parse → instantiate → schedule → export →
+//! translate → analyse → simulate → verify in one call).
+//!
+//! Use [`ToolChain`] when you want the whole pipeline and one aggregated
+//! [`ToolChainReport`]; use [`Session`] when you want to stop after a
+//! phase, inspect or reuse an intermediate artifact, or configure phases
+//! individually; use [`crate::BatchRunner`] to push many models through
+//! concurrently.
 
-use std::collections::BTreeMap;
-
-use aadl::case_study::PRODUCER_CONSUMER_AADL;
 use aadl::instance::InstanceModel;
-use aadl::parse_package;
-use asme2ssme::{scheduled_thread_model, task_set_from_threads, Translator};
-use polysim::Simulator;
-use polyverify::{InputSpace, Property, Verifier, VerifyOptions};
-use sched::{export_affine_clocks, BaselineReport, SchedulingPolicy, StaticSchedule};
-use signal_moc::analysis::StaticAnalysisReport;
 
 use crate::error::CoreError;
-use crate::report::{ToolChainReport, VerificationReport};
+use crate::options::{
+    ScheduleOptions, SessionOptions, SimulateOptions, TranslateOptions, VcdCapture,
+    VerificationOptions,
+};
+use crate::report::ToolChainReport;
+use crate::session::Session;
 
-/// Options controlling a tool-chain run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+use sched::SchedulingPolicy;
+
+/// Options controlling a tool-chain run — the flat, all-phases-in-one view
+/// of [`SessionOptions`]. Out-of-range values are rejected when the run
+/// starts (see [`ToolChainOptions::validate`]); nothing is silently
+/// clamped.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ToolChainOptions {
     /// Scheduling policy used for the static synthesis.
     pub policy: SchedulingPolicy,
-    /// Number of hyper-periods to co-simulate.
+    /// Number of hyper-periods to co-simulate. Must be at least 1.
     pub hyperperiods: u64,
-    /// Default queue size for event ports without `Queue_Size`.
+    /// Default queue size for event ports without `Queue_Size`. Must be at
+    /// least 1.
     pub default_queue_size: usize,
+    /// Which thread's co-simulation is captured as a VCD waveform.
+    pub vcd: VcdCapture,
     /// Runs the state-space verification phase (`polyverify`) after the
     /// co-simulation.
     pub verify: bool,
-    /// Worker threads of the parallel reachability engine.
+    /// Worker threads of the parallel reachability engine. Must be at
+    /// least 1.
     pub verify_workers: usize,
     /// Number of hyper-periods the verification explores exhaustively.
+    /// Must be at least 1.
     pub verify_hyperperiods: u64,
 }
 
@@ -39,6 +52,7 @@ impl Default for ToolChainOptions {
             policy: SchedulingPolicy::EarliestDeadlineFirst,
             hyperperiods: 4,
             default_queue_size: 1,
+            vcd: VcdCapture::First,
             verify: true,
             verify_workers: 2,
             verify_hyperperiods: 1,
@@ -46,7 +60,41 @@ impl Default for ToolChainOptions {
     }
 }
 
-/// The end-to-end tool chain (the ASME2SSME + Polychrony flow of the paper).
+impl ToolChainOptions {
+    /// The per-phase [`SessionOptions`] equivalent of this flat struct
+    /// (the migration path from the old monolithic API to the staged one).
+    pub fn session_options(&self) -> SessionOptions {
+        SessionOptions {
+            schedule: ScheduleOptions {
+                policy: self.policy,
+            },
+            translate: TranslateOptions {
+                default_queue_size: self.default_queue_size,
+            },
+            simulate: SimulateOptions {
+                hyperperiods: self.hyperperiods,
+                vcd: self.vcd.clone(),
+            },
+            verify: VerificationOptions {
+                enabled: self.verify,
+                workers: self.verify_workers,
+                hyperperiods: self.verify_hyperperiods,
+            },
+        }
+    }
+
+    /// Checks every field for consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidOptions`] naming the offending field.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        self.session_options().validate()
+    }
+}
+
+/// The end-to-end tool chain (the ASME2SSME + Polychrony flow of the
+/// paper), as a single-call facade over the staged [`Session`] API.
 #[derive(Debug, Clone, Default)]
 pub struct ToolChain {
     options: ToolChainOptions,
@@ -64,33 +112,60 @@ impl ToolChain {
     }
 
     /// Sets the scheduling policy.
+    #[must_use]
     pub fn with_policy(mut self, policy: SchedulingPolicy) -> Self {
         self.options.policy = policy;
         self
     }
 
-    /// Sets the number of simulated hyper-periods.
+    /// Sets the number of simulated hyper-periods (must be at least 1;
+    /// validated when the run starts).
+    #[must_use]
     pub fn with_hyperperiods(mut self, hyperperiods: u64) -> Self {
-        self.options.hyperperiods = hyperperiods.max(1);
+        self.options.hyperperiods = hyperperiods;
+        self
+    }
+
+    /// Selects which thread's co-simulation is captured as a VCD waveform.
+    #[must_use]
+    pub fn with_vcd(mut self, vcd: VcdCapture) -> Self {
+        self.options.vcd = vcd;
         self
     }
 
     /// Enables or disables the state-space verification phase.
+    #[must_use]
     pub fn with_verification(mut self, verify: bool) -> Self {
         self.options.verify = verify;
         self
     }
 
-    /// Sets the worker count of the parallel reachability engine.
+    /// Sets the worker count of the parallel reachability engine (must be
+    /// at least 1; validated when the run starts).
+    #[must_use]
     pub fn with_verify_workers(mut self, workers: usize) -> Self {
-        self.options.verify_workers = workers.max(1);
+        self.options.verify_workers = workers;
         self
     }
 
-    /// Sets the number of hyper-periods the verification explores.
+    /// Sets the number of hyper-periods the verification explores (must be
+    /// at least 1; validated when the run starts).
+    #[must_use]
     pub fn with_verify_hyperperiods(mut self, hyperperiods: u64) -> Self {
-        self.options.verify_hyperperiods = hyperperiods.max(1);
+        self.options.verify_hyperperiods = hyperperiods;
         self
+    }
+
+    /// Opens a staged [`Session`] configured with this tool chain's
+    /// options, for callers that want to drop down to the phase-by-phase
+    /// API.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidOptions`] when any option is out of
+    /// range.
+    pub fn session(&self) -> Result<Session, CoreError> {
+        Session::with_options(self.options.session_options())
     }
 
     /// Runs the whole pipeline on AADL source text, instantiating
@@ -98,15 +173,23 @@ impl ToolChain {
     ///
     /// # Errors
     ///
-    /// Returns the first error of any phase, tagged by [`CoreError`].
+    /// Returns the first error of any phase, tagged by [`CoreError`]
+    /// ([`CoreError::InvalidOptions`] before any phase runs).
     pub fn run_source(
         &self,
         source: &str,
         root_classifier: &str,
     ) -> Result<ToolChainReport, CoreError> {
-        let package = parse_package(source)?;
-        let instance = InstanceModel::instantiate(&package, root_classifier)?;
-        self.run_instance(&instance)
+        Ok(self
+            .session()?
+            .parse(source)?
+            .instantiate(root_classifier)?
+            .schedule()?
+            .translate()?
+            .analyze()?
+            .simulate()?
+            .verify()?
+            .into_report())
     }
 
     /// Runs the whole pipeline on the ProducerConsumer case study of the
@@ -116,108 +199,25 @@ impl ToolChain {
     ///
     /// Same conditions as [`ToolChain::run_source`].
     pub fn run_case_study(&self) -> Result<ToolChainReport, CoreError> {
-        self.run_source(PRODUCER_CONSUMER_AADL, "sysProdCons.impl")
+        self.run_source(aadl::case_study::PRODUCER_CONSUMER_AADL, "sysProdCons.impl")
     }
 
     /// Runs the pipeline on an already-instantiated AADL model.
     ///
     /// # Errors
     ///
-    /// Returns the first error of any phase, tagged by [`CoreError`].
+    /// Returns the first error of any phase, tagged by [`CoreError`]
+    /// ([`CoreError::InvalidOptions`] before any phase runs).
     pub fn run_instance(&self, instance: &InstanceModel) -> Result<ToolChainReport, CoreError> {
-        // Phase 1: task-set extraction and scheduler synthesis.
-        let threads = instance.threads()?;
-        let tasks = task_set_from_threads(&threads)?;
-        let schedule = StaticSchedule::synthesize(&tasks, self.options.policy)?;
-        let baseline = BaselineReport::analyze(&tasks);
-
-        // Phase 2: affine-clock export and synchronizability verification.
-        let affine = export_affine_clocks(&tasks, &schedule)
-            .map_err(|e| CoreError::Affine(e.to_string()))?;
-
-        // Phase 3: ASME2SSME translation.
-        let translated = Translator::new()
-            .with_default_queue_size(self.options.default_queue_size)
-            .translate(instance)?;
-
-        // Phase 4: clock calculus and static analyses on the flat model.
-        let flat = translated.model.flatten()?;
-        let static_analysis = StaticAnalysisReport::analyze(&flat)?;
-
-        // Phase 5: per-thread co-simulation driven by the schedule, and
-        // (phase 6) exhaustive state-space verification of each scheduled
-        // thread over the verification horizon.
-        let verify_properties = [
-            Property::NeverRaised("*Alarm*".to_string()),
-            Property::DeadlockFree,
-        ];
-        let mut simulations = BTreeMap::new();
-        let mut verification_outcomes = BTreeMap::new();
-        let mut vcd = String::new();
-        for thread in &threads {
-            // Flatten the thread process together with the library processes
-            // it instantiates (shared recipe: asme2ssme::scheduled_thread_model).
-            let Some(thread_model) = scheduled_thread_model(&translated, thread)? else {
-                continue;
-            };
-            let inputs = thread_model.timing_trace(&schedule, self.options.hyperperiods);
-            let mut simulator = Simulator::new(&thread_model.flat)?;
-            simulator.run(&inputs)?;
-            let report = simulator.report();
-            if thread.name == "thProducer" || vcd.is_empty() {
-                vcd = simulator.to_vcd(&thread.name, 1_000_000);
-            }
-            simulations.insert(thread.path.clone(), report);
-
-            // Phase 6: explicit-state verification under the same schedule.
-            // A single hyper-period trace wraps around (states recurring at
-            // the same schedule phase are deduplicated across repetitions),
-            // so the exploration either closes — proving the periodic
-            // system for unbounded time — or stops at the depth bound of
-            // `verify_hyperperiods` hyper-periods.
-            if self.options.verify {
-                let verify_inputs = thread_model.timing_trace(&schedule, 1);
-                let bound = verify_inputs.len() * self.options.verify_hyperperiods.max(1) as usize;
-                let verifier = Verifier::new(
-                    &thread_model.flat,
-                    VerifyOptions::default()
-                        .with_workers(self.options.verify_workers)
-                        .with_depth_bound(bound),
-                )?;
-                let outcome =
-                    verifier.verify(&InputSpace::Scheduled(verify_inputs), &verify_properties)?;
-                verification_outcomes.insert(thread.path.clone(), outcome);
-            }
-        }
-        let verification = self.options.verify.then(|| VerificationReport {
-            workers: self.options.verify_workers.max(1),
-            hyperperiods: self.options.verify_hyperperiods.max(1),
-            properties: verify_properties.iter().map(Property::name).collect(),
-            outcomes: verification_outcomes,
-        });
-
-        let category_counts = instance
-            .category_counts()
-            .into_iter()
-            .map(|(k, v)| (k.keyword().to_string(), v))
-            .collect();
-
-        Ok(ToolChainReport {
-            root: instance.root.path.clone(),
-            component_count: instance.instance_count(),
-            category_counts,
-            task_set_summary: tasks.to_string(),
-            schedule,
-            affine_clock_count: affine.clock_count(),
-            verified_constraints: affine.verified_constraints,
-            signal_process_count: translated.model.len(),
-            signal_equation_count: translated.model.total_equations(),
-            static_analysis,
-            baseline,
-            simulations,
-            verification,
-            vcd,
-        })
+        Ok(self
+            .session()?
+            .load_instance(instance.clone())
+            .schedule()?
+            .translate()?
+            .analyze()?
+            .simulate()?
+            .verify()?
+            .into_report())
     }
 }
 
@@ -234,6 +234,7 @@ mod tests {
         assert_eq!(report.simulations.len(), 4);
         assert!(report.all_checks_passed(), "{}", report.summary());
         assert!(report.vcd.contains("$enddefinitions"));
+        assert_eq!(report.vcd_thread.as_deref(), Some("thProducer"));
         assert_eq!(report.category_counts["thread"], 4);
         assert!(report.summary().contains("hyper-period 24"));
         // Verification phase: every thread is alarm-free and deadlock-free
@@ -312,5 +313,59 @@ mod tests {
             .run_source("package broken", "nothing")
             .unwrap_err();
         assert!(matches!(err, CoreError::Aadl(_)));
+    }
+
+    #[test]
+    fn zero_options_are_rejected_instead_of_clamped() {
+        for chain in [
+            ToolChain::new().with_hyperperiods(0),
+            ToolChain::new().with_verify_workers(0),
+            ToolChain::new().with_verify_hyperperiods(0),
+            ToolChain::with_options(ToolChainOptions {
+                default_queue_size: 0,
+                ..ToolChainOptions::default()
+            }),
+        ] {
+            let err = chain.run_case_study().unwrap_err();
+            assert!(
+                matches!(err, CoreError::InvalidOptions(_)),
+                "expected InvalidOptions, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn vcd_capture_is_an_explicit_option() {
+        let off = ToolChain::new()
+            .with_verification(false)
+            .with_hyperperiods(1)
+            .with_vcd(VcdCapture::Off)
+            .run_case_study()
+            .unwrap();
+        assert!(off.vcd.is_empty());
+        assert_eq!(off.vcd_thread, None);
+        assert!(off.summary().contains("vcd capture         : none"));
+
+        let consumer = ToolChain::new()
+            .with_verification(false)
+            .with_hyperperiods(1)
+            .with_vcd(VcdCapture::Thread("thConsumer".into()))
+            .run_case_study()
+            .unwrap();
+        assert_eq!(consumer.vcd_thread.as_deref(), Some("thConsumer"));
+        assert!(consumer
+            .summary()
+            .contains("vcd capture         : thConsumer"));
+
+        // A named thread that does not exist leaves no waveform instead of
+        // silently falling back to another thread.
+        let missing = ToolChain::new()
+            .with_verification(false)
+            .with_hyperperiods(1)
+            .with_vcd(VcdCapture::Thread("thGhost".into()))
+            .run_case_study()
+            .unwrap();
+        assert!(missing.vcd.is_empty());
+        assert_eq!(missing.vcd_thread, None);
     }
 }

@@ -1,0 +1,703 @@
+//! The staged pipeline API: a [`Session`] turns each phase of the
+//! ASME2SSME tool chain into a typed artifact that can be inspected, kept,
+//! or pushed into the next phase.
+//!
+//! The chain mirrors the paper's flow one type per phase:
+//!
+//! ```text
+//! Session ─parse→ Parsed ─instantiate→ Instantiated ─schedule→ Scheduled
+//!         ─translate→ Translated ─analyze→ Analyzed ─simulate→ Simulated
+//!         ─verify→ Verified ─into_report→ ToolChainReport
+//! ```
+//!
+//! Every intermediate artifact is a plain struct with public fields — the
+//! instance model, the synthesised schedule, the affine-clock export, the
+//! flat SIGNAL model, the per-thread simulation and verification outcomes —
+//! so callers can stop after any phase, reuse an artifact across runs, or
+//! feed it to another backend. The monolithic
+//! [`ToolChain`](crate::ToolChain) is a thin facade over this chain.
+//!
+//! ```
+//! use polychrony_core::Session;
+//!
+//! // Stop after scheduling: no translation or simulation runs.
+//! let scheduled = Session::new()
+//!     .parse_case_study()?
+//!     .instantiate("sysProdCons.impl")?
+//!     .schedule()?;
+//! assert_eq!(scheduled.schedule.hyperperiod, 24);
+//! assert!(scheduled.affine.clock_count() > 0);
+//!
+//! // ... or keep going all the way to the aggregated report.
+//! let report = scheduled
+//!     .translate()?
+//!     .analyze()?
+//!     .simulate()?
+//!     .verify()?
+//!     .into_report();
+//! assert!(report.all_checks_passed());
+//! # Ok::<(), polychrony_core::CoreError>(())
+//! ```
+
+use std::collections::BTreeMap;
+
+use aadl::ast::Package;
+use aadl::case_study::PRODUCER_CONSUMER_AADL;
+use aadl::instance::{InstanceModel, ThreadInstance};
+use aadl::parse_package;
+use asme2ssme::{
+    scheduled_thread_model, task_set_from_threads, ScheduledThreadModel, TranslatedSystem,
+    Translator,
+};
+use polysim::{SimulationReport, Simulator};
+use polyverify::{InputSpace, Property, Verifier, VerifyOptions};
+use sched::{export_affine_clocks, AffineExport, BaselineReport, StaticSchedule, TaskSet};
+use signal_moc::analysis::StaticAnalysisReport;
+use signal_moc::process::Process;
+
+use crate::error::CoreError;
+use crate::options::{
+    ScheduleOptions, SessionOptions, SimulateOptions, TranslateOptions, VcdCapture,
+    VerificationOptions,
+};
+use crate::report::{ToolChainReport, VerificationReport};
+
+/// VCD timescale used by the simulation phase: the case-study processor has
+/// a 1 ms clock period, so one simulated tick is one millisecond.
+const VCD_TIMESCALE_NS: u64 = 1_000_000;
+
+/// Entry point of the staged pipeline: holds the per-phase options and
+/// opens the chain with [`Session::parse`] (or [`Session::load_instance`]
+/// for an already-instantiated model).
+///
+/// A session is cheap to create and stateless between runs: every `parse`
+/// starts an independent chain, so one configured session can front many
+/// models (this is what [`BatchRunner`](crate::BatchRunner) relies on for
+/// its shared-nothing workers).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Session {
+    options: SessionOptions,
+}
+
+impl Session {
+    /// Creates a session with default options (EDF, 4 simulated
+    /// hyper-periods, verification enabled with 2 workers).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a session with explicit options, validated upfront.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidOptions`] when any phase option is out of
+    /// range (zero workers, zero hyper-periods, zero queue size).
+    pub fn with_options(options: SessionOptions) -> Result<Self, CoreError> {
+        options.validate()?;
+        Ok(Self { options })
+    }
+
+    /// The per-phase options this session will hand to each artifact.
+    pub fn options(&self) -> &SessionOptions {
+        &self.options
+    }
+
+    /// Replaces the scheduling-phase options.
+    #[must_use]
+    pub fn schedule_options(mut self, options: ScheduleOptions) -> Self {
+        self.options.schedule = options;
+        self
+    }
+
+    /// Replaces the translation-phase options.
+    #[must_use]
+    pub fn translate_options(mut self, options: TranslateOptions) -> Self {
+        self.options.translate = options;
+        self
+    }
+
+    /// Replaces the simulation-phase options.
+    #[must_use]
+    pub fn simulate_options(mut self, options: SimulateOptions) -> Self {
+        self.options.simulate = options;
+        self
+    }
+
+    /// Replaces the verification-phase options.
+    #[must_use]
+    pub fn verification_options(mut self, options: VerificationOptions) -> Self {
+        self.options.verify = options;
+        self
+    }
+
+    /// Phase 1: parses AADL source text into a [`Parsed`] artifact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parser errors as [`CoreError::Aadl`].
+    pub fn parse(&self, source: &str) -> Result<Parsed, CoreError> {
+        Ok(Parsed {
+            options: self.options.clone(),
+            package: parse_package(source)?,
+        })
+    }
+
+    /// Phase 1 on the built-in ProducerConsumer case study of the paper
+    /// (instantiate it with root classifier `"sysProdCons.impl"`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Session::parse`].
+    pub fn parse_case_study(&self) -> Result<Parsed, CoreError> {
+        self.parse(PRODUCER_CONSUMER_AADL)
+    }
+
+    /// Opens the chain at phase 2 with an already-instantiated model
+    /// (skipping parse + instantiate), e.g. a synthetic model from
+    /// [`aadl::synth::generate_instance`].
+    pub fn load_instance(&self, instance: InstanceModel) -> Instantiated {
+        Instantiated {
+            options: self.options.clone(),
+            instance,
+        }
+    }
+}
+
+/// Phase-1 artifact: the parsed AADL package (declarative model).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Parsed {
+    options: SessionOptions,
+    /// The parsed package, with classifiers in source order.
+    pub package: Package,
+}
+
+impl Parsed {
+    /// Phase 2: instantiates `root_classifier` into an AADL instance model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates resolution/instantiation errors as [`CoreError::Aadl`].
+    pub fn instantiate(self, root_classifier: &str) -> Result<Instantiated, CoreError> {
+        let instance = InstanceModel::instantiate(&self.package, root_classifier)?;
+        Ok(Instantiated {
+            options: self.options,
+            instance,
+        })
+    }
+}
+
+/// Phase-2 artifact: the instantiated AADL model (instance tree, flattened
+/// connections, processor bindings).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instantiated {
+    options: SessionOptions,
+    /// The instance model.
+    pub instance: InstanceModel,
+}
+
+impl Instantiated {
+    /// Phase 3: extracts the periodic task set, synthesises the static
+    /// schedule over the hyper-period, runs the Cheddar-like baseline
+    /// analyses, and exports the schedule as verified affine clock
+    /// relations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Scheduling`] or [`CoreError::Affine`] when the
+    /// task set is inconsistent, unschedulable, or not synchronizable.
+    pub fn schedule(self) -> Result<Scheduled, CoreError> {
+        self.options.schedule.validate()?;
+        let threads = self.instance.threads()?;
+        let tasks = task_set_from_threads(&threads)?;
+        let schedule = StaticSchedule::synthesize(&tasks, self.options.schedule.policy)?;
+        let baseline = BaselineReport::analyze(&tasks);
+        let affine = export_affine_clocks(&tasks, &schedule)
+            .map_err(|e| CoreError::Affine(e.to_string()))?;
+        Ok(Scheduled {
+            options: self.options,
+            instance: self.instance,
+            threads,
+            tasks,
+            schedule,
+            baseline,
+            affine,
+        })
+    }
+}
+
+/// Phase-3 artifact: the scheduled task set with its affine-clock export
+/// and baseline schedulability analyses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scheduled {
+    options: SessionOptions,
+    /// The instance model the schedule was synthesised for.
+    pub instance: InstanceModel,
+    /// The thread instances with resolved timing contracts.
+    pub threads: Vec<ThreadInstance>,
+    /// The extracted periodic task set.
+    pub tasks: TaskSet,
+    /// The synthesised static non-preemptive schedule.
+    pub schedule: StaticSchedule,
+    /// Cheddar-like baseline schedulability analyses of the task set.
+    pub baseline: BaselineReport,
+    /// The affine-clock export with its verified synchronizability
+    /// constraints.
+    pub affine: AffineExport,
+}
+
+impl Scheduled {
+    /// Phase 4: runs the ASME2SSME transformation and assembles the
+    /// flattened per-thread simulation/verification units.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidOptions`] for a zero queue size,
+    /// [`CoreError::Translation`] or [`CoreError::Signal`] when the
+    /// transformation or the flattening fails.
+    pub fn translate(self) -> Result<Translated, CoreError> {
+        self.options.translate.validate()?;
+        let system = Translator::new()
+            .with_default_queue_size(self.options.translate.default_queue_size)
+            .translate(&self.instance)?;
+        // Threads without a SIGNAL process (no timing contract) are not
+        // simulation units; they are simply absent from `thread_units`.
+        let mut thread_units = Vec::new();
+        for thread in &self.threads {
+            if let Some(model) = scheduled_thread_model(&system, thread)? {
+                thread_units.push(ThreadUnit {
+                    path: thread.path.clone(),
+                    model,
+                });
+            }
+        }
+        Ok(Translated {
+            options: self.options,
+            instance: self.instance,
+            threads: self.threads,
+            tasks: self.tasks,
+            schedule: self.schedule,
+            baseline: self.baseline,
+            affine: self.affine,
+            system,
+            thread_units,
+        })
+    }
+}
+
+/// One translated thread ready for simulation/verification: its instance
+/// path (the key of the per-thread report maps) and its flattened
+/// [`ScheduledThreadModel`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadUnit {
+    /// Thread instance path (e.g. `sysProdCons.prProdCons.thProducer`).
+    pub path: String,
+    /// The flattened simulation/verification unit of the thread.
+    pub model: ScheduledThreadModel,
+}
+
+/// Phase-4 artifact: the SIGNAL process model produced by the ASME2SSME
+/// transformation, plus the flattened per-thread units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Translated {
+    options: SessionOptions,
+    /// The instance model.
+    pub instance: InstanceModel,
+    /// The thread instances with resolved timing contracts.
+    pub threads: Vec<ThreadInstance>,
+    /// The extracted periodic task set.
+    pub tasks: TaskSet,
+    /// The synthesised static schedule.
+    pub schedule: StaticSchedule,
+    /// Baseline schedulability analyses.
+    pub baseline: BaselineReport,
+    /// The affine-clock export.
+    pub affine: AffineExport,
+    /// The translated SIGNAL system with its traceability map.
+    pub system: TranslatedSystem,
+    /// The flattened simulation/verification unit of every thread that has
+    /// a SIGNAL process, in instance-tree order.
+    pub thread_units: Vec<ThreadUnit>,
+}
+
+impl Translated {
+    /// Phase 5: flattens the whole model and runs the clock calculus and
+    /// the static analyses (determinism identification, deadlock
+    /// detection).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Signal`] when flattening or an analysis fails.
+    pub fn analyze(self) -> Result<Analyzed, CoreError> {
+        let flat = self.system.model.flatten()?;
+        let static_analysis = StaticAnalysisReport::analyze(&flat)?;
+        Ok(Analyzed {
+            options: self.options,
+            instance: self.instance,
+            tasks: self.tasks,
+            schedule: self.schedule,
+            baseline: self.baseline,
+            affine: self.affine,
+            system: self.system,
+            thread_units: self.thread_units,
+            flat,
+            static_analysis,
+        })
+    }
+}
+
+/// Phase-5 artifact: the flat SIGNAL model with its clock-calculus and
+/// static-analysis results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Analyzed {
+    options: SessionOptions,
+    /// The instance model.
+    pub instance: InstanceModel,
+    /// The extracted periodic task set.
+    pub tasks: TaskSet,
+    /// The synthesised static schedule.
+    pub schedule: StaticSchedule,
+    /// Baseline schedulability analyses.
+    pub baseline: BaselineReport,
+    /// The affine-clock export.
+    pub affine: AffineExport,
+    /// The translated SIGNAL system.
+    pub system: TranslatedSystem,
+    /// The flattened per-thread simulation/verification units.
+    pub thread_units: Vec<ThreadUnit>,
+    /// The whole architecture flattened into one SIGNAL process.
+    pub flat: Process,
+    /// Clock calculus, determinism and deadlock analysis of [`Self::flat`].
+    pub static_analysis: StaticAnalysisReport,
+}
+
+impl Analyzed {
+    /// Phase 6: co-simulates every thread unit under the synthesised
+    /// schedule, capturing the VCD waveform selected by
+    /// [`SimulateOptions::vcd`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidOptions`] for a zero simulation horizon
+    /// and [`CoreError::Signal`] when a simulation step fails.
+    pub fn simulate(self) -> Result<Simulated, CoreError> {
+        self.options.simulate.validate()?;
+        let mut simulations = BTreeMap::new();
+        let mut vcd = String::new();
+        let mut vcd_thread = None;
+        for unit in &self.thread_units {
+            let inputs = unit
+                .model
+                .timing_trace(&self.schedule, self.options.simulate.hyperperiods);
+            let mut simulator = Simulator::new(&unit.model.flat)?;
+            simulator.run(&inputs)?;
+            simulations.insert(unit.path.clone(), simulator.report());
+            let capture = match &self.options.simulate.vcd {
+                VcdCapture::Off => false,
+                VcdCapture::First => vcd_thread.is_none(),
+                VcdCapture::Thread(name) => unit.model.thread_name == *name,
+            };
+            if capture {
+                vcd = simulator.to_vcd(&unit.model.thread_name, VCD_TIMESCALE_NS);
+                vcd_thread = Some(unit.model.thread_name.clone());
+            }
+        }
+        Ok(Simulated {
+            options: self.options,
+            instance: self.instance,
+            tasks: self.tasks,
+            schedule: self.schedule,
+            baseline: self.baseline,
+            affine: self.affine,
+            system: self.system,
+            thread_units: self.thread_units,
+            flat: self.flat,
+            static_analysis: self.static_analysis,
+            simulations,
+            vcd,
+            vcd_thread,
+        })
+    }
+}
+
+/// Phase-6 artifact: the per-thread co-simulation reports and the captured
+/// VCD waveform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Simulated {
+    options: SessionOptions,
+    /// The instance model.
+    pub instance: InstanceModel,
+    /// The extracted periodic task set.
+    pub tasks: TaskSet,
+    /// The synthesised static schedule.
+    pub schedule: StaticSchedule,
+    /// Baseline schedulability analyses.
+    pub baseline: BaselineReport,
+    /// The affine-clock export.
+    pub affine: AffineExport,
+    /// The translated SIGNAL system.
+    pub system: TranslatedSystem,
+    /// The flattened per-thread simulation/verification units.
+    pub thread_units: Vec<ThreadUnit>,
+    /// The whole architecture flattened into one SIGNAL process.
+    pub flat: Process,
+    /// Static analysis of the flat model.
+    pub static_analysis: StaticAnalysisReport,
+    /// Per-thread co-simulation reports (keyed by thread instance path).
+    pub simulations: BTreeMap<String, SimulationReport>,
+    /// The captured VCD waveform (empty when capture is off or the selected
+    /// thread does not exist).
+    pub vcd: String,
+    /// Name of the thread the VCD was captured from, when any.
+    pub vcd_thread: Option<String>,
+}
+
+impl Simulated {
+    /// Phase 7: exhaustively model-checks every thread unit under the same
+    /// schedule with the standard safety properties
+    /// (`never-raised(*Alarm*)`, deadlock freedom). When the verification
+    /// phase is disabled in [`VerificationOptions`], this is
+    /// [`Simulated::skip_verification`].
+    ///
+    /// A single hyper-period trace wraps around (states recurring at the
+    /// same schedule phase are deduplicated across repetitions), so the
+    /// exploration either closes — proving the periodic system for
+    /// unbounded time — or stops at the depth bound of
+    /// [`VerificationOptions::hyperperiods`] hyper-periods.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidOptions`] for zero workers or
+    /// hyper-periods and [`CoreError::Verification`] when the exploration
+    /// fails.
+    pub fn verify(self) -> Result<Verified, CoreError> {
+        self.options.verify.validate()?;
+        if !self.options.verify.enabled {
+            return Ok(self.skip_verification());
+        }
+        let properties = [
+            Property::NeverRaised("*Alarm*".to_string()),
+            Property::DeadlockFree,
+        ];
+        let mut outcomes = BTreeMap::new();
+        for unit in &self.thread_units {
+            let verify_inputs = unit.model.timing_trace(&self.schedule, 1);
+            let bound = verify_inputs.len() * self.options.verify.hyperperiods as usize;
+            let verifier = Verifier::new(
+                &unit.model.flat,
+                VerifyOptions::default()
+                    .with_workers(self.options.verify.workers)
+                    .with_depth_bound(bound),
+            )?;
+            let outcome = verifier.verify(&InputSpace::Scheduled(verify_inputs), &properties)?;
+            outcomes.insert(unit.path.clone(), outcome);
+        }
+        let verification = Some(VerificationReport {
+            workers: self.options.verify.workers,
+            hyperperiods: self.options.verify.hyperperiods,
+            properties: properties.iter().map(Property::name).collect(),
+            outcomes,
+        });
+        Ok(Verified {
+            simulated: self,
+            verification,
+        })
+    }
+
+    /// Closes the chain without running the verification phase (the
+    /// resulting report carries no [`VerificationReport`]).
+    pub fn skip_verification(self) -> Verified {
+        Verified {
+            simulated: self,
+            verification: None,
+        }
+    }
+}
+
+/// Phase-7 artifact: the completed chain, ready to be condensed into a
+/// [`ToolChainReport`]. The full [`Simulated`] artifact stays accessible
+/// through [`Verified::simulated`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verified {
+    /// The phase-6 artifact the verification ran on.
+    pub simulated: Simulated,
+    /// Per-thread verification outcomes (`None` when the phase was
+    /// disabled or skipped).
+    pub verification: Option<VerificationReport>,
+}
+
+impl Verified {
+    /// Condenses the whole chain into the aggregated [`ToolChainReport`]
+    /// (the same report the [`ToolChain`](crate::ToolChain) facade
+    /// returns).
+    pub fn into_report(self) -> ToolChainReport {
+        let simulated = self.simulated;
+        let category_counts = simulated
+            .instance
+            .category_counts()
+            .into_iter()
+            .map(|(k, v)| (k.keyword().to_string(), v))
+            .collect();
+        ToolChainReport {
+            root: simulated.instance.root.path.clone(),
+            component_count: simulated.instance.instance_count(),
+            category_counts,
+            task_set_summary: simulated.tasks.to_string(),
+            schedule: simulated.schedule,
+            affine_clock_count: simulated.affine.clock_count(),
+            verified_constraints: simulated.affine.verified_constraints,
+            signal_process_count: simulated.system.model.len(),
+            signal_equation_count: simulated.system.model.total_equations(),
+            static_analysis: simulated.static_analysis,
+            baseline: simulated.baseline,
+            simulations: simulated.simulations,
+            verification: self.verification,
+            vcd: simulated.vcd,
+            vcd_thread: simulated.vcd_thread,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched::SchedulingPolicy;
+
+    #[test]
+    fn every_intermediate_artifact_is_inspectable() {
+        let session = Session::new();
+        let parsed = session.parse_case_study().unwrap();
+        assert!(!parsed.package.classifiers.is_empty());
+        let instantiated = parsed.instantiate("sysProdCons.impl").unwrap();
+        assert_eq!(instantiated.instance.root.path, "sysProdCons");
+        let scheduled = instantiated.schedule().unwrap();
+        assert_eq!(scheduled.schedule.hyperperiod, 24);
+        assert_eq!(scheduled.tasks.len(), 4);
+        assert!(scheduled.affine.clock_count() > 0);
+        assert!(scheduled.baseline.response_times.schedulable);
+        let translated = scheduled.translate().unwrap();
+        assert_eq!(translated.thread_units.len(), 4);
+        let analyzed = translated.analyze().unwrap();
+        assert!(analyzed.static_analysis.determinism.is_deterministic());
+        assert!(analyzed.static_analysis.clock_count > 0);
+        let simulated = analyzed.simulate().unwrap();
+        assert_eq!(simulated.simulations.len(), 4);
+        assert_eq!(simulated.vcd_thread.as_deref(), Some("thProducer"));
+        let verified = simulated.verify().unwrap();
+        let verification = verified.verification.as_ref().unwrap();
+        assert_eq!(verification.outcomes.len(), 4);
+        let report = verified.into_report();
+        assert!(report.all_checks_passed(), "{}", report.summary());
+    }
+
+    #[test]
+    fn a_schedule_artifact_can_fan_out_into_many_translations() {
+        let session = Session::new();
+        let scheduled = session
+            .parse_case_study()
+            .unwrap()
+            .instantiate("sysProdCons.impl")
+            .unwrap()
+            .schedule()
+            .unwrap();
+        // The artifact is a plain value: clone it and run two independent
+        // later-phase configurations from the same schedule.
+        let a = scheduled.clone().translate().unwrap();
+        let b = scheduled.translate().unwrap();
+        assert_eq!(a.system.model.len(), b.system.model.len());
+    }
+
+    #[test]
+    fn vcd_capture_off_leaves_no_waveform() {
+        let simulated = Session::new()
+            .simulate_options(SimulateOptions {
+                hyperperiods: 1,
+                vcd: VcdCapture::Off,
+            })
+            .parse_case_study()
+            .unwrap()
+            .instantiate("sysProdCons.impl")
+            .unwrap()
+            .schedule()
+            .unwrap()
+            .translate()
+            .unwrap()
+            .analyze()
+            .unwrap()
+            .simulate()
+            .unwrap();
+        assert!(simulated.vcd.is_empty());
+        assert_eq!(simulated.vcd_thread, None);
+    }
+
+    #[test]
+    fn vcd_capture_by_name_selects_that_thread() {
+        let simulated = Session::new()
+            .simulate_options(SimulateOptions {
+                hyperperiods: 1,
+                vcd: VcdCapture::Thread("thConsumer".into()),
+            })
+            .parse_case_study()
+            .unwrap()
+            .instantiate("sysProdCons.impl")
+            .unwrap()
+            .schedule()
+            .unwrap()
+            .translate()
+            .unwrap()
+            .analyze()
+            .unwrap()
+            .simulate()
+            .unwrap();
+        assert_eq!(simulated.vcd_thread.as_deref(), Some("thConsumer"));
+        assert!(simulated.vcd.contains("thConsumer"));
+    }
+
+    #[test]
+    fn invalid_phase_options_fail_at_the_owning_phase() {
+        let session = Session::new().simulate_options(SimulateOptions {
+            hyperperiods: 0,
+            vcd: VcdCapture::Off,
+        });
+        // Earlier phases still run fine...
+        let analyzed = session
+            .parse_case_study()
+            .unwrap()
+            .instantiate("sysProdCons.impl")
+            .unwrap()
+            .schedule()
+            .unwrap()
+            .translate()
+            .unwrap()
+            .analyze()
+            .unwrap();
+        // ... and the owning phase rejects the zero horizon.
+        let err = analyzed.simulate().unwrap_err();
+        assert!(matches!(err, CoreError::InvalidOptions(_)), "{err}");
+    }
+
+    #[test]
+    fn with_options_validates_upfront() {
+        let mut options = SessionOptions::default();
+        options.verify.workers = 0;
+        assert!(matches!(
+            Session::with_options(options),
+            Err(CoreError::InvalidOptions(_))
+        ));
+    }
+
+    #[test]
+    fn alternate_policy_flows_through_the_chain() {
+        let scheduled = Session::new()
+            .schedule_options(ScheduleOptions {
+                policy: SchedulingPolicy::RateMonotonic,
+            })
+            .parse_case_study()
+            .unwrap()
+            .instantiate("sysProdCons.impl")
+            .unwrap()
+            .schedule()
+            .unwrap();
+        assert_eq!(scheduled.schedule.policy, SchedulingPolicy::RateMonotonic);
+        assert!(scheduled.schedule.is_valid());
+    }
+}

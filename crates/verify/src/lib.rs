@@ -7,7 +7,7 @@
 //! crate closes that gap with an explicit-state model checker in the spirit
 //! of the real-time AADL model-checking line of work (Berthomieu et al.):
 //!
-//! * a canonical execution [`State`](state::State) — the memory of every
+//! * a canonical execution [`State`] — the memory of every
 //!   `delay`/`cell` operator plus the scheduler phase — hashed through a
 //!   byte-level encoding ([`state::StateKey`]);
 //! * a successor generator that enumerates the feasible input valuations of

@@ -4,18 +4,23 @@
 //! ProducerConsumer case study without writing any Rust:
 //!
 //! ```bash
-//! polychrony analyze  [--policy rm|edf|fp]
+//! polychrony analyze  [--policy rm|edf|fp] [--stop-after PHASE]
 //! polychrony simulate [--hyperperiods N] [--vcd]
 //! polychrony verify   [--workers N] [--hyperperiods N] [--inject-deadline-bug]
+//! polychrony batch    [--jobs N] [--workers N]
 //! ```
 //!
-//! Exit codes: `0` success, `1` usage error, `2` a check failed (invalid
-//! schedule, alarm during simulation, or a verification violation).
+//! Exit codes: `0` success, `1` usage error (including out-of-range option
+//! values), `2` a check failed (invalid schedule, alarm during simulation,
+//! a verification violation, or a failed batch job).
 
 use std::process::ExitCode;
 
+use polychrony_core::aadl::synth::SyntheticSpec;
 use polychrony_core::sched::SchedulingPolicy;
-use polychrony_core::{CoreError, ToolChain};
+use polychrony_core::{
+    BatchJob, BatchRunner, CoreError, ScheduleOptions, Session, SessionOptions, ToolChain,
+};
 
 /// A CLI failure: a usage error (exit code 1) or a runtime error (exit
 /// code 2), matching the contract in the module documentation.
@@ -26,7 +31,12 @@ enum CliError {
 
 impl From<CoreError> for CliError {
     fn from(e: CoreError) -> Self {
-        CliError::Run(e.to_string())
+        match e {
+            // An out-of-range option is a command-line mistake (exit 1),
+            // not a failed check of the model (exit 2).
+            CoreError::InvalidOptions(msg) => CliError::Usage(msg),
+            other => CliError::Run(other.to_string()),
+        }
     }
 }
 
@@ -40,6 +50,7 @@ fn main() -> ExitCode {
         "analyze" => analyze(&args[1..]),
         "simulate" => simulate(&args[1..]),
         "verify" => verify(&args[1..]),
+        "batch" => batch(&args[1..]),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -63,17 +74,24 @@ const USAGE: &str = "polychrony — polychronous analysis and validation of the 
 ProducerConsumer case study (DATE 2013)
 
 USAGE:
-    polychrony analyze  [--policy rm|edf|fp]
+    polychrony analyze  [--policy rm|edf|fp] [--stop-after PHASE]
     polychrony simulate [--hyperperiods N] [--vcd]
     polychrony verify   [--workers N] [--hyperperiods N] [--inject-deadline-bug]
+    polychrony batch    [--jobs N] [--workers N]
 
 COMMANDS:
-    analyze    parse, schedule, translate and statically analyse the model
+    analyze    parse, schedule, translate and statically analyse the model;
+               --stop-after parse|instantiate|schedule|translate|analyze
+               halts the staged pipeline after that phase and prints its
+               artifact
     simulate   co-simulate the scheduled threads and report alarm instants
     verify     exhaustively model-check every thread (alarm + deadlock
                freedom); with --inject-deadline-bug, inject a deadline
                overrun into the producer schedule, print the counterexample
-               and confirm it by simulator replay";
+               and confirm it by simulator replay
+    batch      run N models (the case study + synthetic workloads) through
+               the whole pipeline concurrently on a bounded worker pool and
+               print one timed report line per job";
 
 /// Rejects any argument that is not in the subcommand's allowed flag list
 /// (`(flag, takes_value)` pairs), so a typo like `--hyperperiod` fails
@@ -111,7 +129,7 @@ fn has_flag(args: &[String], flag: &str) -> bool {
 }
 
 fn analyze(args: &[String]) -> Result<ExitCode, CliError> {
-    check_flags(args, &[("--policy", true)])?;
+    check_flags(args, &[("--policy", true), ("--stop-after", true)])?;
     let policy = match flag_value(args, "--policy", "edf".to_string())?.as_str() {
         "rm" => SchedulingPolicy::RateMonotonic,
         "edf" => SchedulingPolicy::EarliestDeadlineFirst,
@@ -122,6 +140,10 @@ fn analyze(args: &[String]) -> Result<ExitCode, CliError> {
             )))
         }
     };
+    let stop_after = flag_value(args, "--stop-after", String::new())?;
+    if !stop_after.is_empty() {
+        return analyze_staged(policy, &stop_after);
+    }
     let report = ToolChain::new()
         .with_policy(policy)
         .with_verification(false)
@@ -131,6 +153,128 @@ fn analyze(args: &[String]) -> Result<ExitCode, CliError> {
     println!("-- task set --\n{}", report.task_set_summary);
     println!("-- static schedule --\n{}", report.schedule.to_table());
     Ok(exit_for(report.all_checks_passed()))
+}
+
+/// Runs the staged pipeline up to (and including) `stop_after`, printing
+/// the artifact of that phase.
+fn analyze_staged(policy: SchedulingPolicy, stop_after: &str) -> Result<ExitCode, CliError> {
+    const PHASES: [&str; 5] = ["parse", "instantiate", "schedule", "translate", "analyze"];
+    if !PHASES.contains(&stop_after) {
+        return Err(CliError::Usage(format!(
+            "unknown phase `{stop_after}` (use {})",
+            PHASES.join(", ")
+        )));
+    }
+    let session = Session::new().schedule_options(ScheduleOptions { policy });
+
+    let parsed = session.parse_case_study()?;
+    if stop_after == "parse" {
+        println!(
+            "parsed package `{}`: {} classifier(s)",
+            parsed.package.name,
+            parsed.package.classifiers.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let instantiated = parsed.instantiate("sysProdCons.impl")?;
+    if stop_after == "instantiate" {
+        println!(
+            "instantiated `{}`: {} component instance(s)",
+            instantiated.instance.root.path,
+            instantiated.instance.instance_count()
+        );
+        for (category, count) in instantiated.instance.category_counts() {
+            println!("  {:<10} {count}", category.keyword());
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let scheduled = instantiated.schedule()?;
+    if stop_after == "schedule" {
+        println!("-- task set --\n{}", scheduled.tasks);
+        println!("-- static schedule --\n{}", scheduled.schedule.to_table());
+        println!(
+            "affine clocks: {} exported, {} constraint(s) verified",
+            scheduled.affine.clock_count(),
+            scheduled.affine.verified_constraints
+        );
+        return Ok(exit_for(scheduled.schedule.is_valid()));
+    }
+
+    let translated = scheduled.translate()?;
+    if stop_after == "translate" {
+        println!(
+            "translated {} SIGNAL process(es), {} equation(s), {} scheduled thread unit(s)",
+            translated.system.model.len(),
+            translated.system.model.total_equations(),
+            translated.thread_units.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let analyzed = translated.analyze()?;
+    println!(
+        "clocks      : {} classes, {} master(s), hierarchy depth {}",
+        analyzed.static_analysis.clock_count,
+        analyzed.static_analysis.master_clock_count,
+        analyzed.static_analysis.hierarchy_depth
+    );
+    println!(
+        "determinism : {}",
+        if analyzed.static_analysis.determinism.is_deterministic() {
+            "deterministic"
+        } else {
+            "NON-DETERMINISTIC"
+        }
+    );
+    println!(
+        "deadlock    : {}",
+        if analyzed.static_analysis.causality_cycle.is_none() {
+            "none"
+        } else {
+            "CYCLE FOUND"
+        }
+    );
+    let ok = analyzed.static_analysis.causality_cycle.is_none()
+        && analyzed.static_analysis.determinism.is_deterministic();
+    Ok(exit_for(ok))
+}
+
+/// Runs N models (the case study plus synthetic workloads) through the
+/// whole pipeline on a bounded worker pool.
+fn batch(args: &[String]) -> Result<ExitCode, CliError> {
+    check_flags(args, &[("--jobs", true), ("--workers", true)])?;
+    let job_count: usize = flag_value(args, "--jobs", 8)?;
+    let workers: usize = flag_value(args, "--workers", 4)?;
+    if job_count == 0 {
+        return Err(CliError::Usage("--jobs must be at least 1".into()));
+    }
+    // Per-job options: one simulated hyper-period, no waveform, sequential
+    // in-job verification (the parallelism lives at the job level).
+    let options = SessionOptions::quick();
+    let jobs: Vec<BatchJob> = (0..job_count)
+        .map(|i| {
+            let job = if i == 0 {
+                BatchJob::case_study("prodcons-case-study")
+            } else {
+                let threads = [4, 6, 8][(i - 1) % 3];
+                BatchJob::synthetic(
+                    format!("synthetic-{threads}t-{i}"),
+                    &SyntheticSpec::new(threads, 1),
+                )
+            };
+            job.with_options(options.clone())
+        })
+        .collect();
+    let results = BatchRunner::new().with_workers(workers).run(&jobs)?;
+    println!(
+        "batch verification: {} model(s) on {} worker(s)\n",
+        results.reports.len(),
+        results.workers
+    );
+    print!("{}", results.summary());
+    Ok(exit_for(results.all_passed()))
 }
 
 fn simulate(args: &[String]) -> Result<ExitCode, CliError> {

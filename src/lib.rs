@@ -3,10 +3,12 @@
 //!
 //! This package hosts the workspace-level integration tests (`tests/`), the
 //! runnable examples (`examples/`) and the `polychrony` command-line front
-//! end (`src/bin/polychrony.rs`, with `analyze`, `simulate` and `verify`
-//! subcommands over the built-in case study), and re-exports the whole
-//! public API of [`polychrony_core`] — including the [`polyverify`] model
-//! checker — so that downstream users can depend on a single crate:
+//! end (`src/bin/polychrony.rs`, with `analyze`, `simulate`, `verify` and
+//! `batch` subcommands over the built-in case study and synthetic
+//! workloads), and re-exports the whole public API of [`polychrony_core`] —
+//! the staged [`Session`] pipeline, the [`ToolChain`] facade, the
+//! [`BatchRunner`] worker pool and the [`polyverify`] model checker — so
+//! that downstream users can depend on a single crate:
 //!
 //! ```
 //! use polychrony::ToolChain;

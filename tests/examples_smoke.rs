@@ -1,5 +1,5 @@
-//! Smoke tests that run each of the six `examples/` binaries end to end, so
-//! example rot is caught by `cargo test` and CI rather than by users.
+//! Smoke tests that run each of the seven `examples/` binaries end to end,
+//! so example rot is caught by `cargo test` and CI rather than by users.
 //!
 //! Each test shells out to the same `cargo` that is driving this test run
 //! (via the `CARGO` environment variable) and asserts the example exits
@@ -53,6 +53,71 @@ fn example_clock_scalability_runs() {
 #[test]
 fn example_verification_runs() {
     run_example("verification");
+}
+
+#[test]
+fn example_batch_verification_runs() {
+    run_example("batch_verification");
+}
+
+/// The CLI's batch subcommand must complete every job with all checks
+/// passing (exit code 0) and print one report line per job.
+#[test]
+fn cli_batch_completes_every_job() {
+    let cargo = env!("CARGO");
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let output = std::process::Command::new(cargo)
+        .args([
+            "run",
+            "--quiet",
+            "--bin",
+            "polychrony",
+            "--",
+            "batch",
+            "--jobs",
+            "4",
+            "--workers",
+            "2",
+        ])
+        .current_dir(manifest_dir)
+        .output()
+        .expect("failed to spawn the polychrony CLI");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "CLI exited with {:?}\n--- stdout ---\n{stdout}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    assert!(stdout.contains("prodcons-case-study"), "{stdout}");
+    assert!(stdout.contains("0 failure(s)"), "{stdout}");
+}
+
+/// `analyze --stop-after` halts the staged pipeline at the named phase.
+#[test]
+fn cli_analyze_stop_after_schedule_prints_the_schedule_only() {
+    let cargo = env!("CARGO");
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let output = std::process::Command::new(cargo)
+        .args([
+            "run",
+            "--quiet",
+            "--bin",
+            "polychrony",
+            "--",
+            "analyze",
+            "--stop-after",
+            "schedule",
+        ])
+        .current_dir(manifest_dir)
+        .output()
+        .expect("failed to spawn the polychrony CLI");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(output.status.success(), "{stdout}");
+    assert!(stdout.contains("static schedule"), "{stdout}");
+    assert!(stdout.contains("affine clocks"), "{stdout}");
+    // Later phases did not run: no simulation or verification output.
+    assert!(!stdout.contains("simulation"), "{stdout}");
 }
 
 /// The CLI's verification subcommand must find and replay the injected

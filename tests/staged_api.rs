@@ -1,0 +1,215 @@
+//! API-equivalence and batch-determinism guarantees of the staged pipeline:
+//! the `Session` chain and the `ToolChain` facade produce identical
+//! `ToolChainReport`s, `BatchRunner` verdicts are deterministic and
+//! order-stable regardless of the worker count, and out-of-range options
+//! are rejected upfront instead of silently clamped.
+
+use polychrony_core::aadl::case_study::PRODUCER_CONSUMER_AADL;
+use polychrony_core::aadl::synth::{generate_instance, generate_source, SyntheticSpec};
+use polychrony_core::{
+    BatchJob, BatchRunner, CoreError, SessionOptions, ToolChain, ToolChainOptions,
+};
+
+/// Fast per-job options for the batch tests: one simulated hyper-period, no
+/// waveform, sequential in-job verification.
+fn quick_job_options() -> SessionOptions {
+    SessionOptions::quick()
+}
+
+#[test]
+fn staged_session_and_toolchain_facade_agree_on_the_case_study() {
+    let chain = ToolChain::new();
+    let monolithic = chain.run_case_study().unwrap();
+    let staged = chain
+        .session()
+        .unwrap()
+        .parse(PRODUCER_CONSUMER_AADL)
+        .unwrap()
+        .instantiate("sysProdCons.impl")
+        .unwrap()
+        .schedule()
+        .unwrap()
+        .translate()
+        .unwrap()
+        .analyze()
+        .unwrap()
+        .simulate()
+        .unwrap()
+        .verify()
+        .unwrap()
+        .into_report();
+    assert_eq!(monolithic, staged);
+    assert!(staged.all_checks_passed(), "{}", staged.summary());
+}
+
+#[test]
+fn staged_session_and_toolchain_facade_agree_on_a_synthetic_model() {
+    let options = ToolChainOptions {
+        hyperperiods: 1,
+        default_queue_size: 2,
+        verify_workers: 1,
+        ..ToolChainOptions::default()
+    };
+    let instance = generate_instance(&SyntheticSpec::new(6, 1)).unwrap();
+    let chain = ToolChain::with_options(options);
+    let monolithic = chain.run_instance(&instance).unwrap();
+    let staged = chain
+        .session()
+        .unwrap()
+        .load_instance(instance)
+        .schedule()
+        .unwrap()
+        .translate()
+        .unwrap()
+        .analyze()
+        .unwrap()
+        .simulate()
+        .unwrap()
+        .verify()
+        .unwrap()
+        .into_report();
+    assert_eq!(monolithic, staged);
+}
+
+#[test]
+fn intermediate_artifacts_are_available_without_running_later_phases() {
+    // Stop after scheduling: the instance, task set, schedule, baseline and
+    // affine export are all inspectable with no translation, simulation or
+    // verification having run.
+    let scheduled = ToolChain::new()
+        .session()
+        .unwrap()
+        .parse(PRODUCER_CONSUMER_AADL)
+        .unwrap()
+        .instantiate("sysProdCons.impl")
+        .unwrap()
+        .schedule()
+        .unwrap();
+    assert_eq!(scheduled.instance.root.path, "sysProdCons");
+    assert_eq!(scheduled.schedule.hyperperiod, 24);
+    assert!(scheduled.schedule.is_valid());
+    assert!(scheduled.affine.clock_count() > 0);
+    assert!(scheduled.affine.verified_constraints > 0);
+    assert!(scheduled.baseline.response_times.schedulable);
+
+    // One more phase: the flat SIGNAL model and the static analyses, still
+    // without simulating.
+    let analyzed = scheduled.translate().unwrap().analyze().unwrap();
+    assert_eq!(analyzed.thread_units.len(), 4);
+    assert!(analyzed.static_analysis.determinism.is_deterministic());
+    assert!(analyzed.static_analysis.causality_cycle.is_none());
+}
+
+#[test]
+fn a_reused_schedule_artifact_feeds_two_simulation_configurations() {
+    let analyzed = ToolChain::new()
+        .session()
+        .unwrap()
+        .parse(PRODUCER_CONSUMER_AADL)
+        .unwrap()
+        .instantiate("sysProdCons.impl")
+        .unwrap()
+        .schedule()
+        .unwrap()
+        .translate()
+        .unwrap()
+        .analyze()
+        .unwrap();
+    // The artifact is a value: clone once, simulate twice, no re-parse /
+    // re-schedule / re-translate — and the runs agree.
+    let one = analyzed.clone().simulate().unwrap();
+    let other = analyzed.simulate().unwrap();
+    assert_eq!(one.simulations.len(), other.simulations.len());
+    for (thread, sim) in &one.simulations {
+        assert_eq!(sim, &other.simulations[thread], "{thread}");
+    }
+}
+
+#[test]
+fn batch_reports_are_order_stable_and_worker_count_independent() {
+    // >= 8 concurrent jobs: the case study plus seven synthetic workloads.
+    let jobs: Vec<BatchJob> = (0..8)
+        .map(|i| {
+            let job = if i == 0 {
+                BatchJob::case_study("case-study")
+            } else {
+                let threads = [4, 6, 8][(i - 1) % 3];
+                BatchJob::synthetic(format!("job-{i}"), &SyntheticSpec::new(threads, 1))
+            };
+            job.with_options(quick_job_options())
+        })
+        .collect();
+
+    let sequential = BatchRunner::new().with_workers(1).run(&jobs).unwrap();
+    let parallel = BatchRunner::new().with_workers(4).run(&jobs).unwrap();
+
+    assert_eq!(sequential.reports.len(), 8);
+    assert_eq!(parallel.reports.len(), 8);
+    assert!(sequential.all_passed(), "{}", sequential.summary());
+    assert!(parallel.all_passed(), "{}", parallel.summary());
+
+    for (seq, par) in sequential.reports.iter().zip(&parallel.reports) {
+        // Order stability: reports come back in submission order.
+        assert_eq!(seq.index, par.index);
+        assert_eq!(seq.job, par.job);
+        assert_eq!(seq.job, jobs[seq.index].name);
+        // Determinism: the full report (schedule, verdicts, simulation
+        // stats) is identical whatever the worker count; only the wall
+        // clock differs.
+        assert_eq!(seq.outcome, par.outcome, "job {}", seq.job);
+    }
+}
+
+#[test]
+fn batch_jobs_carry_their_own_options() {
+    // Two jobs over the same source with different policies: shared-nothing
+    // sessions mean each report reflects its own job's options.
+    let mut rm = quick_job_options();
+    rm.schedule.policy = polychrony_core::sched::SchedulingPolicy::RateMonotonic;
+    let jobs = vec![
+        BatchJob::new(
+            "edf",
+            generate_source(&SyntheticSpec::new(4, 1)),
+            "top.impl",
+        )
+        .with_options(quick_job_options()),
+        BatchJob::new("rm", generate_source(&SyntheticSpec::new(4, 1)), "top.impl")
+            .with_options(rm),
+    ];
+    let results = BatchRunner::new().with_workers(2).run(&jobs).unwrap();
+    let edf_report = results.reports[0].outcome.as_ref().unwrap();
+    let rm_report = results.reports[1].outcome.as_ref().unwrap();
+    assert_eq!(
+        edf_report.schedule.policy,
+        polychrony_core::sched::SchedulingPolicy::EarliestDeadlineFirst
+    );
+    assert_eq!(
+        rm_report.schedule.policy,
+        polychrony_core::sched::SchedulingPolicy::RateMonotonic
+    );
+}
+
+#[test]
+fn zero_workers_and_zero_hyperperiods_are_rejected() {
+    // Facade: every zero-valued knob fails with InvalidOptions before any
+    // phase runs (regression for the old silent `.max(1)` clamping).
+    for chain in [
+        ToolChain::new().with_hyperperiods(0),
+        ToolChain::new().with_verify_workers(0),
+        ToolChain::new().with_verify_hyperperiods(0),
+    ] {
+        let err = chain.run_case_study().unwrap_err();
+        assert!(
+            matches!(err, CoreError::InvalidOptions(_)),
+            "expected InvalidOptions, got {err}"
+        );
+    }
+
+    // Runner: a zero-sized pool is a configuration error, not one worker.
+    let err = BatchRunner::new().with_workers(0).run(&[]).unwrap_err();
+    assert!(matches!(err, CoreError::InvalidOptions(_)), "{err}");
+
+    // Demo entry point: no silent clamp either.
+    let err = polychrony_core::deadline_overrun_demo(0).unwrap_err();
+    assert!(matches!(err, CoreError::InvalidOptions(_)), "{err}");
+}

@@ -2,7 +2,7 @@
 //!
 //! This container has no access to crates.io, so the workspace vendors a
 //! minimal stand-in: the `Serialize`/`Deserialize` derive macros expand to
-//! nothing, and the companion [`serde`] stub crate provides blanket trait
+//! nothing, and the companion `serde` stub crate provides blanket trait
 //! implementations so every `#[derive(Serialize, Deserialize)]` in the tree
 //! keeps compiling. Swap the `vendor/` path dependencies for the real
 //! crates-io packages once network access is available — no source change
