@@ -2,9 +2,10 @@
 //! by the CLI and the examples so the recipe cannot drift between them.
 
 use aadl::case_study::producer_consumer_instance;
-use asme2ssme::{thread_under_schedule, ThreadUnderScheduleError};
+use asme2ssme::{system_under_schedule, thread_under_schedule, ThreadUnderScheduleError};
 use polyverify::{
-    inject_deadline_overrun, InjectedFault, InputSpace, Property, ReplayReport,
+    inject_connection_latency, inject_deadline_overrun, InjectedFault, InjectedLinkFault,
+    InputSpace, PortLink, ProductComponent, ProductSystem, ProductVerifier, Property, ReplayReport,
     VerificationOutcome, Verifier, VerifyOptions,
 };
 use sched::SchedulingPolicy;
@@ -105,6 +106,108 @@ pub fn deadline_overrun_demo(hyperperiods: u64) -> Result<DeadlineOverrunDemo, C
     })
 }
 
+/// The injected connection-latency scenario: the case-study thread product
+/// under its EDF schedule, with the `cProdStartTimer` connection (producer →
+/// producer timer) delayed so the sent start-timer event misses the timer
+/// thread's next input freeze. The cross-thread
+/// [`Property::EndToEndResponse`] over the link — an emission must be
+/// frozen by the receiver within one of its periods — is violated on the
+/// product, while per-thread verification (which never sees the connection)
+/// still passes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnectionLatencyDemo {
+    /// The wired thread product with the tampered link.
+    pub system: ProductSystem,
+    /// Where the fault was injected.
+    pub fault: InjectedLinkFault,
+    /// The end-to-end response property that catches the fault.
+    pub property: Property,
+    /// The verification depth bound in ticks (initially one joint
+    /// hyper-period; scale it to explore more repetitions).
+    pub horizon: usize,
+}
+
+impl ConnectionLatencyDemo {
+    /// Model-checks the tampered product for the end-to-end response (plus
+    /// alarm freedom, which the fault must *not* break — that is the point:
+    /// the bug is invisible to the per-thread alarm) with `workers`
+    /// threads, and replays any counterexample in the lockstep
+    /// co-simulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates verifier and replay errors as [`CoreError`].
+    pub fn verify_and_replay(
+        &self,
+        workers: usize,
+    ) -> Result<(VerificationOutcome, Option<ReplayReport>), CoreError> {
+        let verifier = ProductVerifier::new(
+            self.system.clone(),
+            VerifyOptions::default()
+                .with_workers(workers)
+                .with_depth_bound(self.horizon),
+        )?;
+        let outcome = verifier.verify(&[
+            self.property.clone(),
+            Property::NeverRaised("*Alarm*".into()),
+        ])?;
+        let replay = match outcome.violations().next() {
+            Some((_, cex)) => Some(verifier.replay(cex)?),
+            None => None,
+        };
+        Ok((outcome, replay))
+    }
+}
+
+/// Builds the connection-latency demo: the full case-study thread product,
+/// with `added_latency` extra ticks injected on the `cProdStartTimer`
+/// connection. An extra latency of the producer-timer period (8 ticks) is
+/// enough to push every delivery past the receiver's freeze.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidOptions`] when `added_latency` is 0, and
+/// propagates any tool-chain phase error as a [`CoreError`].
+pub fn connection_latency_demo(added_latency: usize) -> Result<ConnectionLatencyDemo, CoreError> {
+    if added_latency == 0 {
+        return Err(CoreError::InvalidOptions(
+            "demo.added_latency must be at least 1 (got 0)".into(),
+        ));
+    }
+    let instance = producer_consumer_instance()?;
+    let (models, schedule, connections) =
+        system_under_schedule(&instance, SchedulingPolicy::EarliestDeadlineFirst)?;
+    let components: Vec<ProductComponent> = models
+        .iter()
+        .map(|model| ProductComponent {
+            name: model.thread_name.clone(),
+            process: model.flat.clone(),
+            schedule: model.timing_trace(&schedule, 1),
+        })
+        .collect();
+    let mut links: Vec<PortLink> = connections.iter().map(crate::port_link_for).collect();
+    let fault = inject_connection_latency(&mut links, "cProdStartTimer", added_latency)
+        .ok_or_else(|| {
+            CoreError::Scheduling(
+                "case study has no cProdStartTimer connection to tamper with".into(),
+            )
+        })?;
+    let tampered = links
+        .iter()
+        .find(|l| l.name == fault.link)
+        .expect("the tampered link exists");
+    let tasks = asme2ssme::task_set_from_threads(&instance.threads()?)?;
+    let property = crate::end_to_end_response_for(tampered, &tasks, schedule.hyperperiod);
+    let horizon = (schedule.hyperperiod as usize).max(1);
+    let system = ProductSystem::new(components, links)?;
+    Ok(ConnectionLatencyDemo {
+        system,
+        fault,
+        property,
+        horizon,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,6 +226,36 @@ mod tests {
         assert!(demo.fault.deadline_tick > demo.fault.resume_moved_from);
         let (outcome, replay) = demo.verify_and_replay(2).unwrap();
         assert!(!outcome.is_violation_free(), "{}", outcome.summary());
+        let replay = replay.expect("violation carries a replay");
+        assert!(replay.reproduced, "{}", replay.detail);
+    }
+
+    #[test]
+    fn zero_added_latency_is_rejected() {
+        assert!(matches!(
+            connection_latency_demo(0),
+            Err(CoreError::InvalidOptions(_))
+        ));
+    }
+
+    #[test]
+    fn connection_demo_is_found_and_replays_in_lockstep() {
+        let demo = connection_latency_demo(8).unwrap();
+        assert_eq!(demo.fault.link, "cProdStartTimer");
+        assert_eq!(demo.fault.added_latency, 8);
+        let (outcome, replay) = demo.verify_and_replay(2).unwrap();
+        // The end-to-end response is violated ...
+        assert!(
+            outcome.verdicts[0].verdict.is_violated(),
+            "{}",
+            outcome.summary()
+        );
+        // ... while the alarm (the only per-thread-visible property) is not.
+        assert!(
+            outcome.verdicts[1].verdict.passed(),
+            "{}",
+            outcome.summary()
+        );
         let replay = replay.expect("violation carries a replay");
         assert!(replay.reproduced, "{}", replay.detail);
     }

@@ -72,16 +72,19 @@ pub mod report;
 pub mod session;
 
 pub use batch::{BatchJob, BatchReport, BatchResults, BatchRunner};
-pub use demo::{deadline_overrun_demo, DeadlineOverrunDemo};
+pub use demo::{
+    connection_latency_demo, deadline_overrun_demo, ConnectionLatencyDemo, DeadlineOverrunDemo,
+};
 pub use error::CoreError;
 pub use options::{
     ScheduleOptions, SessionOptions, SimulateOptions, TranslateOptions, VcdCapture,
-    VerificationOptions,
+    VerificationOptions, VerificationScope,
 };
 pub use pipeline::{ToolChain, ToolChainOptions};
-pub use report::{ToolChainReport, VerificationReport};
+pub use report::{ProductVerificationReport, ToolChainReport, VerificationReport};
 pub use session::{
-    Analyzed, Instantiated, Parsed, Scheduled, Session, Simulated, ThreadUnit, Translated, Verified,
+    end_to_end_response_for, port_link_for, Analyzed, Instantiated, Parsed, Scheduled, Session,
+    Simulated, ThreadUnit, Translated, Verified, VerifiedProduct,
 };
 
 // Re-export the main entry points of every layer so that downstream users

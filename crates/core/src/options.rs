@@ -132,6 +132,22 @@ impl SimulateOptions {
     }
 }
 
+/// Which state spaces the verification phase explores.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VerificationScope {
+    /// Each thread is verified against its own scheduled trace in
+    /// isolation. Cross-thread properties (event-port latency) are
+    /// invisible at this scope.
+    #[default]
+    PerThread,
+    /// Per-thread verification *plus* the synchronous product of the
+    /// communicating threads: event-port connections become synchronising
+    /// actions, every connection gets an end-to-end response property
+    /// bounded by its receiver's period, and the joint verdict is surfaced
+    /// as a [`VerifiedProduct`](crate::VerifiedProduct) artifact.
+    Product,
+}
+
 /// Options of the verification phase ([`Simulated::verify`](crate::Simulated::verify)):
 /// the explicit-state exploration of every scheduled thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -146,6 +162,9 @@ pub struct VerificationOptions {
     /// Number of hyper-periods the exploration covers before the depth
     /// bound stops it. Must be at least 1.
     pub hyperperiods: u64,
+    /// Whether the phase also verifies the product of the communicating
+    /// threads.
+    pub scope: VerificationScope,
 }
 
 impl Default for VerificationOptions {
@@ -154,6 +173,7 @@ impl Default for VerificationOptions {
             enabled: true,
             workers: 2,
             hyperperiods: 1,
+            scope: VerificationScope::PerThread,
         }
     }
 }

@@ -13,7 +13,7 @@ use aadl::instance::InstanceModel;
 use crate::error::CoreError;
 use crate::options::{
     ScheduleOptions, SessionOptions, SimulateOptions, TranslateOptions, VcdCapture,
-    VerificationOptions,
+    VerificationOptions, VerificationScope,
 };
 use crate::report::ToolChainReport;
 use crate::session::Session;
@@ -44,6 +44,9 @@ pub struct ToolChainOptions {
     /// Number of hyper-periods the verification explores exhaustively.
     /// Must be at least 1.
     pub verify_hyperperiods: u64,
+    /// Whether the verification phase also explores the product of the
+    /// communicating threads.
+    pub verify_scope: VerificationScope,
 }
 
 impl Default for ToolChainOptions {
@@ -56,6 +59,7 @@ impl Default for ToolChainOptions {
             verify: true,
             verify_workers: 2,
             verify_hyperperiods: 1,
+            verify_scope: VerificationScope::PerThread,
         }
     }
 }
@@ -79,6 +83,7 @@ impl ToolChainOptions {
                 enabled: self.verify,
                 workers: self.verify_workers,
                 hyperperiods: self.verify_hyperperiods,
+                scope: self.verify_scope,
             },
         }
     }
@@ -153,6 +158,14 @@ impl ToolChain {
     #[must_use]
     pub fn with_verify_hyperperiods(mut self, hyperperiods: u64) -> Self {
         self.options.verify_hyperperiods = hyperperiods;
+        self
+    }
+
+    /// Selects the verification scope (per-thread only, or per-thread plus
+    /// the product of the communicating threads).
+    #[must_use]
+    pub fn with_verify_scope(mut self, scope: VerificationScope) -> Self {
+        self.options.verify_scope = scope;
         self
     }
 

@@ -46,11 +46,14 @@ use aadl::case_study::PRODUCER_CONSUMER_AADL;
 use aadl::instance::{InstanceModel, ThreadInstance};
 use aadl::parse_package;
 use asme2ssme::{
-    scheduled_thread_model, task_set_from_threads, ScheduledThreadModel, TranslatedSystem,
-    Translator,
+    scheduled_thread_model, task_set_from_threads, thread_connections, ScheduledThreadModel,
+    ThreadConnection, TranslatedSystem, Translator,
 };
 use polysim::{SimulationReport, Simulator};
-use polyverify::{InputSpace, Property, Verifier, VerifyOptions};
+use polyverify::{
+    InputSpace, PortLink, ProductComponent, ProductSystem, ProductVerifier, Property,
+    VerificationOutcome, Verifier, VerifyOptions,
+};
 use sched::{export_affine_clocks, AffineExport, BaselineReport, StaticSchedule, TaskSet};
 use signal_moc::analysis::StaticAnalysisReport;
 use signal_moc::process::Process;
@@ -58,13 +61,48 @@ use signal_moc::process::Process;
 use crate::error::CoreError;
 use crate::options::{
     ScheduleOptions, SessionOptions, SimulateOptions, TranslateOptions, VcdCapture,
-    VerificationOptions,
+    VerificationOptions, VerificationScope,
 };
-use crate::report::{ToolChainReport, VerificationReport};
+use crate::report::{ProductVerificationReport, ToolChainReport, VerificationReport};
 
 /// VCD timescale used by the simulation phase: the case-study processor has
 /// a 1 ms clock period, so one simulated tick is one millisecond.
 const VCD_TIMESCALE_NS: u64 = 1_000_000;
+
+/// Maps an extracted AADL thread connection onto its product link, using
+/// the conventional signal names of the translation. A `Timing => Delayed`
+/// connection delivers one tick later. This is the single conversion rule
+/// shared by the pipeline's product phase, the demos and the test suites,
+/// so the wiring cannot drift between them.
+pub fn port_link_for(connection: &ThreadConnection) -> PortLink {
+    let link = PortLink::event(
+        connection.name.clone(),
+        connection.source_thread.clone(),
+        &connection.source_port,
+        connection.target_thread.clone(),
+        &connection.target_port,
+    );
+    if connection.delayed {
+        link.with_latency(1)
+    } else {
+        link
+    }
+}
+
+/// The standard cross-thread latency property of one link: an emission must
+/// be frozen by the receiving thread within one of its periods (falling
+/// back to the hyper-period when the receiver has no extracted task).
+pub fn end_to_end_response_for(link: &PortLink, tasks: &TaskSet, hyperperiod: u64) -> Property {
+    let bound = tasks
+        .task(&link.target)
+        .map(|task| task.period as u32)
+        .unwrap_or(hyperperiod as u32);
+    Property::EndToEndResponse {
+        from: link.sent_signal(),
+        to: link.consumed_signal(),
+        bound,
+    }
+}
 
 /// Entry point of the staged pipeline: holds the per-phase options and
 /// opens the chain with [`Session::parse`] (or [`Session::load_instance`]
@@ -270,6 +308,19 @@ impl Scheduled {
                 });
             }
         }
+        // Thread-to-thread event-port connections (the synchronising
+        // actions of product verification), restricted to scheduled units.
+        let connections = thread_connections(&self.instance)?
+            .into_iter()
+            .filter(|c| {
+                thread_units
+                    .iter()
+                    .any(|u| u.model.thread_name == c.source_thread)
+                    && thread_units
+                        .iter()
+                        .any(|u| u.model.thread_name == c.target_thread)
+            })
+            .collect();
         Ok(Translated {
             options: self.options,
             instance: self.instance,
@@ -280,6 +331,7 @@ impl Scheduled {
             affine: self.affine,
             system,
             thread_units,
+            connections,
         })
     }
 }
@@ -317,6 +369,9 @@ pub struct Translated {
     /// The flattened simulation/verification unit of every thread that has
     /// a SIGNAL process, in instance-tree order.
     pub thread_units: Vec<ThreadUnit>,
+    /// The thread-to-thread event-port connections between the scheduled
+    /// units, extracted from the AADL connection instances.
+    pub connections: Vec<ThreadConnection>,
 }
 
 impl Translated {
@@ -339,6 +394,7 @@ impl Translated {
             affine: self.affine,
             system: self.system,
             thread_units: self.thread_units,
+            connections: self.connections,
             flat,
             static_analysis,
         })
@@ -364,6 +420,8 @@ pub struct Analyzed {
     pub system: TranslatedSystem,
     /// The flattened per-thread simulation/verification units.
     pub thread_units: Vec<ThreadUnit>,
+    /// The thread-to-thread event-port connections between the units.
+    pub connections: Vec<ThreadConnection>,
     /// The whole architecture flattened into one SIGNAL process.
     pub flat: Process,
     /// Clock calculus, determinism and deadlock analysis of [`Self::flat`].
@@ -410,6 +468,7 @@ impl Analyzed {
             affine: self.affine,
             system: self.system,
             thread_units: self.thread_units,
+            connections: self.connections,
             flat: self.flat,
             static_analysis: self.static_analysis,
             simulations,
@@ -438,6 +497,8 @@ pub struct Simulated {
     pub system: TranslatedSystem,
     /// The flattened per-thread simulation/verification units.
     pub thread_units: Vec<ThreadUnit>,
+    /// The thread-to-thread event-port connections between the units.
+    pub connections: Vec<ThreadConnection>,
     /// The whole architecture flattened into one SIGNAL process.
     pub flat: Process,
     /// Static analysis of the flat model.
@@ -463,6 +524,13 @@ impl Simulated {
     /// exploration either closes — proving the periodic system for
     /// unbounded time — or stops at the depth bound of
     /// [`VerificationOptions::hyperperiods`] hyper-periods.
+    ///
+    /// With [`VerificationScope::Product`], the phase additionally explores
+    /// the synchronous product of the communicating threads: event-port
+    /// connections become synchronising actions (the sender's scheduled
+    /// emission fixes the receiver's input), every connection is checked
+    /// against an end-to-end response property bounded by its receiver's
+    /// period, and the joint verdict is returned as a [`VerifiedProduct`].
     ///
     /// # Errors
     ///
@@ -496,10 +564,66 @@ impl Simulated {
             hyperperiods: self.options.verify.hyperperiods,
             properties: properties.iter().map(Property::name).collect(),
             outcomes,
+            product: None,
         });
+        let product = match self.options.verify.scope {
+            VerificationScope::PerThread => None,
+            VerificationScope::Product => Some(self.verify_product()?),
+        };
         Ok(Verified {
             simulated: self,
             verification,
+            product,
+        })
+    }
+
+    /// Builds the product of the scheduled thread units (event-port
+    /// connections as synchronising actions) and model-checks it: alarm
+    /// freedom, deadlock freedom, and one
+    /// [`Property::EndToEndResponse`] per connection, bounded by the
+    /// receiving thread's period (a released event must be frozen by the
+    /// receiver within one of its periods).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Verification`] when the product is inconsistent
+    /// or the exploration fails.
+    pub fn verify_product(&self) -> Result<VerifiedProduct, CoreError> {
+        let components: Vec<ProductComponent> = self
+            .thread_units
+            .iter()
+            .map(|unit| ProductComponent {
+                name: unit.model.thread_name.clone(),
+                process: unit.model.flat.clone(),
+                schedule: unit.model.timing_trace(&self.schedule, 1),
+            })
+            .collect();
+        let links: Vec<PortLink> = self.connections.iter().map(port_link_for).collect();
+        let mut properties = vec![
+            Property::NeverRaised("*Alarm*".to_string()),
+            Property::DeadlockFree,
+        ];
+        for link in &links {
+            properties.push(end_to_end_response_for(
+                link,
+                &self.tasks,
+                self.schedule.hyperperiod,
+            ));
+        }
+        let system = ProductSystem::new(components, links)?;
+        let bound = system.horizon() * self.options.verify.hyperperiods as usize;
+        let verifier = ProductVerifier::new(
+            system,
+            VerifyOptions::default()
+                .with_workers(self.options.verify.workers)
+                .with_depth_bound(bound),
+        )?;
+        let outcome = verifier.verify(&properties)?;
+        Ok(VerifiedProduct {
+            connections: self.connections.clone(),
+            properties,
+            outcome,
+            verifier,
         })
     }
 
@@ -509,6 +633,43 @@ impl Simulated {
         Verified {
             simulated: self,
             verification: None,
+            product: None,
+        }
+    }
+}
+
+/// The product-verification artifact: the joint verdict over the
+/// synchronous product of the communicating threads, with the verifier kept
+/// alive so counterexamples can be projected back to per-thread traces and
+/// replayed in the lockstep co-simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifiedProduct {
+    /// The event-port connections treated as synchronising actions.
+    pub connections: Vec<ThreadConnection>,
+    /// The checked properties (standard safety properties plus one
+    /// end-to-end response per connection), in verdict order.
+    pub properties: Vec<Property>,
+    /// The joint exploration outcome.
+    pub outcome: VerificationOutcome,
+    /// The product verifier, for [`ProductVerifier::project`] and
+    /// [`ProductVerifier::replay`] on the outcome's counterexamples.
+    pub verifier: ProductVerifier,
+}
+
+impl VerifiedProduct {
+    /// Condenses the artifact into the serialisable report section.
+    pub fn to_report(&self) -> ProductVerificationReport {
+        ProductVerificationReport {
+            components: self
+                .verifier
+                .system()
+                .components()
+                .iter()
+                .map(|c| c.name.clone())
+                .collect(),
+            connections: self.connections.iter().map(|c| c.name.clone()).collect(),
+            properties: self.properties.iter().map(Property::name).collect(),
+            outcome: self.outcome.clone(),
         }
     }
 }
@@ -523,6 +684,9 @@ pub struct Verified {
     /// Per-thread verification outcomes (`None` when the phase was
     /// disabled or skipped).
     pub verification: Option<VerificationReport>,
+    /// The product-verification artifact (`None` unless the phase ran with
+    /// [`VerificationScope::Product`]).
+    pub product: Option<VerifiedProduct>,
 }
 
 impl Verified {
@@ -530,6 +694,10 @@ impl Verified {
     /// (the same report the [`ToolChain`](crate::ToolChain) facade
     /// returns).
     pub fn into_report(self) -> ToolChainReport {
+        let mut verification = self.verification;
+        if let (Some(report), Some(product)) = (verification.as_mut(), &self.product) {
+            report.product = Some(product.to_report());
+        }
         let simulated = self.simulated;
         let category_counts = simulated
             .instance
@@ -550,7 +718,7 @@ impl Verified {
             static_analysis: simulated.static_analysis,
             baseline: simulated.baseline,
             simulations: simulated.simulations,
-            verification: self.verification,
+            verification,
             vcd: simulated.vcd,
             vcd_thread: simulated.vcd_thread,
         }
@@ -587,6 +755,67 @@ mod tests {
         assert_eq!(verification.outcomes.len(), 4);
         let report = verified.into_report();
         assert!(report.all_checks_passed(), "{}", report.summary());
+    }
+
+    #[test]
+    fn product_scope_adds_the_joint_verdict() {
+        let mut options = SessionOptions::default();
+        options.simulate.hyperperiods = 1;
+        options.verify.scope = VerificationScope::Product;
+        let verified = Session::with_options(options)
+            .unwrap()
+            .parse_case_study()
+            .unwrap()
+            .instantiate("sysProdCons.impl")
+            .unwrap()
+            .schedule()
+            .unwrap()
+            .translate()
+            .unwrap()
+            .analyze()
+            .unwrap()
+            .simulate()
+            .unwrap()
+            .verify()
+            .unwrap();
+        let product = verified.product.as_ref().expect("product scope requested");
+        assert_eq!(product.connections.len(), 6);
+        // Standard safety properties + one end-to-end response per link.
+        assert_eq!(product.properties.len(), 2 + 6);
+        assert!(
+            product.outcome.is_violation_free(),
+            "{}",
+            product.outcome.summary()
+        );
+        // The product explored the full 24-tick hyper-period.
+        assert_eq!(product.outcome.stats.depth, 24);
+        let report = verified.into_report();
+        let verification = report.verification.as_ref().unwrap();
+        let section = verification.product.as_ref().expect("product section");
+        assert_eq!(section.components.len(), 4);
+        assert!(section.summary().contains("thProducer"));
+        assert!(report.all_checks_passed(), "{}", report.summary());
+        assert!(report
+            .summary()
+            .contains("product             : 4 component(s)"));
+    }
+
+    #[test]
+    fn translated_artifact_exposes_the_thread_connections() {
+        let translated = Session::new()
+            .parse_case_study()
+            .unwrap()
+            .instantiate("sysProdCons.impl")
+            .unwrap()
+            .schedule()
+            .unwrap()
+            .translate()
+            .unwrap();
+        assert_eq!(translated.connections.len(), 6);
+        assert!(translated
+            .connections
+            .iter()
+            .any(|c| c.name == "cProdStartTimer" && c.source_thread == "thProducer"));
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! Extraction of thread-to-thread event-port connections from the AADL
+//! instance model — the synchronising actions of compositional (product)
+//! verification.
+//!
+//! A [`ConnectionInstance`](aadl::instance::ConnectionInstance) carries full
+//! component paths; this module keeps only the port connections whose both
+//! endpoints are thread instances (connections that cross the hierarchy
+//! through container interfaces, e.g. environment inputs, are not part of
+//! the thread product) and resolves them to the conventional signal names of
+//! the translation: the sender's `<port>_output_time` release and the
+//! receiver's `<port>_in` arrival.
+
+use aadl::ast::{ConnectionKind, PortDirection};
+use aadl::error::AadlError;
+use aadl::instance::InstanceModel;
+use serde::{Deserialize, Serialize};
+
+/// One event-port connection between two thread instances, resolved to
+/// instance names and port names.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadConnection {
+    /// Short connection name (the declared name, without the enclosing
+    /// instance path).
+    pub name: String,
+    /// Instance name of the sending thread.
+    pub source_thread: String,
+    /// Out port of the sending thread.
+    pub source_port: String,
+    /// Instance name of the receiving thread.
+    pub target_thread: String,
+    /// In port of the receiving thread.
+    pub target_port: String,
+    /// `true` when the connection is declared with `Timing => Delayed`.
+    pub delayed: bool,
+}
+
+impl ThreadConnection {
+    /// The sender-side schedule signal marking an emission.
+    pub fn source_signal(&self) -> String {
+        format!("{}_output_time", self.source_port)
+    }
+
+    /// The receiver-side input signal carrying the delivered event.
+    pub fn target_signal(&self) -> String {
+        format!("{}_in", self.target_port)
+    }
+}
+
+/// Extracts every thread-to-thread event-port connection of an instance
+/// model, in declaration order.
+///
+/// # Errors
+///
+/// Propagates [`AadlError`] from thread extraction (malformed timing
+/// properties).
+pub fn thread_connections(instance: &InstanceModel) -> Result<Vec<ThreadConnection>, AadlError> {
+    let threads = instance.threads()?;
+    let mut out = Vec::new();
+    for conn in &instance.connections {
+        if conn.kind != ConnectionKind::Port {
+            continue;
+        }
+        let Some(source) = threads.iter().find(|t| t.path == conn.source_component) else {
+            continue;
+        };
+        let Some(target) = threads
+            .iter()
+            .find(|t| t.path == conn.destination_component)
+        else {
+            continue;
+        };
+        // Both endpoints must be ports with the right direction on the
+        // threads themselves.
+        let source_ok = source.features.iter().any(|f| {
+            f.name == conn.source_feature
+                && f.kind.is_port()
+                && matches!(f.direction, PortDirection::Out | PortDirection::InOut)
+        });
+        let target_ok = target.features.iter().any(|f| {
+            f.name == conn.destination_feature
+                && f.kind.is_port()
+                && matches!(f.direction, PortDirection::In | PortDirection::InOut)
+        });
+        if !source_ok || !target_ok {
+            continue;
+        }
+        let short_name = conn.name.rsplit('.').next().unwrap_or(&conn.name);
+        out.push(ThreadConnection {
+            name: short_name.to_string(),
+            source_thread: source.name.clone(),
+            source_port: conn.source_feature.clone(),
+            target_thread: target.name.clone(),
+            target_port: conn.destination_feature.clone(),
+            delayed: conn.delayed,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aadl::case_study::producer_consumer_instance;
+    use aadl::synth::{generate_instance, SyntheticSpec};
+
+    #[test]
+    fn case_study_yields_the_six_timer_connections() {
+        let instance = producer_consumer_instance().unwrap();
+        let connections = thread_connections(&instance).unwrap();
+        let names: Vec<&str> = connections.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "cProdStartTimer",
+                "cProdStopTimer",
+                "cProdTimeout",
+                "cConsStartTimer",
+                "cConsStopTimer",
+                "cConsTimeout",
+            ]
+        );
+        let start = &connections[0];
+        assert_eq!(start.source_thread, "thProducer");
+        assert_eq!(start.source_port, "pProdStartTimer");
+        assert_eq!(start.target_thread, "thProdTimer");
+        assert_eq!(start.target_port, "pStartTimer");
+        assert_eq!(start.source_signal(), "pProdStartTimer_output_time");
+        assert_eq!(start.target_signal(), "pStartTimer_in");
+        assert!(!start.delayed);
+        // Environment and display connections cross the hierarchy: skipped.
+        assert!(!names.contains(&"cEnvData"));
+        assert!(!names.contains(&"cProdAlarm"));
+    }
+
+    #[test]
+    fn synthetic_chain_is_extracted() {
+        let instance = generate_instance(&SyntheticSpec::new(3, 2)).unwrap();
+        let connections = thread_connections(&instance).unwrap();
+        // (3-1) threads chained with 2 ports each.
+        assert_eq!(connections.len(), 4);
+        assert_eq!(connections[0].source_thread, "t0");
+        assert_eq!(connections[0].target_thread, "t1");
+    }
+}

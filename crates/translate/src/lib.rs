@@ -25,18 +25,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod connections;
 pub mod library;
 pub mod schedule;
 pub mod thread;
 pub mod translator;
 
+pub use connections::{thread_connections, ThreadConnection};
 pub use library::{
     in_event_port_process, memory_process, out_event_port_process, shared_data_process,
     standard_library,
 };
 pub use schedule::{
-    schedule_to_timing_trace, scheduled_thread_model, task_set_from_threads, thread_under_schedule,
-    ScheduledThreadModel, ThreadUnderScheduleError, TICKS_PER_MILLISECOND,
+    schedule_to_timing_trace, scheduled_thread_model, system_under_schedule, task_set_from_threads,
+    thread_under_schedule, ScheduledThreadModel, ThreadUnderScheduleError, TICKS_PER_MILLISECOND,
 };
 pub use thread::{thread_to_process, ThreadTranslation};
 pub use translator::{TranslatedSystem, TranslationError, Translator};

@@ -82,6 +82,55 @@ pub fn thread_under_schedule(
     Ok((model, schedule))
 }
 
+/// One-call setup of the *whole* thread set for compositional (product)
+/// verification: extracts every thread of `instance`, synthesises the joint
+/// static schedule under `policy`, translates the architecture once, and
+/// builds the [`ScheduledThreadModel`] of every thread that has a SIGNAL
+/// process, together with the thread-to-thread event-port connections
+/// ([`crate::ThreadConnection`]) that synchronise them. Shared by the
+/// pipeline's product-verification phase, the CLI and the cross-validation
+/// tests.
+///
+/// # Errors
+///
+/// Returns a [`ThreadUnderScheduleError`] tagged by the failing phase.
+pub fn system_under_schedule(
+    instance: &InstanceModel,
+    policy: SchedulingPolicy,
+) -> Result<
+    (
+        Vec<ScheduledThreadModel>,
+        StaticSchedule,
+        Vec<crate::ThreadConnection>,
+    ),
+    ThreadUnderScheduleError,
+> {
+    let threads = instance.threads().map_err(ThreadUnderScheduleError::Aadl)?;
+    let tasks = task_set_from_threads(&threads).map_err(ThreadUnderScheduleError::Tasks)?;
+    let schedule =
+        StaticSchedule::synthesize(&tasks, policy).map_err(ThreadUnderScheduleError::Scheduling)?;
+    let translated = Translator::new()
+        .translate(instance)
+        .map_err(ThreadUnderScheduleError::Translation)?;
+    let mut models = Vec::new();
+    for thread in &threads {
+        if let Some(model) =
+            scheduled_thread_model(&translated, thread).map_err(ThreadUnderScheduleError::Signal)?
+        {
+            models.push(model);
+        }
+    }
+    let connections = crate::connections::thread_connections(instance)
+        .map_err(ThreadUnderScheduleError::Aadl)?
+        .into_iter()
+        .filter(|c| {
+            models.iter().any(|m| m.thread_name == c.source_thread)
+                && models.iter().any(|m| m.thread_name == c.target_thread)
+        })
+        .collect();
+    Ok((models, schedule, connections))
+}
+
 /// The simulation/verification unit of one translated thread: its flattened
 /// SIGNAL process (thread process + the `aadl2signal_` library processes it
 /// instantiates) and the port lists needed to derive its scheduled timing

@@ -241,45 +241,47 @@ impl Counterexample {
                     },
                 }
             }
-            Property::BoundedResponse {
-                trigger,
-                response,
-                bound,
-            } => match simulator.run(&self.inputs) {
-                Ok(out) => {
-                    let mut register = MONITOR_IDLE;
-                    let mut expired_at = None;
-                    for (t, step) in out.iter().enumerate() {
-                        match monitor_step(trigger, response, *bound, register, step) {
-                            Ok(next) => register = next,
-                            Err(()) => {
-                                expired_at = Some(t);
-                                break;
+            Property::BoundedResponse { .. } | Property::EndToEndResponse { .. } => {
+                let (trigger, response, bound) = self
+                    .property
+                    .monitor_spec()
+                    .expect("response properties carry a monitor spec");
+                match simulator.run(&self.inputs) {
+                    Ok(out) => {
+                        let mut register = MONITOR_IDLE;
+                        let mut expired_at = None;
+                        for (t, step) in out.iter().enumerate() {
+                            match monitor_step(trigger, response, bound, register, step) {
+                                Ok(next) => register = next,
+                                Err(()) => {
+                                    expired_at = Some(t);
+                                    break;
+                                }
                             }
                         }
+                        match expired_at {
+                            Some(t) => ReplayReport {
+                                reproduced: t == self.violation_instant,
+                                detail: format!(
+                                    "response deadline expired at instant {t} of the replay"
+                                ),
+                                trace: out,
+                            },
+                            None => ReplayReport {
+                                reproduced: false,
+                                detail: "no response-deadline expiry observed in the replay"
+                                    .to_string(),
+                                trace: out,
+                            },
+                        }
                     }
-                    match expired_at {
-                        Some(t) => ReplayReport {
-                            reproduced: t == self.violation_instant,
-                            detail: format!(
-                                "response deadline expired at instant {t} of the replay"
-                            ),
-                            trace: out,
-                        },
-                        None => ReplayReport {
-                            reproduced: false,
-                            detail: "no response-deadline expiry observed in the replay"
-                                .to_string(),
-                            trace: out,
-                        },
-                    }
+                    Err(e) => ReplayReport {
+                        reproduced: false,
+                        detail: format!("replay failed to execute: {e}"),
+                        trace: Trace::new(),
+                    },
                 }
-                Err(e) => ReplayReport {
-                    reproduced: false,
-                    detail: format!("replay failed to execute: {e}"),
-                    trace: Trace::new(),
-                },
-            },
+            }
         }
     }
 

@@ -110,8 +110,11 @@ pub enum Verdict {
     /// property holds for every execution of the input space.
     Proved,
     /// No violation was found up to the explored depth, but the exploration
-    /// was bounded (depth bound, state cap or branching truncation).
-    BoundReached {
+    /// was bounded (depth bound, state cap or branching truncation): the
+    /// property *passed* the bounded search, it was not proved. Every
+    /// truncated exploration reports this variant — never [`Verdict::Proved`]
+    /// — so a depth-bound fallback can never masquerade as a proof.
+    PassedBounded {
         /// Number of instants fully explored.
         depth: usize,
     },
@@ -131,12 +134,14 @@ impl Verdict {
         !self.is_violated()
     }
 
-    /// A one-line rendering for reports.
+    /// A one-line rendering for reports. A bounded pass is always rendered
+    /// as `passed-bounded`, never as a proof (regression: truncated
+    /// explorations must not read as "proved" in reports).
     pub fn summary(&self) -> String {
         match self {
             Verdict::Proved => "proved (state space exhausted)".to_string(),
-            Verdict::BoundReached { depth } => {
-                format!("no violation within {depth} instants (bounded)")
+            Verdict::PassedBounded { depth } => {
+                format!("passed-bounded (no violation within {depth} instants; not a proof)")
             }
             Verdict::Violated(cex) => format!(
                 "VIOLATED at instant {} ({})",
@@ -249,6 +254,10 @@ pub enum VerifyError {
     EmptySchedule,
     /// `verify` was called with no properties.
     NoProperties,
+    /// A product system is inconsistent (no components, duplicate names,
+    /// mismatched schedule horizons, or a link referencing an unknown
+    /// component or signal).
+    InvalidProduct(String),
 }
 
 impl std::fmt::Display for VerifyError {
@@ -260,6 +269,7 @@ impl std::fmt::Display for VerifyError {
             }
             VerifyError::EmptySchedule => write!(f, "scheduled input trace is empty"),
             VerifyError::NoProperties => write!(f, "no properties to verify"),
+            VerifyError::InvalidProduct(detail) => write!(f, "invalid product system: {detail}"),
         }
     }
 }
@@ -625,16 +635,15 @@ impl Verifier {
             None => self.free_candidates()?,
         };
 
-        // Monitor slots for the bounded-response properties.
+        // Monitor slots for the response properties (bounded-response and
+        // end-to-end-response share the same register mechanics; an
+        // end-to-end property over joint product signals simply never
+        // triggers in a single-thread namespace).
         let monitor_specs: Vec<(String, String, u32)> = properties
             .iter()
-            .filter_map(|p| match p {
-                Property::BoundedResponse {
-                    trigger,
-                    response,
-                    bound,
-                } => Some((trigger.clone(), response.clone(), *bound)),
-                _ => None,
+            .filter_map(|p| {
+                p.monitor_spec()
+                    .map(|(t, r, b)| (t.to_string(), r.to_string(), b))
             })
             .collect();
         let deadlock_checked = properties
@@ -796,7 +805,7 @@ impl Verifier {
                 property: property.clone(),
                 verdict: match cex {
                     Some(cex) => Verdict::Violated(cex),
-                    None if truncated => Verdict::BoundReached { depth },
+                    None if truncated => Verdict::PassedBounded { depth },
                     None => Verdict::Proved,
                 },
             })
@@ -1183,10 +1192,53 @@ mod tests {
         assert_eq!(outcome.stats.depth, 5);
         assert!(matches!(
             outcome.verdicts[0].verdict,
-            Verdict::BoundReached { depth: 5 }
+            Verdict::PassedBounded { depth: 5 }
         ));
         assert!(outcome.is_violation_free());
         assert!(!outcome.all_proved());
+    }
+
+    #[test]
+    fn truncated_exploration_never_reports_proved() {
+        // Regression: a depth-bound fallback (scheduled exploration of an
+        // unbounded counter, cut at one hyper-period) must report
+        // PassedBounded — and render as "passed-bounded", never "proved" —
+        // for every checked property.
+        let mut b = ProcessBuilder::new("counter");
+        b.input("tick", ValueType::Event);
+        b.output("count", ValueType::Integer);
+        b.define(
+            "count",
+            Expr::add(Expr::delay(Expr::var("count"), Value::Int(0)), Expr::int(1)),
+        );
+        b.synchronize(&["count", "tick"]);
+        let process = b.build().unwrap();
+        let mut trace = Trace::new();
+        for t in 0..3usize {
+            trace.set(t, "tick", Value::Event);
+        }
+        let verifier =
+            Verifier::new(&process, VerifyOptions::default().with_depth_bound(6)).unwrap();
+        let outcome = verifier
+            .verify(
+                &InputSpace::Scheduled(trace),
+                &[
+                    Property::NeverRaised("*Alarm*".into()),
+                    Property::DeadlockFree,
+                ],
+            )
+            .unwrap();
+        assert!(outcome.stats.truncated);
+        assert!(!outcome.all_proved());
+        for verdict in &outcome.verdicts {
+            assert_eq!(verdict.verdict, Verdict::PassedBounded { depth: 6 });
+            let summary = verdict.verdict.summary();
+            assert!(
+                summary.contains("passed-bounded") && !summary.contains("proved"),
+                "{summary}"
+            );
+        }
+        assert!(outcome.summary().contains("truncated"));
     }
 
     #[test]
@@ -1207,6 +1259,26 @@ mod tests {
         let (_, cex) = outcome.violations().next().expect("violation expected");
         let replay = cex.replay(&watcher()).unwrap();
         assert!(replay.reproduced, "{}", replay.detail);
+    }
+
+    #[test]
+    fn end_to_end_response_is_vacuous_in_a_single_thread_namespace() {
+        // An EndToEndResponse over joint product signals never triggers in
+        // per-thread scope (the signals do not exist here): the property is
+        // vacuously satisfied, which is exactly the blind spot product
+        // verification closes.
+        let verifier = Verifier::new(&watcher(), VerifyOptions::default()).unwrap();
+        let outcome = verifier
+            .verify(
+                &InputSpace::Free,
+                &[Property::EndToEndResponse {
+                    from: "cLink_sent".into(),
+                    to: "cLink_consumed".into(),
+                    bound: 2,
+                }],
+            )
+            .unwrap();
+        assert!(outcome.all_proved(), "{}", outcome.summary());
     }
 
     #[test]
@@ -1253,7 +1325,7 @@ mod tests {
         assert!(reference.stats.truncated);
         assert!(matches!(
             reference.verdicts[0].verdict,
-            Verdict::BoundReached { .. }
+            Verdict::PassedBounded { .. }
         ));
         for workers in [2usize, 4] {
             let outcome = Verifier::new(

@@ -6,6 +6,8 @@ use serde::{Deserialize, Serialize};
 use signal_moc::trace::Trace;
 use signal_moc::value::Value;
 
+use crate::product::PortLink;
+
 /// Description of an injected deadline-overrun fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct InjectedFault {
@@ -52,6 +54,46 @@ pub fn inject_deadline_overrun(trace: &mut Trace, prefix: &str) -> Option<Inject
     })
 }
 
+/// Description of an injected connection-latency fault.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectedLinkFault {
+    /// Name of the tampered link.
+    pub link: String,
+    /// Latency of the link before the fault, in ticks.
+    pub original_latency: usize,
+    /// Ticks of extra transmission latency added by the fault.
+    pub added_latency: usize,
+}
+
+/// Injects a connection-latency bug into a product's links: every event
+/// sent over the link named `link` is delayed by `added_latency` extra
+/// ticks, as if the connection's transmission overran its budget. With a
+/// delay larger than the gap to the receiver's next Input Time, the event
+/// misses its freeze and is only consumed a full receiver period later —
+/// visible to a cross-thread [`crate::Property::EndToEndResponse`] over the
+/// product, invisible to per-thread verification (which never sees the
+/// connection at all).
+///
+/// Returns `None` (leaving the links untouched) when no link has that name
+/// or `added_latency` is 0.
+pub fn inject_connection_latency(
+    links: &mut [PortLink],
+    link: &str,
+    added_latency: usize,
+) -> Option<InjectedLinkFault> {
+    if added_latency == 0 {
+        return None;
+    }
+    let tampered = links.iter_mut().find(|l| l.name == link)?;
+    let original_latency = tampered.latency;
+    tampered.latency += added_latency;
+    Some(InjectedLinkFault {
+        link: tampered.name.clone(),
+        original_latency,
+        added_latency,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +135,27 @@ mod tests {
         let before = trace.clone();
         assert_eq!(inject_deadline_overrun(&mut trace, ""), None);
         assert_eq!(trace, before);
+    }
+
+    #[test]
+    fn connection_latency_fault_adds_to_the_named_link() {
+        let mut links = vec![
+            PortLink::event("c1", "tx", "out", "rx", "in").with_latency(1),
+            PortLink::event("c2", "tx", "out2", "rx", "in2"),
+        ];
+        let fault = inject_connection_latency(&mut links, "c1", 8).unwrap();
+        assert_eq!(fault.link, "c1");
+        assert_eq!(fault.original_latency, 1);
+        assert_eq!(fault.added_latency, 8);
+        assert_eq!(links[0].latency, 9);
+        assert_eq!(links[1].latency, 0, "other links untouched");
+    }
+
+    #[test]
+    fn connection_latency_fault_requires_a_known_link_and_a_real_delay() {
+        let mut links = vec![PortLink::event("c1", "tx", "out", "rx", "in")];
+        assert_eq!(inject_connection_latency(&mut links, "ghost", 8), None);
+        assert_eq!(inject_connection_latency(&mut links, "c1", 0), None);
+        assert_eq!(links[0].latency, 0);
     }
 }

@@ -17,10 +17,16 @@
 //!   (scale knob: [`VerifyOptions::workers`]) and a depth-bounded fallback
 //!   for products too large to close;
 //! * a small safety-property layer — [`Property::NeverRaised`],
-//!   [`Property::DeadlockFree`], [`Property::BoundedResponse`] — whose
-//!   violations come back as concrete [`Counterexample`] traces that replay
-//!   deterministically in [`polysim::Simulator`] for independent
-//!   confirmation.
+//!   [`Property::DeadlockFree`], [`Property::BoundedResponse`],
+//!   [`Property::EndToEndResponse`] — whose violations come back as concrete
+//!   [`Counterexample`] traces that replay deterministically in
+//!   [`polysim::Simulator`] for independent confirmation;
+//! * a compositional layer ([`ProductVerifier`]) exploring the synchronous
+//!   product of several scheduled threads with event-port connections
+//!   ([`PortLink`]) treated as synchronising actions, so cross-thread
+//!   latency properties become checkable — with counterexamples that
+//!   project back to per-thread traces and replay in a lockstep
+//!   co-simulation ([`LockstepCoSim`]).
 //!
 //! # Quick start
 //!
@@ -56,6 +62,7 @@
 pub mod counterexample;
 pub mod explore;
 pub mod inject;
+pub mod product;
 pub mod property;
 pub mod state;
 
@@ -64,6 +71,11 @@ pub use explore::{
     ExplorationStats, InputSpace, PropertyVerdict, Verdict, VerificationOutcome, Verifier,
     VerifyError, VerifyOptions,
 };
-pub use inject::{inject_deadline_overrun, InjectedFault};
+pub use inject::{
+    inject_connection_latency, inject_deadline_overrun, InjectedFault, InjectedLinkFault,
+};
+pub use product::{
+    CoSimFailure, LockstepCoSim, PortLink, ProductComponent, ProductSystem, ProductVerifier,
+};
 pub use property::Property;
 pub use state::{State, StateKey};

@@ -1,0 +1,1239 @@
+//! Compositional product verification of communicating scheduled threads.
+//!
+//! Per-thread verification ([`crate::Verifier`] over
+//! [`crate::InputSpace::Scheduled`]) checks each translated thread against
+//! its own timing trace with every event-port input left at its scheduled
+//! default — cross-thread properties are invisible at that scope. This
+//! module closes the gap: a [`ProductSystem`] bundles the flattened SIGNAL
+//! processes of several threads with their scheduled timing traces and the
+//! event-port connections between them ([`PortLink`]), and a
+//! [`ProductVerifier`] explores the *synchronous product* of the components.
+//!
+//! A connection is a synchronising action: the sender's scheduled
+//! `<port>_output_time` emission fixes the matching receiver input
+//! `<port>_in` (after the link's latency) instead of leaving it at the
+//! scheduled default. Product states reuse the canonical byte-encoded
+//! [`State`]: the concatenated per-thread operator memories, the joint
+//! scheduler phase, and the registers of the response monitors. The joint
+//! schedule makes the product deterministic — one execution path per phase
+//! — so the exploration is a single run that either closes (states
+//! recurring at the same phase are deduplicated across hyper-period
+//! repetitions, proving the periodic system for unbounded time) or stops at
+//! the depth bound with a [`Verdict::PassedBounded`].
+//!
+//! Cross-thread latency is expressed with
+//! [`Property::EndToEndResponse`] over the link-derived joint signals
+//! `<link>_sent` (the sender released at least one event) and
+//! `<link>_consumed` (the receiver froze at least one delivered event).
+//! Violations come back as joint [`Counterexample`] traces whose steps carry
+//! `<component>_`-prefixed inputs: [`ProductVerifier::project`] recovers the
+//! per-thread input trace of any component (replayable in a plain
+//! [`polysim::Simulator`]), and [`ProductVerifier::replay`] re-executes the
+//! whole counterexample in a [`LockstepCoSim`] — an independent lockstep
+//! co-simulation of the constituent threads — for confirmation outside the
+//! model checker.
+
+use std::collections::{HashMap, HashSet};
+
+use polysim::Simulator;
+use serde::{Deserialize, Serialize};
+use signal_moc::eval::Evaluator;
+use signal_moc::process::Process;
+use signal_moc::trace::{Trace, TraceStep};
+use signal_moc::value::Value;
+
+use crate::counterexample::{Counterexample, ReplayReport};
+use crate::explore::{
+    ExplorationStats, PropertyVerdict, Verdict, VerificationOutcome, VerifyError, VerifyOptions,
+};
+use crate::property::{monitor_step, raised_signal, Property};
+use crate::state::{State, StateKey, MONITOR_IDLE};
+
+/// One thread of a product: its flattened SIGNAL process and the scheduled
+/// timing trace driving it over the joint hyper-period.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProductComponent {
+    /// Component name, used as the `<name>_` prefix of its signals in the
+    /// joint namespace (typically the AADL thread instance name).
+    pub name: String,
+    /// The flattened process, as verified by `polyverify`/run by `polysim`.
+    pub process: Process,
+    /// The scheduler-generated timing trace of this thread. Every component
+    /// of a product must use the same horizon (the joint hyper-period); the
+    /// phase wraps, so the trace describes the periodic system.
+    pub schedule: Trace,
+}
+
+/// An event-port connection between two components of a product: the
+/// source's scheduled `source_signal` emissions are delivered to the
+/// target's `target_signal` input after `latency` ticks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PortLink {
+    /// Connection name, used as the `<name>_` prefix of the link-derived
+    /// joint signals (`<name>_sent`, `<name>_received`, `<name>_consumed`).
+    pub name: String,
+    /// Name of the sending component.
+    pub source: String,
+    /// Signal of the source *schedule* whose truth marks an emission
+    /// (conventionally `<port>_output_time`, the port's Output Time).
+    pub source_signal: String,
+    /// Name of the receiving component.
+    pub target: String,
+    /// Input signal of the target process that carries the delivered event
+    /// (conventionally `<port>_in`).
+    pub target_signal: String,
+    /// Signal of the target schedule marking the receiver's Input Time
+    /// (conventionally `<port>_frozen_time`); with `target_count` it derives
+    /// the `<name>_consumed` joint signal.
+    pub target_freeze: Option<String>,
+    /// Signal of the target process counting the events frozen at the last
+    /// Input Time (conventionally `<port>_frozen_count`).
+    pub target_count: Option<String>,
+    /// Transmission latency in ticks (0 = same-tick delivery). Events whose
+    /// delivery would land past the schedule horizon are dropped — exactly
+    /// the behaviour a connection-latency fault injects.
+    pub latency: usize,
+}
+
+impl PortLink {
+    /// A link over the conventional signal names of the AADL translation:
+    /// `<source_port>_output_time` on the sender side; `<target_port>_in`,
+    /// `<target_port>_frozen_time` and `<target_port>_frozen_count` on the
+    /// receiver side; latency 0.
+    pub fn event(
+        name: impl Into<String>,
+        source: impl Into<String>,
+        source_port: &str,
+        target: impl Into<String>,
+        target_port: &str,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            source: source.into(),
+            source_signal: format!("{source_port}_output_time"),
+            target: target.into(),
+            target_signal: format!("{target_port}_in"),
+            target_freeze: Some(format!("{target_port}_frozen_time")),
+            target_count: Some(format!("{target_port}_frozen_count")),
+            latency: 0,
+        }
+    }
+
+    /// Sets the transmission latency in ticks.
+    #[must_use]
+    pub fn with_latency(mut self, latency: usize) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Joint-namespace signal: the source released at least one event at
+    /// this tick.
+    pub fn sent_signal(&self) -> String {
+        format!("{}_sent", self.name)
+    }
+
+    /// Joint-namespace signal: an event of this link is delivered to the
+    /// target at this tick.
+    pub fn received_signal(&self) -> String {
+        format!("{}_received", self.name)
+    }
+
+    /// Joint-namespace signal: the target froze at least one event at this
+    /// tick (its Input Time fired with a non-empty frozen FIFO). Only
+    /// derived when [`PortLink::target_freeze`] and
+    /// [`PortLink::target_count`] are set.
+    pub fn consumed_signal(&self) -> String {
+        format!("{}_consumed", self.name)
+    }
+}
+
+/// Per-link delivery pattern over the horizon, derived from the schedules.
+#[derive(Debug, Clone, PartialEq)]
+struct LinkActivity {
+    sent: Vec<bool>,
+    received: Vec<bool>,
+}
+
+/// The closed system under product verification: components, links, and the
+/// wired per-component input traces (schedules with connected inputs
+/// overridden by the senders' emissions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProductSystem {
+    components: Vec<ProductComponent>,
+    links: Vec<PortLink>,
+    /// Per-component input traces after connection wiring.
+    wired: Vec<Trace>,
+    activity: Vec<LinkActivity>,
+    horizon: usize,
+    /// Number of emissions whose delivery would land at or past the
+    /// horizon and was therefore not wired.
+    dropped_deliveries: usize,
+}
+
+impl ProductSystem {
+    /// Assembles and wires a product system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError::InvalidProduct`] when there are no components,
+    /// component or link names collide, schedules are empty or of unequal
+    /// length, or a link references an unknown component, an unknown source
+    /// schedule signal, or a target signal that is not an input of the
+    /// target process.
+    pub fn new(
+        components: Vec<ProductComponent>,
+        links: Vec<PortLink>,
+    ) -> Result<Self, VerifyError> {
+        if components.is_empty() {
+            return Err(VerifyError::InvalidProduct("no components".into()));
+        }
+        let horizon = components[0].schedule.len();
+        if horizon == 0 {
+            return Err(VerifyError::InvalidProduct(format!(
+                "component `{}` has an empty schedule",
+                components[0].name
+            )));
+        }
+        let mut names = HashSet::new();
+        for component in &components {
+            if !names.insert(component.name.clone()) {
+                return Err(VerifyError::InvalidProduct(format!(
+                    "duplicate component name `{}`",
+                    component.name
+                )));
+            }
+            if component.schedule.len() != horizon {
+                return Err(VerifyError::InvalidProduct(format!(
+                    "component `{}` has schedule length {}, expected the joint horizon {}",
+                    component.name,
+                    component.schedule.len(),
+                    horizon
+                )));
+            }
+        }
+        // Joint signals are `<name>_<signal>`: two names where one (plus
+        // the separating underscore) prefixes the other would let signals
+        // of different owners collide in the joint namespace — and
+        // `TraceStep::set` keeps the last writer silently. Reject the
+        // ambiguity up front, across components and links alike.
+        let all_names: Vec<&str> = components
+            .iter()
+            .map(|c| c.name.as_str())
+            .chain(links.iter().map(|l| l.name.as_str()))
+            .collect();
+        for a in &all_names {
+            for b in &all_names {
+                if a != b && b.starts_with(&format!("{a}_")) {
+                    return Err(VerifyError::InvalidProduct(format!(
+                        "names `{a}` and `{b}` are prefix-ambiguous: joint signals \
+                         `{a}_...` could collide"
+                    )));
+                }
+            }
+        }
+        let index_of = |name: &str| components.iter().position(|c| c.name == name);
+        let mut link_names = HashSet::new();
+        for link in &links {
+            if !link_names.insert(link.name.clone()) {
+                return Err(VerifyError::InvalidProduct(format!(
+                    "duplicate link name `{}`",
+                    link.name
+                )));
+            }
+            if names.contains(&link.name) {
+                return Err(VerifyError::InvalidProduct(format!(
+                    "link `{}` shadows a component name (derived signals would collide)",
+                    link.name
+                )));
+            }
+            let Some(source) = index_of(&link.source) else {
+                return Err(VerifyError::InvalidProduct(format!(
+                    "link `{}` references unknown source component `{}`",
+                    link.name, link.source
+                )));
+            };
+            if index_of(&link.target).is_none() {
+                return Err(VerifyError::InvalidProduct(format!(
+                    "link `{}` references unknown target component `{}`",
+                    link.name, link.target
+                )));
+            }
+            if !components[source]
+                .schedule
+                .signals()
+                .contains(&link.source_signal)
+            {
+                return Err(VerifyError::InvalidProduct(format!(
+                    "link `{}`: source schedule of `{}` has no signal `{}`",
+                    link.name, link.source, link.source_signal
+                )));
+            }
+            let target = &components[index_of(&link.target).expect("checked above")];
+            if !target
+                .process
+                .inputs()
+                .any(|decl| decl.name == link.target_signal)
+            {
+                return Err(VerifyError::InvalidProduct(format!(
+                    "link `{}`: process of `{}` has no input `{}`",
+                    link.name, link.target, link.target_signal
+                )));
+            }
+        }
+
+        // Wire the connections: each emission of the source schedule fixes
+        // the matching target input `latency` ticks later. A delivery that
+        // would land at or past the horizon is dropped — the wired traces
+        // must stay periodic for the phase to wrap — and *counted*: the
+        // wired product then under-approximates the real periodic system
+        // (which would deliver the event in the next period), so the
+        // verifier downgrades closure proofs to bounded verdicts whenever
+        // any delivery was dropped.
+        let mut wired: Vec<Trace> = components.iter().map(|c| c.schedule.clone()).collect();
+        let mut activity = Vec::with_capacity(links.len());
+        let mut dropped_deliveries = 0usize;
+        for link in &links {
+            let source = index_of(&link.source).expect("validated above");
+            let target = index_of(&link.target).expect("validated above");
+            let mut sent = vec![false; horizon];
+            let mut received = vec![false; horizon];
+            for (t, is_sent) in sent.iter_mut().enumerate() {
+                *is_sent = components[source]
+                    .schedule
+                    .value(t, &link.source_signal)
+                    .map(Value::as_bool)
+                    .unwrap_or(false);
+                if !*is_sent {
+                    continue;
+                }
+                let arrival = t + link.latency;
+                if arrival < horizon {
+                    received[arrival] = true;
+                    wired[target].set(arrival, link.target_signal.clone(), Value::Bool(true));
+                } else {
+                    dropped_deliveries += 1;
+                }
+            }
+            activity.push(LinkActivity { sent, received });
+        }
+        Ok(Self {
+            components,
+            links,
+            wired,
+            activity,
+            horizon,
+            dropped_deliveries,
+        })
+    }
+
+    /// The components of the product, in exploration order.
+    pub fn components(&self) -> &[ProductComponent] {
+        &self.components
+    }
+
+    /// The event-port links between the components.
+    pub fn links(&self) -> &[PortLink] {
+        &self.links
+    }
+
+    /// The joint schedule horizon (the hyper-period in ticks).
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Number of emissions whose delivery fell at or past the horizon and
+    /// was dropped from the wiring. When non-zero, the wired product
+    /// under-approximates the real periodic system (which would carry the
+    /// event into the next period), so [`ProductVerifier::verify`] reports
+    /// [`Verdict::PassedBounded`] instead of [`Verdict::Proved`] even when
+    /// the exploration closes.
+    pub fn dropped_deliveries(&self) -> usize {
+        self.dropped_deliveries
+    }
+
+    /// The wired input trace of one component (its schedule with connected
+    /// inputs overridden by the senders' deliveries), by component name.
+    pub fn wired_trace(&self, component: &str) -> Option<&Trace> {
+        self.components
+            .iter()
+            .position(|c| c.name == component)
+            .map(|i| &self.wired[i])
+    }
+
+    /// The joint input step of one phase: every component's wired inputs,
+    /// prefixed with `<component>_`.
+    fn joint_input(&self, phase: usize) -> TraceStep {
+        let mut joint = TraceStep::new();
+        for (component, wired) in self.components.iter().zip(&self.wired) {
+            if let Some(step) = wired.step(phase) {
+                for (signal, value) in step.iter() {
+                    joint.set(format!("{}_{signal}", component.name), value.clone());
+                }
+            }
+        }
+        joint
+    }
+
+    /// Merges the per-component resolved steps of one phase into the joint
+    /// step: `<component>_`-prefixed signals plus the link-derived
+    /// `_sent`/`_received`/`_consumed` signals.
+    fn joint_resolved(&self, phase: usize, resolved: &[TraceStep]) -> TraceStep {
+        let mut joint = TraceStep::new();
+        for (component, step) in self.components.iter().zip(resolved) {
+            for (signal, value) in step.iter() {
+                joint.set(format!("{}_{signal}", component.name), value.clone());
+            }
+        }
+        for (link, activity) in self.links.iter().zip(&self.activity) {
+            joint.set(link.sent_signal(), Value::Bool(activity.sent[phase]));
+            joint.set(
+                link.received_signal(),
+                Value::Bool(activity.received[phase]),
+            );
+            if let (Some(freeze), Some(count)) = (&link.target_freeze, &link.target_count) {
+                let target = self
+                    .components
+                    .iter()
+                    .position(|c| c.name == link.target)
+                    .expect("validated at construction");
+                let froze = resolved[target]
+                    .get(freeze)
+                    .map(Value::as_bool)
+                    .unwrap_or(false);
+                let nonempty = resolved[target]
+                    .get(count)
+                    .map(Value::as_bool)
+                    .unwrap_or(false);
+                joint.set(link.consumed_signal(), Value::Bool(froze && nonempty));
+            }
+        }
+        joint
+    }
+}
+
+/// A lockstep co-simulation of the components of a [`ProductSystem`]: one
+/// [`polysim::Simulator`] per thread, advanced tick by tick over the wired
+/// traces, producing the joint resolved trace. This is the independent
+/// execution path used to confirm product counterexamples
+/// ([`ProductVerifier::replay`]) and to cross-validate product verdicts by
+/// brute force in the test suite.
+#[derive(Debug, Clone)]
+pub struct LockstepCoSim<'a> {
+    system: &'a ProductSystem,
+    simulators: Vec<Simulator>,
+}
+
+/// The first non-executable step of a lockstep co-simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoSimFailure {
+    /// Tick of the failing step.
+    pub tick: usize,
+    /// Name of the component whose scheduled step was not executable.
+    pub component: String,
+    /// Evaluator error text.
+    pub detail: String,
+}
+
+impl<'a> LockstepCoSim<'a> {
+    /// Builds one simulator per component, all at their initial state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction errors.
+    pub fn new(system: &'a ProductSystem) -> Result<Self, VerifyError> {
+        let simulators = system
+            .components
+            .iter()
+            .map(|c| Simulator::new(&c.process))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { system, simulators })
+    }
+
+    /// Runs `ticks` instants in lockstep (the phase wraps at the horizon),
+    /// returning the joint resolved trace of the executed prefix and the
+    /// first non-executable step, if any (the joint trace then stops just
+    /// before it).
+    pub fn run(&mut self, ticks: usize) -> (Trace, Option<CoSimFailure>) {
+        let mut joint = Trace::new();
+        for tick in 0..ticks {
+            let phase = tick % self.system.horizon;
+            let mut resolved = Vec::with_capacity(self.simulators.len());
+            for (idx, simulator) in self.simulators.iter_mut().enumerate() {
+                let step = self.system.wired[idx]
+                    .step(phase)
+                    .cloned()
+                    .unwrap_or_default();
+                let one: Trace = std::iter::once(step).collect();
+                match simulator.run(&one) {
+                    Ok(out) => resolved.push(out.step(0).cloned().unwrap_or_default()),
+                    Err(e) => {
+                        return (
+                            joint,
+                            Some(CoSimFailure {
+                                tick,
+                                component: self.system.components[idx].name.clone(),
+                                detail: e.to_string(),
+                            }),
+                        )
+                    }
+                }
+            }
+            joint.push(self.system.joint_resolved(phase, &resolved));
+        }
+        (joint, None)
+    }
+}
+
+/// The product model checker: explores the synchronous product of the
+/// components of a [`ProductSystem`] under their wired schedules and checks
+/// safety properties over the joint namespace.
+///
+/// The joint schedule is deterministic, so the exploration is a single path
+/// whose states — concatenated per-thread memories × joint phase × monitor
+/// registers — are deduplicated across hyper-period repetitions: it either
+/// closes ([`Verdict::Proved`] for unbounded time) or stops at
+/// [`VerifyOptions::depth_bound`] ([`Verdict::PassedBounded`]). Worker
+/// threads ([`VerifyOptions::workers`]) split the *components* of each
+/// instant; results are joined in component order, so verdicts,
+/// counterexamples and stats are identical for any worker count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProductVerifier {
+    system: ProductSystem,
+    options: VerifyOptions,
+}
+
+impl ProductVerifier {
+    /// Prepares a product verifier: validates every component process by
+    /// constructing its evaluator (the same flat-process gate as
+    /// [`crate::Verifier::new`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-component validation errors ([`VerifyError::Signal`]).
+    pub fn new(system: ProductSystem, options: VerifyOptions) -> Result<Self, VerifyError> {
+        for component in &system.components {
+            Evaluator::new(&component.process)?;
+        }
+        Ok(Self { system, options })
+    }
+
+    /// The product system under verification.
+    pub fn system(&self) -> &ProductSystem {
+        &self.system
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &VerifyOptions {
+        &self.options
+    }
+
+    /// Explores the product and checks every property of `properties`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError::NoProperties`] for an empty property list and
+    /// [`VerifyError::Evaluation`] when a component's scheduled step is not
+    /// executable while [`Property::DeadlockFree`] is not among the checked
+    /// properties.
+    pub fn verify(&self, properties: &[Property]) -> Result<VerificationOutcome, VerifyError> {
+        if properties.is_empty() {
+            return Err(VerifyError::NoProperties);
+        }
+        let monitor_specs: Vec<(String, String, u32)> = properties
+            .iter()
+            .filter_map(|p| {
+                p.monitor_spec()
+                    .map(|(t, r, b)| (t.to_string(), r.to_string(), b))
+            })
+            .collect();
+        let monitor_property_idx: Vec<usize> = properties
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.needs_monitor())
+            .map(|(idx, _)| idx)
+            .collect();
+        let deadlock_idx = properties
+            .iter()
+            .position(|p| matches!(p, Property::DeadlockFree));
+
+        let mut evaluators: Vec<Evaluator> = self
+            .system
+            .components
+            .iter()
+            .map(|c| Evaluator::new(&c.process))
+            .collect::<Result<Vec<_>, _>>()?;
+        let workers = self
+            .options
+            .workers
+            .max(1)
+            .min(self.system.components.len());
+
+        let mut monitors = vec![MONITOR_IDLE; monitor_specs.len()];
+        let mut seen: HashMap<StateKey, usize> = HashMap::new();
+        seen.insert(self.product_state(&evaluators, 0, &monitors).key(), 0);
+
+        let mut found: Vec<Option<Counterexample>> = vec![None; properties.len()];
+        let mut joint_inputs = Trace::new();
+        let mut depth = 0usize;
+        let mut transitions = 0usize;
+        // A dropped delivery makes the wired product an under-approximation
+        // of the real periodic system: no closure can then count as a
+        // proof, only as a bounded pass.
+        let mut truncated = self.system.dropped_deliveries > 0;
+        let mut dead_end = false;
+
+        loop {
+            if found.iter().all(Option::is_some) {
+                truncated = true;
+                break;
+            }
+            if let Some(bound) = self.options.depth_bound {
+                if depth >= bound {
+                    truncated = true;
+                    break;
+                }
+            }
+            if seen.len() >= self.options.max_states {
+                truncated = true;
+                break;
+            }
+            let phase = depth % self.system.horizon;
+            joint_inputs.push(self.system.joint_input(phase));
+
+            // Step every component of this instant, split across workers;
+            // results are joined in component order, so the outcome cannot
+            // depend on the worker count (a single worker steps in place
+            // without spawning).
+            let step_one = |component: usize, evaluator: &mut Evaluator| {
+                let step = self.system.wired[component]
+                    .step(phase)
+                    .cloned()
+                    .unwrap_or_default();
+                evaluator.step(depth, &step).map_err(|e| e.to_string())
+            };
+            let results: Vec<Result<TraceStep, String>> = if workers <= 1 {
+                evaluators
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, evaluator)| step_one(i, evaluator))
+                    .collect()
+            } else {
+                let chunk_size = evaluators.len().div_ceil(workers);
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = evaluators
+                        .chunks_mut(chunk_size)
+                        .enumerate()
+                        .map(|(chunk_idx, chunk)| {
+                            let step_one = &step_one;
+                            scope.spawn(move || {
+                                chunk
+                                    .iter_mut()
+                                    .enumerate()
+                                    .map(|(i, evaluator)| {
+                                        step_one(chunk_idx * chunk_size + i, evaluator)
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("product worker panicked"))
+                        .collect()
+                })
+            };
+
+            let mut resolved = Vec::with_capacity(results.len());
+            let mut failure: Option<(String, String)> = None;
+            for (component, result) in self.system.components.iter().zip(results) {
+                match result {
+                    Ok(step) => resolved.push(step),
+                    Err(detail) => {
+                        failure = Some((component.name.clone(), detail));
+                        break;
+                    }
+                }
+            }
+            if let Some((component, detail)) = failure {
+                let witness =
+                    format!("component `{component}` scheduled step not executable: {detail}");
+                match deadlock_idx {
+                    Some(idx) => {
+                        if found[idx].is_none() {
+                            found[idx] = Some(Counterexample {
+                                property: properties[idx].clone(),
+                                inputs: joint_inputs.clone(),
+                                violation_instant: depth,
+                                witness,
+                            });
+                        }
+                        // The joint execution cannot continue past a
+                        // non-executable step: the path ends here, which
+                        // exhausts the (deterministic) product.
+                        dead_end = true;
+                        break;
+                    }
+                    None => {
+                        return Err(VerifyError::Evaluation {
+                            instant: depth,
+                            detail: witness,
+                        })
+                    }
+                }
+            }
+            transitions += resolved.len();
+            let joint = self.system.joint_resolved(phase, &resolved);
+
+            // Property checks on the joint instant.
+            for (idx, property) in properties.iter().enumerate() {
+                if let Property::NeverRaised(pattern) = property {
+                    if found[idx].is_none() {
+                        if let Some(signal) = raised_signal(pattern, &joint) {
+                            found[idx] = Some(Counterexample {
+                                property: property.clone(),
+                                inputs: joint_inputs.clone(),
+                                violation_instant: depth,
+                                witness: format!("signal `{signal}` raised"),
+                            });
+                        }
+                    }
+                }
+            }
+            for (slot, (trigger, response, bound)) in monitor_specs.iter().enumerate() {
+                match monitor_step(trigger, response, *bound, monitors[slot], &joint) {
+                    Ok(next) => monitors[slot] = next,
+                    Err(()) => {
+                        let idx = monitor_property_idx[slot];
+                        if found[idx].is_none() {
+                            found[idx] = Some(Counterexample {
+                                property: properties[idx].clone(),
+                                inputs: joint_inputs.clone(),
+                                violation_instant: depth,
+                                witness: "response deadline expired".to_string(),
+                            });
+                        }
+                        monitors[slot] = MONITOR_IDLE;
+                    }
+                }
+            }
+
+            depth += 1;
+            let successor =
+                self.product_state(&evaluators, (depth % self.system.horizon) as u32, &monitors);
+            if seen.insert(successor.key(), depth).is_some() {
+                // The product revisited a joint state at the same phase: the
+                // periodic system is closed, every execution from here on
+                // repeats an explored one.
+                break;
+            }
+        }
+
+        let stats = ExplorationStats {
+            states: seen.len(),
+            transitions,
+            infeasible: usize::from(dead_end),
+            depth,
+            workers,
+            truncated,
+        };
+        let verdicts = properties
+            .iter()
+            .zip(found)
+            .map(|(property, cex)| PropertyVerdict {
+                property: property.clone(),
+                verdict: match cex {
+                    Some(cex) => Verdict::Violated(cex),
+                    None if truncated => Verdict::PassedBounded { depth },
+                    None => Verdict::Proved,
+                },
+            })
+            .collect();
+        Ok(VerificationOutcome { verdicts, stats })
+    }
+
+    /// The canonical product state: concatenated per-component operator
+    /// memories, joint phase, monitor registers.
+    fn product_state(&self, evaluators: &[Evaluator], phase: u32, monitors: &[u32]) -> State {
+        let mut memory = Vec::new();
+        for evaluator in evaluators {
+            memory.extend(evaluator.memory());
+        }
+        State {
+            memory,
+            phase,
+            monitors: monitors.to_vec(),
+        }
+    }
+
+    /// Projects a joint counterexample onto one component: the
+    /// `<component>_`-prefixed inputs of every step, with the prefix
+    /// stripped — a per-thread input trace that replays in a plain
+    /// [`polysim::Simulator`] over that component's process. Returns `None`
+    /// for an unknown component name.
+    pub fn project(&self, cex: &Counterexample, component: &str) -> Option<Trace> {
+        if !self.system.components.iter().any(|c| c.name == component) {
+            return None;
+        }
+        let prefix = format!("{component}_");
+        Some(
+            cex.inputs
+                .iter()
+                .map(|step| {
+                    let mut projected = TraceStep::new();
+                    for (signal, value) in step.iter() {
+                        if let Some(local) = signal.strip_prefix(&prefix) {
+                            projected.set(local, value.clone());
+                        }
+                    }
+                    projected
+                })
+                .collect(),
+        )
+    }
+
+    /// Replays a product counterexample in a fresh [`LockstepCoSim`] — an
+    /// execution path independent of the checker — and reports whether the
+    /// violation is reproduced at the same instant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction errors.
+    pub fn replay(&self, cex: &Counterexample) -> Result<ReplayReport, VerifyError> {
+        let mut cosim = LockstepCoSim::new(&self.system)?;
+        let ticks = cex.violation_instant + 1;
+        let (joint, failure) = cosim.run(ticks);
+        match &cex.property {
+            Property::DeadlockFree => match failure {
+                Some(f) if f.tick == cex.violation_instant => Ok(ReplayReport {
+                    reproduced: true,
+                    detail: format!(
+                        "lockstep co-simulation rejects the step of `{}` at tick {}: {}",
+                        f.component, f.tick, f.detail
+                    ),
+                    trace: joint,
+                }),
+                Some(f) => Ok(ReplayReport {
+                    reproduced: false,
+                    detail: format!(
+                        "co-simulation failed at tick {} (expected {}): {}",
+                        f.tick, cex.violation_instant, f.detail
+                    ),
+                    trace: joint,
+                }),
+                None => Ok(ReplayReport {
+                    reproduced: false,
+                    detail: "every scheduled step executed during the lockstep replay".into(),
+                    trace: joint,
+                }),
+            },
+            property => {
+                if let Some(f) = failure {
+                    return Ok(ReplayReport {
+                        reproduced: false,
+                        detail: format!(
+                            "lockstep replay stopped early at tick {} (`{}`): {}",
+                            f.tick, f.component, f.detail
+                        ),
+                        trace: joint,
+                    });
+                }
+                match property {
+                    Property::NeverRaised(pattern) => {
+                        match joint
+                            .step(cex.violation_instant)
+                            .and_then(|step| raised_signal(pattern, step))
+                        {
+                            Some(signal) => Ok(ReplayReport {
+                                reproduced: true,
+                                detail: format!(
+                                    "signal `{signal}` raised at tick {} of the lockstep replay",
+                                    cex.violation_instant
+                                ),
+                                trace: joint,
+                            }),
+                            None => Ok(ReplayReport {
+                                reproduced: false,
+                                detail: format!(
+                                    "no signal matching `{pattern}` raised at tick {}",
+                                    cex.violation_instant
+                                ),
+                                trace: joint,
+                            }),
+                        }
+                    }
+                    Property::BoundedResponse { .. } | Property::EndToEndResponse { .. } => {
+                        let (trigger, response, bound) = property
+                            .monitor_spec()
+                            .expect("response properties carry a monitor spec");
+                        let mut register = MONITOR_IDLE;
+                        let mut expired_at = None;
+                        for (t, step) in joint.iter().enumerate() {
+                            match monitor_step(trigger, response, bound, register, step) {
+                                Ok(next) => register = next,
+                                Err(()) => {
+                                    expired_at = Some(t);
+                                    break;
+                                }
+                            }
+                        }
+                        Ok(ReplayReport {
+                            reproduced: expired_at == Some(cex.violation_instant),
+                            detail: match expired_at {
+                                Some(t) => format!(
+                                    "response deadline expired at tick {t} of the lockstep replay"
+                                ),
+                                None => {
+                                    "no response-deadline expiry observed in the lockstep replay"
+                                        .into()
+                                }
+                            },
+                            trace: joint,
+                        })
+                    }
+                    Property::DeadlockFree => unreachable!("handled above"),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use signal_moc::builder::ProcessBuilder;
+    use signal_moc::expr::Expr;
+    use signal_moc::value::ValueType;
+
+    /// A sender whose schedule emits on `out_output_time`, and a receiver
+    /// whose `in_in` input feeds a latch raising `Alarm` one tick later.
+    fn sender() -> Process {
+        let mut b = ProcessBuilder::new("tx");
+        b.input("Dispatch", ValueType::Boolean);
+        b.input("out_output_time", ValueType::Boolean);
+        b.output("Complete", ValueType::Boolean);
+        b.define("Complete", Expr::var("Dispatch"));
+        b.synchronize(&["Dispatch", "out_output_time", "Complete"]);
+        b.build().unwrap()
+    }
+
+    fn receiver() -> Process {
+        let mut b = ProcessBuilder::new("rx");
+        b.input("in_in", ValueType::Boolean);
+        b.output("Alarm", ValueType::Boolean);
+        b.local("latch", ValueType::Boolean);
+        b.define(
+            "latch",
+            Expr::or(
+                Expr::delay(Expr::var("latch"), Value::Bool(false)),
+                Expr::var("in_in"),
+            ),
+        );
+        b.define("Alarm", Expr::delay(Expr::var("latch"), Value::Bool(false)));
+        b.synchronize(&["in_in", "latch", "Alarm"]);
+        b.build().unwrap()
+    }
+
+    fn schedules(emit_at: usize, horizon: usize) -> (Trace, Trace) {
+        let mut tx = Trace::new();
+        let mut rx = Trace::new();
+        for t in 0..horizon {
+            tx.set(t, "Dispatch", Value::Bool(t == 0));
+            tx.set(t, "out_output_time", Value::Bool(t == emit_at));
+            rx.set(t, "in_in", Value::Bool(false));
+        }
+        (tx, rx)
+    }
+
+    fn link() -> PortLink {
+        PortLink {
+            name: "c1".into(),
+            source: "tx".into(),
+            source_signal: "out_output_time".into(),
+            target: "rx".into(),
+            target_signal: "in_in".into(),
+            target_freeze: None,
+            target_count: None,
+            latency: 0,
+        }
+    }
+
+    fn system(emit_at: usize, horizon: usize) -> ProductSystem {
+        let (tx, rx) = schedules(emit_at, horizon);
+        ProductSystem::new(
+            vec![
+                ProductComponent {
+                    name: "tx".into(),
+                    process: sender(),
+                    schedule: tx,
+                },
+                ProductComponent {
+                    name: "rx".into(),
+                    process: receiver(),
+                    schedule: rx,
+                },
+            ],
+            vec![link()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn wiring_fixes_the_receiver_input_from_the_sender_emission() {
+        let system = system(1, 4);
+        let wired = system.wired_trace("rx").unwrap();
+        let arrivals: Vec<bool> = (0..4)
+            .map(|t| wired.value(t, "in_in").unwrap().as_bool())
+            .collect();
+        assert_eq!(arrivals, vec![false, true, false, false]);
+        // The sender's own trace is untouched.
+        assert_eq!(
+            system.wired_trace("tx").unwrap(),
+            &system.components()[0].schedule
+        );
+    }
+
+    #[test]
+    fn cross_thread_alarm_found_only_in_the_product() {
+        let system = system(1, 4);
+        let verifier = ProductVerifier::new(system, VerifyOptions::default()).unwrap();
+        let outcome = verifier
+            .verify(&[Property::NeverRaised("*Alarm*".into())])
+            .unwrap();
+        let (_, cex) = outcome.violations().next().expect("alarm expected");
+        // Emission at 1 delivered at 1, latched, alarm one tick later.
+        assert_eq!(cex.violation_instant, 2);
+        let replay = verifier.replay(cex).unwrap();
+        assert!(replay.reproduced, "{}", replay.detail);
+
+        // Per-thread scope misses it: the receiver alone never sees the
+        // event (its scheduled `in_in` stays false).
+        let per_thread = crate::Verifier::new(&receiver(), VerifyOptions::default())
+            .unwrap()
+            .verify(
+                &crate::InputSpace::Scheduled(schedules(1, 4).1),
+                &[Property::NeverRaised("*Alarm*".into())],
+            )
+            .unwrap();
+        assert!(per_thread.is_violation_free(), "{}", per_thread.summary());
+    }
+
+    #[test]
+    fn projection_replays_in_a_plain_simulator() {
+        let system = system(1, 4);
+        let verifier = ProductVerifier::new(system, VerifyOptions::default()).unwrap();
+        let outcome = verifier
+            .verify(&[Property::NeverRaised("*Alarm*".into())])
+            .unwrap();
+        let (_, cex) = outcome.violations().next().unwrap();
+        let rx_inputs = verifier.project(cex, "rx").expect("rx is a component");
+        assert_eq!(rx_inputs.len(), cex.inputs.len());
+        assert!(rx_inputs.value(1, "in_in").unwrap().as_bool());
+        let mut simulator = Simulator::new(&receiver()).unwrap();
+        let out = simulator.run(&rx_inputs).unwrap();
+        assert!(out.value(2, "Alarm").unwrap().as_bool());
+        assert!(verifier.project(cex, "nope").is_none());
+    }
+
+    #[test]
+    fn latency_past_the_horizon_drops_the_delivery_and_downgrades_proofs() {
+        let (tx, rx) = schedules(3, 4);
+        let system = ProductSystem::new(
+            vec![
+                ProductComponent {
+                    name: "tx".into(),
+                    process: sender(),
+                    schedule: tx,
+                },
+                ProductComponent {
+                    name: "rx".into(),
+                    process: receiver(),
+                    schedule: rx,
+                },
+            ],
+            vec![link().with_latency(2)],
+        )
+        .unwrap();
+        // The delivery would land at tick 5 > horizon: dropped from the
+        // wiring (the real periodic system would deliver it at phase 1 of
+        // the next period), so even though the wired product closes with no
+        // alarm, the verdict must stay bounded — never a proof.
+        assert_eq!(system.dropped_deliveries(), 1);
+        let verifier = ProductVerifier::new(system, VerifyOptions::default()).unwrap();
+        let outcome = verifier
+            .verify(&[Property::NeverRaised("*Alarm*".into())])
+            .unwrap();
+        assert!(outcome.is_violation_free(), "{}", outcome.summary());
+        assert!(!outcome.all_proved(), "{}", outcome.summary());
+        assert!(outcome.stats.truncated);
+        assert!(matches!(
+            outcome.verdicts[0].verdict,
+            Verdict::PassedBounded { .. }
+        ));
+    }
+
+    #[test]
+    fn end_to_end_response_monitors_the_link_signals() {
+        let mut l = link();
+        l.target_freeze = Some("in_in".into());
+        l.target_count = Some("latch".into());
+        let (tx, rx) = schedules(1, 6);
+        let system = ProductSystem::new(
+            vec![
+                ProductComponent {
+                    name: "tx".into(),
+                    process: sender(),
+                    schedule: tx,
+                },
+                ProductComponent {
+                    name: "rx".into(),
+                    process: receiver(),
+                    schedule: rx,
+                },
+            ],
+            vec![l],
+        )
+        .unwrap();
+        let verifier = ProductVerifier::new(system, VerifyOptions::default()).unwrap();
+        // Same-tick consumption: holds (and the product closes).
+        let ok = verifier
+            .verify(&[Property::EndToEndResponse {
+                from: "c1_sent".into(),
+                to: "c1_consumed".into(),
+                bound: 1,
+            }])
+            .unwrap();
+        assert!(ok.is_violation_free(), "{}", ok.summary());
+    }
+
+    #[test]
+    fn invalid_products_are_rejected_with_details() {
+        let (tx, rx) = schedules(1, 4);
+        let component = |name: &str, process: Process, schedule: Trace| ProductComponent {
+            name: name.into(),
+            process,
+            schedule,
+        };
+        assert!(matches!(
+            ProductSystem::new(vec![], vec![]),
+            Err(VerifyError::InvalidProduct(_))
+        ));
+        // Mismatched horizons.
+        let err = ProductSystem::new(
+            vec![
+                component("tx", sender(), tx.clone()),
+                component("rx", receiver(), schedules(1, 5).1),
+            ],
+            vec![],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("horizon"), "{err}");
+        // Unknown link endpoint.
+        let mut bad = link();
+        bad.target = "ghost".into();
+        let err = ProductSystem::new(
+            vec![
+                component("tx", sender(), tx.clone()),
+                component("rx", receiver(), rx.clone()),
+            ],
+            vec![bad],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("ghost"), "{err}");
+        // Link shadowing a component name.
+        let mut shadow = link();
+        shadow.name = "rx".into();
+        let err = ProductSystem::new(
+            vec![
+                component("tx", sender(), tx.clone()),
+                component("rx", receiver(), rx.clone()),
+            ],
+            vec![shadow],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("shadows"), "{err}");
+        // Unknown target input.
+        let mut missing = link();
+        missing.target_signal = "nonexistent".into();
+        let err = ProductSystem::new(
+            vec![
+                component("tx", sender(), tx),
+                component("rx", receiver(), rx),
+            ],
+            vec![missing],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("nonexistent"), "{err}");
+    }
+
+    #[test]
+    fn worker_count_does_not_change_product_outcomes() {
+        let reference =
+            ProductVerifier::new(system(1, 4), VerifyOptions::default().with_workers(1))
+                .unwrap()
+                .verify(&[Property::NeverRaised("*Alarm*".into())])
+                .unwrap();
+        for workers in [2usize, 8] {
+            let outcome =
+                ProductVerifier::new(system(1, 4), VerifyOptions::default().with_workers(workers))
+                    .unwrap()
+                    .verify(&[Property::NeverRaised("*Alarm*".into())])
+                    .unwrap();
+            assert_eq!(reference.verdicts, outcome.verdicts, "workers={workers}");
+            assert_eq!(reference.stats.states, outcome.stats.states);
+            assert_eq!(reference.stats.depth, outcome.stats.depth);
+        }
+    }
+
+    #[test]
+    fn depth_bound_yields_passed_bounded_never_proved() {
+        // An unbounded per-tick counter keeps the product from closing; the
+        // depth bound must downgrade the verdict to PassedBounded.
+        let mut b = ProcessBuilder::new("counter");
+        b.input("Dispatch", ValueType::Boolean);
+        b.output("count", ValueType::Integer);
+        b.define(
+            "count",
+            Expr::add(Expr::delay(Expr::var("count"), Value::Int(0)), Expr::int(1)),
+        );
+        b.synchronize(&["Dispatch", "count"]);
+        let process = b.build().unwrap();
+        let mut schedule = Trace::new();
+        for t in 0..2usize {
+            schedule.set(t, "Dispatch", Value::Bool(t == 0));
+        }
+        let system = ProductSystem::new(
+            vec![ProductComponent {
+                name: "c".into(),
+                process,
+                schedule,
+            }],
+            vec![],
+        )
+        .unwrap();
+        let verifier =
+            ProductVerifier::new(system, VerifyOptions::default().with_depth_bound(6)).unwrap();
+        let outcome = verifier
+            .verify(&[Property::NeverRaised("*Alarm*".into())])
+            .unwrap();
+        assert!(outcome.stats.truncated);
+        assert_eq!(
+            outcome.verdicts[0].verdict,
+            Verdict::PassedBounded { depth: 6 }
+        );
+        assert!(!outcome.all_proved());
+        assert!(
+            !outcome.verdicts[0].verdict.summary().contains("proved"),
+            "{}",
+            outcome.verdicts[0].verdict.summary()
+        );
+    }
+
+    #[test]
+    fn empty_properties_are_rejected() {
+        let verifier = ProductVerifier::new(system(1, 4), VerifyOptions::default()).unwrap();
+        assert!(matches!(
+            verifier.verify(&[]),
+            Err(VerifyError::NoProperties)
+        ));
+    }
+}

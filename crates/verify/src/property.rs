@@ -28,6 +28,23 @@ pub enum Property {
         /// Maximum number of instants between trigger and response.
         bound: u32,
     },
+    /// Cross-thread latency: whenever the joint signal `from` is true (for a
+    /// product this is typically a sender-side emission such as a link's
+    /// `<link>_sent` signal), the joint signal `to` (typically the matching
+    /// `<link>_consumed` signal, true when the receiver freezes at least one
+    /// delivered event) must be true within `bound` instants. Over a
+    /// [`crate::ProductVerifier`] this checks end-to-end response across an
+    /// event-port connection; over a single thread the referenced joint
+    /// signals do not exist, so the property is vacuously satisfied — which
+    /// is exactly why connection faults are invisible to per-thread scope.
+    EndToEndResponse {
+        /// Name of the (joint) signal whose truth starts the deadline.
+        from: String,
+        /// Name of the (joint) signal that must answer within the bound.
+        to: String,
+        /// Maximum number of instants between `from` and `to`.
+        bound: u32,
+    },
 }
 
 impl Property {
@@ -41,13 +58,33 @@ impl Property {
                 response,
                 bound,
             } => format!("bounded-response({trigger} -> {response} within {bound})"),
+            Property::EndToEndResponse { from, to, bound } => {
+                format!("end-to-end-response({from} -> {to} within {bound})")
+            }
         }
     }
 
-    /// Returns `true` for [`Property::BoundedResponse`], which carries a
-    /// monitor register in the explored state.
+    /// Returns `true` for the response properties ([`Property::BoundedResponse`]
+    /// and [`Property::EndToEndResponse`]), which carry a monitor register in
+    /// the explored state.
     pub fn needs_monitor(&self) -> bool {
-        matches!(self, Property::BoundedResponse { .. })
+        self.monitor_spec().is_some()
+    }
+
+    /// The `(trigger, response, bound)` triple of a response property
+    /// (`None` for the stateless properties). Both response flavours share
+    /// the same monitor mechanics; they differ only in the namespace the
+    /// signals live in (one thread vs the joint product).
+    pub fn monitor_spec(&self) -> Option<(&str, &str, u32)> {
+        match self {
+            Property::BoundedResponse {
+                trigger,
+                response,
+                bound,
+            } => Some((trigger, response, *bound)),
+            Property::EndToEndResponse { from, to, bound } => Some((from, to, *bound)),
+            Property::NeverRaised(_) | Property::DeadlockFree => None,
+        }
     }
 }
 
@@ -191,5 +228,20 @@ mod tests {
         assert!(br.name().contains("within 4"));
         assert!(br.needs_monitor());
         assert!(!Property::DeadlockFree.needs_monitor());
+        let e2e = Property::EndToEndResponse {
+            from: "cLink_sent".into(),
+            to: "cLink_consumed".into(),
+            bound: 8,
+        };
+        assert_eq!(
+            e2e.name(),
+            "end-to-end-response(cLink_sent -> cLink_consumed within 8)"
+        );
+        assert!(e2e.needs_monitor());
+        assert_eq!(
+            e2e.monitor_spec(),
+            Some(("cLink_sent", "cLink_consumed", 8))
+        );
+        assert_eq!(Property::NeverRaised("*".into()).monitor_spec(), None);
     }
 }

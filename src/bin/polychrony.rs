@@ -6,7 +6,8 @@
 //! ```bash
 //! polychrony analyze  [--policy rm|edf|fp] [--stop-after PHASE]
 //! polychrony simulate [--hyperperiods N] [--vcd]
-//! polychrony verify   [--workers N] [--hyperperiods N] [--inject-deadline-bug]
+//! polychrony verify   [--workers N] [--hyperperiods N] [--product]
+//!                     [--inject-deadline-bug] [--inject-connection-bug]
 //! polychrony batch    [--jobs N] [--workers N]
 //! ```
 //!
@@ -20,6 +21,7 @@ use polychrony_core::aadl::synth::SyntheticSpec;
 use polychrony_core::sched::SchedulingPolicy;
 use polychrony_core::{
     BatchJob, BatchRunner, CoreError, ScheduleOptions, Session, SessionOptions, ToolChain,
+    VerificationScope,
 };
 
 /// A CLI failure: a usage error (exit code 1) or a runtime error (exit
@@ -76,7 +78,8 @@ ProducerConsumer case study (DATE 2013)
 USAGE:
     polychrony analyze  [--policy rm|edf|fp] [--stop-after PHASE]
     polychrony simulate [--hyperperiods N] [--vcd]
-    polychrony verify   [--workers N] [--hyperperiods N] [--inject-deadline-bug]
+    polychrony verify   [--workers N] [--hyperperiods N] [--product]
+                        [--inject-deadline-bug] [--inject-connection-bug]
     polychrony batch    [--jobs N] [--workers N]
 
 COMMANDS:
@@ -86,9 +89,16 @@ COMMANDS:
                artifact
     simulate   co-simulate the scheduled threads and report alarm instants
     verify     exhaustively model-check every thread (alarm + deadlock
-               freedom); with --inject-deadline-bug, inject a deadline
-               overrun into the producer schedule, print the counterexample
-               and confirm it by simulator replay
+               freedom); with --product, additionally verify the synchronous
+               product of the communicating threads (event-port connections
+               as synchronising actions, one end-to-end response property
+               per connection) and print the joint verdict; with
+               --inject-deadline-bug, inject a deadline overrun into the
+               producer schedule, print the counterexample and confirm it by
+               simulator replay; with --inject-connection-bug, delay the
+               producer's start-timer connection past the timer's input
+               freeze and confirm the cross-thread counterexample by
+               lockstep co-simulation
     batch      run N models (the case study + synthetic workloads) through
                the whole pipeline concurrently on a bounded worker pool and
                print one timed report line per job";
@@ -309,7 +319,9 @@ fn verify(args: &[String]) -> Result<ExitCode, CliError> {
         &[
             ("--workers", true),
             ("--hyperperiods", true),
+            ("--product", false),
             ("--inject-deadline-bug", false),
+            ("--inject-connection-bug", false),
         ],
     )?;
     let workers = flag_value(args, "--workers", 2usize)?;
@@ -317,20 +329,45 @@ fn verify(args: &[String]) -> Result<ExitCode, CliError> {
     if has_flag(args, "--inject-deadline-bug") {
         return verify_injected(workers, hyperperiods);
     }
+    if has_flag(args, "--inject-connection-bug") {
+        return verify_injected_connection(workers, hyperperiods);
+    }
+    let scope = if has_flag(args, "--product") {
+        VerificationScope::Product
+    } else {
+        VerificationScope::PerThread
+    };
     let report = ToolChain::new()
         .with_hyperperiods(1)
         .with_verify_workers(workers)
         .with_verify_hyperperiods(hyperperiods)
+        .with_verify_scope(scope)
         .run_case_study()?;
     let verification = report
         .verification
         .as_ref()
         .expect("verification phase enabled");
     println!(
-        "state-space verification ({} worker(s), {} hyper-period(s)):\n",
-        verification.workers, verification.hyperperiods
+        "state-space verification ({} worker(s), {} hyper-period(s), {} scope):\n",
+        verification.workers,
+        verification.hyperperiods,
+        if verification.product.is_some() {
+            "product"
+        } else {
+            "per-thread"
+        }
     );
     println!("{}", verification.summary());
+    if let Some(product) = &verification.product {
+        println!(
+            "joint verdict: {}",
+            if product.is_violation_free() {
+                "no cross-thread violation"
+            } else {
+                "cross-thread VIOLATION"
+            }
+        );
+    }
     let ok = verification.is_violation_free();
     println!("violation-free: {}", if ok { "yes" } else { "NO" });
     Ok(exit_for(ok))
@@ -355,6 +392,44 @@ fn verify_injected(workers: usize, hyperperiods: u64) -> Result<ExitCode, CliErr
     let replay = replay.expect("a violation always carries a replay");
     println!(
         "simulator replay: {} ({})",
+        if replay.reproduced {
+            "violation reproduced"
+        } else {
+            "NOT reproduced"
+        },
+        replay.detail
+    );
+    Ok(exit_for(replay.reproduced))
+}
+
+/// Delays the producer's start-timer connection past the timer thread's
+/// input freeze, model-checks the thread product over `hyperperiods`
+/// repetitions and confirms the cross-thread counterexample by lockstep
+/// co-simulation.
+fn verify_injected_connection(workers: usize, hyperperiods: u64) -> Result<ExitCode, CliError> {
+    if hyperperiods == 0 {
+        return Err(CliError::Usage(
+            "--hyperperiods must be at least 1".to_string(),
+        ));
+    }
+    let mut demo = polychrony_core::connection_latency_demo(8)?;
+    // The demo's depth bound defaults to one joint hyper-period; scale it
+    // to the requested exploration window.
+    demo.horizon *= hyperperiods as usize;
+    println!(
+        "injected connection latency: link `{}` delayed by {} tick(s) (was {})\n",
+        demo.fault.link, demo.fault.added_latency, demo.fault.original_latency
+    );
+    let (outcome, replay) = demo.verify_and_replay(workers)?;
+    println!("{}", outcome.summary());
+    let Some((_, cex)) = outcome.violations().next() else {
+        println!("expected the injected connection bug to be found — it was not");
+        return Ok(ExitCode::from(2));
+    };
+    println!("{}", cex.render());
+    let replay = replay.expect("a violation always carries a replay");
+    println!(
+        "lockstep co-simulation replay: {} ({})",
         if replay.reproduced {
             "violation reproduced"
         } else {

@@ -1,6 +1,8 @@
 //! E8 — determinism identification: the `thProducer` behaviour automaton is
 //! non-deterministic without priorities on its transitions and deterministic
-//! with them, as reported by the clock calculus in Section V-C.
+//! with them, as reported by the clock calculus in Section V-C — plus
+//! engine-level determinism: product verification returns identical
+//! verdicts and counterexample depths for any worker count.
 
 use polychrony_core::signal_moc::automaton::Automaton;
 use polychrony_core::signal_moc::clockcalc::ClockCalculus;
@@ -88,6 +90,39 @@ fn simultaneous_done_and_timeout_resolved_by_priority() {
         .map(|v| v.as_int().unwrap())
         .collect();
     assert_eq!(states, vec![1, 0, 0]);
+}
+
+#[test]
+fn product_verdicts_and_counterexample_depth_are_worker_count_independent() {
+    use polychrony_core::connection_latency_demo;
+    use polychrony_core::polyverify::Verdict;
+
+    // The injected connection-latency product has both a violated property
+    // (the end-to-end response) and a passing one (alarm freedom): verdicts,
+    // counterexample depth and exploration stats must be identical across
+    // workers = 1, 2, 8 — twice each, to catch nondeterminism between runs.
+    let demo = connection_latency_demo(8).unwrap();
+    let (reference, _) = demo.verify_and_replay(1).unwrap();
+    let Verdict::Violated(reference_cex) = &reference.verdicts[0].verdict else {
+        panic!("expected a violation: {}", reference.summary());
+    };
+    for workers in [1usize, 2, 8] {
+        for _ in 0..2 {
+            let (outcome, replay) = demo.verify_and_replay(workers).unwrap();
+            assert_eq!(reference.verdicts, outcome.verdicts, "workers={workers}");
+            assert_eq!(reference.stats.states, outcome.stats.states);
+            assert_eq!(reference.stats.depth, outcome.stats.depth);
+            let Verdict::Violated(cex) = &outcome.verdicts[0].verdict else {
+                unreachable!("verdicts are equal");
+            };
+            assert_eq!(
+                cex.violation_instant, reference_cex.violation_instant,
+                "counterexample depth must not depend on workers={workers}"
+            );
+            assert_eq!(cex.inputs, reference_cex.inputs, "byte-identical traces");
+            assert!(replay.expect("violation carries a replay").reproduced);
+        }
+    }
 }
 
 #[test]

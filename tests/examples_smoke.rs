@@ -1,4 +1,4 @@
-//! Smoke tests that run each of the seven `examples/` binaries end to end,
+//! Smoke tests that run each of the eight `examples/` binaries end to end,
 //! so example rot is caught by `cargo test` and CI rather than by users.
 //!
 //! Each test shells out to the same `cargo` that is driving this test run
@@ -60,6 +60,11 @@ fn example_batch_verification_runs() {
     run_example("batch_verification");
 }
 
+#[test]
+fn example_product_verification_runs() {
+    run_example("product_verification");
+}
+
 /// The CLI's batch subcommand must complete every job with all checks
 /// passing (exit code 0) and print one report line per job.
 #[test]
@@ -118,6 +123,37 @@ fn cli_analyze_stop_after_schedule_prints_the_schedule_only() {
     assert!(stdout.contains("affine clocks"), "{stdout}");
     // Later phases did not run: no simulation or verification output.
     assert!(!stdout.contains("simulation"), "{stdout}");
+}
+
+/// `verify --product` must surface the joint verdict of the thread product
+/// and exit 0 on the healthy case study.
+#[test]
+fn cli_verify_product_reports_the_joint_verdict() {
+    let cargo = env!("CARGO");
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let output = std::process::Command::new(cargo)
+        .args([
+            "run",
+            "--quiet",
+            "--bin",
+            "polychrony",
+            "--",
+            "verify",
+            "--product",
+        ])
+        .current_dir(manifest_dir)
+        .output()
+        .expect("failed to spawn the polychrony CLI");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "CLI exited with {:?}\n--- stdout ---\n{stdout}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    assert!(stdout.contains("product of"), "{stdout}");
+    assert!(stdout.contains("end-to-end-response"), "{stdout}");
+    assert!(stdout.contains("no cross-thread violation"), "{stdout}");
 }
 
 /// The CLI's verification subcommand must find and replay the injected
