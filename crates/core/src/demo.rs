@@ -42,16 +42,30 @@ impl DeadlineOverrunDemo {
         &self,
         workers: usize,
     ) -> Result<(VerificationOutcome, Option<ReplayReport>), CoreError> {
+        self.verify_properties_and_replay(workers, &[Property::NeverRaised("*Alarm*".into())])
+    }
+
+    /// Like [`DeadlineOverrunDemo::verify_and_replay`], but checking a
+    /// caller-chosen property list — e.g. a user-written past-time LTL
+    /// expression from `polychrony verify --inject-deadline-bug
+    /// --property '<expr>'`, demonstrating that the injected fault is
+    /// caught by a property supplied on the command line alone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates verifier and replay errors as [`CoreError`].
+    pub fn verify_properties_and_replay(
+        &self,
+        workers: usize,
+        properties: &[Property],
+    ) -> Result<(VerificationOutcome, Option<ReplayReport>), CoreError> {
         let verifier = Verifier::new(
             &self.process,
             VerifyOptions::default()
                 .with_workers(workers)
                 .with_depth_bound(self.inputs.len()),
         )?;
-        let outcome = verifier.verify(
-            &InputSpace::Scheduled(self.inputs.clone()),
-            &[Property::NeverRaised("*Alarm*".into())],
-        )?;
+        let outcome = verifier.verify(&InputSpace::Scheduled(self.inputs.clone()), properties)?;
         let replay = match outcome.violations().next() {
             Some((_, cex)) => Some(cex.replay(&self.process)?),
             None => None,
@@ -141,16 +155,36 @@ impl ConnectionLatencyDemo {
         &self,
         workers: usize,
     ) -> Result<(VerificationOutcome, Option<ReplayReport>), CoreError> {
+        self.verify_properties_and_replay(
+            workers,
+            &[
+                self.property.clone(),
+                Property::NeverRaised("*Alarm*".into()),
+            ],
+        )
+    }
+
+    /// Like [`ConnectionLatencyDemo::verify_and_replay`], but checking a
+    /// caller-chosen property list over the tampered product — e.g. a
+    /// user-written `always (<link>_sent implies <link>_consumed within N)`
+    /// from the command line, catching the connection fault without any
+    /// built-in property.
+    ///
+    /// # Errors
+    ///
+    /// Propagates verifier and replay errors as [`CoreError`].
+    pub fn verify_properties_and_replay(
+        &self,
+        workers: usize,
+        properties: &[Property],
+    ) -> Result<(VerificationOutcome, Option<ReplayReport>), CoreError> {
         let verifier = ProductVerifier::new(
             self.system.clone(),
             VerifyOptions::default()
                 .with_workers(workers)
                 .with_depth_bound(self.horizon),
         )?;
-        let outcome = verifier.verify(&[
-            self.property.clone(),
-            Property::NeverRaised("*Alarm*".into()),
-        ])?;
+        let outcome = verifier.verify(properties)?;
         let replay = match outcome.violations().next() {
             Some((_, cex)) => Some(verifier.replay(cex)?),
             None => None,

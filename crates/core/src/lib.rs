@@ -77,7 +77,7 @@ pub use demo::{
 };
 pub use error::CoreError;
 pub use options::{
-    ScheduleOptions, SessionOptions, SimulateOptions, TranslateOptions, VcdCapture,
+    PropertySpec, ScheduleOptions, SessionOptions, SimulateOptions, TranslateOptions, VcdCapture,
     VerificationOptions, VerificationScope,
 };
 pub use pipeline::{ToolChain, ToolChainOptions};

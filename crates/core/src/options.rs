@@ -15,9 +15,51 @@
 
 use serde::{Deserialize, Serialize};
 
+use polyverify::Property;
 use sched::SchedulingPolicy;
 
 use crate::error::CoreError;
+
+/// A user-supplied property, written in the past-time LTL surface syntax
+/// (see `docs/PROPERTIES.md` for the grammar and semantics). The
+/// expression is validated when the options are validated and compiled
+/// into a monitor automaton when the verification phase runs, so it is
+/// checked by per-thread exploration and — under
+/// [`VerificationScope::Product`] — over the joint product, with
+/// counterexamples that replay like the built-in properties.
+///
+/// ```
+/// use polychrony_core::PropertySpec;
+///
+/// let spec = PropertySpec::new("never raised(*Alarm*)");
+/// assert!(spec.parse().is_ok());
+/// assert!(PropertySpec::new("always (Deadline implies").parse().is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PropertySpec {
+    /// The property expression, e.g. `never raised(*Alarm*)` or
+    /// `always (Deadline implies Resume within 2)`.
+    pub expr: String,
+}
+
+impl PropertySpec {
+    /// Wraps a property expression (validated by [`PropertySpec::parse`]).
+    pub fn new(expr: impl Into<String>) -> Self {
+        Self { expr: expr.into() }
+    }
+
+    /// Parses the expression into a checkable [`Property`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidOptions`] carrying the parser's
+    /// span-annotated message (the caret rendering points at the offending
+    /// token).
+    pub fn parse(&self) -> Result<Property, CoreError> {
+        Property::parse_ltl(&self.expr)
+            .map_err(|e| CoreError::InvalidOptions(format!("verify.properties: {e}")))
+    }
+}
 
 /// Which thread's co-simulation is dumped as a VCD waveform by the
 /// simulation phase (surfaced as
@@ -150,7 +192,7 @@ pub enum VerificationScope {
 
 /// Options of the verification phase ([`Simulated::verify`](crate::Simulated::verify)):
 /// the explicit-state exploration of every scheduled thread.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct VerificationOptions {
     /// Runs the state-space verification phase; when `false`,
     /// [`Simulated::verify`](crate::Simulated::verify) behaves like
@@ -165,6 +207,10 @@ pub struct VerificationOptions {
     /// Whether the phase also verifies the product of the communicating
     /// threads.
     pub scope: VerificationScope,
+    /// User-supplied past-time LTL properties, checked alongside the
+    /// standard safety properties in every scope (per-thread and product).
+    /// Each expression must parse (see [`PropertySpec::parse`]).
+    pub properties: Vec<PropertySpec>,
 }
 
 impl Default for VerificationOptions {
@@ -174,6 +220,7 @@ impl Default for VerificationOptions {
             workers: 2,
             hyperperiods: 1,
             scope: VerificationScope::PerThread,
+            properties: Vec::new(),
         }
     }
 }
@@ -186,7 +233,8 @@ impl VerificationOptions {
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidOptions`] when `workers` or
-    /// `hyperperiods` is 0.
+    /// `hyperperiods` is 0, or when a property expression does not parse
+    /// (the message carries the offending span).
     pub fn validate(&self) -> Result<(), CoreError> {
         if self.workers == 0 {
             return Err(CoreError::InvalidOptions(
@@ -197,6 +245,9 @@ impl VerificationOptions {
             return Err(CoreError::InvalidOptions(
                 "verify.hyperperiods must be at least 1 (got 0)".into(),
             ));
+        }
+        for spec in &self.properties {
+            spec.parse()?;
         }
         Ok(())
     }
@@ -284,6 +335,20 @@ mod tests {
             err.to_string().contains("translate.default_queue_size"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn malformed_property_specs_are_rejected_with_a_span() {
+        let mut options = SessionOptions::default();
+        options.verify.properties = vec![PropertySpec::new("always (Deadline implies")];
+        let err = options.validate().unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("verify.properties"), "{message}");
+        assert!(message.contains('^'), "{message}");
+
+        let mut options = SessionOptions::default();
+        options.verify.properties = vec![PropertySpec::new("never raised(*Alarm*)")];
+        options.validate().unwrap();
     }
 
     #[test]

@@ -12,7 +12,7 @@ use aadl::instance::InstanceModel;
 
 use crate::error::CoreError;
 use crate::options::{
-    ScheduleOptions, SessionOptions, SimulateOptions, TranslateOptions, VcdCapture,
+    PropertySpec, ScheduleOptions, SessionOptions, SimulateOptions, TranslateOptions, VcdCapture,
     VerificationOptions, VerificationScope,
 };
 use crate::report::ToolChainReport;
@@ -47,6 +47,9 @@ pub struct ToolChainOptions {
     /// Whether the verification phase also explores the product of the
     /// communicating threads.
     pub verify_scope: VerificationScope,
+    /// User-supplied past-time LTL properties checked by the verification
+    /// phase (see `docs/PROPERTIES.md`). Each expression must parse.
+    pub properties: Vec<PropertySpec>,
 }
 
 impl Default for ToolChainOptions {
@@ -60,6 +63,7 @@ impl Default for ToolChainOptions {
             verify_workers: 2,
             verify_hyperperiods: 1,
             verify_scope: VerificationScope::PerThread,
+            properties: Vec::new(),
         }
     }
 }
@@ -84,6 +88,7 @@ impl ToolChainOptions {
                 workers: self.verify_workers,
                 hyperperiods: self.verify_hyperperiods,
                 scope: self.verify_scope,
+                properties: self.properties.clone(),
             },
         }
     }
@@ -166,6 +171,14 @@ impl ToolChain {
     #[must_use]
     pub fn with_verify_scope(mut self, scope: VerificationScope) -> Self {
         self.options.verify_scope = scope;
+        self
+    }
+
+    /// Adds a user past-time LTL property to check (repeatable; the
+    /// expression is validated when the run starts).
+    #[must_use]
+    pub fn with_property(mut self, expr: impl Into<String>) -> Self {
+        self.options.properties.push(PropertySpec::new(expr));
         self
     }
 

@@ -515,8 +515,11 @@ pub struct Simulated {
 impl Simulated {
     /// Phase 7: exhaustively model-checks every thread unit under the same
     /// schedule with the standard safety properties
-    /// (`never-raised(*Alarm*)`, deadlock freedom). When the verification
-    /// phase is disabled in [`VerificationOptions`], this is
+    /// (`never-raised(*Alarm*)`, deadlock freedom) plus any user-supplied
+    /// past-time LTL properties from
+    /// [`VerificationOptions::properties`] — each gets its own
+    /// per-property verdict in the [`VerificationReport`]. When the
+    /// verification phase is disabled in [`VerificationOptions`], this is
     /// [`Simulated::skip_verification`].
     ///
     /// A single hyper-period trace wraps around (states recurring at the
@@ -542,10 +545,17 @@ impl Simulated {
         if !self.options.verify.enabled {
             return Ok(self.skip_verification());
         }
-        let properties = [
+        let mut properties = vec![
             Property::NeverRaised("*Alarm*".to_string()),
             Property::DeadlockFree,
         ];
+        // User-supplied past-time LTL properties ride along in every
+        // scope. A property over joint product signals is vacuous in a
+        // thread's own namespace (the signals do not exist there), so
+        // checking the full list per-thread is always sound.
+        for spec in &self.options.verify.properties {
+            properties.push(spec.parse()?);
+        }
         let mut outcomes = BTreeMap::new();
         for unit in &self.thread_units {
             let verify_inputs = unit.model.timing_trace(&self.schedule, 1);
@@ -609,6 +619,12 @@ impl Simulated {
                 &self.tasks,
                 self.schedule.hyperperiod,
             ));
+        }
+        // User properties are checked over the joint namespace too — this
+        // is where link-derived `<link>_sent`/`<link>_consumed` atoms
+        // become meaningful.
+        for spec in &self.options.verify.properties {
+            properties.push(spec.parse()?);
         }
         let system = ProductSystem::new(components, links)?;
         let bound = system.horizon() * self.options.verify.hyperperiods as usize;

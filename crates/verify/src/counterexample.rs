@@ -12,8 +12,7 @@ use signal_moc::error::SignalError;
 use signal_moc::process::Process;
 use signal_moc::trace::Trace;
 
-use crate::property::{monitor_step, raised_signal, Property};
-use crate::state::MONITOR_IDLE;
+use crate::property::Property;
 
 /// A concrete violation witness: the input trace leading from the initial
 /// state to the violating instant.
@@ -161,34 +160,6 @@ impl Counterexample {
     pub fn replay_in(&self, simulator: &mut Simulator) -> ReplayReport {
         simulator.reset();
         match &self.property {
-            Property::NeverRaised(pattern) => match simulator.run(&self.inputs) {
-                Ok(out) => match out
-                    .step(self.violation_instant)
-                    .and_then(|step| raised_signal(pattern, step))
-                {
-                    Some(signal) => ReplayReport {
-                        reproduced: true,
-                        detail: format!(
-                            "signal `{signal}` raised at instant {} of the replay",
-                            self.violation_instant
-                        ),
-                        trace: out,
-                    },
-                    None => ReplayReport {
-                        reproduced: false,
-                        detail: format!(
-                            "no signal matching `{pattern}` raised at instant {}",
-                            self.violation_instant
-                        ),
-                        trace: out,
-                    },
-                },
-                Err(e) => ReplayReport {
-                    reproduced: false,
-                    detail: format!("replay failed to execute: {e}"),
-                    trace: Trace::new(),
-                },
-            },
             Property::DeadlockFree => {
                 // The prefix up to the dead state must execute; the final
                 // scheduled step (when present in the trace) must not.
@@ -241,36 +212,40 @@ impl Counterexample {
                     },
                 }
             }
-            Property::BoundedResponse { .. } | Property::EndToEndResponse { .. } => {
-                let (trigger, response, bound) = self
-                    .property
-                    .monitor_spec()
-                    .expect("response properties carry a monitor spec");
+            property => {
+                // One replay path for every trace property — built-in shape
+                // or user LTL: re-run the compiled monitor over the resolved
+                // trace of an independent simulator run and check that the
+                // earliest violation lands on the claimed instant.
+                let monitor = property
+                    .monitor()
+                    .expect("every non-deadlock property compiles to a monitor");
                 match simulator.run(&self.inputs) {
                     Ok(out) => {
-                        let mut register = MONITOR_IDLE;
-                        let mut expired_at = None;
+                        let mut registers = monitor.initial();
+                        let mut violated_at = None;
                         for (t, step) in out.iter().enumerate() {
-                            match monitor_step(trigger, response, bound, register, step) {
-                                Ok(next) => register = next,
-                                Err(()) => {
-                                    expired_at = Some(t);
-                                    break;
-                                }
+                            let observed = monitor.step(&mut registers, step);
+                            if !observed.holds {
+                                violated_at = Some((t, observed));
+                                break;
                             }
                         }
-                        match expired_at {
-                            Some(t) => ReplayReport {
+                        match violated_at {
+                            Some((t, observed)) => ReplayReport {
                                 reproduced: t == self.violation_instant,
                                 detail: format!(
-                                    "response deadline expired at instant {t} of the replay"
+                                    "{} at instant {t} of the replay",
+                                    property.violation_witness(&observed)
                                 ),
                                 trace: out,
                             },
                             None => ReplayReport {
                                 reproduced: false,
-                                detail: "no response-deadline expiry observed in the replay"
-                                    .to_string(),
+                                detail: format!(
+                                    "property `{}` not violated in the replay",
+                                    property.name()
+                                ),
                                 trace: out,
                             },
                         }

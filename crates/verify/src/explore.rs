@@ -15,8 +15,9 @@ use signal_moc::trace::{Trace, TraceStep};
 use signal_moc::value::{Value, ValueType};
 
 use crate::counterexample::Counterexample;
-use crate::property::{monitor_step, raised_signal, Property};
-use crate::state::{State, StateKey, MONITOR_IDLE};
+use crate::monitor::{compile_properties, CompiledProperty};
+use crate::property::Property;
+use crate::state::{State, StateKey};
 
 /// Tuning knobs of the exploration engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -635,17 +636,13 @@ impl Verifier {
             None => self.free_candidates()?,
         };
 
-        // Monitor slots for the response properties (bounded-response and
-        // end-to-end-response share the same register mechanics; an
+        // Every trace property — built-in shape or user LTL — compiles to
+        // one monitor automaton; their registers are concatenated into the
+        // `monitors` component of the explored state (a stateless formula
+        // such as `never raised(...)` contributes zero registers). An
         // end-to-end property over joint product signals simply never
-        // triggers in a single-thread namespace).
-        let monitor_specs: Vec<(String, String, u32)> = properties
-            .iter()
-            .filter_map(|p| {
-                p.monitor_spec()
-                    .map(|(t, r, b)| (t.to_string(), r.to_string(), b))
-            })
-            .collect();
+        // triggers in a single-thread namespace.
+        let (compiled, initial_monitors) = compile_properties(properties);
         let deadlock_checked = properties
             .iter()
             .any(|p| matches!(p, Property::DeadlockFree));
@@ -653,7 +650,7 @@ impl Verifier {
         let initial = State {
             memory: self.evaluator.memory(),
             phase: 0,
-            monitors: vec![MONITOR_IDLE; monitor_specs.len()],
+            monitors: initial_monitors,
         };
         let seen = SeenSet::new(self.options.shards);
         seen.insert(initial.key(), Parent::new(None, TraceStep::new(), 0));
@@ -711,7 +708,7 @@ impl Verifier {
                         let seen = &seen;
                         let state_count = &state_count;
                         let candidates = &candidates;
-                        let monitor_specs = &monitor_specs;
+                        let compiled = &compiled;
                         scope.spawn(move || {
                             self.expand_chunk(
                                 evaluator,
@@ -719,7 +716,7 @@ impl Verifier {
                                 depth,
                                 scheduled,
                                 candidates,
-                                monitor_specs,
+                                compiled,
                                 properties,
                                 deadlock_checked,
                                 seen,
@@ -823,19 +820,12 @@ impl Verifier {
         depth: usize,
         scheduled: Option<&Trace>,
         candidates: &[TraceStep],
-        monitor_specs: &[(String, String, u32)],
+        compiled: &[CompiledProperty],
         properties: &[Property],
         deadlock_checked: bool,
         seen: &SeenSet,
         state_count: &AtomicUsize,
     ) -> WorkerOut {
-        // Property index of each bounded-response monitor slot.
-        let monitor_property_idx: Vec<usize> = properties
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.needs_monitor())
-            .map(|(idx, _)| idx)
-            .collect();
         let mut out = WorkerOut {
             next: Vec::new(),
             violations: Vec::new(),
@@ -876,44 +866,23 @@ impl Verifier {
                             progress_here += 1;
                         }
                         out.transitions += 1;
-                        // Property checks on the resolved instant.
-                        for (idx, property) in properties.iter().enumerate() {
-                            if let Property::NeverRaised(pattern) = property {
-                                if let Some(signal) = raised_signal(pattern, &resolved) {
-                                    out.violations.push(LevelViolation {
-                                        property: idx,
-                                        parent: key.clone(),
-                                        input: Some(input.clone()),
-                                        witness: format!("signal `{signal}` raised"),
-                                    });
-                                }
-                            }
-                        }
-                        // Monitor updates (part of the successor state). An
-                        // expired monitor reports its violation and continues
-                        // with an idle register, so the other monitors (and
-                        // properties) keep being explored. Every expired slot
-                        // is reported — several response deadlines can pass
-                        // on the same transition.
-                        let mut monitors = Vec::with_capacity(monitor_specs.len());
-                        for (slot, (trigger, response, bound)) in monitor_specs.iter().enumerate() {
-                            match monitor_step(
-                                trigger,
-                                response,
-                                *bound,
-                                state.monitors[slot],
-                                &resolved,
-                            ) {
-                                Ok(next) => monitors.push(next),
-                                Err(()) => {
-                                    out.violations.push(LevelViolation {
-                                        property: monitor_property_idx[slot],
-                                        parent: key.clone(),
-                                        input: Some(input.clone()),
-                                        witness: "response deadline expired".to_string(),
-                                    });
-                                    monitors.push(MONITOR_IDLE);
-                                }
+                        // Monitor steps on the resolved instant (the updated
+                        // registers are part of the successor state). A
+                        // violating monitor reports and keeps running — an
+                        // expired deadline register returns to idle — so the
+                        // other properties keep being explored, and several
+                        // violations can land on the same transition.
+                        let mut monitors = state.monitors.clone();
+                        for property in compiled {
+                            let observed = property.step(&mut monitors, &resolved);
+                            if !observed.holds {
+                                out.violations.push(LevelViolation {
+                                    property: property.index,
+                                    parent: key.clone(),
+                                    input: Some(input.clone()),
+                                    witness: properties[property.index]
+                                        .violation_witness(&observed),
+                                });
                             }
                         }
                         // The max_states cap is deliberately NOT checked

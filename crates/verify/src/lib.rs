@@ -16,11 +16,18 @@
 //! * a parallel breadth-first reachability engine with a sharded seen-set
 //!   (scale knob: [`VerifyOptions::workers`]) and a depth-bounded fallback
 //!   for products too large to close;
-//! * a small safety-property layer — [`Property::NeverRaised`],
-//!   [`Property::DeadlockFree`], [`Property::BoundedResponse`],
-//!   [`Property::EndToEndResponse`] — whose violations come back as concrete
+//! * a past-time LTL property language ([`ltl`]) — `always`, `never`,
+//!   `once`, `since`, `previously`, `historically`, the bounded-response
+//!   sugar `within <k>`, and atoms over signal presence/value — compiled
+//!   into deterministic monitor automata ([`monitor::LtlMonitor`]) whose
+//!   registers live in the explored state; the built-in shapes
+//!   ([`Property::NeverRaised`], [`Property::BoundedResponse`],
+//!   [`Property::EndToEndResponse`]) are canonical desugarings into this
+//!   one monitor path, and [`Property::DeadlockFree`] keeps its dedicated
+//!   successor-existence check. Violations come back as concrete
 //!   [`Counterexample`] traces that replay deterministically in
-//!   [`polysim::Simulator`] for independent confirmation;
+//!   [`polysim::Simulator`] for independent confirmation. The surface
+//!   syntax is documented in `docs/PROPERTIES.md`;
 //! * a compositional layer ([`ProductVerifier`]) exploring the synchronous
 //!   product of several scheduled threads with event-port connections
 //!   ([`PortLink`]) treated as synchronising actions, so cross-thread
@@ -62,6 +69,8 @@
 pub mod counterexample;
 pub mod explore;
 pub mod inject;
+pub mod ltl;
+pub mod monitor;
 pub mod product;
 pub mod property;
 pub mod state;
@@ -74,6 +83,8 @@ pub use explore::{
 pub use inject::{
     inject_connection_latency, inject_deadline_overrun, InjectedFault, InjectedLinkFault,
 };
+pub use ltl::{Formula, LtlProperty, ParseError};
+pub use monitor::{LtlMonitor, MonitorStep};
 pub use product::{
     CoSimFailure, LockstepCoSim, PortLink, ProductComponent, ProductSystem, ProductVerifier,
 };

@@ -1,0 +1,467 @@
+//! Compilation of past-time LTL formulas into deterministic monitor
+//! automata.
+//!
+//! An [`LtlMonitor`] turns a [`Formula`] into a register machine that is
+//! advanced once per resolved instant: every temporal operator of the
+//! formula owns exactly one `u32` register (the classical past-time-LTL
+//! monitoring construction — `previously`/`once`/`historically`/`since`
+//! keep one bit of history, `within` keeps the remaining-deadline
+//! countdown of the bounded-response automaton). The registers live in the
+//! explored [`crate::State`] alongside the delay memories and the
+//! scheduler phase, so user-supplied properties flow unchanged through
+//! per-thread exploration ([`crate::Verifier`]), the product
+//! ([`crate::ProductVerifier`]), counterexample replay and the lockstep
+//! co-simulation.
+//!
+//! A formula with no temporal operator compiles to a *stateless* monitor
+//! (zero registers): checking it never enlarges the state space. This is
+//! why the [`crate::Property::NeverRaised`] desugaring is cost-free, and
+//! why [`crate::Property::BoundedResponse`] compiles to exactly the one
+//! countdown register the hand-written legacy monitor used.
+//!
+//! The monitor is cross-validated against the brute-force reference
+//! semantics of [`crate::ltl::eval`] by property-based tests: for every
+//! formula and every trace, stepping the monitor instant by instant must
+//! produce the same truth sequence as re-evaluating the formula over each
+//! prefix.
+//!
+//! ```
+//! use polyverify::ltl::LtlProperty;
+//! use polyverify::monitor::LtlMonitor;
+//! use signal_moc::trace::TraceStep;
+//! use signal_moc::value::Value;
+//!
+//! let property = LtlProperty::parse("always (Alarm implies once Deadline)")?;
+//! let monitor = LtlMonitor::new(property.invariant().clone());
+//! assert_eq!(monitor.register_count(), 1); // one register for `once`
+//!
+//! let mut registers = monitor.initial();
+//! let mut alarm = TraceStep::new();
+//! alarm.set("Alarm", Value::Bool(true));
+//! // An alarm with no prior deadline violates the invariant.
+//! assert!(!monitor.step(&mut registers, &alarm).holds);
+//! # Ok::<(), polyverify::ltl::ParseError>(())
+//! ```
+
+use signal_moc::trace::TraceStep;
+
+use crate::ltl::Formula;
+use crate::property::{raised_signal, signal_true};
+use crate::state::MONITOR_IDLE;
+
+/// What one monitor step observed: the truth value of the formula at this
+/// instant, plus the witness details used to annotate violations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorStep {
+    /// The value of the formula at this instant; `false` is a violation of
+    /// the invariant.
+    pub holds: bool,
+    /// `true` when a `within` deadline expired unanswered at this instant.
+    pub expired: bool,
+    /// The first signal matched by a `raised(...)` atom at this instant,
+    /// if any.
+    pub raised: Option<String>,
+}
+
+/// A deterministic monitor automaton compiled from a past-time LTL
+/// invariant. See the [module documentation](self) for the construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LtlMonitor {
+    invariant: Formula,
+    initial: Vec<u32>,
+}
+
+impl LtlMonitor {
+    /// Compiles the invariant, assigning one register per temporal
+    /// operator (pre-order).
+    pub fn new(invariant: Formula) -> Self {
+        let mut initial = Vec::with_capacity(invariant.temporal_count());
+        collect_initial(&invariant, &mut initial);
+        Self { invariant, initial }
+    }
+
+    /// The invariant this monitor checks at every instant.
+    pub fn invariant(&self) -> &Formula {
+        &self.invariant
+    }
+
+    /// Number of `u32` registers the monitor keeps in the explored state.
+    pub fn register_count(&self) -> usize {
+        self.initial.len()
+    }
+
+    /// The register values before the first instant.
+    pub fn initial(&self) -> Vec<u32> {
+        self.initial.clone()
+    }
+
+    /// Advances the monitor over one resolved instant, updating `registers`
+    /// in place and returning the truth value of the invariant at this
+    /// instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `registers.len()` differs from
+    /// [`LtlMonitor::register_count`].
+    pub fn step(&self, registers: &mut [u32], step: &TraceStep) -> MonitorStep {
+        assert_eq!(
+            registers.len(),
+            self.initial.len(),
+            "monitor stepped with a register slice of the wrong width"
+        );
+        let mut out = MonitorStep {
+            holds: true,
+            expired: false,
+            raised: None,
+        };
+        let mut cursor = 0usize;
+        out.holds = eval_step(&self.invariant, step, registers, &mut cursor, &mut out);
+        debug_assert_eq!(cursor, registers.len(), "register walk out of sync");
+        out
+    }
+}
+
+/// Initial register value of each temporal operator, in the same pre-order
+/// walk [`eval_step`] uses.
+fn collect_initial(formula: &Formula, out: &mut Vec<u32>) {
+    match formula {
+        Formula::Const(_) | Formula::Signal(_) | Formula::Present(_) | Formula::Raised(_) => {}
+        Formula::Not(a) => collect_initial(a, out),
+        Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) => {
+            collect_initial(a, out);
+            collect_initial(b, out);
+        }
+        Formula::Previously(a) | Formula::Once(a) => {
+            out.push(0);
+            collect_initial(a, out);
+        }
+        Formula::Historically(a) => {
+            out.push(1);
+            collect_initial(a, out);
+        }
+        Formula::Since(a, b) => {
+            out.push(0);
+            collect_initial(a, out);
+            collect_initial(b, out);
+        }
+        Formula::Within {
+            trigger, response, ..
+        } => {
+            out.push(MONITOR_IDLE);
+            collect_initial(trigger, out);
+            collect_initial(response, out);
+        }
+    }
+}
+
+/// Evaluates `formula` at the current instant, reading each temporal
+/// operator's register (its value *before* this instant) and writing the
+/// updated value back. Both operands of every connective are evaluated
+/// unconditionally — short-circuiting would skip register updates of the
+/// unevaluated side and desynchronise the monitor.
+fn eval_step(
+    formula: &Formula,
+    step: &TraceStep,
+    registers: &mut [u32],
+    cursor: &mut usize,
+    out: &mut MonitorStep,
+) -> bool {
+    match formula {
+        Formula::Const(b) => *b,
+        Formula::Signal(name) => signal_true(step, name),
+        Formula::Present(name) => step.is_present(name),
+        Formula::Raised(pattern) => match raised_signal(pattern, step) {
+            Some(signal) => {
+                out.raised.get_or_insert(signal);
+                true
+            }
+            None => false,
+        },
+        Formula::Not(a) => !eval_step(a, step, registers, cursor, out),
+        Formula::And(a, b) => {
+            let va = eval_step(a, step, registers, cursor, out);
+            let vb = eval_step(b, step, registers, cursor, out);
+            va && vb
+        }
+        Formula::Or(a, b) => {
+            let va = eval_step(a, step, registers, cursor, out);
+            let vb = eval_step(b, step, registers, cursor, out);
+            va || vb
+        }
+        Formula::Implies(a, b) => {
+            let va = eval_step(a, step, registers, cursor, out);
+            let vb = eval_step(b, step, registers, cursor, out);
+            !va || vb
+        }
+        Formula::Previously(a) => {
+            let slot = claim(cursor);
+            let before = registers[slot] != 0;
+            let now = eval_step(a, step, registers, cursor, out);
+            registers[slot] = u32::from(now);
+            before
+        }
+        Formula::Once(a) => {
+            let slot = claim(cursor);
+            let now = eval_step(a, step, registers, cursor, out) || registers[slot] != 0;
+            registers[slot] = u32::from(now);
+            now
+        }
+        Formula::Historically(a) => {
+            let slot = claim(cursor);
+            let now = eval_step(a, step, registers, cursor, out) && registers[slot] != 0;
+            registers[slot] = u32::from(now);
+            now
+        }
+        Formula::Since(a, b) => {
+            let slot = claim(cursor);
+            let va = eval_step(a, step, registers, cursor, out);
+            let vb = eval_step(b, step, registers, cursor, out);
+            let now = vb || (va && registers[slot] != 0);
+            registers[slot] = u32::from(now);
+            now
+        }
+        Formula::Within {
+            trigger,
+            response,
+            bound,
+        } => {
+            let slot = claim(cursor);
+            let trig = eval_step(trigger, step, registers, cursor, out);
+            let resp = eval_step(response, step, registers, cursor, out);
+            let mut register = registers[slot];
+            let mut expired = false;
+            if register != MONITOR_IDLE {
+                if resp {
+                    register = MONITOR_IDLE;
+                } else {
+                    // Armed registers are always in 1..=bound: hitting 0
+                    // means the response window just closed unanswered.
+                    register -= 1;
+                    if register == 0 {
+                        expired = true;
+                        register = MONITOR_IDLE;
+                    }
+                }
+            }
+            if !expired && trig && !resp && register == MONITOR_IDLE {
+                if *bound == 0 {
+                    expired = true;
+                } else {
+                    register = *bound;
+                }
+            }
+            registers[slot] = register;
+            if expired {
+                out.expired = true;
+            }
+            !expired
+        }
+    }
+}
+
+fn claim(cursor: &mut usize) -> usize {
+    let slot = *cursor;
+    *cursor += 1;
+    slot
+}
+
+/// One property's compiled monitor and where its registers live in the
+/// concatenated monitor vector of the explored [`crate::State`].
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledProperty {
+    /// Index of the property in the caller's property list.
+    pub index: usize,
+    /// Offset of the first register in the concatenated vector.
+    pub offset: usize,
+    /// Number of registers.
+    pub len: usize,
+    /// The compiled monitor.
+    pub monitor: LtlMonitor,
+}
+
+impl CompiledProperty {
+    /// Steps this property's monitor over its slice of the concatenated
+    /// register vector.
+    pub fn step(&self, registers: &mut [u32], step: &TraceStep) -> MonitorStep {
+        self.monitor
+            .step(&mut registers[self.offset..self.offset + self.len], step)
+    }
+}
+
+/// Compiles every monitored property of a list (everything except
+/// [`crate::Property::DeadlockFree`], which is a successor-existence
+/// property, not a trace formula) and lays their registers out in one
+/// concatenated vector — the `monitors` component of the canonical
+/// [`crate::State`]. Returns the compiled properties and the initial
+/// register vector.
+pub(crate) fn compile_properties(
+    properties: &[crate::Property],
+) -> (Vec<CompiledProperty>, Vec<u32>) {
+    let mut compiled = Vec::new();
+    let mut initial = Vec::new();
+    for (index, property) in properties.iter().enumerate() {
+        if let Some(monitor) = property.monitor() {
+            let registers = monitor.initial();
+            compiled.push(CompiledProperty {
+                index,
+                offset: initial.len(),
+                len: registers.len(),
+                monitor,
+            });
+            initial.extend(registers);
+        }
+    }
+    (compiled, initial)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ltl::{eval, first_violation, LtlProperty};
+    use signal_moc::value::Value;
+
+    fn step(pairs: &[(&str, bool)]) -> TraceStep {
+        let mut s = TraceStep::new();
+        for (name, value) in pairs {
+            s.set(*name, Value::Bool(*value));
+        }
+        s
+    }
+
+    /// Runs the monitor over a trace and returns the per-instant truth
+    /// sequence.
+    fn monitor_values(monitor: &LtlMonitor, steps: &[TraceStep]) -> Vec<bool> {
+        let mut registers = monitor.initial();
+        steps
+            .iter()
+            .map(|s| monitor.step(&mut registers, s).holds)
+            .collect()
+    }
+
+    #[test]
+    fn stateless_formulas_compile_to_zero_registers() {
+        let property = LtlProperty::parse("never raised(*Alarm*)").unwrap();
+        let monitor = LtlMonitor::new(property.invariant().clone());
+        assert_eq!(monitor.register_count(), 0);
+        let mut registers = monitor.initial();
+        let quiet = step(&[("Alarm", false)]);
+        let fired = step(&[("th_Alarm", true)]);
+        assert!(monitor.step(&mut registers, &quiet).holds);
+        let out = monitor.step(&mut registers, &fired);
+        assert!(!out.holds);
+        assert_eq!(out.raised.as_deref(), Some("th_Alarm"));
+    }
+
+    #[test]
+    fn within_register_matches_the_legacy_bounded_response_monitor() {
+        // bound 2: trigger, one quiet instant, then response -> satisfied;
+        // bound 1: trigger then quiet -> expires one instant later.
+        let monitor = LtlMonitor::new(Formula::within(
+            Formula::signal("t"),
+            Formula::signal("r"),
+            2,
+        ));
+        assert_eq!(monitor.register_count(), 1);
+        assert_eq!(monitor.initial(), vec![MONITOR_IDLE]);
+        let trace = [step(&[("t", true)]), step(&[]), step(&[("r", true)])];
+        assert_eq!(monitor_values(&monitor, &trace), vec![true, true, true]);
+
+        let tight = LtlMonitor::new(Formula::within(
+            Formula::signal("t"),
+            Formula::signal("r"),
+            1,
+        ));
+        let mut registers = tight.initial();
+        assert!(tight.step(&mut registers, &trace[0]).holds);
+        assert_eq!(registers, vec![1]);
+        let out = tight.step(&mut registers, &trace[1]);
+        assert!(!out.holds);
+        assert!(out.expired);
+        // After an expiry the register returns to idle and keeps monitoring.
+        assert_eq!(registers, vec![MONITOR_IDLE]);
+    }
+
+    #[test]
+    fn bound_zero_requires_a_same_instant_response() {
+        let monitor = LtlMonitor::new(Formula::within(
+            Formula::signal("t"),
+            Formula::signal("r"),
+            0,
+        ));
+        let mut registers = monitor.initial();
+        assert!(
+            monitor
+                .step(&mut registers, &step(&[("t", true), ("r", true)]))
+                .holds
+        );
+        assert!(!monitor.step(&mut registers, &step(&[("t", true)])).holds);
+    }
+
+    #[test]
+    fn monitor_agrees_with_the_reference_semantics_on_hand_picked_formulas() {
+        let traces = [
+            vec![step(&[("a", true)]), step(&[("b", true)]), step(&[])],
+            vec![
+                step(&[]),
+                step(&[("a", true), ("b", false)]),
+                step(&[("a", true)]),
+                step(&[("b", true)]),
+            ],
+        ];
+        for src in [
+            "always previously a",
+            "always (once a implies b)",
+            "always historically (a or not b)",
+            "always (not a since b)",
+            "always (a implies b within 1)",
+            "always (previously (a since b) or once (a and b))",
+        ] {
+            let property = LtlProperty::parse(src).unwrap();
+            let monitor = LtlMonitor::new(property.invariant().clone());
+            for trace in &traces {
+                let stepped = monitor_values(&monitor, trace);
+                let reference: Vec<bool> = (0..trace.len())
+                    .map(|t| eval(property.invariant(), trace, t))
+                    .collect();
+                assert_eq!(stepped, reference, "{src}");
+            }
+        }
+    }
+
+    #[test]
+    fn first_violation_agrees_between_monitor_and_reference() {
+        let property = LtlProperty::parse("always (a implies b within 1)").unwrap();
+        let monitor = LtlMonitor::new(property.invariant().clone());
+        let trace = vec![step(&[("a", true)]), step(&[]), step(&[])];
+        let by_monitor = monitor_values(&monitor, &trace)
+            .iter()
+            .position(|holds| !holds);
+        assert_eq!(by_monitor, first_violation(property.invariant(), &trace));
+        assert_eq!(by_monitor, Some(1));
+    }
+
+    #[test]
+    fn compile_properties_lays_registers_out_in_property_order() {
+        use crate::Property;
+        let properties = [
+            Property::NeverRaised("*Alarm*".into()),
+            Property::DeadlockFree,
+            Property::BoundedResponse {
+                trigger: "t".into(),
+                response: "r".into(),
+                bound: 3,
+            },
+            Property::Ltl(LtlProperty::parse("always (once a implies previously b)").unwrap()),
+        ];
+        let (compiled, initial) = compile_properties(&properties);
+        // DeadlockFree has no monitor; NeverRaised is stateless.
+        assert_eq!(compiled.len(), 3);
+        assert_eq!(compiled[0].index, 0);
+        assert_eq!(compiled[0].len, 0);
+        assert_eq!(compiled[1].index, 2);
+        assert_eq!((compiled[1].offset, compiled[1].len), (0, 1));
+        assert_eq!(compiled[2].index, 3);
+        assert_eq!((compiled[2].offset, compiled[2].len), (1, 2));
+        assert_eq!(initial, vec![MONITOR_IDLE, 0, 0]);
+    }
+}

@@ -46,8 +46,9 @@ use crate::counterexample::{Counterexample, ReplayReport};
 use crate::explore::{
     ExplorationStats, PropertyVerdict, Verdict, VerificationOutcome, VerifyError, VerifyOptions,
 };
-use crate::property::{monitor_step, raised_signal, Property};
-use crate::state::{State, StateKey, MONITOR_IDLE};
+use crate::monitor::compile_properties;
+use crate::property::Property;
+use crate::state::{State, StateKey};
 
 /// One thread of a product: its flattened SIGNAL process and the scheduled
 /// timing trace driving it over the joint hyper-period.
@@ -527,7 +528,52 @@ impl ProductVerifier {
         &self.options
     }
 
-    /// Explores the product and checks every property of `properties`.
+    /// Explores the product and checks every property of `properties` —
+    /// built-in shapes and user past-time LTL properties alike — over the
+    /// joint namespace (`<component>_`-prefixed signals plus the
+    /// link-derived `_sent`/`_received`/`_consumed` joints).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use polyverify::{
+    ///     ProductComponent, ProductSystem, ProductVerifier, Property, VerifyOptions,
+    /// };
+    /// use signal_moc::builder::ProcessBuilder;
+    /// use signal_moc::expr::Expr;
+    /// use signal_moc::trace::Trace;
+    /// use signal_moc::value::{Value, ValueType};
+    ///
+    /// // One scheduled thread echoing Dispatch as Complete.
+    /// let mut b = ProcessBuilder::new("echo");
+    /// b.input("Dispatch", ValueType::Boolean);
+    /// b.output("Complete", ValueType::Boolean);
+    /// b.define("Complete", Expr::var("Dispatch"));
+    /// b.synchronize(&["Dispatch", "Complete"]);
+    /// let process = b.build()?;
+    /// let mut schedule = Trace::new();
+    /// for t in 0..4usize {
+    ///     schedule.set(t, "Dispatch", Value::Bool(t == 0));
+    /// }
+    ///
+    /// let system = ProductSystem::new(
+    ///     vec![ProductComponent {
+    ///         name: "echo".into(),
+    ///         process,
+    ///         schedule,
+    ///     }],
+    ///     vec![],
+    /// )?;
+    /// let verifier = ProductVerifier::new(system, VerifyOptions::default())?;
+    /// // A user property over the joint namespace: every dispatch is
+    /// // completed on the spot. The periodic product closes, so the
+    /// // verdict is a proof for unbounded time.
+    /// let property =
+    ///     Property::parse_ltl("always (echo_Dispatch implies echo_Complete within 0)")?;
+    /// let outcome = verifier.verify(&[property])?;
+    /// assert!(outcome.all_proved(), "{}", outcome.summary());
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     ///
     /// # Errors
     ///
@@ -539,19 +585,9 @@ impl ProductVerifier {
         if properties.is_empty() {
             return Err(VerifyError::NoProperties);
         }
-        let monitor_specs: Vec<(String, String, u32)> = properties
-            .iter()
-            .filter_map(|p| {
-                p.monitor_spec()
-                    .map(|(t, r, b)| (t.to_string(), r.to_string(), b))
-            })
-            .collect();
-        let monitor_property_idx: Vec<usize> = properties
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.needs_monitor())
-            .map(|(idx, _)| idx)
-            .collect();
+        // One compiled monitor per trace property (built-in or user LTL);
+        // their registers concatenate into the joint state's `monitors`.
+        let (compiled, mut monitors) = compile_properties(properties);
         let deadlock_idx = properties
             .iter()
             .position(|p| matches!(p, Property::DeadlockFree));
@@ -568,7 +604,6 @@ impl ProductVerifier {
             .max(1)
             .min(self.system.components.len());
 
-        let mut monitors = vec![MONITOR_IDLE; monitor_specs.len()];
         let mut seen: HashMap<StateKey, usize> = HashMap::new();
         seen.insert(self.product_state(&evaluators, 0, &monitors).key(), 0);
 
@@ -684,36 +719,17 @@ impl ProductVerifier {
             transitions += resolved.len();
             let joint = self.system.joint_resolved(phase, &resolved);
 
-            // Property checks on the joint instant.
-            for (idx, property) in properties.iter().enumerate() {
-                if let Property::NeverRaised(pattern) = property {
-                    if found[idx].is_none() {
-                        if let Some(signal) = raised_signal(pattern, &joint) {
-                            found[idx] = Some(Counterexample {
-                                property: property.clone(),
-                                inputs: joint_inputs.clone(),
-                                violation_instant: depth,
-                                witness: format!("signal `{signal}` raised"),
-                            });
-                        }
-                    }
-                }
-            }
-            for (slot, (trigger, response, bound)) in monitor_specs.iter().enumerate() {
-                match monitor_step(trigger, response, *bound, monitors[slot], &joint) {
-                    Ok(next) => monitors[slot] = next,
-                    Err(()) => {
-                        let idx = monitor_property_idx[slot];
-                        if found[idx].is_none() {
-                            found[idx] = Some(Counterexample {
-                                property: properties[idx].clone(),
-                                inputs: joint_inputs.clone(),
-                                violation_instant: depth,
-                                witness: "response deadline expired".to_string(),
-                            });
-                        }
-                        monitors[slot] = MONITOR_IDLE;
-                    }
+            // Monitor steps on the joint instant (a violating monitor keeps
+            // running, so every property gets its earliest counterexample).
+            for property in &compiled {
+                let observed = property.step(&mut monitors, &joint);
+                if !observed.holds && found[property.index].is_none() {
+                    found[property.index] = Some(Counterexample {
+                        property: properties[property.index].clone(),
+                        inputs: joint_inputs.clone(),
+                        violation_instant: depth,
+                        witness: properties[property.index].violation_witness(&observed),
+                    });
                 }
             }
 
@@ -837,61 +853,39 @@ impl ProductVerifier {
                         trace: joint,
                     });
                 }
-                match property {
-                    Property::NeverRaised(pattern) => {
-                        match joint
-                            .step(cex.violation_instant)
-                            .and_then(|step| raised_signal(pattern, step))
-                        {
-                            Some(signal) => Ok(ReplayReport {
-                                reproduced: true,
-                                detail: format!(
-                                    "signal `{signal}` raised at tick {} of the lockstep replay",
-                                    cex.violation_instant
-                                ),
-                                trace: joint,
-                            }),
-                            None => Ok(ReplayReport {
-                                reproduced: false,
-                                detail: format!(
-                                    "no signal matching `{pattern}` raised at tick {}",
-                                    cex.violation_instant
-                                ),
-                                trace: joint,
-                            }),
-                        }
+                // One replay path for every trace property: re-run its
+                // compiled monitor over the joint trace the co-simulation
+                // produced, independently of the checker's exploration.
+                let monitor = property
+                    .monitor()
+                    .expect("every non-deadlock property compiles to a monitor");
+                let mut registers = monitor.initial();
+                let mut violated_at = None;
+                for (t, step) in joint.iter().enumerate() {
+                    let observed = monitor.step(&mut registers, step);
+                    if !observed.holds {
+                        violated_at = Some((t, observed));
+                        break;
                     }
-                    Property::BoundedResponse { .. } | Property::EndToEndResponse { .. } => {
-                        let (trigger, response, bound) = property
-                            .monitor_spec()
-                            .expect("response properties carry a monitor spec");
-                        let mut register = MONITOR_IDLE;
-                        let mut expired_at = None;
-                        for (t, step) in joint.iter().enumerate() {
-                            match monitor_step(trigger, response, bound, register, step) {
-                                Ok(next) => register = next,
-                                Err(()) => {
-                                    expired_at = Some(t);
-                                    break;
-                                }
-                            }
-                        }
-                        Ok(ReplayReport {
-                            reproduced: expired_at == Some(cex.violation_instant),
-                            detail: match expired_at {
-                                Some(t) => format!(
-                                    "response deadline expired at tick {t} of the lockstep replay"
-                                ),
-                                None => {
-                                    "no response-deadline expiry observed in the lockstep replay"
-                                        .into()
-                                }
-                            },
-                            trace: joint,
-                        })
-                    }
-                    Property::DeadlockFree => unreachable!("handled above"),
                 }
+                Ok(match violated_at {
+                    Some((t, observed)) => ReplayReport {
+                        reproduced: t == cex.violation_instant,
+                        detail: format!(
+                            "{} at tick {t} of the lockstep replay",
+                            property.violation_witness(&observed)
+                        ),
+                        trace: joint,
+                    },
+                    None => ReplayReport {
+                        reproduced: false,
+                        detail: format!(
+                            "property `{}` not violated in the lockstep replay",
+                            property.name()
+                        ),
+                        trace: joint,
+                    },
+                })
             }
         }
     }

@@ -1,9 +1,22 @@
 //! Safety properties checked during state-space exploration.
+//!
+//! Every property except [`Property::DeadlockFree`] denotes a past-time
+//! LTL invariant over the resolved trace: [`Property::ltl`] exposes the
+//! formula and [`Property::monitor`] compiles it into the monitor
+//! automaton the explorers step ([`crate::monitor::LtlMonitor`]). The
+//! legacy shapes ([`Property::NeverRaised`],
+//! [`Property::BoundedResponse`], [`Property::EndToEndResponse`]) are
+//! canonical desugarings into that one monitor path; arbitrary
+//! user-written formulas enter through [`Property::Ltl`]. Deadlock freedom
+//! is the one property that is *not* a trace formula — it asks for the
+//! existence of a feasible successor — and keeps its dedicated check in
+//! the explorers.
 
 use serde::{Deserialize, Serialize};
 use signal_moc::trace::TraceStep;
 
-use crate::state::MONITOR_IDLE;
+use crate::ltl::{Formula, LtlProperty};
+use crate::monitor::{LtlMonitor, MonitorStep};
 
 /// A safety property over the executions of a flat SIGNAL process.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -11,15 +24,20 @@ pub enum Property {
     /// No signal whose name matches the pattern is ever present with a
     /// `true`-ish value. Patterns support leading/trailing `*` wildcards:
     /// `"*Alarm*"` (contains), `"Alarm*"` (prefix), `"*Alarm"` (suffix),
-    /// `"Alarm"` (exact).
+    /// `"Alarm"` (exact). Desugars to the LTL property
+    /// `never raised(<pattern>)`.
     NeverRaised(String),
     /// Every reachable state has at least one executable successor. Under a
     /// scheduled input trace this means every scheduled step is executable;
     /// under free inputs it means some non-silent input valuation is
-    /// feasible.
+    /// feasible. Not expressible as a trace formula (it quantifies over
+    /// successors, not over the observed trace), so it has no LTL
+    /// desugaring.
     DeadlockFree,
     /// Whenever `trigger` is present and true, `response` must be present
     /// and true within `bound` instants (a same-instant response counts).
+    /// Desugars to the LTL property
+    /// `always (<trigger> implies <response> within <bound>)`.
     BoundedResponse {
         /// Name of the triggering signal.
         trigger: String,
@@ -37,6 +55,7 @@ pub enum Property {
     /// event-port connection; over a single thread the referenced joint
     /// signals do not exist, so the property is vacuously satisfied — which
     /// is exactly why connection faults are invisible to per-thread scope.
+    /// Desugars to `always (<from> implies <to> within <bound>)`.
     EndToEndResponse {
         /// Name of the (joint) signal whose truth starts the deadline.
         from: String,
@@ -45,9 +64,22 @@ pub enum Property {
         /// Maximum number of instants between `from` and `to`.
         bound: u32,
     },
+    /// A user-written past-time LTL property (see [`crate::ltl`] and the
+    /// `docs/PROPERTIES.md` reference manual), e.g. parsed from
+    /// `polychrony verify --property '<expr>'`.
+    Ltl(LtlProperty),
 }
 
 impl Property {
+    /// Parses a property from the past-time LTL surface syntax.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`crate::ltl::ParseError`] with the offending span.
+    pub fn parse_ltl(expr: &str) -> Result<Self, crate::ltl::ParseError> {
+        LtlProperty::parse(expr).map(Property::Ltl)
+    }
+
     /// A short human-readable name for reports.
     pub fn name(&self) -> String {
         match self {
@@ -61,20 +93,60 @@ impl Property {
             Property::EndToEndResponse { from, to, bound } => {
                 format!("end-to-end-response({from} -> {to} within {bound})")
             }
+            Property::Ltl(property) => property.expr().to_string(),
         }
+    }
+
+    /// The past-time LTL desugaring of this property — the one monitor path
+    /// every trace property compiles through. `None` only for
+    /// [`Property::DeadlockFree`], which is a successor-existence property,
+    /// not a trace formula.
+    pub fn ltl(&self) -> Option<LtlProperty> {
+        match self {
+            Property::NeverRaised(pattern) => {
+                Some(LtlProperty::never(Formula::raised(pattern.clone())))
+            }
+            Property::DeadlockFree => None,
+            Property::BoundedResponse {
+                trigger,
+                response,
+                bound,
+            } => Some(LtlProperty::always(Formula::within(
+                Formula::signal(trigger.clone()),
+                Formula::signal(response.clone()),
+                *bound,
+            ))),
+            Property::EndToEndResponse { from, to, bound } => {
+                Some(LtlProperty::always(Formula::within(
+                    Formula::signal(from.clone()),
+                    Formula::signal(to.clone()),
+                    *bound,
+                )))
+            }
+            Property::Ltl(property) => Some(property.clone()),
+        }
+    }
+
+    /// Compiles the property's invariant into the monitor automaton stepped
+    /// by the explorers (`None` for [`Property::DeadlockFree`]).
+    pub fn monitor(&self) -> Option<LtlMonitor> {
+        self.ltl()
+            .map(|property| LtlMonitor::new(property.invariant().clone()))
     }
 
     /// Returns `true` for the response properties ([`Property::BoundedResponse`]
     /// and [`Property::EndToEndResponse`]), which carry a monitor register in
-    /// the explored state.
+    /// the explored state. Legacy helper kept for the built-in shapes; an
+    /// arbitrary [`Property::Ltl`] carries one register per temporal
+    /// operator (see [`Property::monitor`]).
     pub fn needs_monitor(&self) -> bool {
         self.monitor_spec().is_some()
     }
 
     /// The `(trigger, response, bound)` triple of a response property
-    /// (`None` for the stateless properties). Both response flavours share
-    /// the same monitor mechanics; they differ only in the namespace the
-    /// signals live in (one thread vs the joint product).
+    /// (`None` for the other shapes). Both response flavours share the same
+    /// deadline automaton; they differ only in the namespace the signals
+    /// live in (one thread vs the joint product).
     pub fn monitor_spec(&self) -> Option<(&str, &str, u32)> {
         match self {
             Property::BoundedResponse {
@@ -83,7 +155,34 @@ impl Property {
                 bound,
             } => Some((trigger, response, *bound)),
             Property::EndToEndResponse { from, to, bound } => Some((from, to, *bound)),
-            Property::NeverRaised(_) | Property::DeadlockFree => None,
+            Property::NeverRaised(_) | Property::DeadlockFree | Property::Ltl(_) => None,
+        }
+    }
+
+    /// The witness text of a violating monitor step, matching the
+    /// property's vocabulary (the raised signal for alarm properties, the
+    /// expired deadline for response properties).
+    pub(crate) fn violation_witness(&self, observed: &MonitorStep) -> String {
+        match self {
+            Property::NeverRaised(_) => match &observed.raised {
+                Some(signal) => format!("signal `{signal}` raised"),
+                None => "signal raised".to_string(),
+            },
+            Property::BoundedResponse { .. } | Property::EndToEndResponse { .. } => {
+                "response deadline expired".to_string()
+            }
+            Property::Ltl(property) => {
+                if observed.expired {
+                    "response deadline expired".to_string()
+                } else if let (Formula::Not(_), Some(signal)) =
+                    (property.invariant(), &observed.raised)
+                {
+                    format!("signal `{signal}` raised")
+                } else {
+                    "formula false at this instant".to_string()
+                }
+            }
+            Property::DeadlockFree => unreachable!("deadlock freedom has no monitor"),
         }
     }
 }
@@ -110,41 +209,9 @@ pub(crate) fn raised_signal(pattern: &str, step: &TraceStep) -> Option<String> {
         .map(|(name, _)| name.clone())
 }
 
-fn signal_true(step: &TraceStep, name: &str) -> bool {
+/// Returns `true` when `name` is present with a `true`-ish value.
+pub(crate) fn signal_true(step: &TraceStep, name: &str) -> bool {
     step.get(name).map(|v| v.as_bool()).unwrap_or(false)
-}
-
-/// Advances the monitor register of a [`Property::BoundedResponse`] over one
-/// resolved step. Returns the new register, or `Err(())` when the response
-/// deadline expired at this instant.
-pub(crate) fn monitor_step(
-    trigger: &str,
-    response: &str,
-    bound: u32,
-    register: u32,
-    step: &TraceStep,
-) -> Result<u32, ()> {
-    let response_now = signal_true(step, response);
-    let mut register = register;
-    if register != MONITOR_IDLE {
-        if response_now {
-            register = MONITOR_IDLE;
-        } else {
-            // Armed registers are always in 1..=bound: hitting 0 here means
-            // the response window just closed without a response.
-            register -= 1;
-            if register == 0 {
-                return Err(());
-            }
-        }
-    }
-    if signal_true(step, trigger) && !response_now && register == MONITOR_IDLE {
-        if bound == 0 {
-            return Err(());
-        }
-        register = bound;
-    }
-    Ok(register)
 }
 
 #[cfg(test)]
@@ -173,44 +240,6 @@ mod tests {
         assert_eq!(raised_signal("*Alarm*", &step), None);
         step.set("th_Alarm", Value::Bool(true));
         assert_eq!(raised_signal("*Alarm*", &step), Some("th_Alarm".into()));
-    }
-
-    #[test]
-    fn monitor_arms_counts_down_and_expires() {
-        let trigger = "t";
-        let response = "r";
-        let mut fire = TraceStep::new();
-        fire.set(trigger, Value::Bool(true));
-        let quiet = TraceStep::new();
-        let mut respond = TraceStep::new();
-        respond.set(response, Value::Bool(true));
-
-        // bound 2: trigger, one quiet instant, then response -> satisfied.
-        let m = monitor_step(trigger, response, 2, MONITOR_IDLE, &fire).unwrap();
-        assert_eq!(m, 2);
-        let m = monitor_step(trigger, response, 2, m, &quiet).unwrap();
-        assert_eq!(m, 1);
-        let m = monitor_step(trigger, response, 2, m, &respond).unwrap();
-        assert_eq!(m, MONITOR_IDLE);
-
-        // bound 1: trigger then quiet instant -> deadline expires.
-        let m = monitor_step(trigger, response, 1, MONITOR_IDLE, &fire).unwrap();
-        assert_eq!(m, 1);
-        assert!(monitor_step(trigger, response, 1, m, &quiet).is_err());
-    }
-
-    #[test]
-    fn same_instant_response_satisfies_and_bound_zero_requires_it() {
-        let mut both = TraceStep::new();
-        both.set("t", Value::Bool(true));
-        both.set("r", Value::Bool(true));
-        assert_eq!(
-            monitor_step("t", "r", 0, MONITOR_IDLE, &both).unwrap(),
-            MONITOR_IDLE
-        );
-        let mut fire = TraceStep::new();
-        fire.set("t", Value::Bool(true));
-        assert!(monitor_step("t", "r", 0, MONITOR_IDLE, &fire).is_err());
     }
 
     #[test]
@@ -243,5 +272,68 @@ mod tests {
             Some(("cLink_sent", "cLink_consumed", 8))
         );
         assert_eq!(Property::NeverRaised("*".into()).monitor_spec(), None);
+        let ltl = Property::parse_ltl("never raised(*Alarm*)").unwrap();
+        assert_eq!(ltl.name(), "never raised(*Alarm*)");
+        assert_eq!(ltl.monitor_spec(), None);
+    }
+
+    #[test]
+    fn built_ins_desugar_to_the_documented_formulas() {
+        assert_eq!(
+            Property::NeverRaised("*Alarm*".into())
+                .ltl()
+                .unwrap()
+                .expr(),
+            "never raised(*Alarm*)"
+        );
+        assert_eq!(
+            Property::BoundedResponse {
+                trigger: "Deadline".into(),
+                response: "Resume".into(),
+                bound: 2,
+            }
+            .ltl()
+            .unwrap()
+            .expr(),
+            "always Deadline implies Resume within 2"
+        );
+        assert_eq!(
+            Property::EndToEndResponse {
+                from: "c_sent".into(),
+                to: "c_consumed".into(),
+                bound: 8,
+            }
+            .ltl()
+            .unwrap()
+            .expr(),
+            "always c_sent implies c_consumed within 8"
+        );
+        assert!(Property::DeadlockFree.ltl().is_none());
+        assert!(Property::DeadlockFree.monitor().is_none());
+    }
+
+    #[test]
+    fn desugared_monitors_have_the_legacy_register_footprint() {
+        // NeverRaised is stateless; a response property keeps exactly the
+        // one countdown register the legacy monitor used — so desugaring
+        // cannot change the explored state space.
+        assert_eq!(
+            Property::NeverRaised("*Alarm*".into())
+                .monitor()
+                .unwrap()
+                .register_count(),
+            0
+        );
+        assert_eq!(
+            Property::BoundedResponse {
+                trigger: "t".into(),
+                response: "r".into(),
+                bound: 3,
+            }
+            .monitor()
+            .unwrap()
+            .register_count(),
+            1
+        );
     }
 }

@@ -3,7 +3,9 @@
 //! A state is the complete information needed to continue an execution:
 //! the memory of every `delay`/`cell` operator, the phase of the scheduler
 //! trace driving the inputs (0 in free-input exploration), and the monitor
-//! registers of the bounded-response properties being checked. States are
+//! registers of the properties being checked (one register per temporal
+//! operator of each compiled LTL monitor — see
+//! [`crate::monitor::LtlMonitor`]). States are
 //! hashed through a canonical byte encoding ([`StateKey`]) so that real
 //! values hash by bit pattern and the seen-set needs no floating-point `Eq`.
 
@@ -21,8 +23,8 @@ pub struct State {
     /// Index of the next step in the scheduled input trace (always 0 when
     /// inputs are enumerated freely).
     pub phase: u32,
-    /// Remaining-instant countdowns of the `BoundedResponse` monitors
-    /// ([`MONITOR_IDLE`] when no trigger is pending).
+    /// Concatenated registers of the compiled property monitors (for a
+    /// deadline register, [`MONITOR_IDLE`] means no trigger is pending).
     pub monitors: Vec<u32>,
 }
 

@@ -7,8 +7,9 @@
 //! polychrony analyze  [--policy rm|edf|fp] [--stop-after PHASE]
 //! polychrony simulate [--hyperperiods N] [--vcd]
 //! polychrony verify   [--workers N] [--hyperperiods N] [--product]
+//!                     [--property EXPR]...
 //!                     [--inject-deadline-bug] [--inject-connection-bug]
-//! polychrony batch    [--jobs N] [--workers N]
+//! polychrony batch    [--jobs N] [--workers N] [--property EXPR]...
 //! ```
 //!
 //! Exit codes: `0` success, `1` usage error (including out-of-range option
@@ -18,10 +19,11 @@
 use std::process::ExitCode;
 
 use polychrony_core::aadl::synth::SyntheticSpec;
+use polychrony_core::polyverify::Property;
 use polychrony_core::sched::SchedulingPolicy;
 use polychrony_core::{
-    BatchJob, BatchRunner, CoreError, ScheduleOptions, Session, SessionOptions, ToolChain,
-    VerificationScope,
+    BatchJob, BatchRunner, CoreError, PropertySpec, ScheduleOptions, Session, SessionOptions,
+    ToolChain, VerificationScope,
 };
 
 /// A CLI failure: a usage error (exit code 1) or a runtime error (exit
@@ -79,8 +81,9 @@ USAGE:
     polychrony analyze  [--policy rm|edf|fp] [--stop-after PHASE]
     polychrony simulate [--hyperperiods N] [--vcd]
     polychrony verify   [--workers N] [--hyperperiods N] [--product]
+                        [--property EXPR]...
                         [--inject-deadline-bug] [--inject-connection-bug]
-    polychrony batch    [--jobs N] [--workers N]
+    polychrony batch    [--jobs N] [--workers N] [--property EXPR]...
 
 COMMANDS:
     analyze    parse, schedule, translate and statically analyse the model;
@@ -89,19 +92,25 @@ COMMANDS:
                artifact
     simulate   co-simulate the scheduled threads and report alarm instants
     verify     exhaustively model-check every thread (alarm + deadlock
-               freedom); with --product, additionally verify the synchronous
-               product of the communicating threads (event-port connections
-               as synchronising actions, one end-to-end response property
-               per connection) and print the joint verdict; with
+               freedom); --property adds a user past-time LTL property
+               (repeatable; see docs/PROPERTIES.md for the grammar, e.g.
+               'never raised(*Alarm*)' or 'always (Deadline implies Resume
+               within 2)'); with --product, additionally verify the
+               synchronous product of the communicating threads (event-port
+               connections as synchronising actions, one end-to-end response
+               property per connection, user properties over the joint
+               namespace) and print the joint verdict; with
                --inject-deadline-bug, inject a deadline overrun into the
-               producer schedule, print the counterexample and confirm it by
+               producer schedule, check the user properties (or the default
+               alarm property), print the counterexample and confirm it by
                simulator replay; with --inject-connection-bug, delay the
                producer's start-timer connection past the timer's input
                freeze and confirm the cross-thread counterexample by
                lockstep co-simulation
     batch      run N models (the case study + synthetic workloads) through
                the whole pipeline concurrently on a bounded worker pool and
-               print one timed report line per job";
+               print one timed report line per job; --property adds a user
+               property to every job";
 
 /// Rejects any argument that is not in the subcommand's allowed flag list
 /// (`(flag, takes_value)` pairs), so a typo like `--hyperperiod` fails
@@ -136,6 +145,36 @@ fn flag_value<T: std::str::FromStr>(
 
 fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
+}
+
+/// Collects every value of a repeatable `--flag VALUE` argument.
+fn flag_values(args: &[String], flag: &str) -> Result<Vec<String>, CliError> {
+    let mut values = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == flag {
+            match args.get(i + 1) {
+                Some(value) => values.push(value.clone()),
+                None => return Err(CliError::Usage(format!("{flag} needs a value"))),
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(values)
+}
+
+/// Parses the repeatable `--property` expressions, turning a syntax error
+/// into a usage error that carries the parser's caret-annotated span.
+fn parse_properties(args: &[String]) -> Result<Vec<Property>, CliError> {
+    flag_values(args, "--property")?
+        .iter()
+        .map(|expr| {
+            Property::parse_ltl(expr)
+                .map_err(|e| CliError::Usage(format!("invalid --property expression: {e}")))
+        })
+        .collect()
 }
 
 fn analyze(args: &[String]) -> Result<ExitCode, CliError> {
@@ -254,15 +293,25 @@ fn analyze_staged(policy: SchedulingPolicy, stop_after: &str) -> Result<ExitCode
 /// Runs N models (the case study plus synthetic workloads) through the
 /// whole pipeline on a bounded worker pool.
 fn batch(args: &[String]) -> Result<ExitCode, CliError> {
-    check_flags(args, &[("--jobs", true), ("--workers", true)])?;
+    check_flags(
+        args,
+        &[("--jobs", true), ("--workers", true), ("--property", true)],
+    )?;
     let job_count: usize = flag_value(args, "--jobs", 8)?;
     let workers: usize = flag_value(args, "--workers", 4)?;
     if job_count == 0 {
         return Err(CliError::Usage("--jobs must be at least 1".into()));
     }
+    // Fail fast on malformed property expressions (usage error with span).
+    parse_properties(args)?;
     // Per-job options: one simulated hyper-period, no waveform, sequential
-    // in-job verification (the parallelism lives at the job level).
-    let options = SessionOptions::quick();
+    // in-job verification (the parallelism lives at the job level); every
+    // job checks the user-supplied properties on top of the built-ins.
+    let mut options = SessionOptions::quick();
+    options.verify.properties = flag_values(args, "--property")?
+        .into_iter()
+        .map(PropertySpec::new)
+        .collect();
     let jobs: Vec<BatchJob> = (0..job_count)
         .map(|i| {
             let job = if i == 0 {
@@ -320,29 +369,36 @@ fn verify(args: &[String]) -> Result<ExitCode, CliError> {
             ("--workers", true),
             ("--hyperperiods", true),
             ("--product", false),
+            ("--property", true),
             ("--inject-deadline-bug", false),
             ("--inject-connection-bug", false),
         ],
     )?;
     let workers = flag_value(args, "--workers", 2usize)?;
     let hyperperiods = flag_value(args, "--hyperperiods", 1u64)?;
+    // Parse the user properties upfront: a malformed expression is a usage
+    // error (exit 1) with the offending span, before any phase runs.
+    let properties = parse_properties(args)?;
     if has_flag(args, "--inject-deadline-bug") {
-        return verify_injected(workers, hyperperiods);
+        return verify_injected(workers, hyperperiods, &properties);
     }
     if has_flag(args, "--inject-connection-bug") {
-        return verify_injected_connection(workers, hyperperiods);
+        return verify_injected_connection(workers, hyperperiods, &properties);
     }
     let scope = if has_flag(args, "--product") {
         VerificationScope::Product
     } else {
         VerificationScope::PerThread
     };
-    let report = ToolChain::new()
+    let mut chain = ToolChain::new()
         .with_hyperperiods(1)
         .with_verify_workers(workers)
         .with_verify_hyperperiods(hyperperiods)
-        .with_verify_scope(scope)
-        .run_case_study()?;
+        .with_verify_scope(scope);
+    for expr in flag_values(args, "--property")? {
+        chain = chain.with_property(expr);
+    }
+    let report = chain.run_case_study()?;
     let verification = report
         .verification
         .as_ref()
@@ -374,15 +430,25 @@ fn verify(args: &[String]) -> Result<ExitCode, CliError> {
 }
 
 /// Injects a deadline overrun into the producer's schedule, model-checks the
-/// faulty system and confirms the counterexample by simulator replay.
-fn verify_injected(workers: usize, hyperperiods: u64) -> Result<ExitCode, CliError> {
+/// faulty system — against the user-supplied `--property` expressions alone
+/// when any were given, otherwise against the default alarm property — and
+/// confirms the counterexample by simulator replay.
+fn verify_injected(
+    workers: usize,
+    hyperperiods: u64,
+    properties: &[Property],
+) -> Result<ExitCode, CliError> {
     let demo = polychrony_core::deadline_overrun_demo(hyperperiods)?;
     println!(
         "injected deadline overrun: Resume moved from tick {} to {:?} (deadline at tick {})\n",
         demo.fault.resume_moved_from, demo.fault.resume_moved_to, demo.fault.deadline_tick
     );
 
-    let (outcome, replay) = demo.verify_and_replay(workers)?;
+    let (outcome, replay) = if properties.is_empty() {
+        demo.verify_and_replay(workers)?
+    } else {
+        demo.verify_properties_and_replay(workers, properties)?
+    };
     println!("{}", outcome.summary());
     let Some((_, cex)) = outcome.violations().next() else {
         println!("expected the injected bug to be found — it was not");
@@ -406,7 +472,11 @@ fn verify_injected(workers: usize, hyperperiods: u64) -> Result<ExitCode, CliErr
 /// input freeze, model-checks the thread product over `hyperperiods`
 /// repetitions and confirms the cross-thread counterexample by lockstep
 /// co-simulation.
-fn verify_injected_connection(workers: usize, hyperperiods: u64) -> Result<ExitCode, CliError> {
+fn verify_injected_connection(
+    workers: usize,
+    hyperperiods: u64,
+    properties: &[Property],
+) -> Result<ExitCode, CliError> {
     if hyperperiods == 0 {
         return Err(CliError::Usage(
             "--hyperperiods must be at least 1".to_string(),
@@ -420,7 +490,11 @@ fn verify_injected_connection(workers: usize, hyperperiods: u64) -> Result<ExitC
         "injected connection latency: link `{}` delayed by {} tick(s) (was {})\n",
         demo.fault.link, demo.fault.added_latency, demo.fault.original_latency
     );
-    let (outcome, replay) = demo.verify_and_replay(workers)?;
+    let (outcome, replay) = if properties.is_empty() {
+        demo.verify_and_replay(workers)?
+    } else {
+        demo.verify_properties_and_replay(workers, properties)?
+    };
     println!("{}", outcome.summary());
     let Some((_, cex)) = outcome.violations().next() else {
         println!("expected the injected connection bug to be found — it was not");

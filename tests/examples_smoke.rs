@@ -1,4 +1,4 @@
-//! Smoke tests that run each of the eight `examples/` binaries end to end,
+//! Smoke tests that run each of the nine `examples/` binaries end to end,
 //! so example rot is caught by `cargo test` and CI rather than by users.
 //!
 //! Each test shells out to the same `cargo` that is driving this test run
@@ -63,6 +63,11 @@ fn example_batch_verification_runs() {
 #[test]
 fn example_product_verification_runs() {
     run_example("product_verification");
+}
+
+#[test]
+fn example_ltl_properties_runs() {
+    run_example("ltl_properties");
 }
 
 /// The CLI's batch subcommand must complete every job with all checks

@@ -105,6 +105,13 @@ fn earliest_by_lockstep(
                 }
                 expired
             }
+            // Not drawn by this suite's generators, but kept total: the
+            // reference trace semantics re-derives the verdict without the
+            // compiled monitor.
+            Property::Ltl(ltl) => {
+                let steps: Vec<TraceStep> = joint.iter().cloned().collect();
+                polychrony_core::polyverify::ltl::first_violation(ltl.invariant(), &steps)
+            }
         })
         .collect()
 }

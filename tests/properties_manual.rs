@@ -1,0 +1,260 @@
+//! Executable companion of `docs/PROPERTIES.md`: every ```property fenced
+//! block of the manual is parsed, and every worked example's documented
+//! verdict is re-checked verbatim — so the reference manual cannot rot
+//! without failing the test suite (CI runs this test by name).
+
+use polychrony_core::polyverify::ltl::{first_violation, LtlProperty};
+use polychrony_core::polyverify::{Property, Verdict};
+use polychrony_core::signal_moc::trace::TraceStep;
+use polychrony_core::signal_moc::value::Value;
+use polychrony_core::{
+    connection_latency_demo, deadline_overrun_demo, PropertySpec, Session, SessionOptions,
+    VerificationScope,
+};
+
+const MANUAL: &str = include_str!("../docs/PROPERTIES.md");
+
+/// Extracts the contents of every ```property fenced block.
+fn manual_property_blocks() -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut current: Option<String> = None;
+    for line in MANUAL.lines() {
+        match (&mut current, line.trim()) {
+            (None, "```property") => current = Some(String::new()),
+            (Some(block), "```") => {
+                blocks.push(block.trim().to_string());
+                current = None;
+            }
+            (Some(block), _) => {
+                block.push_str(line);
+                block.push('\n');
+            }
+            (None, _) => {}
+        }
+    }
+    assert!(current.is_none(), "unterminated ```property block");
+    blocks
+}
+
+/// Asserts that the manual contains `expr` as a ```property block and
+/// returns it parsed — the glue that keeps every hard-coded expression in
+/// this file in sync with the document.
+fn documented(expr: &str) -> Property {
+    assert!(
+        manual_property_blocks().iter().any(|block| block == expr),
+        "`{expr}` is not a ```property block of docs/PROPERTIES.md"
+    );
+    Property::parse_ltl(expr).unwrap_or_else(|e| panic!("manual example `{expr}`:\n{e}"))
+}
+
+fn step(present: &[&str]) -> TraceStep {
+    let mut s = TraceStep::new();
+    for name in present {
+        s.set(*name, Value::Bool(true));
+    }
+    s
+}
+
+/// Per-instant truth sequence of a property's compiled monitor over a
+/// trace, which the manual's tables document.
+fn monitor_values(property: &Property, steps: &[TraceStep]) -> Vec<bool> {
+    let monitor = property.monitor().expect("trace property");
+    let mut registers = monitor.initial();
+    steps
+        .iter()
+        .map(|s| monitor.step(&mut registers, s).holds)
+        .collect()
+}
+
+#[test]
+fn every_property_block_of_the_manual_parses() {
+    let blocks = manual_property_blocks();
+    assert!(
+        blocks.len() >= 6,
+        "the manual documents at least six worked property expressions, found {}",
+        blocks.len()
+    );
+    for block in &blocks {
+        LtlProperty::parse(block).unwrap_or_else(|e| panic!("manual block `{block}`:\n{e}"));
+    }
+}
+
+#[test]
+fn manual_grammar_snippets_match_the_parser() {
+    // The precedence example spelled out in the grammar notes.
+    let property = LtlProperty::parse("not a and b or c").unwrap();
+    assert_eq!(property.invariant().to_string(), "not a and b or c");
+    // `a within 4` alone is the documented syntax error.
+    assert!(LtlProperty::parse("a within 4").is_err());
+    // The caret rendering promised by the manual.
+    let err = LtlProperty::parse("always (Deadline implies").unwrap_err();
+    assert!(err.to_string().contains('^'), "{err}");
+}
+
+/// Example 1 — alarm safety: passes on the healthy case study, and the
+/// user property alone catches the injected deadline overrun at tick 4,
+/// with the counterexample replaying in polysim.
+#[test]
+fn example_alarm_safety() {
+    let property = documented("never raised(*Alarm*)");
+
+    let demo = deadline_overrun_demo(1).unwrap();
+    let (outcome, replay) = demo
+        .verify_properties_and_replay(2, std::slice::from_ref(&property))
+        .unwrap();
+    let Verdict::Violated(cex) = &outcome.verdicts[0].verdict else {
+        panic!("injected fault must be caught: {}", outcome.summary());
+    };
+    assert_eq!(cex.violation_instant, demo.fault.deadline_tick);
+    assert_eq!(cex.violation_instant, 4, "the manual documents tick 4");
+    let replay = replay.expect("violation carries a replay");
+    assert!(replay.reproduced, "{}", replay.detail);
+}
+
+/// Example 2 — deadlock freedom is deliberately not expressible in the
+/// trace language.
+#[test]
+fn example_deadlock_freedom_is_a_built_in() {
+    assert!(Property::DeadlockFree.ltl().is_none());
+    assert!(Property::DeadlockFree.monitor().is_none());
+}
+
+/// Example 3 — bounded response over the documented three-instant trace:
+/// `within 2` holds throughout, `within 1` is violated at t = 1.
+#[test]
+fn example_bounded_response() {
+    let trace = vec![step(&["Deadline"]), step(&[]), step(&["Resume"])];
+
+    let relaxed = documented("always (Deadline implies Resume within 2)");
+    assert_eq!(monitor_values(&relaxed, &trace), vec![true, true, true]);
+    let ltl = relaxed.ltl().unwrap();
+    assert_eq!(first_violation(ltl.invariant(), &trace), None);
+
+    let tight = documented("always (Deadline implies Resume within 1)");
+    assert_eq!(monitor_values(&tight, &trace), vec![true, false, true]);
+    let ltl = tight.ltl().unwrap();
+    assert_eq!(first_violation(ltl.invariant(), &trace), Some(1));
+
+    // The manual's expiry rule: a trigger coinciding with the expiry
+    // instant is absorbed by the violation (no new deadline is armed), and
+    // triggers from the next instant on are monitored again.
+    let retrigger = vec![
+        step(&["Deadline"]),
+        step(&["Deadline"]),
+        step(&[]),
+        step(&["Deadline"]),
+        step(&[]),
+    ];
+    assert_eq!(
+        monitor_values(&tight, &retrigger),
+        vec![true, false, true, true, false],
+        "expiry at t=1 absorbs that instant's trigger; the t=3 trigger re-arms"
+    );
+}
+
+/// Example 4 — end-to-end latency: the user property over the link-derived
+/// joint signals passes on the healthy product and catches the injected
+/// connection fault at tick 9, replaying in the lockstep co-simulation.
+#[test]
+fn example_end_to_end_latency() {
+    let expr = "always (cProdStartTimer_sent implies cProdStartTimer_consumed within 8)";
+    let property = documented(expr);
+
+    // Healthy case study, product scope, user property riding along.
+    let mut options = SessionOptions::default();
+    options.simulate.hyperperiods = 1;
+    options.verify.scope = VerificationScope::Product;
+    options.verify.properties = vec![PropertySpec::new(expr)];
+    let verified = Session::with_options(options)
+        .unwrap()
+        .parse_case_study()
+        .unwrap()
+        .instantiate("sysProdCons.impl")
+        .unwrap()
+        .schedule()
+        .unwrap()
+        .translate()
+        .unwrap()
+        .analyze()
+        .unwrap()
+        .simulate()
+        .unwrap()
+        .verify()
+        .unwrap();
+    let product = verified.product.as_ref().expect("product scope");
+    let verdict = product
+        .outcome
+        .verdicts
+        .iter()
+        .find(|v| v.property == property)
+        .expect("user property has its own verdict in the product outcome");
+    assert!(verdict.verdict.passed(), "{}", product.outcome.summary());
+
+    // Injected connection latency: the same property alone is violated.
+    let demo = connection_latency_demo(8).unwrap();
+    let (outcome, replay) = demo
+        .verify_properties_and_replay(2, std::slice::from_ref(&property))
+        .unwrap();
+    let Verdict::Violated(cex) = &outcome.verdicts[0].verdict else {
+        panic!("injected fault must be caught: {}", outcome.summary());
+    };
+    assert_eq!(cex.violation_instant, 9, "the manual documents tick 9");
+    let replay = replay.expect("violation carries a replay");
+    assert!(replay.reproduced, "{}", replay.detail);
+}
+
+/// Example 5 — the `since`-based mode property over the documented trace:
+/// holds at t = 1, 2 and is first violated at t = 4.
+#[test]
+fn example_since_mode_property() {
+    let property = documented("always (Busy implies (not Cancel since Start))");
+    let trace = vec![
+        step(&["Start"]),
+        step(&["Busy"]),
+        step(&["Busy"]),
+        step(&["Cancel"]),
+        step(&["Busy"]),
+    ];
+    assert_eq!(
+        monitor_values(&property, &trace),
+        vec![true, true, true, true, false]
+    );
+    let ltl = property.ltl().unwrap();
+    assert_eq!(first_violation(ltl.invariant(), &trace), Some(4));
+}
+
+/// Example 6 — causality with `once`: a bare `Resume` violates at t = 0;
+/// after a `Deadline` every later `Resume` is justified.
+#[test]
+fn example_once_causality() {
+    let property = documented("always (Resume implies once Deadline)");
+    let bare = vec![step(&["Resume"])];
+    let ltl = property.ltl().unwrap();
+    assert_eq!(first_violation(ltl.invariant(), &bare), Some(0));
+
+    let justified = vec![step(&["Deadline"]), step(&[]), step(&["Resume"])];
+    assert_eq!(first_violation(ltl.invariant(), &justified), None);
+    assert_eq!(
+        monitor_values(&property, &justified),
+        vec![true, true, true]
+    );
+}
+
+/// Example 7 — `previously` over the documented trace: holds at t = 2,
+/// violated at t = 3.
+#[test]
+fn example_previously() {
+    let property = documented("always (Alarm implies previously Deadline)");
+    let trace = vec![
+        step(&[]),
+        step(&["Deadline"]),
+        step(&["Alarm"]),
+        step(&["Alarm"]),
+    ];
+    assert_eq!(
+        monitor_values(&property, &trace),
+        vec![true, true, true, false]
+    );
+    let ltl = property.ltl().unwrap();
+    assert_eq!(first_violation(ltl.invariant(), &trace), Some(3));
+}

@@ -213,3 +213,62 @@ fn zero_workers_and_zero_hyperperiods_are_rejected() {
     let err = polychrony_core::deadline_overrun_demo(0).unwrap_err();
     assert!(matches!(err, CoreError::InvalidOptions(_)), "{err}");
 }
+
+#[test]
+fn user_properties_flow_through_facade_session_and_batch() {
+    use polychrony_core::PropertySpec;
+
+    // Facade: the user property appears in the report's property list and
+    // every thread gets a verdict for it.
+    let report = ToolChain::new()
+        .with_hyperperiods(1)
+        .with_property("always (Alarm implies once Deadline)")
+        .run_case_study()
+        .unwrap();
+    let verification = report.verification.as_ref().unwrap();
+    assert!(
+        verification
+            .properties
+            .contains(&"always (Alarm implies once Deadline)".to_string()),
+        "{:?}",
+        verification.properties
+    );
+    for outcome in verification.outcomes.values() {
+        assert_eq!(outcome.verdicts.len(), 3, "built-ins + the user property");
+        assert!(outcome.is_violation_free(), "{}", outcome.summary());
+    }
+
+    // A malformed expression is rejected upfront with the offending span.
+    let err = ToolChain::new()
+        .with_property("always (Deadline implies")
+        .run_case_study()
+        .unwrap_err();
+    assert!(matches!(err, CoreError::InvalidOptions(_)), "{err}");
+    assert!(err.to_string().contains('^'), "{err}");
+
+    // Batch: every job checks the property list riding in its options.
+    let mut options = quick_job_options();
+    options.verify.properties = vec![PropertySpec::new("never raised(*Alarm*)")];
+    let jobs = vec![
+        BatchJob::case_study("prodcons").with_options(options.clone()),
+        BatchJob::synthetic("synthetic-4t", &SyntheticSpec::new(4, 1)).with_options(options),
+    ];
+    let results = BatchRunner::new().with_workers(2).run(&jobs).unwrap();
+    assert!(results.all_passed(), "{}", results.summary());
+    for report in &results.reports {
+        let verification = report
+            .outcome
+            .as_ref()
+            .unwrap()
+            .verification
+            .as_ref()
+            .unwrap();
+        assert!(
+            verification
+                .properties
+                .contains(&"never raised(*Alarm*)".to_string()),
+            "{:?}",
+            verification.properties
+        );
+    }
+}
