@@ -1,0 +1,162 @@
+//! A dispatch-feasibility oracle derived from affine clock relations.
+//!
+//! A verified schedule export ties each thread's dispatch events to an
+//! affine clock over the base tick (see the paper's step 3 and the
+//! exporter in the scheduling crate). That same information answers a
+//! question the state-space explorer asks millions of times: *can this
+//! signal fire at instant `t` at all?* When the answer is provably no —
+//! the instant is off the signal's affine clock — the explorer can skip
+//! the candidate input valuation without running the evaluator.
+//!
+//! [`DispatchFeasibility`] packages a set of named affine relations as
+//! that oracle. It is deliberately *permissive*: a signal with no recorded
+//! relation may always fire, so the oracle never rules out anything it
+//! does not know about.
+//!
+//! ```
+//! use affine_clocks::{AffineRelation, DispatchFeasibility};
+//!
+//! let mut oracle = DispatchFeasibility::new();
+//! oracle.insert("thProducer", AffineRelation::new(4, 0).unwrap());
+//! assert!(oracle.may_fire("thProducer", 4));
+//! assert!(!oracle.may_fire("thProducer", 5));
+//! // Unknown signals are never constrained.
+//! assert!(oracle.may_fire("anything_else", 5));
+//! ```
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::lcm;
+use crate::relation::AffineRelation;
+
+/// A permissive per-signal firing oracle: each recorded signal may fire
+/// exactly on the instants of its affine relation, every other signal may
+/// fire anywhere.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DispatchFeasibility {
+    relations: BTreeMap<String, AffineRelation>,
+}
+
+impl DispatchFeasibility {
+    /// An oracle with no constraints.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Constrains `signal` to the instants of `relation` (replacing any
+    /// previous constraint on the same signal).
+    pub fn insert(&mut self, signal: impl Into<String>, relation: AffineRelation) {
+        self.relations.insert(signal.into(), relation);
+    }
+
+    /// Whether `signal` may fire at reference instant `instant`: `true`
+    /// unless a recorded relation provably excludes the instant.
+    pub fn may_fire(&self, signal: &str, instant: u64) -> bool {
+        match self.relations.get(signal) {
+            Some(relation) => relation.contains(instant),
+            None => true,
+        }
+    }
+
+    /// The recorded relation of `signal`, if any.
+    pub fn relation(&self, signal: &str) -> Option<&AffineRelation> {
+        self.relations.get(signal)
+    }
+
+    /// Number of constrained signals.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the oracle constrains nothing (and therefore always answers
+    /// `true`).
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Iterates over the constrained signals in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &AffineRelation)> {
+        self.relations
+            .iter()
+            .map(|(name, relation)| (name.as_str(), relation))
+    }
+
+    /// Least common multiple of the recorded periods — the horizon after
+    /// which the oracle's answers repeat. `None` on overflow; `Some(1)`
+    /// for an empty oracle.
+    pub fn hyperperiod(&self) -> Option<u64> {
+        self.relations
+            .values()
+            .try_fold(1u64, |acc, relation| lcm(acc, relation.period()))
+    }
+
+    /// A copy of the oracle with every signal name passed through `f` —
+    /// used to re-key thread-level constraints into a component's signal
+    /// namespace (e.g. `thProducer` into `thProducer_Dispatch`).
+    pub fn renamed(&self, mut f: impl FnMut(&str) -> String) -> Self {
+        Self {
+            relations: self
+                .relations
+                .iter()
+                .map(|(name, relation)| (f(name), *relation))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_signals_are_unconstrained() {
+        let oracle = DispatchFeasibility::new();
+        assert!(oracle.is_empty());
+        assert!(oracle.may_fire("whatever", 0));
+        assert!(oracle.may_fire("whatever", 17));
+        assert_eq!(oracle.hyperperiod(), Some(1));
+    }
+
+    #[test]
+    fn recorded_relations_gate_instants() {
+        let mut oracle = DispatchFeasibility::new();
+        oracle.insert("a", AffineRelation::new(4, 0).unwrap());
+        oracle.insert("b", AffineRelation::new(6, 2).unwrap());
+        assert_eq!(oracle.len(), 2);
+        assert!(oracle.may_fire("a", 0));
+        assert!(oracle.may_fire("a", 8));
+        assert!(!oracle.may_fire("a", 9));
+        assert!(oracle.may_fire("b", 2));
+        assert!(oracle.may_fire("b", 8));
+        assert!(!oracle.may_fire("b", 0));
+        assert_eq!(oracle.hyperperiod(), Some(12));
+        assert_eq!(
+            oracle.relation("a"),
+            Some(&AffineRelation::new(4, 0).unwrap())
+        );
+        assert_eq!(oracle.relation("zzz"), None);
+    }
+
+    #[test]
+    fn renaming_re_keys_the_constraints() {
+        let mut oracle = DispatchFeasibility::new();
+        oracle.insert("thProducer", AffineRelation::new(4, 0).unwrap());
+        let renamed = oracle.renamed(|name| format!("{name}_Dispatch"));
+        assert!(renamed.may_fire("thProducer", 5)); // old key unconstrained
+        assert!(!renamed.may_fire("thProducer_Dispatch", 5));
+        let names: Vec<&str> = renamed.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["thProducer_Dispatch"]);
+    }
+
+    #[test]
+    fn replacing_a_constraint_keeps_the_latest() {
+        let mut oracle = DispatchFeasibility::new();
+        oracle.insert("a", AffineRelation::new(3, 1).unwrap());
+        oracle.insert("a", AffineRelation::new(5, 0).unwrap());
+        assert_eq!(oracle.len(), 1);
+        assert!(oracle.may_fire("a", 5));
+        assert!(!oracle.may_fire("a", 1));
+    }
+}

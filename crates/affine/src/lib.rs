@@ -32,9 +32,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod feasibility;
 pub mod relation;
 pub mod system;
 
+pub use feasibility::DispatchFeasibility;
 pub use relation::{AffineError, AffineRelation};
 pub use system::{AffineClock, AffineClockSystem, Synchronizability};
 

@@ -15,7 +15,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use polyverify::Property;
+use polyverify::{FrontierMode, Property};
 use sched::SchedulingPolicy;
 
 use crate::error::CoreError;
@@ -211,6 +211,18 @@ pub struct VerificationOptions {
     /// standard safety properties in every scope (per-thread and product).
     /// Each expression must parse (see [`PropertySpec::parse`]).
     pub properties: Vec<PropertySpec>,
+    /// How each exploration level is distributed over the workers:
+    /// work-stealing frontier deques (the default fast path) or contiguous
+    /// barrier chunks. Verdicts are identical either way.
+    pub frontier: FrontierMode,
+    /// Clock-calculus pruning: the schedule's affine dispatch clocks are
+    /// exported as a feasibility oracle that skips free-mode input
+    /// valuations where a thread provably cannot dispatch, and the product
+    /// memoizes per-component resolved instants.
+    pub pruning: bool,
+    /// Initial capacity (in states) of the state interner. Must be at
+    /// least 1; the interner grows past it on demand.
+    pub interner_capacity: usize,
 }
 
 impl Default for VerificationOptions {
@@ -221,6 +233,9 @@ impl Default for VerificationOptions {
             hyperperiods: 1,
             scope: VerificationScope::PerThread,
             properties: Vec::new(),
+            frontier: FrontierMode::default(),
+            pruning: true,
+            interner_capacity: 4096,
         }
     }
 }
@@ -244,6 +259,11 @@ impl VerificationOptions {
         if self.hyperperiods == 0 {
             return Err(CoreError::InvalidOptions(
                 "verify.hyperperiods must be at least 1 (got 0)".into(),
+            ));
+        }
+        if self.interner_capacity == 0 {
+            return Err(CoreError::InvalidOptions(
+                "verify.interner_capacity must be at least 1 (got 0)".into(),
             ));
         }
         for spec in &self.properties {
@@ -327,6 +347,14 @@ mod tests {
         options.verify.hyperperiods = 0;
         let err = options.validate().unwrap_err();
         assert!(err.to_string().contains("verify.hyperperiods"), "{err}");
+
+        let mut options = SessionOptions::default();
+        options.verify.interner_capacity = 0;
+        let err = options.validate().unwrap_err();
+        assert!(
+            err.to_string().contains("verify.interner_capacity"),
+            "{err}"
+        );
 
         let mut options = SessionOptions::default();
         options.translate.default_queue_size = 0;

@@ -18,6 +18,7 @@ use crate::options::{
 use crate::report::ToolChainReport;
 use crate::session::Session;
 
+use polyverify::FrontierMode;
 use sched::SchedulingPolicy;
 
 /// Options controlling a tool-chain run — the flat, all-phases-in-one view
@@ -50,6 +51,18 @@ pub struct ToolChainOptions {
     /// User-supplied past-time LTL properties checked by the verification
     /// phase (see `docs/PROPERTIES.md`). Each expression must parse.
     pub properties: Vec<PropertySpec>,
+    /// Frontier discipline of the reachability engine (work-stealing
+    /// deques by default, level barriers for comparison). Verdicts are
+    /// identical either way.
+    pub verify_frontier: FrontierMode,
+    /// Enables clock-calculus pruning: affine dispatch relations exported
+    /// by the scheduler skip provably infeasible successor phases, and the
+    /// product verifier memoizes per-component steps. Verdicts are
+    /// identical with pruning on or off.
+    pub verify_pruning: bool,
+    /// Initial per-shard capacity of the state interner (grows on demand).
+    /// Must be at least 1.
+    pub verify_interner_capacity: usize,
 }
 
 impl Default for ToolChainOptions {
@@ -64,6 +77,9 @@ impl Default for ToolChainOptions {
             verify_hyperperiods: 1,
             verify_scope: VerificationScope::PerThread,
             properties: Vec::new(),
+            verify_frontier: FrontierMode::default(),
+            verify_pruning: true,
+            verify_interner_capacity: 4096,
         }
     }
 }
@@ -89,6 +105,9 @@ impl ToolChainOptions {
                 hyperperiods: self.verify_hyperperiods,
                 scope: self.verify_scope,
                 properties: self.properties.clone(),
+                frontier: self.verify_frontier,
+                pruning: self.verify_pruning,
+                interner_capacity: self.verify_interner_capacity,
             },
         }
     }
@@ -171,6 +190,30 @@ impl ToolChain {
     #[must_use]
     pub fn with_verify_scope(mut self, scope: VerificationScope) -> Self {
         self.options.verify_scope = scope;
+        self
+    }
+
+    /// Selects the frontier discipline of the reachability engine
+    /// (work-stealing deques by default; level barriers for comparison).
+    #[must_use]
+    pub fn with_verify_frontier(mut self, frontier: FrontierMode) -> Self {
+        self.options.verify_frontier = frontier;
+        self
+    }
+
+    /// Enables or disables clock-calculus pruning (on by default; verdicts
+    /// are identical either way).
+    #[must_use]
+    pub fn with_verify_pruning(mut self, pruning: bool) -> Self {
+        self.options.verify_pruning = pruning;
+        self
+    }
+
+    /// Sets the initial per-shard capacity of the state interner (must be
+    /// at least 1; validated when the run starts).
+    #[must_use]
+    pub fn with_verify_interner_capacity(mut self, capacity: usize) -> Self {
+        self.options.verify_interner_capacity = capacity;
         self
     }
 
@@ -311,6 +354,29 @@ mod tests {
     }
 
     #[test]
+    fn frontier_and_pruning_modes_do_not_change_verdicts() {
+        let fast = ToolChain::new()
+            .with_hyperperiods(1)
+            .run_case_study()
+            .unwrap();
+        let slow = ToolChain::new()
+            .with_hyperperiods(1)
+            .with_verify_frontier(FrontierMode::Barrier)
+            .with_verify_pruning(false)
+            .with_verify_interner_capacity(1)
+            .run_case_study()
+            .unwrap();
+        let a = fast.verification.unwrap();
+        let b = slow.verification.unwrap();
+        for (thread, outcome) in &a.outcomes {
+            let other = &b.outcomes[thread];
+            assert_eq!(outcome.verdicts, other.verdicts, "{thread}");
+            assert_eq!(outcome.stats.states, other.stats.states, "{thread}");
+            assert_eq!(outcome.stats.depth, other.stats.depth, "{thread}");
+        }
+    }
+
+    #[test]
     fn policies_produce_valid_schedules() {
         for policy in SchedulingPolicy::ALL {
             let report = ToolChain::new()
@@ -347,6 +413,7 @@ mod tests {
             ToolChain::new().with_hyperperiods(0),
             ToolChain::new().with_verify_workers(0),
             ToolChain::new().with_verify_hyperperiods(0),
+            ToolChain::new().with_verify_interner_capacity(0),
             ToolChain::with_options(ToolChainOptions {
                 default_queue_size: 0,
                 ..ToolChainOptions::default()

@@ -556,16 +556,29 @@ impl Simulated {
         for spec in &self.options.verify.properties {
             properties.push(spec.parse()?);
         }
+        // The schedule's affine dispatch clocks double as a feasibility
+        // oracle: re-keyed into a thread's own namespace (its dispatch
+        // signal is plainly `Dispatch`), it lets free-mode explorations
+        // skip phases where the thread provably cannot dispatch. Scheduled
+        // exploration — the session default — fixes the inputs anyway, so
+        // installing the oracle is free there.
+        let dispatch_clocks = self.affine.dispatch_feasibility();
         let mut outcomes = BTreeMap::new();
         for unit in &self.thread_units {
             let verify_inputs = unit.model.timing_trace(&self.schedule, 1);
             let bound = verify_inputs.len() * self.options.verify.hyperperiods as usize;
-            let verifier = Verifier::new(
-                &unit.model.flat,
-                VerifyOptions::default()
-                    .with_workers(self.options.verify.workers)
-                    .with_depth_bound(bound),
-            )?;
+            let mut options = VerifyOptions::default()
+                .with_workers(self.options.verify.workers)
+                .with_depth_bound(bound)
+                .with_frontier(self.options.verify.frontier)
+                .with_pruning(self.options.verify.pruning)
+                .with_interner_capacity(self.options.verify.interner_capacity);
+            if let Some(relation) = dispatch_clocks.relation(&unit.model.thread_name) {
+                let mut oracle = polyverify::DispatchFeasibility::new();
+                oracle.insert("Dispatch", *relation);
+                options = options.with_oracle(oracle);
+            }
+            let verifier = Verifier::new(&unit.model.flat, options)?;
             let outcome = verifier.verify(&InputSpace::Scheduled(verify_inputs), &properties)?;
             outcomes.insert(unit.path.clone(), outcome);
         }
@@ -632,7 +645,10 @@ impl Simulated {
             system,
             VerifyOptions::default()
                 .with_workers(self.options.verify.workers)
-                .with_depth_bound(bound),
+                .with_depth_bound(bound)
+                .with_frontier(self.options.verify.frontier)
+                .with_pruning(self.options.verify.pruning)
+                .with_interner_capacity(self.options.verify.interner_capacity),
         )?;
         let outcome = verifier.verify(&properties)?;
         Ok(VerifiedProduct {

@@ -12,7 +12,7 @@
 
 use std::fmt;
 
-use affine_clocks::{AffineClockSystem, AffineError, AffineRelation};
+use affine_clocks::{AffineClockSystem, AffineError, AffineRelation, DispatchFeasibility};
 use serde::{Deserialize, Serialize};
 
 use crate::static_sched::StaticSchedule;
@@ -186,6 +186,22 @@ impl AffineExport {
     pub fn clock_count(&self) -> usize {
         self.clocks.len()
     }
+
+    /// The dispatch clocks as a [`DispatchFeasibility`] oracle keyed by
+    /// *task name* (the `_dispatch` suffix is stripped): `thProducer` may
+    /// fire exactly on the instants of its dispatch relation. Verifiers
+    /// re-key the oracle into their signal namespace with
+    /// [`DispatchFeasibility::renamed`] to prune state-space candidates
+    /// where a thread provably cannot dispatch.
+    pub fn dispatch_feasibility(&self) -> DispatchFeasibility {
+        let mut oracle = DispatchFeasibility::new();
+        for clock in self.clocks.iter() {
+            if let Some(task) = clock.name.strip_suffix("_dispatch") {
+                oracle.insert(task, clock.relation);
+            }
+        }
+        oracle
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +246,20 @@ mod tests {
             e.accesses_are_exclusive("thProducer", "missing"),
             Err(AffineError::UnknownClock(_))
         ));
+    }
+
+    #[test]
+    fn dispatch_feasibility_is_keyed_by_task_name() {
+        let e = export();
+        let oracle = e.dispatch_feasibility();
+        // One entry per task, keyed without the `_dispatch` suffix; the job
+        // event clocks do not leak into the oracle.
+        assert_eq!(oracle.len(), 4);
+        assert!(oracle.may_fire("thProducer", 0));
+        assert!(oracle.may_fire("thProducer", 4));
+        assert!(!oracle.may_fire("thProducer", 5));
+        // Signals the oracle does not know stay unconstrained.
+        assert!(oracle.may_fire("thProducer_0_start", 3));
     }
 
     #[test]

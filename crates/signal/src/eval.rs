@@ -8,14 +8,26 @@
 //! `cell` operators. It is used to validate the AADL-to-SIGNAL translation
 //! (input freezing, port FIFOs, shared data) and as the kernel of the
 //! simulator crate.
+//!
+//! Internally the evaluator is *compiled*: at construction every signal name
+//! is interned to a dense `u32` id, every equation expression is lowered to
+//! a `CExpr` mirror whose variables are ids and whose `delay`/`cell`
+//! operators carry their state-table index directly, and the per-instant
+//! environment is a reusable `Vec<Res>` indexed by id. This removes the
+//! string-keyed map rebuild that used to dominate the model checker's hot
+//! path; the public API (name-keyed [`TraceStep`]s in and out) is unchanged,
+//! and [`Evaluator::step_resolved`] additionally exposes the resolved
+//! instant as a borrow-only [`ResolvedStep`] so explorers can skip the
+//! `TraceStep` materialisation entirely.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 
 use crate::error::SignalError;
 use crate::expr::{BinOp, Expr, UnOp};
 use crate::process::{Equation, Process};
 use crate::trace::{Trace, TraceStep};
-use crate::value::Value;
+use crate::value::{Value, ValueType};
+use crate::view::InstantView;
 
 /// Resolution of a signal (or sub-expression) at an instant.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +69,45 @@ struct OperatorState {
     pending: Option<Value>,
 }
 
+/// An equation expression compiled against the signal-id table: variables
+/// are dense ids and stateful operators carry their state-table slot, so
+/// evaluation needs neither name lookups nor a pre-order cursor.
+#[derive(Debug, Clone)]
+enum CExpr {
+    Var(u32),
+    Const(Value),
+    Unary(UnOp, Box<CExpr>),
+    Binary(BinOp, Box<CExpr>, Box<CExpr>),
+    Delay(usize, Box<CExpr>),
+    When(Box<CExpr>, Box<CExpr>),
+    Default(Box<CExpr>, Box<CExpr>),
+    Cell(usize, Box<CExpr>, Box<CExpr>),
+    ClockOf(Box<CExpr>),
+    ClockWhen(Box<CExpr>),
+}
+
+/// One compiled equation.
+#[derive(Debug, Clone)]
+enum CEq {
+    Def {
+        target: u32,
+        expr: CExpr,
+    },
+    Partial {
+        target: u32,
+        expr: CExpr,
+    },
+    /// `label` is the pre-joined signal list for the error message.
+    Sync {
+        signals: Vec<u32>,
+        label: String,
+    },
+    Excl {
+        signals: Vec<u32>,
+        label: String,
+    },
+}
+
 /// Evaluator of a flat [`Process`] (no sub-process instances; use
 /// [`crate::process::ProcessModel::flatten`] first).
 ///
@@ -85,7 +136,95 @@ struct OperatorState {
 pub struct Evaluator {
     process: Process,
     states: Vec<OperatorState>,
+    /// Initial memory, for [`Evaluator::reset`].
+    initial: Vec<Value>,
     max_iterations: usize,
+    /// id → name; the first `decl_count` ids are `process.signals` in
+    /// declaration order, any extra names found in equations follow.
+    names: Vec<String>,
+    /// name → id.
+    ids: HashMap<String, u32>,
+    /// Ids sorted by name, for name-ordered iteration ([`ResolvedStep`]).
+    sorted_ids: Vec<u32>,
+    /// Number of declared signals (prefix of `names`).
+    decl_count: usize,
+    /// Declared type per declared id.
+    decl_ty: Vec<ValueType>,
+    /// Whether the declared id is an input.
+    is_input: Vec<bool>,
+    /// Input ids in `process.inputs()` order.
+    input_ids: Vec<u32>,
+    /// Whether the id has a total definition (for the partial discipline).
+    has_total: Vec<bool>,
+    /// Compiled equations, in source order.
+    ceqs: Vec<CEq>,
+    /// Reusable per-instant environment, indexed by id.
+    env: Vec<Res>,
+}
+
+/// Name interner used during compilation.
+struct Interner<'a> {
+    ids: &'a mut HashMap<String, u32>,
+    names: &'a mut Vec<String>,
+}
+
+impl Interner<'_> {
+    fn id(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        id
+    }
+}
+
+fn compile_expr(
+    expr: &Expr,
+    interner: &mut Interner<'_>,
+    states: &mut Vec<OperatorState>,
+) -> CExpr {
+    match expr {
+        Expr::Var(name) => CExpr::Var(interner.id(name)),
+        Expr::Const(v) => CExpr::Const(v.clone()),
+        Expr::Unary(op, e) => CExpr::Unary(*op, Box::new(compile_expr(e, interner, states))),
+        Expr::Binary(op, a, b) => CExpr::Binary(
+            *op,
+            Box::new(compile_expr(a, interner, states)),
+            Box::new(compile_expr(b, interner, states)),
+        ),
+        Expr::Delay(e, init) => {
+            let idx = states.len();
+            states.push(OperatorState {
+                current: init.clone(),
+                pending: None,
+            });
+            CExpr::Delay(idx, Box::new(compile_expr(e, interner, states)))
+        }
+        Expr::When(e, b) => CExpr::When(
+            Box::new(compile_expr(e, interner, states)),
+            Box::new(compile_expr(b, interner, states)),
+        ),
+        Expr::Default(u, v) => CExpr::Default(
+            Box::new(compile_expr(u, interner, states)),
+            Box::new(compile_expr(v, interner, states)),
+        ),
+        Expr::Cell(i, b, init) => {
+            let idx = states.len();
+            states.push(OperatorState {
+                current: init.clone(),
+                pending: None,
+            });
+            CExpr::Cell(
+                idx,
+                Box::new(compile_expr(i, interner, states)),
+                Box::new(compile_expr(b, interner, states)),
+            )
+        }
+        Expr::ClockOf(e) => CExpr::ClockOf(Box::new(compile_expr(e, interner, states))),
+        Expr::ClockWhen(b) => CExpr::ClockWhen(Box::new(compile_expr(b, interner, states))),
+    }
 }
 
 impl Evaluator {
@@ -107,17 +246,77 @@ impl Evaluator {
                 process.name
             )));
         }
+
+        let mut names: Vec<String> = Vec::with_capacity(process.signals.len());
+        let mut ids: HashMap<String, u32> = HashMap::with_capacity(process.signals.len());
+        let mut decl_ty = Vec::with_capacity(process.signals.len());
+        let mut is_input = Vec::with_capacity(process.signals.len());
+        for decl in &process.signals {
+            let id = names.len() as u32;
+            names.push(decl.name.clone());
+            ids.insert(decl.name.clone(), id);
+            decl_ty.push(decl.ty);
+            is_input.push(decl.role == crate::process::SignalRole::Input);
+        }
+        let decl_count = names.len();
+        let input_ids: Vec<u32> = process.inputs().map(|d| ids[&d.name]).collect();
+
         let mut states = Vec::new();
-        for eq in &process.equations {
-            if let Equation::Definition { expr, .. } | Equation::PartialDefinition { expr, .. } = eq
-            {
-                collect_states(expr, &mut states);
+        let mut ceqs = Vec::with_capacity(process.equations.len());
+        {
+            let mut interner = Interner {
+                ids: &mut ids,
+                names: &mut names,
+            };
+            for eq in &process.equations {
+                match eq {
+                    Equation::Definition { target, expr } => ceqs.push(CEq::Def {
+                        target: interner.id(target),
+                        expr: compile_expr(expr, &mut interner, &mut states),
+                    }),
+                    Equation::PartialDefinition { target, expr } => ceqs.push(CEq::Partial {
+                        target: interner.id(target),
+                        expr: compile_expr(expr, &mut interner, &mut states),
+                    }),
+                    Equation::ClockConstraint { signals } => ceqs.push(CEq::Sync {
+                        signals: signals.iter().map(|s| interner.id(s)).collect(),
+                        label: signals.join(" ^= "),
+                    }),
+                    Equation::ClockExclusion { signals } => ceqs.push(CEq::Excl {
+                        signals: signals.iter().map(|s| interner.id(s)).collect(),
+                        label: signals.join(" # "),
+                    }),
+                    Equation::Instance { .. } => unreachable!("rejected above"),
+                }
             }
         }
+
+        let mut has_total = vec![false; names.len()];
+        for ceq in &ceqs {
+            if let CEq::Def { target, .. } = ceq {
+                has_total[*target as usize] = true;
+            }
+        }
+        let mut sorted_ids: Vec<u32> = (0..names.len() as u32).collect();
+        sorted_ids.sort_by(|&a, &b| names[a as usize].cmp(&names[b as usize]));
+
+        let initial: Vec<Value> = states.iter().map(|s| s.current.clone()).collect();
+        let env = vec![Res::Unknown; names.len()];
         Ok(Self {
             process: process.clone(),
             states,
+            initial,
             max_iterations: 64,
+            names,
+            ids,
+            sorted_ids,
+            decl_count,
+            decl_ty,
+            is_input,
+            input_ids,
+            has_total,
+            ceqs,
+            env,
         })
     }
 
@@ -140,6 +339,14 @@ impl Evaluator {
         self.states.iter().map(|s| s.current.clone()).collect()
     }
 
+    /// Writes the memory snapshot into `out` (cleared first), reusing its
+    /// allocation — the model checker's per-successor variant of
+    /// [`Evaluator::memory`].
+    pub fn memory_into(&self, out: &mut Vec<Value>) {
+        out.clear();
+        out.extend(self.states.iter().map(|s| s.current.clone()));
+    }
+
     /// Restores a memory snapshot previously taken with
     /// [`Evaluator::memory`] (pending half-steps are discarded).
     ///
@@ -159,7 +366,7 @@ impl Evaluator {
             });
         }
         for (st, v) in self.states.iter_mut().zip(memory) {
-            st.current = v.clone();
+            st.current.clone_from(v);
             st.pending = None;
         }
         Ok(())
@@ -167,14 +374,10 @@ impl Evaluator {
 
     /// Resets all `delay`/`cell` states to their initial values.
     pub fn reset(&mut self) {
-        let mut fresh = Vec::new();
-        for eq in &self.process.equations {
-            if let Equation::Definition { expr, .. } | Equation::PartialDefinition { expr, .. } = eq
-            {
-                collect_states(expr, &mut fresh);
-            }
+        for (st, v) in self.states.iter_mut().zip(&self.initial) {
+            st.current.clone_from(v);
+            st.pending = None;
         }
-        self.states = fresh;
     }
 
     /// Executes the process for every instant of `inputs`, returning the
@@ -188,9 +391,10 @@ impl Evaluator {
     /// not executable from the provided inputs.
     pub fn run(&mut self, inputs: &Trace) -> Result<Trace, SignalError> {
         let mut out = Trace::new();
+        let empty = TraceStep::new();
         for t in 0..inputs.len() {
-            let step = inputs.step(t).cloned().unwrap_or_default();
-            let resolved = self.step(t, &step)?;
+            let step = inputs.step(t).unwrap_or(&empty);
+            let resolved = self.step(t, step)?;
             out.push(resolved);
         }
         Ok(out)
@@ -203,16 +407,66 @@ impl Evaluator {
     ///
     /// Same conditions as [`Evaluator::run`].
     pub fn step(&mut self, instant: usize, input: &TraceStep) -> Result<TraceStep, SignalError> {
-        let mut env: BTreeMap<String, Res> = BTreeMap::new();
-        // Inputs are fully specified by the caller: absent unless given.
-        for decl in self.process.inputs() {
-            match input.get(&decl.name) {
-                Some(v) => env.insert(decl.name.clone(), Res::Present(v.clone())),
-                None => env.insert(decl.name.clone(), Res::Absent),
-            };
+        self.step_commit(instant, input)?;
+        let mut step = TraceStep::new();
+        for (id, res) in self.env.iter().enumerate() {
+            if let Res::Present(v) | Res::Any(v) = res {
+                step.set(self.names[id].clone(), v.clone());
+            }
         }
-        for decl in self.process.signals.iter() {
-            env.entry(decl.name.clone()).or_insert(Res::Unknown);
+        Ok(step)
+    }
+
+    /// Executes a single instant like [`Evaluator::step`], but returns the
+    /// resolved signals as a borrow-only [`ResolvedStep`] over the internal
+    /// environment instead of materialising a [`TraceStep`]. The view stays
+    /// valid (and unchanged) until the next step.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Evaluator::run`].
+    pub fn step_resolved(
+        &mut self,
+        instant: usize,
+        input: &TraceStep,
+    ) -> Result<ResolvedStep<'_>, SignalError> {
+        self.step_commit(instant, input)?;
+        Ok(self.resolved())
+    }
+
+    /// The resolved view of the last executed instant (empty before the
+    /// first step).
+    pub fn resolved(&self) -> ResolvedStep<'_> {
+        ResolvedStep {
+            names: &self.names,
+            ids: &self.ids,
+            env: &self.env,
+            sorted_ids: &self.sorted_ids,
+        }
+    }
+
+    /// Resolves one instant into `self.env` and commits operator states.
+    fn step_commit(&mut self, instant: usize, input: &TraceStep) -> Result<(), SignalError> {
+        let mut env = std::mem::take(&mut self.env);
+        let result = self.step_into(instant, input, &mut env);
+        self.env = env;
+        result
+    }
+
+    fn step_into(
+        &mut self,
+        instant: usize,
+        input: &TraceStep,
+        env: &mut Vec<Res>,
+    ) -> Result<(), SignalError> {
+        env.clear();
+        env.resize(self.names.len(), Res::Unknown);
+        // Inputs are fully specified by the caller: absent unless given.
+        for &id in &self.input_ids {
+            env[id as usize] = match input.get(&self.names[id as usize]) {
+                Some(v) => Res::Present(v.clone()),
+                None => Res::Absent,
+            };
         }
 
         // Fixpoint over the equations.
@@ -224,52 +478,44 @@ impl Evaluator {
             if iterations > self.max_iterations {
                 break;
             }
-            let mut cursor = 0usize;
-            for eq in &self.process.equations {
-                match eq {
-                    Equation::Definition { target, expr } => {
-                        let res = self.eval(expr, &env, &mut cursor, instant)?;
-                        changed |= merge_total(&mut env, target, res, instant)?;
+            for ceq in &self.ceqs {
+                match ceq {
+                    CEq::Def { target, expr } => {
+                        let res = eval(expr, env, &self.states, instant)?;
+                        changed |= merge_total(env, *target, res, instant, &self.names)?;
                     }
-                    Equation::PartialDefinition { target, expr } => {
-                        let res = self.eval(expr, &env, &mut cursor, instant)?;
-                        changed |= merge_partial(&mut env, target, res, instant)?;
+                    CEq::Partial { target, expr } => {
+                        let res = eval(expr, env, &self.states, instant)?;
+                        changed |= merge_partial(env, *target, res, instant, &self.names)?;
                     }
-                    Equation::ClockConstraint { signals } => {
+                    CEq::Sync { signals, label } => {
                         // Propagate presence/absence across a synchronisation
                         // class: if any member is decided, undecided members
                         // follow.
-                        let any_present = signals
-                            .iter()
-                            .any(|s| env.get(s).map(Res::is_present).unwrap_or(false));
+                        let any_present = signals.iter().any(|&s| env[s as usize].is_present());
                         let any_absent = signals
                             .iter()
-                            .any(|s| matches!(env.get(s), Some(Res::Absent)));
+                            .any(|&s| matches!(env[s as usize], Res::Absent));
                         if any_present && any_absent {
                             return Err(SignalError::SynchronizationViolation {
                                 instant,
-                                detail: format!(
-                                    "signals {} must be synchronous",
-                                    signals.join(" ^= ")
-                                ),
+                                detail: format!("signals {label} must be synchronous"),
                             });
                         }
                         if any_present || any_absent {
-                            for s in signals {
-                                if matches!(env.get(s), Some(Res::Unknown) | None) {
-                                    let fill = if any_present {
+                            for &s in signals {
+                                if matches!(env[s as usize], Res::Unknown) {
+                                    env[s as usize] = if any_present {
                                         Res::PresentUnknown
                                     } else {
                                         Res::Absent
                                     };
-                                    env.insert(s.clone(), fill);
                                     changed = true;
                                 }
                             }
                         }
                     }
-                    Equation::ClockExclusion { .. } => {}
-                    Equation::Instance { .. } => unreachable!("rejected in new()"),
+                    CEq::Excl { .. } => {}
                 }
             }
         }
@@ -277,18 +523,12 @@ impl Evaluator {
         // Signals known present but without a computed value: pure events
         // carry no value, so presence is enough; anything else is stuck.
         let mut stuck = Vec::new();
-        let decls: Vec<(String, crate::value::ValueType)> = self
-            .process
-            .signals
-            .iter()
-            .map(|d| (d.name.clone(), d.ty))
-            .collect();
-        for (name, ty) in &decls {
-            if matches!(env.get(name), Some(Res::PresentUnknown)) {
-                if *ty == crate::value::ValueType::Event {
-                    env.insert(name.clone(), Res::Present(Value::Event));
+        for (id, res) in env.iter_mut().enumerate().take(self.decl_count) {
+            if matches!(res, Res::PresentUnknown) {
+                if self.decl_ty[id] == ValueType::Event {
+                    *res = Res::Present(Value::Event);
                 } else {
-                    stuck.push(name.clone());
+                    stuck.push(self.names[id].clone());
                 }
             }
         }
@@ -301,64 +541,47 @@ impl Evaluator {
 
         // Default-to-absent completion: any still-unknown signal is assumed
         // absent, then all equations are re-checked for consistency.
-        let unresolved: Vec<String> = env
-            .iter()
-            .filter(|(_, r)| !r.known())
-            .map(|(n, _)| n.clone())
-            .collect();
-        for name in &unresolved {
-            env.insert(name.clone(), Res::Absent);
-        }
-        self.verify(&env, instant)?;
-        self.check_constraints(&env, instant)?;
-        self.commit(&env, instant)?;
-
-        let mut step = TraceStep::new();
-        for (name, res) in &env {
-            if let Res::Present(v) | Res::Any(v) = res {
-                step.set(name.clone(), v.clone());
+        for res in env.iter_mut() {
+            if !res.known() {
+                *res = Res::Absent;
             }
         }
-        Ok(step)
+        self.verify(env, instant)?;
+        self.check_constraints(env, instant)?;
+        self.commit(env, instant)
     }
 
     /// Re-evaluates every definition under the completed environment and
     /// checks consistency.
-    fn verify(&self, env: &BTreeMap<String, Res>, instant: usize) -> Result<(), SignalError> {
-        let mut cursor = 0usize;
+    fn verify(&self, env: &[Res], instant: usize) -> Result<(), SignalError> {
         // Track, per partially-defined signal, whether some partial fired.
-        let mut partial_fired: BTreeMap<String, bool> = BTreeMap::new();
-        let mut partial_targets: Vec<String> = Vec::new();
-        for eq in &self.process.equations {
-            match eq {
-                Equation::Definition { target, expr } => {
-                    let res = self.eval(expr, env, &mut cursor, instant)?;
-                    let current = env.get(target).cloned().unwrap_or(Res::Unknown);
-                    if !consistent(&current, &res) {
+        let mut partial_fired = vec![false; self.names.len()];
+        let mut partial_targets: Vec<u32> = Vec::new();
+        for ceq in &self.ceqs {
+            match ceq {
+                CEq::Def { target, expr } => {
+                    let res = eval(expr, env, &self.states, instant)?;
+                    let current = &env[*target as usize];
+                    if !consistent(current, &res) {
                         return Err(SignalError::NotExecutable {
                             instant,
-                            unresolved: vec![target.clone()],
+                            unresolved: vec![self.names[*target as usize].clone()],
                         });
                     }
                 }
-                Equation::PartialDefinition { target, expr } => {
-                    partial_targets.push(target.clone());
-                    let res = self.eval(expr, env, &mut cursor, instant)?;
-                    let entry = partial_fired.entry(target.clone()).or_insert(false);
-                    match res {
-                        Res::Present(ref v) | Res::Any(ref v) => {
-                            *entry = true;
-                            let current = env.get(target).cloned().unwrap_or(Res::Unknown);
-                            if let Some(cv) = current.value() {
-                                if cv != v {
-                                    return Err(SignalError::MultipleDefinitions {
-                                        process: self.process.name.clone(),
-                                        signal: target.clone(),
-                                    });
-                                }
+                CEq::Partial { target, expr } => {
+                    partial_targets.push(*target);
+                    let res = eval(expr, env, &self.states, instant)?;
+                    if let Res::Present(ref v) | Res::Any(ref v) = res {
+                        partial_fired[*target as usize] = true;
+                        if let Some(cv) = env[*target as usize].value() {
+                            if cv != v {
+                                return Err(SignalError::MultipleDefinitions {
+                                    process: self.process.name.clone(),
+                                    signal: self.names[*target as usize].clone(),
+                                });
                             }
                         }
-                        _ => {}
                     }
                 }
                 _ => {}
@@ -367,69 +590,49 @@ impl Evaluator {
         // A partially-defined signal that is present must have at least one
         // firing partial definition or be an input.
         for target in partial_targets {
-            let is_input = self.process.inputs().any(|d| d.name == target);
-            if is_input {
+            let id = target as usize;
+            if id < self.decl_count && self.is_input[id] {
                 continue;
             }
-            let present = matches!(env.get(&target), Some(Res::Present(_)) | Some(Res::Any(_)));
-            let has_total = self
-                .process
-                .equations
-                .iter()
-                .any(|eq| matches!(eq, Equation::Definition { target: t, .. } if t == &target));
-            if present && !has_total && !partial_fired.get(&target).copied().unwrap_or(false) {
+            let present = matches!(env[id], Res::Present(_) | Res::Any(_));
+            if present && !self.has_total[id] && !partial_fired[id] {
                 return Err(SignalError::NotExecutable {
                     instant,
-                    unresolved: vec![target],
+                    unresolved: vec![self.names[id].clone()],
                 });
             }
         }
         Ok(())
     }
 
-    fn check_constraints(
-        &self,
-        env: &BTreeMap<String, Res>,
-        instant: usize,
-    ) -> Result<(), SignalError> {
-        for eq in &self.process.equations {
-            match eq {
-                Equation::ClockConstraint { signals } => {
+    fn check_constraints(&self, env: &[Res], instant: usize) -> Result<(), SignalError> {
+        for ceq in &self.ceqs {
+            match ceq {
+                CEq::Sync { signals, label } => {
                     let mut present: Option<bool> = None;
-                    for s in signals {
-                        let p = matches!(env.get(s), Some(Res::Present(_)) | Some(Res::Any(_)));
+                    for &s in signals {
+                        let p = matches!(env[s as usize], Res::Present(_) | Res::Any(_));
                         match present {
                             None => present = Some(p),
                             Some(prev) if prev != p => {
                                 return Err(SignalError::SynchronizationViolation {
                                     instant,
-                                    detail: format!(
-                                        "signals {} must be synchronous",
-                                        signals.join(" ^= ")
-                                    ),
+                                    detail: format!("signals {label} must be synchronous"),
                                 });
                             }
                             _ => {}
                         }
                     }
                 }
-                Equation::ClockExclusion { signals } => {
+                CEq::Excl { signals, label } => {
                     let count = signals
                         .iter()
-                        .filter(|s| {
-                            matches!(
-                                env.get(s.as_str()),
-                                Some(Res::Present(_)) | Some(Res::Any(_))
-                            )
-                        })
+                        .filter(|&&s| matches!(env[s as usize], Res::Present(_) | Res::Any(_)))
                         .count();
                     if count > 1 {
                         return Err(SignalError::SynchronizationViolation {
                             instant,
-                            detail: format!(
-                                "signals {} must be mutually exclusive",
-                                signals.join(" # ")
-                            ),
+                            detail: format!("signals {label} must be mutually exclusive"),
                         });
                     }
                 }
@@ -440,191 +643,179 @@ impl Evaluator {
     }
 
     /// Commits the pending state of every `delay`/`cell` operator.
-    fn commit(&mut self, env: &BTreeMap<String, Res>, instant: usize) -> Result<(), SignalError> {
+    fn commit(&mut self, env: &[Res], instant: usize) -> Result<(), SignalError> {
         // Recompute pending updates under the final environment, then apply.
-        // The equation list is moved out (not deep-cloned — this runs once
-        // per instant, the model checker's hottest path) so that
-        // `record_pending` can borrow `self` mutably, and is restored before
-        // returning even on error.
-        let mut cursor = 0usize;
-        let equations = std::mem::take(&mut self.process.equations);
         for st in &mut self.states {
             st.pending = None;
         }
-        let mut result = Ok(());
-        for eq in &equations {
-            if let Equation::Definition { expr, .. } | Equation::PartialDefinition { expr, .. } = eq
-            {
-                if let Err(e) = self.record_pending(expr, env, &mut cursor, instant) {
-                    result = Err(e);
-                    break;
-                }
+        let states = &mut self.states;
+        for ceq in &self.ceqs {
+            if let CEq::Def { expr, .. } | CEq::Partial { expr, .. } = ceq {
+                record_pending(expr, env, states, instant)?;
             }
         }
-        self.process.equations = equations;
-        result?;
-        for st in &mut self.states {
+        for st in states.iter_mut() {
             if let Some(v) = st.pending.take() {
                 st.current = v;
             }
         }
         Ok(())
     }
+}
 
-    fn record_pending(
-        &mut self,
-        expr: &Expr,
-        env: &BTreeMap<String, Res>,
-        cursor: &mut usize,
-        instant: usize,
-    ) -> Result<Res, SignalError> {
-        match expr {
-            Expr::Delay(e, _) => {
-                let idx = *cursor;
-                *cursor += 1;
-                let inner = self.record_pending(e, env, cursor, instant)?;
-                let res = match &inner {
-                    Res::Present(_) | Res::Any(_) | Res::PresentUnknown => {
-                        Res::Present(self.states[idx].current.clone())
-                    }
-                    Res::Absent => Res::Absent,
-                    Res::Unknown => Res::Unknown,
-                };
-                if let Some(v) = inner.value() {
-                    self.states[idx].pending = Some(v.clone());
-                }
-                Ok(res)
-            }
-            Expr::Cell(i, b, _) => {
-                let idx = *cursor;
-                *cursor += 1;
-                let vi = self.record_pending(i, env, cursor, instant)?;
-                let vb = self.record_pending(b, env, cursor, instant)?;
-                if let Some(v) = vi.value() {
-                    self.states[idx].pending = Some(v.clone());
-                }
-                let res = cell_result(&vi, &vb, &self.states[idx].current);
-                Ok(res)
-            }
-            Expr::Var(name) => Ok(env.get(name).cloned().unwrap_or(Res::Unknown)),
-            Expr::Const(v) => Ok(Res::Any(v.clone())),
-            Expr::Unary(op, e) => {
-                let v = self.record_pending(e, env, cursor, instant)?;
-                apply_unary(*op, &v)
-            }
-            Expr::Binary(op, a, b) => {
-                let va = self.record_pending(a, env, cursor, instant)?;
-                let vb = self.record_pending(b, env, cursor, instant)?;
-                apply_binary(*op, &va, &vb, instant)
-            }
-            Expr::When(e, b) => {
-                let ve = self.record_pending(e, env, cursor, instant)?;
-                let vb = self.record_pending(b, env, cursor, instant)?;
-                Ok(when_result(&ve, &vb))
-            }
-            Expr::Default(u, v) => {
-                let vu = self.record_pending(u, env, cursor, instant)?;
-                let vv = self.record_pending(v, env, cursor, instant)?;
-                Ok(default_result(&vu, &vv))
-            }
-            Expr::ClockOf(e) => {
-                let v = self.record_pending(e, env, cursor, instant)?;
-                Ok(clock_of_result(&v))
-            }
-            Expr::ClockWhen(b) => {
-                let v = self.record_pending(b, env, cursor, instant)?;
-                Ok(clock_when_result(&v))
-            }
-        }
+/// Borrow-only view of the last resolved instant of an [`Evaluator`];
+/// implements [`InstantView`] so property monitors can read it without a
+/// materialised [`TraceStep`].
+#[derive(Debug, Clone, Copy)]
+pub struct ResolvedStep<'a> {
+    names: &'a [String],
+    ids: &'a HashMap<String, u32>,
+    env: &'a [Res],
+    sorted_ids: &'a [u32],
+}
+
+impl InstantView for ResolvedStep<'_> {
+    fn value_of(&self, name: &str) -> Option<&Value> {
+        self.ids
+            .get(name)
+            .and_then(|&id| self.env.get(id as usize))
+            .and_then(Res::value)
     }
 
-    /// Evaluates an expression under the current (possibly partial)
-    /// environment. `cursor` walks the stateful-operator table in the same
-    /// pre-order as [`collect_states`].
-    fn eval(
+    fn first_present_matching(
         &self,
-        expr: &Expr,
-        env: &BTreeMap<String, Res>,
-        cursor: &mut usize,
-        instant: usize,
-    ) -> Result<Res, SignalError> {
-        match expr {
-            Expr::Var(name) => Ok(env.get(name).cloned().unwrap_or(Res::Unknown)),
-            Expr::Const(v) => Ok(Res::Any(v.clone())),
-            Expr::Unary(op, e) => {
-                let v = self.eval(e, env, cursor, instant)?;
-                apply_unary(*op, &v)
+        accept: &mut dyn FnMut(&str, &Value) -> bool,
+    ) -> Option<String> {
+        for &id in self.sorted_ids {
+            if let Some(v) = self.env[id as usize].value() {
+                let name = &self.names[id as usize];
+                if accept(name, v) {
+                    return Some(name.clone());
+                }
             }
-            Expr::Binary(op, a, b) => {
-                let va = self.eval(a, env, cursor, instant)?;
-                let vb = self.eval(b, env, cursor, instant)?;
-                apply_binary(*op, &va, &vb, instant)
-            }
-            Expr::Delay(e, _) => {
-                let idx = *cursor;
-                *cursor += 1;
-                let inner = self.eval(e, env, cursor, instant)?;
-                Ok(match inner {
-                    Res::Present(_) | Res::Any(_) | Res::PresentUnknown => {
-                        Res::Present(self.states[idx].current.clone())
-                    }
-                    Res::Absent => Res::Absent,
-                    Res::Unknown => Res::Unknown,
-                })
-            }
-            Expr::When(e, b) => {
-                let ve = self.eval(e, env, cursor, instant)?;
-                let vb = self.eval(b, env, cursor, instant)?;
-                Ok(when_result(&ve, &vb))
-            }
-            Expr::Default(u, v) => {
-                let vu = self.eval(u, env, cursor, instant)?;
-                let vv = self.eval(v, env, cursor, instant)?;
-                Ok(default_result(&vu, &vv))
-            }
-            Expr::Cell(i, b, _) => {
-                let idx = *cursor;
-                *cursor += 1;
-                let vi = self.eval(i, env, cursor, instant)?;
-                let vb = self.eval(b, env, cursor, instant)?;
-                Ok(cell_result(&vi, &vb, &self.states[idx].current))
-            }
-            Expr::ClockOf(e) => {
-                let v = self.eval(e, env, cursor, instant)?;
-                Ok(clock_of_result(&v))
-            }
-            Expr::ClockWhen(b) => {
-                let v = self.eval(b, env, cursor, instant)?;
-                Ok(clock_when_result(&v))
-            }
+        }
+        None
+    }
+}
+
+/// Evaluates a compiled expression under the current (possibly partial)
+/// environment.
+fn eval(
+    expr: &CExpr,
+    env: &[Res],
+    states: &[OperatorState],
+    instant: usize,
+) -> Result<Res, SignalError> {
+    match expr {
+        CExpr::Var(id) => Ok(env[*id as usize].clone()),
+        CExpr::Const(v) => Ok(Res::Any(v.clone())),
+        CExpr::Unary(op, e) => {
+            let v = eval(e, env, states, instant)?;
+            apply_unary(*op, &v)
+        }
+        CExpr::Binary(op, a, b) => {
+            let va = eval(a, env, states, instant)?;
+            let vb = eval(b, env, states, instant)?;
+            apply_binary(*op, &va, &vb, instant)
+        }
+        CExpr::Delay(idx, e) => {
+            let inner = eval(e, env, states, instant)?;
+            Ok(match inner {
+                Res::Present(_) | Res::Any(_) | Res::PresentUnknown => {
+                    Res::Present(states[*idx].current.clone())
+                }
+                Res::Absent => Res::Absent,
+                Res::Unknown => Res::Unknown,
+            })
+        }
+        CExpr::When(e, b) => {
+            let ve = eval(e, env, states, instant)?;
+            let vb = eval(b, env, states, instant)?;
+            Ok(when_result(&ve, &vb))
+        }
+        CExpr::Default(u, v) => {
+            let vu = eval(u, env, states, instant)?;
+            let vv = eval(v, env, states, instant)?;
+            Ok(default_result(&vu, &vv))
+        }
+        CExpr::Cell(idx, i, b) => {
+            let vi = eval(i, env, states, instant)?;
+            let vb = eval(b, env, states, instant)?;
+            Ok(cell_result(&vi, &vb, &states[*idx].current))
+        }
+        CExpr::ClockOf(e) => {
+            let v = eval(e, env, states, instant)?;
+            Ok(clock_of_result(&v))
+        }
+        CExpr::ClockWhen(b) => {
+            let v = eval(b, env, states, instant)?;
+            Ok(clock_when_result(&v))
         }
     }
 }
 
-/// Pre-order collection of the initial states of `delay`/`cell` operators.
-fn collect_states(expr: &Expr, states: &mut Vec<OperatorState>) {
+/// Like [`eval`], but records the pending update of every `delay`/`cell`
+/// operator it passes through.
+fn record_pending(
+    expr: &CExpr,
+    env: &[Res],
+    states: &mut [OperatorState],
+    instant: usize,
+) -> Result<Res, SignalError> {
     match expr {
-        Expr::Delay(e, init) => {
-            states.push(OperatorState {
-                current: init.clone(),
-                pending: None,
-            });
-            collect_states(e, states);
+        CExpr::Delay(idx, e) => {
+            let idx = *idx;
+            let inner = record_pending(e, env, states, instant)?;
+            let res = match &inner {
+                Res::Present(_) | Res::Any(_) | Res::PresentUnknown => {
+                    Res::Present(states[idx].current.clone())
+                }
+                Res::Absent => Res::Absent,
+                Res::Unknown => Res::Unknown,
+            };
+            if let Some(v) = inner.value() {
+                states[idx].pending = Some(v.clone());
+            }
+            Ok(res)
         }
-        Expr::Cell(i, b, init) => {
-            states.push(OperatorState {
-                current: init.clone(),
-                pending: None,
-            });
-            collect_states(i, states);
-            collect_states(b, states);
+        CExpr::Cell(idx, i, b) => {
+            let idx = *idx;
+            let vi = record_pending(i, env, states, instant)?;
+            let vb = record_pending(b, env, states, instant)?;
+            if let Some(v) = vi.value() {
+                states[idx].pending = Some(v.clone());
+            }
+            Ok(cell_result(&vi, &vb, &states[idx].current))
         }
-        Expr::Unary(_, e) | Expr::ClockOf(e) | Expr::ClockWhen(e) => collect_states(e, states),
-        Expr::Binary(_, a, b) | Expr::When(a, b) | Expr::Default(a, b) => {
-            collect_states(a, states);
-            collect_states(b, states);
+        CExpr::Var(id) => Ok(env[*id as usize].clone()),
+        CExpr::Const(v) => Ok(Res::Any(v.clone())),
+        CExpr::Unary(op, e) => {
+            let v = record_pending(e, env, states, instant)?;
+            apply_unary(*op, &v)
         }
-        Expr::Var(_) | Expr::Const(_) => {}
+        CExpr::Binary(op, a, b) => {
+            let va = record_pending(a, env, states, instant)?;
+            let vb = record_pending(b, env, states, instant)?;
+            apply_binary(*op, &va, &vb, instant)
+        }
+        CExpr::When(e, b) => {
+            let ve = record_pending(e, env, states, instant)?;
+            let vb = record_pending(b, env, states, instant)?;
+            Ok(when_result(&ve, &vb))
+        }
+        CExpr::Default(u, v) => {
+            let vu = record_pending(u, env, states, instant)?;
+            let vv = record_pending(v, env, states, instant)?;
+            Ok(default_result(&vu, &vv))
+        }
+        CExpr::ClockOf(e) => {
+            let v = record_pending(e, env, states, instant)?;
+            Ok(clock_of_result(&v))
+        }
+        CExpr::ClockWhen(b) => {
+            let v = record_pending(b, env, states, instant)?;
+            Ok(clock_when_result(&v))
+        }
     }
 }
 
@@ -644,32 +835,33 @@ fn consistent(current: &Res, computed: &Res) -> bool {
 }
 
 fn merge_total(
-    env: &mut BTreeMap<String, Res>,
-    target: &str,
+    env: &mut [Res],
+    target: u32,
     res: Res,
     instant: usize,
+    names: &[String],
 ) -> Result<bool, SignalError> {
-    let current = env.get(target).cloned().unwrap_or(Res::Unknown);
-    match (&current, &res) {
+    let slot = &mut env[target as usize];
+    match (&*slot, &res) {
         (_, Res::Unknown) => Ok(false),
         (Res::Unknown, _) => {
             // A constant defining expression leaves the clock free; keep it
             // as Any so that constraints can still decide.
-            env.insert(target.to_string(), res);
+            *slot = res;
             Ok(true)
         }
         // Upgrade a presence-only resolution to a full value.
         (Res::PresentUnknown, Res::Present(_) | Res::Any(_)) => {
-            env.insert(target.to_string(), res);
+            *slot = res;
             Ok(true)
         }
         _ => {
-            if consistent(&current, &res) {
+            if consistent(slot, &res) {
                 Ok(false)
             } else {
                 Err(SignalError::SynchronizationViolation {
                     instant,
-                    detail: format!("conflicting resolutions for `{target}`"),
+                    detail: format!("conflicting resolutions for `{}`", names[target as usize]),
                 })
             }
         }
@@ -677,17 +869,18 @@ fn merge_total(
 }
 
 fn merge_partial(
-    env: &mut BTreeMap<String, Res>,
-    target: &str,
+    env: &mut [Res],
+    target: u32,
     res: Res,
     instant: usize,
+    names: &[String],
 ) -> Result<bool, SignalError> {
     match res {
         Res::Present(v) | Res::Any(v) => {
-            let current = env.get(target).cloned().unwrap_or(Res::Unknown);
-            match current {
+            let slot = &mut env[target as usize];
+            match slot {
                 Res::Unknown | Res::Absent | Res::PresentUnknown => {
-                    env.insert(target.to_string(), Res::Present(v));
+                    *slot = Res::Present(v);
                     Ok(true)
                 }
                 Res::Present(ref cv) | Res::Any(ref cv) => {
@@ -697,7 +890,8 @@ fn merge_partial(
                         Err(SignalError::SynchronizationViolation {
                             instant,
                             detail: format!(
-                                "partial definitions give `{target}` two values at the same instant"
+                                "partial definitions give `{}` two values at the same instant",
+                                names[target as usize]
                             ),
                         })
                     }
@@ -1181,5 +1375,33 @@ mod tests {
         b.instance("child", "c1", &["x"], &["y"]);
         let p = b.build().unwrap();
         assert!(Evaluator::new(&p).is_err());
+    }
+
+    #[test]
+    fn resolved_view_matches_materialised_step() {
+        let mut b = ProcessBuilder::new("viewed");
+        b.input("tick", ValueType::Event);
+        b.output("count", ValueType::Integer);
+        b.define(
+            "count",
+            Expr::add(Expr::delay(Expr::var("count"), Value::Int(0)), Expr::int(1)),
+        );
+        b.synchronize(&["count", "tick"]);
+        let p = b.build().unwrap();
+        let mut input = TraceStep::new();
+        input.set("tick", Value::Event);
+
+        let mut by_step = Evaluator::new(&p).unwrap();
+        let step = by_step.step(0, &input).unwrap();
+
+        let mut by_view = Evaluator::new(&p).unwrap();
+        let view = by_view.step_resolved(0, &input).unwrap();
+        for (name, value) in step.iter() {
+            assert_eq!(view.value_of(name), Some(value));
+        }
+        assert!(view.value_of("no_such_signal").is_none());
+        // Name-sorted visit order, like a TraceStep's BTreeMap.
+        let first = view.first_present_matching(&mut |_, _| true);
+        assert_eq!(first.as_deref(), Some("count"));
     }
 }

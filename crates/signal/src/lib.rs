@@ -54,12 +54,14 @@ pub mod pretty;
 pub mod process;
 pub mod trace;
 pub mod value;
+pub mod view;
 
 pub use builder::ProcessBuilder;
 pub use clockcalc::{ClockCalculus, ClockClass, DeterminismVerdict};
 pub use error::SignalError;
-pub use eval::Evaluator;
+pub use eval::{Evaluator, ResolvedStep};
 pub use expr::{BinOp, Expr, UnOp};
 pub use process::{Equation, Process, ProcessModel, SignalDecl, SignalRole};
 pub use trace::{Trace, TraceStep};
 pub use value::{Value, ValueType};
+pub use view::InstantView;

@@ -1,0 +1,75 @@
+//! Borrowed views of one resolved instant.
+//!
+//! The model checker steps property monitors over the signals resolved at
+//! each instant. Materialising a [`TraceStep`] (a name-keyed `BTreeMap`) per
+//! successor is the dominant allocation of the exploration hot path, so the
+//! monitors instead read instants through [`InstantView`]: an abstract,
+//! borrow-only interface that a `TraceStep` implements (for replay and
+//! tests) and that the evaluator implements directly over its internal
+//! dense environment (see [`crate::eval::ResolvedStep`]).
+
+use crate::trace::TraceStep;
+use crate::value::Value;
+
+/// Read-only access to the signals present at one resolved instant.
+///
+/// Implementations must visit signals in **name-sorted order** in
+/// [`InstantView::first_present_matching`]: witness extraction (the first
+/// raised signal matching a pattern) is part of the deterministic
+/// counterexample contract, so every view of the same instant must report
+/// the same signal first.
+pub trait InstantView {
+    /// The value of `name` at this instant, or `None` when absent.
+    fn value_of(&self, name: &str) -> Option<&Value>;
+
+    /// Whether `name` is present at this instant.
+    fn is_present(&self, name: &str) -> bool {
+        self.value_of(name).is_some()
+    }
+
+    /// Visits the present signals in name-sorted order and returns the name
+    /// of the first one accepted by `accept`.
+    fn first_present_matching(
+        &self,
+        accept: &mut dyn FnMut(&str, &Value) -> bool,
+    ) -> Option<String>;
+}
+
+impl InstantView for TraceStep {
+    fn value_of(&self, name: &str) -> Option<&Value> {
+        self.get(name)
+    }
+
+    fn is_present(&self, name: &str) -> bool {
+        TraceStep::is_present(self, name)
+    }
+
+    fn first_present_matching(
+        &self,
+        accept: &mut dyn FnMut(&str, &Value) -> bool,
+    ) -> Option<String> {
+        // `TraceStep` iterates its underlying `BTreeMap`, which is already
+        // name-sorted.
+        self.iter()
+            .find(|(name, value)| accept(name, value))
+            .map(|(name, _)| name.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_step_view_reports_in_name_order() {
+        let mut step = TraceStep::new();
+        step.set("zeta", Value::Bool(true));
+        step.set("alpha", Value::Bool(true));
+        step.set("mid", Value::Bool(false));
+        assert_eq!(step.value_of("alpha"), Some(&Value::Bool(true)));
+        assert!(InstantView::is_present(&step, "mid"));
+        assert!(!InstantView::is_present(&step, "nope"));
+        let first = step.first_present_matching(&mut |_, v| v.as_bool());
+        assert_eq!(first.as_deref(), Some("alpha"));
+    }
+}

@@ -1,0 +1,559 @@
+//! The shared exploration core: a depth-stratified parallel reachability
+//! engine over interned states.
+//!
+//! Both explorers — the single-process [`crate::Verifier`] and the
+//! [`crate::ProductVerifier`] — are thin [`Expander`] implementations over
+//! this one engine. The engine owns everything that is *not* model
+//! specific:
+//!
+//! * the seen-set, a [`StateInterner`] mapping canonical state encodings to
+//!   dense `u32` ids — the frontier, the parent links and every merge
+//!   structure speak ids, so no `State` struct and no key `Vec<u8>` is ever
+//!   stored per explored state beyond the interner's arena;
+//! * the level loop (depth bound, state cap, early stop once every property
+//!   has a violation — all checked *between* levels so verdicts stay
+//!   deterministic under any worker count);
+//! * the frontier scheduling: inline execution when one worker suffices,
+//!   contiguous chunks under [`FrontierMode::Barrier`], and per-worker
+//!   deques with work stealing under [`FrontierMode::WorkStealing`] (the
+//!   default — within a level the queues are drained without refill, so a
+//!   thief that finds every queue empty can exit immediately);
+//! * deterministic merging: same-depth discovery races are recorded as
+//!   deferred ties and resolved at the level barrier by the canonical edge
+//!   encoding, violations are tie-broken by [`trace_order`], and fatal
+//!   errors by the erroring state's key bytes — every comparison is over
+//!   *key bytes*, never interner ids, because ids are allocation-ordered
+//!   and therefore race-dependent.
+//!
+//! Counterexample paths are reconstructed on demand from the parent links:
+//! each link stores only the predecessor id and the *edge index*; the
+//! expander re-derives the concrete input step from the predecessor's key
+//! ([`Expander::edge_step`]), so the engine never stores input steps
+//! per state either.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use signal_moc::trace::{Trace, TraceStep};
+
+use crate::counterexample::Counterexample;
+use crate::explore::{
+    ExplorationStats, FrontierMode, PropertyVerdict, Verdict, VerificationOutcome, VerifyError,
+    VerifyOptions,
+};
+use crate::property::Property;
+use crate::state::{State, StateInterner};
+
+/// Sentinel predecessor id of the initial state.
+pub(crate) const NO_PARENT: u32 = u32::MAX;
+
+/// Parent link of an interned state: how it was first reached (subject to
+/// the deterministic same-depth tie-break at the level barrier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ParentLink {
+    /// Interned id of the predecessor ([`NO_PARENT`] for the initial
+    /// state).
+    pub prev: u32,
+    /// Index of the edge taken from the predecessor, in the expander's
+    /// stable edge numbering (a free-mode candidate index, or the single
+    /// scheduled/product step).
+    pub edge: u32,
+    /// Breadth-first level at which the state was discovered.
+    pub depth: u32,
+}
+
+/// A violation observed while expanding one level, in raw (id-based) form;
+/// the winning one per property is materialised into a
+/// [`Counterexample`] at the barrier.
+struct RawViolation {
+    property: usize,
+    parent: u32,
+    /// The violating edge from `parent`; `None` for a dead end (the state
+    /// itself has no feasible successor).
+    edge: Option<u32>,
+    witness: String,
+}
+
+/// One model-specific exploration step: how to expand a state and how to
+/// re-derive the input step of a recorded edge.
+pub(crate) trait Expander: Sync {
+    /// Per-worker scratch (evaluators, codecs, memo tables) reused across
+    /// levels.
+    type Ctx: Send;
+
+    /// A fresh worker context.
+    fn new_ctx(&self) -> Self::Ctx;
+
+    /// Expands one state (given by its canonical key encoding) at `depth`,
+    /// reporting successors, violations and counters through `sink`.
+    ///
+    /// # Errors
+    ///
+    /// A returned error is *fatal*: the engine aborts the run with the
+    /// error of the smallest erroring state (by key bytes) once the level
+    /// completes.
+    fn expand(
+        &self,
+        ctx: &mut Self::Ctx,
+        key: &[u8],
+        depth: usize,
+        sink: &mut Sink<'_>,
+    ) -> Result<(), VerifyError>;
+
+    /// The concrete input step of edge `edge` out of the state encoded by
+    /// `prev_key`. Must be a pure function of `(prev_key, edge)` — it is
+    /// re-invoked during path reconstruction and tie-breaking.
+    fn edge_step(&self, prev_key: &[u8], edge: u32) -> TraceStep;
+}
+
+/// Where one worker reports what it saw while expanding its share of a
+/// level. All merging is deferred to the level barrier.
+pub(crate) struct Sink<'a> {
+    interner: &'a StateInterner<ParentLink>,
+    /// Interned id of the state currently being expanded.
+    parent: u32,
+    /// Level of the state currently being expanded.
+    depth: usize,
+    next: Vec<u32>,
+    ties: Vec<(u32, ParentLink)>,
+    violations: Vec<RawViolation>,
+    transitions: usize,
+    infeasible: usize,
+    pruned: usize,
+    fatal: Option<(u32, VerifyError)>,
+}
+
+impl<'a> Sink<'a> {
+    fn new(interner: &'a StateInterner<ParentLink>) -> Self {
+        Self {
+            interner,
+            parent: NO_PARENT,
+            depth: 0,
+            next: Vec::new(),
+            ties: Vec::new(),
+            violations: Vec::new(),
+            transitions: 0,
+            infeasible: 0,
+            pruned: 0,
+            fatal: None,
+        }
+    }
+
+    /// Reports a successor reached over edge `edge`, interning its
+    /// canonical encoding. Returns `true` when the state was fresh (it
+    /// joins the next frontier). A rediscovery at the same depth is
+    /// recorded as a deferred tie and resolved deterministically at the
+    /// barrier.
+    pub fn successor(&mut self, hash: u64, key: &[u8], edge: u32) -> bool {
+        let link = ParentLink {
+            prev: self.parent,
+            edge,
+            depth: self.depth as u32 + 1,
+        };
+        let (id, existing) = self.interner.intern(hash, key, || link);
+        match existing {
+            None => {
+                self.next.push(id);
+                true
+            }
+            Some(incumbent) => {
+                if incumbent.depth == link.depth {
+                    self.ties.push((id, link));
+                }
+                false
+            }
+        }
+    }
+
+    /// Reports a violation of property `property` observed on edge `edge`
+    /// out of the current state (`None` for a dead end of the state
+    /// itself).
+    pub fn violation(&mut self, property: usize, edge: Option<u32>, witness: String) {
+        self.violations.push(RawViolation {
+            property,
+            parent: self.parent,
+            edge,
+            witness,
+        });
+    }
+
+    /// Counts one executed transition.
+    pub fn transition(&mut self) {
+        self.transitions += 1;
+    }
+
+    /// Counts one input valuation rejected by the evaluator.
+    pub fn infeasible(&mut self) {
+        self.infeasible += 1;
+    }
+
+    /// Counts one candidate skipped by the dispatch-feasibility oracle.
+    pub fn pruned(&mut self) {
+        self.pruned += 1;
+    }
+
+    /// Records a fatal error for the current state, keeping the error of
+    /// the smallest erroring state (by key bytes) so the reported error
+    /// does not depend on scheduling.
+    fn record_fatal(&mut self, error: VerifyError) {
+        let replace = match &self.fatal {
+            None => true,
+            Some((incumbent, _)) => {
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                self.interner.copy_key(self.parent, &mut a);
+                self.interner.copy_key(*incumbent, &mut b);
+                a < b
+            }
+        };
+        if replace {
+            self.fatal = Some((self.parent, error));
+        }
+    }
+}
+
+/// Runs the depth-stratified exploration from `initial` under `options`,
+/// returning per-property verdicts and stats. `pre_truncated` marks a
+/// search that is already known to be partial (e.g. a truncated candidate
+/// enumeration or dropped link deliveries) before the first level.
+pub(crate) fn explore<E: Expander>(
+    expander: &E,
+    initial: &State,
+    options: &VerifyOptions,
+    properties: &[Property],
+    pre_truncated: bool,
+) -> Result<VerificationOutcome, VerifyError> {
+    let interner: StateInterner<ParentLink> =
+        StateInterner::new(options.shards, options.interner_capacity);
+    let initial_key = initial.key();
+    let mut seed_codec = crate::state::KeyCodec::new();
+    let initial_hash = seed_codec.seed_state(initial);
+    let (root, _) = interner.intern(initial_hash, initial_key.as_bytes(), || ParentLink {
+        prev: NO_PARENT,
+        edge: 0,
+        depth: 0,
+    });
+
+    let mut frontier = vec![root];
+    let mut depth = 0usize;
+    let mut transitions = 0usize;
+    let mut infeasible = 0usize;
+    let mut pruned = 0usize;
+    let mut peak_frontier = 0usize;
+    let mut truncated = pre_truncated;
+    let mut workers_used = 1usize;
+    let mut found: Vec<Option<Counterexample>> = vec![None; properties.len()];
+    // Per-worker contexts persist across levels (an expander context clones
+    // the evaluator, which deep-copies the process — that must never sit in
+    // the per-level path) and grow lazily to the parallelism actually
+    // exercised.
+    let mut ctxs: Vec<E::Ctx> = Vec::new();
+
+    loop {
+        if frontier.is_empty() {
+            break;
+        }
+        if found.iter().all(Option::is_some) {
+            // Every property already has a (minimal-depth) violation: stop
+            // early. The frontier is not empty, so the stats describe a
+            // partial search, not an exhausted space.
+            truncated = true;
+            break;
+        }
+        if let Some(bound) = options.depth_bound {
+            if depth >= bound {
+                truncated = true;
+                break;
+            }
+        }
+        if interner.len() >= options.max_states {
+            truncated = true;
+            break;
+        }
+        peak_frontier = peak_frontier.max(frontier.len());
+
+        let workers = options.workers.max(1).min(frontier.len());
+        workers_used = workers_used.max(workers);
+        while ctxs.len() < workers {
+            ctxs.push(expander.new_ctx());
+        }
+
+        let mut sinks: Vec<Sink<'_>> = (0..workers).map(|_| Sink::new(&interner)).collect();
+        if workers == 1 {
+            let sink = &mut sinks[0];
+            let ctx = &mut ctxs[0];
+            let mut iter = frontier.iter().copied();
+            run_worker(expander, ctx, sink, depth, || iter.next());
+        } else {
+            match options.frontier {
+                FrontierMode::Barrier => {
+                    let chunk_size = frontier.len().div_ceil(workers);
+                    let chunks = frontier.chunks(chunk_size);
+                    std::thread::scope(|scope| {
+                        for ((chunk, sink), ctx) in
+                            chunks.zip(sinks.iter_mut()).zip(ctxs.iter_mut())
+                        {
+                            scope.spawn(move || {
+                                let mut iter = chunk.iter().copied();
+                                run_worker(expander, ctx, sink, depth, || iter.next());
+                            });
+                        }
+                    });
+                }
+                FrontierMode::WorkStealing => {
+                    // Per-worker deques filled round-robin before the level
+                    // starts; nothing is ever pushed mid-level, so a full
+                    // empty scan means the level is drained.
+                    let queues: Vec<Mutex<VecDeque<u32>>> =
+                        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+                    for (i, &id) in frontier.iter().enumerate() {
+                        queues[i % workers]
+                            .lock()
+                            .expect("frontier queue poisoned")
+                            .push_back(id);
+                    }
+                    std::thread::scope(|scope| {
+                        for (me, (sink, ctx)) in sinks.iter_mut().zip(ctxs.iter_mut()).enumerate() {
+                            let queues = &queues;
+                            scope.spawn(move || {
+                                run_worker(expander, ctx, sink, depth, || {
+                                    // Own queue first (front: cache-warm
+                                    // breadth order), then steal from the
+                                    // back of the others.
+                                    if let Some(id) = queues[me]
+                                        .lock()
+                                        .expect("frontier queue poisoned")
+                                        .pop_front()
+                                    {
+                                        return Some(id);
+                                    }
+                                    for offset in 1..queues.len() {
+                                        let victim = (me + offset) % queues.len();
+                                        if let Some(id) = queues[victim]
+                                            .lock()
+                                            .expect("frontier queue poisoned")
+                                            .pop_back()
+                                        {
+                                            return Some(id);
+                                        }
+                                    }
+                                    None
+                                });
+                            });
+                        }
+                    });
+                }
+            }
+        }
+
+        // Barrier: merge worker results. A fatal error aborts before any
+        // violation is resolved (an inexecutable scheduled step outranks
+        // same-level violations, matching the sequential semantics).
+        let mut next = Vec::new();
+        let mut ties: Vec<(u32, ParentLink)> = Vec::new();
+        let mut violations: Vec<RawViolation> = Vec::new();
+        let mut fatal: Option<(u32, VerifyError)> = None;
+        for sink in sinks {
+            transitions += sink.transitions;
+            infeasible += sink.infeasible;
+            pruned += sink.pruned;
+            next.extend(sink.next);
+            ties.extend(sink.ties);
+            violations.extend(sink.violations);
+            if let Some((id, error)) = sink.fatal {
+                let replace = match &fatal {
+                    None => true,
+                    Some((incumbent, _)) => {
+                        let mut a = Vec::new();
+                        let mut b = Vec::new();
+                        interner.copy_key(id, &mut a);
+                        interner.copy_key(*incumbent, &mut b);
+                        a < b
+                    }
+                };
+                if replace {
+                    fatal = Some((id, error));
+                }
+            }
+        }
+        if let Some((_, error)) = fatal {
+            return Err(error);
+        }
+
+        // Resolve same-depth discovery ties: for each contested state the
+        // parent link with the smallest canonical edge encoding wins —
+        // a pure function of key bytes, so the recorded exploration tree
+        // is identical under any worker count and frontier mode.
+        ties.sort_unstable_by_key(|(id, _)| *id);
+        let mut i = 0usize;
+        while i < ties.len() {
+            let id = ties[i].0;
+            let mut best = interner.payload(id);
+            let mut best_order = link_order(expander, &interner, &best);
+            while i < ties.len() && ties[i].0 == id {
+                let candidate = ties[i].1;
+                let order = link_order(expander, &interner, &candidate);
+                if order < best_order {
+                    best = candidate;
+                    best_order = order;
+                }
+                i += 1;
+            }
+            interner.set_payload(id, best);
+        }
+
+        // Resolve this level's violations deterministically: for each
+        // property take the lexicographically smallest counterexample. The
+        // full `Counterexample` (property clone, witness move) is built
+        // only for the winner.
+        for (idx, slot) in found.iter_mut().enumerate() {
+            if slot.is_some() {
+                continue;
+            }
+            let mut best: Option<(Trace, usize, String)> = None;
+            for v in violations.iter().filter(|v| v.property == idx) {
+                let mut inputs = path_to(expander, &interner, v.parent);
+                if let Some(edge) = v.edge {
+                    let mut prev_key = Vec::new();
+                    interner.copy_key(v.parent, &mut prev_key);
+                    inputs.push(expander.edge_step(&prev_key, edge));
+                }
+                let violation_instant = if v.edge.is_some() {
+                    inputs.len().saturating_sub(1)
+                } else {
+                    inputs.len()
+                };
+                let better = match &best {
+                    None => true,
+                    Some((b_inputs, _, b_witness)) => {
+                        trace_order(&inputs, &v.witness) < trace_order(b_inputs, b_witness)
+                    }
+                };
+                if better {
+                    best = Some((inputs, violation_instant, v.witness.clone()));
+                }
+            }
+            if let Some((inputs, violation_instant, witness)) = best {
+                *slot = Some(Counterexample {
+                    property: properties[idx].clone(),
+                    inputs,
+                    violation_instant,
+                    witness,
+                });
+            }
+        }
+
+        depth += 1;
+        frontier = next;
+    }
+
+    let stats = ExplorationStats {
+        states: interner.len(),
+        transitions,
+        infeasible,
+        depth,
+        workers: workers_used,
+        truncated,
+        peak_frontier,
+        pruned,
+    };
+    let verdicts = properties
+        .iter()
+        .zip(found)
+        .map(|(property, cex)| PropertyVerdict {
+            property: property.clone(),
+            verdict: match cex {
+                Some(cex) => Verdict::Violated(cex),
+                None if truncated => Verdict::PassedBounded { depth },
+                None => Verdict::Proved,
+            },
+        })
+        .collect();
+    Ok(VerificationOutcome { verdicts, stats })
+}
+
+/// Drains work items and expands each through the expander, recording a
+/// fatal error (without stopping: results are discarded on abort anyway,
+/// and continuing keeps every mode's counters comparable) when an
+/// expansion fails.
+fn run_worker<E: Expander>(
+    expander: &E,
+    ctx: &mut E::Ctx,
+    sink: &mut Sink<'_>,
+    depth: usize,
+    mut next_item: impl FnMut() -> Option<u32>,
+) {
+    let mut key_buf = Vec::new();
+    while let Some(id) = next_item() {
+        sink.parent = id;
+        sink.depth = depth;
+        sink.interner.copy_key(id, &mut key_buf);
+        if let Err(error) = expander.expand(ctx, &key_buf, depth, sink) {
+            sink.record_fatal(error);
+        }
+    }
+}
+
+/// Canonical encoding of a parent link's edge `(prev, input)` for the
+/// same-depth tie-break (the initial state has no link to encode and is
+/// never contested).
+fn link_order<E: Expander>(
+    expander: &E,
+    interner: &StateInterner<ParentLink>,
+    link: &ParentLink,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    if link.prev == NO_PARENT {
+        // The initial state's link is never contested (a rediscovery of the
+        // root has depth 0, never the tie depth), but stay total.
+        out.push(0xFF);
+        return out;
+    }
+    let mut prev_key = Vec::new();
+    interner.copy_key(link.prev, &mut prev_key);
+    out.extend_from_slice(&prev_key);
+    out.push(0xFF);
+    step_order_bytes(&expander.edge_step(&prev_key, link.edge), &mut out);
+    out
+}
+
+/// Reconstructs the input trace from the initial state to `id` by walking
+/// the parent links and re-deriving each edge's input step.
+fn path_to<E: Expander>(expander: &E, interner: &StateInterner<ParentLink>, id: u32) -> Trace {
+    let mut steps = Vec::new();
+    let mut prev_key = Vec::new();
+    let mut cursor = id;
+    loop {
+        let link = interner.payload(cursor);
+        if link.prev == NO_PARENT {
+            break;
+        }
+        interner.copy_key(link.prev, &mut prev_key);
+        steps.push(expander.edge_step(&prev_key, link.edge));
+        cursor = link.prev;
+    }
+    steps.reverse();
+    steps.into_iter().collect()
+}
+
+/// Canonical byte encoding of one input step, used for deterministic
+/// ordering of exploration edges and counterexamples.
+pub(crate) fn step_order_bytes(step: &TraceStep, out: &mut Vec<u8>) {
+    for (name, value) in step.iter() {
+        out.extend_from_slice(name.as_bytes());
+        out.push(0);
+        out.extend_from_slice(value.to_string().as_bytes());
+        out.push(1);
+    }
+    out.push(2);
+}
+
+/// A deterministic ordering key for counterexample selection within a
+/// level.
+pub(crate) fn trace_order(inputs: &Trace, witness: &str) -> (usize, Vec<u8>, String) {
+    let mut bytes = Vec::new();
+    for step in inputs.iter() {
+        step_order_bytes(step, &mut bytes);
+    }
+    (inputs.len(), bytes, witness.to_string())
+}

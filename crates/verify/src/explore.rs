@@ -1,11 +1,12 @@
-//! The explicit-state reachability engine: feasible-successor enumeration
-//! (reusing the clock calculus), a parallel breadth-first exploration with a
-//! sharded seen-set, and a depth-bounded fallback for large products.
+//! The explicit-state reachability frontend for one flat SIGNAL process:
+//! feasible-successor enumeration (reusing the clock calculus, optionally
+//! pruned by an affine dispatch-feasibility oracle) over the shared
+//! depth-stratified exploration core (`crate::engine`) — interned states,
+//! incremental key hashing, and work-stealing frontier queues.
 
-use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::BTreeMap;
 
+use affine_clocks::DispatchFeasibility;
 use serde::{Deserialize, Serialize};
 use signal_moc::clockcalc::ClockCalculus;
 use signal_moc::error::SignalError;
@@ -15,9 +16,29 @@ use signal_moc::trace::{Trace, TraceStep};
 use signal_moc::value::{Value, ValueType};
 
 use crate::counterexample::Counterexample;
+use crate::engine::{self, Expander, Sink};
 use crate::monitor::{compile_properties, CompiledProperty};
 use crate::property::Property;
-use crate::state::{State, StateKey};
+use crate::state::{KeyCodec, State};
+
+/// How a breadth-first level is distributed over the worker threads.
+///
+/// Both modes expand exactly the same states and produce bit-identical
+/// verdicts, counterexamples and counters — every merge in the engine is
+/// tie-broken by canonical key bytes, never by arrival order. The modes
+/// differ only in wall-clock behaviour on skewed frontiers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FrontierMode {
+    /// Split the level into contiguous chunks, one per worker. A worker
+    /// whose chunk happens to hold the expensive states finishes last while
+    /// the others idle.
+    Barrier,
+    /// Per-worker deques with work stealing: each worker drains its own
+    /// queue and steals from the others when empty, so skewed levels stay
+    /// balanced. The default.
+    #[default]
+    WorkStealing,
+}
 
 /// Tuning knobs of the exploration engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,8 +63,25 @@ pub struct VerifyOptions {
     /// in free mode; exceeding it truncates the enumeration (and downgrades
     /// `Proved` to a bounded verdict).
     pub max_branching: usize,
-    /// Number of shards of the concurrent seen-set.
+    /// Number of shards of the concurrent seen-set (the state interner).
     pub shards: usize,
+    /// How each level is distributed over the workers; see [`FrontierMode`].
+    pub frontier: FrontierMode,
+    /// Initial capacity (in states) of the state interner; it grows beyond
+    /// this on demand. Clamped to at least 1.
+    pub interner_capacity: usize,
+    /// Enables the clock-calculus pruning paths: free-mode candidate
+    /// filtering through the dispatch-feasibility [`VerifyOptions::oracle`]
+    /// and per-component step memoisation in the product verifier. The
+    /// memoisation is always verdict-preserving; the oracle filtering is an
+    /// *environment assumption* (see [`VerifyOptions::with_oracle`]).
+    pub pruning: bool,
+    /// Optional dispatch-feasibility oracle consulted (when
+    /// [`VerifyOptions::pruning`] is on) before enumerating a free-mode
+    /// candidate: a candidate making a signal present at an instant the
+    /// oracle provably excludes is skipped. No effect in scheduled mode,
+    /// where the inputs are already fixed.
+    pub oracle: Option<DispatchFeasibility>,
 }
 
 impl Default for VerifyOptions {
@@ -56,6 +94,10 @@ impl Default for VerifyOptions {
             real_domain: vec![0.0, 1.0],
             max_branching: 256,
             shards: 16,
+            frontier: FrontierMode::default(),
+            interner_capacity: 4096,
+            pruning: true,
+            oracle: None,
         }
     }
 }
@@ -82,6 +124,40 @@ impl VerifyOptions {
     /// Sets the seen-set state cap.
     pub fn with_max_states(mut self, max_states: usize) -> Self {
         self.max_states = max_states.max(1);
+        self
+    }
+
+    /// Sets the frontier scheduling mode.
+    pub fn with_frontier(mut self, frontier: FrontierMode) -> Self {
+        self.frontier = frontier;
+        self
+    }
+
+    /// Sets the interner's initial capacity (clamped to at least 1).
+    pub fn with_interner_capacity(mut self, capacity: usize) -> Self {
+        self.interner_capacity = capacity.max(1);
+        self
+    }
+
+    /// Enables or disables the clock-calculus pruning paths (see
+    /// [`VerifyOptions::pruning`]).
+    pub fn with_pruning(mut self, pruning: bool) -> Self {
+        self.pruning = pruning;
+        self
+    }
+
+    /// Installs a dispatch-feasibility oracle for free-mode candidate
+    /// pruning.
+    ///
+    /// **This is an environment assumption, not a plain optimisation**: the
+    /// oracle restricts the explored input environment to valuations
+    /// compatible with the exported affine dispatch clocks. Verdicts are
+    /// relative to that assumption — a violation only reachable through an
+    /// input the schedule can provably never produce will no longer be
+    /// reported. Without an oracle (the default), `pruning` only gates the
+    /// verdict-preserving product memoisation.
+    pub fn with_oracle(mut self, oracle: DispatchFeasibility) -> Self {
+        self.oracle = Some(oracle);
         self
     }
 }
@@ -181,6 +257,12 @@ pub struct ExplorationStats {
     /// checked property had a violation — in which case `Proved` verdicts
     /// are downgraded and the counters describe a partial search.
     pub truncated: bool,
+    /// Largest breadth-first level encountered (states expanded in one
+    /// instant) — the working-set high-water mark of the exploration.
+    pub peak_frontier: usize,
+    /// Number of candidate input valuations skipped by the
+    /// dispatch-feasibility oracle (always 0 without an oracle).
+    pub pruned: usize,
 }
 
 /// Everything one [`Verifier::verify`] call learned.
@@ -281,129 +363,6 @@ impl From<SignalError> for VerifyError {
     fn from(e: SignalError) -> Self {
         VerifyError::Signal(e)
     }
-}
-
-/// Parent link of a seen state, used to reconstruct counterexample paths.
-///
-/// `depth` is the breadth-first level of the edge. When two workers discover
-/// the same state at the same level through different edges, the edge with
-/// the lexicographically smallest canonical encoding ([`Parent::order`])
-/// wins, so parent links — and therefore counterexample traces — do not
-/// depend on thread interleaving or worker count. The encoding is computed
-/// only on such same-level collisions, never stored.
-#[derive(Debug, Clone)]
-struct Parent {
-    prev: Option<StateKey>,
-    input: TraceStep,
-    depth: usize,
-}
-
-impl Parent {
-    fn new(prev: Option<StateKey>, input: TraceStep, depth: usize) -> Self {
-        Self { prev, input, depth }
-    }
-
-    /// Canonical encoding of the edge `(prev, input)` for deterministic
-    /// tie-breaking.
-    fn order(&self) -> Vec<u8> {
-        let mut order = Vec::new();
-        if let Some(prev) = &self.prev {
-            order.extend_from_slice(prev.as_bytes());
-        }
-        order.push(0xFF);
-        step_order_bytes(&self.input, &mut order);
-        order
-    }
-}
-
-/// Sharded concurrent seen-set: each shard guards a map from state key to
-/// the parent link recorded when the state was first discovered.
-struct SeenSet {
-    shards: Vec<Mutex<HashMap<StateKey, Parent>>>,
-}
-
-impl SeenSet {
-    fn new(shards: usize) -> Self {
-        Self {
-            shards: (0..shards.max(1))
-                .map(|_| Mutex::new(HashMap::new()))
-                .collect(),
-        }
-    }
-
-    fn shard_of(&self, key: &StateKey) -> &Mutex<HashMap<StateKey, Parent>> {
-        let idx = (key.shard_hash() % self.shards.len() as u64) as usize;
-        &self.shards[idx]
-    }
-
-    /// Inserts the state if unseen; returns `true` when it was fresh. When
-    /// the state was already discovered *at the same level*, the parent link
-    /// with the smallest canonical edge encoding is kept, which makes the
-    /// recorded exploration tree deterministic under any worker count.
-    fn insert(&self, key: StateKey, parent: Parent) -> bool {
-        let mut shard = self.shard_of(&key).lock().expect("seen-set shard poisoned");
-        match shard.entry(key) {
-            std::collections::hash_map::Entry::Occupied(mut entry) => {
-                let existing = entry.get();
-                if parent.depth == existing.depth && parent.order() < existing.order() {
-                    entry.insert(parent);
-                }
-                false
-            }
-            std::collections::hash_map::Entry::Vacant(slot) => {
-                slot.insert(parent);
-                true
-            }
-        }
-    }
-
-    fn parent_of(&self, key: &StateKey) -> Option<Parent> {
-        self.shard_of(key)
-            .lock()
-            .expect("seen-set shard poisoned")
-            .get(key)
-            .cloned()
-    }
-
-    /// Reconstructs the input trace from the initial state to `key`.
-    fn path_to(&self, key: &StateKey) -> Trace {
-        let mut steps = Vec::new();
-        let mut cursor = Some(key.clone());
-        while let Some(k) = cursor {
-            match self.parent_of(&k) {
-                Some(Parent {
-                    prev: Some(p),
-                    input,
-                    ..
-                }) => {
-                    steps.push(input);
-                    cursor = Some(p);
-                }
-                _ => cursor = None,
-            }
-        }
-        steps.reverse();
-        steps.into_iter().collect()
-    }
-}
-
-/// A violation observed while expanding one breadth-first level.
-struct LevelViolation {
-    property: usize,
-    parent: StateKey,
-    /// The violating input step; `None` for a free-mode dead end (the state
-    /// itself has no feasible successor).
-    input: Option<TraceStep>,
-    witness: String,
-}
-
-/// Output of one worker over its chunk of the frontier.
-struct WorkerOut {
-    next: Vec<State>,
-    violations: Vec<LevelViolation>,
-    transitions: usize,
-    infeasible: usize,
-    fatal: Option<VerifyError>,
 }
 
 /// An explicit-state model checker for one flat SIGNAL process.
@@ -603,12 +562,15 @@ impl Verifier {
     /// Explores the state space of the process over `space` and checks every
     /// property of `properties`, returning one verdict per property.
     ///
-    /// The exploration is a level-synchronised parallel breadth-first search:
-    /// each level is split across [`VerifyOptions::workers`] threads sharing
-    /// a sharded seen-set. Counterexamples are always of minimal depth, and
-    /// both verdicts and counterexample traces are independent of the worker
-    /// count (equal-depth discovery races are resolved by a canonical edge
-    /// ordering, and each level's violations are tie-broken the same way).
+    /// The exploration is a depth-stratified parallel breadth-first search
+    /// over the shared exploration core (`crate::engine`): states are
+    /// interned to dense ids with incremental key hashing, and each level is
+    /// distributed over [`VerifyOptions::workers`] threads by the configured
+    /// [`FrontierMode`]. Counterexamples are always of minimal depth, and
+    /// verdicts, counterexample traces and state counts are bit-identical
+    /// under any worker count and frontier mode (equal-depth discovery races
+    /// are resolved by a canonical edge ordering, and each level's
+    /// violations are tie-broken the same way).
     ///
     /// # Errors
     ///
@@ -643,329 +605,247 @@ impl Verifier {
         // end-to-end property over joint product signals simply never
         // triggers in a single-thread namespace.
         let (compiled, initial_monitors) = compile_properties(properties);
-        let deadlock_checked = properties
+        let deadlock_idx = properties
             .iter()
-            .any(|p| matches!(p, Property::DeadlockFree));
+            .position(|p| matches!(p, Property::DeadlockFree));
 
+        let monitor_count = initial_monitors.len();
         let initial = State {
             memory: self.evaluator.memory(),
             phase: 0,
             monitors: initial_monitors,
         };
-        let seen = SeenSet::new(self.options.shards);
-        seen.insert(initial.key(), Parent::new(None, TraceStep::new(), 0));
-        let state_count = AtomicUsize::new(1);
-
-        // One evaluator per worker, reused across every level and grown
-        // lazily to the parallelism actually exercised: cloning the
-        // evaluator deep-copies the flattened process, so it must not sit in
-        // the per-level (let alone per-transition) path — and scheduled-mode
-        // runs (frontier size 1) should never clone more than one.
-        let mut worker_evaluators: Vec<Evaluator> = Vec::new();
-        let mut workers_used = 1usize;
-
-        let mut frontier = vec![initial];
-        let mut depth = 0usize;
-        let mut transitions = 0usize;
-        let mut infeasible = 0usize;
-        let mut truncated = candidates_truncated;
-        let mut found: Vec<Option<Counterexample>> = vec![None; properties.len()];
-
-        loop {
-            if frontier.is_empty() {
-                break;
-            }
-            if found.iter().all(Option::is_some) {
-                // Every property already has a (minimal-depth) violation:
-                // stop early. The frontier is not empty, so the stats
-                // describe a partial search, not an exhausted space.
-                truncated = true;
-                break;
-            }
-            if let Some(bound) = self.options.depth_bound {
-                if depth >= bound {
-                    truncated = true;
-                    break;
-                }
-            }
-            if state_count.load(Ordering::Relaxed) >= self.options.max_states {
-                truncated = true;
-                break;
-            }
-
-            let workers = self.options.workers.max(1).min(frontier.len());
-            workers_used = workers_used.max(workers);
-            while worker_evaluators.len() < workers {
-                worker_evaluators.push(self.evaluator.clone());
-            }
-            let chunk_size = frontier.len().div_ceil(workers);
-            let chunks: Vec<&[State]> = frontier.chunks(chunk_size).collect();
-            let outs: Vec<WorkerOut> = std::thread::scope(|scope| {
-                let handles: Vec<_> = chunks
-                    .into_iter()
-                    .zip(worker_evaluators.iter_mut())
-                    .map(|(chunk, evaluator)| {
-                        let seen = &seen;
-                        let state_count = &state_count;
-                        let candidates = &candidates;
-                        let compiled = &compiled;
-                        scope.spawn(move || {
-                            self.expand_chunk(
-                                evaluator,
-                                chunk,
-                                depth,
-                                scheduled,
-                                candidates,
-                                compiled,
-                                properties,
-                                deadlock_checked,
-                                seen,
-                                state_count,
-                            )
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("exploration worker panicked"))
-                    .collect()
-            });
-
-            let mut next = Vec::new();
-            let mut violations: Vec<LevelViolation> = Vec::new();
-            for out in outs {
-                if let Some(fatal) = out.fatal {
-                    return Err(fatal);
-                }
-                transitions += out.transitions;
-                infeasible += out.infeasible;
-                next.extend(out.next);
-                violations.extend(out.violations);
-            }
-
-            // Resolve this level's violations deterministically: for each
-            // property take the lexicographically smallest counterexample.
-            for (idx, slot) in found.iter_mut().enumerate() {
-                if slot.is_some() {
-                    continue;
-                }
-                let mut best: Option<Counterexample> = None;
-                for v in violations.iter().filter(|v| v.property == idx) {
-                    let mut inputs = seen.path_to(&v.parent);
-                    if let Some(step) = &v.input {
-                        inputs.push(step.clone());
-                    }
-                    let violation_instant = if v.input.is_some() {
-                        inputs.len().saturating_sub(1)
-                    } else {
-                        inputs.len()
-                    };
-                    let cex = Counterexample {
-                        property: properties[idx].clone(),
-                        inputs,
-                        violation_instant,
-                        witness: v.witness.clone(),
-                    };
-                    let better = match &best {
-                        None => true,
-                        Some(b) => {
-                            trace_order(&cex.inputs, &cex.witness)
-                                < trace_order(&b.inputs, &b.witness)
-                        }
-                    };
-                    if better {
-                        best = Some(cex);
-                    }
-                }
-                *slot = best;
-            }
-
-            depth += 1;
-            frontier = next;
-        }
-
-        // Note: a cap-level state count is always caught by the loop-top
-        // check (fresh states leave a non-empty frontier), so `truncated`
-        // needs no re-derivation here.
-        let stats = ExplorationStats {
-            states: state_count.load(Ordering::Relaxed),
-            transitions,
-            infeasible,
-            depth,
-            workers: workers_used,
-            truncated,
+        let expander = ThreadExpander {
+            verifier: self,
+            scheduled,
+            candidates: &candidates,
+            compiled: &compiled,
+            properties,
+            deadlock_idx,
+            monitor_count,
+            oracle: if self.options.pruning {
+                self.options.oracle.as_ref()
+            } else {
+                None
+            },
         };
-        let verdicts = properties
-            .iter()
-            .zip(found)
-            .map(|(property, cex)| PropertyVerdict {
-                property: property.clone(),
-                verdict: match cex {
-                    Some(cex) => Verdict::Violated(cex),
-                    None if truncated => Verdict::PassedBounded { depth },
-                    None => Verdict::Proved,
-                },
-            })
-            .collect();
-        Ok(VerificationOutcome { verdicts, stats })
+        engine::explore(
+            &expander,
+            &initial,
+            &self.options,
+            properties,
+            candidates_truncated,
+        )
     }
+}
 
-    /// Expands one chunk of a breadth-first level, reusing the worker's
-    /// evaluator (its memory is restored before every step).
+/// The [`Expander`] of one flat process: scheduled steps follow the timing
+/// trace (the phase wraps around), free steps enumerate the clock-calculus
+/// candidates, optionally filtered by the dispatch-feasibility oracle.
+struct ThreadExpander<'a> {
+    verifier: &'a Verifier,
+    scheduled: Option<&'a Trace>,
+    candidates: &'a [TraceStep],
+    compiled: &'a [CompiledProperty],
+    properties: &'a [Property],
+    deadlock_idx: Option<usize>,
+    monitor_count: usize,
+    oracle: Option<&'a DispatchFeasibility>,
+}
+
+/// Per-worker scratch: the evaluator clone (a deep copy of the flattened
+/// process — created once per worker, never per level), the incremental key
+/// codec, and reusable buffers so the per-successor path allocates nothing.
+struct ThreadCtx {
+    evaluator: Evaluator,
+    codec: KeyCodec,
+    monitors: Vec<u32>,
+    succ_monitors: Vec<u32>,
+    memory: Vec<Value>,
+    considered: Vec<u32>,
+}
+
+impl ThreadExpander<'_> {
+    /// Executes one candidate edge out of the seeded parent: restore the
+    /// parent memory, run the evaluator, step the monitors over the
+    /// borrowed resolved view, and intern the successor through the
+    /// incremental codec.
     #[allow(clippy::too_many_arguments)]
-    fn expand_chunk(
+    fn try_edge(
         &self,
-        evaluator: &mut Evaluator,
-        chunk: &[State],
+        ctx: &mut ThreadCtx,
         depth: usize,
-        scheduled: Option<&Trace>,
-        candidates: &[TraceStep],
-        compiled: &[CompiledProperty],
-        properties: &[Property],
-        deadlock_checked: bool,
-        seen: &SeenSet,
-        state_count: &AtomicUsize,
-    ) -> WorkerOut {
-        let mut out = WorkerOut {
-            next: Vec::new(),
-            violations: Vec::new(),
-            transitions: 0,
-            infeasible: 0,
-            fatal: None,
-        };
-        for state in chunk {
-            let key = state.key();
-            let scheduled_step;
-            let (inputs_here, next_phase): (&[TraceStep], u32) = match scheduled {
-                Some(trace) => {
-                    scheduled_step = trace
-                        .step(state.phase as usize)
-                        .cloned()
-                        .unwrap_or_default();
-                    (
-                        std::slice::from_ref(&scheduled_step),
-                        ((state.phase as usize + 1) % trace.len()) as u32,
-                    )
+        edge: u32,
+        input: &TraceStep,
+        next_phase: u32,
+        has_nonsilent: bool,
+        progress: &mut usize,
+        sink: &mut Sink<'_>,
+    ) -> Result<(), VerifyError> {
+        if ctx
+            .evaluator
+            .restore_memory(ctx.codec.parent_memory())
+            .is_err()
+        {
+            // Cannot happen: snapshots always come from this process.
+            return Ok(());
+        }
+        match ctx.evaluator.step_resolved(depth, input) {
+            Ok(resolved) => {
+                if !input.is_silent() || !has_nonsilent {
+                    *progress += 1;
                 }
-                None => (candidates, 0),
-            };
-            // Progress for the deadlock check: a feasible non-silent step —
-            // or, for a closed process (whose only valuation is the silent
-            // one), the silent step itself, since autonomous systems advance
-            // on their own clock.
-            let has_nonsilent = inputs_here.iter().any(|c| !c.is_silent());
-            let mut progress_here = 0usize;
-            for input in inputs_here {
-                if evaluator.restore_memory(&state.memory).is_err() {
-                    // Cannot happen: snapshots always come from this process.
-                    continue;
-                }
-                match evaluator.step(depth, input) {
-                    Ok(resolved) => {
-                        if !input.is_silent() || !has_nonsilent {
-                            progress_here += 1;
-                        }
-                        out.transitions += 1;
-                        // Monitor steps on the resolved instant (the updated
-                        // registers are part of the successor state). A
-                        // violating monitor reports and keeps running — an
-                        // expired deadline register returns to idle — so the
-                        // other properties keep being explored, and several
-                        // violations can land on the same transition.
-                        let mut monitors = state.monitors.clone();
-                        for property in compiled {
-                            let observed = property.step(&mut monitors, &resolved);
-                            if !observed.holds {
-                                out.violations.push(LevelViolation {
-                                    property: property.index,
-                                    parent: key.clone(),
-                                    input: Some(input.clone()),
-                                    witness: properties[property.index]
-                                        .violation_witness(&observed),
-                                });
-                            }
-                        }
-                        // The max_states cap is deliberately NOT checked
-                        // here: enforcing it mid-level would make the kept
-                        // frontier depend on thread interleaving. The level
-                        // loop checks it between levels instead.
-                        let successor = State {
-                            memory: evaluator.memory(),
-                            phase: next_phase,
-                            monitors,
-                        };
-                        if seen.insert(
-                            successor.key(),
-                            Parent::new(Some(key.clone()), input.clone(), depth + 1),
-                        ) {
-                            state_count.fetch_add(1, Ordering::Relaxed);
-                            out.next.push(successor);
-                        }
-                    }
-                    Err(e) => {
-                        out.infeasible += 1;
-                        if scheduled.is_some() {
-                            if deadlock_checked {
-                                let idx = properties
-                                    .iter()
-                                    .position(|p| matches!(p, Property::DeadlockFree))
-                                    .expect("deadlock_checked implies the property is present");
-                                out.violations.push(LevelViolation {
-                                    property: idx,
-                                    parent: key.clone(),
-                                    input: Some(input.clone()),
-                                    witness: format!("scheduled step not executable: {e}"),
-                                });
-                            } else {
-                                out.fatal = Some(VerifyError::Evaluation {
-                                    instant: depth,
-                                    detail: e.to_string(),
-                                });
-                                return out;
-                            }
-                        }
+                sink.transition();
+                // Monitor steps on the resolved instant (the updated
+                // registers are part of the successor state). A violating
+                // monitor reports and keeps running — an expired deadline
+                // register returns to idle — so the other properties keep
+                // being explored, and several violations can land on the
+                // same transition.
+                ctx.succ_monitors.clear();
+                ctx.succ_monitors.extend_from_slice(&ctx.monitors);
+                for property in self.compiled {
+                    let observed = property.step(&mut ctx.succ_monitors, &resolved);
+                    if !observed.holds {
+                        sink.violation(
+                            property.index,
+                            Some(edge),
+                            self.properties[property.index].violation_witness(&observed),
+                        );
                     }
                 }
+                // The max_states cap is deliberately NOT checked here:
+                // enforcing it mid-level would make the kept frontier depend
+                // on thread interleaving. The level loop checks it between
+                // levels instead.
+                ctx.evaluator.memory_into(&mut ctx.memory);
+                let (hash, bytes) =
+                    ctx.codec
+                        .successor(&ctx.memory, next_phase, &ctx.succ_monitors);
+                sink.successor(hash, bytes, edge);
             }
-            if scheduled.is_none() && deadlock_checked && progress_here == 0 {
-                let idx = properties
-                    .iter()
-                    .position(|p| matches!(p, Property::DeadlockFree))
-                    .expect("deadlock_checked implies the property is present");
-                out.violations.push(LevelViolation {
-                    property: idx,
-                    parent: key.clone(),
-                    input: None,
-                    witness: format!(
-                        "no feasible progress valuation among {} candidates",
-                        candidates.len()
-                    ),
-                });
+            Err(e) => {
+                sink.infeasible();
+                if self.scheduled.is_some() {
+                    match self.deadlock_idx {
+                        Some(idx) => sink.violation(
+                            idx,
+                            Some(edge),
+                            format!("scheduled step not executable: {e}"),
+                        ),
+                        None => {
+                            return Err(VerifyError::Evaluation {
+                                instant: depth,
+                                detail: e.to_string(),
+                            })
+                        }
+                    }
+                }
             }
         }
-        out
+        Ok(())
     }
 }
 
-/// Canonical byte encoding of one input step, used for deterministic
-/// ordering of exploration edges and counterexamples.
-fn step_order_bytes(step: &TraceStep, out: &mut Vec<u8>) {
-    for (name, value) in step.iter() {
-        out.extend_from_slice(name.as_bytes());
-        out.push(0);
-        out.extend_from_slice(value.to_string().as_bytes());
-        out.push(1);
-    }
-    out.push(2);
-}
+impl Expander for ThreadExpander<'_> {
+    type Ctx = ThreadCtx;
 
-/// A deterministic ordering key for counterexample selection within a level.
-fn trace_order(inputs: &Trace, witness: &str) -> (usize, Vec<u8>, String) {
-    let mut bytes = Vec::new();
-    for step in inputs.iter() {
-        step_order_bytes(step, &mut bytes);
+    fn new_ctx(&self) -> ThreadCtx {
+        ThreadCtx {
+            evaluator: self.verifier.evaluator.clone(),
+            codec: KeyCodec::new(),
+            monitors: Vec::new(),
+            succ_monitors: Vec::new(),
+            memory: Vec::new(),
+            considered: Vec::new(),
+        }
     }
-    (inputs.len(), bytes, witness.to_string())
+
+    fn expand(
+        &self,
+        ctx: &mut ThreadCtx,
+        key: &[u8],
+        depth: usize,
+        sink: &mut Sink<'_>,
+    ) -> Result<(), VerifyError> {
+        let phase = ctx
+            .codec
+            .seed_key(key, self.monitor_count, &mut ctx.monitors);
+        match self.scheduled {
+            Some(trace) => {
+                let empty = TraceStep::new();
+                let input = trace.step(phase as usize).unwrap_or(&empty);
+                let next_phase = ((phase as usize + 1) % trace.len()) as u32;
+                let mut progress = 0usize;
+                self.try_edge(ctx, depth, 0, input, next_phase, true, &mut progress, sink)
+            }
+            None => {
+                // Oracle pruning: skip candidates that make a signal present
+                // at an instant its affine dispatch clock provably excludes.
+                // The silent candidate has no present signals and is never
+                // pruned, so the considered set is never empty.
+                ctx.considered.clear();
+                for (edge, candidate) in self.candidates.iter().enumerate() {
+                    if let Some(oracle) = self.oracle {
+                        let excluded = candidate
+                            .iter()
+                            .any(|(name, _)| !oracle.may_fire(name, depth as u64));
+                        if excluded {
+                            sink.pruned();
+                            continue;
+                        }
+                    }
+                    ctx.considered.push(edge as u32);
+                }
+                // Progress for the deadlock check: a feasible non-silent
+                // step — or, for a closed process (whose only considered
+                // valuation is the silent one), the silent step itself,
+                // since autonomous systems advance on their own clock.
+                let has_nonsilent = ctx
+                    .considered
+                    .iter()
+                    .any(|&e| !self.candidates[e as usize].is_silent());
+                let mut progress = 0usize;
+                for i in 0..ctx.considered.len() {
+                    let edge = ctx.considered[i];
+                    self.try_edge(
+                        ctx,
+                        depth,
+                        edge,
+                        &self.candidates[edge as usize],
+                        0,
+                        has_nonsilent,
+                        &mut progress,
+                        sink,
+                    )?;
+                }
+                if progress == 0 {
+                    if let Some(idx) = self.deadlock_idx {
+                        sink.violation(
+                            idx,
+                            None,
+                            format!(
+                                "no feasible progress valuation among {} candidates",
+                                ctx.considered.len()
+                            ),
+                        );
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn edge_step(&self, prev_key: &[u8], edge: u32) -> TraceStep {
+        match self.scheduled {
+            Some(trace) => {
+                let phase =
+                    u32::from_le_bytes(prev_key[0..4].try_into().expect("phase bytes")) as usize;
+                trace.step(phase % trace.len()).cloned().unwrap_or_default()
+            }
+            None => self.candidates[edge as usize].clone(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -67,6 +67,7 @@
 #![warn(missing_docs)]
 
 pub mod counterexample;
+mod engine;
 pub mod explore;
 pub mod inject;
 pub mod ltl;
@@ -75,10 +76,11 @@ pub mod product;
 pub mod property;
 pub mod state;
 
+pub use affine_clocks::DispatchFeasibility;
 pub use counterexample::{Counterexample, ReplayReport};
 pub use explore::{
-    ExplorationStats, InputSpace, PropertyVerdict, Verdict, VerificationOutcome, Verifier,
-    VerifyError, VerifyOptions,
+    ExplorationStats, FrontierMode, InputSpace, PropertyVerdict, Verdict, VerificationOutcome,
+    Verifier, VerifyError, VerifyOptions,
 };
 pub use inject::{
     inject_connection_latency, inject_deadline_overrun, InjectedFault, InjectedLinkFault,

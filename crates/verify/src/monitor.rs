@@ -43,7 +43,7 @@
 //! # Ok::<(), polyverify::ltl::ParseError>(())
 //! ```
 
-use signal_moc::trace::TraceStep;
+use signal_moc::InstantView;
 
 use crate::ltl::Formula;
 use crate::property::{raised_signal, signal_true};
@@ -95,15 +95,17 @@ impl LtlMonitor {
         self.initial.clone()
     }
 
-    /// Advances the monitor over one resolved instant, updating `registers`
-    /// in place and returning the truth value of the invariant at this
-    /// instant.
+    /// Advances the monitor over one resolved instant — any
+    /// [`InstantView`], so the hot exploration paths can step monitors over
+    /// borrowed evaluator state without materialising a
+    /// [`signal_moc::trace::TraceStep`] — updating `registers` in place and
+    /// returning the truth value of the invariant at this instant.
     ///
     /// # Panics
     ///
     /// Panics when `registers.len()` differs from
     /// [`LtlMonitor::register_count`].
-    pub fn step(&self, registers: &mut [u32], step: &TraceStep) -> MonitorStep {
+    pub fn step<V: InstantView + ?Sized>(&self, registers: &mut [u32], step: &V) -> MonitorStep {
         assert_eq!(
             registers.len(),
             self.initial.len(),
@@ -159,9 +161,9 @@ fn collect_initial(formula: &Formula, out: &mut Vec<u32>) {
 /// updated value back. Both operands of every connective are evaluated
 /// unconditionally — short-circuiting would skip register updates of the
 /// unevaluated side and desynchronise the monitor.
-fn eval_step(
+fn eval_step<V: InstantView + ?Sized>(
     formula: &Formula,
-    step: &TraceStep,
+    step: &V,
     registers: &mut [u32],
     cursor: &mut usize,
     out: &mut MonitorStep,
@@ -282,7 +284,7 @@ pub(crate) struct CompiledProperty {
 impl CompiledProperty {
     /// Steps this property's monitor over its slice of the concatenated
     /// register vector.
-    pub fn step(&self, registers: &mut [u32], step: &TraceStep) -> MonitorStep {
+    pub fn step<V: InstantView + ?Sized>(&self, registers: &mut [u32], step: &V) -> MonitorStep {
         self.monitor
             .step(&mut registers[self.offset..self.offset + self.len], step)
     }
@@ -318,6 +320,7 @@ pub(crate) fn compile_properties(
 mod tests {
     use super::*;
     use crate::ltl::{eval, first_violation, LtlProperty};
+    use signal_moc::trace::TraceStep;
     use signal_moc::value::Value;
 
     fn step(pairs: &[(&str, bool)]) -> TraceStep {

@@ -19,7 +19,7 @@
 //! — so the exploration is a single run that either closes (states
 //! recurring at the same phase are deduplicated across hyper-period
 //! repetitions, proving the periodic system for unbounded time) or stops at
-//! the depth bound with a [`Verdict::PassedBounded`].
+//! the depth bound with a [`Verdict::PassedBounded`](crate::Verdict::PassedBounded).
 //!
 //! Cross-thread latency is expressed with
 //! [`Property::EndToEndResponse`] over the link-derived joint signals
@@ -41,14 +41,14 @@ use signal_moc::eval::Evaluator;
 use signal_moc::process::Process;
 use signal_moc::trace::{Trace, TraceStep};
 use signal_moc::value::Value;
+use signal_moc::InstantView;
 
 use crate::counterexample::{Counterexample, ReplayReport};
-use crate::explore::{
-    ExplorationStats, PropertyVerdict, Verdict, VerificationOutcome, VerifyError, VerifyOptions,
-};
-use crate::monitor::compile_properties;
+use crate::engine::{self, Expander, Sink};
+use crate::explore::{VerificationOutcome, VerifyError, VerifyOptions};
+use crate::monitor::{compile_properties, CompiledProperty};
 use crate::property::Property;
-use crate::state::{State, StateKey};
+use crate::state::{self, KeyCodec, State};
 
 /// One thread of a product: its flattened SIGNAL process and the scheduled
 /// timing trace driving it over the joint hyper-period.
@@ -346,8 +346,9 @@ impl ProductSystem {
     /// was dropped from the wiring. When non-zero, the wired product
     /// under-approximates the real periodic system (which would carry the
     /// event into the next period), so [`ProductVerifier::verify`] reports
-    /// [`Verdict::PassedBounded`] instead of [`Verdict::Proved`] even when
-    /// the exploration closes.
+    /// [`Verdict::PassedBounded`](crate::Verdict::PassedBounded) instead of
+    /// [`Verdict::Proved`](crate::Verdict::Proved) even when the exploration
+    /// closes.
     pub fn dropped_deliveries(&self) -> usize {
         self.dropped_deliveries
     }
@@ -492,11 +493,23 @@ impl<'a> LockstepCoSim<'a> {
 /// The joint schedule is deterministic, so the exploration is a single path
 /// whose states — concatenated per-thread memories × joint phase × monitor
 /// registers — are deduplicated across hyper-period repetitions: it either
-/// closes ([`Verdict::Proved`] for unbounded time) or stops at
-/// [`VerifyOptions::depth_bound`] ([`Verdict::PassedBounded`]). Worker
-/// threads ([`VerifyOptions::workers`]) split the *components* of each
-/// instant; results are joined in component order, so verdicts,
-/// counterexamples and stats are identical for any worker count.
+/// closes ([`Verdict::Proved`](crate::Verdict::Proved) for unbounded time)
+/// or stops at [`VerifyOptions::depth_bound`]
+/// ([`Verdict::PassedBounded`](crate::Verdict::PassedBounded)).
+///
+/// The exploration runs on the shared exploration engine (an interned
+/// chain of joint states); the frontier of the deterministic product is a
+/// single state per level, so the run is sequential regardless of
+/// [`VerifyOptions::workers`]. The per-instant work is cut instead by
+/// *memoizing* each component's resolved instants, keyed by its scheduler
+/// phase and local operator memory (gated by [`VerifyOptions::pruning`]):
+/// whenever a component's local state recurs before the joint product
+/// closes — periods divide the hyper-period, so components cycle much
+/// faster than the product — its cached resolved step and successor memory
+/// are replayed without touching the evaluator. The memo key fully
+/// determines the evaluator result, so verdicts, counterexamples and stats
+/// are bit-identical with the memo on or off (memo hits are counted in
+/// [`ExplorationStats::pruned`](crate::ExplorationStats)).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProductVerifier {
     system: ProductSystem,
@@ -587,184 +600,84 @@ impl ProductVerifier {
         }
         // One compiled monitor per trace property (built-in or user LTL);
         // their registers concatenate into the joint state's `monitors`.
-        let (compiled, mut monitors) = compile_properties(properties);
+        let (compiled, initial_monitors) = compile_properties(properties);
         let deadlock_idx = properties
             .iter()
             .position(|p| matches!(p, Property::DeadlockFree));
 
-        let mut evaluators: Vec<Evaluator> = self
+        let evaluators: Vec<Evaluator> = self
             .system
             .components
             .iter()
             .map(|c| Evaluator::new(&c.process))
             .collect::<Result<Vec<_>, _>>()?;
-        let workers = self
-            .options
-            .workers
-            .max(1)
-            .min(self.system.components.len());
+        let widths: Vec<usize> = evaluators.iter().map(Evaluator::memory_len).collect();
+        let link_targets: Vec<usize> = self
+            .system
+            .links
+            .iter()
+            .map(|link| {
+                self.system
+                    .components
+                    .iter()
+                    .position(|c| c.name == link.target)
+                    .expect("validated at construction")
+            })
+            .collect();
+        let comp_prefixes: Vec<String> = self
+            .system
+            .components
+            .iter()
+            .map(|c| format!("{}_", c.name))
+            .collect();
+        let link_prefixes: Vec<String> = self
+            .system
+            .links
+            .iter()
+            .map(|l| format!("{}_", l.name))
+            .collect();
+        // Joint-namespace iteration order: entity prefixes are mutually
+        // prefix-free (validated at construction), so each entity's signals
+        // occupy a contiguous range of the name-sorted joint instant and
+        // sorting the blocks by prefix reproduces the global order.
+        let mut blocks: Vec<JointBlock> = (0..comp_prefixes.len())
+            .map(JointBlock::Component)
+            .chain((0..link_prefixes.len()).map(JointBlock::Link))
+            .collect();
+        blocks.sort_by(|a, b| {
+            let prefix = |block: &JointBlock| match *block {
+                JointBlock::Component(i) => comp_prefixes[i].as_str(),
+                JointBlock::Link(k) => link_prefixes[k].as_str(),
+            };
+            prefix(a).cmp(prefix(b))
+        });
 
-        let mut seen: HashMap<StateKey, usize> = HashMap::new();
-        seen.insert(self.product_state(&evaluators, 0, &monitors).key(), 0);
-
-        let mut found: Vec<Option<Counterexample>> = vec![None; properties.len()];
-        let mut joint_inputs = Trace::new();
-        let mut depth = 0usize;
-        let mut transitions = 0usize;
+        let monitor_count = initial_monitors.len();
+        let initial = self.product_state(&evaluators, 0, &initial_monitors);
+        let expander = ProductExpander {
+            verifier: self,
+            evaluators,
+            widths,
+            link_targets,
+            comp_prefixes,
+            link_prefixes,
+            blocks,
+            compiled: &compiled,
+            properties,
+            deadlock_idx,
+            monitor_count,
+            memoize: self.options.pruning,
+        };
         // A dropped delivery makes the wired product an under-approximation
         // of the real periodic system: no closure can then count as a
         // proof, only as a bounded pass.
-        let mut truncated = self.system.dropped_deliveries > 0;
-        let mut dead_end = false;
-
-        loop {
-            if found.iter().all(Option::is_some) {
-                truncated = true;
-                break;
-            }
-            if let Some(bound) = self.options.depth_bound {
-                if depth >= bound {
-                    truncated = true;
-                    break;
-                }
-            }
-            if seen.len() >= self.options.max_states {
-                truncated = true;
-                break;
-            }
-            let phase = depth % self.system.horizon;
-            joint_inputs.push(self.system.joint_input(phase));
-
-            // Step every component of this instant, split across workers;
-            // results are joined in component order, so the outcome cannot
-            // depend on the worker count (a single worker steps in place
-            // without spawning).
-            let step_one = |component: usize, evaluator: &mut Evaluator| {
-                let step = self.system.wired[component]
-                    .step(phase)
-                    .cloned()
-                    .unwrap_or_default();
-                evaluator.step(depth, &step).map_err(|e| e.to_string())
-            };
-            let results: Vec<Result<TraceStep, String>> = if workers <= 1 {
-                evaluators
-                    .iter_mut()
-                    .enumerate()
-                    .map(|(i, evaluator)| step_one(i, evaluator))
-                    .collect()
-            } else {
-                let chunk_size = evaluators.len().div_ceil(workers);
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = evaluators
-                        .chunks_mut(chunk_size)
-                        .enumerate()
-                        .map(|(chunk_idx, chunk)| {
-                            let step_one = &step_one;
-                            scope.spawn(move || {
-                                chunk
-                                    .iter_mut()
-                                    .enumerate()
-                                    .map(|(i, evaluator)| {
-                                        step_one(chunk_idx * chunk_size + i, evaluator)
-                                    })
-                                    .collect::<Vec<_>>()
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .flat_map(|h| h.join().expect("product worker panicked"))
-                        .collect()
-                })
-            };
-
-            let mut resolved = Vec::with_capacity(results.len());
-            let mut failure: Option<(String, String)> = None;
-            for (component, result) in self.system.components.iter().zip(results) {
-                match result {
-                    Ok(step) => resolved.push(step),
-                    Err(detail) => {
-                        failure = Some((component.name.clone(), detail));
-                        break;
-                    }
-                }
-            }
-            if let Some((component, detail)) = failure {
-                let witness =
-                    format!("component `{component}` scheduled step not executable: {detail}");
-                match deadlock_idx {
-                    Some(idx) => {
-                        if found[idx].is_none() {
-                            found[idx] = Some(Counterexample {
-                                property: properties[idx].clone(),
-                                inputs: joint_inputs.clone(),
-                                violation_instant: depth,
-                                witness,
-                            });
-                        }
-                        // The joint execution cannot continue past a
-                        // non-executable step: the path ends here, which
-                        // exhausts the (deterministic) product.
-                        dead_end = true;
-                        break;
-                    }
-                    None => {
-                        return Err(VerifyError::Evaluation {
-                            instant: depth,
-                            detail: witness,
-                        })
-                    }
-                }
-            }
-            transitions += resolved.len();
-            let joint = self.system.joint_resolved(phase, &resolved);
-
-            // Monitor steps on the joint instant (a violating monitor keeps
-            // running, so every property gets its earliest counterexample).
-            for property in &compiled {
-                let observed = property.step(&mut monitors, &joint);
-                if !observed.holds && found[property.index].is_none() {
-                    found[property.index] = Some(Counterexample {
-                        property: properties[property.index].clone(),
-                        inputs: joint_inputs.clone(),
-                        violation_instant: depth,
-                        witness: properties[property.index].violation_witness(&observed),
-                    });
-                }
-            }
-
-            depth += 1;
-            let successor =
-                self.product_state(&evaluators, (depth % self.system.horizon) as u32, &monitors);
-            if seen.insert(successor.key(), depth).is_some() {
-                // The product revisited a joint state at the same phase: the
-                // periodic system is closed, every execution from here on
-                // repeats an explored one.
-                break;
-            }
-        }
-
-        let stats = ExplorationStats {
-            states: seen.len(),
-            transitions,
-            infeasible: usize::from(dead_end),
-            depth,
-            workers,
-            truncated,
-        };
-        let verdicts = properties
-            .iter()
-            .zip(found)
-            .map(|(property, cex)| PropertyVerdict {
-                property: property.clone(),
-                verdict: match cex {
-                    Some(cex) => Verdict::Violated(cex),
-                    None if truncated => Verdict::PassedBounded { depth },
-                    None => Verdict::Proved,
-                },
-            })
-            .collect();
-        Ok(VerificationOutcome { verdicts, stats })
+        engine::explore(
+            &expander,
+            &initial,
+            &self.options,
+            properties,
+            self.system.dropped_deliveries > 0,
+        )
     }
 
     /// The canonical product state: concatenated per-component operator
@@ -891,9 +804,333 @@ impl ProductVerifier {
     }
 }
 
+/// One entity of the joint namespace, in name-sorted block order.
+#[derive(Debug, Clone, Copy)]
+enum JointBlock {
+    /// Component index: its resolved signals appear as `<component>_<s>`.
+    Component(usize),
+    /// Link index: the derived `_consumed`/`_received`/`_sent` signals
+    /// (listed here in their name-sorted suffix order).
+    Link(usize),
+}
+
+/// Memo of one component's resolved instants, keyed by scheduler phase and
+/// the component's encoded operator memory — which fully determine the
+/// evaluator result, since the wired input of a phase is fixed.
+#[derive(Default)]
+struct ComponentMemo {
+    index: HashMap<Box<[u8]>, u32>,
+    steps: Vec<TraceStep>,
+    memories: Vec<Vec<Value>>,
+}
+
+/// The [`Expander`] of a synchronous product: one deterministic edge per
+/// state (the wired joint instant of its phase), resolved component by
+/// component through the per-component memo.
+struct ProductExpander<'a> {
+    verifier: &'a ProductVerifier,
+    /// Prototype evaluators, cloned into each worker context.
+    evaluators: Vec<Evaluator>,
+    /// Operator-memory width of each component inside the concatenated
+    /// joint memory.
+    widths: Vec<usize>,
+    /// Component index of each link's target.
+    link_targets: Vec<usize>,
+    /// `<name>_` joint-namespace prefixes, per component and per link.
+    comp_prefixes: Vec<String>,
+    link_prefixes: Vec<String>,
+    /// Entity blocks sorted by prefix: the global name-sorted iteration
+    /// order of a joint instant.
+    blocks: Vec<JointBlock>,
+    compiled: &'a [CompiledProperty],
+    properties: &'a [Property],
+    deadlock_idx: Option<usize>,
+    monitor_count: usize,
+    memoize: bool,
+}
+
+/// Per-worker scratch of the product expander.
+struct ProductCtx {
+    evaluators: Vec<Evaluator>,
+    codec: KeyCodec,
+    monitors: Vec<u32>,
+    succ_monitors: Vec<u32>,
+    memory: Vec<Value>,
+    memo_key: Vec<u8>,
+    memos: Vec<ComponentMemo>,
+    /// Per-component memo-arena index of the current instant's resolution.
+    resolved: Vec<u32>,
+    /// Per-link `consumed` joint of the current instant (`None` when the
+    /// link does not derive one).
+    consumed: Vec<Option<bool>>,
+}
+
+static BOOL_TRUE: Value = Value::Bool(true);
+static BOOL_FALSE: Value = Value::Bool(false);
+
+fn bool_value(b: bool) -> &'static Value {
+    if b {
+        &BOOL_TRUE
+    } else {
+        &BOOL_FALSE
+    }
+}
+
+/// Borrow-only [`InstantView`] of one joint instant: the per-component
+/// resolved steps (through the memo arena) plus the link-derived joints,
+/// visited in global name-sorted order without materialising the joint
+/// `TraceStep`.
+struct JointView<'a> {
+    expander: &'a ProductExpander<'a>,
+    memos: &'a [ComponentMemo],
+    resolved: &'a [u32],
+    consumed: &'a [Option<bool>],
+    phase: usize,
+}
+
+impl JointView<'_> {
+    fn component_step(&self, component: usize) -> &TraceStep {
+        &self.memos[component].steps[self.resolved[component] as usize]
+    }
+}
+
+impl InstantView for JointView<'_> {
+    fn value_of(&self, name: &str) -> Option<&Value> {
+        // At most one prefix matches: entity names are validated to be
+        // prefix-unambiguous at product construction.
+        for (i, prefix) in self.expander.comp_prefixes.iter().enumerate() {
+            if let Some(local) = name.strip_prefix(prefix.as_str()) {
+                return self.component_step(i).get(local);
+            }
+        }
+        let system = &self.expander.verifier.system;
+        for (k, prefix) in self.expander.link_prefixes.iter().enumerate() {
+            if let Some(kind) = name.strip_prefix(prefix.as_str()) {
+                let activity = &system.activity[k];
+                return match kind {
+                    "sent" => Some(bool_value(activity.sent[self.phase])),
+                    "received" => Some(bool_value(activity.received[self.phase])),
+                    "consumed" => self.consumed[k].map(bool_value),
+                    _ => None,
+                };
+            }
+        }
+        None
+    }
+
+    fn first_present_matching(
+        &self,
+        accept: &mut dyn FnMut(&str, &Value) -> bool,
+    ) -> Option<String> {
+        let system = &self.expander.verifier.system;
+        let mut joint = String::new();
+        for block in &self.expander.blocks {
+            match *block {
+                JointBlock::Component(i) => {
+                    let prefix = &self.expander.comp_prefixes[i];
+                    for (local, value) in self.component_step(i).iter() {
+                        joint.clear();
+                        joint.push_str(prefix);
+                        joint.push_str(local);
+                        if accept(&joint, value) {
+                            return Some(joint);
+                        }
+                    }
+                }
+                JointBlock::Link(k) => {
+                    let activity = &system.activity[k];
+                    let suffixes = [
+                        self.consumed[k].map(|b| ("consumed", bool_value(b))),
+                        Some(("received", bool_value(activity.received[self.phase]))),
+                        Some(("sent", bool_value(activity.sent[self.phase]))),
+                    ];
+                    for (suffix, value) in suffixes.into_iter().flatten() {
+                        joint.clear();
+                        joint.push_str(&self.expander.link_prefixes[k]);
+                        joint.push_str(suffix);
+                        if accept(&joint, value) {
+                            return Some(joint);
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+impl Expander for ProductExpander<'_> {
+    type Ctx = ProductCtx;
+
+    fn new_ctx(&self) -> ProductCtx {
+        ProductCtx {
+            evaluators: self.evaluators.clone(),
+            codec: KeyCodec::new(),
+            monitors: Vec::new(),
+            succ_monitors: Vec::new(),
+            memory: Vec::new(),
+            memo_key: Vec::new(),
+            memos: self
+                .evaluators
+                .iter()
+                .map(|_| ComponentMemo::default())
+                .collect(),
+            resolved: Vec::new(),
+            consumed: Vec::new(),
+        }
+    }
+
+    fn expand(
+        &self,
+        ctx: &mut ProductCtx,
+        key: &[u8],
+        depth: usize,
+        sink: &mut Sink<'_>,
+    ) -> Result<(), VerifyError> {
+        let phase_bits = ctx
+            .codec
+            .seed_key(key, self.monitor_count, &mut ctx.monitors);
+        let phase = phase_bits as usize;
+        let system = &self.verifier.system;
+
+        // Resolve every component at this phase through its memo; without
+        // memoization the arenas are drained so they only ever hold the
+        // current instant.
+        ctx.resolved.clear();
+        if !self.memoize {
+            for memo in &mut ctx.memos {
+                memo.steps.clear();
+                memo.memories.clear();
+            }
+        }
+        let empty = TraceStep::new();
+        let mut offset = 0usize;
+        let mut hits = 0usize;
+        for i in 0..self.widths.len() {
+            let width = self.widths[i];
+            let parent = &ctx.codec.parent_memory()[offset..offset + width];
+            offset += width;
+            ctx.memo_key.clear();
+            ctx.memo_key.extend_from_slice(&phase_bits.to_le_bytes());
+            for value in parent {
+                state::encode_value(value, &mut ctx.memo_key);
+            }
+            if self.memoize {
+                if let Some(&at) = ctx.memos[i].index.get(ctx.memo_key.as_slice()) {
+                    ctx.resolved.push(at);
+                    hits += 1;
+                    continue;
+                }
+            }
+            let evaluator = &mut ctx.evaluators[i];
+            evaluator.restore_memory(parent)?;
+            let input = system.wired[i].step(phase).unwrap_or(&empty);
+            match evaluator.step(depth, input) {
+                Ok(step) => {
+                    let memo = &mut ctx.memos[i];
+                    let at = memo.steps.len() as u32;
+                    memo.steps.push(step);
+                    memo.memories.push(evaluator.memory());
+                    if self.memoize {
+                        memo.index.insert(ctx.memo_key.as_slice().into(), at);
+                    }
+                    ctx.resolved.push(at);
+                }
+                Err(e) => {
+                    // The joint execution cannot continue past a
+                    // non-executable step: the path ends here with no
+                    // successor, which exhausts the deterministic product.
+                    // The failing instant contributes no transitions.
+                    sink.infeasible();
+                    let witness = format!(
+                        "component `{}` scheduled step not executable: {e}",
+                        system.components[i].name
+                    );
+                    return match self.deadlock_idx {
+                        Some(idx) => {
+                            sink.violation(idx, Some(0), witness);
+                            Ok(())
+                        }
+                        None => Err(VerifyError::Evaluation {
+                            instant: depth,
+                            detail: witness,
+                        }),
+                    };
+                }
+            }
+        }
+        for _ in 0..self.widths.len() {
+            sink.transition();
+        }
+        for _ in 0..hits {
+            sink.pruned();
+        }
+
+        // Link `consumed` joints of this instant: the target's Input Time
+        // fired with a non-empty frozen FIFO. Only derived when the link
+        // declares both signals.
+        ctx.consumed.clear();
+        for (k, link) in system.links.iter().enumerate() {
+            let flag = match (&link.target_freeze, &link.target_count) {
+                (Some(freeze), Some(count)) => {
+                    let step = &ctx.memos[self.link_targets[k]].steps
+                        [ctx.resolved[self.link_targets[k]] as usize];
+                    let froze = step.get(freeze).map(Value::as_bool).unwrap_or(false);
+                    let nonempty = step.get(count).map(Value::as_bool).unwrap_or(false);
+                    Some(froze && nonempty)
+                }
+                _ => None,
+            };
+            ctx.consumed.push(flag);
+        }
+
+        // Monitor steps on the borrowed joint view (a violating monitor
+        // keeps running, so every property gets its earliest
+        // counterexample).
+        let view = JointView {
+            expander: self,
+            memos: &ctx.memos,
+            resolved: &ctx.resolved,
+            consumed: &ctx.consumed,
+            phase,
+        };
+        ctx.succ_monitors.clear();
+        ctx.succ_monitors.extend_from_slice(&ctx.monitors);
+        for property in self.compiled {
+            let observed = property.step(&mut ctx.succ_monitors, &view);
+            if !observed.holds {
+                sink.violation(
+                    property.index,
+                    Some(0),
+                    self.properties[property.index].violation_witness(&observed),
+                );
+            }
+        }
+
+        ctx.memory.clear();
+        for (i, &at) in ctx.resolved.iter().enumerate() {
+            ctx.memory
+                .extend_from_slice(&ctx.memos[i].memories[at as usize]);
+        }
+        let next_phase = ((phase + 1) % system.horizon) as u32;
+        let (hash, bytes) = ctx
+            .codec
+            .successor(&ctx.memory, next_phase, &ctx.succ_monitors);
+        sink.successor(hash, bytes, 0);
+        Ok(())
+    }
+
+    fn edge_step(&self, prev_key: &[u8], _edge: u32) -> TraceStep {
+        let phase = u32::from_le_bytes(prev_key[0..4].try_into().expect("phase bytes")) as usize;
+        let system = &self.verifier.system;
+        system.joint_input(phase % system.horizon)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::explore::Verdict;
     use signal_moc::builder::ProcessBuilder;
     use signal_moc::expr::Expr;
     use signal_moc::value::ValueType;

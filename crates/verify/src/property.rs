@@ -13,7 +13,7 @@
 //! the explorers.
 
 use serde::{Deserialize, Serialize};
-use signal_moc::trace::TraceStep;
+use signal_moc::InstantView;
 
 use crate::ltl::{Formula, LtlProperty};
 use crate::monitor::{LtlMonitor, MonitorStep};
@@ -203,20 +203,21 @@ pub(crate) fn pattern_matches(pattern: &str, name: &str) -> bool {
 
 /// Returns the name of a signal that is present with a `true`-ish value and
 /// matches `pattern`, if any.
-pub(crate) fn raised_signal(pattern: &str, step: &TraceStep) -> Option<String> {
-    step.iter()
-        .find(|(name, value)| pattern_matches(pattern, name) && value.as_bool())
-        .map(|(name, _)| name.clone())
+pub(crate) fn raised_signal<V: InstantView + ?Sized>(pattern: &str, step: &V) -> Option<String> {
+    step.first_present_matching(&mut |name, value| {
+        pattern_matches(pattern, name) && value.as_bool()
+    })
 }
 
 /// Returns `true` when `name` is present with a `true`-ish value.
-pub(crate) fn signal_true(step: &TraceStep, name: &str) -> bool {
-    step.get(name).map(|v| v.as_bool()).unwrap_or(false)
+pub(crate) fn signal_true<V: InstantView + ?Sized>(step: &V, name: &str) -> bool {
+    step.value_of(name).map(|v| v.as_bool()).unwrap_or(false)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use signal_moc::trace::TraceStep;
     use signal_moc::value::Value;
 
     #[test]

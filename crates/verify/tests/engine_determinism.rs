@@ -1,0 +1,211 @@
+//! Determinism pins on the shared exploration core: verdicts,
+//! counterexample depths and explored-state counts must be bit-identical
+//! across every worker count × frontier discipline combination, and
+//! clock-calculus pruning (the product's per-component memoisation) must
+//! never change an outcome — checked on randomised 2–3 thread systems.
+
+use proptest::prelude::*;
+
+use polyverify::{
+    FrontierMode, InputSpace, PortLink, ProductComponent, ProductSystem, ProductVerifier, Property,
+    VerificationOutcome, Verifier, VerifyOptions,
+};
+use signal_moc::builder::ProcessBuilder;
+use signal_moc::expr::Expr;
+use signal_moc::process::Process;
+use signal_moc::trace::Trace;
+use signal_moc::value::{Value, ValueType};
+
+/// The engine configurations every exploration must agree across.
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+const FRONTIERS: [FrontierMode; 2] = [FrontierMode::Barrier, FrontierMode::WorkStealing];
+
+/// A per-input miss counter whose alarm fires once input `d` has been
+/// present `threshold` times in a row — free-mode exploration branches on
+/// every boolean valuation of `d` and `r`, so the frontier carries many
+/// states per level and the tie-break rules actually matter.
+fn streak_counter(threshold: i64) -> Process {
+    let mut b = ProcessBuilder::new("streak");
+    b.input("d", ValueType::Boolean);
+    b.input("r", ValueType::Boolean);
+    b.output("Alarm", ValueType::Boolean);
+    b.local("streak", ValueType::Integer);
+    let prev = Expr::delay(Expr::var("streak"), Value::Int(0));
+    b.define(
+        "streak",
+        Expr::default(
+            Expr::when(Expr::int(0), Expr::var("r")),
+            Expr::default(
+                Expr::when(Expr::add(prev, Expr::int(1)), Expr::var("d")),
+                Expr::int(0),
+            ),
+        ),
+    );
+    b.define("Alarm", Expr::ge(Expr::var("streak"), Expr::int(threshold)));
+    b.synchronize(&["d", "r", "streak", "Alarm"]);
+    b.build().unwrap()
+}
+
+/// Strips the fields that legitimately differ between configurations (the
+/// worker count actually used) and returns everything that must not.
+fn fingerprint(outcome: &VerificationOutcome) -> (Vec<u8>, usize, usize, usize, usize, bool) {
+    let mut verdicts = Vec::new();
+    for verdict in &outcome.verdicts {
+        verdicts.extend_from_slice(format!("{verdict:?}").as_bytes());
+        verdicts.push(0);
+    }
+    (
+        verdicts,
+        outcome.stats.states,
+        outcome.stats.transitions,
+        outcome.stats.depth,
+        outcome.stats.infeasible,
+        outcome.stats.truncated,
+    )
+}
+
+proptest! {
+    /// Free-mode exploration of the streak counter: identical outcomes for
+    /// every workers × frontier combination, whether the verdict is a
+    /// violation (low threshold) or a bounded pass (high threshold).
+    #[test]
+    fn free_exploration_is_configuration_independent(
+        threshold in 1i64..=6,
+        depth in 3usize..=5,
+    ) {
+        let process = streak_counter(threshold);
+        let properties = [Property::NeverRaised("*Alarm*".into()), Property::DeadlockFree];
+        let mut reference: Option<(Vec<u8>, usize, usize, usize, usize, bool)> = None;
+        for workers in WORKER_COUNTS {
+            for frontier in FRONTIERS {
+                let verifier = Verifier::new(
+                    &process,
+                    VerifyOptions::default()
+                        .with_workers(workers)
+                        .with_depth_bound(depth)
+                        .with_frontier(frontier)
+                        .with_interner_capacity(1),
+                )
+                .unwrap();
+                let outcome = verifier.verify(&InputSpace::Free, &properties).unwrap();
+                let print = fingerprint(&outcome);
+                match &reference {
+                    None => reference = Some(print),
+                    Some(expected) => prop_assert_eq!(
+                        expected,
+                        &print,
+                        "workers={} frontier={:?}",
+                        workers,
+                        frontier
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Randomised 2–3 thread products: verdicts, counterexample depths and
+    /// explored-state counts are identical for every workers × frontier ×
+    /// pruning combination. Pruning toggles the product's per-component
+    /// step memoisation, so this doubles as the regression pin that
+    /// clock-calculus pruning never changes a verdict.
+    #[test]
+    fn product_outcome_is_configuration_independent(
+        component_count in 2usize..=3,
+        horizon in 4usize..=8,
+        threshold in 1i64..=4,
+        periods in prop::collection::vec(1usize..=4, 3..4),
+        latency in 0usize..=2,
+    ) {
+        let system = pipeline_system(component_count, horizon, threshold, &periods, latency);
+        let properties = [Property::NeverRaised("*Alarm*".into()), Property::DeadlockFree];
+        let mut reference: Option<(Vec<u8>, usize, usize, usize, usize, bool)> = None;
+        for workers in WORKER_COUNTS {
+            for frontier in FRONTIERS {
+                for pruning in [true, false] {
+                    let verifier = ProductVerifier::new(
+                        system.clone(),
+                        VerifyOptions::default()
+                            .with_workers(workers)
+                            .with_depth_bound(horizon * 2)
+                            .with_frontier(frontier)
+                            .with_pruning(pruning)
+                            .with_interner_capacity(1),
+                    )
+                    .unwrap();
+                    let outcome = verifier.verify(&properties).unwrap();
+                    let print = fingerprint(&outcome);
+                    match &reference {
+                        None => reference = Some(print),
+                        Some(expected) => prop_assert_eq!(
+                            expected,
+                            &print,
+                            "workers={} frontier={:?} pruning={}",
+                            workers,
+                            frontier,
+                            pruning
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A randomised linear pipeline of `count` event-counting stages chained by
+/// latency-`latency` links; stage `i` dispatches every `periods[i]` ticks
+/// and alarms once it has received `threshold` events.
+fn pipeline_system(
+    count: usize,
+    horizon: usize,
+    threshold: i64,
+    periods: &[usize],
+    latency: usize,
+) -> ProductSystem {
+    fn stage(name: &str, threshold: i64) -> Process {
+        let mut b = ProcessBuilder::new(name);
+        b.input("Dispatch", ValueType::Boolean);
+        b.input("out_output_time", ValueType::Boolean);
+        b.input("in_in", ValueType::Boolean);
+        b.output("Alarm", ValueType::Boolean);
+        b.local("seen", ValueType::Integer);
+        let prev = Expr::delay(Expr::var("seen"), Value::Int(0));
+        b.define(
+            "seen",
+            Expr::add(
+                prev,
+                Expr::default(Expr::when(Expr::int(1), Expr::var("in_in")), Expr::int(0)),
+            ),
+        );
+        b.define("Alarm", Expr::ge(Expr::var("seen"), Expr::int(threshold)));
+        b.synchronize(&["Dispatch", "out_output_time", "in_in", "seen", "Alarm"]);
+        b.build().unwrap()
+    }
+    let mut components = Vec::new();
+    for (i, period) in periods.iter().take(count).enumerate() {
+        let period = (*period).max(1);
+        let mut schedule = Trace::new();
+        for t in 0..horizon {
+            schedule.set(t, "Dispatch", Value::Bool(t % period == 0));
+            schedule.set(t, "out_output_time", Value::Bool(t % period == period - 1));
+            schedule.set(t, "in_in", Value::Bool(false));
+        }
+        components.push(ProductComponent {
+            name: format!("s{i}"),
+            process: stage(&format!("stage{i}"), threshold),
+            schedule,
+        });
+    }
+    let links = (1..count)
+        .map(|i| PortLink {
+            name: format!("l{}{}", i - 1, i),
+            source: format!("s{}", i - 1),
+            source_signal: "out_output_time".into(),
+            target: format!("s{i}"),
+            target_signal: "in_in".into(),
+            target_freeze: None,
+            target_count: None,
+            latency,
+        })
+        .collect();
+    ProductSystem::new(components, links).unwrap()
+}

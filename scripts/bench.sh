@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_1.json — the committed benchmark snapshot of the
+# exploration core — from the `state_space` and `batch_throughput`
+# criterion suites. Run from anywhere; writes to the repository root.
+#
+#   scripts/bench.sh
+#
+# The snapshot records every report line of both suites plus exact state
+# counts, peak frontier and wall time of the two headline product
+# workloads (see crates/bench/examples/bench_snapshot.rs). CI replays the
+# state_space suite and fails when a headline throughput drops more than
+# 30% below this snapshot.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+capture_dir="$(mktemp -d)"
+trap 'rm -rf "$capture_dir"' EXIT
+
+cargo bench -p bench --bench state_space | tee "$capture_dir/state_space.txt"
+cargo bench -p bench --bench batch_throughput | tee "$capture_dir/batch_throughput.txt"
+
+cargo run --release -p bench --example bench_snapshot -- write \
+    "$capture_dir/state_space.txt" \
+    "$capture_dir/batch_throughput.txt" \
+    BENCH_1.json

@@ -7,7 +7,8 @@
 //! polychrony analyze  [--policy rm|edf|fp] [--stop-after PHASE]
 //! polychrony simulate [--hyperperiods N] [--vcd]
 //! polychrony verify   [--workers N] [--hyperperiods N] [--product]
-//!                     [--property EXPR]...
+//!                     [--frontier barrier|work-stealing] [--no-pruning]
+//!                     [--interner-capacity N] [--property EXPR]...
 //!                     [--inject-deadline-bug] [--inject-connection-bug]
 //! polychrony batch    [--jobs N] [--workers N] [--property EXPR]...
 //! ```
@@ -19,7 +20,7 @@
 use std::process::ExitCode;
 
 use polychrony_core::aadl::synth::SyntheticSpec;
-use polychrony_core::polyverify::Property;
+use polychrony_core::polyverify::{FrontierMode, Property};
 use polychrony_core::sched::SchedulingPolicy;
 use polychrony_core::{
     BatchJob, BatchRunner, CoreError, PropertySpec, ScheduleOptions, Session, SessionOptions,
@@ -81,7 +82,8 @@ USAGE:
     polychrony analyze  [--policy rm|edf|fp] [--stop-after PHASE]
     polychrony simulate [--hyperperiods N] [--vcd]
     polychrony verify   [--workers N] [--hyperperiods N] [--product]
-                        [--property EXPR]...
+                        [--frontier barrier|work-stealing] [--no-pruning]
+                        [--interner-capacity N] [--property EXPR]...
                         [--inject-deadline-bug] [--inject-connection-bug]
     polychrony batch    [--jobs N] [--workers N] [--property EXPR]...
 
@@ -106,7 +108,13 @@ COMMANDS:
                simulator replay; with --inject-connection-bug, delay the
                producer's start-timer connection past the timer's input
                freeze and confirm the cross-thread counterexample by
-               lockstep co-simulation
+               lockstep co-simulation; --frontier selects the exploration
+               frontier discipline (work-stealing deques by default,
+               barrier for level-synchronised chunks — verdicts are
+               identical); --no-pruning disables clock-calculus pruning
+               and per-component memoization (verdicts are identical);
+               --interner-capacity sets the initial per-shard capacity of
+               the state interner
     batch      run N models (the case study + synthetic workloads) through
                the whole pipeline concurrently on a bounded worker pool and
                print one timed report line per job; --property adds a user
@@ -369,6 +377,9 @@ fn verify(args: &[String]) -> Result<ExitCode, CliError> {
             ("--workers", true),
             ("--hyperperiods", true),
             ("--product", false),
+            ("--frontier", true),
+            ("--no-pruning", false),
+            ("--interner-capacity", true),
             ("--property", true),
             ("--inject-deadline-bug", false),
             ("--inject-connection-bug", false),
@@ -376,6 +387,16 @@ fn verify(args: &[String]) -> Result<ExitCode, CliError> {
     )?;
     let workers = flag_value(args, "--workers", 2usize)?;
     let hyperperiods = flag_value(args, "--hyperperiods", 1u64)?;
+    let frontier = match flag_value(args, "--frontier", "work-stealing".to_string())?.as_str() {
+        "work-stealing" => FrontierMode::WorkStealing,
+        "barrier" => FrontierMode::Barrier,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown frontier mode `{other}` (use barrier or work-stealing)"
+            )))
+        }
+    };
+    let interner_capacity = flag_value(args, "--interner-capacity", 4096usize)?;
     // Parse the user properties upfront: a malformed expression is a usage
     // error (exit 1) with the offending span, before any phase runs.
     let properties = parse_properties(args)?;
@@ -394,7 +415,10 @@ fn verify(args: &[String]) -> Result<ExitCode, CliError> {
         .with_hyperperiods(1)
         .with_verify_workers(workers)
         .with_verify_hyperperiods(hyperperiods)
-        .with_verify_scope(scope);
+        .with_verify_scope(scope)
+        .with_verify_frontier(frontier)
+        .with_verify_pruning(!has_flag(args, "--no-pruning"))
+        .with_verify_interner_capacity(interner_capacity);
     for expr in flag_values(args, "--property")? {
         chain = chain.with_property(expr);
     }
