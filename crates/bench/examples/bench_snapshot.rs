@@ -1,22 +1,33 @@
 //! Benchmark snapshot tool behind `scripts/bench.sh` and the CI smoke gate.
 //!
-//! Two modes:
+//! Three modes:
 //!
 //! ```bash
-//! bench_snapshot write <criterion-output>... <out.json>
+//! bench_snapshot write [--sha SHA] <criterion-output>... <out.json>
 //! bench_snapshot check <criterion-output> <baseline.json>
+//! bench_snapshot overhead [reps]
 //! ```
 //!
 //! `write` parses the report lines of the vendored criterion harness
 //! (`{group}/{id}: {mean} ns/iter ({n} iterations), {rate} elem/s`) from
 //! the captured `cargo bench` output, re-runs the two headline product
 //! workloads once to record exact state counts, peak frontier and wall
-//! time, and emits `BENCH_1.json` (one benchmark entry per line, so the
-//! file diffs and greps cleanly without a JSON parser).
+//! time, and emits a `BENCH_<n>.json` snapshot (one benchmark entry per
+//! line, so the file diffs and greps cleanly without a JSON parser);
+//! `--sha` stamps the snapshot with the git revision it was measured at.
 //!
 //! `check` re-parses a fresh `cargo bench --bench state_space` capture and
 //! fails (exit 1) when the throughput of a headline benchmark drops more
 //! than 30% below the committed baseline.
+//!
+//! `overhead` measures the telemetry cost on the case-study product: it
+//! runs the workload `reps` times (default 5) under each collection mode
+//! (noop, counters, full), takes the best wall time per mode — a paired,
+//! in-process comparison, so the result is portable across machines where
+//! a committed absolute baseline would not be — and fails (exit 1) when
+//! `counters` collection costs more than 5% over `noop`. The `full` row is
+//! reported for the docs but not gated (event buffering is expected to
+//! cost more, and anyone turning it on asked for a trace).
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -25,7 +36,7 @@ use aadl::case_study::producer_consumer_instance;
 use asme2ssme::system_under_schedule;
 use polychrony_core::port_link_for;
 use polyverify::{
-    PortLink, ProductComponent, ProductSystem, ProductVerifier, Property, VerifyOptions,
+    Collector, PortLink, ProductComponent, ProductSystem, ProductVerifier, Property, VerifyOptions,
 };
 use sched::SchedulingPolicy;
 use signal_moc::builder::ProcessBuilder;
@@ -36,6 +47,11 @@ use signal_moc::value::{Value, ValueType};
 
 /// Throughput below this fraction of the committed baseline fails `check`.
 const REGRESSION_FLOOR: f64 = 0.7;
+
+/// `overhead` fails when `counters` collection costs more than this factor
+/// over `noop` on the case-study product (the ~one-relaxed-atomic-per-state
+/// budget of the Counters mode).
+const OVERHEAD_CEILING: f64 = 1.05;
 
 /// The benchmarks gated by `check`: only the case-study product — the
 /// acceptance workload of the exploration core. The synthetic product runs
@@ -50,8 +66,8 @@ const HEADLINE_IDS: [&str; 1] = ["state_space/case_study_product"];
 const PRE_REFACTOR_CASE_STUDY_ELEM_PER_S: f64 = 1487.0;
 
 /// Builds one headline workload: a configured verifier plus its checked
-/// properties.
-type WorkloadBuilder = fn() -> (ProductVerifier, Vec<Property>);
+/// properties, with the given collector installed on the engine.
+type WorkloadBuilder = fn(&Collector) -> (ProductVerifier, Vec<Property>);
 
 /// One parsed criterion report line.
 struct BenchLine {
@@ -63,11 +79,36 @@ struct BenchLine {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
-        Some("write") if args.len() >= 3 => write(&args[1..args.len() - 1], &args[args.len() - 1]),
+        Some("write") if args.len() >= 3 => {
+            let (sha, rest) = match args.get(1).map(String::as_str) {
+                Some("--sha") if args.len() >= 5 => (Some(args[2].as_str()), &args[3..]),
+                _ => (None, &args[1..]),
+            };
+            write(&rest[..rest.len() - 1], &rest[rest.len() - 1], sha)
+        }
         Some("check") if args.len() == 3 => check(&args[1], &args[2]),
-        _ => Err("usage: bench_snapshot write <capture>... <out.json> | \
-                  bench_snapshot check <capture> <baseline.json>"
-            .to_string()),
+        Some("overhead") if args.len() <= 2 => {
+            let reps = match args.get(1) {
+                Some(n) => n
+                    .parse()
+                    .map_err(|_| format!("invalid rep count `{n}`"))
+                    .and_then(|n: usize| {
+                        if n == 0 {
+                            Err("rep count must be at least 1".to_string())
+                        } else {
+                            Ok(n)
+                        }
+                    }),
+                None => Ok(5),
+            };
+            reps.and_then(overhead)
+        }
+        _ => Err(
+            "usage: bench_snapshot write [--sha SHA] <capture>... <out.json> | \
+                  bench_snapshot check <capture> <baseline.json> | \
+                  bench_snapshot overhead [reps]"
+                .to_string(),
+        ),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -118,9 +159,12 @@ fn parse_line(line: &str) -> Option<BenchLine> {
     })
 }
 
-fn write(captures: &[String], out_path: &str) -> Result<(), String> {
+fn write(captures: &[String], out_path: &str, sha: Option<&str>) -> Result<(), String> {
     let lines = parse_captures(captures)?;
     let mut json = String::from("{\n  \"schema\": \"polychrony-bench-v1\",\n");
+    if let Some(sha) = sha {
+        json.push_str(&format!("  \"git_sha\": \"{sha}\",\n"));
+    }
     json.push_str("  \"benchmarks\": [\n");
     for (i, line) in lines.iter().enumerate() {
         let sep = if i + 1 == lines.len() { "" } else { "," };
@@ -142,7 +186,7 @@ fn write(captures: &[String], out_path: &str) -> Result<(), String> {
         ("synthetic_3thread_product", synthetic_3thread_product),
     ];
     for (i, (name, build)) in workloads.iter().enumerate() {
-        let (verifier, properties) = build();
+        let (verifier, properties) = build(&Collector::noop());
         let start = Instant::now();
         let outcome = verifier
             .verify(&properties)
@@ -206,6 +250,70 @@ fn check(capture: &str, baseline_path: &str) -> Result<(), String> {
     }
 }
 
+/// Measures collection overhead on the case-study product. Per mode, the
+/// workload is rebuilt with a fresh collector and verified `reps` times;
+/// the best wall time per mode feeds the comparison, squeezing scheduler
+/// noise out before the ratio is taken.
+fn overhead(reps: usize) -> Result<(), String> {
+    type CollectorFactory = fn() -> Collector;
+    let modes: [(&str, CollectorFactory); 3] = [
+        ("noop", Collector::noop),
+        ("counters", Collector::counters),
+        ("full", Collector::full),
+    ];
+    let mut results: Vec<(&str, f64, usize)> = Vec::new();
+    for (name, make_collector) in modes {
+        let mut best_wall_s = f64::INFINITY;
+        let mut states = 0usize;
+        for _ in 0..reps {
+            let collector = make_collector();
+            let (verifier, properties) = case_study_product(&collector);
+            let start = Instant::now();
+            let outcome = verifier
+                .verify(&properties)
+                .map_err(|e| format!("{name} verification failed: {e}"))?;
+            best_wall_s = best_wall_s.min(start.elapsed().as_secs_f64());
+            states = outcome.stats.states;
+        }
+        results.push((name, best_wall_s, states));
+    }
+
+    let noop_states = results[0].2;
+    for (name, _, states) in &results {
+        if *states != noop_states {
+            return Err(format!(
+                "collection mode changed the result: {name} explored {states} \
+                 states, noop explored {noop_states}"
+            ));
+        }
+    }
+
+    let noop_wall_s = results[0].1;
+    println!("telemetry overhead, case_study_product, best of {reps} rep(s):");
+    println!("  mode      wall_ms  states/s  vs_noop");
+    for (name, wall_s, states) in &results {
+        println!(
+            "  {name:<8} {:>8.2} {:>9.0} {:>7.3}x",
+            wall_s * 1e3,
+            *states as f64 / wall_s,
+            wall_s / noop_wall_s
+        );
+    }
+
+    let counters_ratio = results[1].1 / noop_wall_s;
+    if counters_ratio > OVERHEAD_CEILING {
+        return Err(format!(
+            "counters mode costs {counters_ratio:.3}x over noop \
+             (ceiling {OVERHEAD_CEILING:.2}x)"
+        ));
+    }
+    println!(
+        "overhead gate passed: counters is {counters_ratio:.3}x noop \
+         (ceiling {OVERHEAD_CEILING:.2}x)"
+    );
+    Ok(())
+}
+
 /// Extracts `"elem_per_s": N` from the baseline entry for `id` (the file is
 /// written one benchmark entry per line precisely so this stays a line
 /// scan, not a JSON parser).
@@ -226,7 +334,7 @@ fn baseline_rate(baseline: &str, id: &str) -> Option<f64> {
 // crate a library; the duplication is the cheaper coupling).
 
 /// The case-study product over four hyper-periods.
-fn case_study_product() -> (ProductVerifier, Vec<Property>) {
+fn case_study_product(collector: &Collector) -> (ProductVerifier, Vec<Property>) {
     let instance = producer_consumer_instance().unwrap();
     let (models, schedule, connections) =
         system_under_schedule(&instance, SchedulingPolicy::EarliestDeadlineFirst).unwrap();
@@ -245,13 +353,18 @@ fn case_study_product() -> (ProductVerifier, Vec<Property>) {
         Property::NeverRaised("*Alarm*".into()),
         Property::DeadlockFree,
     ];
-    let verifier =
-        ProductVerifier::new(system, VerifyOptions::default().with_depth_bound(bound)).unwrap();
+    let verifier = ProductVerifier::new(
+        system,
+        VerifyOptions::default()
+            .with_depth_bound(bound)
+            .with_collector(collector.clone()),
+    )
+    .unwrap();
     (verifier, properties)
 }
 
 /// The synthetic three-stage pipeline product (horizon 12, four repeats).
-fn synthetic_3thread_product() -> (ProductVerifier, Vec<Property>) {
+fn synthetic_3thread_product(collector: &Collector) -> (ProductVerifier, Vec<Property>) {
     fn stage(name: &str) -> Process {
         let mut b = ProcessBuilder::new(name);
         b.input("Dispatch", ValueType::Boolean);
@@ -315,7 +428,12 @@ fn synthetic_3thread_product() -> (ProductVerifier, Vec<Property>) {
         Property::NeverRaised("*Alarm*".into()),
         Property::DeadlockFree,
     ];
-    let verifier =
-        ProductVerifier::new(system, VerifyOptions::default().with_depth_bound(bound)).unwrap();
+    let verifier = ProductVerifier::new(
+        system,
+        VerifyOptions::default()
+            .with_depth_bound(bound)
+            .with_collector(collector.clone()),
+    )
+    .unwrap();
     (verifier, properties)
 }

@@ -29,6 +29,7 @@ use std::time::{Duration, Instant};
 
 use aadl::case_study::PRODUCER_CONSUMER_AADL;
 use aadl::synth::{generate_source, SyntheticSpec};
+use polyobs::{Collector, RunRecord};
 
 use crate::error::CoreError;
 use crate::options::SessionOptions;
@@ -122,6 +123,11 @@ impl BatchReport {
         matches!(&self.outcome, Ok(report) if report.all_checks_passed())
     }
 
+    /// The job's per-phase telemetry record, when the job completed.
+    pub fn run_record(&self) -> Option<&RunRecord> {
+        self.outcome.as_ref().ok().map(|report| &report.run_record)
+    }
+
     /// One-line rendering: index, label, duration, verdict.
     pub fn summary(&self) -> String {
         let verdict = match &self.outcome {
@@ -172,6 +178,18 @@ impl BatchResults {
         }
     }
 
+    /// The batch-level totals line of [`BatchResults::summary`].
+    pub fn totals(&self) -> String {
+        format!(
+            "{} job(s), {} worker(s), {:.1} ms total, {:.1} models/s, {} failure(s)",
+            self.reports.len(),
+            self.workers,
+            self.elapsed.as_secs_f64() * 1e3,
+            self.throughput(),
+            self.failure_count()
+        )
+    }
+
     /// A multi-line table: one line per job plus a totals line.
     pub fn summary(&self) -> String {
         let mut out = String::new();
@@ -179,14 +197,8 @@ impl BatchResults {
             out.push_str(&report.summary());
             out.push('\n');
         }
-        out.push_str(&format!(
-            "{} job(s), {} worker(s), {:.1} ms total, {:.1} models/s, {} failure(s)\n",
-            self.reports.len(),
-            self.workers,
-            self.elapsed.as_secs_f64() * 1e3,
-            self.throughput(),
-            self.failure_count()
-        ));
+        out.push_str(&self.totals());
+        out.push('\n');
         out
     }
 }
@@ -200,6 +212,7 @@ impl BatchResults {
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchRunner {
     workers: usize,
+    collector: Collector,
 }
 
 impl Default for BatchRunner {
@@ -210,6 +223,7 @@ impl Default for BatchRunner {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(2)
                 .min(8),
+            collector: Collector::noop(),
         }
     }
 }
@@ -230,6 +244,19 @@ impl BatchRunner {
     /// The configured worker-pool size.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Installs a telemetry collector on the runner: each job gets a
+    /// `batch.job` span, the `batch.queue_depth` gauge tracks unclaimed
+    /// jobs, and the `batch.jobs` / `batch.failures` counters tally
+    /// outcomes. The collector is also handed to every job's session (it
+    /// replaces the collector in the job's options), so engine counters
+    /// and phase spans from all jobs aggregate into one place. Collection
+    /// mode never changes any verdict or report.
+    #[must_use]
+    pub fn with_collector(mut self, collector: Collector) -> Self {
+        self.collector = collector;
+        self
     }
 
     /// Runs every job across the worker pool and returns the reports in
@@ -253,13 +280,36 @@ impl BatchRunner {
             jobs.iter().map(|_| Mutex::new(None)).collect();
         if !jobs.is_empty() {
             let next = AtomicUsize::new(0);
+            let queue_depth = self.collector.gauge("batch.queue_depth");
+            let c_jobs = self.collector.counter("batch.jobs");
+            let c_failures = self.collector.counter("batch.failures");
+            queue_depth.set(jobs.len() as u64);
             std::thread::scope(|scope| {
                 for _ in 0..self.workers.min(jobs.len()) {
                     scope.spawn(|| loop {
                         let index = next.fetch_add(1, Ordering::Relaxed);
                         let Some(job) = jobs.get(index) else { break };
+                        // Unclaimed jobs left in the queue after this claim.
+                        queue_depth.set(jobs.len().saturating_sub(index + 1) as u64);
+                        let mut span = self.collector.span("batch.job");
+                        span.attr("index", index);
+                        span.attr("job", job.name.as_str());
                         let job_started = Instant::now();
-                        let outcome = job.run();
+                        // The runner's collector rides into the job's own
+                        // session, so phase spans and engine counters from
+                        // all jobs aggregate on one collector.
+                        let outcome = if self.collector.is_enabled() {
+                            let mut job = job.clone();
+                            job.options.collector = self.collector.clone();
+                            job.run()
+                        } else {
+                            job.run()
+                        };
+                        c_jobs.incr();
+                        if !matches!(&outcome, Ok(report) if report.all_checks_passed()) {
+                            c_failures.incr();
+                        }
+                        drop(span);
                         *slots[index].lock().expect("job slot poisoned") = Some(BatchReport {
                             index,
                             job: job.name.clone(),

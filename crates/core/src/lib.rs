@@ -81,6 +81,9 @@ pub use options::{
     VerificationOptions, VerificationScope,
 };
 pub use pipeline::{ToolChain, ToolChainOptions};
+pub use polyobs::{
+    CollectionMode, Collector, JsonLinesSink, PhaseRecord, ProgressReporter, RunRecord,
+};
 pub use report::{ProductVerificationReport, ToolChainReport, VerificationReport};
 pub use session::{
     end_to_end_response_for, port_link_for, Analyzed, Instantiated, Parsed, Scheduled, Session,
@@ -92,6 +95,7 @@ pub use session::{
 pub use aadl;
 pub use affine_clocks;
 pub use asme2ssme;
+pub use polyobs;
 pub use polysim;
 pub use polyverify;
 pub use sched;

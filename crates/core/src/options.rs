@@ -286,6 +286,12 @@ pub struct SessionOptions {
     pub simulate: SimulateOptions,
     /// Verification-phase options.
     pub verify: VerificationOptions,
+    /// Telemetry collector shared by every phase of the chain: phase spans,
+    /// engine counters and the `RunRecord` embedded into the final report
+    /// all flow through it. Defaults to noop (records nothing, costs
+    /// nothing). Collection mode never changes any phase result — see the
+    /// determinism pins in `crates/verify/tests/obs_determinism.rs`.
+    pub collector: polyobs::Collector,
 }
 
 impl SessionOptions {

@@ -63,6 +63,11 @@ pub struct ToolChainOptions {
     /// Initial per-shard capacity of the state interner (grows on demand).
     /// Must be at least 1.
     pub verify_interner_capacity: usize,
+    /// Telemetry collector handed to every phase of the run (phase spans,
+    /// engine counters, the [`RunRecord`](polyobs::RunRecord) embedded into
+    /// the report). Defaults to noop; collection mode never changes any
+    /// result. Equality compares the collection mode only.
+    pub collector: polyobs::Collector,
 }
 
 impl Default for ToolChainOptions {
@@ -80,6 +85,7 @@ impl Default for ToolChainOptions {
             verify_frontier: FrontierMode::default(),
             verify_pruning: true,
             verify_interner_capacity: 4096,
+            collector: polyobs::Collector::noop(),
         }
     }
 }
@@ -109,6 +115,7 @@ impl ToolChainOptions {
                 pruning: self.verify_pruning,
                 interner_capacity: self.verify_interner_capacity,
             },
+            collector: self.collector.clone(),
         }
     }
 
@@ -222,6 +229,17 @@ impl ToolChain {
     #[must_use]
     pub fn with_property(mut self, expr: impl Into<String>) -> Self {
         self.options.properties.push(PropertySpec::new(expr));
+        self
+    }
+
+    /// Installs a telemetry collector: every phase opens a span on it, the
+    /// exploration engine streams counters into it, and the final report
+    /// embeds its counter snapshot. Collection mode never changes any
+    /// result (see the determinism pins in `polyverify`'s
+    /// `obs_determinism` tests).
+    #[must_use]
+    pub fn with_collector(mut self, collector: polyobs::Collector) -> Self {
+        self.options.collector = collector;
         self
     }
 

@@ -49,6 +49,7 @@ use asme2ssme::{
     scheduled_thread_model, task_set_from_threads, thread_connections, ScheduledThreadModel,
     ThreadConnection, TranslatedSystem, Translator,
 };
+use polyobs::{Collector, PhaseRecord, RunRecord};
 use polysim::{SimulationReport, Simulator};
 use polyverify::{
     InputSpace, PortLink, ProductComponent, ProductSystem, ProductVerifier, Property,
@@ -68,6 +69,38 @@ use crate::report::{ProductVerificationReport, ToolChainReport, VerificationRepo
 /// VCD timescale used by the simulation phase: the case-study processor has
 /// a 1 ms clock period, so one simulated tick is one millisecond.
 const VCD_TIMESCALE_NS: u64 = 1_000_000;
+
+/// Times one pipeline phase: opens a `phase.<name>` span on the session's
+/// collector (so trace sinks and progress reporters see phase boundaries)
+/// and produces the [`PhaseRecord`] accumulated into the chain's
+/// [`RunRecord`]. Dropping the timer without [`PhaseTimer::finish`] (the
+/// error path) closes the span and records nothing.
+struct PhaseTimer {
+    span: polyobs::Span,
+    started: std::time::Instant,
+    name: &'static str,
+}
+
+impl PhaseTimer {
+    fn start(collector: &Collector, name: &'static str) -> Self {
+        PhaseTimer {
+            span: collector.span(&format!("phase.{name}")),
+            started: std::time::Instant::now(),
+            name,
+        }
+    }
+
+    fn finish(mut self, attrs: &[(&str, u64)]) -> PhaseRecord {
+        for (k, v) in attrs {
+            self.span.attr(k, *v);
+        }
+        PhaseRecord {
+            name: self.name.to_string(),
+            wall_us: self.started.elapsed().as_micros() as u64,
+            attrs: attrs.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+}
 
 /// Maps an extracted AADL thread connection onto its product link, using
 /// the conventional signal names of the translation. A `Timing => Delayed`
@@ -174,9 +207,14 @@ impl Session {
     ///
     /// Propagates parser errors as [`CoreError::Aadl`].
     pub fn parse(&self, source: &str) -> Result<Parsed, CoreError> {
+        let timer = PhaseTimer::start(&self.options.collector, "parse");
+        let package = parse_package(source)?;
+        let mut record = RunRecord::default();
+        record.push(timer.finish(&[("classifiers", package.classifiers.len() as u64)]));
         Ok(Parsed {
             options: self.options.clone(),
-            package: parse_package(source)?,
+            record,
+            package,
         })
     }
 
@@ -196,6 +234,7 @@ impl Session {
     pub fn load_instance(&self, instance: InstanceModel) -> Instantiated {
         Instantiated {
             options: self.options.clone(),
+            record: RunRecord::default(),
             instance,
         }
     }
@@ -205,6 +244,7 @@ impl Session {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Parsed {
     options: SessionOptions,
+    record: RunRecord,
     /// The parsed package, with classifiers in source order.
     pub package: Package,
 }
@@ -215,10 +255,14 @@ impl Parsed {
     /// # Errors
     ///
     /// Propagates resolution/instantiation errors as [`CoreError::Aadl`].
-    pub fn instantiate(self, root_classifier: &str) -> Result<Instantiated, CoreError> {
+    pub fn instantiate(mut self, root_classifier: &str) -> Result<Instantiated, CoreError> {
+        let timer = PhaseTimer::start(&self.options.collector, "instantiate");
         let instance = InstanceModel::instantiate(&self.package, root_classifier)?;
+        self.record
+            .push(timer.finish(&[("components", instance.instance_count() as u64)]));
         Ok(Instantiated {
             options: self.options,
+            record: self.record,
             instance,
         })
     }
@@ -229,6 +273,7 @@ impl Parsed {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Instantiated {
     options: SessionOptions,
+    record: RunRecord,
     /// The instance model.
     pub instance: InstanceModel,
 }
@@ -243,16 +288,22 @@ impl Instantiated {
     ///
     /// Returns [`CoreError::Scheduling`] or [`CoreError::Affine`] when the
     /// task set is inconsistent, unschedulable, or not synchronizable.
-    pub fn schedule(self) -> Result<Scheduled, CoreError> {
+    pub fn schedule(mut self) -> Result<Scheduled, CoreError> {
         self.options.schedule.validate()?;
+        let timer = PhaseTimer::start(&self.options.collector, "schedule");
         let threads = self.instance.threads()?;
         let tasks = task_set_from_threads(&threads)?;
         let schedule = StaticSchedule::synthesize(&tasks, self.options.schedule.policy)?;
         let baseline = BaselineReport::analyze(&tasks);
         let affine = export_affine_clocks(&tasks, &schedule)
             .map_err(|e| CoreError::Affine(e.to_string()))?;
+        self.record.push(timer.finish(&[
+            ("tasks", tasks.len() as u64),
+            ("hyperperiod", schedule.hyperperiod),
+        ]));
         Ok(Scheduled {
             options: self.options,
+            record: self.record,
             instance: self.instance,
             threads,
             tasks,
@@ -268,6 +319,7 @@ impl Instantiated {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scheduled {
     options: SessionOptions,
+    record: RunRecord,
     /// The instance model the schedule was synthesised for.
     pub instance: InstanceModel,
     /// The thread instances with resolved timing contracts.
@@ -292,8 +344,9 @@ impl Scheduled {
     /// Returns [`CoreError::InvalidOptions`] for a zero queue size,
     /// [`CoreError::Translation`] or [`CoreError::Signal`] when the
     /// transformation or the flattening fails.
-    pub fn translate(self) -> Result<Translated, CoreError> {
+    pub fn translate(mut self) -> Result<Translated, CoreError> {
         self.options.translate.validate()?;
+        let timer = PhaseTimer::start(&self.options.collector, "translate");
         let system = Translator::new()
             .with_default_queue_size(self.options.translate.default_queue_size)
             .translate(&self.instance)?;
@@ -321,8 +374,14 @@ impl Scheduled {
                         .any(|u| u.model.thread_name == c.target_thread)
             })
             .collect();
+        self.record.push(timer.finish(&[
+            ("processes", system.model.len() as u64),
+            ("equations", system.model.total_equations() as u64),
+            ("thread_units", thread_units.len() as u64),
+        ]));
         Ok(Translated {
             options: self.options,
+            record: self.record,
             instance: self.instance,
             threads: self.threads,
             tasks: self.tasks,
@@ -352,6 +411,7 @@ pub struct ThreadUnit {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Translated {
     options: SessionOptions,
+    record: RunRecord,
     /// The instance model.
     pub instance: InstanceModel,
     /// The thread instances with resolved timing contracts.
@@ -382,11 +442,15 @@ impl Translated {
     /// # Errors
     ///
     /// Returns [`CoreError::Signal`] when flattening or an analysis fails.
-    pub fn analyze(self) -> Result<Analyzed, CoreError> {
+    pub fn analyze(mut self) -> Result<Analyzed, CoreError> {
+        let timer = PhaseTimer::start(&self.options.collector, "analyze");
         let flat = self.system.model.flatten()?;
         let static_analysis = StaticAnalysisReport::analyze(&flat)?;
+        self.record
+            .push(timer.finish(&[("clocks", static_analysis.clock_count as u64)]));
         Ok(Analyzed {
             options: self.options,
+            record: self.record,
             instance: self.instance,
             tasks: self.tasks,
             schedule: self.schedule,
@@ -406,6 +470,7 @@ impl Translated {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Analyzed {
     options: SessionOptions,
+    record: RunRecord,
     /// The instance model.
     pub instance: InstanceModel,
     /// The extracted periodic task set.
@@ -437,8 +502,9 @@ impl Analyzed {
     ///
     /// Returns [`CoreError::InvalidOptions`] for a zero simulation horizon
     /// and [`CoreError::Signal`] when a simulation step fails.
-    pub fn simulate(self) -> Result<Simulated, CoreError> {
+    pub fn simulate(mut self) -> Result<Simulated, CoreError> {
         self.options.simulate.validate()?;
+        let timer = PhaseTimer::start(&self.options.collector, "simulate");
         let mut simulations = BTreeMap::new();
         let mut vcd = String::new();
         let mut vcd_thread = None;
@@ -459,8 +525,13 @@ impl Analyzed {
                 vcd_thread = Some(unit.model.thread_name.clone());
             }
         }
+        self.record.push(timer.finish(&[
+            ("threads", simulations.len() as u64),
+            ("hyperperiods", self.options.simulate.hyperperiods),
+        ]));
         Ok(Simulated {
             options: self.options,
+            record: self.record,
             instance: self.instance,
             tasks: self.tasks,
             schedule: self.schedule,
@@ -483,6 +554,7 @@ impl Analyzed {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Simulated {
     options: SessionOptions,
+    record: RunRecord,
     /// The instance model.
     pub instance: InstanceModel,
     /// The extracted periodic task set.
@@ -513,6 +585,11 @@ pub struct Simulated {
 }
 
 impl Simulated {
+    /// The phase records accumulated so far (parse through simulate).
+    pub fn record(&self) -> &RunRecord {
+        &self.record
+    }
+
     /// Phase 7: exhaustively model-checks every thread unit under the same
     /// schedule with the standard safety properties
     /// (`never-raised(*Alarm*)`, deadlock freedom) plus any user-supplied
@@ -540,11 +617,12 @@ impl Simulated {
     /// Returns [`CoreError::InvalidOptions`] for zero workers or
     /// hyper-periods and [`CoreError::Verification`] when the exploration
     /// fails.
-    pub fn verify(self) -> Result<Verified, CoreError> {
+    pub fn verify(mut self) -> Result<Verified, CoreError> {
         self.options.verify.validate()?;
         if !self.options.verify.enabled {
             return Ok(self.skip_verification());
         }
+        let timer = PhaseTimer::start(&self.options.collector, "verify");
         let mut properties = vec![
             Property::NeverRaised("*Alarm*".to_string()),
             Property::DeadlockFree,
@@ -572,7 +650,8 @@ impl Simulated {
                 .with_depth_bound(bound)
                 .with_frontier(self.options.verify.frontier)
                 .with_pruning(self.options.verify.pruning)
-                .with_interner_capacity(self.options.verify.interner_capacity);
+                .with_interner_capacity(self.options.verify.interner_capacity)
+                .with_collector(self.options.collector.clone());
             if let Some(relation) = dispatch_clocks.relation(&unit.model.thread_name) {
                 let mut oracle = polyverify::DispatchFeasibility::new();
                 oracle.insert("Dispatch", *relation);
@@ -582,6 +661,13 @@ impl Simulated {
             let outcome = verifier.verify(&InputSpace::Scheduled(verify_inputs), &properties)?;
             outcomes.insert(unit.path.clone(), outcome);
         }
+        let states: usize = outcomes.values().map(|o| o.stats.states).sum();
+        let transitions: usize = outcomes.values().map(|o| o.stats.transitions).sum();
+        self.record.push(timer.finish(&[
+            ("threads", outcomes.len() as u64),
+            ("states", states as u64),
+            ("transitions", transitions as u64),
+        ]));
         let verification = Some(VerificationReport {
             workers: self.options.verify.workers,
             hyperperiods: self.options.verify.hyperperiods,
@@ -591,7 +677,16 @@ impl Simulated {
         });
         let product = match self.options.verify.scope {
             VerificationScope::PerThread => None,
-            VerificationScope::Product => Some(self.verify_product()?),
+            VerificationScope::Product => {
+                let timer = PhaseTimer::start(&self.options.collector, "verify.product");
+                let product = self.verify_product()?;
+                self.record.push(timer.finish(&[
+                    ("states", product.outcome.stats.states as u64),
+                    ("depth", product.outcome.stats.depth as u64),
+                    ("memo_hits", product.outcome.stats.memo_hits as u64),
+                ]));
+                Some(product)
+            }
         };
         Ok(Verified {
             simulated: self,
@@ -648,7 +743,8 @@ impl Simulated {
                 .with_depth_bound(bound)
                 .with_frontier(self.options.verify.frontier)
                 .with_pruning(self.options.verify.pruning)
-                .with_interner_capacity(self.options.verify.interner_capacity),
+                .with_interner_capacity(self.options.verify.interner_capacity)
+                .with_collector(self.options.collector.clone()),
         )?;
         let outcome = verifier.verify(&properties)?;
         Ok(VerifiedProduct {
@@ -722,6 +818,14 @@ pub struct Verified {
 }
 
 impl Verified {
+    /// The phase records of the finished chain (parse through
+    /// verification). [`Verified::into_report`] freezes these — plus the
+    /// collector's final counter snapshot — into
+    /// [`ToolChainReport::run_record`].
+    pub fn record(&self) -> &RunRecord {
+        &self.simulated.record
+    }
+
     /// Condenses the whole chain into the aggregated [`ToolChainReport`]
     /// (the same report the [`ToolChain`](crate::ToolChain) facade
     /// returns).
@@ -731,6 +835,10 @@ impl Verified {
             report.product = Some(product.to_report());
         }
         let simulated = self.simulated;
+        // The report must stay self-contained after the collector is gone:
+        // freeze the counter snapshot into the record now.
+        let mut run_record = simulated.record;
+        run_record.counters = simulated.options.collector.counter_values();
         let category_counts = simulated
             .instance
             .category_counts()
@@ -753,6 +861,7 @@ impl Verified {
             verification,
             vcd: simulated.vcd,
             vcd_thread: simulated.vcd_thread,
+            run_record,
         }
     }
 }
@@ -787,6 +896,82 @@ mod tests {
         assert_eq!(verification.outcomes.len(), 4);
         let report = verified.into_report();
         assert!(report.all_checks_passed(), "{}", report.summary());
+    }
+
+    #[test]
+    fn the_run_record_tracks_every_phase_and_the_collector_counters() {
+        let mut options = SessionOptions::default();
+        options.simulate.hyperperiods = 1;
+        options.collector = polyobs::Collector::counters();
+        let report = Session::with_options(options)
+            .unwrap()
+            .parse_case_study()
+            .unwrap()
+            .instantiate("sysProdCons.impl")
+            .unwrap()
+            .schedule()
+            .unwrap()
+            .translate()
+            .unwrap()
+            .analyze()
+            .unwrap()
+            .simulate()
+            .unwrap()
+            .verify()
+            .unwrap()
+            .into_report();
+        let names: Vec<&str> = report
+            .run_record
+            .phases
+            .iter()
+            .map(|p| p.name.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "parse",
+                "instantiate",
+                "schedule",
+                "translate",
+                "analyze",
+                "simulate",
+                "verify"
+            ]
+        );
+        let schedule = report.run_record.phase("schedule").unwrap();
+        assert_eq!(schedule.attr("hyperperiod"), Some(24));
+        assert_eq!(schedule.attr("tasks"), Some(4));
+        let verify = report.run_record.phase("verify").unwrap();
+        assert_eq!(verify.attr("threads"), Some(4));
+        assert!(verify.attr("states").unwrap() > 0);
+        // The engine streamed its counters into the session's collector and
+        // the report froze the snapshot.
+        assert!(report.run_record.counter("engine.states").unwrap() > 0);
+        assert!(report.summary().contains("phases"));
+        // A noop-collector run records the same phase shape (equal reports)
+        // but no counters.
+        let mut quiet = SessionOptions::default();
+        quiet.simulate.hyperperiods = 1;
+        let silent = Session::with_options(quiet)
+            .unwrap()
+            .parse_case_study()
+            .unwrap()
+            .instantiate("sysProdCons.impl")
+            .unwrap()
+            .schedule()
+            .unwrap()
+            .translate()
+            .unwrap()
+            .analyze()
+            .unwrap()
+            .simulate()
+            .unwrap()
+            .verify()
+            .unwrap()
+            .into_report();
+        assert!(silent.run_record.counters.is_empty());
+        assert_eq!(silent.run_record, report.run_record);
+        assert_eq!(silent, report);
     }
 
     #[test]

@@ -104,6 +104,14 @@ pub(crate) trait Expander: Sync {
     /// `prev_key`. Must be a pure function of `(prev_key, edge)` — it is
     /// re-invoked during path reconstruction and tie-breaking.
     fn edge_step(&self, prev_key: &[u8], edge: u32) -> TraceStep;
+
+    /// Names of the properties compiled to monitor automata, for telemetry
+    /// attribution. Every monitored property steps the same number of times
+    /// (once per executed instant), so the engine splits the total
+    /// monitor-step count evenly across these names.
+    fn monitored_properties(&self) -> Vec<String> {
+        Vec::new()
+    }
 }
 
 /// Where one worker reports what it saw while expanding its share of a
@@ -120,6 +128,9 @@ pub(crate) struct Sink<'a> {
     transitions: usize,
     infeasible: usize,
     pruned: usize,
+    memo_hits: usize,
+    memo_misses: usize,
+    monitor_steps: usize,
     fatal: Option<(u32, VerifyError)>,
 }
 
@@ -135,6 +146,9 @@ impl<'a> Sink<'a> {
             transitions: 0,
             infeasible: 0,
             pruned: 0,
+            memo_hits: 0,
+            memo_misses: 0,
+            monitor_steps: 0,
             fatal: None,
         }
     }
@@ -192,6 +206,22 @@ impl<'a> Sink<'a> {
         self.pruned += 1;
     }
 
+    /// Counts component steps answered by the product's per-component memo
+    /// table.
+    pub fn memo_hit(&mut self, n: usize) {
+        self.memo_hits += n;
+    }
+
+    /// Counts component steps resolved through the evaluator (memo misses).
+    pub fn memo_miss(&mut self, n: usize) {
+        self.memo_misses += n;
+    }
+
+    /// Counts one monitor-automaton step.
+    pub fn monitor_step(&mut self) {
+        self.monitor_steps += 1;
+    }
+
     /// Records a fatal error for the current state, keeping the error of
     /// the smallest erroring state (by key bytes) so the reported error
     /// does not depend on scheduling.
@@ -239,9 +269,37 @@ pub(crate) fn explore<E: Expander>(
     let mut transitions = 0usize;
     let mut infeasible = 0usize;
     let mut pruned = 0usize;
+    let mut memo_hits = 0usize;
+    let mut memo_misses = 0usize;
+    let mut monitor_steps = 0usize;
     let mut peak_frontier = 0usize;
+    let mut frontier_levels: Vec<u32> = Vec::new();
     let mut truncated = pre_truncated;
     let mut workers_used = 1usize;
+
+    // Telemetry. All collector traffic happens at level barriers (never in
+    // the per-state path) and is observational only: nothing read from the
+    // collector feeds back into the exploration, so collection mode cannot
+    // perturb verdicts or stats. Steals are the one mid-level measurement;
+    // they land in a dedicated atomic, counted only when collection is on.
+    let obs = &options.collector;
+    let obs_enabled = obs.is_enabled();
+    let mut obs_span = obs.span("engine.explore");
+    let c_states = obs.counter("engine.states");
+    let c_transitions = obs.counter("engine.transitions");
+    let c_infeasible = obs.counter("engine.infeasible");
+    let c_pruned = obs.counter("engine.pruned");
+    let c_memo_hits = obs.counter("engine.memo_hits");
+    let c_memo_misses = obs.counter("engine.memo_misses");
+    let c_monitor_steps = obs.counter("engine.monitor_steps");
+    let c_levels = obs.counter("engine.levels");
+    let c_steals = obs.counter("engine.steals");
+    let g_frontier = obs.gauge("engine.frontier");
+    let g_depth = obs.gauge("engine.depth");
+    let g_interner_states = obs.gauge("engine.interner.states");
+    let g_interner_bytes = obs.gauge("engine.interner.bytes");
+    let steal_count = std::sync::atomic::AtomicUsize::new(0);
+    c_states.add(1); // the interned initial state
     let mut found: Vec<Option<Counterexample>> = vec![None; properties.len()];
     // Per-worker contexts persist across levels (an expander context clones
     // the evaluator, which deep-copies the process — that must never sit in
@@ -271,6 +329,7 @@ pub(crate) fn explore<E: Expander>(
             break;
         }
         peak_frontier = peak_frontier.max(frontier.len());
+        frontier_levels.push(frontier.len() as u32);
 
         let workers = options.workers.max(1).min(frontier.len());
         workers_used = workers_used.max(workers);
@@ -315,6 +374,7 @@ pub(crate) fn explore<E: Expander>(
                     std::thread::scope(|scope| {
                         for (me, (sink, ctx)) in sinks.iter_mut().zip(ctxs.iter_mut()).enumerate() {
                             let queues = &queues;
+                            let steal_count = &steal_count;
                             scope.spawn(move || {
                                 run_worker(expander, ctx, sink, depth, || {
                                     // Own queue first (front: cache-warm
@@ -334,6 +394,12 @@ pub(crate) fn explore<E: Expander>(
                                             .expect("frontier queue poisoned")
                                             .pop_back()
                                         {
+                                            if obs_enabled {
+                                                steal_count.fetch_add(
+                                                    1,
+                                                    std::sync::atomic::Ordering::Relaxed,
+                                                );
+                                            }
                                             return Some(id);
                                         }
                                     }
@@ -353,10 +419,19 @@ pub(crate) fn explore<E: Expander>(
         let mut ties: Vec<(u32, ParentLink)> = Vec::new();
         let mut violations: Vec<RawViolation> = Vec::new();
         let mut fatal: Option<(u32, VerifyError)> = None;
+        let mut level_transitions = 0usize;
+        let mut level_infeasible = 0usize;
+        let mut level_pruned = 0usize;
+        let mut level_memo_hits = 0usize;
+        let mut level_memo_misses = 0usize;
+        let mut level_monitor_steps = 0usize;
         for sink in sinks {
-            transitions += sink.transitions;
-            infeasible += sink.infeasible;
-            pruned += sink.pruned;
+            level_transitions += sink.transitions;
+            level_infeasible += sink.infeasible;
+            level_pruned += sink.pruned;
+            level_memo_hits += sink.memo_hits;
+            level_memo_misses += sink.memo_misses;
+            level_monitor_steps += sink.monitor_steps;
             next.extend(sink.next);
             ties.extend(sink.ties);
             violations.extend(sink.violations);
@@ -376,6 +451,45 @@ pub(crate) fn explore<E: Expander>(
                 }
             }
         }
+        transitions += level_transitions;
+        infeasible += level_infeasible;
+        pruned += level_pruned;
+        memo_hits += level_memo_hits;
+        memo_misses += level_memo_misses;
+        monitor_steps += level_monitor_steps;
+
+        // Flush this level's deltas to the collector — once per barrier, so
+        // the amortised hot-loop cost stays at ~one relaxed atomic per
+        // state. The interner gauges lock each shard briefly, which is why
+        // they too are read only here (and only when collecting).
+        if obs_enabled {
+            c_states.add(next.len() as u64);
+            c_transitions.add(level_transitions as u64);
+            c_infeasible.add(level_infeasible as u64);
+            c_pruned.add(level_pruned as u64);
+            c_memo_hits.add(level_memo_hits as u64);
+            c_memo_misses.add(level_memo_misses as u64);
+            c_monitor_steps.add(level_monitor_steps as u64);
+            c_levels.add(1);
+            g_depth.set(depth as u64 + 1);
+            g_frontier.set(next.len() as u64);
+            g_interner_states.set(interner.len() as u64);
+            g_interner_bytes.set(interner.arena_bytes() as u64);
+            if obs.is_full() {
+                let mut attrs: Vec<(String, polyobs::AttrValue)> = vec![
+                    ("depth".into(), depth.into()),
+                    ("frontier".into(), frontier.len().into()),
+                    ("next".into(), next.len().into()),
+                    ("states".into(), interner.len().into()),
+                    ("transitions".into(), transitions.into()),
+                ];
+                if let Some(bound) = options.depth_bound {
+                    attrs.push(("bound".into(), bound.into()));
+                }
+                obs.event("engine.level", attrs);
+            }
+        }
+
         if let Some((_, error)) = fatal {
             return Err(error);
         }
@@ -447,6 +561,23 @@ pub(crate) fn explore<E: Expander>(
         frontier = next;
     }
 
+    if obs_enabled {
+        c_steals.add(steal_count.load(std::sync::atomic::Ordering::Relaxed) as u64);
+        let monitored = expander.monitored_properties();
+        if monitor_steps > 0 && !monitored.is_empty() {
+            let per_property = (monitor_steps / monitored.len()) as u64;
+            for name in &monitored {
+                obs.counter(&format!("engine.monitor_steps.{name}"))
+                    .add(per_property);
+            }
+        }
+        obs_span.attr("states", interner.len());
+        obs_span.attr("transitions", transitions);
+        obs_span.attr("depth", depth);
+        obs_span.attr("truncated", truncated);
+    }
+    drop(obs_span);
+
     let stats = ExplorationStats {
         states: interner.len(),
         transitions,
@@ -456,6 +587,9 @@ pub(crate) fn explore<E: Expander>(
         truncated,
         peak_frontier,
         pruned,
+        frontier_levels,
+        memo_hits,
+        memo_misses,
     };
     let verdicts = properties
         .iter()

@@ -82,6 +82,12 @@ pub struct VerifyOptions {
     /// oracle provably excludes is skipped. No effect in scheduled mode,
     /// where the inputs are already fixed.
     pub oracle: Option<DispatchFeasibility>,
+    /// Telemetry collector receiving engine counters, gauges and per-level
+    /// events. Defaults to noop (records nothing, costs nothing). The
+    /// collection mode never affects verdicts, counterexamples or
+    /// [`ExplorationStats`] — pinned by the determinism proptests in
+    /// `tests/obs_determinism.rs`.
+    pub collector: polyobs::Collector,
 }
 
 impl Default for VerifyOptions {
@@ -98,6 +104,7 @@ impl Default for VerifyOptions {
             interner_capacity: 4096,
             pruning: true,
             oracle: None,
+            collector: polyobs::Collector::noop(),
         }
     }
 }
@@ -158,6 +165,13 @@ impl VerifyOptions {
     /// verdict-preserving product memoisation.
     pub fn with_oracle(mut self, oracle: DispatchFeasibility) -> Self {
         self.oracle = Some(oracle);
+        self
+    }
+
+    /// Installs a telemetry collector. Collection is purely observational:
+    /// it never changes verdicts, counterexamples or stats.
+    pub fn with_collector(mut self, collector: polyobs::Collector) -> Self {
+        self.collector = collector;
         self
     }
 }
@@ -238,7 +252,12 @@ pub struct PropertyVerdict {
 }
 
 /// Counters describing one exploration run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Every field is deterministic: the same model and options produce the
+/// same stats under any worker count, frontier mode or telemetry
+/// collection mode. Nondeterministic measurements (steal counts, timings,
+/// rates) live in the [`VerifyOptions::collector`] instead.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExplorationStats {
     /// Number of distinct states inserted in the seen-set.
     pub states: usize,
@@ -263,6 +282,18 @@ pub struct ExplorationStats {
     /// Number of candidate input valuations skipped by the
     /// dispatch-feasibility oracle (always 0 without an oracle).
     pub pruned: usize,
+    /// Breadth-first frontier size at each explored level, in depth order
+    /// (`frontier_levels[0]` is the initial frontier);
+    /// [`ExplorationStats::peak_frontier`] is its maximum.
+    pub frontier_levels: Vec<u32>,
+    /// Component steps answered by the product verifier's per-component
+    /// memo table (always 0 outside the product verifier or with
+    /// memoisation disabled via [`VerifyOptions::pruning`]).
+    pub memo_hits: usize,
+    /// Component steps resolved through the evaluator by the product
+    /// verifier — the memo misses (with memoisation disabled this counts
+    /// every component step).
+    pub memo_misses: usize,
 }
 
 /// Everything one [`Verifier::verify`] call learned.
@@ -298,7 +329,7 @@ impl VerificationOutcome {
     /// A compact multi-line rendering for reports and the CLI.
     pub fn summary(&self) -> String {
         let mut out = format!(
-            "explored {} states / {} transitions at depth {} ({} worker(s){})\n",
+            "explored {} states / {} transitions at depth {} ({} worker(s){}, peak frontier {})\n",
             self.stats.states,
             self.stats.transitions,
             self.stats.depth,
@@ -307,8 +338,15 @@ impl VerificationOutcome {
                 ", truncated"
             } else {
                 ", exhaustive"
-            }
+            },
+            self.stats.peak_frontier
         );
+        if self.stats.memo_hits > 0 || self.stats.memo_misses > 0 {
+            out.push_str(&format!(
+                "  component memo: {} hits / {} misses\n",
+                self.stats.memo_hits, self.stats.memo_misses
+            ));
+        }
         for v in &self.verdicts {
             out.push_str(&format!(
                 "  {:<40} {}\n",
@@ -705,6 +743,7 @@ impl ThreadExpander<'_> {
                 ctx.succ_monitors.clear();
                 ctx.succ_monitors.extend_from_slice(&ctx.monitors);
                 for property in self.compiled {
+                    sink.monitor_step();
                     let observed = property.step(&mut ctx.succ_monitors, &resolved);
                     if !observed.holds {
                         sink.violation(
@@ -845,6 +884,13 @@ impl Expander for ThreadExpander<'_> {
             }
             None => self.candidates[edge as usize].clone(),
         }
+    }
+
+    fn monitored_properties(&self) -> Vec<String> {
+        self.compiled
+            .iter()
+            .map(|p| self.properties[p.index].name())
+            .collect()
     }
 }
 

@@ -87,6 +87,7 @@ pub use inject::{
 };
 pub use ltl::{Formula, LtlProperty, ParseError};
 pub use monitor::{LtlMonitor, MonitorStep};
+pub use polyobs::{CollectionMode, Collector, JsonLinesSink, ProgressReporter};
 pub use product::{
     CoSimFailure, LockstepCoSim, PortLink, ProductComponent, ProductSystem, ProductVerifier,
 };

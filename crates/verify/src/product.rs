@@ -507,9 +507,12 @@ impl<'a> LockstepCoSim<'a> {
 /// closes — periods divide the hyper-period, so components cycle much
 /// faster than the product — its cached resolved step and successor memory
 /// are replayed without touching the evaluator. The memo key fully
-/// determines the evaluator result, so verdicts, counterexamples and stats
-/// are bit-identical with the memo on or off (memo hits are counted in
-/// [`ExplorationStats::pruned`](crate::ExplorationStats)).
+/// determines the evaluator result, so verdicts, counterexamples and
+/// exploration counts are bit-identical with the memo on or off; the memo's
+/// own activity is reported in
+/// [`ExplorationStats::memo_hits`](crate::ExplorationStats) and
+/// [`ExplorationStats::memo_misses`](crate::ExplorationStats) (with the
+/// memo off every component step is a miss).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProductVerifier {
     system: ProductSystem,
@@ -1062,9 +1065,8 @@ impl Expander for ProductExpander<'_> {
         for _ in 0..self.widths.len() {
             sink.transition();
         }
-        for _ in 0..hits {
-            sink.pruned();
-        }
+        sink.memo_hit(hits);
+        sink.memo_miss(self.widths.len() - hits);
 
         // Link `consumed` joints of this instant: the target's Input Time
         // fired with a non-empty frozen FIFO. Only derived when the link
@@ -1124,6 +1126,13 @@ impl Expander for ProductExpander<'_> {
         let phase = u32::from_le_bytes(prev_key[0..4].try_into().expect("phase bytes")) as usize;
         let system = &self.verifier.system;
         system.joint_input(phase % system.horizon)
+    }
+
+    fn monitored_properties(&self) -> Vec<String> {
+        self.compiled
+            .iter()
+            .map(|p| self.properties[p.index].name())
+            .collect()
     }
 }
 

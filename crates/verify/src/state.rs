@@ -412,6 +412,16 @@ impl<P: Copy> StateInterner<P> {
         self.len() == 0
     }
 
+    /// Total bytes of canonical key encodings held in the shard arenas —
+    /// the interner's memory high-water mark for telemetry. Locks each
+    /// shard briefly; intended for per-level gauge reads, not hot paths.
+    pub fn arena_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("interner shard poisoned").arena.len())
+            .sum()
+    }
+
     fn locate(&self, id: u32) -> (&Mutex<InternShard<P>>, usize) {
         let mask = (1u32 << self.shard_bits) - 1;
         (

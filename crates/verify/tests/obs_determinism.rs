@@ -1,0 +1,281 @@
+//! Telemetry must never perturb verification: verdicts, counterexample
+//! depths/traces and the full `ExplorationStats` must be bit-identical with
+//! collection `Noop`, `Counters` and `Full` (with a live JSON-lines sink
+//! attached), across every worker count × frontier mode combination — on
+//! both the free-mode thread verifier and the product verifier.
+
+use proptest::prelude::*;
+
+use polyverify::{
+    CollectionMode, Collector, ExplorationStats, FrontierMode, InputSpace, JsonLinesSink, PortLink,
+    ProductComponent, ProductSystem, ProductVerifier, Property, VerificationOutcome, Verifier,
+    VerifyOptions,
+};
+use signal_moc::builder::ProcessBuilder;
+use signal_moc::expr::Expr;
+use signal_moc::process::Process;
+use signal_moc::trace::Trace;
+use signal_moc::value::{Value, ValueType};
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+const FRONTIERS: [FrontierMode; 2] = [FrontierMode::Barrier, FrontierMode::WorkStealing];
+const MODES: [CollectionMode; 3] = [
+    CollectionMode::Noop,
+    CollectionMode::Counters,
+    CollectionMode::Full,
+];
+
+/// A collector in `mode`; the full one gets a live JSON-lines sink (writing
+/// into the void) so the event-recording path is actually exercised.
+fn collector(mode: CollectionMode) -> Collector {
+    let c = Collector::with_mode(mode);
+    if mode == CollectionMode::Full {
+        c.add_sink(Box::new(JsonLinesSink::new(Box::new(std::io::sink()))));
+    }
+    c
+}
+
+/// Everything that must be identical across configurations: the full
+/// verdict rendering (counterexample traces included) and the complete
+/// stats — `workers` excluded, since the worker count actually used
+/// legitimately varies with the configuration.
+fn fingerprint(outcome: &VerificationOutcome) -> (Vec<u8>, ExplorationStats) {
+    let mut verdicts = Vec::new();
+    for verdict in &outcome.verdicts {
+        verdicts.extend_from_slice(format!("{verdict:?}").as_bytes());
+        verdicts.push(0);
+    }
+    let mut stats = outcome.stats.clone();
+    stats.workers = 0;
+    (verdicts, stats)
+}
+
+/// A per-input miss counter whose alarm fires once input `d` has been
+/// present `threshold` times in a row (same shape as the engine-determinism
+/// pin: many states per level, so scheduling races are real).
+fn streak_counter(threshold: i64) -> Process {
+    let mut b = ProcessBuilder::new("streak");
+    b.input("d", ValueType::Boolean);
+    b.input("r", ValueType::Boolean);
+    b.output("Alarm", ValueType::Boolean);
+    b.local("streak", ValueType::Integer);
+    let prev = Expr::delay(Expr::var("streak"), Value::Int(0));
+    b.define(
+        "streak",
+        Expr::default(
+            Expr::when(Expr::int(0), Expr::var("r")),
+            Expr::default(
+                Expr::when(Expr::add(prev, Expr::int(1)), Expr::var("d")),
+                Expr::int(0),
+            ),
+        ),
+    );
+    b.define("Alarm", Expr::ge(Expr::var("streak"), Expr::int(threshold)));
+    b.synchronize(&["d", "r", "streak", "Alarm"]);
+    b.build().unwrap()
+}
+
+/// A linear pipeline of event-counting stages for the product verifier.
+fn pipeline_system(count: usize, horizon: usize, threshold: i64, period: usize) -> ProductSystem {
+    fn stage(name: &str, threshold: i64) -> Process {
+        let mut b = ProcessBuilder::new(name);
+        b.input("Dispatch", ValueType::Boolean);
+        b.input("out_output_time", ValueType::Boolean);
+        b.input("in_in", ValueType::Boolean);
+        b.output("Alarm", ValueType::Boolean);
+        b.local("seen", ValueType::Integer);
+        let prev = Expr::delay(Expr::var("seen"), Value::Int(0));
+        b.define(
+            "seen",
+            Expr::add(
+                prev,
+                Expr::default(Expr::when(Expr::int(1), Expr::var("in_in")), Expr::int(0)),
+            ),
+        );
+        b.define("Alarm", Expr::ge(Expr::var("seen"), Expr::int(threshold)));
+        b.synchronize(&["Dispatch", "out_output_time", "in_in", "seen", "Alarm"]);
+        b.build().unwrap()
+    }
+    let mut components = Vec::new();
+    for i in 0..count {
+        let mut schedule = Trace::new();
+        for t in 0..horizon {
+            schedule.set(t, "Dispatch", Value::Bool(t % period == 0));
+            schedule.set(t, "out_output_time", Value::Bool(t % period == period - 1));
+            schedule.set(t, "in_in", Value::Bool(false));
+        }
+        components.push(ProductComponent {
+            name: format!("s{i}"),
+            process: stage(&format!("stage{i}"), threshold),
+            schedule,
+        });
+    }
+    let links = (1..count)
+        .map(|i| PortLink {
+            name: format!("l{}{}", i - 1, i),
+            source: format!("s{}", i - 1),
+            source_signal: "out_output_time".into(),
+            target: format!("s{i}"),
+            target_signal: "in_in".into(),
+            target_freeze: None,
+            target_count: None,
+            latency: 0,
+        })
+        .collect();
+    ProductSystem::new(components, links).unwrap()
+}
+
+proptest! {
+    /// Free-mode exploration: identical outcomes under every collection
+    /// mode × workers × frontier combination, for both violating (low
+    /// threshold) and bounded-pass (high threshold) runs.
+    #[test]
+    fn free_exploration_is_collection_mode_independent(
+        threshold in 1i64..=6,
+        depth in 3usize..=5,
+    ) {
+        let process = streak_counter(threshold);
+        let properties = [Property::NeverRaised("*Alarm*".into()), Property::DeadlockFree];
+        let mut reference: Option<(Vec<u8>, ExplorationStats)> = None;
+        for mode in MODES {
+            for workers in WORKER_COUNTS {
+                for frontier in FRONTIERS {
+                    let verifier = Verifier::new(
+                        &process,
+                        VerifyOptions::default()
+                            .with_workers(workers)
+                            .with_depth_bound(depth)
+                            .with_frontier(frontier)
+                            .with_interner_capacity(1)
+                            .with_collector(collector(mode)),
+                    )
+                    .unwrap();
+                    let outcome = verifier.verify(&InputSpace::Free, &properties).unwrap();
+                    let print = fingerprint(&outcome);
+                    match &reference {
+                        None => reference = Some(print),
+                        Some(expected) => prop_assert_eq!(
+                            expected,
+                            &print,
+                            "mode={:?} workers={} frontier={:?}",
+                            mode,
+                            workers,
+                            frontier
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Product exploration: identical outcomes under every collection mode
+    /// × workers × frontier combination, including the memo hit/miss
+    /// stats, which count the memo's deterministic activity (pruning fixed
+    /// on, so the memo is live).
+    #[test]
+    fn product_outcome_is_collection_mode_independent(
+        component_count in 2usize..=3,
+        horizon in 4usize..=8,
+        threshold in 1i64..=4,
+        period in 1usize..=4,
+    ) {
+        let system = pipeline_system(component_count, horizon, threshold, period);
+        let properties = [Property::NeverRaised("*Alarm*".into()), Property::DeadlockFree];
+        let mut reference: Option<(Vec<u8>, ExplorationStats)> = None;
+        for mode in MODES {
+            for workers in WORKER_COUNTS {
+                for frontier in FRONTIERS {
+                    let verifier = ProductVerifier::new(
+                        system.clone(),
+                        VerifyOptions::default()
+                            .with_workers(workers)
+                            .with_depth_bound(horizon * 2)
+                            .with_frontier(frontier)
+                            .with_interner_capacity(1)
+                            .with_collector(collector(mode)),
+                    )
+                    .unwrap();
+                    let outcome = verifier.verify(&properties).unwrap();
+                    let print = fingerprint(&outcome);
+                    match &reference {
+                        None => reference = Some(print),
+                        Some(expected) => prop_assert_eq!(
+                            expected,
+                            &print,
+                            "mode={:?} workers={} frontier={:?}",
+                            mode,
+                            workers,
+                            frontier
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The stat-gap fixes ride the same harness: per-level frontier sizes are
+/// recorded with their invariants, and the product's memo hit/miss counts
+/// actually surface.
+#[test]
+fn frontier_levels_and_memo_counts_are_populated() {
+    let process = streak_counter(2);
+    let properties = [Property::DeadlockFree];
+    let verifier = Verifier::new(
+        &process,
+        VerifyOptions::default().with_depth_bound(4).with_workers(2),
+    )
+    .unwrap();
+    let outcome = verifier.verify(&InputSpace::Free, &properties).unwrap();
+    let stats = &outcome.stats;
+    assert_eq!(
+        stats.frontier_levels.len(),
+        stats.depth,
+        "one frontier size per explored level"
+    );
+    assert_eq!(stats.frontier_levels[0], 1, "the root level has one state");
+    assert_eq!(
+        stats
+            .frontier_levels
+            .iter()
+            .map(|&f| f as usize)
+            .max()
+            .unwrap_or(0),
+        stats.peak_frontier,
+        "peak_frontier is the max over the per-level sizes"
+    );
+
+    let system = pipeline_system(2, 6, 2, 2);
+    let product = ProductVerifier::new(
+        system.clone(),
+        VerifyOptions::default()
+            .with_depth_bound(12)
+            .with_pruning(true),
+    )
+    .unwrap();
+    let pruned = product.verify(&properties).unwrap();
+    assert!(
+        pruned.stats.memo_hits > 0,
+        "components cycle, so the memo hits"
+    );
+    assert!(pruned.stats.memo_misses > 0, "first encounters always miss");
+    let unpruned = ProductVerifier::new(
+        system,
+        VerifyOptions::default()
+            .with_depth_bound(12)
+            .with_pruning(false),
+    )
+    .unwrap()
+    .verify(&properties)
+    .unwrap();
+    assert_eq!(unpruned.stats.memo_hits, 0, "memo off: no hits");
+    assert_eq!(
+        unpruned.stats.memo_misses,
+        pruned.stats.memo_hits + pruned.stats.memo_misses,
+        "memo off: every component step is a miss"
+    );
+    assert_eq!(
+        pruned.stats.states, unpruned.stats.states,
+        "memoisation never changes the explored space"
+    );
+}

@@ -10,8 +10,16 @@
 //!                     [--frontier barrier|work-stealing] [--no-pruning]
 //!                     [--interner-capacity N] [--property EXPR]...
 //!                     [--inject-deadline-bug] [--inject-connection-bug]
+//!                     [--progress] [--trace-out FILE]
 //! polychrony batch    [--jobs N] [--workers N] [--property EXPR]...
+//!                     [--progress] [--trace-out FILE]
 //! ```
+//!
+//! Every subcommand also accepts `--quiet` (only final verdict lines) and
+//! `-v`/`--verbose` (extra detail such as per-phase timings). Live
+//! `--progress` output goes to stderr and `--trace-out` to its file, so
+//! machine-readable streams never interleave with the human output on
+//! stdout.
 //!
 //! Exit codes: `0` success, `1` usage error (including out-of-range option
 //! values), `2` a check failed (invalid schedule, alarm during simulation,
@@ -23,8 +31,8 @@ use polychrony_core::aadl::synth::SyntheticSpec;
 use polychrony_core::polyverify::{FrontierMode, Property};
 use polychrony_core::sched::SchedulingPolicy;
 use polychrony_core::{
-    BatchJob, BatchRunner, CoreError, PropertySpec, ScheduleOptions, Session, SessionOptions,
-    ToolChain, VerificationScope,
+    BatchJob, BatchRunner, Collector, CoreError, JsonLinesSink, ProgressReporter, PropertySpec,
+    ScheduleOptions, Session, SessionOptions, ToolChain, VerificationScope,
 };
 
 /// A CLI failure: a usage error (exit code 1) or a runtime error (exit
@@ -43,6 +51,83 @@ impl From<CoreError> for CliError {
             other => CliError::Run(other.to_string()),
         }
     }
+}
+
+/// Verbosity-routed human output on stdout. Three tiers: [`Ui::result`]
+/// lines (final verdicts) always print, [`Ui::say`] narration is suppressed
+/// by `--quiet`, and [`Ui::detail`] extras print only with `-v`. Machine
+/// output (`--trace-out`, `--progress`) never goes through here — it has
+/// its own sinks (a file and stderr), so the streams cannot interleave.
+#[derive(Clone, Copy)]
+struct Ui {
+    level: i8,
+}
+
+impl Ui {
+    fn from_args(args: &[String]) -> Result<Self, CliError> {
+        let quiet = has_flag(args, "--quiet");
+        let verbose = has_flag(args, "-v") || has_flag(args, "--verbose");
+        if quiet && verbose {
+            return Err(CliError::Usage(
+                "--quiet and -v/--verbose are mutually exclusive".into(),
+            ));
+        }
+        let level = if quiet {
+            -1
+        } else if verbose {
+            1
+        } else {
+            0
+        };
+        Ok(Self { level })
+    }
+
+    /// Normal narration; suppressed by `--quiet`.
+    fn say(&self, msg: &str) {
+        if self.level >= 0 {
+            println!("{msg}");
+        }
+    }
+
+    /// Extra detail; printed only with `-v`.
+    fn detail(&self, msg: &str) {
+        if self.level >= 1 {
+            println!("{msg}");
+        }
+    }
+
+    /// A final verdict line; always printed, even under `--quiet`.
+    fn result(&self, msg: &str) {
+        println!("{msg}");
+    }
+}
+
+/// The verbosity and observability flags accepted by every subcommand.
+const COMMON_FLAGS: [(&str, bool); 3] = [("--quiet", false), ("-v", false), ("--verbose", false)];
+
+/// The sink flags accepted by the exploration-heavy subcommands.
+const OBS_FLAGS: [(&str, bool); 2] = [("--progress", false), ("--trace-out", true)];
+
+/// Builds the run's collector from `--progress` / `--trace-out`: full
+/// collection with the matching sinks when either is present, noop
+/// otherwise (telemetry costs nothing unless asked for).
+fn collector_from_args(args: &[String]) -> Result<Collector, CliError> {
+    let trace_out = flag_value(args, "--trace-out", String::new())?;
+    let progress = has_flag(args, "--progress");
+    if trace_out.is_empty() && !progress {
+        return Ok(Collector::noop());
+    }
+    let collector = Collector::full();
+    if !trace_out.is_empty() {
+        let file = std::fs::File::create(&trace_out).map_err(|e| {
+            CliError::Usage(format!("cannot create --trace-out file `{trace_out}`: {e}"))
+        })?;
+        collector.add_sink(Box::new(JsonLinesSink::new(Box::new(file))));
+    }
+    if progress {
+        collector.add_sink(Box::new(ProgressReporter::stderr()));
+    }
+    Ok(collector)
 }
 
 fn main() -> ExitCode {
@@ -85,7 +170,19 @@ USAGE:
                         [--frontier barrier|work-stealing] [--no-pruning]
                         [--interner-capacity N] [--property EXPR]...
                         [--inject-deadline-bug] [--inject-connection-bug]
+                        [--progress] [--trace-out FILE]
     polychrony batch    [--jobs N] [--workers N] [--property EXPR]...
+                        [--progress] [--trace-out FILE]
+
+GLOBAL FLAGS (every subcommand):
+    --quiet          print only the final verdict lines
+    -v, --verbose    print extra detail (per-phase wall times, records)
+
+OBSERVABILITY (verify and batch; see docs/OBSERVABILITY.md):
+    --progress       live progress on stderr: phase, explored states,
+                     depth vs. bound, states/s and ETA (throttled)
+    --trace-out FILE stream a `polychrony-trace-v1` JSON-lines trace
+                     (spans, events, final counters) to FILE
 
 COMMANDS:
     analyze    parse, schedule, translate and statically analyse the model;
@@ -186,7 +283,10 @@ fn parse_properties(args: &[String]) -> Result<Vec<Property>, CliError> {
 }
 
 fn analyze(args: &[String]) -> Result<ExitCode, CliError> {
-    check_flags(args, &[("--policy", true), ("--stop-after", true)])?;
+    let mut allowed = vec![("--policy", true), ("--stop-after", true)];
+    allowed.extend(COMMON_FLAGS);
+    check_flags(args, &allowed)?;
+    let ui = Ui::from_args(args)?;
     let policy = match flag_value(args, "--policy", "edf".to_string())?.as_str() {
         "rm" => SchedulingPolicy::RateMonotonic,
         "edf" => SchedulingPolicy::EarliestDeadlineFirst,
@@ -199,22 +299,32 @@ fn analyze(args: &[String]) -> Result<ExitCode, CliError> {
     };
     let stop_after = flag_value(args, "--stop-after", String::new())?;
     if !stop_after.is_empty() {
-        return analyze_staged(policy, &stop_after);
+        return analyze_staged(ui, policy, &stop_after);
     }
     let report = ToolChain::new()
         .with_policy(policy)
         .with_verification(false)
         .with_hyperperiods(1)
         .run_case_study()?;
-    println!("{}", report.summary());
-    println!("-- task set --\n{}", report.task_set_summary);
-    println!("-- static schedule --\n{}", report.schedule.to_table());
-    Ok(exit_for(report.all_checks_passed()))
+    ui.say(&report.summary());
+    ui.say(&format!("-- task set --\n{}", report.task_set_summary));
+    ui.say(&format!(
+        "-- static schedule --\n{}",
+        report.schedule.to_table()
+    ));
+    ui.detail(&format!("-- phases --\n{}", report.run_record.summary()));
+    let ok = report.all_checks_passed();
+    ui.result(&format!("checks passed: {}", if ok { "yes" } else { "NO" }));
+    Ok(exit_for(ok))
 }
 
 /// Runs the staged pipeline up to (and including) `stop_after`, printing
 /// the artifact of that phase.
-fn analyze_staged(policy: SchedulingPolicy, stop_after: &str) -> Result<ExitCode, CliError> {
+fn analyze_staged(
+    ui: Ui,
+    policy: SchedulingPolicy,
+    stop_after: &str,
+) -> Result<ExitCode, CliError> {
     const PHASES: [&str; 5] = ["parse", "instantiate", "schedule", "translate", "analyze"];
     if !PHASES.contains(&stop_after) {
         return Err(CliError::Usage(format!(
@@ -226,73 +336,76 @@ fn analyze_staged(policy: SchedulingPolicy, stop_after: &str) -> Result<ExitCode
 
     let parsed = session.parse_case_study()?;
     if stop_after == "parse" {
-        println!(
+        ui.result(&format!(
             "parsed package `{}`: {} classifier(s)",
             parsed.package.name,
             parsed.package.classifiers.len()
-        );
+        ));
         return Ok(ExitCode::SUCCESS);
     }
 
     let instantiated = parsed.instantiate("sysProdCons.impl")?;
     if stop_after == "instantiate" {
-        println!(
+        ui.result(&format!(
             "instantiated `{}`: {} component instance(s)",
             instantiated.instance.root.path,
             instantiated.instance.instance_count()
-        );
+        ));
         for (category, count) in instantiated.instance.category_counts() {
-            println!("  {:<10} {count}", category.keyword());
+            ui.say(&format!("  {:<10} {count}", category.keyword()));
         }
         return Ok(ExitCode::SUCCESS);
     }
 
     let scheduled = instantiated.schedule()?;
     if stop_after == "schedule" {
-        println!("-- task set --\n{}", scheduled.tasks);
-        println!("-- static schedule --\n{}", scheduled.schedule.to_table());
-        println!(
+        ui.say(&format!("-- task set --\n{}", scheduled.tasks));
+        ui.say(&format!(
+            "-- static schedule --\n{}",
+            scheduled.schedule.to_table()
+        ));
+        ui.result(&format!(
             "affine clocks: {} exported, {} constraint(s) verified",
             scheduled.affine.clock_count(),
             scheduled.affine.verified_constraints
-        );
+        ));
         return Ok(exit_for(scheduled.schedule.is_valid()));
     }
 
     let translated = scheduled.translate()?;
     if stop_after == "translate" {
-        println!(
+        ui.result(&format!(
             "translated {} SIGNAL process(es), {} equation(s), {} scheduled thread unit(s)",
             translated.system.model.len(),
             translated.system.model.total_equations(),
             translated.thread_units.len()
-        );
+        ));
         return Ok(ExitCode::SUCCESS);
     }
 
     let analyzed = translated.analyze()?;
-    println!(
+    ui.say(&format!(
         "clocks      : {} classes, {} master(s), hierarchy depth {}",
         analyzed.static_analysis.clock_count,
         analyzed.static_analysis.master_clock_count,
         analyzed.static_analysis.hierarchy_depth
-    );
-    println!(
+    ));
+    ui.result(&format!(
         "determinism : {}",
         if analyzed.static_analysis.determinism.is_deterministic() {
             "deterministic"
         } else {
             "NON-DETERMINISTIC"
         }
-    );
-    println!(
+    ));
+    ui.result(&format!(
         "deadlock    : {}",
         if analyzed.static_analysis.causality_cycle.is_none() {
             "none"
         } else {
             "CYCLE FOUND"
         }
-    );
+    ));
     let ok = analyzed.static_analysis.causality_cycle.is_none()
         && analyzed.static_analysis.determinism.is_deterministic();
     Ok(exit_for(ok))
@@ -301,10 +414,12 @@ fn analyze_staged(policy: SchedulingPolicy, stop_after: &str) -> Result<ExitCode
 /// Runs N models (the case study plus synthetic workloads) through the
 /// whole pipeline on a bounded worker pool.
 fn batch(args: &[String]) -> Result<ExitCode, CliError> {
-    check_flags(
-        args,
-        &[("--jobs", true), ("--workers", true), ("--property", true)],
-    )?;
+    let mut allowed = vec![("--jobs", true), ("--workers", true), ("--property", true)];
+    allowed.extend(COMMON_FLAGS);
+    allowed.extend(OBS_FLAGS);
+    check_flags(args, &allowed)?;
+    let ui = Ui::from_args(args)?;
+    let collector = collector_from_args(args)?;
     let job_count: usize = flag_value(args, "--jobs", 8)?;
     let workers: usize = flag_value(args, "--workers", 4)?;
     if job_count == 0 {
@@ -334,57 +449,77 @@ fn batch(args: &[String]) -> Result<ExitCode, CliError> {
             job.with_options(options.clone())
         })
         .collect();
-    let results = BatchRunner::new().with_workers(workers).run(&jobs)?;
-    println!(
+    let results = BatchRunner::new()
+        .with_workers(workers)
+        .with_collector(collector.clone())
+        .run(&jobs)?;
+    collector.flush();
+    ui.say(&format!(
         "batch verification: {} model(s) on {} worker(s)\n",
         results.reports.len(),
         results.workers
-    );
-    print!("{}", results.summary());
+    ));
+    for report in &results.reports {
+        ui.say(&report.summary());
+        if let Some(record) = report.run_record() {
+            ui.detail(&record.summary());
+        }
+    }
+    ui.result(&results.totals());
     Ok(exit_for(results.all_passed()))
 }
 
 fn simulate(args: &[String]) -> Result<ExitCode, CliError> {
-    check_flags(args, &[("--hyperperiods", true), ("--vcd", false)])?;
+    let mut allowed = vec![("--hyperperiods", true), ("--vcd", false)];
+    allowed.extend(COMMON_FLAGS);
+    check_flags(args, &allowed)?;
+    let ui = Ui::from_args(args)?;
     let hyperperiods = flag_value(args, "--hyperperiods", 4u64)?;
     let report = ToolChain::new()
         .with_verification(false)
         .with_hyperperiods(hyperperiods)
         .run_case_study()?;
-    println!(
+    ui.say(&format!(
         "co-simulated {} thread(s) over {} hyper-period(s):",
         report.simulations.len(),
         hyperperiods
-    );
+    ));
     for (thread, sim) in &report.simulations {
-        println!(
+        ui.say(&format!(
             "  {:<45} {:>4} instants, {} alarm instant(s)",
             thread, sim.instants, sim.alarm_instants
-        );
+        ));
     }
+    ui.detail(&format!("-- phases --\n{}", report.run_record.summary()));
     if has_flag(args, "--vcd") {
-        println!("\n-- VCD (producer thread) --\n{}", report.vcd);
+        // Explicitly requested machine-ish payload: print it even under
+        // --quiet, as it is the point of the flag.
+        ui.result(&format!("\n-- VCD (producer thread) --\n{}", report.vcd));
     }
     let alarm_free = report.simulations.values().all(|s| s.is_alarm_free());
-    println!("alarm-free: {}", if alarm_free { "yes" } else { "NO" });
+    ui.result(&format!(
+        "alarm-free: {}",
+        if alarm_free { "yes" } else { "NO" }
+    ));
     Ok(exit_for(alarm_free))
 }
 
 fn verify(args: &[String]) -> Result<ExitCode, CliError> {
-    check_flags(
-        args,
-        &[
-            ("--workers", true),
-            ("--hyperperiods", true),
-            ("--product", false),
-            ("--frontier", true),
-            ("--no-pruning", false),
-            ("--interner-capacity", true),
-            ("--property", true),
-            ("--inject-deadline-bug", false),
-            ("--inject-connection-bug", false),
-        ],
-    )?;
+    let mut allowed = vec![
+        ("--workers", true),
+        ("--hyperperiods", true),
+        ("--product", false),
+        ("--frontier", true),
+        ("--no-pruning", false),
+        ("--interner-capacity", true),
+        ("--property", true),
+        ("--inject-deadline-bug", false),
+        ("--inject-connection-bug", false),
+    ];
+    allowed.extend(COMMON_FLAGS);
+    allowed.extend(OBS_FLAGS);
+    check_flags(args, &allowed)?;
+    let ui = Ui::from_args(args)?;
     let workers = flag_value(args, "--workers", 2usize)?;
     let hyperperiods = flag_value(args, "--hyperperiods", 1u64)?;
     let frontier = match flag_value(args, "--frontier", "work-stealing".to_string())?.as_str() {
@@ -401,16 +536,17 @@ fn verify(args: &[String]) -> Result<ExitCode, CliError> {
     // error (exit 1) with the offending span, before any phase runs.
     let properties = parse_properties(args)?;
     if has_flag(args, "--inject-deadline-bug") {
-        return verify_injected(workers, hyperperiods, &properties);
+        return verify_injected(ui, workers, hyperperiods, &properties);
     }
     if has_flag(args, "--inject-connection-bug") {
-        return verify_injected_connection(workers, hyperperiods, &properties);
+        return verify_injected_connection(ui, workers, hyperperiods, &properties);
     }
     let scope = if has_flag(args, "--product") {
         VerificationScope::Product
     } else {
         VerificationScope::PerThread
     };
+    let collector = collector_from_args(args)?;
     let mut chain = ToolChain::new()
         .with_hyperperiods(1)
         .with_verify_workers(workers)
@@ -418,16 +554,18 @@ fn verify(args: &[String]) -> Result<ExitCode, CliError> {
         .with_verify_scope(scope)
         .with_verify_frontier(frontier)
         .with_verify_pruning(!has_flag(args, "--no-pruning"))
-        .with_verify_interner_capacity(interner_capacity);
+        .with_verify_interner_capacity(interner_capacity)
+        .with_collector(collector.clone());
     for expr in flag_values(args, "--property")? {
         chain = chain.with_property(expr);
     }
     let report = chain.run_case_study()?;
+    collector.flush();
     let verification = report
         .verification
         .as_ref()
         .expect("verification phase enabled");
-    println!(
+    ui.say(&format!(
         "state-space verification ({} worker(s), {} hyper-period(s), {} scope):\n",
         verification.workers,
         verification.hyperperiods,
@@ -436,20 +574,24 @@ fn verify(args: &[String]) -> Result<ExitCode, CliError> {
         } else {
             "per-thread"
         }
-    );
-    println!("{}", verification.summary());
+    ));
+    ui.say(&verification.summary());
+    ui.detail(&format!("-- phases --\n{}", report.run_record.summary()));
     if let Some(product) = &verification.product {
-        println!(
+        ui.say(&format!(
             "joint verdict: {}",
             if product.is_violation_free() {
                 "no cross-thread violation"
             } else {
                 "cross-thread VIOLATION"
             }
-        );
+        ));
     }
     let ok = verification.is_violation_free();
-    println!("violation-free: {}", if ok { "yes" } else { "NO" });
+    ui.result(&format!(
+        "violation-free: {}",
+        if ok { "yes" } else { "NO" }
+    ));
     Ok(exit_for(ok))
 }
 
@@ -458,29 +600,30 @@ fn verify(args: &[String]) -> Result<ExitCode, CliError> {
 /// when any were given, otherwise against the default alarm property — and
 /// confirms the counterexample by simulator replay.
 fn verify_injected(
+    ui: Ui,
     workers: usize,
     hyperperiods: u64,
     properties: &[Property],
 ) -> Result<ExitCode, CliError> {
     let demo = polychrony_core::deadline_overrun_demo(hyperperiods)?;
-    println!(
+    ui.say(&format!(
         "injected deadline overrun: Resume moved from tick {} to {:?} (deadline at tick {})\n",
         demo.fault.resume_moved_from, demo.fault.resume_moved_to, demo.fault.deadline_tick
-    );
+    ));
 
     let (outcome, replay) = if properties.is_empty() {
         demo.verify_and_replay(workers)?
     } else {
         demo.verify_properties_and_replay(workers, properties)?
     };
-    println!("{}", outcome.summary());
+    ui.say(&outcome.summary());
     let Some((_, cex)) = outcome.violations().next() else {
-        println!("expected the injected bug to be found — it was not");
+        ui.result("expected the injected bug to be found — it was not");
         return Ok(ExitCode::from(2));
     };
-    println!("{}", cex.render());
+    ui.say(&cex.render());
     let replay = replay.expect("a violation always carries a replay");
-    println!(
+    ui.result(&format!(
         "simulator replay: {} ({})",
         if replay.reproduced {
             "violation reproduced"
@@ -488,7 +631,7 @@ fn verify_injected(
             "NOT reproduced"
         },
         replay.detail
-    );
+    ));
     Ok(exit_for(replay.reproduced))
 }
 
@@ -497,6 +640,7 @@ fn verify_injected(
 /// repetitions and confirms the cross-thread counterexample by lockstep
 /// co-simulation.
 fn verify_injected_connection(
+    ui: Ui,
     workers: usize,
     hyperperiods: u64,
     properties: &[Property],
@@ -510,23 +654,23 @@ fn verify_injected_connection(
     // The demo's depth bound defaults to one joint hyper-period; scale it
     // to the requested exploration window.
     demo.horizon *= hyperperiods as usize;
-    println!(
+    ui.say(&format!(
         "injected connection latency: link `{}` delayed by {} tick(s) (was {})\n",
         demo.fault.link, demo.fault.added_latency, demo.fault.original_latency
-    );
+    ));
     let (outcome, replay) = if properties.is_empty() {
         demo.verify_and_replay(workers)?
     } else {
         demo.verify_properties_and_replay(workers, properties)?
     };
-    println!("{}", outcome.summary());
+    ui.say(&outcome.summary());
     let Some((_, cex)) = outcome.violations().next() else {
-        println!("expected the injected connection bug to be found — it was not");
+        ui.result("expected the injected connection bug to be found — it was not");
         return Ok(ExitCode::from(2));
     };
-    println!("{}", cex.render());
+    ui.say(&cex.render());
     let replay = replay.expect("a violation always carries a replay");
-    println!(
+    ui.result(&format!(
         "lockstep co-simulation replay: {} ({})",
         if replay.reproduced {
             "violation reproduced"
@@ -534,7 +678,7 @@ fn verify_injected_connection(
             "NOT reproduced"
         },
         replay.detail
-    );
+    ));
     Ok(exit_for(replay.reproduced))
 }
 

@@ -1,0 +1,189 @@
+//! Contract of the `--trace-out` JSON-lines sink (`polychrony-trace-v1`):
+//! runs `polychrony verify --product --trace-out FILE`, parses every line
+//! with the crate's own JSON parser, and validates the schema — required
+//! fields per record kind, monotonically non-decreasing timestamps, and
+//! strict span open/close pairing. This is the executable form of the
+//! schema reference in `docs/OBSERVABILITY.md`.
+
+use std::collections::HashMap;
+use std::process::Command;
+
+use polychrony_core::polyobs::json::{parse, Json};
+
+/// Runs the CLI and returns the trace file's lines. The file name carries
+/// a per-call serial so concurrently running tests never share a path.
+fn capture_trace(extra_args: &[&str]) -> Vec<String> {
+    static SERIAL: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let trace_path = std::env::temp_dir().join(format!(
+        "polychrony-trace-schema-{}-{}.jsonl",
+        std::process::id(),
+        SERIAL.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    let output = Command::new(env!("CARGO_BIN_EXE_polychrony"))
+        .arg("verify")
+        .args(extra_args)
+        .args(["--trace-out", trace_path.to_str().unwrap(), "--quiet"])
+        .output()
+        .expect("failed to spawn the polychrony CLI");
+    assert!(
+        output.status.success(),
+        "CLI exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    let text = std::fs::read_to_string(&trace_path).expect("trace file exists");
+    let _ = std::fs::remove_file(&trace_path);
+    text.lines().map(str::to_string).collect()
+}
+
+fn obj(value: &Json) -> &std::collections::BTreeMap<String, Json> {
+    value.as_obj().expect("every trace line is a JSON object")
+}
+
+#[test]
+fn trace_out_emits_a_valid_polychrony_trace_v1_stream() {
+    let lines = capture_trace(&["--product"]);
+    assert!(
+        lines.len() > 10,
+        "a product verification leaves a substantial trace, got {} line(s)",
+        lines.len()
+    );
+
+    let records: Vec<Json> = lines
+        .iter()
+        .enumerate()
+        .map(|(i, line)| {
+            parse(line).unwrap_or_else(|e| panic!("line {} is not valid JSON: {e}\n{line}", i + 1))
+        })
+        .collect();
+
+    // Line 1 announces the schema.
+    let meta = obj(&records[0]);
+    assert_eq!(
+        meta.get("kind").and_then(Json::as_str),
+        Some("meta"),
+        "the stream opens with a meta record"
+    );
+    assert_eq!(
+        meta.get("schema").and_then(Json::as_str),
+        Some("polychrony-trace-v1")
+    );
+
+    // Every record has a kind and a non-decreasing t_us.
+    let mut last_t = 0u64;
+    // span id -> name of the currently open span.
+    let mut open_spans: HashMap<u64, String> = HashMap::new();
+    let mut phase_spans = 0usize;
+    for (i, record) in records.iter().enumerate() {
+        let fields = obj(record);
+        let kind = fields
+            .get("kind")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("line {} has no string `kind`", i + 1));
+        let t_us = fields
+            .get("t_us")
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("line {} has no integer `t_us`", i + 1));
+        assert!(
+            t_us >= last_t,
+            "timestamps are non-decreasing: line {} has t_us {t_us} after {last_t}",
+            i + 1
+        );
+        last_t = t_us;
+        match kind {
+            "meta" => {
+                assert_eq!(i, 0, "meta appears only as the first line");
+            }
+            "span_open" => {
+                let span = fields.get("span").and_then(Json::as_u64).unwrap();
+                let name = fields.get("name").and_then(Json::as_str).unwrap();
+                assert!(
+                    open_spans.insert(span, name.to_string()).is_none(),
+                    "span id {span} opened twice"
+                );
+                if name.starts_with("phase.") {
+                    phase_spans += 1;
+                }
+            }
+            "span_close" => {
+                let span = fields.get("span").and_then(Json::as_u64).unwrap();
+                let name = fields.get("name").and_then(Json::as_str).unwrap();
+                assert!(
+                    fields.get("dur_us").and_then(Json::as_u64).is_some(),
+                    "span_close carries dur_us"
+                );
+                let opened = open_spans
+                    .remove(&span)
+                    .unwrap_or_else(|| panic!("span id {span} closed without an open"));
+                assert_eq!(opened, name, "span {span} closes under the name it opened");
+            }
+            "event" => {
+                assert!(
+                    fields.get("name").and_then(Json::as_str).is_some(),
+                    "event records carry a name"
+                );
+            }
+            "counters" => {
+                assert_eq!(i, records.len() - 1, "counters is the final flush line");
+            }
+            other => panic!("line {} has unknown kind `{other}`", i + 1),
+        }
+    }
+    assert!(
+        open_spans.is_empty(),
+        "every span is closed by the end of the stream: {open_spans:?}"
+    );
+    assert!(
+        phase_spans >= 7,
+        "one span per pipeline phase (parse..verify.product), got {phase_spans}"
+    );
+
+    // The final counter snapshot reflects the exploration.
+    let counters_line = obj(records.last().unwrap());
+    assert_eq!(
+        counters_line.get("kind").and_then(Json::as_str),
+        Some("counters")
+    );
+    let counters = counters_line
+        .get("counters")
+        .and_then(Json::as_obj)
+        .expect("counters line carries the counter map");
+    let states = counters
+        .get("engine.states")
+        .and_then(Json::as_u64)
+        .expect("engine.states counter present");
+    assert!(states > 0, "the engine explored at least one state");
+    assert!(
+        counters_line.get("gauges").and_then(Json::as_obj).is_some(),
+        "counters line carries the gauge map"
+    );
+}
+
+/// The engine's per-level progress events ride in the stream when the
+/// collector is in full mode, and their depth attributes are coherent.
+#[test]
+fn trace_out_carries_per_level_engine_events() {
+    let lines = capture_trace(&[]);
+    let mut level_events = 0usize;
+    for line in &lines {
+        let record = parse(line).expect("valid JSON");
+        let fields = obj(&record);
+        if fields.get("kind").and_then(Json::as_str) == Some("event")
+            && fields.get("name").and_then(Json::as_str) == Some("engine.level")
+        {
+            level_events += 1;
+            let attrs = fields
+                .get("attrs")
+                .and_then(Json::as_obj)
+                .expect("engine.level events carry attrs");
+            assert!(attrs.get("depth").and_then(Json::as_u64).is_some());
+            assert!(attrs.get("states").and_then(Json::as_u64).is_some());
+        }
+    }
+    // 4 threads x a 24-tick hyper-period.
+    assert!(
+        level_events >= 24,
+        "per-level events streamed from the engine, got {level_events}"
+    );
+}
