@@ -12,9 +12,13 @@
 //! (`{group}/{id}: {mean} ns/iter ({n} iterations), {rate} elem/s`) from
 //! the captured `cargo bench` output, re-runs the two headline product
 //! workloads once to record exact state counts, peak frontier and wall
-//! time, and emits a `BENCH_<n>.json` snapshot (one benchmark entry per
-//! line, so the file diffs and greps cleanly without a JSON parser);
-//! `--sha` stamps the snapshot with the git revision it was measured at.
+//! time, measures the `daemon_warm_vs_cold` headline (an 8-variant
+//! verification sweep over one model, uncached vs. through the
+//! content-addressed artifact cache — asserting report equality and the
+//! ≥3x warm speedup on the way), and emits a `BENCH_<n>.json` snapshot
+//! (one benchmark entry per line, so the file diffs and greps cleanly
+//! without a JSON parser); `--sha` stamps the snapshot with the git
+//! revision it was measured at.
 //!
 //! `check` re-parses a fresh `cargo bench --bench state_space` capture and
 //! fails (exit 1) when the throughput of a headline benchmark drops more
@@ -34,7 +38,10 @@ use std::time::Instant;
 
 use aadl::case_study::producer_consumer_instance;
 use asme2ssme::system_under_schedule;
-use polychrony_core::port_link_for;
+use polychrony_core::{
+    port_link_for, ArtifactCache, BatchJob, CacheOutcome, PropertySpec, SessionOptions,
+};
+use polyverify::FrontierMode;
 use polyverify::{
     Collector, PortLink, ProductComponent, ProductSystem, ProductVerifier, Property, VerifyOptions,
 };
@@ -202,8 +209,15 @@ fn write(captures: &[String], out_path: &str, sha: Option<&str>) -> Result<(), S
             stats.states, stats.transitions, stats.depth, stats.peak_frontier, stats.pruned
         ));
     }
+    let daemon = daemon_warm_vs_cold()?;
     json.push_str(&format!(
-        "  ],\n  \"reference\": {{\"id\": \"state_space/case_study_product\", \
+        "  ],\n  \"daemon\": {{\"id\": \"daemon_warm_vs_cold\", \"variants\": {}, \
+         \"cold_ms\": {:.2}, \"warm_ms\": {:.2}, \"speedup\": {:.2}, \
+         \"reports_identical\": true}},\n",
+        daemon.variants, daemon.cold_ms, daemon.warm_ms, daemon.speedup
+    ));
+    json.push_str(&format!(
+        "  \"reference\": {{\"id\": \"state_space/case_study_product\", \
          \"pre_refactor_elem_per_s\": {PRE_REFACTOR_CASE_STUDY_ELEM_PER_S:.0}}}\n}}\n"
     ));
     std::fs::write(out_path, &json).map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
@@ -312,6 +326,112 @@ fn overhead(reps: usize) -> Result<(), String> {
          (ceiling {OVERHEAD_CEILING:.2}x)"
     );
     Ok(())
+}
+
+struct DaemonHeadline {
+    variants: usize,
+    cold_ms: f64,
+    warm_ms: f64,
+    speedup: f64,
+}
+
+/// The `daemon_warm_vs_cold` headline: the same model swept through 8
+/// verification-option variants, first uncached (every variant pays the
+/// full parse-through-simulate front end), then through a pre-warmed
+/// [`ArtifactCache`] (every variant reuses the simulated artifact and
+/// re-runs only verification). Fails unless every warm report is
+/// bit-identical to its cold twin and the sweep is at least 3x faster.
+fn daemon_warm_vs_cold() -> Result<DaemonHeadline, String> {
+    let mut jobs = Vec::new();
+    for frontier in [FrontierMode::WorkStealing, FrontierMode::Barrier] {
+        for pruning in [true, false] {
+            for with_property in [false, true] {
+                // Tool-chain default front end (four simulated
+                // hyper-periods, VCD capture) — the service-shaped
+                // workload the cache exists for — with a cheap verify
+                // phase per variant: the case study explores ~25 states
+                // per thread, so one in-process worker and a small
+                // interner pre-allocation fit it.
+                let mut options = SessionOptions::default();
+                options.verify.workers = 1;
+                options.verify.frontier = frontier;
+                options.verify.pruning = pruning;
+                options.verify.interner_capacity = 64;
+                if with_property {
+                    options.verify.properties = vec![PropertySpec::new("never raised(*Alarm*)")];
+                }
+                let name = format!(
+                    "sweep-{frontier:?}-prune{}-p{}",
+                    u8::from(pruning),
+                    u8::from(with_property)
+                );
+                jobs.push(BatchJob::case_study(name).with_options(options));
+            }
+        }
+    }
+
+    // Best-of-N per side, like the `overhead` gate: one sweep is ~tens of
+    // milliseconds, so a single timing is at the mercy of the scheduler.
+    const REPS: usize = 5;
+    let mut cold = Vec::new();
+    let mut cold_ms = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        cold = jobs
+            .iter()
+            .map(|job| job.run().map_err(|e| format!("cold run failed: {e}")))
+            .collect::<Result<_, _>>()?;
+        cold_ms = cold_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+
+    let cache = ArtifactCache::new();
+    jobs[0]
+        .run_cached(&cache)
+        .map_err(|e| format!("cache priming failed: {e}"))?;
+    let mut warm = Vec::new();
+    let mut warm_ms = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        warm = jobs
+            .iter()
+            .map(|job| {
+                job.run_cached(&cache)
+                    .map_err(|e| format!("warm run failed: {e}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        warm_ms = warm_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+
+    for (i, (cold_report, (warm_report, outcome))) in cold.iter().zip(&warm).enumerate() {
+        if *outcome != CacheOutcome::SimulatedHit {
+            return Err(format!(
+                "sweep variant {i} did not hit the simulated cache (got {outcome})"
+            ));
+        }
+        if cold_report != warm_report {
+            return Err(format!(
+                "sweep variant {i}: warm report diverges from the cold run"
+            ));
+        }
+    }
+
+    let speedup = cold_ms / warm_ms;
+    println!(
+        "daemon_warm_vs_cold: {} variants, cold {cold_ms:.2} ms, warm {warm_ms:.2} ms \
+         ({speedup:.2}x)",
+        jobs.len()
+    );
+    if speedup < 3.0 {
+        return Err(format!(
+            "warm-cache sweep is only {speedup:.2}x faster than cold (floor 3x)"
+        ));
+    }
+    Ok(DaemonHeadline {
+        variants: jobs.len(),
+        cold_ms,
+        warm_ms,
+        speedup,
+    })
 }
 
 /// Extracts `"elem_per_s": N` from the baseline entry for `id` (the file is

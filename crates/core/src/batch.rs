@@ -31,6 +31,7 @@ use aadl::case_study::PRODUCER_CONSUMER_AADL;
 use aadl::synth::{generate_source, SyntheticSpec};
 use polyobs::{Collector, RunRecord};
 
+use crate::cache::{job_content_hash, ArtifactCache, CacheOutcome};
 use crate::error::CoreError;
 use crate::options::SessionOptions;
 use crate::report::ToolChainReport;
@@ -99,6 +100,25 @@ impl BatchJob {
             .verify()?
             .into_report())
     }
+
+    /// Runs this job's chain through `cache`: the deepest cached pipeline
+    /// prefix (frontend or simulated artifact) whose content key matches
+    /// this job is reused, the remaining phases run under this job's own
+    /// options, and the cache is populated for the next job. Verdicts and
+    /// reports are identical to [`BatchJob::run`] — only the wall time (and
+    /// the phase timings inside the [`RunRecord`], which equality ignores)
+    /// can differ.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BatchJob::run`].
+    pub fn run_cached(
+        &self,
+        cache: &ArtifactCache,
+    ) -> Result<(ToolChainReport, CacheOutcome), CoreError> {
+        let (simulated, outcome) = cache.simulated_for(&self.source, &self.root, &self.options)?;
+        Ok((simulated.verify()?.into_report(), outcome))
+    }
 }
 
 /// The outcome of one [`BatchJob`]: its submission index, label, wall-clock
@@ -114,6 +134,9 @@ pub struct BatchReport {
     pub duration: Duration,
     /// The aggregated report, or the error of the phase that failed.
     pub outcome: Result<ToolChainReport, CoreError>,
+    /// How the job resolved against the runner's [`ArtifactCache`]
+    /// (`None` when the runner has no cache installed).
+    pub cache: Option<CacheOutcome>,
 }
 
 impl BatchReport {
@@ -135,12 +158,17 @@ impl BatchReport {
             Ok(_) => "CHECKS FAILED".to_string(),
             Err(e) => format!("ERROR: {e}"),
         };
+        let cache = match self.cache {
+            Some(outcome) => format!("  [cache: {outcome}]"),
+            None => String::new(),
+        };
         format!(
-            "#{:<3} {:<24} {:>8.1} ms  {}",
+            "#{:<3} {:<24} {:>8.1} ms  {}{}",
             self.index,
             self.job,
             self.duration.as_secs_f64() * 1e3,
-            verdict
+            verdict,
+            cache
         )
     }
 }
@@ -213,10 +241,13 @@ impl BatchResults {
 pub struct BatchRunner {
     workers: usize,
     collector: Collector,
+    cache: Option<ArtifactCache>,
+    dedupe: bool,
 }
 
 impl Default for BatchRunner {
     /// Sizes the pool to the machine's available parallelism, capped at 8.
+    /// Content-hash deduplication is on; no artifact cache is installed.
     fn default() -> Self {
         Self {
             workers: std::thread::available_parallelism()
@@ -224,6 +255,8 @@ impl Default for BatchRunner {
                 .unwrap_or(2)
                 .min(8),
             collector: Collector::noop(),
+            cache: None,
+            dedupe: true,
         }
     }
 }
@@ -259,6 +292,28 @@ impl BatchRunner {
         self
     }
 
+    /// Installs a shared [`ArtifactCache`]: every job runs through
+    /// [`BatchJob::run_cached`], so jobs whose source and front-end options
+    /// match a cached artifact skip the already-computed pipeline prefix.
+    /// Each report's [`BatchReport::cache`] records how its job resolved.
+    #[must_use]
+    pub fn with_cache(mut self, cache: ArtifactCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Enables or disables content-hash deduplication (on by default):
+    /// jobs with equal source, root classifier and result-relevant options
+    /// share one execution, and every duplicate receives a clone of the
+    /// representative's report under its own index and label. Verdicts are
+    /// unaffected — a duplicate job would have produced the identical
+    /// report by itself.
+    #[must_use]
+    pub fn with_dedupe(mut self, dedupe: bool) -> Self {
+        self.dedupe = dedupe;
+        self
+    }
+
     /// Runs every job across the worker pool and returns the reports in
     /// submission order.
     ///
@@ -276,38 +331,40 @@ impl BatchRunner {
             ));
         }
         let started = Instant::now();
+        // Content-hash dedupe: `canonical[i]` is the index of the first job
+        // with identical content; only representatives (`canonical[i] == i`)
+        // enter the work queue, duplicates get a clone of the
+        // representative's report afterwards.
+        let canonical = self.canonical_indices(jobs);
+        let work: Vec<usize> = (0..jobs.len()).filter(|&i| canonical[i] == i).collect();
+        let deduped = jobs.len() - work.len();
         let slots: Vec<Mutex<Option<BatchReport>>> =
             jobs.iter().map(|_| Mutex::new(None)).collect();
-        if !jobs.is_empty() {
+        if !work.is_empty() {
             let next = AtomicUsize::new(0);
             let queue_depth = self.collector.gauge("batch.queue_depth");
             let c_jobs = self.collector.counter("batch.jobs");
             let c_failures = self.collector.counter("batch.failures");
-            queue_depth.set(jobs.len() as u64);
+            queue_depth.set(work.len() as u64);
             std::thread::scope(|scope| {
-                for _ in 0..self.workers.min(jobs.len()) {
+                for _ in 0..self.workers.min(work.len()) {
                     scope.spawn(|| loop {
-                        let index = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(job) = jobs.get(index) else { break };
+                        let claim = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&index) = work.get(claim) else { break };
+                        let job = &jobs[index];
                         // Unclaimed jobs left in the queue after this claim.
-                        queue_depth.set(jobs.len().saturating_sub(index + 1) as u64);
+                        queue_depth.set(work.len().saturating_sub(claim + 1) as u64);
                         let mut span = self.collector.span("batch.job");
                         span.attr("index", index);
                         span.attr("job", job.name.as_str());
                         let job_started = Instant::now();
-                        // The runner's collector rides into the job's own
-                        // session, so phase spans and engine counters from
-                        // all jobs aggregate on one collector.
-                        let outcome = if self.collector.is_enabled() {
-                            let mut job = job.clone();
-                            job.options.collector = self.collector.clone();
-                            job.run()
-                        } else {
-                            job.run()
-                        };
+                        let (outcome, cache) = self.execute(job);
                         c_jobs.incr();
                         if !matches!(&outcome, Ok(report) if report.all_checks_passed()) {
                             c_failures.incr();
+                        }
+                        if let Some(cache) = cache {
+                            span.attr("cache", cache.label());
                         }
                         drop(span);
                         *slots[index].lock().expect("job slot poisoned") = Some(BatchReport {
@@ -315,18 +372,36 @@ impl BatchRunner {
                             job: job.name.clone(),
                             duration: job_started.elapsed(),
                             outcome,
+                            cache,
                         });
                     });
                 }
             });
         }
-        let reports = slots
+        if deduped > 0 {
+            self.collector.counter("batch.deduped").add(deduped as u64);
+        }
+        let mut reports: Vec<Option<BatchReport>> = slots
             .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("job slot poisoned")
-                    .expect("every job slot is filled when the scope exits")
-            })
+            .map(|slot| slot.into_inner().expect("job slot poisoned"))
+            .collect();
+        for i in 0..jobs.len() {
+            if canonical[i] != i {
+                let representative = reports[canonical[i]]
+                    .clone()
+                    .expect("representative slot is filled when the scope exits");
+                reports[i] = Some(BatchReport {
+                    index: i,
+                    job: jobs[i].name.clone(),
+                    duration: representative.duration,
+                    outcome: representative.outcome,
+                    cache: representative.cache,
+                });
+            }
+        }
+        let reports = reports
+            .into_iter()
+            .map(|report| report.expect("every job slot is filled when the scope exits"))
             .collect();
         Ok(BatchResults {
             workers: self.workers,
@@ -334,6 +409,61 @@ impl BatchRunner {
             reports,
         })
     }
+
+    /// Runs one job, through the cache when one is installed, with the
+    /// runner's collector riding into the job's session when enabled (so
+    /// phase spans and engine counters from all jobs aggregate in one
+    /// place).
+    fn execute(
+        &self,
+        job: &BatchJob,
+    ) -> (Result<ToolChainReport, CoreError>, Option<CacheOutcome>) {
+        let run = |job: &BatchJob| match &self.cache {
+            Some(cache) => match job.run_cached(cache) {
+                Ok((report, outcome)) => (Ok(report), Some(outcome)),
+                Err(e) => (Err(e), None),
+            },
+            None => (job.run(), None),
+        };
+        if self.collector.is_enabled() {
+            let mut job = job.clone();
+            job.options.collector = self.collector.clone();
+            run(&job)
+        } else {
+            run(job)
+        }
+    }
+
+    /// Maps every job index to the index of the first job with identical
+    /// content (source, root and result-relevant options — the collector is
+    /// excluded). Hash buckets are confirmed field-by-field, so a 64-bit
+    /// collision cannot merge distinct jobs.
+    fn canonical_indices(&self, jobs: &[BatchJob]) -> Vec<usize> {
+        let mut canonical: Vec<usize> = (0..jobs.len()).collect();
+        if !self.dedupe {
+            return canonical;
+        }
+        let mut seen: std::collections::HashMap<u64, Vec<usize>> = std::collections::HashMap::new();
+        for i in 0..jobs.len() {
+            let group = seen.entry(job_content_hash(&jobs[i])).or_default();
+            match group.iter().find(|&&j| same_content(&jobs[j], &jobs[i])) {
+                Some(&j) => canonical[i] = j,
+                None => group.push(i),
+            }
+        }
+        canonical
+    }
+}
+
+/// Content equality of two jobs: everything that can influence the report
+/// except the label and the collector.
+fn same_content(a: &BatchJob, b: &BatchJob) -> bool {
+    a.source == b.source
+        && a.root == b.root
+        && a.options.schedule == b.options.schedule
+        && a.options.translate == b.options.translate
+        && a.options.simulate == b.options.simulate
+        && a.options.verify == b.options.verify
 }
 
 #[cfg(test)]
@@ -393,6 +523,95 @@ mod tests {
         let results = BatchRunner::new().run(&[]).unwrap();
         assert!(results.reports.is_empty());
         assert!(results.all_passed());
+    }
+
+    #[test]
+    fn identical_jobs_share_one_execution_and_both_get_the_report() {
+        let collector = Collector::counters();
+        let jobs = vec![
+            BatchJob::case_study("first").with_options(quick_options()),
+            BatchJob::case_study("second").with_options(quick_options()),
+            BatchJob::synthetic("other", &SyntheticSpec::new(4, 1)).with_options(quick_options()),
+        ];
+        let results = BatchRunner::new()
+            .with_workers(2)
+            .with_collector(collector.clone())
+            .run(&jobs)
+            .unwrap();
+        assert!(results.all_passed());
+        // The duplicate kept its own index and label but shares the
+        // representative's report and duration.
+        assert_eq!(results.reports[1].index, 1);
+        assert_eq!(results.reports[1].job, "second");
+        assert_eq!(results.reports[0].outcome, results.reports[1].outcome);
+        assert_eq!(results.reports[0].duration, results.reports[1].duration);
+        let counters: std::collections::BTreeMap<String, u64> =
+            collector.counter_values().into_iter().collect();
+        assert_eq!(counters.get("batch.deduped"), Some(&1));
+        assert_eq!(counters.get("batch.jobs"), Some(&2), "two executions");
+    }
+
+    #[test]
+    fn dedupe_can_be_disabled() {
+        let collector = Collector::counters();
+        let jobs = vec![
+            BatchJob::case_study("first").with_options(quick_options()),
+            BatchJob::case_study("second").with_options(quick_options()),
+        ];
+        let results = BatchRunner::new()
+            .with_workers(2)
+            .with_dedupe(false)
+            .with_collector(collector.clone())
+            .run(&jobs)
+            .unwrap();
+        assert!(results.all_passed());
+        let counters: std::collections::BTreeMap<String, u64> =
+            collector.counter_values().into_iter().collect();
+        assert_eq!(counters.get("batch.deduped"), None);
+        assert_eq!(counters.get("batch.jobs"), Some(&2));
+    }
+
+    #[test]
+    fn jobs_differing_only_in_verify_options_are_not_deduped() {
+        let mut other = quick_options();
+        other.verify.hyperperiods = 2;
+        let jobs = vec![
+            BatchJob::case_study("a").with_options(quick_options()),
+            BatchJob::case_study("b").with_options(other),
+        ];
+        let runner = BatchRunner::new().with_workers(1);
+        assert_eq!(runner.canonical_indices(&jobs), vec![0, 1]);
+    }
+
+    #[test]
+    fn a_cached_runner_reports_per_job_cache_outcomes() {
+        let cache = crate::ArtifactCache::new();
+        let mut sweep = quick_options();
+        sweep.verify.hyperperiods = 2;
+        let jobs = vec![
+            BatchJob::case_study("cold").with_options(quick_options()),
+            BatchJob::case_study("warm").with_options(sweep),
+        ];
+        // One worker so the cold job populates the cache before the warm
+        // job looks it up (with more workers both could race to a miss —
+        // still correct, just not a deterministic assertion).
+        let results = BatchRunner::new()
+            .with_workers(1)
+            .with_cache(cache.clone())
+            .run(&jobs)
+            .unwrap();
+        assert!(results.all_passed());
+        assert_eq!(results.reports[0].cache, Some(crate::CacheOutcome::Miss));
+        assert_eq!(
+            results.reports[1].cache,
+            Some(crate::CacheOutcome::SimulatedHit)
+        );
+        assert!(results.reports[1]
+            .summary()
+            .contains("[cache: simulated-hit]"));
+        // An uncached rerun of the warm job yields the identical report.
+        let uncached = jobs[1].run().unwrap();
+        assert_eq!(results.reports[1].outcome.as_ref().unwrap(), &uncached);
     }
 
     #[test]

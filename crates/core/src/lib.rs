@@ -64,6 +64,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod cache;
 pub mod demo;
 pub mod error;
 pub mod options;
@@ -72,6 +73,9 @@ pub mod report;
 pub mod session;
 
 pub use batch::{BatchJob, BatchReport, BatchResults, BatchRunner};
+pub use cache::{
+    frontend_fingerprint, job_content_hash, simulated_fingerprint, ArtifactCache, CacheOutcome,
+};
 pub use demo::{
     connection_latency_demo, deadline_overrun_demo, ConnectionLatencyDemo, DeadlineOverrunDemo,
 };
@@ -82,7 +86,8 @@ pub use options::{
 };
 pub use pipeline::{ToolChain, ToolChainOptions};
 pub use polyobs::{
-    CollectionMode, Collector, JsonLinesSink, PhaseRecord, ProgressReporter, RunRecord,
+    CollectionMode, Collector, JsonLinesSink, PhaseRecord, ProgressBridge, ProgressReporter,
+    ProgressUpdate, RunRecord,
 };
 pub use report::{ProductVerificationReport, ToolChainReport, VerificationReport};
 pub use session::{

@@ -494,6 +494,20 @@ pub struct Analyzed {
 }
 
 impl Analyzed {
+    /// The options this artifact will hand to later phases. Used by the
+    /// artifact cache to fingerprint and scrub stored artifacts.
+    pub(crate) fn options(&self) -> &SessionOptions {
+        &self.options
+    }
+
+    /// Replaces the artifact's options wholesale. The artifact cache uses
+    /// this to re-home a cached front end under the requesting job's
+    /// options (and collector) before the remaining phases run, and to
+    /// scrub stored copies down to a noop collector.
+    pub(crate) fn adopt_options(&mut self, options: SessionOptions) {
+        self.options = options;
+    }
+
     /// Phase 6: co-simulates every thread unit under the synthesised
     /// schedule, capturing the VCD waveform selected by
     /// [`SimulateOptions::vcd`].
@@ -588,6 +602,17 @@ impl Simulated {
     /// The phase records accumulated so far (parse through simulate).
     pub fn record(&self) -> &RunRecord {
         &self.record
+    }
+
+    /// The options this artifact will hand to the verification phase.
+    pub(crate) fn options(&self) -> &SessionOptions {
+        &self.options
+    }
+
+    /// Replaces the artifact's options wholesale (see
+    /// [`Analyzed::adopt_options`]).
+    pub(crate) fn adopt_options(&mut self, options: SessionOptions) {
+        self.options = options;
     }
 
     /// Phase 7: exhaustively model-checks every thread unit under the same

@@ -40,7 +40,7 @@ pub mod record;
 pub mod sink;
 
 pub use record::{PhaseRecord, RunRecord};
-pub use sink::{EventSink, JsonLinesSink, ProgressReporter};
+pub use sink::{EventSink, JsonLinesSink, ProgressBridge, ProgressReporter, ProgressUpdate};
 
 use std::collections::BTreeMap;
 use std::collections::VecDeque;

@@ -286,6 +286,88 @@ impl EventSink for ProgressReporter {
     }
 }
 
+/// A condensed, transport-friendly progress notification bridged off the
+/// span/event stream by a [`ProgressBridge`]. Consumers (the verification
+/// daemon's `Progress` frames, in-process dashboards) get pipeline phase
+/// boundaries and exploration-level snapshots without depending on the raw
+/// event vocabulary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgressUpdate {
+    /// A pipeline phase opened (a `phase.<name>` span).
+    Phase {
+        /// Phase name without the `phase.` prefix (`parse`, …, `verify`).
+        name: String,
+    },
+    /// The exploration engine finished one level (an `engine.level` event).
+    Level {
+        /// Phase the level belongs to (empty before any phase span opened).
+        phase: String,
+        /// Current exploration depth.
+        depth: u64,
+        /// Depth bound, when the exploration has one.
+        bound: Option<u64>,
+        /// Distinct states interned so far.
+        states: u64,
+        /// Current frontier size.
+        frontier: u64,
+    },
+}
+
+/// Bridges the collector's span/event stream onto a callback of
+/// [`ProgressUpdate`]s — the generic half of live progress streaming.
+/// [`ProgressReporter`] renders for humans; this sink forwards the same
+/// signal to arbitrary consumers (an `mpsc` channel feeding a daemon's
+/// subscribed clients, a GUI, a test). Registered like any sink via
+/// [`Collector::add_sink`](crate::Collector::add_sink); the collector must
+/// be in full mode for events to flow.
+pub struct ProgressBridge {
+    phase: String,
+    forward: Box<dyn FnMut(ProgressUpdate) + Send>,
+}
+
+impl ProgressBridge {
+    /// A bridge invoking `forward` for every update, on whichever thread
+    /// records the event.
+    pub fn new(forward: Box<dyn FnMut(ProgressUpdate) + Send>) -> Self {
+        ProgressBridge {
+            phase: String::new(),
+            forward,
+        }
+    }
+
+    /// A bridge sending every update into an `mpsc` channel. Send failures
+    /// (receiver gone) are ignored: progress is best-effort and must never
+    /// perturb the run.
+    pub fn channel(tx: std::sync::mpsc::Sender<ProgressUpdate>) -> Self {
+        Self::new(Box::new(move |update| {
+            let _ = tx.send(update);
+        }))
+    }
+}
+
+impl EventSink for ProgressBridge {
+    fn event(&mut self, event: &Event) {
+        match &event.kind {
+            EventKind::SpanOpen if event.name.starts_with("phase.") => {
+                self.phase = event.name["phase.".len()..].to_string();
+                (self.forward)(ProgressUpdate::Phase {
+                    name: self.phase.clone(),
+                });
+            }
+            EventKind::Point if event.name == "engine.level" => {
+                (self.forward)(ProgressUpdate::Level {
+                    phase: self.phase.clone(),
+                    depth: attr_u64(event, "depth").unwrap_or(0),
+                    bound: attr_u64(event, "bound"),
+                    states: attr_u64(event, "states").unwrap_or(0),
+                    frontier: attr_u64(event, "frontier").unwrap_or(0),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -391,6 +473,44 @@ mod tests {
                 .and_then(|a| a.get("states"))
                 .and_then(json::Json::as_u64),
             Some(97)
+        );
+    }
+
+    #[test]
+    fn progress_bridge_forwards_phase_and_level_updates() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let collector = Collector::full();
+        collector.add_sink(Box::new(ProgressBridge::channel(tx)));
+        {
+            let _span = collector.span("phase.verify");
+            collector.event(
+                "engine.level",
+                vec![
+                    ("depth".into(), 3u64.into()),
+                    ("bound".into(), 24u64.into()),
+                    ("states".into(), 57u64.into()),
+                    ("frontier".into(), 8u64.into()),
+                ],
+            );
+            // Unrelated events are not forwarded.
+            collector.event("engine.memo", vec![]);
+        }
+        drop(collector);
+        let updates: Vec<ProgressUpdate> = rx.iter().collect();
+        assert_eq!(
+            updates,
+            vec![
+                ProgressUpdate::Phase {
+                    name: "verify".into()
+                },
+                ProgressUpdate::Level {
+                    phase: "verify".into(),
+                    depth: 3,
+                    bound: Some(24),
+                    states: 57,
+                    frontier: 8,
+                },
+            ]
         );
     }
 

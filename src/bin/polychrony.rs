@@ -15,6 +15,18 @@
 //!                     [--progress] [--trace-out FILE]
 //! ```
 //!
+//! With a running `polychronyd` (see `docs/SERVICE.md`), four more
+//! subcommands talk to the daemon over its socket:
+//!
+//! ```bash
+//! polychrony submit (--socket PATH | --tcp ADDR) [--name NAME]
+//!                   [--workers N] [--hyperperiods N] [--product]
+//!                   [--property EXPR]... [--detach]
+//! polychrony status (--socket PATH | --tcp ADDR) [--id N]
+//! polychrony watch  (--socket PATH | --tcp ADDR) --id N
+//! polychrony stop   (--socket PATH | --tcp ADDR)
+//! ```
+//!
 //! Every subcommand also accepts `--quiet` (only final verdict lines) and
 //! `-v`/`--verbose` (extra detail such as per-phase timings). Live
 //! `--progress` output goes to stderr and `--trace-out` to its file, so
@@ -25,15 +37,18 @@
 //! values), `2` a check failed (invalid schedule, alarm during simulation,
 //! a verification violation, or a failed batch job).
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
+use polychrony_client::{ClientError, Endpoint};
 use polychrony_core::aadl::synth::SyntheticSpec;
 use polychrony_core::polyverify::{FrontierMode, Property};
 use polychrony_core::sched::SchedulingPolicy;
 use polychrony_core::{
-    BatchJob, BatchRunner, Collector, CoreError, JsonLinesSink, ProgressReporter, PropertySpec,
-    ScheduleOptions, Session, SessionOptions, ToolChain, VerificationScope,
+    BatchJob, BatchRunner, Collector, CoreError, JsonLinesSink, ProgressReporter, ProgressUpdate,
+    PropertySpec, ScheduleOptions, Session, SessionOptions, ToolChain, VerificationScope,
 };
+use polywire::{JobSpec, WireReport};
 
 /// A CLI failure: a usage error (exit code 1) or a runtime error (exit
 /// code 2), matching the contract in the module documentation.
@@ -50,6 +65,15 @@ impl From<CoreError> for CliError {
             CoreError::InvalidOptions(msg) => CliError::Usage(msg),
             other => CliError::Run(other.to_string()),
         }
+    }
+}
+
+impl From<ClientError> for CliError {
+    // Every client-side failure — daemon not running (connection refused),
+    // daemon-reported error, protocol mismatch — is a runtime error
+    // (exit 2), never a panic and never a usage error.
+    fn from(e: ClientError) -> Self {
+        CliError::Run(e.to_string())
     }
 }
 
@@ -141,6 +165,10 @@ fn main() -> ExitCode {
         "simulate" => simulate(&args[1..]),
         "verify" => verify(&args[1..]),
         "batch" => batch(&args[1..]),
+        "submit" => submit(&args[1..]),
+        "status" => status(&args[1..]),
+        "watch" => watch(&args[1..]),
+        "stop" => stop(&args[1..]),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -173,6 +201,12 @@ USAGE:
                         [--progress] [--trace-out FILE]
     polychrony batch    [--jobs N] [--workers N] [--property EXPR]...
                         [--progress] [--trace-out FILE]
+    polychrony submit   (--socket PATH | --tcp ADDR) [--name NAME]
+                        [--workers N] [--hyperperiods N] [--product]
+                        [--property EXPR]... [--detach]
+    polychrony status   (--socket PATH | --tcp ADDR) [--id N]
+    polychrony watch    (--socket PATH | --tcp ADDR) --id N
+    polychrony stop     (--socket PATH | --tcp ADDR)
 
 GLOBAL FLAGS (every subcommand):
     --quiet          print only the final verdict lines
@@ -215,7 +249,14 @@ COMMANDS:
     batch      run N models (the case study + synthetic workloads) through
                the whole pipeline concurrently on a bounded worker pool and
                print one timed report line per job; --property adds a user
-               property to every job";
+               property to every job
+    submit     send the case study to a running polychronyd (docs/SERVICE.md)
+               and stream progress until the report arrives; repeated submits
+               with the same front-end options hit the daemon's artifact
+               cache; --detach returns immediately after the job id
+    status     list the daemon's job table (or one job with --id)
+    watch      re-attach to a submitted job and stream it to completion
+    stop       ask the daemon to finish running jobs and exit";
 
 /// Rejects any argument that is not in the subcommand's allowed flag list
 /// (`(flag, takes_value)` pairs), so a typo like `--hyperperiod` fails
@@ -680,6 +721,189 @@ fn verify_injected_connection(
         replay.detail
     ));
     Ok(exit_for(replay.reproduced))
+}
+
+/// The endpoint flags shared by the daemon-facing subcommands.
+const ENDPOINT_FLAGS: [(&str, bool); 2] = [("--socket", true), ("--tcp", true)];
+
+/// Resolves `--socket PATH` / `--tcp ADDR` into a client endpoint;
+/// exactly one of the two is required.
+fn endpoint_from_args(args: &[String]) -> Result<Endpoint, CliError> {
+    let socket = flag_value(args, "--socket", String::new())?;
+    let tcp = flag_value(args, "--tcp", String::new())?;
+    match (socket.is_empty(), tcp.is_empty()) {
+        (false, true) => Ok(Endpoint::Unix(PathBuf::from(socket))),
+        (true, false) => Ok(Endpoint::Tcp(tcp)),
+        (true, true) => Err(CliError::Usage(
+            "one of --socket or --tcp is required".into(),
+        )),
+        (false, false) => Err(CliError::Usage(
+            "--socket and --tcp are mutually exclusive".into(),
+        )),
+    }
+}
+
+/// Streams one progress update to stderr (same channel as `--progress`,
+/// so it never interleaves with the report on stdout).
+fn print_progress(ui: Ui, id: u64, update: &ProgressUpdate) {
+    if ui.level < 0 {
+        return;
+    }
+    match update {
+        ProgressUpdate::Phase { name } => eprintln!("[job {id}] phase {name}"),
+        ProgressUpdate::Level {
+            phase,
+            depth,
+            bound,
+            states,
+            ..
+        } => {
+            let bound = bound.map_or_else(String::new, |b| format!("/{b}"));
+            eprintln!("[job {id}] {phase}: depth {depth}{bound}, {states} states");
+        }
+    }
+}
+
+/// Prints a daemon report. The `--quiet` output is diff-stable across
+/// cache-cold and cache-warm runs except for the leading `cache:` line —
+/// wall time and other run-variant detail goes through [`Ui::say`] /
+/// [`Ui::detail`] only.
+fn print_wire_report(ui: Ui, id: u64, report: &WireReport) -> Result<ExitCode, CliError> {
+    if let Some(error) = &report.error {
+        return Err(CliError::Run(format!("job {id} failed: {error}")));
+    }
+    ui.result(&format!(
+        "cache: {}",
+        report.cache.as_deref().unwrap_or("off")
+    ));
+    ui.say(&format!(
+        "hyper-period {} ticks, {} state(s), {} transition(s)",
+        report.hyperperiod, report.states, report.transitions
+    ));
+    ui.detail(&format!("wall time: {} us", report.wall_us));
+    for (name, verdict) in &report.verdicts {
+        ui.result(&format!("  {name}: {verdict}"));
+    }
+    ui.result(&format!(
+        "passed: {}",
+        if report.passed { "yes" } else { "NO" }
+    ));
+    Ok(exit_for(report.passed))
+}
+
+/// Submits the case study to a running daemon and (unless `--detach`)
+/// streams progress until the report arrives.
+fn submit(args: &[String]) -> Result<ExitCode, CliError> {
+    let mut allowed = vec![
+        ("--name", true),
+        ("--workers", true),
+        ("--hyperperiods", true),
+        ("--product", false),
+        ("--property", true),
+        ("--detach", false),
+    ];
+    allowed.extend(COMMON_FLAGS);
+    allowed.extend(ENDPOINT_FLAGS);
+    check_flags(args, &allowed)?;
+    let ui = Ui::from_args(args)?;
+    let endpoint = endpoint_from_args(args)?;
+    // Validate property syntax client-side: a typo is a usage error here,
+    // not a daemon-side rejection later.
+    parse_properties(args)?;
+    let mut options = SessionOptions::quick();
+    options.verify.workers = flag_value(args, "--workers", options.verify.workers)?;
+    options.verify.hyperperiods = flag_value(args, "--hyperperiods", options.verify.hyperperiods)?;
+    if has_flag(args, "--product") {
+        options.verify.scope = VerificationScope::Product;
+    }
+    options.verify.properties = flag_values(args, "--property")?
+        .into_iter()
+        .map(PropertySpec::new)
+        .collect();
+    options
+        .validate()
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    let name = flag_value(args, "--name", "case-study".to_string())?;
+    let spec = JobSpec::case_study(name).with_options(options);
+
+    let detach = has_flag(args, "--detach");
+    let mut client = endpoint.connect()?;
+    let (id, state) = client.submit(&spec, !detach)?;
+    ui.say(&format!(
+        "submitted job {id} ({}) to {endpoint}",
+        state.label()
+    ));
+    if detach {
+        ui.result(&format!("job: {id}"));
+        return Ok(ExitCode::SUCCESS);
+    }
+    let (result_id, report) = client.wait(|id, update| print_progress(ui, id, update))?;
+    print_wire_report(ui, result_id, &report)
+}
+
+/// Prints the daemon's job table (or one row with `--id`).
+fn status(args: &[String]) -> Result<ExitCode, CliError> {
+    let mut allowed = vec![("--id", true)];
+    allowed.extend(COMMON_FLAGS);
+    allowed.extend(ENDPOINT_FLAGS);
+    check_flags(args, &allowed)?;
+    let ui = Ui::from_args(args)?;
+    let endpoint = endpoint_from_args(args)?;
+    let id = match flag_value(args, "--id", 0u64)? {
+        0 => None,
+        id => Some(id),
+    };
+    let rows = endpoint.connect()?.status(id)?;
+    if rows.is_empty() {
+        ui.result("no jobs");
+        return Ok(ExitCode::SUCCESS);
+    }
+    for row in &rows {
+        let detail = if row.detail.is_empty() {
+            String::new()
+        } else {
+            format!("  {}", row.detail)
+        };
+        ui.result(&format!(
+            "#{:<4} {:<10} {:<24}{detail}",
+            row.id,
+            row.state.label(),
+            row.name
+        ));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Re-attaches to a job and streams it to completion (a finished job
+/// replays its stored report immediately).
+fn watch(args: &[String]) -> Result<ExitCode, CliError> {
+    let mut allowed = vec![("--id", true)];
+    allowed.extend(COMMON_FLAGS);
+    allowed.extend(ENDPOINT_FLAGS);
+    check_flags(args, &allowed)?;
+    let ui = Ui::from_args(args)?;
+    let endpoint = endpoint_from_args(args)?;
+    let id = flag_value(args, "--id", 0u64)?;
+    if id == 0 {
+        return Err(CliError::Usage("watch needs --id N".into()));
+    }
+    let mut client = endpoint.connect()?;
+    client.watch(id)?;
+    let (result_id, report) = client.wait(|id, update| print_progress(ui, id, update))?;
+    print_wire_report(ui, result_id, &report)
+}
+
+/// Asks the daemon to finish running jobs and exit.
+fn stop(args: &[String]) -> Result<ExitCode, CliError> {
+    let mut allowed = vec![];
+    allowed.extend(COMMON_FLAGS);
+    allowed.extend(ENDPOINT_FLAGS);
+    check_flags(args, &allowed)?;
+    let ui = Ui::from_args(args)?;
+    let endpoint = endpoint_from_args(args)?;
+    endpoint.connect()?.shutdown()?;
+    ui.result("daemon stopping");
+    Ok(ExitCode::SUCCESS)
 }
 
 fn exit_for(ok: bool) -> ExitCode {
