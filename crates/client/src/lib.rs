@@ -154,14 +154,35 @@ impl Client {
     /// Reads the next frame, treating EOF as [`ClientError::Disconnected`]
     /// and an `error` frame as [`ClientError::Daemon`].
     ///
+    /// A daemon that dies mid-stream does not always produce a clean EOF
+    /// at a frame boundary: the kernel may report the closed peer as an
+    /// unexpected-EOF inside a frame, a connection reset, or a broken
+    /// pipe. All of those are the same event from the caller's point of
+    /// view, so they are folded into [`ClientError::Disconnected`] too —
+    /// the CLI maps it to the same clean exit 2 as connection-refused.
+    ///
     /// # Errors
     ///
-    /// Also [`ClientError::Wire`] for stream and framing failures.
+    /// Also [`ClientError::Wire`] for framing failures (malformed frames,
+    /// oversized lengths) and stream errors other than a closed peer.
     pub fn recv(&mut self) -> Result<Frame, ClientError> {
-        match read_frame(&mut self.reader)? {
-            Some(Frame::Error { message }) => Err(ClientError::Daemon(message)),
-            Some(frame) => Ok(frame),
-            None => Err(ClientError::Disconnected),
+        use std::io::ErrorKind;
+        match read_frame(&mut self.reader) {
+            Ok(Some(Frame::Error { message })) => Err(ClientError::Daemon(message)),
+            Ok(Some(frame)) => Ok(frame),
+            Ok(None) => Err(ClientError::Disconnected),
+            Err(WireError::Io(e))
+                if matches!(
+                    e.kind(),
+                    ErrorKind::UnexpectedEof
+                        | ErrorKind::ConnectionReset
+                        | ErrorKind::ConnectionAborted
+                        | ErrorKind::BrokenPipe
+                ) =>
+            {
+                Err(ClientError::Disconnected)
+            }
+            Err(e) => Err(e.into()),
         }
     }
 
@@ -197,7 +218,9 @@ impl Client {
         }
     }
 
-    /// Cancels a queued job, returning its state after the request.
+    /// Cancels a queued or running job, returning its state after the
+    /// request (a `Cancelled` ack is binding: the job never reports a
+    /// completed result afterwards).
     ///
     /// # Errors
     ///

@@ -181,7 +181,9 @@ impl<T> Entry<T> {
     }
 }
 
-/// One bounded cache level: FIFO eviction once `capacity` is exceeded.
+/// One bounded cache level: least-recently-used eviction once `capacity`
+/// is exceeded. `order` is the recency queue — front is the eviction
+/// victim, back is the most recently inserted *or hit* key.
 #[derive(Debug)]
 struct Level<T> {
     entries: BTreeMap<u64, Entry<T>>,
@@ -196,15 +198,28 @@ impl<T: Clone> Level<T> {
         }
     }
 
-    fn get(&self, key: u64, source: &str, root: &str, fingerprint: &str) -> Option<T> {
-        self.entries
+    fn get(&mut self, key: u64, source: &str, root: &str, fingerprint: &str) -> Option<T> {
+        let artifact = self
+            .entries
             .get(&key)
             .filter(|e| e.matches(source, root, fingerprint))
-            .map(|e| e.artifact.clone())
+            .map(|e| e.artifact.clone())?;
+        // Promote on hit: a hot entry swept on every run must outlive
+        // colder entries once the level runs over capacity (LRU, not
+        // insertion-order FIFO).
+        if let Some(position) = self.order.iter().position(|&k| k == key) {
+            self.order.remove(position);
+            self.order.push_back(key);
+        }
+        Some(artifact)
     }
 
     fn insert(&mut self, key: u64, entry: Entry<T>, capacity: usize) {
         if self.entries.insert(key, entry).is_none() {
+            self.order.push_back(key);
+        } else if let Some(position) = self.order.iter().position(|&k| k == key) {
+            // Overwriting an existing key refreshes its recency too.
+            self.order.remove(position);
             self.order.push_back(key);
         }
         while self.entries.len() > capacity {
@@ -261,8 +276,9 @@ impl ArtifactCache {
         Self::with_capacity(DEFAULT_CAPACITY)
     }
 
-    /// A cache holding up to `capacity` entries per level (FIFO eviction;
-    /// a zero capacity disables storing, turning every run into a miss).
+    /// A cache holding up to `capacity` entries per level (least-recently-
+    /// used eviction, where both inserts and hits refresh recency; a zero
+    /// capacity disables storing, turning every run into a miss).
     pub fn with_capacity(capacity: usize) -> Self {
         Self::build(capacity, Collector::noop())
     }
@@ -494,6 +510,43 @@ mod tests {
         assert_eq!(outcome, CacheOutcome::Miss);
         let (_, outcome) = b.run_cached(&cache).unwrap();
         assert_eq!(outcome, CacheOutcome::SimulatedHit);
+    }
+
+    #[test]
+    fn a_repeatedly_hit_entry_survives_an_over_capacity_sweep() {
+        use aadl::synth::SyntheticSpec;
+        // Capacity 2 per level; `hot` is inserted first but hit before the
+        // level overflows, so the eviction victim must be the colder
+        // `filler` entry — under the old insertion-order FIFO the sweep
+        // evicted `hot` despite its hit.
+        let cache = ArtifactCache::with_capacity(2);
+        let hot = BatchJob::case_study("hot").with_options(quick());
+        let filler = BatchJob::synthetic("filler", &SyntheticSpec::new(2, 1)).with_options(quick());
+        let newcomer =
+            BatchJob::synthetic("newcomer", &SyntheticSpec::new(3, 1)).with_options(quick());
+
+        hot.run_cached(&cache).unwrap();
+        filler.run_cached(&cache).unwrap();
+        let (_, outcome) = hot.run_cached(&cache).unwrap();
+        assert_eq!(outcome, CacheOutcome::SimulatedHit, "hot entry warms up");
+
+        // Third distinct job overflows the level: LRU must evict `filler`.
+        newcomer.run_cached(&cache).unwrap();
+        let (_, outcome) = hot.run_cached(&cache).unwrap();
+        assert_eq!(
+            outcome,
+            CacheOutcome::SimulatedHit,
+            "the repeatedly-hit entry must survive the over-capacity sweep"
+        );
+        // `filler` lost its simulated entry (the LRU victim); its frontend
+        // entry survived because that level evicted `hot`'s never-re-read
+        // front end instead.
+        let (_, outcome) = filler.run_cached(&cache).unwrap();
+        assert_eq!(
+            outcome,
+            CacheOutcome::FrontendHit,
+            "the least-recently-used simulated entry was the eviction victim"
+        );
     }
 
     #[test]

@@ -732,21 +732,46 @@ impl Simulated {
     /// Returns [`CoreError::Verification`] when the product is inconsistent
     /// or the exploration fails.
     pub fn verify_product(&self) -> Result<VerifiedProduct, CoreError> {
-        let components: Vec<ProductComponent> = self
-            .thread_units
+        self.verify_product_with_links(self.product_links())
+    }
+
+    /// One [`ProductComponent`] per scheduled thread unit — the pieces
+    /// [`Simulated::verify_product`] assembles, exposed so harnesses can
+    /// build tampered products (fault injection) from the same artifacts.
+    pub fn product_components(&self) -> Vec<ProductComponent> {
+        self.thread_units
             .iter()
             .map(|unit| ProductComponent {
                 name: unit.model.thread_name.clone(),
                 process: unit.model.flat.clone(),
                 schedule: unit.model.timing_trace(&self.schedule, 1),
             })
-            .collect();
-        let links: Vec<PortLink> = self.connections.iter().map(port_link_for).collect();
+            .collect()
+    }
+
+    /// The untampered [`PortLink`]s derived from the instance's event-port
+    /// connections — the injection point for connection faults: tamper the
+    /// returned links (e.g. with
+    /// [`polyverify::inject_connection_latency`])
+    /// and hand them to [`Simulated::verify_product_with_links`].
+    pub fn product_links(&self) -> Vec<PortLink> {
+        self.connections.iter().map(port_link_for).collect()
+    }
+
+    /// The product property set for `links`: alarm freedom, deadlock
+    /// freedom, one end-to-end response bound per link, plus the user
+    /// properties of the session options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidOptions`] when a user property does not
+    /// parse.
+    pub fn product_properties(&self, links: &[PortLink]) -> Result<Vec<Property>, CoreError> {
         let mut properties = vec![
             Property::NeverRaised("*Alarm*".to_string()),
             Property::DeadlockFree,
         ];
-        for link in &links {
+        for link in links {
             properties.push(end_to_end_response_for(
                 link,
                 &self.tasks,
@@ -759,6 +784,25 @@ impl Simulated {
         for spec in &self.options.verify.properties {
             properties.push(spec.parse()?);
         }
+        Ok(properties)
+    }
+
+    /// Like [`Simulated::verify_product`], but over caller-supplied
+    /// `links` — the fault-injection hook: pass
+    /// [`Simulated::product_links`] tampered by the `polyverify` injectors
+    /// to model-check a system with a faulty interconnect against the
+    /// untampered properties.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Verification`] when the product is inconsistent
+    /// or the exploration fails.
+    pub fn verify_product_with_links(
+        &self,
+        links: Vec<PortLink>,
+    ) -> Result<VerifiedProduct, CoreError> {
+        let components = self.product_components();
+        let properties = self.product_properties(&links)?;
         let system = ProductSystem::new(components, links)?;
         let bound = system.horizon() * self.options.verify.hyperperiods as usize;
         let verifier = ProductVerifier::new(

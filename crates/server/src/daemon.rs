@@ -254,8 +254,15 @@ impl Daemon {
         }
     }
 
-    /// Cancels a job if it is still queued; running and terminal jobs are
-    /// left untouched. Returns the job's state after the request.
+    /// Cancels a queued or running job; terminal jobs are left untouched.
+    /// Returns the job's state after the request.
+    ///
+    /// The ack is binding: once `Cancelled` is returned, the job reports
+    /// `Cancelled` forever — even when a worker had already claimed it off
+    /// the queue (or is mid-`run_job`), in which case the in-flight
+    /// computation finishes but its result is discarded. Without this, a
+    /// cancel landing in the instant between queue-claim and completion
+    /// was acked as cancelled and then overwritten with `Done`.
     ///
     /// # Errors
     ///
@@ -263,7 +270,7 @@ impl Daemon {
     pub fn cancel(&self, id: u64) -> Result<JobState, ServerError> {
         let mut state = self.state();
         let entry = state.jobs.get_mut(&id).ok_or(ServerError::UnknownJob(id))?;
-        if entry.state == JobState::Queued {
+        if entry.state == JobState::Queued || entry.state == JobState::Running {
             entry.state = JobState::Cancelled;
             let report = cancelled_report();
             for tx in entry.watchers.drain(..) {
@@ -399,34 +406,46 @@ fn worker_loop(inner: Arc<Inner>) {
         let Some((id, spec)) = claimed else { return };
         let report = run_job(&inner, id, &spec);
         let failed = report.error.is_some() || !report.passed;
-        {
+        let discarded = {
             let mut state = lock(&inner.state);
             let entry = state
                 .jobs
                 .get_mut(&id)
                 .expect("running job is in the table");
-            entry.state = if report.error.is_none() {
-                JobState::Done
+            let discarded = entry.state == JobState::Cancelled;
+            if discarded {
+                // Cancelled between claim and completion: the cancel ack
+                // already promised `Cancelled` (watchers were drained with
+                // the cancelled report, the log records `cancelled`), so
+                // the computed result is discarded — no `Done`/`Failed`
+                // overwrite, no `finished` log line, no result frames.
             } else {
-                JobState::Failed
-            };
-            inner.log.finished(id, &report);
-            for tx in entry.watchers.drain(..) {
-                let _ = tx.send(Frame::Result {
-                    id,
-                    report: report.clone(),
-                });
+                entry.state = if report.error.is_none() {
+                    JobState::Done
+                } else {
+                    JobState::Failed
+                };
+                inner.log.finished(id, &report);
+                for tx in entry.watchers.drain(..) {
+                    let _ = tx.send(Frame::Result {
+                        id,
+                        report: report.clone(),
+                    });
+                }
+                entry.report = Some(report);
             }
-            entry.report = Some(report);
             state.running -= 1;
             inner
                 .collector
                 .gauge("daemon.running")
                 .set(state.running as u64);
-        }
-        inner.collector.counter("daemon.jobs").incr();
-        if failed {
-            inner.collector.counter("daemon.failures").incr();
+            discarded
+        };
+        if !discarded {
+            inner.collector.counter("daemon.jobs").incr();
+            if failed {
+                inner.collector.counter("daemon.failures").incr();
+            }
         }
         inner.job_done.notify_all();
     }

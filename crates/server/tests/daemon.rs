@@ -150,6 +150,77 @@ fn a_queued_job_can_be_cancelled_but_done_jobs_cannot() {
 }
 
 #[test]
+fn cancelling_a_claimed_job_reports_cancelled_never_a_completed_result() {
+    let daemon = quick_daemon(1);
+    // A long simulation horizon keeps the worker mid-`run_job` long enough
+    // to observe `Running` and land the cancel inside the claim window.
+    let mut slow = SessionOptions::quick();
+    slow.simulate.hyperperiods = 300;
+    let (id, rx) = daemon
+        .submit_watched(JobSpec::case_study("doomed").with_options(slow))
+        .expect("submit");
+
+    // Wait until a worker has claimed the job off the queue.
+    loop {
+        let state = daemon.status(Some(id)).expect("status")[0].state;
+        if state == JobState::Running {
+            break;
+        }
+        assert!(
+            !state.is_terminal(),
+            "job reached {state:?} before it could be cancelled — raise the horizon"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    // The ack is binding even though the worker is mid-run: the in-flight
+    // result must be discarded, never reported.
+    assert_eq!(daemon.cancel(id).expect("cancel"), JobState::Cancelled);
+
+    // The watcher sees exactly one result frame — the cancelled report.
+    let results: Vec<WireReport> = rx
+        .iter()
+        .filter_map(|frame| match frame {
+            Frame::Result { id: got, report } => {
+                assert_eq!(got, id);
+                Some(report)
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(results.len(), 1, "exactly one result frame after a cancel");
+    assert!(
+        results[0]
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("cancelled"),
+        "the single result is the cancelled report: {:?}",
+        results[0]
+    );
+
+    // Once the worker completes (and discards its report), the job still
+    // reports Cancelled everywhere: status, repeat cancel, fresh watch.
+    daemon.wait_idle();
+    assert_eq!(
+        daemon.status(Some(id)).expect("status")[0].state,
+        JobState::Cancelled
+    );
+    assert_eq!(
+        daemon.cancel(id).expect("cancel again"),
+        JobState::Cancelled
+    );
+    let replayed = wait_report(&daemon, id);
+    assert!(replayed
+        .error
+        .as_deref()
+        .unwrap_or("")
+        .contains("cancelled"));
+
+    daemon.request_shutdown();
+    daemon.join();
+}
+
+#[test]
 fn an_invalid_spec_is_rejected_at_submission() {
     let daemon = quick_daemon(1);
     let mut options = SessionOptions::quick();

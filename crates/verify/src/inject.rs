@@ -94,6 +94,156 @@ pub fn inject_connection_latency(
     })
 }
 
+/// Description of an injected dropped-delivery fault.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectedDropFault {
+    /// Name of the tampered link.
+    pub link: String,
+    /// Latency of the link before the fault, in ticks.
+    pub original_latency: usize,
+    /// The horizon beyond which the link's deliveries were pushed.
+    pub horizon: usize,
+}
+
+/// Injects a dropped-delivery bug into a product's links: the link named
+/// `link` silently loses every event — modelled by pushing its latency
+/// past `horizon`, so within the verified window no delivery ever lands
+/// (the product drops deliveries scheduled beyond the horizon). A
+/// cross-thread [`crate::Property::EndToEndResponse`] whose response never
+/// arrives must then expire.
+///
+/// Returns `None` (leaving the links untouched) when no link has that
+/// name or `horizon` is 0.
+pub fn inject_dropped_delivery(
+    links: &mut [PortLink],
+    link: &str,
+    horizon: usize,
+) -> Option<InjectedDropFault> {
+    if horizon == 0 {
+        return None;
+    }
+    let tampered = links.iter_mut().find(|l| l.name == link)?;
+    let original_latency = tampered.latency;
+    tampered.latency = horizon + 1;
+    Some(InjectedDropFault {
+        link: tampered.name.clone(),
+        original_latency,
+        horizon,
+    })
+}
+
+/// Description of an injected dispatch-jitter fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectedJitterFault {
+    /// Ticks every dispatch was delayed by.
+    pub jitter: usize,
+    /// Number of dispatch events that were moved.
+    pub moved: usize,
+}
+
+/// Injects dispatch jitter into a scheduled timing trace: every `Dispatch`
+/// event is delayed by `jitter` ticks, as if the dispatcher fired late,
+/// while `Resume` and `Deadline` stay on the nominal grid. Dispatches
+/// jittered past the end of the trace are lost. The resulting trace is no
+/// longer the one the scheduler promised, so the dispatch-feasibility
+/// oracle, the deadline monitor or a user property may fire — whatever the
+/// verifier concludes must still replay.
+///
+/// Signal names are prefixed with `prefix` (empty for a stand-alone thread
+/// trace). Returns `None` when `jitter` is 0 or the trace contains no
+/// dispatch event to move.
+pub fn inject_dispatch_jitter(
+    trace: &mut Trace,
+    prefix: &str,
+    jitter: usize,
+) -> Option<InjectedJitterFault> {
+    if jitter == 0 {
+        return None;
+    }
+    let dispatch = format!("{prefix}Dispatch");
+    let ticks: Vec<usize> = (0..trace.len())
+        .filter(|&t| {
+            trace
+                .value(t, &dispatch)
+                .map(|v| v.as_bool())
+                .unwrap_or(false)
+        })
+        .collect();
+    if ticks.is_empty() {
+        return None;
+    }
+    for &t in &ticks {
+        trace.set(t, dispatch.clone(), Value::Bool(false));
+    }
+    let mut moved = 0;
+    for &t in &ticks {
+        let late = t + jitter;
+        if late < trace.len() {
+            trace.set(late, dispatch.clone(), Value::Bool(true));
+            moved += 1;
+        }
+    }
+    Some(InjectedJitterFault { jitter, moved })
+}
+
+/// Description of an injected schedule-corruption fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectedCorruptionFault {
+    /// Seed of the deterministic flip stream.
+    pub seed: u64,
+    /// Number of boolean trace cells that were flipped.
+    pub flipped: usize,
+}
+
+/// Injects seeded corruption into a scheduled timing trace: `flips`
+/// pseudo-random boolean cells (tick × signal, drawn from a splitmix64
+/// stream over `seed`) are inverted, as if the stored schedule had been
+/// damaged. The corruption is deterministic — the same seed flips the
+/// same cells — so a finding shrinks and replays. Whatever the verifier
+/// concludes on the corrupted trace must agree with the reference
+/// semantics and must replay.
+///
+/// Returns `None` when the trace is empty, has no boolean cells, or
+/// `flips` is 0.
+pub fn inject_schedule_corruption(
+    trace: &mut Trace,
+    seed: u64,
+    flips: usize,
+) -> Option<InjectedCorruptionFault> {
+    if flips == 0 || trace.is_empty() {
+        return None;
+    }
+    let signals = trace.signals();
+    if signals.is_empty() {
+        return None;
+    }
+    let mut stream = seed;
+    let mut next = move || {
+        stream = stream.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = stream;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut flipped = 0;
+    // Bounded draw budget so a trace with no boolean cells terminates.
+    for _ in 0..flips.saturating_mul(8) {
+        if flipped == flips {
+            break;
+        }
+        let t = (next() % trace.len() as u64) as usize;
+        let signal = signals[(next() % signals.len() as u64) as usize].clone();
+        if let Some(Value::Bool(b)) = trace.value(t, &signal).cloned() {
+            trace.set(t, signal, Value::Bool(!b));
+            flipped += 1;
+        }
+    }
+    if flipped == 0 {
+        return None;
+    }
+    Some(InjectedCorruptionFault { seed, flipped })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +307,54 @@ mod tests {
         assert_eq!(inject_connection_latency(&mut links, "ghost", 8), None);
         assert_eq!(inject_connection_latency(&mut links, "c1", 0), None);
         assert_eq!(links[0].latency, 0);
+    }
+
+    #[test]
+    fn dropped_delivery_pushes_the_link_past_the_horizon() {
+        let mut links = vec![PortLink::event("c1", "tx", "out", "rx", "in").with_latency(1)];
+        let fault = inject_dropped_delivery(&mut links, "c1", 24).unwrap();
+        assert_eq!(fault.original_latency, 1);
+        assert_eq!(fault.horizon, 24);
+        assert_eq!(links[0].latency, 25, "no delivery can land in the window");
+        assert_eq!(inject_dropped_delivery(&mut links, "ghost", 24), None);
+        assert_eq!(inject_dropped_delivery(&mut links, "c1", 0), None);
+    }
+
+    #[test]
+    fn dispatch_jitter_moves_every_dispatch_and_loses_late_ones() {
+        let mut trace = Trace::new();
+        for t in 0..6usize {
+            trace.set(t, "Dispatch", Value::Bool(t == 0 || t == 4));
+            trace.set(t, "Resume", Value::Bool(t == 1));
+        }
+        let fault = inject_dispatch_jitter(&mut trace, "", 3).unwrap();
+        assert_eq!(fault.jitter, 3);
+        assert_eq!(fault.moved, 1, "the tick-4 dispatch jitters off the end");
+        assert_eq!(trace.value(0, "Dispatch"), Some(&Value::Bool(false)));
+        assert_eq!(trace.value(3, "Dispatch"), Some(&Value::Bool(true)));
+        assert_eq!(trace.value(4, "Dispatch"), Some(&Value::Bool(false)));
+        assert_eq!(
+            trace.value(1, "Resume"),
+            Some(&Value::Bool(true)),
+            "only dispatches move"
+        );
+        assert_eq!(inject_dispatch_jitter(&mut trace, "", 0), None);
+    }
+
+    #[test]
+    fn schedule_corruption_is_seeded_and_deterministic() {
+        let reference = timing_trace("");
+        let mut once = reference.clone();
+        let mut twice = reference.clone();
+        let fault = inject_schedule_corruption(&mut once, 42, 3).unwrap();
+        assert_eq!(fault.flipped, 3);
+        assert_ne!(once, reference, "cells were flipped");
+        inject_schedule_corruption(&mut twice, 42, 3).unwrap();
+        assert_eq!(once, twice, "the same seed flips the same cells");
+        let mut other = reference.clone();
+        inject_schedule_corruption(&mut other, 43, 3).unwrap();
+        assert_ne!(once, other, "a different seed flips different cells");
+        assert_eq!(inject_schedule_corruption(&mut once, 42, 0), None);
+        assert_eq!(inject_schedule_corruption(&mut Trace::new(), 42, 3), None);
     }
 }

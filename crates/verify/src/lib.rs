@@ -83,7 +83,9 @@ pub use explore::{
     Verifier, VerifyError, VerifyOptions,
 };
 pub use inject::{
-    inject_connection_latency, inject_deadline_overrun, InjectedFault, InjectedLinkFault,
+    inject_connection_latency, inject_deadline_overrun, inject_dispatch_jitter,
+    inject_dropped_delivery, inject_schedule_corruption, InjectedCorruptionFault,
+    InjectedDropFault, InjectedFault, InjectedJitterFault, InjectedLinkFault,
 };
 pub use ltl::{Formula, LtlProperty, ParseError};
 pub use monitor::{LtlMonitor, MonitorStep};

@@ -34,7 +34,8 @@ pub enum Frame {
         /// Job to query, or `None` for the whole table.
         id: Option<u64>,
     },
-    /// Cancel a queued job (running jobs finish; done jobs are unaffected).
+    /// Cancel a queued or running job (a running job finishes but its result
+    /// is discarded; terminal jobs are unaffected).
     Cancel {
         /// Job to cancel.
         id: u64,
@@ -137,7 +138,8 @@ pub enum JobState {
     Done,
     /// Finished with a phase error.
     Failed,
-    /// Cancelled while still queued.
+    /// Cancelled before completing (while queued, or mid-run with the
+    /// in-flight result discarded).
     Cancelled,
 }
 

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Bounded vopr smoke, the gate CI runs (see docs/VOPR.md). Three legs:
+#
+#   1. a fixed-seed chaos run over the full oracle battery that must come
+#      back clean (exit 0, "verdict: clean");
+#   2. a fault-demo run that must find an injected deadline overrun,
+#      shrink it and print a replayable minimal failing system;
+#   3. a replay of the seed printed by leg 2, which must reproduce the
+#      same detection bit-for-bit.
+#
+#   scripts/vopr.sh [ITERATIONS]
+#
+# Budgets are small so the gate stays fast; pass a bigger ITERATIONS for
+# a longer soak (the corpus in tests/vopr_corpus.rs is where findings
+# worth keeping end up).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+iterations="${1:-8}"
+bin=./target/release/polychrony
+
+cargo build --release --bin polychrony
+
+echo "== vopr chaos smoke (${iterations} iteration(s)) =="
+$bin vopr --seed 5 --iterations "$iterations" | tee vopr_chaos.txt
+grep -q '^verdict: clean' vopr_chaos.txt
+
+echo "== vopr fault demo (deadline overrun) =="
+$bin vopr --seed 2 --iterations "$iterations" --fault deadline-overrun | tee vopr_demo.txt
+grep -q '^verdict: injected deadline-overrun detected' vopr_demo.txt
+grep -q 'minimal failing system' vopr_demo.txt
+grep -q '^replay: polychrony vopr --replay 0x' vopr_demo.txt
+
+echo "== vopr replay of the printed seed =="
+seed="$(sed -n 's/^replay: polychrony vopr --replay \(0x[0-9a-f]*\).*/\1/p' vopr_demo.txt)"
+$bin vopr --replay "$seed" --fault deadline-overrun | tee vopr_replay.txt
+diff <(grep -v '^vopr' vopr_demo.txt) <(grep -v '^vopr' vopr_replay.txt)
+
+rm -f vopr_chaos.txt vopr_demo.txt vopr_replay.txt
+echo "vopr smoke: all legs green"

@@ -13,6 +13,8 @@
 //!                     [--progress] [--trace-out FILE]
 //! polychrony batch    [--jobs N] [--workers N] [--property EXPR]...
 //!                     [--progress] [--trace-out FILE]
+//! polychrony vopr     [--seed S] [--iterations N] [--fault KIND]
+//!                     [--max-threads N] [--no-shrink] [--replay S]
 //! ```
 //!
 //! With a running `polychronyd` (see `docs/SERVICE.md`), four more
@@ -25,6 +27,8 @@
 //! polychrony status (--socket PATH | --tcp ADDR) [--id N]
 //! polychrony watch  (--socket PATH | --tcp ADDR) --id N
 //! polychrony stop   (--socket PATH | --tcp ADDR)
+//! polychrony vopr   --daemon (--socket PATH | --tcp ADDR) [--seed S]
+//!                   [--iterations N] [--max-threads N]
 //! ```
 //!
 //! Every subcommand also accepts `--quiet` (only final verdict lines) and
@@ -48,6 +52,7 @@ use polychrony_core::{
     BatchJob, BatchRunner, Collector, CoreError, JsonLinesSink, ProgressReporter, ProgressUpdate,
     PropertySpec, ScheduleOptions, Session, SessionOptions, ToolChain, VerificationScope,
 };
+use polyvopr::{FaultKind, VoprOptions};
 use polywire::{JobSpec, WireReport};
 
 /// A CLI failure: a usage error (exit code 1) or a runtime error (exit
@@ -165,6 +170,7 @@ fn main() -> ExitCode {
         "simulate" => simulate(&args[1..]),
         "verify" => verify(&args[1..]),
         "batch" => batch(&args[1..]),
+        "vopr" => vopr(&args[1..]),
         "submit" => submit(&args[1..]),
         "status" => status(&args[1..]),
         "watch" => watch(&args[1..]),
@@ -201,6 +207,10 @@ USAGE:
                         [--progress] [--trace-out FILE]
     polychrony batch    [--jobs N] [--workers N] [--property EXPR]...
                         [--progress] [--trace-out FILE]
+    polychrony vopr     [--seed S] [--iterations N] [--fault KIND]
+                        [--max-threads N] [--no-shrink] [--replay S]
+    polychrony vopr     --daemon (--socket PATH | --tcp ADDR) [--seed S]
+                        [--iterations N] [--max-threads N]
     polychrony submit   (--socket PATH | --tcp ADDR) [--name NAME]
                         [--workers N] [--hyperperiods N] [--product]
                         [--property EXPR]... [--detach]
@@ -250,6 +260,21 @@ COMMANDS:
                the whole pipeline concurrently on a bounded worker pool and
                print one timed report line per job; --property adds a user
                property to every job
+    vopr       seeded whole-system chaos harness (docs/VOPR.md): generate
+               complete AADL systems from --seed, drive each through the
+               full pipeline and cross-check independent oracles (cached
+               vs uncached runs, compiled LTL monitors vs the reference
+               trace semantics, product verdicts vs lockstep
+               co-simulation, counterexample replay); --fault injects one
+               of deadline-overrun, connection-latency, dropped-delivery,
+               dispatch-jitter, corrupted-schedule into every scenario and
+               demands the verifier catch it; any finding is shrunk to a
+               minimal failing system (--no-shrink to keep the original)
+               and printed with a replay line; --replay S re-runs one
+               scenario seed (hex 0x... or decimal) literally; with
+               --daemon, fan the generated jobs at a running polychronyd
+               instead and cross-check every wire report against a local
+               run of the identical job
     submit     send the case study to a running polychronyd (docs/SERVICE.md)
                and stream progress until the report arrives; repeated submits
                with the same front-end options hit the daemon's artifact
@@ -508,6 +533,113 @@ fn batch(args: &[String]) -> Result<ExitCode, CliError> {
     }
     ui.result(&results.totals());
     Ok(exit_for(results.all_passed()))
+}
+
+/// Parses a scenario seed as printed by a vopr replay line: `0x`-prefixed
+/// hexadecimal or plain decimal.
+fn parse_seed(text: &str, flag: &str) -> Result<u64, CliError> {
+    let parsed = match text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => text.parse(),
+    };
+    parsed.map_err(|_| {
+        CliError::Usage(format!(
+            "invalid value for {flag}: `{text}` is not a decimal or 0x-prefixed seed"
+        ))
+    })
+}
+
+/// Runs the seeded chaos harness (or replays one scenario seed), printing
+/// findings with their minimal failing system and replay line. With
+/// `--daemon`, fans the generated jobs at a running daemon instead.
+fn vopr(args: &[String]) -> Result<ExitCode, CliError> {
+    let mut allowed = vec![
+        ("--seed", true),
+        ("--iterations", true),
+        ("--fault", true),
+        ("--max-threads", true),
+        ("--no-shrink", false),
+        ("--replay", true),
+        ("--daemon", false),
+    ];
+    allowed.extend(COMMON_FLAGS);
+    allowed.extend(ENDPOINT_FLAGS);
+    check_flags(args, &allowed)?;
+    let ui = Ui::from_args(args)?;
+    let defaults = VoprOptions::default();
+    let fault = match flag_value(args, "--fault", String::new())?.as_str() {
+        "" => None,
+        label => Some(FaultKind::from_label(label).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown fault `{label}` (use {})",
+                FaultKind::ALL.map(FaultKind::label).join(", ")
+            ))
+        })?),
+    };
+    let options = VoprOptions {
+        seed: parse_seed(&flag_value(args, "--seed", "0".to_string())?, "--seed")?,
+        iterations: flag_value(args, "--iterations", defaults.iterations)?,
+        fault,
+        max_threads: flag_value(args, "--max-threads", defaults.max_threads)?,
+        shrink: !has_flag(args, "--no-shrink"),
+    };
+    if options.iterations == 0 {
+        return Err(CliError::Usage("--iterations must be at least 1".into()));
+    }
+    if options.max_threads == 0 {
+        return Err(CliError::Usage("--max-threads must be at least 1".into()));
+    }
+    let mut progress = |line: String| ui.detail(&format!("  {line}"));
+
+    if has_flag(args, "--daemon") {
+        if fault.is_some() {
+            return Err(CliError::Usage(
+                "--fault is not available with --daemon (the daemon runs unmodified jobs)".into(),
+            ));
+        }
+        if has_flag(args, "--replay") {
+            return Err(CliError::Usage(
+                "--replay is not available with --daemon".into(),
+            ));
+        }
+        let endpoint = endpoint_from_args(args)?;
+        ui.say(&format!(
+            "vopr daemon load: {} seeded job(s) against {endpoint} (master seed 0x{:016x})\n",
+            options.iterations, options.seed
+        ));
+        let report = polyvopr::run_daemon_load(&endpoint, &options, &mut progress)?;
+        ui.result(report.summary().trim_end());
+        return Ok(ExitCode::from(
+            u8::try_from(report.exit_code()).unwrap_or(2),
+        ));
+    }
+
+    let replay_seed = match flag_value(args, "--replay", String::new())?.as_str() {
+        "" => None,
+        text => Some(parse_seed(text, "--replay")?),
+    };
+    let report = match replay_seed {
+        Some(seed) => {
+            ui.say(&format!(
+                "vopr replay: scenario seed 0x{seed:016x}{}\n",
+                fault.map_or_else(String::new, |f| format!(", injecting {f}"))
+            ));
+            polyvopr::replay(seed, &options, &mut progress)
+        }
+        None => {
+            ui.say(&format!(
+                "vopr: {} scenario(s) from master seed 0x{:016x}{}\n",
+                options.iterations,
+                options.seed,
+                fault.map_or_else(String::new, |f| format!(", injecting {f}"))
+            ));
+            polyvopr::run(&options, &mut progress)
+        }
+    };
+    ui.result(report.summary().trim_end());
+    Ok(ExitCode::from(
+        u8::try_from(report.exit_code()).unwrap_or(2),
+    ))
 }
 
 fn simulate(args: &[String]) -> Result<ExitCode, CliError> {

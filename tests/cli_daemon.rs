@@ -83,6 +83,94 @@ fn conflicting_endpoint_flags_are_a_usage_error_exit_1() {
 }
 
 #[test]
+fn a_daemon_dying_mid_stream_is_a_clean_exit_2_not_a_hang() {
+    let socket = tmp("dies.sock");
+    let _ = std::fs::remove_file(&socket);
+
+    let mut daemon = Command::new(daemon_bin())
+        .args(["--socket"])
+        .arg(&socket)
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("spawn polychronyd");
+    for _ in 0..200 {
+        if socket.exists() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(socket.exists(), "daemon socket never appeared");
+    let pid = daemon.id().to_string();
+
+    // Freeze the daemon so the watch request is accepted by the listening
+    // socket's backlog but never answered — the client is parked inside
+    // its blocking read when the daemon is killed.
+    let stopped = Command::new("kill")
+        .args(["-STOP", &pid])
+        .status()
+        .expect("send SIGSTOP");
+    assert!(stopped.success());
+
+    let mut watcher = cli()
+        .args(["watch", "--id", "1", "--socket"])
+        .arg(&socket)
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn watch");
+    std::thread::sleep(Duration::from_millis(300));
+    assert!(
+        watcher.try_wait().expect("poll watcher").is_none(),
+        "watcher should still be blocked on the frozen daemon"
+    );
+
+    // Kill the frozen daemon: the kernel closes its sockets and the
+    // watcher's read fails mid-stream.
+    let killed = Command::new("kill")
+        .args(["-KILL", &pid])
+        .status()
+        .expect("send SIGKILL");
+    assert!(killed.success());
+    let _ = daemon.wait();
+
+    // The watcher must exit 2 with a clean message — not panic, not hang.
+    let mut exited = None;
+    for _ in 0..400 {
+        if let Some(status) = watcher.try_wait().expect("poll watcher") {
+            exited = Some(status);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let Some(status) = exited else {
+        let _ = watcher.kill();
+        panic!("watch hung after the daemon died mid-stream");
+    };
+    assert_eq!(
+        status.code(),
+        Some(2),
+        "watch against a dying daemon must exit 2"
+    );
+    let mut stderr = String::new();
+    use std::io::Read as _;
+    watcher
+        .stderr
+        .take()
+        .expect("piped stderr")
+        .read_to_string(&mut stderr)
+        .expect("read stderr");
+    assert!(
+        stderr.contains("daemon closed the connection"),
+        "stderr should explain the mid-stream disconnect cleanly: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "no panic output expected: {stderr}"
+    );
+
+    let _ = std::fs::remove_file(&socket);
+}
+
+#[test]
 fn submitting_twice_hits_the_cache_with_identical_verdicts() {
     let socket = tmp("e2e.sock");
     let log = tmp("e2e.log");
