@@ -15,7 +15,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use polyverify::{FrontierMode, Property};
+use polyverify::{Domain, FrontierMode, Property};
 use sched::SchedulingPolicy;
 
 use crate::error::CoreError;
@@ -223,6 +223,17 @@ pub struct VerificationOptions {
     /// Initial capacity (in states) of the state interner. Must be at
     /// least 1; the interner grows past it on demand.
     pub interner_capacity: usize,
+    /// The state-space domain: [`Domain::Concrete`] explores exact states,
+    /// [`Domain::Interval`] widens property-invisible monotone counters so
+    /// unbounded-counter spaces can close with a genuine proof (see
+    /// `docs/SYMBOLIC.md`).
+    pub domain: Domain,
+    /// Under [`Domain::Interval`], drops every property-invisible counter
+    /// slot from the canonical state key instead of widening it.
+    pub project_counters: bool,
+    /// Widening threshold of the interval domain: counter values above it
+    /// saturate. Must be at least 1.
+    pub widen_threshold: i64,
 }
 
 impl Default for VerificationOptions {
@@ -236,6 +247,9 @@ impl Default for VerificationOptions {
             frontier: FrontierMode::default(),
             pruning: true,
             interner_capacity: 4096,
+            domain: Domain::Concrete,
+            project_counters: false,
+            widen_threshold: 8,
         }
     }
 }
@@ -265,6 +279,12 @@ impl VerificationOptions {
             return Err(CoreError::InvalidOptions(
                 "verify.interner_capacity must be at least 1 (got 0)".into(),
             ));
+        }
+        if self.widen_threshold < 1 {
+            return Err(CoreError::InvalidOptions(format!(
+                "verify.widen_threshold must be at least 1 (got {})",
+                self.widen_threshold
+            )));
         }
         for spec in &self.properties {
             spec.parse()?;

@@ -18,7 +18,7 @@ use crate::options::{
 use crate::report::ToolChainReport;
 use crate::session::Session;
 
-use polyverify::FrontierMode;
+use polyverify::{Domain, FrontierMode};
 use sched::SchedulingPolicy;
 
 /// Options controlling a tool-chain run — the flat, all-phases-in-one view
@@ -63,6 +63,14 @@ pub struct ToolChainOptions {
     /// Initial per-shard capacity of the state interner (grows on demand).
     /// Must be at least 1.
     pub verify_interner_capacity: usize,
+    /// State-space domain of the verification phase: `concrete` explores
+    /// exact states, `interval` widens property-invisible monotone counters
+    /// so unbounded-counter spaces can close with a proof (see
+    /// `docs/SYMBOLIC.md`).
+    pub verify_domain: Domain,
+    /// Under the interval domain, drops property-invisible counter slots
+    /// from the canonical state key instead of widening them.
+    pub verify_project_counters: bool,
     /// Telemetry collector handed to every phase of the run (phase spans,
     /// engine counters, the [`RunRecord`](polyobs::RunRecord) embedded into
     /// the report). Defaults to noop; collection mode never changes any
@@ -85,6 +93,8 @@ impl Default for ToolChainOptions {
             verify_frontier: FrontierMode::default(),
             verify_pruning: true,
             verify_interner_capacity: 4096,
+            verify_domain: Domain::Concrete,
+            verify_project_counters: false,
             collector: polyobs::Collector::noop(),
         }
     }
@@ -114,6 +124,9 @@ impl ToolChainOptions {
                 frontier: self.verify_frontier,
                 pruning: self.verify_pruning,
                 interner_capacity: self.verify_interner_capacity,
+                domain: self.verify_domain,
+                project_counters: self.verify_project_counters,
+                widen_threshold: VerificationOptions::default().widen_threshold,
             },
             collector: self.collector.clone(),
         }
@@ -221,6 +234,23 @@ impl ToolChain {
     #[must_use]
     pub fn with_verify_interner_capacity(mut self, capacity: usize) -> Self {
         self.options.verify_interner_capacity = capacity;
+        self
+    }
+
+    /// Selects the state-space domain of the verification phase
+    /// (`Domain::Concrete` by default; `Domain::Interval` closes
+    /// unbounded-counter spaces by widening — see `docs/SYMBOLIC.md`).
+    #[must_use]
+    pub fn with_verify_domain(mut self, domain: Domain) -> Self {
+        self.options.verify_domain = domain;
+        self
+    }
+
+    /// Under the interval domain, drops property-invisible counter slots
+    /// from the canonical state key instead of widening them.
+    #[must_use]
+    pub fn with_verify_project_counters(mut self, project: bool) -> Self {
+        self.options.verify_project_counters = project;
         self
     }
 

@@ -676,6 +676,9 @@ impl Simulated {
                 .with_frontier(self.options.verify.frontier)
                 .with_pruning(self.options.verify.pruning)
                 .with_interner_capacity(self.options.verify.interner_capacity)
+                .with_domain(self.options.verify.domain)
+                .with_project_counters(self.options.verify.project_counters)
+                .with_widen_threshold(self.options.verify.widen_threshold)
                 .with_collector(self.options.collector.clone());
             if let Some(relation) = dispatch_clocks.relation(&unit.model.thread_name) {
                 let mut oracle = polyverify::DispatchFeasibility::new();
@@ -813,6 +816,9 @@ impl Simulated {
                 .with_frontier(self.options.verify.frontier)
                 .with_pruning(self.options.verify.pruning)
                 .with_interner_capacity(self.options.verify.interner_capacity)
+                .with_domain(self.options.verify.domain)
+                .with_project_counters(self.options.verify.project_counters)
+                .with_widen_threshold(self.options.verify.widen_threshold)
                 .with_collector(self.options.collector.clone()),
         )?;
         let outcome = verifier.verify(&properties)?;

@@ -131,6 +131,7 @@ pub(crate) struct Sink<'a> {
     memo_hits: usize,
     memo_misses: usize,
     monitor_steps: usize,
+    widened: usize,
     fatal: Option<(u32, VerifyError)>,
 }
 
@@ -149,6 +150,7 @@ impl<'a> Sink<'a> {
             memo_hits: 0,
             memo_misses: 0,
             monitor_steps: 0,
+            widened: 0,
             fatal: None,
         }
     }
@@ -222,6 +224,12 @@ impl<'a> Sink<'a> {
         self.monitor_steps += 1;
     }
 
+    /// Counts memory slots rewritten to their abstract representative
+    /// (saturated or reset) while canonicalising one successor.
+    pub fn widened(&mut self, n: usize) {
+        self.widened += n;
+    }
+
     /// Records a fatal error for the current state, keeping the error of
     /// the smallest erroring state (by key bytes) so the reported error
     /// does not depend on scheduling.
@@ -272,6 +280,7 @@ pub(crate) fn explore<E: Expander>(
     let mut memo_hits = 0usize;
     let mut memo_misses = 0usize;
     let mut monitor_steps = 0usize;
+    let mut widened = 0usize;
     let mut peak_frontier = 0usize;
     let mut frontier_levels: Vec<u32> = Vec::new();
     let mut truncated = pre_truncated;
@@ -292,6 +301,7 @@ pub(crate) fn explore<E: Expander>(
     let c_memo_hits = obs.counter("engine.memo_hits");
     let c_memo_misses = obs.counter("engine.memo_misses");
     let c_monitor_steps = obs.counter("engine.monitor_steps");
+    let c_widened = obs.counter("engine.widened");
     let c_levels = obs.counter("engine.levels");
     let c_steals = obs.counter("engine.steals");
     let g_frontier = obs.gauge("engine.frontier");
@@ -425,6 +435,7 @@ pub(crate) fn explore<E: Expander>(
         let mut level_memo_hits = 0usize;
         let mut level_memo_misses = 0usize;
         let mut level_monitor_steps = 0usize;
+        let mut level_widened = 0usize;
         for sink in sinks {
             level_transitions += sink.transitions;
             level_infeasible += sink.infeasible;
@@ -432,6 +443,7 @@ pub(crate) fn explore<E: Expander>(
             level_memo_hits += sink.memo_hits;
             level_memo_misses += sink.memo_misses;
             level_monitor_steps += sink.monitor_steps;
+            level_widened += sink.widened;
             next.extend(sink.next);
             ties.extend(sink.ties);
             violations.extend(sink.violations);
@@ -457,6 +469,7 @@ pub(crate) fn explore<E: Expander>(
         memo_hits += level_memo_hits;
         memo_misses += level_memo_misses;
         monitor_steps += level_monitor_steps;
+        widened += level_widened;
 
         // Flush this level's deltas to the collector — once per barrier, so
         // the amortised hot-loop cost stays at ~one relaxed atomic per
@@ -470,6 +483,7 @@ pub(crate) fn explore<E: Expander>(
             c_memo_hits.add(level_memo_hits as u64);
             c_memo_misses.add(level_memo_misses as u64);
             c_monitor_steps.add(level_monitor_steps as u64);
+            c_widened.add(level_widened as u64);
             c_levels.add(1);
             g_depth.set(depth as u64 + 1);
             g_frontier.set(next.len() as u64);
@@ -590,6 +604,9 @@ pub(crate) fn explore<E: Expander>(
         frontier_levels,
         memo_hits,
         memo_misses,
+        widened,
+        projected_slots: 0,
+        reconcretized: 0,
     };
     let verdicts = properties
         .iter()

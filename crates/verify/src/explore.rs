@@ -16,6 +16,7 @@ use signal_moc::trace::{Trace, TraceStep};
 use signal_moc::value::{Value, ValueType};
 
 use crate::counterexample::Counterexample;
+use crate::domain::{Domain, SlotAbstraction};
 use crate::engine::{self, Expander, Sink};
 use crate::monitor::{compile_properties, CompiledProperty};
 use crate::property::Property;
@@ -88,6 +89,23 @@ pub struct VerifyOptions {
     /// [`ExplorationStats`] — pinned by the determinism proptests in
     /// `tests/obs_determinism.rs`.
     pub collector: polyobs::Collector,
+    /// The state-space domain: [`Domain::Concrete`] explores exact per-slot
+    /// values; [`Domain::Interval`] widens isolated monotone counters at
+    /// [`VerifyOptions::widen_threshold`] so unbounded-counter spaces can
+    /// close with a genuine proof (see [`crate::domain`] and
+    /// `docs/SYMBOLIC.md`). Abstract counterexamples are re-concretized and
+    /// must replay before being reported; a failed replay falls back to the
+    /// concrete exploration, so verdicts can only strengthen.
+    pub domain: Domain,
+    /// Under [`Domain::Interval`], additionally drop every abstractable
+    /// counter slot from the canonical key entirely (the `⊤` projection)
+    /// instead of only widening the monotone ones. No effect in the
+    /// concrete domain.
+    pub project_counters: bool,
+    /// Saturation point of widened counter slots under
+    /// [`Domain::Interval`]: values above it collapse to the abstract
+    /// `≥ threshold`.
+    pub widen_threshold: i64,
 }
 
 impl Default for VerifyOptions {
@@ -105,6 +123,9 @@ impl Default for VerifyOptions {
             pruning: true,
             oracle: None,
             collector: polyobs::Collector::noop(),
+            domain: Domain::Concrete,
+            project_counters: false,
+            widen_threshold: 8,
         }
     }
 }
@@ -172,6 +193,27 @@ impl VerifyOptions {
     /// it never changes verdicts, counterexamples or stats.
     pub fn with_collector(mut self, collector: polyobs::Collector) -> Self {
         self.collector = collector;
+        self
+    }
+
+    /// Selects the exploration domain (see [`VerifyOptions::domain`]).
+    pub fn with_domain(mut self, domain: Domain) -> Self {
+        self.domain = domain;
+        self
+    }
+
+    /// Enables or disables counter projection under the interval domain
+    /// (see [`VerifyOptions::project_counters`]).
+    pub fn with_project_counters(mut self, project: bool) -> Self {
+        self.project_counters = project;
+        self
+    }
+
+    /// Sets the widening threshold of the interval domain (clamped to at
+    /// least 1 so a saturated counter stays distinguishable from its
+    /// initial value in the common `init 0` case).
+    pub fn with_widen_threshold(mut self, threshold: i64) -> Self {
+        self.widen_threshold = threshold.max(1);
         self
     }
 }
@@ -294,6 +336,19 @@ pub struct ExplorationStats {
     /// verifier — the memo misses (with memoisation disabled this counts
     /// every component step).
     pub memo_misses: usize,
+    /// Memory slots rewritten to their abstract representative (saturated
+    /// at the widening threshold or reset by projection) while
+    /// canonicalising successors — always 0 in the concrete domain. The
+    /// expansion multiset is worker-independent, so this count is
+    /// deterministic like every other field.
+    pub widened: usize,
+    /// Number of memory slots dropped from the canonical key by counter
+    /// projection (a static property of the analyzed model and options,
+    /// not a per-transition count).
+    pub projected_slots: usize,
+    /// Number of abstract counterexamples re-concretized and replayed in
+    /// the explicit simulator by the interval domain's soundness gate.
+    pub reconcretized: usize,
 }
 
 /// Everything one [`Verifier::verify`] call learned.
@@ -345,6 +400,13 @@ impl VerificationOutcome {
             out.push_str(&format!(
                 "  component memo: {} hits / {} misses\n",
                 self.stats.memo_hits, self.stats.memo_misses
+            ));
+        }
+        if self.stats.widened > 0 || self.stats.projected_slots > 0 {
+            out.push_str(&format!(
+                "  interval domain: {} widenings, {} projected slot(s), \
+                 {} counterexample(s) re-concretized\n",
+                self.stats.widened, self.stats.projected_slots, self.stats.reconcretized
             ));
         }
         for v in &self.verdicts {
@@ -624,6 +686,73 @@ impl Verifier {
         if properties.is_empty() {
             return Err(VerifyError::NoProperties);
         }
+        if self.options.domain == Domain::Interval {
+            let abstraction = SlotAbstraction::analyze(
+                self.process(),
+                properties,
+                "",
+                &[],
+                self.options.project_counters,
+                self.options.widen_threshold,
+                self.evaluator.memory_len(),
+            );
+            if !abstraction.is_identity() {
+                let outcome = self.verify_explicit(space, properties, Some(&abstraction))?;
+                return self.reconcile(space, properties, outcome, &abstraction);
+            }
+        }
+        self.verify_explicit(space, properties, None)
+    }
+
+    /// The strengthen-only gate of the interval domain: every abstract
+    /// counterexample is re-concretized (its inputs are exact — abstraction
+    /// only touches memory slots) and replayed in the explicit simulator.
+    /// If all replays reproduce, the abstract outcome stands (annotated
+    /// with the gate's counters); any spurious or erroring replay abandons
+    /// the abstraction and re-runs today's fully concrete exploration, so
+    /// no verdict can get worse than the explicit engine's.
+    fn reconcile(
+        &self,
+        space: &InputSpace,
+        properties: &[Property],
+        mut outcome: VerificationOutcome,
+        abstraction: &SlotAbstraction,
+    ) -> Result<VerificationOutcome, VerifyError> {
+        let mut reconcretized = 0usize;
+        let mut confirmed = true;
+        for (_, cex) in outcome.violations() {
+            reconcretized += 1;
+            match cex.replay(self.process()) {
+                Ok(report) if report.reproduced => {}
+                _ => {
+                    confirmed = false;
+                    break;
+                }
+            }
+        }
+        if !confirmed {
+            return self.verify_explicit(space, properties, None);
+        }
+        outcome.stats.projected_slots = abstraction.projected_slots();
+        outcome.stats.reconcretized = reconcretized;
+        let obs = &self.options.collector;
+        if obs.is_enabled() {
+            obs.counter("engine.projected_slots")
+                .add(abstraction.projected_slots() as u64);
+            obs.counter("engine.reconcretized")
+                .add(reconcretized as u64);
+        }
+        Ok(outcome)
+    }
+
+    /// One exploration pass: concrete when `abstraction` is `None`,
+    /// abstract (normalising every state to its representative) otherwise.
+    fn verify_explicit(
+        &self,
+        space: &InputSpace,
+        properties: &[Property],
+        abstraction: Option<&SlotAbstraction>,
+    ) -> Result<VerificationOutcome, VerifyError> {
         let scheduled = match space {
             InputSpace::Scheduled(trace) if trace.is_empty() => {
                 return Err(VerifyError::EmptySchedule)
@@ -648,8 +777,12 @@ impl Verifier {
             .position(|p| matches!(p, Property::DeadlockFree));
 
         let monitor_count = initial_monitors.len();
+        let mut initial_memory = self.evaluator.memory();
+        if let Some(abstraction) = abstraction {
+            abstraction.normalize(&mut initial_memory);
+        }
         let initial = State {
-            memory: self.evaluator.memory(),
+            memory: initial_memory,
             phase: 0,
             monitors: initial_monitors,
         };
@@ -666,6 +799,7 @@ impl Verifier {
             } else {
                 None
             },
+            abstraction,
         };
         engine::explore(
             &expander,
@@ -689,6 +823,8 @@ struct ThreadExpander<'a> {
     deadlock_idx: Option<usize>,
     monitor_count: usize,
     oracle: Option<&'a DispatchFeasibility>,
+    /// Interval-domain slot plans; `None` explores the concrete domain.
+    abstraction: Option<&'a SlotAbstraction>,
 }
 
 /// Per-worker scratch: the evaluator clone (a deep copy of the flattened
@@ -758,6 +894,15 @@ impl ThreadExpander<'_> {
                 // on thread interleaving. The level loop checks it between
                 // levels instead.
                 ctx.evaluator.memory_into(&mut ctx.memory);
+                if let Some(abstraction) = self.abstraction {
+                    // Canonicalise to the abstract representative before
+                    // interning: saturated counters collapse into one state
+                    // and the fixpoint can close.
+                    let widened = abstraction.normalize(&mut ctx.memory);
+                    if widened > 0 {
+                        sink.widened(widened);
+                    }
+                }
                 let (hash, bytes) =
                     ctx.codec
                         .successor(&ctx.memory, next_phase, &ctx.succ_monitors);
@@ -1134,6 +1279,163 @@ mod tests {
             );
         }
         assert!(outcome.summary().contains("truncated"));
+    }
+
+    /// `count := count$1 init 0 + 1` — the unbounded monotone counter that
+    /// can never close in the concrete domain.
+    fn unbounded_counter() -> Process {
+        let mut b = ProcessBuilder::new("counter");
+        b.input("tick", ValueType::Event);
+        b.output("count", ValueType::Integer);
+        b.define(
+            "count",
+            Expr::add(Expr::delay(Expr::var("count"), Value::Int(0)), Expr::int(1)),
+        );
+        b.synchronize(&["count", "tick"]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn interval_domain_closes_the_unbounded_counter_with_a_proof() {
+        let process = unbounded_counter();
+        let property = [Property::NeverRaised("*Alarm*".into())];
+        // Concrete domain: the space never closes; a bounded run passes.
+        let concrete = Verifier::new(&process, VerifyOptions::default().with_depth_bound(24))
+            .unwrap()
+            .verify(&InputSpace::Free, &property)
+            .unwrap();
+        assert!(matches!(
+            concrete.verdicts[0].verdict,
+            Verdict::PassedBounded { .. }
+        ));
+        // Interval domain: the counter widens at the threshold, the
+        // fixpoint closes, and the verdict is a genuine proof.
+        let interval = Verifier::new(
+            &process,
+            VerifyOptions::default().with_domain(Domain::Interval),
+        )
+        .unwrap()
+        .verify(&InputSpace::Free, &property)
+        .unwrap();
+        assert!(interval.all_proved(), "{}", interval.summary());
+        assert!(!interval.stats.truncated);
+        assert!(interval.stats.widened > 0, "{:?}", interval.stats);
+        assert_eq!(interval.stats.reconcretized, 0);
+        // Bit-identical across worker counts and frontier modes.
+        for workers in [1usize, 2, 8] {
+            for frontier in [FrontierMode::Barrier, FrontierMode::WorkStealing] {
+                let again = Verifier::new(
+                    &process,
+                    VerifyOptions::default()
+                        .with_domain(Domain::Interval)
+                        .with_workers(workers)
+                        .with_frontier(frontier),
+                )
+                .unwrap()
+                .verify(&InputSpace::Free, &property)
+                .unwrap();
+                assert_eq!(interval.verdicts, again.verdicts);
+                assert_eq!(interval.stats, again.stats, "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn projection_drops_the_counter_entirely() {
+        let process = unbounded_counter();
+        let property = [Property::NeverRaised("*Alarm*".into())];
+        let widened = Verifier::new(
+            &process,
+            VerifyOptions::default().with_domain(Domain::Interval),
+        )
+        .unwrap()
+        .verify(&InputSpace::Free, &property)
+        .unwrap();
+        let projected = Verifier::new(
+            &process,
+            VerifyOptions::default()
+                .with_domain(Domain::Interval)
+                .with_project_counters(true),
+        )
+        .unwrap()
+        .verify(&InputSpace::Free, &property)
+        .unwrap();
+        assert!(projected.all_proved(), "{}", projected.summary());
+        assert_eq!(projected.stats.projected_slots, 1);
+        assert!(
+            projected.stats.states < widened.stats.states,
+            "projection ({}) must merge harder than widening ({})",
+            projected.stats.states,
+            widened.stats.states
+        );
+    }
+
+    #[test]
+    fn interval_domain_closes_scheduled_unbounded_counters() {
+        let process = unbounded_counter();
+        let mut trace = Trace::new();
+        for t in 0..3usize {
+            trace.set(t, "tick", Value::Event);
+        }
+        let outcome = Verifier::new(
+            &process,
+            VerifyOptions::default().with_domain(Domain::Interval),
+        )
+        .unwrap()
+        .verify(
+            &InputSpace::Scheduled(trace),
+            &[Property::NeverRaised("*Alarm*".into())],
+        )
+        .unwrap();
+        assert!(outcome.all_proved(), "{}", outcome.summary());
+        assert!(!outcome.stats.truncated);
+    }
+
+    #[test]
+    fn interval_domain_still_finds_and_replays_real_violations() {
+        // The watcher's alarm is reachable; the interval domain must report
+        // it with the same minimal counterexample after the replay gate.
+        let process = watcher();
+        let property = [Property::NeverRaised("*Alarm*".into())];
+        let concrete = Verifier::new(&process, VerifyOptions::default())
+            .unwrap()
+            .verify(&InputSpace::Free, &property)
+            .unwrap();
+        let interval = Verifier::new(
+            &process,
+            VerifyOptions::default().with_domain(Domain::Interval),
+        )
+        .unwrap()
+        .verify(&InputSpace::Free, &property)
+        .unwrap();
+        assert_eq!(concrete.verdicts, interval.verdicts);
+        let (_, cex) = interval.violations().next().expect("alarm reachable");
+        assert!(cex.replay(&process).unwrap().reproduced);
+    }
+
+    #[test]
+    fn deadlock_free_requests_run_concrete_under_interval() {
+        // DeadlockFree disables the abstraction: the interval run of the
+        // unbounded counter behaves exactly like the concrete engine (here:
+        // truncated by the depth bound, never widened).
+        let process = unbounded_counter();
+        let outcome = Verifier::new(
+            &process,
+            VerifyOptions::default()
+                .with_domain(Domain::Interval)
+                .with_depth_bound(4),
+        )
+        .unwrap()
+        .verify(
+            &InputSpace::Free,
+            &[
+                Property::NeverRaised("*Alarm*".into()),
+                Property::DeadlockFree,
+            ],
+        )
+        .unwrap();
+        assert_eq!(outcome.stats.widened, 0);
+        assert!(outcome.stats.truncated);
     }
 
     #[test]

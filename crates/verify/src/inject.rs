@@ -3,6 +3,8 @@
 //! counterexamples replay.
 
 use serde::{Deserialize, Serialize};
+use signal_moc::expr::Expr;
+use signal_moc::process::{Equation, Process};
 use signal_moc::trace::Trace;
 use signal_moc::value::Value;
 
@@ -244,6 +246,96 @@ pub fn inject_schedule_corruption(
     Some(InjectedCorruptionFault { seed, flipped })
 }
 
+/// Description of an injected counter-drift fault.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectedDriftFault {
+    /// Signal whose defining equation owns the drifted memory.
+    pub signal: String,
+    /// Original initial value of the memory.
+    pub original: i64,
+    /// Initial value after the drift.
+    pub drifted: i64,
+}
+
+/// Injects counter drift into a process definition: one integer-initialised
+/// memory (a `$ init` delay or a `cell … init`) is picked pseudo-randomly
+/// from `seed` and its initial value shifted by `drift`, as if persisted
+/// counter state had decayed between runs. The pick is deterministic — the
+/// same seed drifts the same memory — so a finding shrinks and replays.
+/// Both verification domains must agree on the drifted process: the
+/// interval abstraction may widen the drifted slot, but never at the cost
+/// of a verdict a property that *reads* the slot would have produced
+/// concretely.
+///
+/// Returns `None` when `drift` is 0 or the process has no
+/// integer-initialised memory (nothing to inject).
+pub fn inject_counter_drift(
+    process: &mut Process,
+    seed: u64,
+    drift: i64,
+) -> Option<InjectedDriftFault> {
+    if drift == 0 {
+        return None;
+    }
+    fn visit(expr: &mut Expr, f: &mut impl FnMut(&mut Value)) {
+        match expr {
+            Expr::Var(_) | Expr::Const(_) => {}
+            Expr::Unary(_, e) | Expr::ClockOf(e) | Expr::ClockWhen(e) => visit(e, f),
+            Expr::Binary(_, a, b) | Expr::When(a, b) | Expr::Default(a, b) => {
+                visit(a, f);
+                visit(b, f);
+            }
+            Expr::Delay(e, init) => {
+                visit(e, f);
+                f(init);
+            }
+            Expr::Cell(input, clock, init) => {
+                visit(input, f);
+                visit(clock, f);
+                f(init);
+            }
+        }
+    }
+    let mut total = 0usize;
+    for equation in &mut process.equations {
+        if let Equation::Definition { expr, .. } | Equation::PartialDefinition { expr, .. } =
+            equation
+        {
+            visit(expr, &mut |init| {
+                if matches!(init, Value::Int(_)) {
+                    total += 1;
+                }
+            });
+        }
+    }
+    if total == 0 {
+        return None;
+    }
+    let picked = (seed % total as u64) as usize;
+    let mut index = 0usize;
+    let mut fault = None;
+    for equation in &mut process.equations {
+        if let Equation::Definition { target, expr }
+        | Equation::PartialDefinition { target, expr } = equation
+        {
+            visit(expr, &mut |init| {
+                if let Value::Int(original) = *init {
+                    if index == picked {
+                        *init = Value::Int(original + drift);
+                        fault = Some(InjectedDriftFault {
+                            signal: target.clone(),
+                            original,
+                            drifted: original + drift,
+                        });
+                    }
+                    index += 1;
+                }
+            });
+        }
+    }
+    fault
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,6 +431,64 @@ mod tests {
             "only dispatches move"
         );
         assert_eq!(inject_dispatch_jitter(&mut trace, "", 0), None);
+    }
+
+    #[test]
+    fn counter_drift_shifts_one_seeded_memory_init() {
+        use signal_moc::builder::ProcessBuilder;
+        use signal_moc::value::ValueType;
+
+        fn counters() -> Process {
+            let mut b = ProcessBuilder::new("drifty");
+            b.input("d", ValueType::Boolean);
+            b.local("a", ValueType::Integer);
+            b.local("t", ValueType::Integer);
+            b.define(
+                "a",
+                Expr::add(Expr::delay(Expr::var("a"), Value::Int(0)), Expr::int(1)),
+            );
+            b.define(
+                "t",
+                Expr::add(Expr::delay(Expr::var("t"), Value::Int(3)), Expr::int(1)),
+            );
+            b.synchronize(&["d", "a", "t"]);
+            b.build().unwrap()
+        }
+        let mut first = counters();
+        let fault = inject_counter_drift(&mut first, 0, 2).unwrap();
+        assert_eq!(fault.signal, "a");
+        assert_eq!(fault.original, 0);
+        assert_eq!(fault.drifted, 2);
+        assert_ne!(first, counters(), "the init really changed");
+        let mut again = counters();
+        assert_eq!(inject_counter_drift(&mut again, 0, 2), Some(fault));
+        assert_eq!(first, again, "the same seed drifts the same memory");
+        let mut second = counters();
+        let other = inject_counter_drift(&mut second, 1, 2).unwrap();
+        assert_eq!(other.signal, "t");
+        assert_eq!(other.original, 3);
+        assert_eq!(other.drifted, 5);
+    }
+
+    #[test]
+    fn counter_drift_needs_a_real_drift_and_an_integer_memory() {
+        use signal_moc::builder::ProcessBuilder;
+        use signal_moc::value::ValueType;
+
+        let mut b = ProcessBuilder::new("memoryless");
+        b.input("d", ValueType::Boolean);
+        b.output("echo", ValueType::Boolean);
+        b.define("echo", Expr::delay(Expr::var("d"), Value::Bool(false)));
+        b.synchronize(&["d", "echo"]);
+        let mut process = b.build().unwrap();
+        let before = process.clone();
+        assert_eq!(inject_counter_drift(&mut process, 7, 0), None);
+        assert_eq!(
+            inject_counter_drift(&mut process, 7, 2),
+            None,
+            "boolean memories are not counters"
+        );
+        assert_eq!(process, before);
     }
 
     #[test]

@@ -33,7 +33,16 @@
 //!   ([`PortLink`]) treated as synchronising actions, so cross-thread
 //!   latency properties become checkable — with counterexamples that
 //!   project back to per-thread traces and replay in a lockstep
-//!   co-simulation ([`LockstepCoSim`]).
+//!   co-simulation ([`LockstepCoSim`]);
+//! * an interval abstraction over delay memories ([`domain`],
+//!   [`Domain::Interval`]) that widens unobservable monotone counters at a
+//!   saturation threshold — and, with
+//!   [`VerifyOptions::with_project_counters`], drops them from the state
+//!   key — so unbounded-counter spaces close with a genuine
+//!   [`Verdict::Proved`]. Strengthen-only: abstract counterexamples are
+//!   re-concretized and must replay before being reported, and a failed
+//!   replay falls back to the fully concrete exploration
+//!   (`docs/SYMBOLIC.md`).
 //!
 //! # Quick start
 //!
@@ -67,6 +76,7 @@
 #![warn(missing_docs)]
 
 pub mod counterexample;
+pub mod domain;
 mod engine;
 pub mod explore;
 pub mod inject;
@@ -78,14 +88,16 @@ pub mod state;
 
 pub use affine_clocks::DispatchFeasibility;
 pub use counterexample::{Counterexample, ReplayReport};
+pub use domain::{AbstractState, AbstractValue, Domain, SlotAbstraction, SlotPlan};
 pub use explore::{
     ExplorationStats, FrontierMode, InputSpace, PropertyVerdict, Verdict, VerificationOutcome,
     Verifier, VerifyError, VerifyOptions,
 };
 pub use inject::{
-    inject_connection_latency, inject_deadline_overrun, inject_dispatch_jitter,
-    inject_dropped_delivery, inject_schedule_corruption, InjectedCorruptionFault,
-    InjectedDropFault, InjectedFault, InjectedJitterFault, InjectedLinkFault,
+    inject_connection_latency, inject_counter_drift, inject_deadline_overrun,
+    inject_dispatch_jitter, inject_dropped_delivery, inject_schedule_corruption,
+    InjectedCorruptionFault, InjectedDriftFault, InjectedDropFault, InjectedFault,
+    InjectedJitterFault, InjectedLinkFault,
 };
 pub use ltl::{Formula, LtlProperty, ParseError};
 pub use monitor::{LtlMonitor, MonitorStep};

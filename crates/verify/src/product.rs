@@ -44,6 +44,7 @@ use signal_moc::value::Value;
 use signal_moc::InstantView;
 
 use crate::counterexample::{Counterexample, ReplayReport};
+use crate::domain::{Domain, SlotAbstraction};
 use crate::engine::{self, Expander, Sink};
 use crate::explore::{VerificationOutcome, VerifyError, VerifyOptions};
 use crate::monitor::{compile_properties, CompiledProperty};
@@ -601,6 +602,95 @@ impl ProductVerifier {
         if properties.is_empty() {
             return Err(VerifyError::NoProperties);
         }
+        if self.options.domain == Domain::Interval {
+            let abstraction = self.analyze_abstraction(properties)?;
+            if !abstraction.is_identity() {
+                let outcome = self.verify_with(properties, Some(&abstraction))?;
+                return self.reconcile(properties, outcome, &abstraction);
+            }
+        }
+        self.verify_with(properties, None)
+    }
+
+    /// Per-component abstraction analysis, concatenated into the joint
+    /// memory layout. A component's link-touched signals (emission markers,
+    /// delivered inputs, freeze markers and frozen counts) join its
+    /// observable set: link-derived joint signals are computed from them, so
+    /// they must stay exact even when no property names them directly.
+    fn analyze_abstraction(&self, properties: &[Property]) -> Result<SlotAbstraction, VerifyError> {
+        let mut parts = Vec::with_capacity(self.system.components.len());
+        for component in &self.system.components {
+            let mut extra_reads: Vec<String> = Vec::new();
+            for link in &self.system.links {
+                if link.source == component.name {
+                    extra_reads.push(link.source_signal.clone());
+                }
+                if link.target == component.name {
+                    extra_reads.push(link.target_signal.clone());
+                    extra_reads.extend(link.target_freeze.clone());
+                    extra_reads.extend(link.target_count.clone());
+                }
+            }
+            let evaluator = Evaluator::new(&component.process)?;
+            parts.push(SlotAbstraction::analyze(
+                &component.process,
+                properties,
+                &format!("{}_", component.name),
+                &extra_reads,
+                self.options.project_counters,
+                self.options.widen_threshold,
+                evaluator.memory_len(),
+            ));
+        }
+        Ok(SlotAbstraction::concat(parts))
+    }
+
+    /// The strengthen-only gate of the abstract product run: every abstract
+    /// counterexample must reproduce in a [`LockstepCoSim`] replay — an
+    /// execution path independent of the abstraction — before the outcome
+    /// is reported. A failed replay discards the abstraction and re-runs
+    /// the fully concrete product exploration.
+    fn reconcile(
+        &self,
+        properties: &[Property],
+        mut outcome: VerificationOutcome,
+        abstraction: &SlotAbstraction,
+    ) -> Result<VerificationOutcome, VerifyError> {
+        let mut reconcretized = 0usize;
+        let mut confirmed = true;
+        for (_, cex) in outcome.violations() {
+            reconcretized += 1;
+            match self.replay(cex) {
+                Ok(report) if report.reproduced => {}
+                _ => {
+                    confirmed = false;
+                    break;
+                }
+            }
+        }
+        if !confirmed {
+            return self.verify_with(properties, None);
+        }
+        outcome.stats.projected_slots = abstraction.projected_slots();
+        outcome.stats.reconcretized = reconcretized;
+        let obs = &self.options.collector;
+        if obs.is_enabled() {
+            obs.counter("engine.projected_slots")
+                .add(abstraction.projected_slots() as u64);
+            obs.counter("engine.reconcretized")
+                .add(reconcretized as u64);
+        }
+        Ok(outcome)
+    }
+
+    /// One product exploration pass: concrete when `abstraction` is `None`,
+    /// abstract (normalising every joint state to its representative)
+    /// otherwise.
+    fn verify_with(
+        &self,
+        properties: &[Property],
+        abstraction: Option<&SlotAbstraction>,
+    ) -> Result<VerificationOutcome, VerifyError> {
         // One compiled monitor per trace property (built-in or user LTL);
         // their registers concatenate into the joint state's `monitors`.
         let (compiled, initial_monitors) = compile_properties(properties);
@@ -656,7 +746,10 @@ impl ProductVerifier {
         });
 
         let monitor_count = initial_monitors.len();
-        let initial = self.product_state(&evaluators, 0, &initial_monitors);
+        let mut initial = self.product_state(&evaluators, 0, &initial_monitors);
+        if let Some(a) = abstraction {
+            a.normalize(&mut initial.memory);
+        }
         let expander = ProductExpander {
             verifier: self,
             evaluators,
@@ -670,6 +763,7 @@ impl ProductVerifier {
             deadlock_idx,
             monitor_count,
             memoize: self.options.pruning,
+            abstraction,
         };
         // A dropped delivery makes the wired product an under-approximation
         // of the real periodic system: no closure can then count as a
@@ -850,6 +944,9 @@ struct ProductExpander<'a> {
     deadlock_idx: Option<usize>,
     monitor_count: usize,
     memoize: bool,
+    /// Interval-domain slot plans over the concatenated joint memory
+    /// (`None` = concrete exploration).
+    abstraction: Option<&'a SlotAbstraction>,
 }
 
 /// Per-worker scratch of the product expander.
@@ -1113,6 +1210,12 @@ impl Expander for ProductExpander<'_> {
         for (i, &at) in ctx.resolved.iter().enumerate() {
             ctx.memory
                 .extend_from_slice(&ctx.memos[i].memories[at as usize]);
+        }
+        if let Some(abstraction) = self.abstraction {
+            let widened = abstraction.normalize(&mut ctx.memory);
+            if widened > 0 {
+                sink.widened(widened);
+            }
         }
         let next_phase = ((phase + 1) % system.horizon) as u32;
         let (hash, bytes) = ctx

@@ -7,8 +7,8 @@
 use proptest::prelude::*;
 
 use polyverify::{
-    FrontierMode, InputSpace, PortLink, ProductComponent, ProductSystem, ProductVerifier, Property,
-    VerificationOutcome, Verifier, VerifyOptions,
+    Domain, FrontierMode, InputSpace, PortLink, ProductComponent, ProductSystem, ProductVerifier,
+    Property, VerificationOutcome, Verifier, VerifyOptions,
 };
 use signal_moc::builder::ProcessBuilder;
 use signal_moc::expr::Expr;
@@ -47,8 +47,13 @@ fn streak_counter(threshold: i64) -> Process {
 }
 
 /// Strips the fields that legitimately differ between configurations (the
-/// worker count actually used) and returns everything that must not.
-fn fingerprint(outcome: &VerificationOutcome) -> (Vec<u8>, usize, usize, usize, usize, bool) {
+/// worker count actually used) and returns everything that must not —
+/// including the interval-domain counters (widenings, projected slots,
+/// re-concretized counterexamples), which are all zero under the concrete
+/// domain.
+type Fingerprint = (Vec<u8>, [usize; 7], bool);
+
+fn fingerprint(outcome: &VerificationOutcome) -> Fingerprint {
     let mut verdicts = Vec::new();
     for verdict in &outcome.verdicts {
         verdicts.extend_from_slice(format!("{verdict:?}").as_bytes());
@@ -56,12 +61,76 @@ fn fingerprint(outcome: &VerificationOutcome) -> (Vec<u8>, usize, usize, usize, 
     }
     (
         verdicts,
-        outcome.stats.states,
-        outcome.stats.transitions,
-        outcome.stats.depth,
-        outcome.stats.infeasible,
+        [
+            outcome.stats.states,
+            outcome.stats.transitions,
+            outcome.stats.depth,
+            outcome.stats.infeasible,
+            outcome.stats.widened,
+            outcome.stats.projected_slots,
+            outcome.stats.reconcretized,
+        ],
         outcome.stats.truncated,
     )
+}
+
+/// The streak counter plus an unbounded monotone step counter no property
+/// reads — what the interval domain widens (or projects) away.
+fn streak_with_invisible_counter(threshold: i64) -> Process {
+    let mut b = ProcessBuilder::new("streaktotal");
+    b.input("d", ValueType::Boolean);
+    b.input("r", ValueType::Boolean);
+    b.output("Alarm", ValueType::Boolean);
+    b.local("streak", ValueType::Integer);
+    b.local("total", ValueType::Integer);
+    let prev = Expr::delay(Expr::var("streak"), Value::Int(0));
+    b.define(
+        "streak",
+        Expr::default(
+            Expr::when(Expr::int(0), Expr::var("r")),
+            Expr::default(
+                Expr::when(Expr::add(prev, Expr::int(1)), Expr::var("d")),
+                Expr::int(0),
+            ),
+        ),
+    );
+    b.define(
+        "total",
+        Expr::add(Expr::delay(Expr::var("total"), Value::Int(0)), Expr::int(1)),
+    );
+    b.define("Alarm", Expr::ge(Expr::var("streak"), Expr::int(threshold)));
+    b.synchronize(&["d", "r", "streak", "total", "Alarm"]);
+    b.build().unwrap()
+}
+
+/// A bounded observable part (a toggle flag) plus the invisible unbounded
+/// counter: the only reason the concrete space cannot close is the
+/// counter, so the interval domain must close it.
+fn toggle_with_invisible_counter(alarm_reachable: bool) -> Process {
+    let mut b = ProcessBuilder::new("toggletotal");
+    b.input("d", ValueType::Boolean);
+    b.output("Alarm", ValueType::Boolean);
+    b.local("flag", ValueType::Boolean);
+    b.local("total", ValueType::Integer);
+    let prev = Expr::delay(Expr::var("flag"), Value::Bool(false));
+    b.define(
+        "flag",
+        Expr::default(Expr::when(Expr::not(prev.clone()), Expr::var("d")), prev),
+    );
+    b.define(
+        "total",
+        Expr::add(Expr::delay(Expr::var("total"), Value::Int(0)), Expr::int(1)),
+    );
+    if alarm_reachable {
+        b.define("Alarm", Expr::and(Expr::var("flag"), Expr::var("d")));
+    } else {
+        b.define(
+            "Alarm",
+            Expr::and(Expr::var("d"), Expr::not(Expr::var("d"))),
+        );
+    }
+    b.synchronize(&["d", "flag", "total", "Alarm"]);
+    b.build().unwrap()
 }
 
 proptest! {
@@ -75,7 +144,7 @@ proptest! {
     ) {
         let process = streak_counter(threshold);
         let properties = [Property::NeverRaised("*Alarm*".into()), Property::DeadlockFree];
-        let mut reference: Option<(Vec<u8>, usize, usize, usize, usize, bool)> = None;
+        let mut reference: Option<Fingerprint> = None;
         for workers in WORKER_COUNTS {
             for frontier in FRONTIERS {
                 let verifier = Verifier::new(
@@ -103,6 +172,68 @@ proptest! {
         }
     }
 
+    /// Interval-domain exploration of a system with an invisible unbounded
+    /// counter: verdicts, counterexample depths and the widened/projected/
+    /// re-concretized counters are bit-identical across workers × frontier
+    /// × projection, with and without a depth bound.
+    #[test]
+    fn interval_exploration_is_configuration_independent(
+        threshold in 1i64..=4,
+        closed in any::<bool>(),
+        alarm_reachable in any::<bool>(),
+    ) {
+        // `closed`: observable part bounded — the unbounded interval run
+        // must close (no truncation). Otherwise the observable streak is
+        // itself unbounded and a depth bound applies to both domains.
+        let (process, bound) = if closed {
+            (toggle_with_invisible_counter(alarm_reachable), None)
+        } else {
+            (
+                streak_with_invisible_counter(threshold),
+                Some(threshold as usize + 2),
+            )
+        };
+        let properties = [Property::NeverRaised("*Alarm*".into())];
+        for project in [false, true] {
+            let mut reference: Option<Fingerprint> = None;
+            for workers in WORKER_COUNTS {
+                for frontier in FRONTIERS {
+                    let mut options = VerifyOptions::default()
+                        .with_workers(workers)
+                        .with_frontier(frontier)
+                        .with_domain(Domain::Interval)
+                        .with_project_counters(project)
+                        .with_interner_capacity(1);
+                    if let Some(bound) = bound {
+                        options = options.with_depth_bound(bound);
+                    }
+                    let verifier = Verifier::new(&process, options).unwrap();
+                    let outcome = verifier.verify(&InputSpace::Free, &properties).unwrap();
+                    if closed && !alarm_reachable {
+                        // The invisible counter is abstracted away, so the
+                        // unbounded violation-free run closes with a proof
+                        // instead of diverging. (A violating run stops
+                        // early, which the engine reports as truncated.)
+                        prop_assert!(!outcome.stats.truncated);
+                        prop_assert!(outcome.all_proved());
+                    }
+                    let print = fingerprint(&outcome);
+                    match &reference {
+                        None => reference = Some(print),
+                        Some(expected) => prop_assert_eq!(
+                            expected,
+                            &print,
+                            "workers={} frontier={:?} project={}",
+                            workers,
+                            frontier,
+                            project
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
     /// Randomised 2–3 thread products: verdicts, counterexample depths and
     /// explored-state counts are identical for every workers × frontier ×
     /// pruning combination. Pruning toggles the product's per-component
@@ -118,7 +249,7 @@ proptest! {
     ) {
         let system = pipeline_system(component_count, horizon, threshold, &periods, latency);
         let properties = [Property::NeverRaised("*Alarm*".into()), Property::DeadlockFree];
-        let mut reference: Option<(Vec<u8>, usize, usize, usize, usize, bool)> = None;
+        let mut reference: Option<Fingerprint> = None;
         for workers in WORKER_COUNTS {
             for frontier in FRONTIERS {
                 for pruning in [true, false] {

@@ -7,9 +7,9 @@
 use proptest::prelude::*;
 
 use polyverify::{
-    CollectionMode, Collector, ExplorationStats, FrontierMode, InputSpace, JsonLinesSink, PortLink,
-    ProductComponent, ProductSystem, ProductVerifier, Property, VerificationOutcome, Verifier,
-    VerifyOptions,
+    CollectionMode, Collector, Domain, ExplorationStats, FrontierMode, InputSpace, JsonLinesSink,
+    PortLink, ProductComponent, ProductSystem, ProductVerifier, Property, VerificationOutcome,
+    Verifier, VerifyOptions,
 };
 use signal_moc::builder::ProcessBuilder;
 use signal_moc::expr::Expr;
@@ -72,6 +72,36 @@ fn streak_counter(threshold: i64) -> Process {
     );
     b.define("Alarm", Expr::ge(Expr::var("streak"), Expr::int(threshold)));
     b.synchronize(&["d", "r", "streak", "Alarm"]);
+    b.build().unwrap()
+}
+
+/// The streak counter plus an unbounded monotone step counter no property
+/// reads — exercises the interval domain's widening/projection counters
+/// under telemetry.
+fn streak_with_invisible_counter(threshold: i64) -> Process {
+    let mut b = ProcessBuilder::new("streaktotal");
+    b.input("d", ValueType::Boolean);
+    b.input("r", ValueType::Boolean);
+    b.output("Alarm", ValueType::Boolean);
+    b.local("streak", ValueType::Integer);
+    b.local("total", ValueType::Integer);
+    let prev = Expr::delay(Expr::var("streak"), Value::Int(0));
+    b.define(
+        "streak",
+        Expr::default(
+            Expr::when(Expr::int(0), Expr::var("r")),
+            Expr::default(
+                Expr::when(Expr::add(prev, Expr::int(1)), Expr::var("d")),
+                Expr::int(0),
+            ),
+        ),
+    );
+    b.define(
+        "total",
+        Expr::add(Expr::delay(Expr::var("total"), Value::Int(0)), Expr::int(1)),
+    );
+    b.define("Alarm", Expr::ge(Expr::var("streak"), Expr::int(threshold)));
+    b.synchronize(&["d", "r", "streak", "total", "Alarm"]);
     b.build().unwrap()
 }
 
@@ -162,6 +192,54 @@ proptest! {
                             workers,
                             frontier
                         ),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Interval-domain exploration: the widened / projected_slots /
+    /// reconcretized counters and the full verdict rendering are identical
+    /// under every collection mode × workers × frontier × projection
+    /// combination — telemetry never perturbs the abstraction either.
+    #[test]
+    fn interval_outcome_is_collection_mode_independent(
+        threshold in 1i64..=4,
+        depth in 3usize..=5,
+    ) {
+        let process = streak_with_invisible_counter(threshold);
+        let properties = [Property::NeverRaised("*Alarm*".into())];
+        for project in [false, true] {
+            let mut reference: Option<(Vec<u8>, ExplorationStats)> = None;
+            for mode in MODES {
+                for workers in WORKER_COUNTS {
+                    for frontier in FRONTIERS {
+                        let verifier = Verifier::new(
+                            &process,
+                            VerifyOptions::default()
+                                .with_workers(workers)
+                                .with_depth_bound(depth)
+                                .with_frontier(frontier)
+                                .with_domain(Domain::Interval)
+                                .with_project_counters(project)
+                                .with_interner_capacity(1)
+                                .with_collector(collector(mode)),
+                        )
+                        .unwrap();
+                        let outcome = verifier.verify(&InputSpace::Free, &properties).unwrap();
+                        let print = fingerprint(&outcome);
+                        match &reference {
+                            None => reference = Some(print),
+                            Some(expected) => prop_assert_eq!(
+                                expected,
+                                &print,
+                                "mode={:?} workers={} frontier={:?} project={}",
+                                mode,
+                                workers,
+                                frontier,
+                                project
+                            ),
+                        }
                     }
                 }
             }

@@ -10,9 +10,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use polychrony_core::polysim::Simulator;
 use polychrony_core::polyverify::ltl::first_violation;
 use polychrony_core::polyverify::{
-    inject_connection_latency, inject_deadline_overrun, inject_dispatch_jitter,
-    inject_dropped_delivery, inject_schedule_corruption, Counterexample, Formula, InputSpace,
-    LockstepCoSim, LtlProperty, Property, Verdict, Verifier, VerifyOptions,
+    inject_connection_latency, inject_counter_drift, inject_deadline_overrun,
+    inject_dispatch_jitter, inject_dropped_delivery, inject_schedule_corruption, Counterexample,
+    Domain, Formula, InputSpace, LockstepCoSim, LtlProperty, Property, Verdict,
+    VerificationOutcome, Verifier, VerifyOptions,
 };
 use polychrony_core::signal_moc::process::Process;
 use polychrony_core::signal_moc::trace::{Trace, TraceStep};
@@ -174,6 +175,10 @@ fn check_spec(
         lockstep_oracle(&simulated, spec.hyperperiods)?;
     }
 
+    // Domain oracle: the target unit re-verified under the interval
+    // abstraction, with and without counter projection.
+    domain_oracle(&simulated, seed)?;
+
     match fault {
         None => Ok(ScenarioOutcome::Passed),
         Some(kind) => inject_and_check(kind, &simulated, spec, seed),
@@ -315,6 +320,120 @@ fn replay_in_simulator(cex: &Counterexample, process: &Process, what: &str) -> R
             format!("counterexample of `{what}` failed to replay: {e}"),
         )),
     }
+}
+
+/// The verdict shapes two verification domains must agree on: the verdict
+/// kind and the instant of a violation — not state counts (the abstraction
+/// merges states by design).
+fn verdict_shapes(outcome: &VerificationOutcome) -> Vec<String> {
+    outcome
+        .verdicts
+        .iter()
+        .map(|pv| match &pv.verdict {
+            Verdict::Proved => "proved".to_string(),
+            Verdict::PassedBounded { depth } => format!("passed-bounded@{depth}"),
+            Verdict::Violated(cex) => format!("violated@{}", cex.violation_instant),
+        })
+        .collect()
+}
+
+/// Re-verifies `process` under the interval abstraction — once plain, once
+/// with counter projection — and demands agreement with the already
+/// computed `concrete` outcome. The abstraction may *strengthen* a
+/// `PassedBounded` into a genuine `Proved` (widening closed a space the
+/// depth bound truncated); every other shape difference — above all a
+/// missed or displaced violation — is a finding. Every abstract
+/// counterexample must replay in the simulator: projection must never mask
+/// a property that reads the projected slot.
+fn interval_agreement(
+    process: &Process,
+    inputs: &Trace,
+    properties: &[Property],
+    concrete: &VerificationOutcome,
+    context: &str,
+) -> Result<(), Failure> {
+    let reference = verdict_shapes(concrete);
+    let agrees = |abstracted: &str, concrete: &str| {
+        abstracted == concrete || (abstracted == "proved" && concrete.starts_with("passed-bounded"))
+    };
+    for project in [false, true] {
+        let verifier = Verifier::new(
+            process,
+            VerifyOptions::default()
+                .with_workers(1)
+                .with_depth_bound(inputs.len())
+                .with_domain(Domain::Interval)
+                .with_project_counters(project),
+        )
+        .map_err(|e| {
+            fail(
+                FindingKind::DomainMismatch,
+                format!("interval verifier construction failed on {context}: {e}"),
+            )
+        })?;
+        let interval = verifier
+            .verify(&InputSpace::Scheduled(inputs.clone()), properties)
+            .map_err(|e| {
+                fail(
+                    FindingKind::DomainMismatch,
+                    format!("interval verification of {context} failed: {e}"),
+                )
+            })?;
+        let shapes = verdict_shapes(&interval);
+        let mismatch = shapes.len() != reference.len()
+            || shapes.iter().zip(&reference).any(|(a, c)| !agrees(a, c));
+        if mismatch {
+            return Err(fail(
+                FindingKind::DomainMismatch,
+                format!(
+                    "on {context} the interval domain (project_counters={project}) says \
+                     {shapes:?} where the concrete engine says {reference:?}"
+                ),
+            ));
+        }
+        for (property, cex) in interval.violations() {
+            replay_in_simulator(cex, process, &property.name())?;
+        }
+    }
+    Ok(())
+}
+
+/// Domain oracle: the target unit's scheduled behaviour verified by the
+/// concrete engine, then cross-checked against the interval abstraction.
+fn domain_oracle(simulated: &Simulated, seed: u64) -> Result<(), Failure> {
+    let unit = &simulated.thread_units[target_unit(simulated, seed)];
+    let inputs = unit.model.timing_trace(&simulated.schedule, 1);
+    if inputs.is_empty() {
+        return Ok(());
+    }
+    let properties = [Property::NeverRaised("*Alarm*".into())];
+    let verifier = Verifier::new(
+        &unit.model.flat,
+        VerifyOptions::default()
+            .with_workers(1)
+            .with_depth_bound(inputs.len()),
+    )
+    .map_err(|e| {
+        fail(
+            FindingKind::DomainMismatch,
+            format!("verifier construction failed on the scheduled thread: {e}"),
+        )
+    })?;
+    let concrete = verifier
+        .verify(&InputSpace::Scheduled(inputs.clone()), &properties)
+        .map_err(|e| {
+            fail(
+                FindingKind::DomainMismatch,
+                format!("concrete verification of the scheduled thread failed: {e}"),
+            )
+        })?;
+    interval_agreement(
+        &unit.model.flat,
+        &inputs,
+        &properties,
+        &concrete,
+        "the scheduled thread",
+    )
 }
 
 fn lockstep_oracle(simulated: &Simulated, hyperperiods: u64) -> Result<(), Failure> {
@@ -550,6 +669,72 @@ fn inject_and_check(
             // agreement and replay: any violation must replay, and a pass
             // must agree with the simulator's view of the tampered trace.
             agreement_under_tampering(kind, &unit.model.flat, inputs)
+        }
+        FaultKind::CounterDrift => {
+            let unit = &simulated.thread_units[target_unit(simulated, seed)];
+            let mut process = unit.model.flat.clone();
+            let Some(drifted) = inject_counter_drift(&mut process, seed, 1 + (seed % 3) as i64)
+            else {
+                return Ok(ScenarioOutcome::Passed);
+            };
+            let inputs = unit.model.timing_trace(&simulated.schedule, 1);
+            // Two properties: the usual alarm check, and a probe that
+            // *reads* the drifted signal (an integer signal is `true`-ish
+            // when non-zero). The probe forces the drifted slot concrete
+            // under counter projection — projection must never mask a
+            // property that reads the slot — and makes the drift
+            // detectable whenever the signal becomes non-zero. The oracle
+            // is dual-domain agreement on the drifted process; any
+            // violation must still replay.
+            let properties = [
+                Property::NeverRaised("*Alarm*".into()),
+                Property::Ltl(LtlProperty::never(Formula::signal(&drifted.signal))),
+            ];
+            let verifier = Verifier::new(
+                &process,
+                VerifyOptions::default()
+                    .with_workers(1)
+                    .with_depth_bound(inputs.len()),
+            )
+            .map_err(|e| {
+                fail(
+                    FindingKind::DomainMismatch,
+                    format!("verifier construction failed on the drifted thread: {e}"),
+                )
+            })?;
+            let concrete =
+                match verifier.verify(&InputSpace::Scheduled(inputs.clone()), &properties) {
+                    Ok(outcome) => outcome,
+                    // A drifted process the engine rejects outright is a
+                    // valid outcome, as long as it rejects deterministically.
+                    Err(e) => {
+                        return Ok(ScenarioOutcome::Rejected {
+                            error: e.to_string(),
+                        })
+                    }
+                };
+            interval_agreement(
+                &process,
+                &inputs,
+                &properties,
+                &concrete,
+                "the drifted thread",
+            )?;
+            let first = concrete
+                .violations()
+                .next()
+                .map(|(property, cex)| (property.name(), cex.clone()));
+            match first {
+                Some((property, cex)) => {
+                    replay_in_simulator(&cex, &process, &property)?;
+                    Ok(ScenarioOutcome::FaultDetected {
+                        fault: kind,
+                        property,
+                        instant: cex.violation_instant,
+                    })
+                }
+                None => Ok(ScenarioOutcome::Passed),
+            }
         }
     }
 }

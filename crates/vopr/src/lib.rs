@@ -18,12 +18,16 @@
 //!   by the reference trace semantics over the simulator's resolved trace;
 //! * **lockstep oracle** — every product verdict is re-derived from a
 //!   brute-force lockstep co-simulation of the wired thread product;
+//! * **domain oracle** — one thread's behaviour is verified under the
+//!   concrete engine and under the interval abstraction (with and without
+//!   counter projection); the verdict shapes must match and abstract
+//!   counterexamples must replay;
 //! * **replay oracle** — every counterexample must reproduce in the
 //!   simulator.
 //!
 //! A catalogue of injectable faults (deadline overruns, connection
-//! latency, dropped deliveries, jittered dispatch, corrupted schedules)
-//! stresses the detection path: an injected fault that goes undetected is
+//! latency, dropped deliveries, jittered dispatch, corrupted schedules,
+//! drifted counter state) stresses the detection path: an injected fault that goes undetected is
 //! a finding, and any violation it provokes must still replay.
 //!
 //! On any oracle disagreement or panic the harness greedily shrinks the
@@ -77,16 +81,22 @@ pub enum FaultKind {
     /// Flip seeded boolean cells of the scheduled timing trace
     /// ([`inject_schedule_corruption`](polychrony_core::polyverify::inject_schedule_corruption)).
     CorruptedSchedule,
+    /// Shift one integer memory init of a thread's behaviour, as if
+    /// persisted counter state had decayed; both verification domains must
+    /// still agree on the drifted process
+    /// ([`inject_counter_drift`](polychrony_core::polyverify::inject_counter_drift)).
+    CounterDrift,
 }
 
 impl FaultKind {
     /// Every fault kind, in catalogue order.
-    pub const ALL: [FaultKind; 5] = [
+    pub const ALL: [FaultKind; 6] = [
         FaultKind::DeadlineOverrun,
         FaultKind::ConnectionLatency,
         FaultKind::DroppedDelivery,
         FaultKind::DispatchJitter,
         FaultKind::CorruptedSchedule,
+        FaultKind::CounterDrift,
     ];
 
     /// The stable command-line label of this fault kind.
@@ -97,6 +107,7 @@ impl FaultKind {
             FaultKind::DroppedDelivery => "dropped-delivery",
             FaultKind::DispatchJitter => "dispatch-jitter",
             FaultKind::CorruptedSchedule => "corrupted-schedule",
+            FaultKind::CounterDrift => "counter-drift",
         }
     }
 
@@ -140,6 +151,9 @@ pub enum FindingKind {
     ReplayFailed,
     /// An injected fault produced no violation where one was guaranteed.
     FaultUndetected,
+    /// The concrete and interval verification domains disagreed on a
+    /// verdict shape (kind or violation instant).
+    DomainMismatch,
 }
 
 impl fmt::Display for FindingKind {
@@ -151,6 +165,7 @@ impl fmt::Display for FindingKind {
             FindingKind::LockstepMismatch => "lockstep-mismatch",
             FindingKind::ReplayFailed => "replay-failed",
             FindingKind::FaultUndetected => "fault-undetected",
+            FindingKind::DomainMismatch => "domain-mismatch",
         })
     }
 }

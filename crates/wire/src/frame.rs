@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use polychrony_core::aadl::case_study::PRODUCER_CONSUMER_AADL;
-use polychrony_core::polyverify::FrontierMode;
+use polychrony_core::polyverify::{Domain, FrontierMode};
 use polychrony_core::sched::SchedulingPolicy;
 use polychrony_core::{
     BatchJob, CacheOutcome, CoreError, PropertySpec, SessionOptions, ToolChainReport, VcdCapture,
@@ -364,6 +364,18 @@ pub fn options_to_json(options: &SessionOptions) -> Json {
                     "interner_capacity",
                     num(options.verify.interner_capacity as u64),
                 ),
+                (
+                    "domain",
+                    Json::Str(options.verify.domain.as_str().to_string()),
+                ),
+                (
+                    "project_counters",
+                    Json::Bool(options.verify.project_counters),
+                ),
+                (
+                    "widen_threshold",
+                    num(options.verify.widen_threshold as u64),
+                ),
             ]),
         ),
     ])
@@ -446,6 +458,18 @@ pub fn options_from_json(v: &Json) -> Result<SessionOptions, WireError> {
         }
         if verify.get("interner_capacity").is_some() {
             options.verify.interner_capacity = u64_field(verify, "interner_capacity")? as usize;
+        }
+        if let Some(domain) = verify.get("domain") {
+            options.verify.domain = domain
+                .as_str()
+                .and_then(Domain::parse)
+                .ok_or_else(|| frame_err(format!("unknown verify.domain {domain}")))?;
+        }
+        if verify.get("project_counters").is_some() {
+            options.verify.project_counters = bool_field(verify, "project_counters")?;
+        }
+        if verify.get("widen_threshold").is_some() {
+            options.verify.widen_threshold = u64_field(verify, "widen_threshold")? as i64;
         }
     }
     Ok(options)
@@ -783,6 +807,9 @@ mod tests {
         options.simulate.vcd = VcdCapture::Thread("prod".to_string());
         options.verify.scope = VerificationScope::Product;
         options.verify.frontier = FrontierMode::Barrier;
+        options.verify.domain = Domain::Interval;
+        options.verify.project_counters = true;
+        options.verify.widen_threshold = 12;
         options.verify.properties = vec![PropertySpec::new("never raised(*Alarm*)")];
         let decoded = options_from_json(&options_to_json(&options)).unwrap();
         assert_eq!(decoded, options);

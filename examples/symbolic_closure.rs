@@ -1,0 +1,109 @@
+//! Symbolic closure: the interval domain proving an unbounded-counter
+//! system that the concrete engine can only pass bounded.
+//!
+//! ```bash
+//! cargo run --example symbolic_closure
+//! ```
+//!
+//! The process is the smallest space the explicit engine can never close:
+//! a monotone step counter (`count := count$1 init 0 + 1`) mints a fresh
+//! delay memory on every tick, so concrete exploration visits one new
+//! state per depth level forever and any bounded run ends in
+//! `passed-bounded`. No checked property reads the counter, so under
+//! `--domain interval` the widening folds its tail into the abstract class
+//! `≥ threshold`, the quotient space closes after a handful of states, and
+//! the verdict is a genuine `proved` — bit-identical across worker counts.
+//! With `--project-counters` the slot drops out of the state key entirely.
+//! Design and soundness argument: docs/SYMBOLIC.md.
+
+use polychrony_core::polyverify::{Domain, InputSpace, Property, Verdict, Verifier, VerifyOptions};
+use polychrony_core::signal_moc::builder::ProcessBuilder;
+use polychrony_core::signal_moc::expr::Expr;
+use polychrony_core::signal_moc::process::Process;
+use polychrony_core::signal_moc::value::{Value, ValueType};
+
+/// `count := count$1 init 0 + 1`, synchronised with an input tick: one
+/// fresh state per instant, forever.
+fn unbounded_counter() -> Process {
+    let mut b = ProcessBuilder::new("counter");
+    b.input("tick", ValueType::Event);
+    b.output("count", ValueType::Integer);
+    b.define(
+        "count",
+        Expr::add(Expr::delay(Expr::var("count"), Value::Int(0)), Expr::int(1)),
+    );
+    b.synchronize(&["count", "tick"]);
+    b.build().unwrap()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let process = unbounded_counter();
+    let properties = [Property::NeverRaised("*Alarm*".into())];
+
+    println!("== Symbolic closure of an unbounded counter (docs/SYMBOLIC.md) ==\n");
+
+    // Concrete domain: the fixpoint never closes; a depth bound is the only
+    // way to terminate, and the verdict is merely bounded.
+    let concrete = Verifier::new(&process, VerifyOptions::default().with_depth_bound(24))?
+        .verify(&InputSpace::Free, &properties)?;
+    println!("concrete, depth bound 24:");
+    println!("{}\n", concrete.summary());
+    assert!(matches!(
+        concrete.verdicts[0].verdict,
+        Verdict::PassedBounded { .. }
+    ));
+    assert!(concrete.stats.truncated);
+
+    // Interval domain: the counter is invisible to the checked property,
+    // so widening folds its tail and the space closes with a real proof —
+    // no depth bound needed.
+    let interval = Verifier::new(
+        &process,
+        VerifyOptions::default().with_domain(Domain::Interval),
+    )?
+    .verify(&InputSpace::Free, &properties)?;
+    println!("interval domain, no depth bound:");
+    println!("{}\n", interval.summary());
+    assert!(interval.all_proved());
+    assert!(!interval.stats.truncated);
+    assert!(interval.stats.widened > 0);
+
+    // Counter projection drops the slot from the state key entirely.
+    let projected = Verifier::new(
+        &process,
+        VerifyOptions::default()
+            .with_domain(Domain::Interval)
+            .with_project_counters(true),
+    )?
+    .verify(&InputSpace::Free, &properties)?;
+    println!("interval domain + counter projection:");
+    println!("{}\n", projected.summary());
+    assert!(projected.all_proved());
+    assert_eq!(projected.stats.projected_slots, 1);
+    assert!(projected.stats.states < interval.stats.states);
+
+    // The abstract exploration inherits the engine's determinism: verdicts
+    // and stats are bit-identical for every worker count.
+    for workers in [2usize, 8] {
+        let again = Verifier::new(
+            &process,
+            VerifyOptions::default()
+                .with_domain(Domain::Interval)
+                .with_workers(workers),
+        )?
+        .verify(&InputSpace::Free, &properties)?;
+        assert_eq!(again.verdicts, interval.verdicts);
+        assert_eq!(again.stats.states, interval.stats.states);
+        assert_eq!(again.stats.widened, interval.stats.widened);
+    }
+    println!("deterministic: verdicts and stats bit-identical across 1/2/8 workers");
+    println!(
+        "\nconcrete passed-bounded with {} states explored and no proof;",
+        concrete.stats.states
+    );
+    println!(
+        "interval proved with {} states ({} widenings), projection with {}.",
+        interval.stats.states, interval.stats.widened, projected.stats.states
+    );
+    Ok(())
+}

@@ -9,6 +9,7 @@
 //! polychrony verify   [--workers N] [--hyperperiods N] [--product]
 //!                     [--frontier barrier|work-stealing] [--no-pruning]
 //!                     [--interner-capacity N] [--property EXPR]...
+//!                     [--domain concrete|interval] [--project-counters]
 //!                     [--inject-deadline-bug] [--inject-connection-bug]
 //!                     [--progress] [--trace-out FILE]
 //! polychrony batch    [--jobs N] [--workers N] [--property EXPR]...
@@ -23,6 +24,7 @@
 //! ```bash
 //! polychrony submit (--socket PATH | --tcp ADDR) [--name NAME]
 //!                   [--workers N] [--hyperperiods N] [--product]
+//!                   [--domain concrete|interval] [--project-counters]
 //!                   [--property EXPR]... [--detach]
 //! polychrony status (--socket PATH | --tcp ADDR) [--id N]
 //! polychrony watch  (--socket PATH | --tcp ADDR) --id N
@@ -46,7 +48,7 @@ use std::process::ExitCode;
 
 use polychrony_client::{ClientError, Endpoint};
 use polychrony_core::aadl::synth::SyntheticSpec;
-use polychrony_core::polyverify::{FrontierMode, Property};
+use polychrony_core::polyverify::{Domain, FrontierMode, Property};
 use polychrony_core::sched::SchedulingPolicy;
 use polychrony_core::{
     BatchJob, BatchRunner, Collector, CoreError, JsonLinesSink, ProgressReporter, ProgressUpdate,
@@ -203,6 +205,7 @@ USAGE:
     polychrony verify   [--workers N] [--hyperperiods N] [--product]
                         [--frontier barrier|work-stealing] [--no-pruning]
                         [--interner-capacity N] [--property EXPR]...
+                        [--domain concrete|interval] [--project-counters]
                         [--inject-deadline-bug] [--inject-connection-bug]
                         [--progress] [--trace-out FILE]
     polychrony batch    [--jobs N] [--workers N] [--property EXPR]...
@@ -213,6 +216,7 @@ USAGE:
                         [--iterations N] [--max-threads N]
     polychrony submit   (--socket PATH | --tcp ADDR) [--name NAME]
                         [--workers N] [--hyperperiods N] [--product]
+                        [--domain concrete|interval] [--project-counters]
                         [--property EXPR]... [--detach]
     polychrony status   (--socket PATH | --tcp ADDR) [--id N]
     polychrony watch    (--socket PATH | --tcp ADDR) --id N
@@ -255,7 +259,13 @@ COMMANDS:
                identical); --no-pruning disables clock-calculus pruning
                and per-component memoization (verdicts are identical);
                --interner-capacity sets the initial per-shard capacity of
-               the state interner
+               the state interner; --domain interval switches the engine to
+               the interval abstraction (property-invisible monotone
+               counters widen, so unbounded-counter spaces can close with a
+               genuine proof — see docs/SYMBOLIC.md) and --project-counters
+               additionally drops such counters from the state key; both
+               are strengthen-only (abstract counterexamples must replay
+               concretely before being reported)
     batch      run N models (the case study + synthetic workloads) through
                the whole pipeline concurrently on a bounded worker pool and
                print one timed report line per job; --property adds a user
@@ -265,10 +275,13 @@ COMMANDS:
                full pipeline and cross-check independent oracles (cached
                vs uncached runs, compiled LTL monitors vs the reference
                trace semantics, product verdicts vs lockstep
-               co-simulation, counterexample replay); --fault injects one
-               of deadline-overrun, connection-latency, dropped-delivery,
-               dispatch-jitter, corrupted-schedule into every scenario and
-               demands the verifier catch it; any finding is shrunk to a
+               co-simulation, concrete vs interval-domain verdicts,
+               counterexample replay); --fault injects one of
+               deadline-overrun, connection-latency, dropped-delivery,
+               dispatch-jitter, corrupted-schedule, counter-drift into
+               every scenario and demands the verifier catch it (or, for
+               the agreement faults, that every oracle still agree on the
+               tampered system); any finding is shrunk to a
                minimal failing system (--no-shrink to keep the original)
                and printed with a replay line; --replay S re-runs one
                scenario seed (hex 0x... or decimal) literally; with
@@ -685,6 +698,8 @@ fn verify(args: &[String]) -> Result<ExitCode, CliError> {
         ("--frontier", true),
         ("--no-pruning", false),
         ("--interner-capacity", true),
+        ("--domain", true),
+        ("--project-counters", false),
         ("--property", true),
         ("--inject-deadline-bug", false),
         ("--inject-connection-bug", false),
@@ -705,6 +720,12 @@ fn verify(args: &[String]) -> Result<ExitCode, CliError> {
         }
     };
     let interner_capacity = flag_value(args, "--interner-capacity", 4096usize)?;
+    let domain_label = flag_value(args, "--domain", "concrete".to_string())?;
+    let domain = Domain::parse(&domain_label).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown domain `{domain_label}` (use concrete or interval)"
+        ))
+    })?;
     // Parse the user properties upfront: a malformed expression is a usage
     // error (exit 1) with the offending span, before any phase runs.
     let properties = parse_properties(args)?;
@@ -728,6 +749,8 @@ fn verify(args: &[String]) -> Result<ExitCode, CliError> {
         .with_verify_frontier(frontier)
         .with_verify_pruning(!has_flag(args, "--no-pruning"))
         .with_verify_interner_capacity(interner_capacity)
+        .with_verify_domain(domain)
+        .with_verify_project_counters(has_flag(args, "--project-counters"))
         .with_collector(collector.clone());
     for expr in flag_values(args, "--property")? {
         chain = chain.with_property(expr);
@@ -931,6 +954,8 @@ fn submit(args: &[String]) -> Result<ExitCode, CliError> {
         ("--workers", true),
         ("--hyperperiods", true),
         ("--product", false),
+        ("--domain", true),
+        ("--project-counters", false),
         ("--property", true),
         ("--detach", false),
     ];
@@ -948,6 +973,13 @@ fn submit(args: &[String]) -> Result<ExitCode, CliError> {
     if has_flag(args, "--product") {
         options.verify.scope = VerificationScope::Product;
     }
+    let domain_label = flag_value(args, "--domain", "concrete".to_string())?;
+    options.verify.domain = Domain::parse(&domain_label).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown domain `{domain_label}` (use concrete or interval)"
+        ))
+    })?;
+    options.verify.project_counters = has_flag(args, "--project-counters");
     options.verify.properties = flag_values(args, "--property")?
         .into_iter()
         .map(PropertySpec::new)

@@ -22,7 +22,7 @@ struct CorpusEntry {
 /// Findings recorded from harness runs with the default `--max-threads 5`.
 /// Per-thread faults surface as alarm violations; link faults surface as
 /// end-to-end response violations on the tampered connection.
-const CORPUS: [CorpusEntry; 5] = [
+const CORPUS: [CorpusEntry; 6] = [
     CorpusEntry {
         fault: FaultKind::DeadlineOverrun,
         seed: 0x73fb_1f33_5173_76f7,
@@ -47,6 +47,15 @@ const CORPUS: [CorpusEntry; 5] = [
         fault: FaultKind::DroppedDelivery,
         seed: 0x9ca4_4a0a_c6d0_58b2,
         property_fragment: "end-to-end-response",
+    },
+    // Drifted counter state is flagged by the probe property that reads
+    // the drifted signal — which also forces the slot concrete under the
+    // interval domain's counter projection (the dual-domain oracle runs on
+    // every scenario, drifted or not).
+    CorpusEntry {
+        fault: FaultKind::CounterDrift,
+        seed: 0x5ec8_97b9_a1e7_c2fa,
+        property_fragment: "dispatch_count",
     },
 ];
 
@@ -129,7 +138,7 @@ fn corpus_replays_shrink_to_stable_minimal_systems() {
 #[test]
 fn a_clean_corpus_seed_passes_the_full_oracle_battery() {
     // Pure chaos mode on a seed with no recorded finding: the pipeline,
-    // cache, monitor, lockstep and replay oracles must all agree.
+    // cache, monitor, lockstep, domain and replay oracles must all agree.
     let options = VoprOptions::default();
     let report = replay(0xdbfa_5755_b794_49d0, &options, &mut |_| {});
     assert!(
